@@ -1,0 +1,220 @@
+//! Dense-TCU pipeline baselines: TCStencil and ConvStencil.
+//!
+//! Both systems predate SparStencil's sparsity conversion but already map
+//! stencils onto (dense) tensor cores, so they are faithfully modelled as
+//! the SparStencil core pipeline in [`ExecMode::DenseTcu`] with each
+//! system's fixed layout choices — which means they *execute
+//! functionally* on the simulator and are verified against the reference,
+//! exactly like SparStencil itself:
+//!
+//! - **TCStencil** \[Liu et al., ICS'22\] maps stencil rows directly onto
+//!   fragments without crush-style tiling in `y` (layout `(4, 1)`), uses
+//!   no lookup tables (address arithmetic in-kernel), and its original
+//!   implementation is FP16-only — at other precisions this baseline
+//!   reports `None`, matching its absence from Table 3.
+//! - **ConvStencil** \[Chen et al., PPoPP'24\] performs layout morphing
+//!   equivalent to a fixed small tessellation (layout `(2, 2)`) with
+//!   lookup tables and double buffering, on dense TCUs.
+
+use crate::Baseline;
+use sparstencil::exec::RunStats;
+use sparstencil::grid::Grid;
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::{OptFlags, Options};
+use sparstencil::stencil::StencilKernel;
+use sparstencil_mat::half::Precision;
+use sparstencil_tcu::GpuConfig;
+
+fn dense_options(
+    precision: Precision,
+    gpu: &GpuConfig,
+    layout: (usize, usize),
+    lut: bool,
+) -> Options {
+    Options {
+        precision,
+        mode: ExecMode::DenseTcu,
+        layout: Some(layout),
+        flags: OptFlags {
+            lut,
+            double_buffer: true,
+        },
+        gpu: gpu.clone(),
+        ..Options::default()
+    }
+}
+
+/// Clamp a fixed layout to the kernel/grid so tiny grids still compile.
+fn clamp_layout(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    want: (usize, usize),
+) -> (usize, usize) {
+    let [_, ey, ex] = kernel.extent();
+    let vy = grid_shape[1].saturating_sub(ey) + 1;
+    let vx = grid_shape[2].saturating_sub(ex) + 1;
+    (want.0.min(vx).max(1), want.1.min(vy).max(1))
+}
+
+/// TCStencil-like direct dense-TCU mapping.
+pub struct TcStencilLike;
+
+impl TcStencilLike {
+    /// TCStencil's fixed layout: fragment rows along `x` only.
+    pub const LAYOUT: (usize, usize) = (4, 1);
+}
+
+impl Baseline for TcStencilLike {
+    fn name(&self) -> &'static str {
+        "TCStencil"
+    }
+
+    fn model(
+        &self,
+        kernel: &StencilKernel,
+        grid_shape: [usize; 3],
+        iters: usize,
+        precision: Precision,
+        gpu: &GpuConfig,
+    ) -> Option<RunStats> {
+        if precision != Precision::Fp16 {
+            return None; // FP16-only system.
+        }
+        let layout = clamp_layout(kernel, grid_shape, Self::LAYOUT);
+        let opts = dense_options(precision, gpu, layout, false);
+        let exec = Executor::<f32>::new(kernel, grid_shape, &opts).ok()?;
+        Some(exec.run_modelled(grid_shape, iters))
+    }
+
+    fn execute(&self, kernel: &StencilKernel, input: &Grid<f32>, iters: usize) -> Grid<f32> {
+        let layout = clamp_layout(kernel, input.shape(), Self::LAYOUT);
+        let opts = dense_options(Precision::Fp16, &GpuConfig::a100(), layout, false);
+        let exec = Executor::<f32>::new(kernel, input.shape(), &opts)
+            .expect("TCStencil pipeline must compile");
+        exec.run(input, iters).0
+    }
+}
+
+/// ConvStencil-like layout-morphed dense-TCU mapping. ConvStencil
+/// performs layout morphing but with a fixed dual-tessellation rather
+/// than SparStencil's full `(r1, r2)` search — modelled as the same
+/// explorer restricted to `r ≤ 2` per axis (the tessellation pair).
+/// This restriction is what Figure 10 attributes SparStencil's zoo-wide
+/// advantage to ("thanks to its adaptive layout search").
+pub struct ConvStencilLike;
+
+impl ConvStencilLike {
+    /// Search-space bound of ConvStencil's dual tessellation.
+    pub const MAX_R: usize = 2;
+
+    fn options(precision: Precision, gpu: &GpuConfig) -> Options {
+        Options {
+            precision,
+            mode: ExecMode::DenseTcu,
+            layout: None,
+            max_r: Self::MAX_R,
+            flags: OptFlags {
+                lut: true,
+                double_buffer: true,
+            },
+            gpu: gpu.clone(),
+            ..Options::default()
+        }
+    }
+}
+
+impl Baseline for ConvStencilLike {
+    fn name(&self) -> &'static str {
+        "ConvStencil"
+    }
+
+    fn model(
+        &self,
+        kernel: &StencilKernel,
+        grid_shape: [usize; 3],
+        iters: usize,
+        precision: Precision,
+        gpu: &GpuConfig,
+    ) -> Option<RunStats> {
+        let opts = Self::options(precision, gpu);
+        match precision {
+            Precision::Fp64 => {
+                let exec = Executor::<f64>::new(kernel, grid_shape, &opts).ok()?;
+                Some(exec.run_modelled(grid_shape, iters))
+            }
+            _ => {
+                let exec = Executor::<f32>::new(kernel, grid_shape, &opts).ok()?;
+                Some(exec.run_modelled(grid_shape, iters))
+            }
+        }
+    }
+
+    fn execute(&self, kernel: &StencilKernel, input: &Grid<f32>, iters: usize) -> Grid<f32> {
+        let opts = Self::options(Precision::Fp16, &GpuConfig::a100());
+        let exec = Executor::<f32>::new(kernel, input.shape(), &opts)
+            .expect("ConvStencil pipeline must compile");
+        exec.run(input, iters).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::half::verify_tolerance;
+
+    #[test]
+    fn tcstencil_fp16_only() {
+        let k = StencilKernel::heat2d();
+        let gpu = GpuConfig::a100();
+        assert!(TcStencilLike
+            .model(&k, [1, 130, 130], 5, Precision::Fp16, &gpu)
+            .is_some());
+        assert!(TcStencilLike
+            .model(&k, [1, 130, 130], 5, Precision::Fp64, &gpu)
+            .is_none());
+    }
+
+    #[test]
+    fn convstencil_supports_fp64() {
+        let k = StencilKernel::heat2d();
+        let gpu = GpuConfig::a100();
+        let s = ConvStencilLike
+            .model(&k, [1, 1026, 1026], 5, Precision::Fp64, &gpu)
+            .unwrap();
+        assert!(s.gflops_per_sec > 0.0);
+        assert!(s.counters.dense_mma_count > 0);
+        assert_eq!(s.counters.sparse_mma_count, 0);
+    }
+
+    #[test]
+    fn pipelines_execute_and_verify() {
+        let k = StencilKernel::box2d9p();
+        let shape = [1, 40, 40];
+        let input = Grid::<f32>::smooth_random(2, shape);
+        for b in [&TcStencilLike as &dyn Baseline, &ConvStencilLike] {
+            let got = b.execute(&k, &input, 1);
+            // Against the quantized reference.
+            let mut ref_in =
+                Grid::<f64>::from_fn_3d(2, shape, |z, y, x| input.get(z, y, x) as f64);
+            ref_in.quantize(Precision::Fp16);
+            let want = sparstencil::reference::apply(&k, &ref_in);
+            let got64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| got.get(z, y, x) as f64);
+            let diff = got64.max_rel_diff_interior(&want, &k);
+            assert!(
+                diff <= verify_tolerance(Precision::Fp16),
+                "{}: diff {diff}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn layout_clamps_on_tiny_grids() {
+        let k = StencilKernel::box2d49p();
+        let gpu = GpuConfig::a100();
+        // 8×8 grid: valid region is 2×2 — fixed (4,1) must clamp.
+        let s = TcStencilLike.model(&k, [1, 8, 8], 1, Precision::Fp16, &gpu);
+        assert!(s.is_some());
+    }
+}

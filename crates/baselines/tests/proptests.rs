@@ -1,0 +1,74 @@
+//! Property tests for the baseline performance models: sane scaling in
+//! problem size and iteration count, and functional agreement with the
+//! reference under random kernels.
+
+use proptest::prelude::*;
+use sparstencil::grid::Grid;
+use sparstencil::reference;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_baselines::all_baselines;
+use sparstencil_mat::half::Precision;
+use sparstencil_tcu::GpuConfig;
+
+fn random_small_kernel() -> impl Strategy<Value = StencilKernel> {
+    (1usize..=2, 1i32..=7).prop_map(|(radius, seed)| {
+        let e = 2 * radius + 1;
+        let mut w = vec![0.0f64; e * e];
+        let mut s = seed as u64;
+        for v in w.iter_mut() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            *v = ((s % 9) as f64 - 4.0) / 8.0;
+        }
+        w[(e / 2) * e + e / 2] = 0.5; // ensure a nonzero center
+        StencilKernel::new("rand", 2, [1, e, e], w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn modelled_time_grows_with_problem_size(kernel in random_small_kernel()) {
+        let gpu = GpuConfig::a100();
+        for b in all_baselines() {
+            let small = b.model(&kernel, [1, 518, 518], 10, Precision::Fp16, &gpu).unwrap();
+            let large = b.model(&kernel, [1, 2054, 2054], 10, Precision::Fp16, &gpu).unwrap();
+            prop_assert!(
+                large.total_seconds > small.total_seconds,
+                "{}: time must grow with size", b.name()
+            );
+            // ~16× the points should cost between 2× and 64× the time.
+            let ratio = large.total_seconds / small.total_seconds;
+            prop_assert!((2.0..64.0).contains(&ratio), "{}: ratio {ratio}", b.name());
+        }
+    }
+
+    #[test]
+    fn modelled_time_linear_in_iterations(kernel in random_small_kernel()) {
+        let gpu = GpuConfig::a100();
+        for b in all_baselines() {
+            let one = b.model(&kernel, [1, 1030, 1030], 1, Precision::Fp16, &gpu).unwrap();
+            let ten = b.model(&kernel, [1, 1030, 1030], 10, Precision::Fp16, &gpu).unwrap();
+            let ratio = ten.total_seconds / one.total_seconds;
+            prop_assert!((9.5..10.5).contains(&ratio), "{}: iter scaling {ratio}", b.name());
+        }
+    }
+
+    #[test]
+    fn execute_matches_reference(kernel in random_small_kernel()) {
+        let shape = [1, 28, 30];
+        let input = Grid::<f32>::smooth_random(2, shape);
+        let mut ref_in = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| input.get(z, y, x) as f64);
+        ref_in.quantize(Precision::Fp16);
+        let want = reference::apply(&kernel, &ref_in);
+        let mass: f64 = kernel.weights().iter().map(|w| w.abs()).sum::<f64>().max(1.0);
+        for b in all_baselines() {
+            let got = b.execute(&kernel, &input, 1);
+            let got64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| got.get(z, y, x) as f64);
+            let diff = got64.max_rel_diff_interior(&want, &kernel);
+            prop_assert!(diff <= 0.1 * mass, "{}: diff {diff} mass {mass}", b.name());
+        }
+    }
+}

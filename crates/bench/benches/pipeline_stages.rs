@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the compilation pipeline stages:
+//! flattening, crush, conflict-graph matching (Algorithm 1 vs Blossom),
+//! 2:4 compression, and full compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparstencil::convert::{convert, Strategy};
+use sparstencil::crush::{build_a_prime, CrushPlan};
+use sparstencil::flatten::flatten_2d;
+use sparstencil::grid::Grid;
+use sparstencil::plan::{compile, Options};
+use sparstencil::stencil::StencilKernel;
+use sparstencil_mat::TwoFourMatrix;
+use std::hint::black_box;
+
+fn bench_flatten(c: &mut Criterion) {
+    let kernel = StencilKernel::box2d9p();
+    let grid = Grid::<f64>::smooth_random(2, [1, 66, 66]);
+    c.bench_function("flatten/box2d9p/64x64", |b| {
+        b.iter(|| flatten_2d(black_box(&kernel), black_box(&grid)))
+    });
+}
+
+fn bench_crush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crush_a_prime");
+    for (r1, r2) in [(4, 4), (8, 8)] {
+        for kernel in [StencilKernel::box2d9p(), StencilKernel::box2d49p()] {
+            let [_, ey, ex] = kernel.extent();
+            let plan = CrushPlan::new(ey, ex, r1, r2);
+            let slice = kernel.slice2d(0);
+            g.bench_with_input(
+                BenchmarkId::new(kernel.name().to_string(), format!("r{r1}x{r2}")),
+                &plan,
+                |b, plan| b.iter(|| build_a_prime(black_box(&slice), black_box(plan))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparsity_conversion");
+    for kernel in [StencilKernel::box2d9p(), StencilKernel::box2d49p()] {
+        let [_, ey, ex] = kernel.extent();
+        let plan = CrushPlan::new(ey, ex, 4, 4);
+        let a = build_a_prime(&kernel.slice2d(0), &plan);
+        g.bench_with_input(
+            BenchmarkId::new("hierarchical", kernel.name().to_string()),
+            &a,
+            |b, a| b.iter(|| convert(black_box(a), &plan, Strategy::Hierarchical)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("blossom", kernel.name().to_string()),
+            &a,
+            |b, a| b.iter(|| convert(black_box(a), &plan, Strategy::Blossom)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let kernel = StencilKernel::box2d49p();
+    let [_, ey, ex] = kernel.extent();
+    let plan = CrushPlan::new(ey, ex, 4, 4);
+    let a = build_a_prime(&kernel.slice2d(0), &plan);
+    let conv = convert(&a, &plan, Strategy::Auto);
+    let permuted = conv.perm.apply_to_cols(&a);
+    let padded = permuted.pad_to(16, permuted.cols().div_ceil(32) * 32);
+    c.bench_function("two_four_compress/box2d49p", |b| {
+        b.iter(|| TwoFourMatrix::compress(black_box(&padded)).unwrap())
+    });
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_compile");
+    g.sample_size(20);
+    for kernel in [StencilKernel::box2d9p(), StencilKernel::box2d49p()] {
+        let opts = Options::default();
+        g.bench_function(kernel.name().to_string(), |b| {
+            b.iter(|| compile::<f32>(black_box(&kernel), [1, 262, 262], &opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flatten,
+    bench_crush,
+    bench_matching,
+    bench_compression,
+    bench_full_compile
+);
+criterion_main!(benches);

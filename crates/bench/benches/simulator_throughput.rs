@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks for the TCU simulator's functional hot
+//! paths: dense vs sparse fragment MMAs and one full executor step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sparstencil::exec;
+use sparstencil::grid::Grid;
+use sparstencil::plan::{compile, Options};
+use sparstencil::stencil::StencilKernel;
+use sparstencil_mat::{DenseMatrix, TwoFourMatrix};
+use sparstencil_tcu::{fragment::dense_fragment_mma, sparse::sparse_fragment_mma, FragmentShape};
+use std::hint::black_box;
+
+fn bench_fragment_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fragment_mma");
+
+    let dense_frag = FragmentShape::dense_fp16();
+    let a = DenseMatrix::from_fn(16, 16, |r, cc| ((r * 17 + cc * 3) % 7) as f32 - 3.0);
+    let b = DenseMatrix::from_fn(16, 8, |r, cc| ((r * 5 + cc) % 9) as f32 - 4.0);
+    g.throughput(Throughput::Elements(dense_frag.executed_flops()));
+    g.bench_function("dense_m16n8k16", |bench| {
+        let mut cacc = DenseMatrix::zeros(16, 8);
+        bench.iter(|| {
+            dense_fragment_mma(dense_frag, black_box(&a), black_box(&b), &mut cacc)
+        })
+    });
+
+    let sparse_frag = FragmentShape::sparse_fp16();
+    let a_wide = DenseMatrix::from_fn(16, 32, |r, cc| {
+        if cc % 4 < 2 {
+            ((r * 13 + cc * 7) % 11) as f32 - 5.0
+        } else {
+            0.0
+        }
+    });
+    let a24 = TwoFourMatrix::compress(&a_wide).unwrap();
+    let b_wide = DenseMatrix::from_fn(32, 8, |r, cc| ((r * 3 + cc * 5) % 7) as f32 - 3.0);
+    g.throughput(Throughput::Elements(sparse_frag.logical_flops()));
+    g.bench_function("sparse_m16n8k32", |bench| {
+        let mut cacc = DenseMatrix::zeros(16, 8);
+        bench.iter(|| {
+            sparse_fragment_mma(sparse_frag, black_box(&a24), black_box(&b_wide), &mut cacc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_executor_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_step");
+    g.sample_size(10);
+    for kernel in [StencilKernel::box2d9p(), StencilKernel::box2d49p()] {
+        let shape = [1, 262, 262];
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let grid = Grid::<f32>::smooth_random(2, shape);
+        let points = grid.valid_points(&kernel) as u64;
+        g.throughput(Throughput::Elements(points));
+        g.bench_function(kernel.name().to_string(), |bench| {
+            bench.iter(|| exec::run(black_box(&plan), black_box(&grid), 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fragment_ops, bench_executor_step);
+criterion_main!(benches);

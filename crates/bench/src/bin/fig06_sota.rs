@@ -1,0 +1,106 @@
+//! Figure 6 — SparStencil vs state-of-the-art, GStencil/s at FP16.
+//!
+//! Columns follow §4.3: cuDNN, AMOS, Brick, DRStencil, TCStencil,
+//! ConvStencil and SparStencil over the eight Table-2 kernels.
+//! Per §4.1, ConvStencil and SparStencil apply 3× temporal fusion on
+//! small kernels (GStencil/s counts all fused updates).
+//!
+//! `--full` evaluates the model at the paper's problem sizes; the default
+//! quick mode uses reduced grids.
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_baselines::all_baselines;
+use sparstencil_bench::{f1, sparstencil_stats, table2, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let gpu = GpuConfig::a100();
+    println!(
+        "== Figure 6: state-of-the-art comparison (FP16, GStencil/s, {scale:?} scale) ==\n"
+    );
+
+    let baselines = all_baselines();
+    let mut headers: Vec<&str> = vec!["kernel", "size"];
+    let names: Vec<&'static str> = baselines.iter().map(|b| b.name()).collect();
+    headers.extend(names.iter());
+    headers.push("SparStencil");
+    headers.push("vs best");
+    let mut t = Table::new(&headers);
+
+    let mut speedups_vs_conv = Vec::new();
+    let mut speedups_vs_cudnn = Vec::new();
+
+    for b in table2() {
+        let shape = scale.shape(&b);
+        let iters = scale.iters(&b);
+        let fusion = if b.fuse_small { 3 } else { 1 };
+
+        let mut cells = vec![
+            b.kernel.name().to_string(),
+            format!("{}x{}x{}", shape[0], shape[1], shape[2]),
+        ];
+        let mut best_baseline = 0.0f64;
+        let mut conv = 0.0f64;
+        let mut cudnn = 0.0f64;
+        for base in &baselines {
+            // ConvStencil gets the same fusion courtesy as SparStencil.
+            let (gst, label_fused) = if base.name() == "ConvStencil" && fusion > 1 {
+                let fused = b.kernel.temporal_fusion(fusion);
+                let s = base.model(&fused, shape, iters, Precision::Fp16, &gpu);
+                (s.map(|s| s.gstencil_per_sec * fusion as f64), true)
+            } else {
+                let s = base.model(&b.kernel, shape, iters, Precision::Fp16, &gpu);
+                (s.map(|s| s.gstencil_per_sec), false)
+            };
+            let _ = label_fused;
+            match gst {
+                Some(v) => {
+                    best_baseline = best_baseline.max(v);
+                    if base.name() == "ConvStencil" {
+                        conv = v;
+                    }
+                    if base.name() == "cuDNN" {
+                        cudnn = v;
+                    }
+                    cells.push(f1(v));
+                }
+                None => cells.push("-".into()),
+            }
+        }
+
+        let (stats, ff) = sparstencil_stats(
+            &b.kernel,
+            shape,
+            iters,
+            fusion,
+            ExecMode::SparseTcu,
+            OptFlags::default(),
+            Precision::Fp16,
+            &gpu,
+        );
+        let spar = stats.gstencil_per_sec * ff;
+        cells.push(f1(spar));
+        cells.push(format!("{:.2}x", spar / best_baseline));
+        t.row(cells);
+
+        if conv > 0.0 {
+            speedups_vs_conv.push(spar / conv);
+        }
+        if cudnn > 0.0 {
+            speedups_vs_cudnn.push(spar / cudnn);
+        }
+    }
+
+    t.print();
+    println!(
+        "\n  geomean speedup vs ConvStencil: {:.2}x   (paper: avg 3.1x across Fig. 10, ≤1.39x on 7x7 kernels)",
+        sparstencil_bench::geomean(&speedups_vs_conv)
+    );
+    println!(
+        "  geomean speedup vs cuDNN:       {:.2}x   (paper: 2.89x–60.35x)",
+        sparstencil_bench::geomean(&speedups_vs_cudnn)
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 7 — performance breakdown on Box-2D49P across problem sizes.
+//!
+//! Incremental stages (§4.4):
+//!   1. CUDA baseline (scalar cores)
+//!   2. + Layout Morphing on **dense** TCUs            (paper: ~1.58×)
+//!   3. + PIT on **sparse** TCUs                        (paper: ~1.22×;
+//!      <1× at small sizes where PIT's memory overhead outweighs it)
+//!   4. + further optimizations (LUT + double buffering) (paper: ~1.24×)
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_baselines::{cuda_cores::NaiveCuda, Baseline};
+use sparstencil_bench::{f1, f2, sparstencil_stats, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let gpu = GpuConfig::a100();
+    let kernel = StencilKernel::box2d49p();
+    println!("== Figure 7: performance breakdown, Box-2D49P (FP16, GStencil/s) ==\n");
+
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[256, 768, 1536, 2560],
+        Scale::Full => &[256, 768, 2560, 5120, 10240],
+    };
+    let iters = 100;
+    let raw = OptFlags {
+        lut: false,
+        double_buffer: false,
+    };
+
+    let mut t = Table::new(&[
+        "size",
+        "CUDA",
+        "+Morphing(dense)",
+        "+PIT(sparse)",
+        "+Opts(LUT+DB)",
+        "morph x",
+        "pit x",
+        "opts x",
+    ]);
+
+    for &n in sizes {
+        let shape = [1, n + 6, n + 6]; // 7×7 kernel → n×n valid outputs
+        let cuda = NaiveCuda
+            .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+            .unwrap()
+            .gstencil_per_sec;
+        let (dense, _) = sparstencil_stats(
+            &kernel, shape, iters, 1, ExecMode::DenseTcu, raw, Precision::Fp16, &gpu,
+        );
+        let (sparse, _) = sparstencil_stats(
+            &kernel, shape, iters, 1, ExecMode::SparseTcu, raw, Precision::Fp16, &gpu,
+        );
+        let (opt, _) = sparstencil_stats(
+            &kernel,
+            shape,
+            iters,
+            1,
+            ExecMode::SparseTcu,
+            OptFlags::default(),
+            Precision::Fp16,
+            &gpu,
+        );
+        let (d, s, o) = (
+            dense.gstencil_per_sec,
+            sparse.gstencil_per_sec,
+            opt.gstencil_per_sec,
+        );
+        t.row(vec![
+            n.to_string(),
+            f1(cuda),
+            f1(d),
+            f1(s),
+            f1(o),
+            f2(d / cuda),
+            f2(s / d),
+            f2(o / s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  paper stage gains at 10240: morphing 1.58x, PIT 1.22x (0.79x/0.90x at 256/768), opts 1.24x"
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 8 — preprocessing overhead across stencils.
+//!
+//! Shares of total runtime spent in Transformation (TS), Metadata (MD)
+//! and Lookup Table (LUT) preprocessing as iteration counts grow. Host
+//! times are measured (wall clock) during compilation; kernel time comes
+//! from the model. The paper observes: overall overhead is minimal and
+//! quickly amortized; 1D5P's LUT share briefly peaks (~30%) then decays;
+//! higher-dimensional stencils stay low throughout.
+
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil_bench::{compile_shape_for, f1, table2, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Figure 8: preprocessing overhead (% of total runtime) ==\n");
+    let iteration_counts = [1usize, 5, 10, 50, 100, 500, 1000];
+
+    for b in table2() {
+        let shape = scale.shape(&b);
+        let compile_shape = compile_shape_for(&b.kernel, shape);
+        let exec = Executor::<f32>::new(&b.kernel, compile_shape, &Options::default())
+            .expect("compile");
+        let profile = exec.overhead_profile(&iteration_counts);
+
+        println!("-- {} --", b.kernel.name());
+        let mut t = Table::new(&["iterations", "TS %", "MD %", "LUT %", "total %"]);
+        for p in &profile {
+            t.row(vec![
+                p.iters.to_string(),
+                f1(p.transform_pct),
+                f1(p.metadata_pct),
+                f1(p.lut_pct),
+                f1(p.transform_pct + p.metadata_pct + p.lut_pct),
+            ]);
+        }
+        t.print();
+        let first = &profile[0];
+        let last = profile.last().unwrap();
+        let tot =
+            |p: &sparstencil::pipeline::OverheadPoint| p.transform_pct + p.metadata_pct + p.lut_pct;
+        println!(
+            "   amortization: {:.1}% at 1 iter -> {:.3}% at {} iters\n",
+            tot(first),
+            tot(last),
+            last.iters
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 9 — adaptivity and sparsity across configurations.
+//!
+//! Top half: throughput and residual (stored-operand) sparsity across
+//! stencil sizes `k ∈ {3,5,7,9}` on two sparse fragment geometries,
+//! against a dense-TCU baseline at the same layout (§4.5: "up to 4.1×
+//! speedup ... maintaining sparsity below 60%"; temporal fusion is
+//! disabled here, as in the paper).
+//!
+//! Bottom half (`-- --heatmap`): GStencil/s and compute density over the
+//! `(r1, r2)` layout space for Box-2D9P and Box-2D49P.
+
+use sparstencil::layout::{self, ExecMode};
+use sparstencil::prelude::*;
+use sparstencil_bench::{f1, f2, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let heatmap = std::env::args().any(|a| a == "--heatmap");
+    let gpu = GpuConfig::a100();
+    let n = match scale {
+        Scale::Quick => 1024,
+        Scale::Full => 10240,
+    };
+
+    println!("== Figure 9 (top): throughput & sparsity across stencil sizes ==\n");
+    let frags = [
+        ("m16n8k32.sp", FragmentShape::sparse_fp16()),
+        ("m16n16k16.sp", FragmentShape::sparse_m16n16k16()),
+    ];
+    for (label, frag) in frags {
+        println!("-- fragment {label} --");
+        let mut t = Table::new(&[
+            "kernel",
+            "sparse GSt/s",
+            "dense GSt/s",
+            "speedup",
+            "stored sparsity %",
+        ]);
+        for radius in 1..=4usize {
+            let kernel = StencilKernel::box2d(radius);
+            let e = 2 * radius + 1;
+            let shape = [1, n + e - 1, n + e - 1];
+            let opts_sparse = sparstencil::plan::Options {
+                frag: Some(frag),
+                gpu: gpu.clone(),
+                ..Default::default()
+            };
+            let compile_shape = sparstencil_bench::compile_shape_for(&kernel, shape);
+            let exec =
+                sparstencil::pipeline::Executor::<f32>::new(&kernel, compile_shape, &opts_sparse)
+                    .expect("compile");
+            let sparse = exec.run_modelled(shape, 100);
+            let layout = (exec.plan().plan.r1, exec.plan().plan.r2);
+            // Dense baseline at the same layout.
+            let opts_dense = sparstencil::plan::Options {
+                mode: ExecMode::DenseTcu,
+                layout: Some(layout),
+                gpu: gpu.clone(),
+                ..Default::default()
+            };
+            let dense_exec =
+                sparstencil::pipeline::Executor::<f32>::new(&kernel, compile_shape, &opts_dense)
+                    .expect("compile dense");
+            let dense = dense_exec.run_modelled(shape, 100);
+            let eval = layout::evaluate(
+                &kernel,
+                shape,
+                layout.0,
+                layout.1,
+                frag,
+                ExecMode::SparseTcu,
+                Precision::Fp16,
+                &gpu,
+            );
+            t.row(vec![
+                format!("Box-2D k={e} ({}P)", kernel.points()),
+                f1(sparse.gstencil_per_sec),
+                f1(dense.gstencil_per_sec),
+                format!("{:.2}x", sparse.gstencil_per_sec / dense.gstencil_per_sec),
+                f1(eval.stored_sparsity * 100.0),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    if heatmap {
+        println!("== Figure 9 (bottom): (r1, r2) heatmaps ==");
+        for kernel in [StencilKernel::box2d9p(), StencilKernel::box2d49p()] {
+            let e = kernel.extent()[2];
+            let shape = [1, n + e - 1, n + e - 1];
+            println!("\n-- {}: GStencil/s (rows r2, cols r1) --", kernel.name());
+            print_heatmap(&kernel, shape, &gpu, |ev| {
+                let useful = 1e-9 / ev.t_total; // relative scale per point
+                useful * (shape[1] - e + 1) as f64 * (shape[2] - e + 1) as f64
+            });
+            println!("\n-- {}: compute density (useful/executed FLOPs) --", kernel.name());
+            print_heatmap(&kernel, shape, &gpu, |ev| ev.compute_density * 100.0);
+        }
+    } else {
+        println!("(run with `-- --heatmap` for the Figure 9 bottom-half layout heatmaps)");
+    }
+}
+
+fn print_heatmap(
+    kernel: &StencilKernel,
+    shape: [usize; 3],
+    gpu: &GpuConfig,
+    metric: impl Fn(&layout::ModelEval) -> f64,
+) {
+    let rs = [1usize, 2, 3, 4, 6, 8, 12, 16];
+    print!("{:>6}", "r2\\r1");
+    for r1 in rs {
+        print!("{r1:>9}");
+    }
+    println!();
+    let mut best = (0.0f64, (0, 0));
+    for r2 in rs {
+        print!("{r2:>6}");
+        for r1 in rs {
+            if r1 * r2 > 32 {
+                print!("{:>9}", "-");
+                continue;
+            }
+            let ev = layout::evaluate(
+                kernel,
+                shape,
+                r1,
+                r2,
+                FragmentShape::sparse_fp16(),
+                ExecMode::SparseTcu,
+                Precision::Fp16,
+                gpu,
+            );
+            let v = metric(&ev);
+            if v > best.0 {
+                best = (v, (r1, r2));
+            }
+            print!("{:>9}", f2(v));
+        }
+        println!();
+    }
+    println!("  best: {:.2} at (r1, r2) = {:?}", best.0, best.1);
+}

@@ -1,0 +1,131 @@
+//! Figure 10 — 79 real-world kernels across 9 domains.
+//!
+//! Top: end-to-end throughput (GStencil/s) of SparStencil vs cuDNN vs
+//! ConvStencil; bottom: compute intensity (useful FLOPs per DRAM byte).
+//! The paper reports up to 156.7 GStencil/s, 6.3× over cuDNN and 3.1×
+//! over ConvStencil on average, and 17.92× / 4.46× compute-density gains.
+//! No temporal fusion here (as in §4.5's adaptivity protocol).
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_baselines::{gemm_libs::CudnnLike, tcu_pipelines::ConvStencilLike, Baseline};
+use sparstencil_bench::{f1, f2, geomean, sparstencil_stats, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+use sparstencil_zoo::{all, Domain};
+
+fn shape_for(kernel: &StencilKernel, scale: Scale) -> [usize; 3] {
+    let e = kernel.extent();
+    let n = match (kernel.dims(), scale) {
+        (1, Scale::Quick) => 262_144,
+        (1, Scale::Full) => 10_240_000,
+        (2, Scale::Quick) => 1024,
+        (2, Scale::Full) => 10_240,
+        (_, Scale::Quick) => 128,
+        (_, Scale::Full) => 512,
+    };
+    match kernel.dims() {
+        1 => [1, 1, n + e[2] - 1],
+        2 => [1, n + e[1] - 1, n + e[2] - 1],
+        _ => [n + e[0] - 1, n + e[1] - 1, n + e[2] - 1],
+    }
+}
+
+/// Arithmetic intensity over *operand traffic* (L2-level bytes): useful
+/// FLOPs per byte the mapping actually moves. This is the quantity the
+/// layout transformation improves — DRAM bytes alone would hide cuDNN's
+/// im2col expansion behind L2 hits.
+fn intensity(stats: &sparstencil::exec::RunStats, kernel: &StencilKernel) -> f64 {
+    let useful =
+        stats.points_per_iter as f64 * kernel.points() as f64 * 2.0 * stats.iters as f64;
+    useful / stats.counters.global_bytes().max(1) as f64
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let gpu = GpuConfig::a100();
+    let iters = 100;
+    println!("== Figure 10: 79 kernels / 9 domains (FP16, GStencil/s and FLOP/DRAM-byte) ==\n");
+
+    let mut t = Table::new(&[
+        "domain", "kernel", "pts", "Spar", "cuDNN", "ConvSt", "x cuDNN", "x ConvSt", "AI Spar",
+        "AI cuDNN",
+    ]);
+    let mut vs_cudnn = Vec::new();
+    let mut vs_conv = Vec::new();
+    let mut ai_ratio_cudnn = Vec::new();
+    let mut peak: (f64, String) = (0.0, String::new());
+    let mut per_domain: std::collections::BTreeMap<Domain, Vec<f64>> = Default::default();
+
+    for entry in all() {
+        let kernel = entry.kernel();
+        let shape = shape_for(&kernel, scale);
+        let (spar, _) = sparstencil_stats(
+            &kernel,
+            shape,
+            iters,
+            1,
+            ExecMode::SparseTcu,
+            OptFlags::default(),
+            Precision::Fp16,
+            &gpu,
+        );
+        let cudnn = CudnnLike
+            .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+            .expect("cudnn model");
+        let conv = ConvStencilLike
+            .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+            .expect("convstencil model");
+
+        let (s, c, v) = (
+            spar.gstencil_per_sec,
+            cudnn.gstencil_per_sec,
+            conv.gstencil_per_sec,
+        );
+        vs_cudnn.push(s / c);
+        vs_conv.push(s / v);
+        let ai_s = intensity(&spar, &kernel);
+        let ai_c = intensity(&cudnn, &kernel);
+        ai_ratio_cudnn.push(ai_s / ai_c);
+        if s > peak.0 {
+            peak = (s, entry.name.to_string());
+        }
+        per_domain.entry(entry.domain).or_default().push(s / v);
+
+        t.row(vec![
+            entry.domain.name().into(),
+            entry.name.into(),
+            kernel.points().to_string(),
+            f1(s),
+            f1(c),
+            f1(v),
+            f2(s / c),
+            f2(s / v),
+            f1(ai_s),
+            f1(ai_c),
+        ]);
+    }
+    t.print();
+
+    println!("\n== summary ==");
+    println!(
+        "  peak SparStencil throughput: {:.1} GStencil/s ({})   (paper: 156.7)",
+        peak.0, peak.1
+    );
+    println!(
+        "  geomean speedup vs cuDNN:       {:.2}x   (paper avg: 6.3x)",
+        geomean(&vs_cudnn)
+    );
+    println!(
+        "  geomean speedup vs ConvStencil: {:.2}x   (paper avg: 3.1x)",
+        geomean(&vs_conv)
+    );
+    println!(
+        "  geomean compute-intensity gain vs cuDNN: {:.2}x   (paper: 17.92x)",
+        geomean(&ai_ratio_cudnn)
+    );
+    println!("\n  per-domain geomean speedup vs ConvStencil:");
+    for (d, v) in per_domain {
+        println!("    {:<8} {:.2}x  ({} kernels)", d.name(), geomean(&v), v.len());
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 11 — hardware utilization comparison.
+//!
+//! Six metrics for SparStencil, ConvStencil and cuDNN on a Box-2D49P
+//! workload. Paper values: SparStencil SM 74.5% / occupancy 96.9% /
+//! L1 64.5% / memory 64.1% / DRAM 17.5% / L2 52.6%; ConvStencil SM 18.3%,
+//! occupancy 61.3%; cuDNN SM 59.4%, occupancy 88.5%, DRAM 43.5%,
+//! L2 61.6%. The signature SparStencil shape — high SM utilization and
+//! occupancy, high L1 reuse, *low* DRAM dependence — must reproduce.
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_baselines::{gemm_libs::CudnnLike, tcu_pipelines::ConvStencilLike, Baseline};
+use sparstencil_bench::{f1, sparstencil_stats, Scale, Table};
+use sparstencil_tcu::{GpuConfig, UtilizationReport};
+
+fn main() {
+    let scale = Scale::from_args();
+    let gpu = GpuConfig::a100();
+    let kernel = StencilKernel::box2d49p();
+    let n = match scale {
+        Scale::Quick => 2048,
+        Scale::Full => 10240,
+    };
+    let shape = [1, n + 6, n + 6];
+    let iters = 100;
+
+    println!("== Figure 11: hardware utilization (Box-2D49P, FP16, %) ==\n");
+
+    let (spar, _) = sparstencil_stats(
+        &kernel,
+        shape,
+        iters,
+        1,
+        ExecMode::SparseTcu,
+        OptFlags::default(),
+        Precision::Fp16,
+        &gpu,
+    );
+    let conv = ConvStencilLike
+        .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+        .unwrap();
+    let cudnn = CudnnLike
+        .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+        .unwrap();
+
+    let mut t = Table::new(&[
+        "metric",
+        "SparStencil",
+        "ConvStencil",
+        "cuDNN",
+        "paper Spar",
+    ]);
+    let rows: [(&str, fn(&UtilizationReport) -> f64, &str); 6] = [
+        ("SM utilization", |u| u.sm_utilization, "74.5"),
+        ("occupancy", |u| u.occupancy, "96.9"),
+        ("L1/TEX throughput", |u| u.l1_throughput, "64.5"),
+        ("memory throughput", |u| u.mem_throughput, "64.1"),
+        ("DRAM throughput", |u| u.dram_throughput, "17.5"),
+        ("L2 throughput", |u| u.l2_throughput, "52.6"),
+    ];
+    for (name, get, paper) in rows {
+        t.row(vec![
+            name.into(),
+            f1(get(&spar.utilization) * 100.0),
+            f1(get(&conv.utilization) * 100.0),
+            f1(get(&cudnn.utilization) * 100.0),
+            paper.into(),
+        ]);
+    }
+    // Absolute traffic rows: the §4.6 claim "reducing dependence on L2 and
+    // minimizing global memory pressure" is about bytes moved, which the
+    // percentage view obscures when runtimes differ.
+    let per_point = |bytes: u64, s: &sparstencil::exec::RunStats| {
+        bytes as f64 / (s.points_per_iter * s.iters as u64) as f64
+    };
+    t.row(vec![
+        "DRAM B/point".into(),
+        f1(per_point(spar.counters.dram_bytes(), &spar)),
+        f1(per_point(conv.counters.dram_bytes(), &conv)),
+        f1(per_point(cudnn.counters.dram_bytes(), &cudnn)),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "L2 B/point".into(),
+        f1(per_point(spar.counters.global_bytes(), &spar)),
+        f1(per_point(conv.counters.global_bytes(), &conv)),
+        f1(per_point(cudnn.counters.global_bytes(), &cudnn)),
+        "-".into(),
+    ]);
+    t.print();
+
+    println!("\n  expected shape: SparStencil moves the fewest L2/DRAM bytes per point");
+    println!("  (layout-aware access promotes L1/shared reuse, §4.6). Percentage");
+    println!("  metrics follow our model's definitions (pipe-busy fractions over");
+    println!("  modelled time), which differ from Nsight's counter definitions;");
+    println!("  see EXPERIMENTS.md for the mapping.");
+}

@@ -1,0 +1,84 @@
+//! §4.7 future-work projection — FP64 sparse tensor cores.
+//!
+//! The paper closes its FP64 study with: "Future sparse TCUs with FP64
+//! support will further amplify SparStencil's benefits, as our
+//! sparse-aware optimization framework is inherently aligned with
+//! next-generation hardware trends." This experiment quantifies that
+//! claim on a projected Hopper-successor
+//! ([`GpuConfig::future_fp64_sparse`]): same SparStencil pipeline, FP64
+//! operands, dense vs (hypothetical) 2:4-sparse fragments, on today's
+//! A100 and on the projected part.
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_bench::{f1, f2, sparstencil_stats, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = match scale {
+        Scale::Quick => 2048,
+        Scale::Full => 10240,
+    };
+    let iters = 100;
+    println!("== Projection (§4.7): FP64 sparse tensor cores (GFlops/s) ==\n");
+
+    let a100 = GpuConfig::a100();
+    let future = GpuConfig::future_fp64_sparse();
+    assert!(!a100.supports_sparse(Precision::Fp64));
+    assert!(future.supports_sparse(Precision::Fp64));
+
+    let kernels = [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d9p(),
+        StencilKernel::star2d13p(),
+        StencilKernel::box2d49p(),
+    ];
+
+    let mut t = Table::new(&[
+        "kernel",
+        "A100 dense",
+        "future dense",
+        "future sparse",
+        "sparse gain",
+        "total gain",
+    ]);
+    for k in &kernels {
+        let e = k.extent()[2];
+        let shape = [1, n + e - 1, n + e - 1];
+        let run = |mode: ExecMode, gpu: &GpuConfig| {
+            sparstencil_stats(
+                k,
+                shape,
+                iters,
+                1,
+                mode,
+                OptFlags::default(),
+                Precision::Fp64,
+                gpu,
+            )
+            .0
+            .gflops_per_sec
+        };
+        let a100_dense = run(ExecMode::DenseTcu, &a100);
+        let fut_dense = run(ExecMode::DenseTcu, &future);
+        let fut_sparse = run(ExecMode::SparseTcu, &future);
+        t.row(vec![
+            k.name().to_string(),
+            f1(a100_dense),
+            f1(fut_dense),
+            f1(fut_sparse),
+            f2(fut_sparse / fut_dense),
+            f2(fut_sparse / a100_dense),
+        ]);
+    }
+    t.print();
+
+    println!("\n  `sparse gain` isolates the hypothetical FP64 2:4 capability on the");
+    println!("  same projected chip; `total gain` combines it with generational");
+    println!("  throughput/bandwidth scaling. A gain > 1 on compute-bound kernels");
+    println!("  (large boxes) substantiates the paper's §4.7 claim; memory-bound");
+    println!("  kernels (3x3 at FP64) stay bandwidth-limited — sparsity cannot");
+    println!("  manufacture DRAM bytes.");
+}

@@ -1,0 +1,84 @@
+//! Table 3 — FP64 precision on dense tensor cores (GFlops/s).
+//!
+//! Sparse TCUs lack FP64 support (§4.7), so SparStencil falls back to its
+//! dense-TCU path — still ahead of the baselines thanks to adaptive
+//! layout morphing and search. Paper rows (GFlops/s):
+//!
+//! | method | Heat-2D | Box-2D9P | Star-2D13P | Box-2D49P |
+//! |---|---|---|---|---|
+//! | AMOS | 10.16 | 10.23 | 10.51 | 10.59 |
+//! | cuDNN | 64.33 | 64.57 | 17.05 | 17.15 |
+//! | DRStencil | 55.46 | 57.63 | 50.16 | 20.28 |
+//! | ConvStencil | 65.83 | 62.76 | 64.37 | 63.93 |
+//! | SparStencil | 72.49 | 73.25 | 71.34 | 67.28 |
+
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::OptFlags;
+use sparstencil::prelude::*;
+use sparstencil_baselines::all_baselines;
+use sparstencil_bench::{f1, sparstencil_stats, Scale, Table};
+use sparstencil_tcu::GpuConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let gpu = GpuConfig::a100();
+    let n = match scale {
+        Scale::Quick => 2048,
+        Scale::Full => 10240,
+    };
+    let iters = 100;
+    println!("== Table 3: FP64 on dense TCUs (GFlops/s) ==\n");
+
+    let kernels = [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d9p(),
+        StencilKernel::star2d13p(),
+        StencilKernel::box2d49p(),
+    ];
+
+    let mut headers = vec!["method".to_string()];
+    headers.extend(kernels.iter().map(|k| k.name().to_string()));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr_refs);
+
+    for base in all_baselines() {
+        let mut cells = vec![base.name().to_string()];
+        let mut any = false;
+        for k in &kernels {
+            let e = k.extent()[2];
+            let shape = [1, n + e - 1, n + e - 1];
+            match base.model(k, shape, iters, Precision::Fp64, &gpu) {
+                Some(s) => {
+                    cells.push(f1(s.gflops_per_sec));
+                    any = true;
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        if any {
+            t.row(cells);
+        }
+    }
+
+    let mut cells = vec!["SparStencil".to_string()];
+    for k in &kernels {
+        let e = k.extent()[2];
+        let shape = [1, n + e - 1, n + e - 1];
+        let (s, _) = sparstencil_stats(
+            k,
+            shape,
+            iters,
+            1,
+            ExecMode::DenseTcu,
+            OptFlags::default(),
+            Precision::Fp64,
+            &gpu,
+        );
+        cells.push(f1(s.gflops_per_sec));
+    }
+    t.row(cells);
+    t.print();
+
+    println!("\n  expected shape: SparStencil ≥ ConvStencil > DRStencil, cuDNN collapses");
+    println!("  on 7x7 kernels, AMOS lowest throughout (paper speedups 1.11x–7.13x).");
+}

@@ -1,0 +1,271 @@
+//! # sparstencil-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§4); see
+//! `DESIGN.md` for the experiment index. Every binary supports
+//! `--quick` (CI-scale functional verification + modelled numbers at
+//! reduced sizes) and `--full` (analytic model evaluated at the paper's
+//! Table-2 problem sizes). This library holds the shared pieces: the
+//! Table-2 benchmark list, scale selection, SparStencil invocation
+//! wrappers, and fixed-width table printing.
+
+#![warn(missing_docs)]
+
+use sparstencil::exec::RunStats;
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::{OptFlags, Options};
+use sparstencil::prelude::*;
+use sparstencil_tcu::GpuConfig;
+
+/// One Table-2 benchmark row.
+pub struct Benchmark {
+    /// Kernel under test.
+    pub kernel: StencilKernel,
+    /// The paper's problem size `[nz, ny, nx]`.
+    pub full_shape: [usize; 3],
+    /// The paper's iteration count.
+    pub full_iters: usize,
+    /// Reduced shape for functional verification / quick runs.
+    pub quick_shape: [usize; 3],
+    /// Whether §4.1's 3× temporal fusion applies ("small kernels").
+    pub fuse_small: bool,
+}
+
+/// The eight Table-2 benchmarks.
+pub fn table2() -> Vec<Benchmark> {
+    let b = |kernel: StencilKernel,
+             full_shape: [usize; 3],
+             full_iters: usize,
+             quick_shape: [usize; 3],
+             fuse_small: bool| Benchmark {
+        kernel,
+        full_shape,
+        full_iters,
+        quick_shape,
+        fuse_small,
+    };
+    vec![
+        b(StencilKernel::heat1d(), [1, 1, 10_240_000], 10_000, [1, 1, 4096], true),
+        b(StencilKernel::onedim5p(), [1, 1, 10_240_000], 10_000, [1, 1, 4096], true),
+        b(StencilKernel::heat2d(), [1, 10_240, 10_240], 10_240, [1, 258, 258], true),
+        b(StencilKernel::box2d9p(), [1, 10_240, 10_240], 10_240, [1, 258, 258], true),
+        b(StencilKernel::star2d13p(), [1, 10_246, 10_246], 10_240, [1, 262, 262], false),
+        b(StencilKernel::box2d49p(), [1, 10_246, 10_246], 10_240, [1, 262, 262], false),
+        // 3D kernels are not fused: folding three steps cubes the stacked
+        // operand depth (k'' grows ~e³), which costs more than the three
+        // memory passes it saves — the layout cost model agrees.
+        b(StencilKernel::heat3d(), [1024, 1024, 1024], 1024, [34, 66, 66], false),
+        b(StencilKernel::box3d27p(), [1024, 1024, 1024], 1024, [34, 66, 66], false),
+    ]
+}
+
+/// Run scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes; functional execution feasible.
+    Quick,
+    /// Paper problem sizes; analytic model only.
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv: `--full` selects full scale, default quick.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Shape for a benchmark at this scale.
+    pub fn shape(self, b: &Benchmark) -> [usize; 3] {
+        match self {
+            Scale::Quick => b.quick_shape,
+            Scale::Full => b.full_shape,
+        }
+    }
+
+    /// Modelled iterations at this scale (enough to amortize launches).
+    pub fn iters(self, b: &Benchmark) -> usize {
+        match self {
+            Scale::Quick => 50,
+            Scale::Full => b.full_iters.min(1000),
+        }
+    }
+}
+
+/// SparStencil invocation wrapper: compile at a compile-time shape (small
+/// enough to build quickly) and model at the evaluation shape. Returns
+/// `(stats, fusion_factor)` — GStencil/s must be multiplied by the fusion
+/// factor because one fused application advances `fusion` time steps.
+pub fn sparstencil_stats(
+    kernel: &StencilKernel,
+    eval_shape: [usize; 3],
+    iters: usize,
+    fusion: usize,
+    mode: ExecMode,
+    flags: OptFlags,
+    precision: Precision,
+    gpu: &GpuConfig,
+) -> (RunStats, f64) {
+    let run_kernel = if fusion > 1 {
+        kernel.temporal_fusion(fusion)
+    } else {
+        kernel.clone()
+    };
+    let opts = Options {
+        precision,
+        mode,
+        flags,
+        gpu: gpu.clone(),
+        ..Options::default()
+    };
+    // Compile against a shape big enough for the layout explorer to see
+    // realistic tiling but small enough to build instantly.
+    let compile_shape = compile_shape_for(&run_kernel, eval_shape);
+    let stats = match precision {
+        Precision::Fp64 => {
+            let exec = Executor::<f64>::new(&run_kernel, compile_shape, &opts)
+                .expect("compile must succeed");
+            exec.run_modelled(eval_shape, iters)
+        }
+        _ => {
+            let exec = Executor::<f32>::new(&run_kernel, compile_shape, &opts)
+                .expect("compile must succeed");
+            exec.run_modelled(eval_shape, iters)
+        }
+    };
+    (stats, fusion as f64)
+}
+
+/// A compile shape that preserves the kernel's validity on tiny axes.
+pub fn compile_shape_for(kernel: &StencilKernel, eval_shape: [usize; 3]) -> [usize; 3] {
+    let e = kernel.extent();
+    [
+        eval_shape[0].min(e[0] + 31).max(e[0]),
+        eval_shape[1].min(e[1] + 255).max(e[1]),
+        eval_shape[2].min(e[2] + 255).max(e[2]),
+    ]
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column widths.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Format a float to 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float to 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        let t = table2();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].kernel.points(), 3);
+        assert_eq!(t[5].kernel.points(), 49);
+        assert_eq!(t[6].full_shape, [1024, 1024, 1024]);
+        // Small kernels fused, 7×7 kernels not.
+        assert!(t[2].fuse_small);
+        assert!(!t[5].fuse_small);
+    }
+
+    #[test]
+    fn geomean_known_value() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn sparstencil_stats_runs_quick() {
+        let b = &table2()[3]; // Box-2D9P
+        let (stats, fusion) = sparstencil_stats(
+            &b.kernel,
+            b.quick_shape,
+            10,
+            3,
+            ExecMode::SparseTcu,
+            OptFlags::default(),
+            Precision::Fp16,
+            &GpuConfig::a100(),
+        );
+        assert!(stats.gstencil_per_sec > 0.0);
+        assert_eq!(fusion, 3.0);
+    }
+
+    #[test]
+    fn compile_shape_never_smaller_than_kernel() {
+        let k = StencilKernel::box2d49p().temporal_fusion(3);
+        let s = compile_shape_for(&k, [1, 256, 256]);
+        let e = k.extent();
+        assert!(s[1] >= e[1] && s[2] >= e[2]);
+    }
+}

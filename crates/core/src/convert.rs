@@ -1,0 +1,281 @@
+//! Structured Sparsity Conversion (§3.2).
+//!
+//! Takes the staircase matrix `A'` from Duplicates Crush and produces a
+//! column permutation (a PIT, Equation 5) under which every aligned
+//! 4-column group of the permuted `A''` holds at most 2 nonzeros per row —
+//! the 2:4-compatible layout sparse tensor cores require.
+//!
+//! The pairing comes from either
+//!
+//! - **Hierarchical Two-Level Matching** (Algorithm 1) using the
+//!   staircase geometry `(n = k', g = gx, k = max(kx, ky))` — `O(k')`,
+//!   pad-optimal per subgraph (Theorem 2); or
+//! - the **Blossom** exact solver on the complement of the true conflict
+//!   graph — handles arbitrary patterns and is globally pad-minimal,
+//!   at `O(|E||V|²)` (fine for kernel-sized graphs, §3.2's fallback).
+//!
+//! `Auto` runs the hierarchical matcher and *validates* the result against
+//! the true conflict graph (cheap), falling back to Blossom if the input
+//! deviates from the staircase structure. Matched pairs are laid out two
+//! per 4-group — `[a₁ b₁ | a₂ b₂]` — so conflict-free pairs imply ≤2
+//! nonzeros per group in every row.
+
+use crate::crush::CrushPlan;
+use sparstencil_graph::conflict::conflict_graph;
+use sparstencil_graph::hierarchical::{hierarchical_matching, StaircaseSpec};
+use sparstencil_graph::matching::{min_padding_matching, PairList};
+use sparstencil_mat::{BitMask, DenseMatrix, Permutation, GROUP};
+
+/// Which matcher produced the conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Strategy {
+    /// Always use Algorithm 1 (requires staircase-shaped input).
+    Hierarchical,
+    /// Always use the Blossom exact solver on the true conflict graph.
+    Blossom,
+    /// Hierarchical with validation, Blossom fallback (the default).
+    Auto,
+}
+
+/// The result of Structured Sparsity Conversion.
+#[derive(Debug, Clone)]
+pub struct Conversion {
+    /// Destination order over the `k'` source columns (PIT). Length is a
+    /// multiple of 4; PAD entries are inserted zero columns.
+    pub perm: Permutation,
+    /// Number of inserted zero columns (before 4-group round-up).
+    pub pad_count: usize,
+    /// Matcher actually used ("hierarchical" or "blossom").
+    pub strategy_used: &'static str,
+}
+
+impl Conversion {
+    /// Logical column count after conversion (multiple of 4).
+    pub fn k_converted(&self) -> usize {
+        self.perm.len()
+    }
+}
+
+/// Convert the columns of a 2D kernel's `A'` (width `k'`).
+///
+/// ```
+/// use sparstencil::convert::{convert, violations_after, Strategy};
+/// use sparstencil::crush::{build_a_prime, CrushPlan};
+/// use sparstencil::stencil::StencilKernel;
+///
+/// let kernel = StencilKernel::box2d9p();
+/// let plan = CrushPlan::new(3, 3, 4, 4);
+/// let a = build_a_prime(&kernel.slice2d(0), &plan);
+/// let conv = convert(&a, &plan, Strategy::Auto);
+/// assert_eq!(violations_after(&a, &conv), 0); // 2:4-compatible
+/// assert_eq!(conv.strategy_used, "hierarchical");
+/// ```
+///
+/// # Panics
+/// Panics if `a_stack` has no columns, or with `Strategy::Hierarchical`
+/// when Algorithm 1's output is invalid for this matrix (non-staircase
+/// input).
+pub fn convert(a_stack: &DenseMatrix<f64>, plan: &CrushPlan, strategy: Strategy) -> Conversion {
+    convert_segments(a_stack, plan, 1, strategy)
+}
+
+/// Convert a (possibly z-folded) kernel matrix: `segments` horizontally
+/// concatenated `A'` blocks of width `k'` each (3D kernels fold their
+/// `ez` depth slices into one operand of width `ez·k'`). Cross-segment
+/// columns generally conflict in a non-staircase pattern, so `Auto`
+/// typically falls back to the Blossom exact matcher for `segments > 1`.
+pub fn convert_segments(
+    a_stack: &DenseMatrix<f64>,
+    plan: &CrushPlan,
+    segments: usize,
+    strategy: Strategy,
+) -> Conversion {
+    let n = a_stack.cols();
+    assert!(n > 0, "cannot convert an empty matrix");
+    assert_eq!(
+        n,
+        plan.k_prime() * segments,
+        "matrix width must equal segments × k'"
+    );
+
+    let conflicts = conflict_graph(a_stack);
+
+    let (pairs, used): (PairList, &'static str) = match strategy {
+        Strategy::Blossom => (min_padding_matching(&conflicts), "blossom"),
+        Strategy::Hierarchical | Strategy::Auto => {
+            let spec = StaircaseSpec {
+                n,
+                g: plan.gx,
+                k: plan.kx.max(plan.ky),
+            };
+            match hierarchical_matching(spec) {
+                Ok(pl) if pl.validate(&conflicts).is_ok() => (pl, "hierarchical"),
+                result => {
+                    if matches!(strategy, Strategy::Hierarchical) {
+                        match result {
+                            Ok(pl) => panic!(
+                                "hierarchical matching invalid for this matrix: {:?}",
+                                pl.validate(&conflicts).unwrap_err()
+                            ),
+                            Err(e) => panic!("hierarchical matching failed: {e}"),
+                        }
+                    }
+                    (min_padding_matching(&conflicts), "blossom")
+                }
+            }
+        }
+    };
+
+    let pad_count = pairs.pad_count();
+    let perm = pairs_to_order(&pairs, n);
+    Conversion {
+        perm,
+        pad_count,
+        strategy_used: used,
+    }
+}
+
+/// Lay matched pairs into a destination order: two pairs per aligned
+/// 4-group (`[a₁ b₁ a₂ b₂]`), PAD partners as zero columns, tail rounded
+/// up to a multiple of 4 with extra PADs.
+fn pairs_to_order(pairs: &PairList, n: usize) -> Permutation {
+    let mut order = Vec::with_capacity(pairs.pairs.len() * 2 + GROUP);
+    for &(a, b) in &pairs.pairs {
+        order.push(a);
+        order.push(if b == PairList::PAD {
+            Permutation::PAD
+        } else {
+            b
+        });
+    }
+    while order.len() % GROUP != 0 {
+        order.push(Permutation::PAD);
+    }
+    Permutation::from_order(order, n)
+}
+
+/// Verify that applying `conversion` to `a` yields a 2:4-compatible
+/// layout; returns the violation count (0 on success). Used by tests and
+/// by `Strategy::Auto`'s internal assertions.
+pub fn violations_after(a: &DenseMatrix<f64>, conversion: &Conversion) -> usize {
+    let permuted = conversion.perm.apply_to_cols(a);
+    BitMask::from_matrix(&permuted).two_four_violations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crush::build_a_prime;
+    use crate::stencil::StencilKernel;
+
+    fn convert_kernel(k: &StencilKernel, r1: usize, r2: usize, s: Strategy) -> (DenseMatrix<f64>, Conversion) {
+        let [_, ky, kx] = k.extent();
+        let plan = CrushPlan::new(ky, kx, r1, r2);
+        let a = build_a_prime(&k.slice2d(0), &plan);
+        let c = convert(&a, &plan, s);
+        (a, c)
+    }
+
+    #[test]
+    fn box2d9p_converts_clean() {
+        for s in [Strategy::Hierarchical, Strategy::Blossom, Strategy::Auto] {
+            let (a, c) = convert_kernel(&StencilKernel::box2d9p(), 4, 4, s);
+            assert_eq!(violations_after(&a, &c), 0, "strategy {s:?}");
+            assert_eq!(c.k_converted() % 4, 0);
+        }
+    }
+
+    #[test]
+    fn box2d49p_converts_clean() {
+        let (a, c) = convert_kernel(&StencilKernel::box2d49p(), 4, 4, Strategy::Auto);
+        assert_eq!(c.strategy_used, "hierarchical");
+        assert_eq!(violations_after(&a, &c), 0);
+    }
+
+    #[test]
+    fn star_kernels_convert_clean() {
+        for s in [Strategy::Hierarchical, Strategy::Blossom] {
+            let (a, c) = convert_kernel(&StencilKernel::star2d13p(), 4, 2, s);
+            assert_eq!(violations_after(&a, &c), 0, "strategy {s:?}");
+        }
+    }
+
+    #[test]
+    fn blossom_never_pads_more_than_hierarchical() {
+        for k in [
+            StencilKernel::heat2d(),
+            StencilKernel::box2d9p(),
+            StencilKernel::box2d49p(),
+            StencilKernel::star2d13p(),
+        ] {
+            for (r1, r2) in [(2, 2), (4, 4), (8, 2), (3, 5)] {
+                let (_, ch) = convert_kernel(&k, r1, r2, Strategy::Hierarchical);
+                let (_, cb) = convert_kernel(&k, r1, r2, Strategy::Blossom);
+                assert!(
+                    cb.pad_count <= ch.pad_count,
+                    "{} r=({r1},{r2}): blossom {} vs hierarchical {}",
+                    k.name(),
+                    cb.pad_count,
+                    ch.pad_count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_length_includes_pads() {
+        let (_, c) = convert_kernel(&StencilKernel::box2d9p(), 4, 4, Strategy::Hierarchical);
+        // k' = 36; conversion length = 36 + pads, rounded to multiple of 4.
+        assert!(c.k_converted() >= 36);
+        assert_eq!(c.k_converted() % 4, 0);
+        assert_eq!(c.perm.pad_count() + 36, c.k_converted());
+    }
+
+    #[test]
+    fn one_dimensional_staircase_converts() {
+        let k = StencilKernel::heat1d();
+        let plan = CrushPlan::new(1, 3, 16, 1);
+        let a = build_a_prime(&k.slice2d(0), &plan);
+        let c = convert(&a, &plan, Strategy::Auto);
+        assert_eq!(violations_after(&a, &c), 0);
+        assert_eq!(c.strategy_used, "hierarchical");
+    }
+
+    #[test]
+    fn stacked_slices_share_one_permutation() {
+        // 3D kernel: stack the three slice A' matrices; one permutation
+        // must clean all of them simultaneously.
+        let k = StencilKernel::heat3d();
+        let plan = CrushPlan::new(3, 3, 4, 4);
+        let slices: Vec<DenseMatrix<f64>> =
+            (0..3).map(|dz| build_a_prime(&k.slice2d(dz), &plan)).collect();
+        let mut stack = DenseMatrix::zeros(3 * plan.m_prime(), plan.k_prime());
+        for (i, s) in slices.iter().enumerate() {
+            stack.set_block(i * plan.m_prime(), 0, s);
+        }
+        let c = convert(&stack, &plan, Strategy::Auto);
+        assert_eq!(violations_after(&stack, &c), 0);
+        for s in &slices {
+            assert_eq!(violations_after(s, &c), 0, "per-slice violation");
+        }
+    }
+
+    #[test]
+    fn pit_preserves_product() {
+        use sparstencil_mat::gemm;
+        let (a, c) = convert_kernel(&StencilKernel::box2d9p(), 4, 3, Strategy::Auto);
+        let b = DenseMatrix::from_fn(a.cols(), 7, |r, cc| ((r * 7 + cc * 3) % 11) as f64 - 5.0);
+        let (ap, bp) = c.perm.pit(&a, &b);
+        // Permutation reorders the additions: compare within rounding slack.
+        let diff = gemm::matmul(&ap, &bp).max_abs_diff(&gemm::matmul(&a, &b));
+        assert!(diff < 1e-12, "PIT deviation {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal segments × k'")]
+    fn wrong_width_panics() {
+        let plan = CrushPlan::new(3, 3, 4, 4);
+        let a = DenseMatrix::<f64>::zeros(4, 10);
+        let _ = convert(&a, &plan, Strategy::Auto);
+    }
+}

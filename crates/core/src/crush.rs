@@ -1,0 +1,322 @@
+//! Duplicates Crush — the second half of Adaptive Layout Morphing (§3.1,
+//! Figure 4).
+//!
+//! Crushing merges the duplicated elements that flattening creates:
+//! grouping `r1` horizontally-adjacent outputs collapses their overlapping
+//! windows into `kx + r1 − 1` unique columns per kernel row (horizontal
+//! crush, Figure 4a); grouping `r2` vertically-adjacent outputs collapses
+//! whole submatrices (vertical crush, Figure 4b). The kernel vector
+//! expands into the matrix `A'` with the **self-similar staircase**
+//! pattern of Figure 5(a):
+//!
+//! - `A'` has `m' = r1·r2` rows and `k' = (ky+r2−1)(kx+r1−1)` columns;
+//! - viewed in `r1 × gx` blocks (`gx = kx+r1−1`), block row `j2` holds
+//!   block `S_dy` at block column `j2 + dy` (global staircase of width
+//!   `ky`), where `S_dy` is the width-`kx` staircase of kernel row `dy`
+//!   (local staircase);
+//! - one `B'` column per output tile holds the `gy·gx` unique inputs of
+//!   that tile — each input element appears exactly once.
+//!
+//! The paper's dimension formulas (§3.3) follow directly:
+//! `m' = r1 r2`, `k' = (k+r1−1)(k+r2−1)`, `n' = (m−k+1)(n−k+1)/(r1 r2)`.
+
+use crate::grid::Grid;
+use crate::stencil::StencilKernel;
+use sparstencil_mat::{DenseMatrix, Real};
+
+/// Geometry of a `(r1, r2)` crush for a `ky × kx` kernel bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CrushPlan {
+    /// Outputs grouped along `x` per tile.
+    pub r1: usize,
+    /// Outputs grouped along `y` per tile.
+    pub r2: usize,
+    /// Kernel extent along `x`.
+    pub kx: usize,
+    /// Kernel extent along `y`.
+    pub ky: usize,
+    /// Unique input columns per tile: `kx + r1 − 1`.
+    pub gx: usize,
+    /// Unique input rows per tile: `ky + r2 − 1`.
+    pub gy: usize,
+}
+
+impl CrushPlan {
+    /// Build a plan; `r1, r2 ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics on zero parameters.
+    pub fn new(ky: usize, kx: usize, r1: usize, r2: usize) -> Self {
+        assert!(r1 >= 1 && r2 >= 1, "crush factors must be ≥ 1");
+        assert!(kx >= 1 && ky >= 1, "kernel extents must be ≥ 1");
+        Self {
+            r1,
+            r2,
+            kx,
+            ky,
+            gx: kx + r1 - 1,
+            gy: ky + r2 - 1,
+        }
+    }
+
+    /// Rows of `A'`: `m' = r1 · r2`.
+    pub fn m_prime(&self) -> usize {
+        self.r1 * self.r2
+    }
+
+    /// Columns of `A'` / rows of `B'`: `k' = gy · gx`.
+    pub fn k_prime(&self) -> usize {
+        self.gx * self.gy
+    }
+
+    /// Number of tiles (`n'`) covering a `vy × vx` valid-output region,
+    /// rounding partial tiles up (edge tiles mask their out-of-range
+    /// outputs at scatter time).
+    pub fn n_prime(&self, vy: usize, vx: usize) -> usize {
+        vy.div_ceil(self.r2) * vx.div_ceil(self.r1)
+    }
+
+    /// Row index of `A'` for intra-tile output `(j2, j1)`.
+    #[inline]
+    pub fn a_row(&self, j2: usize, j1: usize) -> usize {
+        j2 * self.r1 + j1
+    }
+
+    /// Column index of `A'` (= row of `B'`) for intra-tile input
+    /// `(iy, ix)`.
+    #[inline]
+    pub fn a_col(&self, iy: usize, ix: usize) -> usize {
+        iy * self.gx + ix
+    }
+
+    /// Fraction of `A'` entries that are zero for a dense (box) kernel:
+    /// `1 − kx·ky / k'` — the residual sparsity the sparse TCU will
+    /// exploit (50–80% in the paper's insight #2).
+    pub fn box_sparsity(&self) -> f64 {
+        1.0 - (self.kx * self.ky) as f64 / self.k_prime() as f64
+    }
+}
+
+/// Build `A'` from a 2D kernel slice (a `ky × kx` weight matrix, zeros
+/// preserved): `A'[j2·r1+j1, (j2+dy)·gx + (j1+dx)] = K[dy, dx]`.
+///
+/// ```
+/// use sparstencil::crush::{build_a_prime, CrushPlan};
+/// use sparstencil::stencil::StencilKernel;
+/// use sparstencil_mat::staircase::is_self_similar_staircase;
+///
+/// let kernel = StencilKernel::box2d9p();
+/// let plan = CrushPlan::new(3, 3, 4, 4);
+/// let a = build_a_prime(&kernel.slice2d(0), &plan);
+/// assert_eq!(a.shape(), (16, 36)); // m' = 16, k' = 36
+/// assert!(is_self_similar_staircase(&a, 4, 6, 3, 3));
+/// ```
+pub fn build_a_prime(kernel2d: &DenseMatrix<f64>, plan: &CrushPlan) -> DenseMatrix<f64> {
+    assert_eq!(
+        kernel2d.shape(),
+        (plan.ky, plan.kx),
+        "kernel slice shape must match the plan"
+    );
+    let mut a = DenseMatrix::zeros(plan.m_prime(), plan.k_prime());
+    for j2 in 0..plan.r2 {
+        for j1 in 0..plan.r1 {
+            let row = plan.a_row(j2, j1);
+            for dy in 0..plan.ky {
+                for dx in 0..plan.kx {
+                    let w = kernel2d.get(dy, dx);
+                    if w != 0.0 {
+                        a.set(row, plan.a_col(j2 + dy, j1 + dx), w);
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Gather the `B'` column for the tile whose first output is `(oy, ox)`
+/// on plane `z` — the `gy·gx` unique inputs starting at grid position
+/// `(z, oy, ox)`. Reads beyond the grid edge (possible for partial edge
+/// tiles) produce zeros; the corresponding outputs are masked at scatter.
+pub fn gather_b_column<R: Real>(
+    grid: &Grid<R>,
+    z: usize,
+    oy: usize,
+    ox: usize,
+    plan: &CrushPlan,
+) -> Vec<R> {
+    let [_, ny, nx] = grid.shape();
+    let mut col = Vec::with_capacity(plan.k_prime());
+    for iy in 0..plan.gy {
+        for ix in 0..plan.gx {
+            let (y, x) = (oy + iy, ox + ix);
+            col.push(if y < ny && x < nx {
+                grid.get(z, y, x)
+            } else {
+                R::ZERO
+            });
+        }
+    }
+    col
+}
+
+/// Materialize the full `B'` (`k' × n'`) for a grid plane — tiles ordered
+/// row-major by tile coordinates. Used by tests and the Figure-1 demo;
+/// production execution gathers tiles on the fly through lookup tables.
+pub fn build_b_prime<R: Real>(
+    grid: &Grid<R>,
+    z: usize,
+    kernel: &StencilKernel,
+    plan: &CrushPlan,
+) -> DenseMatrix<R> {
+    let v = grid.valid_extent(kernel);
+    let (vy, vx) = (v[1], v[2]);
+    let tiles_y = vy.div_ceil(plan.r2);
+    let tiles_x = vx.div_ceil(plan.r1);
+    let mut b = DenseMatrix::zeros(plan.k_prime(), tiles_y * tiles_x);
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let col = gather_b_column(grid, z, ty * plan.r2, tx * plan.r1, plan);
+            for (i, v) in col.into_iter().enumerate() {
+                b.set(i, ty * tiles_x + tx, v);
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparstencil_mat::gemm;
+    use sparstencil_mat::staircase::is_self_similar_staircase;
+
+    #[test]
+    fn dimension_formulas_match_paper() {
+        // §3.3: m' = r1 r2, k' = (k+r1−1)(k+r2−1),
+        // n' = (m−k+1)(n−k+1)/(r1 r2) for divisible sizes.
+        let plan = CrushPlan::new(3, 3, 4, 2);
+        assert_eq!(plan.m_prime(), 8);
+        assert_eq!(plan.k_prime(), (3 + 4 - 1) * (3 + 2 - 1));
+        assert_eq!(plan.n_prime(8, 12), (8 / 2) * (12 / 4));
+        // Non-divisible: rounds up.
+        assert_eq!(plan.n_prime(9, 13), 5 * 4);
+    }
+
+    #[test]
+    fn a_prime_is_self_similar_staircase() {
+        let k = StencilKernel::box2d9p();
+        let plan = CrushPlan::new(3, 3, 4, 3);
+        let a = build_a_prime(&k.slice2d(0), &plan);
+        // m' = 4·3 = 12, k' = (3+4−1)(3+3−1) = 6·5 = 30.
+        assert_eq!(a.shape(), (12, 30));
+        // Blocks: r1 × gx = 4 × 6; global width ky = 3, local width kx = 3.
+        assert!(is_self_similar_staircase(&a, plan.r1, plan.gx, plan.ky, plan.kx));
+    }
+
+    #[test]
+    fn a_prime_sparsity_in_papers_range() {
+        // Insight #2: residual sparsity 50–80% for practical layouts.
+        for (r1, r2) in [(4, 4), (8, 2), (2, 8), (4, 2)] {
+            let plan = CrushPlan::new(3, 3, r1, r2);
+            let k = StencilKernel::box2d9p();
+            let a = build_a_prime(&k.slice2d(0), &plan);
+            let s = a.sparsity();
+            assert!(
+                (0.5..=0.9).contains(&s),
+                "r1={r1} r2={r2}: sparsity {s:.2} outside expected band"
+            );
+            assert!((s - plan.box_sparsity()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crushed_product_equals_reference_2d() {
+        for k in [
+            StencilKernel::heat2d(),
+            StencilKernel::box2d9p(),
+            StencilKernel::star2d13p(),
+        ] {
+            let [_, ky, kx] = k.extent();
+            for (r1, r2) in [(1, 1), (2, 2), (4, 3), (3, 4)] {
+                let plan = CrushPlan::new(ky, kx, r1, r2);
+                let g = Grid::<f64>::smooth_random(2, [1, 16, 17]);
+                let a = build_a_prime(&k.slice2d(0), &plan);
+                let b = build_b_prime(&g, 0, &k, &plan);
+                let c = gemm::matmul(&a, &b);
+                let expect = reference::apply(&k, &g);
+                let v = g.valid_extent(&k);
+                let tiles_x = v[2].div_ceil(r1);
+                for oy in 0..v[1] {
+                    for ox in 0..v[2] {
+                        let (ty, j2) = (oy / r2, oy % r2);
+                        let (tx, j1) = (ox / r1, ox % r1);
+                        let got = c.get(plan.a_row(j2, j1), ty * tiles_x + tx);
+                        let want = expect.get(0, oy, ox);
+                        assert!(
+                            (got - want).abs() < 1e-12,
+                            "{} r1={r1} r2={r2} at ({oy},{ox}): {got} vs {want}",
+                            k.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crush_removes_all_duplicates() {
+        // Every interior grid element appears exactly once in B' columns
+        // covering it... more precisely: each tile's column holds gy·gx
+        // *distinct* grid positions — no duplicates inside a column, and
+        // total storage shrinks from k'·outputs (flattened) to
+        // k'·outputs/(r1·r2).
+        let k = StencilKernel::box2d9p();
+        let plan = CrushPlan::new(3, 3, 4, 4);
+        let g = Grid::<f64>::smooth_random(2, [1, 18, 18]);
+        let b = build_b_prime(&g, 0, &k, &plan);
+        let flat_cells = 9 * 16 * 16; // flattened storage for 16×16 outputs
+        let crushed_cells = b.rows() * b.cols();
+        assert!(
+            crushed_cells * 2 < flat_cells,
+            "crush should at least halve storage: {crushed_cells} vs {flat_cells}"
+        );
+    }
+
+    #[test]
+    fn one_dimensional_crush() {
+        // 1D kernels: ky = 1, r2 = 1; A' is a plain staircase.
+        let k = StencilKernel::heat1d();
+        let plan = CrushPlan::new(1, 3, 8, 1);
+        let a = build_a_prime(&k.slice2d(0), &plan);
+        assert_eq!(a.shape(), (8, 10));
+        assert!(sparstencil_mat::staircase::is_staircase_within(&a, 3));
+        let g = Grid::<f64>::smooth_random(1, [1, 1, 42]);
+        let b = build_b_prime(&g, 0, &k, &plan);
+        let c = gemm::matmul(&a, &b);
+        let expect = reference::apply(&k, &g);
+        let v = g.valid_extent(&k);
+        for ox in 0..v[2] {
+            let (tx, j1) = (ox / 8, ox % 8);
+            assert!((c.get(j1, tx) - expect.get(0, 0, ox)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_tile_gather_zero_fills() {
+        let plan = CrushPlan::new(3, 3, 4, 4);
+        let g = Grid::<f64>::from_fn_3d(2, [1, 6, 6], |_, _, _| 1.0);
+        // Tile starting at (4, 4): rows/cols 4..10 overhang the 6×6 grid.
+        let col = gather_b_column(&g, 0, 4, 4, &plan);
+        assert_eq!(col.len(), 36);
+        let zeros = col.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 36 - 4); // only the 2×2 in-grid corner is real
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn zero_crush_factor_panics() {
+        let _ = CrushPlan::new(3, 3, 0, 1);
+    }
+}

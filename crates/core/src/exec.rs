@@ -1,0 +1,663 @@
+//! Plan execution on the simulated GPU.
+//!
+//! Executes a [`CompiledStencil`] functionally — every fragment MMA the
+//! generated kernel would issue is issued against the simulator, with
+//! `B` operands gathered through the lookup table exactly as the CUDA
+//! kernel's async-copy stage would — while the engine accumulates exact
+//! activity counters. Timing is then derived from the counters through
+//! the analytic model (with or without double-buffer overlap, per the
+//! plan's [`OptFlags`]); GStencil/s follows Equation 12.
+//!
+//! The numeric path is deliberately the *same arithmetic* as the
+//! hardware: operands pre-rounded to the plan's precision, accumulation
+//! at full scalar width, outputs re-rounded on store.
+
+use crate::grid::Grid;
+use crate::layout::{self, ExecMode};
+use crate::plan::{CompiledStencil, Operand, PrepStats};
+use rayon::prelude::*;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::{DenseMatrix, Real};
+use sparstencil_tcu::{
+    fragment::dense_fragment_mma, model, sparse::sparse_fragment_mma, Counters, Engine,
+    TimingBreakdown, UtilizationReport,
+};
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Iterations executed.
+    pub iters: usize,
+    /// Exact activity counters over the whole run.
+    pub counters: Counters,
+    /// Modelled timing over the whole run (overlap per plan flags).
+    pub timing: TimingBreakdown,
+    /// Modelled seconds per iteration.
+    pub seconds_per_iter: f64,
+    /// Modelled total seconds.
+    pub total_seconds: f64,
+    /// Stencil points updated per iteration (valid outputs).
+    pub points_per_iter: u64,
+    /// GStencil/s (Equation 12) over the modelled time.
+    pub gstencil_per_sec: f64,
+    /// Useful GFlop/s (Table 3 metric).
+    pub gflops_per_sec: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+    /// Figure-11 utilization metrics.
+    pub utilization: UtilizationReport,
+    /// Host preprocessing times (copied from the plan).
+    pub prep: PrepStats,
+}
+
+/// Execute `iters` stencil steps of a compiled plan over `input`.
+/// Returns the final grid and run statistics.
+///
+/// # Panics
+/// Panics if the input shape differs from the plan's compile-time shape.
+pub fn run<R: Real>(
+    plan: &CompiledStencil<R>,
+    input: &Grid<R>,
+    iters: usize,
+) -> (Grid<R>, RunStats) {
+    assert_eq!(
+        input.shape(),
+        plan.grid_shape,
+        "grid shape differs from the compiled plan"
+    );
+    let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
+
+    let mut cur = input.clone();
+    cur.quantize(plan.precision);
+
+    for _ in 0..iters {
+        engine.launch();
+        account_traffic(plan, &mut engine);
+        cur = step(plan, &cur, &mut engine);
+        if !matches!(plan.precision, Precision::Fp64) {
+            cur.quantize(plan.precision);
+        }
+    }
+
+    let stats = finalize_stats(plan, &engine, iters);
+    (cur, stats)
+}
+
+/// Bulk-account the per-iteration memory traffic using the same formulas
+/// the layout explorer evaluates (keeping "analytic == counted" exact).
+fn account_traffic<R: Real>(plan: &CompiledStencil<R>, engine: &mut Engine) {
+    let tr = layout::traffic(
+        &plan.kernel,
+        plan.grid_shape,
+        &plan.geom,
+        plan.frag,
+        plan.precision,
+        plan.flags.lut,
+    );
+    let hit_fraction = if tr.global_read > 0 {
+        tr.l2_hit as f64 / tr.global_read as f64
+    } else {
+        0.0
+    };
+    engine.read_global(tr.global_read, hit_fraction.clamp(0.0, 1.0));
+    engine.write_global(tr.global_write);
+    engine.smem_write(tr.shared_write);
+    engine.smem_read(tr.shared_read);
+
+    if !plan.flags.lut {
+        // Without lookup tables every gathered element pays address
+        // arithmetic (integer div/mod chains, ~4 scalar ops each — §3.3).
+        let touches = (plan.geom.tiles_per_plane * plan.geom.planes) as u64
+            * plan.geom.k_prime as u64;
+        engine.ffma(touches * 4);
+    }
+}
+
+/// One stencil step: returns the new grid (valid region updated, boundary
+/// copied) and adds the issued MMA ops to the engine.
+fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) -> Grid<R> {
+    let [_, ny, nx] = cur.shape();
+    let [_ez, ey, ex] = plan.kernel.extent();
+    let (vy, vx) = (ny - ey + 1, nx - ex + 1);
+    let (r1, r2) = (plan.plan.r1, plan.plan.r2);
+    let tiles_x = vx.div_ceil(r1);
+    let tiles_y = vy.div_ceil(r2);
+    let tiles_per_plane = tiles_x * tiles_y;
+    let frag = plan.frag;
+    let col_blocks = tiles_per_plane.div_ceil(frag.n);
+    let planes = plan.geom.planes;
+    let plane_stride = cur.plane_stride();
+
+    let mut out = cur.clone();
+
+    // Work item = (output plane, fragment column block).
+    let work: Vec<(usize, usize)> = (0..planes)
+        .flat_map(|z| (0..col_blocks).map(move |cb| (z, cb)))
+        .collect();
+
+    struct BlockResult<R: Real> {
+        z: usize,
+        first_tile: usize,
+        strips: Vec<DenseMatrix<R>>, // per m-strip: frag.m × frag.n
+        mma_ops: u64,
+    }
+
+    let results: Vec<BlockResult<R>> = work
+        .par_iter()
+        .map(|&(z, cb)| {
+            let first_tile = cb * frag.n;
+            let m_strips = plan.geom.m_padded / frag.m;
+            let k_strips = plan.geom.k_logical / frag.k;
+            let mut strips: Vec<DenseMatrix<R>> =
+                (0..m_strips).map(|_| DenseMatrix::zeros(frag.m, frag.n)).collect();
+            let mut mma_ops = 0u64;
+            let mut b_frag = DenseMatrix::<R>::zeros(frag.k, frag.n);
+
+            for slice in &plan.slices {
+                // z-folded operands: gather offsets already include the
+                // depth term `dz·plane_stride`; `slice.dz` is 0.
+                let src_plane = z + slice.dz;
+                let plane_base = src_plane * plane_stride;
+                let data = cur.as_slice();
+                for ki in 0..k_strips {
+                    // Gather the B fragment for this k-strip: one column
+                    // per tile, rows via the lookup table.
+                    for t in 0..frag.n {
+                        let tile = first_tile + t;
+                        if tile >= tiles_per_plane {
+                            for i in 0..frag.k {
+                                b_frag.set(i, t, R::ZERO);
+                            }
+                            continue;
+                        }
+                        let (ty, tx) = (tile / tiles_x, tile % tiles_x);
+                        let (oy, ox) = (ty * r2, tx * r1);
+                        let interior = oy + plan.plan.gy <= ny && ox + plan.plan.gx <= nx;
+                        let base = plane_base + oy * nx + ox;
+                        if interior {
+                            for i in 0..frag.k {
+                                let off = plan.gather_lut[ki * frag.k + i];
+                                let v = if off < 0 {
+                                    R::ZERO
+                                } else {
+                                    data[base + off as usize]
+                                };
+                                b_frag.set(i, t, v);
+                            }
+                        } else {
+                            // Edge tile: the linear offset is ambiguous
+                            // past the grid boundary; use the explicit
+                            // (dz, iy, ix) coordinates with bounds checks
+                            // (dz is always in range: z + dz < nz by
+                            // construction).
+                            for i in 0..frag.k {
+                                let (dz, iy, ix) = plan.gather_coords[ki * frag.k + i];
+                                let v = if dz == u32::MAX {
+                                    R::ZERO
+                                } else {
+                                    let (dz, iy, ix) =
+                                        (dz as usize, iy as usize, ix as usize);
+                                    if oy + iy < ny && ox + ix < nx {
+                                        data[plane_base
+                                            + dz * plane_stride
+                                            + (oy + iy) * nx
+                                            + ox
+                                            + ix]
+                                    } else {
+                                        R::ZERO
+                                    }
+                                };
+                                b_frag.set(i, t, v);
+                            }
+                        }
+                    }
+                    for (mi, c_frag) in strips.iter_mut().enumerate() {
+                        match &slice.strips[mi][ki] {
+                            Operand::Sparse(a24) => sparse_fragment_mma(frag, a24, &b_frag, c_frag),
+                            Operand::Dense(a) => dense_fragment_mma(frag, a, &b_frag, c_frag),
+                        }
+                        mma_ops += 1;
+                    }
+                }
+            }
+            BlockResult {
+                z,
+                first_tile,
+                strips,
+                mma_ops,
+            }
+        })
+        .collect();
+
+    // Scatter results and absorb op counts.
+    let mut total_mma = 0u64;
+    for br in results {
+        total_mma += br.mma_ops;
+        let out_plane_base = br.z * plane_stride;
+        for t in 0..frag.n {
+            let tile = br.first_tile + t;
+            if tile >= tiles_per_plane {
+                continue;
+            }
+            let (ty, tx) = (tile / tiles_x, tile % tiles_x);
+            let (oy, ox) = (ty * r2, tx * r1);
+            for (mi, c_frag) in br.strips.iter().enumerate() {
+                for fr in 0..frag.m {
+                    let row = mi * frag.m + fr;
+                    if row >= plan.plan.m_prime() {
+                        break;
+                    }
+                    let (j2, j1) = (row / r1, row % r1);
+                    let (y, x) = (oy + j2, ox + j1);
+                    if y < vy && x < vx {
+                        out.as_mut_slice()[out_plane_base + y * nx + x] = c_frag.get(fr, t);
+                    }
+                }
+            }
+        }
+    }
+
+    match plan.mode {
+        ExecMode::SparseTcu => engine.counters.sparse_mma_count += total_mma,
+        ExecMode::DenseTcu => engine.counters.dense_mma_count += total_mma,
+    }
+    engine.counters.tc_executed_flops += total_mma * frag.executed_flops();
+
+    out
+}
+
+fn finalize_stats<R: Real>(plan: &CompiledStencil<R>, engine: &Engine, iters: usize) -> RunStats {
+    let timing = engine.timing();
+    // Overlap policy: double buffering gives max(compute, memory);
+    // without it stages serialize.
+    let total_seconds = if plan.flags.double_buffer {
+        timing.total
+    } else {
+        timing.t_compute() + timing.t_memory() + timing.t_launch
+    };
+    let [ez, ey, ex] = plan.kernel.extent();
+    let [nz, ny, nx] = plan.grid_shape;
+    let points_per_iter = ((nz - ez + 1) * (ny - ey + 1) * (nx - ex + 1)) as u64;
+    let occupancy = plan.occupancy();
+    let utilization = model::utilization(&plan.gpu, &engine.counters, &timing, occupancy);
+    let seconds_per_iter = if iters > 0 {
+        total_seconds / iters as f64
+    } else {
+        0.0
+    };
+    RunStats {
+        iters,
+        counters: engine.counters,
+        timing,
+        seconds_per_iter,
+        total_seconds,
+        points_per_iter,
+        gstencil_per_sec: if total_seconds > 0.0 {
+            model::gstencils_per_sec(points_per_iter, iters as u64, total_seconds)
+        } else {
+            0.0
+        },
+        gflops_per_sec: if total_seconds > 0.0 {
+            model::gflops_per_sec(
+                points_per_iter,
+                plan.kernel.points() as u64,
+                iters as u64,
+                total_seconds,
+            )
+        } else {
+            0.0
+        },
+        occupancy,
+        utilization,
+        prep: plan.prep,
+    }
+}
+
+/// Analytically extrapolate a run to an arbitrary (paper-scale) problem
+/// size without functional execution: evaluates the model at `grid_shape`
+/// and returns modelled stats. Functional correctness is established at
+/// test scale; this produces the benchmark numbers for Table-2-sized
+/// problems.
+pub fn model_run<R: Real>(
+    plan: &CompiledStencil<R>,
+    grid_shape: [usize; 3],
+    iters: usize,
+) -> RunStats {
+    let mut geom = layout::geometry(
+        &plan.kernel,
+        grid_shape,
+        plan.plan.r1,
+        plan.plan.r2,
+        plan.frag,
+        plan.mode,
+    );
+    // Pin to the compiled plan's actual converted width (grid-size
+    // independent) so modelled counts match functional counts.
+    layout::refine_geometry(&mut geom, plan.frag, plan.geom.k_logical, plan.geom.pads);
+    let tr = layout::traffic(
+        &plan.kernel,
+        grid_shape,
+        &geom,
+        plan.frag,
+        plan.precision,
+        plan.flags.lut,
+    );
+    let mut counters = Counters::new();
+    counters.kernel_launches = iters as u64;
+    match plan.mode {
+        ExecMode::SparseTcu => counters.sparse_mma_count = geom.n_mma * iters as u64,
+        ExecMode::DenseTcu => counters.dense_mma_count = geom.n_mma * iters as u64,
+    }
+    counters.tc_executed_flops = geom.n_mma * plan.frag.executed_flops() * iters as u64;
+    counters.global_read_bytes = tr.global_read * iters as u64;
+    counters.global_write_bytes = tr.global_write * iters as u64;
+    counters.l2_hit_bytes = tr.l2_hit * iters as u64;
+    counters.shared_write_bytes = tr.shared_write * iters as u64;
+    counters.shared_read_bytes = tr.shared_read * iters as u64;
+    if !plan.flags.lut {
+        let touches =
+            (geom.tiles_per_plane * geom.planes) as u64 * geom.k_prime as u64;
+        counters.ffma_count = touches * 4 * iters as u64;
+    }
+
+    let timing = model::kernel_time(&plan.gpu, &counters, plan.precision);
+    let total_seconds = if plan.flags.double_buffer {
+        timing.total
+    } else {
+        timing.t_compute() + timing.t_memory() + timing.t_launch
+    };
+    let [ez, ey, ex] = plan.kernel.extent();
+    let points_per_iter = ((grid_shape[0] - ez + 1)
+        * (grid_shape[1] - ey + 1)
+        * (grid_shape[2] - ex + 1)) as u64;
+
+    // Launch geometry scales with the grid (persistent-block cap).
+    let col_blocks = geom.tiles_per_plane.div_ceil(plan.frag.n) * geom.planes;
+    let launch = sparstencil_tcu::LaunchConfig {
+        blocks: col_blocks
+            .div_ceil(4)
+            .min(layout::PERSISTENT_BLOCKS as usize),
+        ..plan.launch
+    };
+    let occupancy = launch.occupancy(&plan.gpu);
+    let utilization = model::utilization(&plan.gpu, &counters, &timing, occupancy);
+
+    RunStats {
+        iters,
+        counters,
+        timing,
+        seconds_per_iter: if iters > 0 { total_seconds / iters as f64 } else { 0.0 },
+        total_seconds,
+        points_per_iter,
+        gstencil_per_sec: if total_seconds > 0.0 {
+            model::gstencils_per_sec(points_per_iter, iters as u64, total_seconds)
+        } else {
+            0.0
+        },
+        gflops_per_sec: if total_seconds > 0.0 {
+            model::gflops_per_sec(
+                points_per_iter,
+                plan.kernel.points() as u64,
+                iters as u64,
+                total_seconds,
+            )
+        } else {
+            0.0
+        },
+        occupancy,
+        utilization,
+        prep: plan.prep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile, Options};
+    use crate::reference;
+    use crate::stencil::StencilKernel;
+    use sparstencil_mat::half::verify_tolerance;
+
+    fn check_kernel(k: &StencilKernel, shape: [usize; 3], opts: &Options, iters: usize) {
+        let plan = compile::<f32>(k, shape, opts).unwrap();
+        let input = Grid::<f32>::smooth_random(k.dims(), shape);
+        let (got, stats) = run(&plan, &input, iters);
+
+        let mut ref_in = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| {
+            input.get(z, y, x) as f64
+        });
+        ref_in.quantize(plan.precision);
+        let want = reference::iterate(k, &ref_in, iters);
+        let got64 = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| got.get(z, y, x) as f64);
+
+        // Compare over the region that stays valid across `iters` steps.
+        let reach = k.extent().map(|e| (e - 1) * iters + 1);
+        let probe = StencilKernel::new(
+            "probe",
+            k.dims(),
+            [
+                if k.dims() == 3 { reach[0] } else { 1 },
+                if k.dims() >= 2 { reach[1] } else { 1 },
+                reach[2],
+            ],
+            vec![
+                0.0;
+                (if k.dims() == 3 { reach[0] } else { 1 })
+                    * (if k.dims() >= 2 { reach[1] } else { 1 })
+                    * reach[2]
+            ],
+        );
+        let diff = got64.max_rel_diff_interior(&want, &probe);
+        let tol = verify_tolerance(plan.precision) * iters as f64;
+        assert!(
+            diff <= tol,
+            "{}: rel diff {diff:.3e} > tol {tol:.1e} (iters={iters})",
+            k.name()
+        );
+        assert!(stats.counters.n_mma() > 0);
+        assert!(stats.gstencil_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sparse_matches_reference_2d_kernels() {
+        for k in [
+            StencilKernel::heat2d(),
+            StencilKernel::box2d9p(),
+            StencilKernel::star2d13p(),
+            StencilKernel::box2d49p(),
+        ] {
+            check_kernel(&k, [1, 48, 52], &Options::default(), 1);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_reference_1d_kernels() {
+        for k in [StencilKernel::heat1d(), StencilKernel::onedim5p()] {
+            check_kernel(&k, [1, 1, 400], &Options::default(), 1);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_reference_3d_kernels() {
+        for k in [StencilKernel::heat3d(), StencilKernel::box3d27p()] {
+            let opts = Options {
+                layout: Some((4, 4)),
+                ..Options::default()
+            };
+            check_kernel(&k, [12, 20, 20], &opts, 1);
+        }
+    }
+
+    #[test]
+    fn multiple_iterations_stay_accurate() {
+        check_kernel(&StencilKernel::heat2d(), [1, 40, 40], &Options::default(), 3);
+    }
+
+    #[test]
+    fn dense_mode_matches_reference() {
+        let opts = Options {
+            mode: crate::layout::ExecMode::DenseTcu,
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        check_kernel(&StencilKernel::box2d9p(), [1, 40, 44], &opts, 1);
+    }
+
+    #[test]
+    fn counted_mma_equals_equation9() {
+        let k = StencilKernel::box2d49p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, [1, 70, 70], &opts).unwrap();
+        let input = Grid::<f32>::smooth_random(2, [1, 70, 70]);
+        let (_, stats) = run(&plan, &input, 2);
+        assert_eq!(stats.counters.n_mma(), plan.geom.n_mma * 2);
+    }
+
+    #[test]
+    fn model_run_matches_functional_counters() {
+        let k = StencilKernel::box2d9p();
+        let opts = Options {
+            layout: Some((4, 2)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, [1, 50, 50], &opts).unwrap();
+        let input = Grid::<f32>::smooth_random(2, [1, 50, 50]);
+        let (_, functional) = run(&plan, &input, 1);
+        let modelled = model_run(&plan, [1, 50, 50], 1);
+        assert_eq!(functional.counters.n_mma(), modelled.counters.n_mma());
+        assert_eq!(
+            functional.counters.global_read_bytes,
+            modelled.counters.global_read_bytes
+        );
+        assert_eq!(
+            functional.counters.shared_bytes(),
+            modelled.counters.shared_bytes()
+        );
+    }
+
+    #[test]
+    fn no_lut_costs_scalar_ops() {
+        let k = StencilKernel::box2d9p();
+        let base = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let no_lut = Options {
+            flags: crate::plan::OptFlags {
+                lut: false,
+                double_buffer: true,
+            },
+            ..base.clone()
+        };
+        let p1 = compile::<f32>(&k, [1, 50, 50], &base).unwrap();
+        let p2 = compile::<f32>(&k, [1, 50, 50], &no_lut).unwrap();
+        let g = Grid::<f32>::smooth_random(2, [1, 50, 50]);
+        let (_, s1) = run(&p1, &g, 1);
+        let (_, s2) = run(&p2, &g, 1);
+        assert_eq!(s1.counters.ffma_count, 0);
+        assert!(s2.counters.ffma_count > 0);
+    }
+
+    #[test]
+    fn double_buffer_reduces_modelled_time() {
+        let k = StencilKernel::box2d49p();
+        let db = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let no_db = Options {
+            flags: crate::plan::OptFlags {
+                lut: true,
+                double_buffer: false,
+            },
+            ..db.clone()
+        };
+        let p1 = compile::<f32>(&k, [1, 70, 70], &db).unwrap();
+        let p2 = compile::<f32>(&k, [1, 70, 70], &no_db).unwrap();
+        let g = Grid::<f32>::smooth_random(2, [1, 70, 70]);
+        let (_, s1) = run(&p1, &g, 1);
+        let (_, s2) = run(&p2, &g, 1);
+        assert!(s1.total_seconds < s2.total_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from the compiled plan")]
+    fn wrong_grid_shape_panics() {
+        let k = StencilKernel::heat2d();
+        let plan = compile::<f32>(&k, [1, 40, 40], &Options::default()).unwrap();
+        let g = Grid::<f32>::smooth_random(2, [1, 30, 30]);
+        let _ = run(&plan, &g, 1);
+    }
+}
+
+#[cfg(test)]
+mod multi_strip_tests {
+    use super::*;
+    use crate::plan::{compile, Options};
+    use crate::stencil::StencilKernel;
+    use sparstencil_mat::half::verify_tolerance;
+    use sparstencil_tcu::FragmentShape;
+
+    /// m' = 32 → two fragment m-strips: exercises the strip loop that the
+    /// default m' = 16 layouts never touch.
+    #[test]
+    fn two_m_strips_verify() {
+        let k = StencilKernel::box2d9p();
+        let shape = [1, 52, 68];
+        let opts = Options {
+            layout: Some((8, 4)), // m' = 32
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, shape, &opts).unwrap();
+        assert_eq!(plan.geom.m_padded / plan.frag.m, 2, "expected 2 m-strips");
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let (got, stats) = run(&plan, &g, 1);
+        assert_eq!(stats.counters.n_mma(), plan.geom.n_mma);
+
+        let mut ref_in = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| got.get(z, y, x) as f64);
+        // Cheap self-check: re-run and compare (determinism), then verify
+        // against the reference via the pipeline helper.
+        let (again, _) = run(&plan, &g, 1);
+        assert_eq!(got, again, "execution must be deterministic");
+        ref_in.quantize(plan.precision);
+        let exec = crate::pipeline::Executor::<f32>::new(&k, shape, &opts).unwrap();
+        let err = exec.verify(&g, 1);
+        assert!(err <= verify_tolerance(plan.precision), "err {err}");
+    }
+
+    /// Non-default sparse fragment (m16n16k16 class) end to end.
+    #[test]
+    fn alternate_sparse_fragment_verifies() {
+        let k = StencilKernel::heat2d();
+        let shape = [1, 50, 50];
+        let opts = Options {
+            frag: Some(FragmentShape::sparse_m16n16k16()),
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let exec = crate::pipeline::Executor::<f32>::new(&k, shape, &opts).unwrap();
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let err = exec.verify(&g, 1);
+        assert!(err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16), "err {err}");
+    }
+
+    /// Wide-n fragment (m16n32k8 dense class) on the dense path.
+    #[test]
+    fn wide_n_dense_fragment_verifies() {
+        let k = StencilKernel::box2d9p();
+        let shape = [1, 44, 60];
+        let opts = Options {
+            frag: Some(FragmentShape::m16n32k8()),
+            mode: crate::layout::ExecMode::DenseTcu,
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let exec = crate::pipeline::Executor::<f32>::new(&k, shape, &opts).unwrap();
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let err = exec.verify(&g, 1);
+        assert!(err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16), "err {err}");
+    }
+}

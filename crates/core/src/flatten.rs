@@ -1,0 +1,207 @@
+//! Stencil Flattening — the first half of Adaptive Layout Morphing (§3.1,
+//! Figure 2).
+//!
+//! Flattening unfolds the kernel weights into a single-row *kernel vector*
+//! and reshapes each sliding-window region of the input into a column of
+//! the *input matrix* `B'`, turning the stencil into one vector–matrix
+//! product. This module materializes both explicitly; it exists for
+//! validation and for the duplicate-structure analysis (Equations 3–4) —
+//! the production path never materializes `B'` (that is the whole point
+//! of Duplicates Crush).
+
+use crate::grid::Grid;
+use crate::stencil::StencilKernel;
+use sparstencil_mat::{DenseMatrix, Real};
+
+/// The flattened form of a 2D stencil over a 2D grid plane.
+#[derive(Debug, Clone)]
+pub struct Flattened<R: Real> {
+    /// The kernel vector `A` (length `ey·ex`, row-major over the kernel
+    /// bounding box, zeros included for star patterns).
+    pub kernel_vector: Vec<f64>,
+    /// The input matrix `B'` (`ey·ex` rows × one column per valid output,
+    /// outputs ordered row-major).
+    pub input_matrix: DenseMatrix<R>,
+}
+
+/// Flatten a 2D kernel against (a 2D plane of) a grid.
+///
+/// # Panics
+/// Panics if the kernel is not 2D (or 1D, which is handled as `ey = 1`)
+/// or larger than the grid.
+pub fn flatten_2d<R: Real>(kernel: &StencilKernel, grid: &Grid<R>) -> Flattened<R> {
+    assert!(kernel.dims() <= 2, "flatten_2d requires a 1D/2D kernel");
+    let [_, ey, ex] = kernel.extent();
+    let v = grid.valid_extent(kernel);
+    let (vy, vx) = (v[1], v[2]);
+
+    let kernel_vector: Vec<f64> = (0..ey)
+        .flat_map(|dy| (0..ex).map(move |dx| (dy, dx)))
+        .map(|(dy, dx)| kernel.weight(0, dy, dx))
+        .collect();
+
+    let input_matrix = DenseMatrix::from_fn(ey * ex, vy * vx, |kidx, out| {
+        let (dy, dx) = (kidx / ex, kidx % ex);
+        let (oy, ox) = (out / vx, out % vx);
+        grid.get(0, oy + dy, ox + dx)
+    });
+
+    Flattened {
+        kernel_vector,
+        input_matrix,
+    }
+}
+
+/// Check the **horizontal duplicate** identity of Equation 3 on a
+/// flattened matrix: within each kernel-row submatrix `Bᵢ`, adjacent
+/// output columns share shifted elements, `Bᵢ(r+1, j) = Bᵢ(r, j+1)` —
+/// with `Bᵢ`'s rows indexed by `dx` and restricted to outputs in the same
+/// grid row. Returns the number of violations (0 for a correct flatten).
+pub fn horizontal_duplicate_violations<R: Real>(
+    f: &Flattened<R>,
+    kernel: &StencilKernel,
+    valid_x: usize,
+) -> usize {
+    let [_, ey, ex] = kernel.extent();
+    let b = &f.input_matrix;
+    let mut violations = 0;
+    let n_out = b.cols();
+    for dy in 0..ey {
+        for dx in 0..ex.saturating_sub(1) {
+            for out in 0..n_out {
+                // Next output in the same grid row.
+                if (out % valid_x) + 1 >= valid_x {
+                    continue;
+                }
+                let row_a = dy * ex + dx + 1; // B_i(r+1, j)
+                let row_b = dy * ex + dx; // B_i(r, j+1)
+                if b.get(row_a, out) != b.get(row_b, out + 1) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Check the **vertical duplicate** identity of Equation 4: the submatrix
+/// of kernel row `dy+1` equals the submatrix of kernel row `dy` shifted by
+/// one output row, `B'_{i+1, j} = B'_{i, j+1}` at the submatrix level.
+/// Returns the number of violations.
+pub fn vertical_duplicate_violations<R: Real>(
+    f: &Flattened<R>,
+    kernel: &StencilKernel,
+    valid_x: usize,
+) -> usize {
+    let [_, ey, ex] = kernel.extent();
+    let b = &f.input_matrix;
+    let n_out = b.cols();
+    let mut violations = 0;
+    for dy in 0..ey.saturating_sub(1) {
+        for dx in 0..ex {
+            for out in 0..n_out {
+                // Output one grid row below.
+                if out + valid_x >= n_out {
+                    continue;
+                }
+                let row_upper = (dy + 1) * ex + dx;
+                let row_lower = dy * ex + dx;
+                if b.get(row_upper, out) != b.get(row_lower, out + valid_x) {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sparstencil_mat::gemm;
+
+    #[test]
+    fn figure2_example_shape() {
+        // 3×3 kernel on a 5×5 input: kernel vector length 9, input matrix
+        // 9 × 9 (3×3 valid outputs).
+        let k = StencilKernel::box2d9p();
+        let g = Grid::<f64>::smooth_random(2, [1, 5, 5]);
+        let f = flatten_2d(&k, &g);
+        assert_eq!(f.kernel_vector.len(), 9);
+        assert_eq!(f.input_matrix.shape(), (9, 9));
+    }
+
+    #[test]
+    fn vecmat_equals_reference() {
+        for k in [
+            StencilKernel::heat2d(),
+            StencilKernel::box2d9p(),
+            StencilKernel::star2d13p(),
+            StencilKernel::heat1d(),
+        ] {
+            let shape = if k.dims() == 1 { [1, 1, 24] } else { [1, 11, 13] };
+            let g = Grid::<f64>::smooth_random(k.dims(), shape);
+            let f = flatten_2d(&k, &g);
+            let kv: Vec<f64> = f.kernel_vector.clone();
+            let result = gemm::vecmat(&kv, &f.input_matrix);
+            let expect = reference::apply(&k, &g);
+            let v = g.valid_extent(&k);
+            for oy in 0..v[1] {
+                for ox in 0..v[2] {
+                    let got = result[oy * v[2] + ox];
+                    let want = expect.get(0, oy, ox);
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "{}: mismatch at ({oy},{ox}): {got} vs {want}",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equation3_horizontal_duplicates_hold() {
+        let k = StencilKernel::box2d9p();
+        let g = Grid::<f64>::smooth_random(2, [1, 7, 8]);
+        let f = flatten_2d(&k, &g);
+        let v = g.valid_extent(&k);
+        assert_eq!(horizontal_duplicate_violations(&f, &k, v[2]), 0);
+    }
+
+    #[test]
+    fn equation4_vertical_duplicates_hold() {
+        let k = StencilKernel::box2d49p();
+        let g = Grid::<f64>::smooth_random(2, [1, 10, 9]);
+        let f = flatten_2d(&k, &g);
+        let v = g.valid_extent(&k);
+        assert_eq!(vertical_duplicate_violations(&f, &k, v[2]), 0);
+    }
+
+    #[test]
+    fn duplicate_checks_detect_corruption() {
+        let k = StencilKernel::box2d9p();
+        let g = Grid::<f64>::smooth_random(2, [1, 6, 6]);
+        let mut f = flatten_2d(&k, &g);
+        let v = g.valid_extent(&k);
+        f.input_matrix.set(0, 1, -999.0);
+        assert!(
+            horizontal_duplicate_violations(&f, &k, v[2]) > 0
+                || vertical_duplicate_violations(&f, &k, v[2]) > 0
+        );
+    }
+
+    #[test]
+    fn redundancy_factor_is_kernel_size() {
+        // The flattened matrix stores ey*ex copies of (almost) every
+        // input element — the redundancy Duplicates Crush removes.
+        let k = StencilKernel::box2d9p();
+        let g = Grid::<f64>::smooth_random(2, [1, 20, 20]);
+        let f = flatten_2d(&k, &g);
+        let stored = f.input_matrix.rows() * f.input_matrix.cols();
+        let unique = g.len();
+        let factor = stored as f64 / unique as f64;
+        assert!(factor > 7.0, "expected ~9x redundancy, got {factor:.2}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Spatial grids the stencils iterate over.
+//!
+//! A [`Grid`] is a dense row-major array over up to three axes
+//! (`[nz, ny, nx]`; unused leading axes have size 1). Stencil application
+//! uses *valid-region* semantics: output point `o` needs the full kernel
+//! window `o .. o+extent` inside the grid, so each application shrinks the
+//! writable region by `extent−1` per axis; boundary cells are copied
+//! through unchanged. This matches the matrix formulation of §3.1, where
+//! `n' = (m−k+1)(n−k+1)/(r1·r2)` counts exactly the valid outputs.
+
+use crate::stencil::StencilKernel;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::Real;
+
+/// A dense grid over `[nz, ny, nx]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid<R: Real> {
+    shape: [usize; 3],
+    dims: usize,
+    data: Vec<R>,
+}
+
+impl<R: Real> Grid<R> {
+    /// Zero-filled 1D grid.
+    pub fn zeros_1d(nx: usize) -> Self {
+        Self::zeros(1, [1, 1, nx])
+    }
+
+    /// Zero-filled 2D grid (`ny` rows × `nx` columns).
+    pub fn zeros_2d(ny: usize, nx: usize) -> Self {
+        Self::zeros(2, [1, ny, nx])
+    }
+
+    /// Zero-filled 3D grid.
+    pub fn zeros_3d(nz: usize, ny: usize, nx: usize) -> Self {
+        Self::zeros(3, [nz, ny, nx])
+    }
+
+    fn zeros(dims: usize, shape: [usize; 3]) -> Self {
+        assert!(shape.iter().all(|&s| s > 0), "grid extents must be positive");
+        Self {
+            shape,
+            dims,
+            data: vec![R::ZERO; shape[0] * shape[1] * shape[2]],
+        }
+    }
+
+    /// Build from a closure over `(z, y, x)`.
+    pub fn from_fn_3d(
+        dims: usize,
+        shape: [usize; 3],
+        mut f: impl FnMut(usize, usize, usize) -> R,
+    ) -> Self {
+        let mut g = Self::zeros(dims, shape);
+        for z in 0..shape[0] {
+            for y in 0..shape[1] {
+                for x in 0..shape[2] {
+                    let v = f(z, y, x);
+                    g.set(z, y, x, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// A deterministic pseudo-random initialization in `[0, 1)` — keeps
+    /// tests reproducible without threading an RNG through the library.
+    pub fn smooth_random(dims: usize, shape: [usize; 3]) -> Self {
+        Self::from_fn_3d(dims, shape, |z, y, x| {
+            let mut h = (z as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((y as u64).wrapping_mul(0xd1b5_4a32_d192_ed03))
+                .wrapping_add((x as u64).wrapping_mul(0x94d0_49bb_1331_11eb));
+            h ^= h >> 31;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 27;
+            R::from_f64((h % 10_000) as f64 / 10_000.0)
+        })
+    }
+
+    /// Grid dimensionality (1–3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Shape `[nz, ny, nx]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff the grid has no points (never: extents are positive).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Linear index of `(z, y, x)`.
+    #[inline]
+    pub fn index(&self, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(z < self.shape[0] && y < self.shape[1] && x < self.shape[2]);
+        (z * self.shape[1] + y) * self.shape[2] + x
+    }
+
+    /// Read `(z, y, x)`.
+    #[inline]
+    pub fn get(&self, z: usize, y: usize, x: usize) -> R {
+        self.data[self.index(z, y, x)]
+    }
+
+    /// Write `(z, y, x)`.
+    #[inline]
+    pub fn set(&mut self, z: usize, y: usize, x: usize, v: R) {
+        let i = self.index(z, y, x);
+        self.data[i] = v;
+    }
+
+    /// Raw data, `z`-major.
+    pub fn as_slice(&self) -> &[R] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
+    /// Row stride (elements between consecutive `y` values).
+    pub fn row_stride(&self) -> usize {
+        self.shape[2]
+    }
+
+    /// Plane stride (elements between consecutive `z` values).
+    pub fn plane_stride(&self) -> usize {
+        self.shape[1] * self.shape[2]
+    }
+
+    /// Valid-output extents for a kernel: `n − e + 1` per axis.
+    ///
+    /// # Panics
+    /// Panics if the kernel is larger than the grid on any axis.
+    pub fn valid_extent(&self, kernel: &StencilKernel) -> [usize; 3] {
+        let e = kernel.extent();
+        let mut out = [0; 3];
+        for a in 0..3 {
+            assert!(
+                self.shape[a] >= e[a],
+                "kernel extent {} exceeds grid extent {} on axis {a}",
+                e[a],
+                self.shape[a]
+            );
+            out[a] = self.shape[a] - e[a] + 1;
+        }
+        out
+    }
+
+    /// Number of valid output points for a kernel.
+    pub fn valid_points(&self, kernel: &StencilKernel) -> usize {
+        let v = self.valid_extent(kernel);
+        v[0] * v[1] * v[2]
+    }
+
+    /// Round every value through `precision` (operand quantization applied
+    /// once per buffer, as on real tensor-core kernels).
+    pub fn quantize(&mut self, precision: Precision) {
+        for v in &mut self.data {
+            *v = R::from_f64(precision.round_f64(v.to_f64()));
+        }
+    }
+
+    /// Max relative difference over the *valid interior* of a kernel — the
+    /// region the stencil actually wrote. Boundary handling differences
+    /// between implementations are excluded by construction.
+    pub fn max_rel_diff_interior(&self, other: &Self, kernel: &StencilKernel) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let v = self.valid_extent(kernel);
+        let mut worst = 0.0f64;
+        for z in 0..v[0] {
+            for y in 0..v[1] {
+                for x in 0..v[2] {
+                    let a = self.get(z, y, x).to_f64();
+                    let b = other.get(z, y, x).to_f64();
+                    let d = (a - b).abs() / 1.0_f64.max(a.abs()).max(b.abs());
+                    worst = worst.max(d);
+                }
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut g = Grid::<f64>::zeros_2d(4, 5);
+        assert_eq!(g.shape(), [1, 4, 5]);
+        assert_eq!(g.dims(), 2);
+        assert_eq!(g.len(), 20);
+        g.set(0, 2, 3, 7.5);
+        assert_eq!(g.get(0, 2, 3), 7.5);
+        assert_eq!(g.index(0, 2, 3), 13);
+        assert_eq!(g.row_stride(), 5);
+    }
+
+    #[test]
+    fn three_d_strides() {
+        let g = Grid::<f32>::zeros_3d(2, 3, 4);
+        assert_eq!(g.plane_stride(), 12);
+        assert_eq!(g.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn valid_extent_for_kernels() {
+        let g = Grid::<f64>::zeros_2d(10, 12);
+        let k = StencilKernel::box2d9p();
+        assert_eq!(g.valid_extent(&k), [1, 8, 10]);
+        assert_eq!(g.valid_points(&k), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds grid extent")]
+    fn kernel_too_large_panics() {
+        let g = Grid::<f64>::zeros_2d(2, 2);
+        let _ = g.valid_extent(&StencilKernel::box2d49p());
+    }
+
+    #[test]
+    fn smooth_random_in_unit_interval_and_deterministic() {
+        let a = Grid::<f32>::smooth_random(2, [1, 8, 8]);
+        let b = Grid::<f32>::smooth_random(2, [1, 8, 8]);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+        // Not constant.
+        assert!(a.as_slice().iter().any(|&v| v != a.get(0, 0, 0)));
+    }
+
+    #[test]
+    fn quantize_rounds_through_precision() {
+        let mut g = Grid::<f32>::from_fn_3d(1, [1, 1, 4], |_, _, x| 0.1 * (x as f32 + 1.0));
+        g.quantize(Precision::Fp16);
+        for x in 0..4 {
+            let v = g.get(0, 0, x);
+            assert_eq!(Precision::Fp16.round_f32(v), v, "already rounded");
+        }
+    }
+
+    #[test]
+    fn interior_diff_ignores_boundary() {
+        let k = StencilKernel::heat2d();
+        let mut a = Grid::<f64>::zeros_2d(6, 6);
+        let b = Grid::<f64>::zeros_2d(6, 6);
+        // Difference only outside the 4×4 valid region.
+        a.set(0, 5, 5, 100.0);
+        assert_eq!(a.max_rel_diff_interior(&b, &k), 0.0);
+        a.set(0, 1, 1, 1.0);
+        assert!(a.max_rel_diff_interior(&b, &k) > 0.0);
+    }
+}

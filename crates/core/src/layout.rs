@@ -1,0 +1,507 @@
+//! Layout Exploration — the first phase of Automatic Kernel Generation
+//! (§3.3, Equations 9–11).
+//!
+//! The crush factors `(r1, r2)` trade redundancy elimination against
+//! staircase sparsity: larger factors shrink `n'` (fewer tiles, less
+//! shared-memory traffic) but grow `k'` quadratically (more, sparser MMA
+//! work). The explorer evaluates every candidate in the search space with
+//! the analytic model of Equations 6–8 — `N_MMA` from Equation 9, memory
+//! volumes from the exact traffic accounting shared with the executor —
+//! and picks `argmin T` (Equation 11). The full evaluation grid is
+//! retained for the Figure-9 heatmaps.
+
+use crate::crush::CrushPlan;
+use crate::stencil::StencilKernel;
+use sparstencil_graph::hierarchical::{hierarchical_pad_count, StaircaseSpec};
+use sparstencil_mat::half::Precision;
+use sparstencil_tcu::{FragmentShape, GpuConfig};
+
+/// How the plan executes on the simulated GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecMode {
+    /// 2:4 sparse tensor cores (the paper's main path).
+    SparseTcu,
+    /// Dense tensor cores on the crushed layout (the ConvStencil-
+    /// equivalent path, also used for FP64 — Table 3).
+    DenseTcu,
+}
+
+/// Geometry derived from a `(r1, r2)` candidate for a given kernel and
+/// grid, including conversion padding. All Equation-9 quantities.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayoutGeometry {
+    /// Crush factors.
+    pub r1: usize,
+    /// Crush factors.
+    pub r2: usize,
+    /// `m' = r1·r2`.
+    pub m_prime: usize,
+    /// `k' = gy·gx`.
+    pub k_prime: usize,
+    /// Zero columns inserted by sparsity conversion (0 in dense mode).
+    pub pads: usize,
+    /// Logical operand depth after conversion and fragment round-up.
+    pub k_logical: usize,
+    /// `m'` rounded up to the fragment `m`.
+    pub m_padded: usize,
+    /// Tiles per output plane (`n'`).
+    pub tiles_per_plane: usize,
+    /// Output planes (1 for 1D/2D).
+    pub planes: usize,
+    /// Kernel depth (slices accumulated per output plane; 1 for 1D/2D).
+    pub slices: usize,
+    /// Fragment MMAs per iteration (Equation 9, times slices × planes).
+    pub n_mma: u64,
+}
+
+/// Analytic evaluation of one layout candidate.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelEval {
+    /// Geometry of the candidate.
+    pub geom: LayoutGeometry,
+    /// Compute time per iteration, seconds (Eq. 7).
+    pub t_compute: f64,
+    /// Memory time per iteration, seconds (Eq. 8).
+    pub t_memory: f64,
+    /// Total modelled time per iteration (Eq. 6).
+    pub t_total: f64,
+    /// Residual sparsity of the stored (compressed) operand.
+    pub stored_sparsity: f64,
+    /// Useful FLOPs / executed TCU FLOPs — the compute-density heatmap
+    /// metric of Figure 9.
+    pub compute_density: f64,
+}
+
+/// Exact per-iteration traffic volumes, shared between the analytic model
+/// and the executor's counters (so "analytic equals counted" is testable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Traffic {
+    /// Global reads in bytes (input + operand + metadata + LUT).
+    pub global_read: u64,
+    /// Global writes in bytes (valid outputs).
+    pub global_write: u64,
+    /// Bytes staged into shared memory.
+    pub shared_write: u64,
+    /// Bytes read from shared memory by fragment operands.
+    pub shared_read: u64,
+    /// Global-read bytes expected to hit in L2 (halo overlap reuse).
+    pub l2_hit: u64,
+}
+
+/// Compute the geometry of a candidate layout.
+///
+/// `grid_shape` is `[nz, ny, nx]`. For 3D kernels the crush applies to
+/// the `y/x` axes and slices accumulate along `z`.
+pub fn geometry(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    r1: usize,
+    r2: usize,
+    frag: FragmentShape,
+    mode: ExecMode,
+) -> LayoutGeometry {
+    let [ez, ey, ex] = kernel.extent();
+    let plan = CrushPlan::new(ey, ex, r1, r2);
+    let (vz, vy, vx) = (
+        grid_shape[0] - ez + 1,
+        grid_shape[1] - ey + 1,
+        grid_shape[2] - ex + 1,
+    );
+    let tiles = plan.n_prime(vy, vx);
+    // 3D kernels fold their `ez` depth slices into one stacked operand of
+    // width `ez·k'` (gather offsets span planes), so the fragment depth
+    // amortizes across the whole accumulation instead of per slice.
+    let k_stacked = plan.k_prime() * ez;
+
+    let (pads, k_logical) = match mode {
+        ExecMode::DenseTcu => (0, k_stacked.div_ceil(frag.k) * frag.k),
+        ExecMode::SparseTcu => {
+            // Pad estimate for the explorer: per-segment hierarchical
+            // count (the exact count comes from the conversion at
+            // compile time; `compile` overwrites these fields).
+            let per_segment = hierarchical_pad_count(StaircaseSpec {
+                n: plan.k_prime(),
+                g: plan.gx,
+                k: plan.kx.max(plan.ky),
+            })
+            .unwrap_or(plan.k_prime());
+            let pads = per_segment * ez;
+            let logical = (k_stacked + pads).div_ceil(frag.k) * frag.k;
+            (pads, logical)
+        }
+    };
+
+    let m_padded = plan.m_prime().div_ceil(frag.m) * frag.m;
+    let m_strips = (m_padded / frag.m) as u64;
+    let k_strips = (k_logical / frag.k) as u64;
+    let col_blocks = tiles.div_ceil(frag.n) as u64;
+    let n_mma = m_strips * k_strips * col_blocks * vz as u64;
+
+    LayoutGeometry {
+        r1,
+        r2,
+        m_prime: plan.m_prime(),
+        k_prime: k_stacked,
+        pads,
+        k_logical,
+        m_padded,
+        tiles_per_plane: tiles,
+        planes: vz,
+        slices: ez,
+        n_mma,
+    }
+}
+
+/// Recompute the fragment-dependent fields of a geometry for an *actual*
+/// converted width (used by `compile` after the conversion determines the
+/// exact padding, which for z-folded 3D operands comes from the Blossom
+/// matcher rather than the explorer's estimate).
+pub fn refine_geometry(geom: &mut LayoutGeometry, frag: FragmentShape, k_logical: usize, pads: usize) {
+    geom.k_logical = k_logical;
+    geom.pads = pads;
+    let m_strips = (geom.m_padded / frag.m) as u64;
+    let k_strips = (k_logical / frag.k) as u64;
+    let col_blocks = geom.tiles_per_plane.div_ceil(frag.n) as u64;
+    geom.n_mma = m_strips * k_strips * col_blocks * geom.planes as u64;
+}
+
+/// Maximum resident (persistent) blocks the generated kernels launch:
+/// enough to fill every SM several times over, few enough that per-block
+/// table loads stay negligible.
+pub const PERSISTENT_BLOCKS: u64 = 1024;
+
+/// Output planes a 3D kernel block advances before refreshing its staged
+/// z-window (z-blocking depth of the generated kernels).
+pub const Z_WINDOW: usize = 8;
+
+/// Exact per-iteration traffic for a geometry. This is the accounting the
+/// executor reproduces op-by-op.
+pub fn traffic(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    geom: &LayoutGeometry,
+    frag: FragmentShape,
+    precision: Precision,
+    use_lut: bool,
+) -> Traffic {
+    let [_ez, ey, ex] = kernel.extent();
+    let plan = CrushPlan::new(ey, ex, geom.r1, geom.r2);
+    let elem = precision.bytes() as u64;
+    let grid_points = (grid_shape[0] * grid_shape[1] * grid_shape[2]) as u64;
+
+    // Gather touches: one CUDA block stages `tiles_per_block` consecutive
+    // tiles of a tile row cooperatively, so x-adjacent tiles share their
+    // halo columns and each block fetches the union region once —
+    // `gy × (tiles·r1 + kx − 1)` elements. Only inter-block and
+    // inter-row halos are re-fetched (and then usually hit in L2).
+    let tiles_per_block = 4 * frag.n;
+    let vx = grid_shape[2] - ex + 1;
+    let tiles_x = vx.div_ceil(geom.r1);
+    let tiles_y = geom.tiles_per_plane / tiles_x.max(1);
+    let full_chunks = tiles_x / tiles_per_block;
+    let rem = tiles_x % tiles_per_block;
+    let row_touches = full_chunks as u64
+        * (plan.gy * (tiles_per_block * geom.r1 + plan.kx - 1)) as u64
+        + if rem > 0 {
+            (plan.gy * (rem * geom.r1 + plan.kx - 1)) as u64
+        } else {
+            0
+        };
+    // 3D kernels block along z as well: a block keeps a window of
+    // `Z_WINDOW` staged planes and slides it, so each input plane is
+    // re-fetched only when the window moves past it instead of once per
+    // accumulation slice.
+    let z_reuse = 1.0 + (geom.slices as f64 - 1.0) / Z_WINDOW as f64;
+    let touches = ((row_touches * tiles_y as u64 * geom.planes as u64) as f64 * z_reuse) as u64;
+    let unique = grid_points;
+    let l2_hit = touches.saturating_sub(unique) * elem;
+
+    // Operand fetch: the kernel launches persistent blocks (grid-stride
+    // loop over column blocks), so the kernel-operand tables (A values,
+    // metadata, LUT) are loaded once per *resident* block, not per tile.
+    let col_blocks = (geom.tiles_per_plane.div_ceil(frag.n) * geom.planes) as u64;
+    let resident_blocks = col_blocks.div_ceil(4).min(PERSISTENT_BLOCKS);
+    let stored_k = match frag.sparse {
+        true => geom.k_logical as u64 / 2,
+        false => geom.k_logical as u64,
+    };
+    let meta_bytes = if frag.sparse {
+        // 2 bits per stored element, packed into u32 words per row.
+        (geom.m_padded as u64) * (stored_k / 16).max(1) * 4
+    } else {
+        0
+    };
+    // One stacked operand covers every depth slice (k_logical spans them).
+    let a_bytes = geom.m_padded as u64 * stored_k * elem + meta_bytes;
+    let lut_bytes = if use_lut {
+        geom.k_logical as u64 * 8 // i64 offsets
+    } else {
+        0
+    };
+
+    // Global: input touches go through L2 with reuse hits served on-chip.
+    // Operand, metadata and LUT reads repeat once per resident block; the
+    // tables are tiny and pinned in L2 after the first block — DRAM sees
+    // exactly one copy.
+    let table_bytes_once = a_bytes + lut_bytes;
+    let table_reads = resident_blocks * table_bytes_once;
+    let global_read = touches * elem + table_reads;
+    let l2_hit = l2_hit + table_reads.saturating_sub(table_bytes_once);
+
+    // Valid outputs written once.
+    let [_, vy, vx] = [
+        0,
+        grid_shape[1] - ey + 1,
+        grid_shape[2] - ex + 1,
+    ];
+    let global_write = (geom.planes * vy * vx) as u64 * elem;
+
+    // Shared: staging writes mirror gather touches plus operand staging
+    // (once per resident block); operand reads stream every fragment's A
+    // and B bytes.
+    let shared_write = touches * elem + resident_blocks * a_bytes;
+    // Operand streaming: every fragment op re-reads its B panel from the
+    // staging buffer; the A operand is register-resident for the block's
+    // lifetime (charged once above).
+    let b_bytes_per_mma = (frag.k * frag.n) as u64 * elem;
+    let shared_read = geom.n_mma * b_bytes_per_mma;
+
+    Traffic {
+        global_read,
+        global_write,
+        shared_write,
+        shared_read,
+        l2_hit,
+    }
+}
+
+/// Evaluate one candidate with the analytic model (Equations 6–9).
+pub fn evaluate(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    r1: usize,
+    r2: usize,
+    frag: FragmentShape,
+    mode: ExecMode,
+    precision: Precision,
+    gpu: &GpuConfig,
+) -> ModelEval {
+    let geom = geometry(kernel, grid_shape, r1, r2, frag, mode);
+    let tr = traffic(kernel, grid_shape, &geom, frag, precision, true);
+
+    let t_compute =
+        (geom.n_mma * frag.executed_flops()) as f64 / gpu.effective_tc_flops(precision);
+    let dram = (tr.global_read - tr.l2_hit) + tr.global_write;
+    let t_global = dram as f64 / gpu.effective_global_bw();
+    let t_l2 = (tr.global_read + tr.global_write) as f64 / gpu.effective_l2_bw();
+    let t_shared = (tr.shared_write + tr.shared_read) as f64 / gpu.effective_shared_bw();
+    let t_memory = t_global.max(t_shared).max(t_l2);
+
+    // Stored-operand sparsity: nonzeros per row = kernel points in the
+    // bounding box row (box: ky·kx); stored slots per row = k_logical/2
+    // (sparse) or k_logical (dense).
+    let nnz_per_row = kernel.points() as f64 / kernel.extent()[0] as f64; // per-slice average
+    let stored_slots = match mode {
+        ExecMode::SparseTcu => geom.k_logical as f64 / 2.0,
+        ExecMode::DenseTcu => geom.k_logical as f64,
+    };
+    let stored_sparsity = (1.0 - nnz_per_row / stored_slots).clamp(0.0, 1.0);
+
+    // Useful work: 2 FLOPs per kernel point per valid output.
+    let [_ez, ey, ex] = kernel.extent();
+    let (vy, vx) = (grid_shape[1] - ey + 1, grid_shape[2] - ex + 1);
+    let useful = 2.0 * kernel.points() as f64 * (geom.planes * vy * vx) as f64;
+    let executed = (geom.n_mma * frag.executed_flops()) as f64;
+
+    ModelEval {
+        geom,
+        t_compute,
+        t_memory,
+        t_total: t_compute.max(t_memory),
+        stored_sparsity,
+        compute_density: (useful / executed).min(1.0),
+    }
+}
+
+/// The search space `S` of Equation 11 and the chosen optimum.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Winning crush factors.
+    pub best: (usize, usize),
+    /// Every evaluated candidate (for the Figure-9 heatmaps).
+    pub evaluated: Vec<ModelEval>,
+}
+
+/// Exhaustively search `(r1, r2)` (Equation 11). The space is bounded by
+/// `max_r` per axis and `m' ≤ 2·frag.m` (larger tiles waste fragment rows
+/// without reducing traffic further); 1D kernels fix `r2 = 1`.
+///
+/// ```
+/// use sparstencil::layout::{explore, ExecMode};
+/// use sparstencil::stencil::StencilKernel;
+/// use sparstencil_tcu::{FragmentShape, GpuConfig, Precision};
+///
+/// let ex = explore(
+///     &StencilKernel::box2d49p(),
+///     [1, 1030, 1030],
+///     FragmentShape::sparse_fp16(),
+///     ExecMode::SparseTcu,
+///     Precision::Fp16,
+///     &GpuConfig::a100(),
+///     8,
+/// );
+/// let (r1, r2) = ex.best;
+/// assert!(r1 >= 1 && r2 >= 1 && r1 * r2 <= 32);
+/// ```
+pub fn explore(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    frag: FragmentShape,
+    mode: ExecMode,
+    precision: Precision,
+    gpu: &GpuConfig,
+    max_r: usize,
+) -> Exploration {
+    let one_d = kernel.dims() == 1;
+    let mut evaluated = Vec::new();
+    let mut best: Option<((usize, usize), f64)> = None;
+    for r2 in 1..=(if one_d { 1 } else { max_r }) {
+        for r1 in 1..=max_r {
+            let m_prime = r1 * r2;
+            if m_prime > 2 * frag.m {
+                continue;
+            }
+            // Tiles larger than the valid region are pure padding.
+            let [_, ey, ex] = kernel.extent();
+            if r2 > grid_shape[1].saturating_sub(ey) + 1
+                || r1 > grid_shape[2].saturating_sub(ex) + 1
+            {
+                continue;
+            }
+            let eval = evaluate(kernel, grid_shape, r1, r2, frag, mode, precision, gpu);
+            let score = eval.t_total;
+            evaluated.push(eval);
+            if best.is_none_or(|(_, t)| score < t) {
+                best = Some(((r1, r2), score));
+            }
+        }
+    }
+    let best = best.expect("search space must be non-empty").0;
+    Exploration { best, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuConfig {
+        GpuConfig::a100()
+    }
+
+    #[test]
+    fn equation9_mma_count() {
+        // Box-2D9P on 130×130, r=(4,4), sparse m16n8k32:
+        // m'=16→1 strip; k'=36, pads → k_logical multiple of 32;
+        // tiles = 32×32 = 1024 → 128 column blocks.
+        let k = StencilKernel::box2d9p();
+        let g = geometry(&k, [1, 130, 130], 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
+        assert_eq!(g.m_prime, 16);
+        assert_eq!(g.m_padded, 16);
+        assert_eq!(g.k_prime, 36);
+        assert_eq!(g.tiles_per_plane, 1024);
+        let k_strips = g.k_logical / 32;
+        assert_eq!(g.n_mma, (k_strips * 128) as u64);
+    }
+
+    #[test]
+    fn dense_mode_skips_conversion() {
+        let k = StencilKernel::box2d9p();
+        let g = geometry(&k, [1, 130, 130], 4, 4, FragmentShape::dense_fp16(), ExecMode::DenseTcu);
+        assert_eq!(g.pads, 0);
+        assert_eq!(g.k_logical, 48); // 36 → 48 (multiple of 16)
+    }
+
+    #[test]
+    fn sparse_halves_compute_vs_dense() {
+        let k = StencilKernel::box2d49p();
+        let shape = [1, 1030, 1030];
+        let gpu = gpu();
+        let sp = evaluate(&k, shape, 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu, Precision::Fp16, &gpu);
+        let dn = evaluate(&k, shape, 4, 4, FragmentShape::dense_fp16(), ExecMode::DenseTcu, Precision::Fp16, &gpu);
+        let ratio = dn.t_compute / sp.t_compute;
+        assert!(
+            (1.5..=2.6).contains(&ratio),
+            "sparse should roughly halve compute: ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn explorer_picks_low_time() {
+        let k = StencilKernel::box2d9p();
+        let gpu = gpu();
+        let ex = explore(
+            &k,
+            [1, 514, 514],
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+            Precision::Fp16,
+            &gpu,
+            16,
+        );
+        let best_eval = ex
+            .evaluated
+            .iter()
+            .find(|e| (e.geom.r1, e.geom.r2) == ex.best)
+            .unwrap();
+        for e in &ex.evaluated {
+            assert!(best_eval.t_total <= e.t_total + 1e-15);
+        }
+        // (1,1) is never optimal: it wastes 15/16 fragment rows.
+        assert_ne!(ex.best, (1, 1));
+    }
+
+    #[test]
+    fn one_dimensional_explorer_fixes_r2() {
+        let k = StencilKernel::heat1d();
+        let gpu = gpu();
+        let ex = explore(
+            &k,
+            [1, 1, 100_000],
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+            Precision::Fp16,
+            &gpu,
+            32,
+        );
+        assert!(ex.evaluated.iter().all(|e| e.geom.r2 == 1));
+        assert!(ex.best.0 >= 8, "1D should pick a wide r1, got {:?}", ex.best);
+    }
+
+    #[test]
+    fn three_d_geometry_has_slices_and_planes() {
+        let k = StencilKernel::heat3d();
+        let g = geometry(&k, [34, 34, 34], 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
+        assert_eq!(g.slices, 3);
+        assert_eq!(g.planes, 32);
+        assert_eq!(g.tiles_per_plane, 64);
+    }
+
+    #[test]
+    fn compute_density_bounded_and_meaningful() {
+        let k = StencilKernel::box2d49p();
+        let gpu = gpu();
+        let e = evaluate(&k, [1, 1030, 1030], 8, 2, FragmentShape::sparse_fp16(), ExecMode::SparseTcu, Precision::Fp16, &gpu);
+        assert!(e.compute_density > 0.0 && e.compute_density <= 1.0);
+        assert!(e.stored_sparsity >= 0.0 && e.stored_sparsity < 1.0);
+    }
+
+    #[test]
+    fn traffic_global_write_counts_valid_outputs() {
+        let k = StencilKernel::box2d9p();
+        let shape = [1, 34, 34];
+        let g = geometry(&k, shape, 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
+        let t = traffic(&k, shape, &g, FragmentShape::sparse_fp16(), Precision::Fp16, true);
+        assert_eq!(t.global_write, 32 * 32 * 2);
+        assert!(t.global_read > 0 && t.shared_read > 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # SparStencil — sparse-Tensor-Core stencil computation
+//!
+//! A Rust reproduction of *"SparStencil: Retargeting Sparse Tensor Cores
+//! to Scientific Stencil Computations via Structured Sparsity
+//! Transformation"* (SC '25). The system turns stencil computations into
+//! 2:4-structured sparse matrix multiplications executable on (simulated)
+//! sparse tensor cores, through three stages:
+//!
+//! 1. **Adaptive Layout Morphing** ([`flatten`], [`crush`]) — im2row-style
+//!    flattening followed by Duplicates Crush, producing the self-similar
+//!    k-staircase kernel matrix `A'` and an implicit, duplicate-free input
+//!    operand `B'`.
+//! 2. **Structured Sparsity Conversion** ([`convert`]) — a Permutation
+//!    Invariant Transformation found by Hierarchical Two-Level Matching
+//!    (Algorithm 1, with a Blossom exact fallback) that rearranges `A'`
+//!    into a 2:4-compatible layout with minimal zero-padding.
+//! 3. **Automatic Kernel Generation** ([`layout`], [`plan`], [`codegen`])
+//!    — analytic layout exploration (Equations 6–11), 2:4 metadata
+//!    encoding, lookup-table memory mapping, and CUDA source synthesis;
+//!    execution happens on the `sparstencil-tcu` simulator ([`exec`]).
+//!
+//! The friendly entry point is [`pipeline::Executor`]:
+//!
+//! ```
+//! use sparstencil::prelude::*;
+//!
+//! let kernel = StencilKernel::box2d9p();
+//! let shape = [1, 66, 66];
+//! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
+//! let input = Grid::<f32>::smooth_random(2, shape);
+//! let (output, stats) = exec.run(&input, 2);
+//! assert!(stats.gstencil_per_sec > 0.0);
+//! assert_eq!(output.shape(), shape);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod convert;
+pub mod crush;
+pub mod exec;
+pub mod flatten;
+pub mod grid;
+pub mod layout;
+pub mod parse;
+pub mod pipeline;
+pub mod plan;
+pub mod reference;
+pub mod stencil;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::convert::Strategy;
+    pub use crate::exec::RunStats;
+    pub use crate::grid::Grid;
+    pub use crate::layout::ExecMode;
+    pub use crate::pipeline::Executor;
+    pub use crate::plan::{CompileError, Options, OptFlags};
+    pub use crate::stencil::StencilKernel;
+    pub use sparstencil_mat::half::Precision;
+    pub use sparstencil_tcu::{FragmentShape, GpuConfig};
+}
+
+pub use grid::Grid;
+pub use pipeline::Executor;
+pub use plan::Options;
+pub use stencil::StencilKernel;

@@ -1,0 +1,362 @@
+//! A small textual format for stencil kernels.
+//!
+//! Downstream users (and the paper's 79-kernel evaluation protocol)
+//! need kernels that are data, not code. Two equivalent layouts are
+//! accepted:
+//!
+//! **Grid form** — weights written as the bounding-box rows (planes
+//! separated by `plane` lines for 3D):
+//!
+//! ```text
+//! kernel heat2d
+//! dims 2
+//! extent 3 3
+//! weights
+//! 0     0.125 0
+//! 0.125 0.5   0.125
+//! 0     0.125 0
+//! ```
+//!
+//! **Point form** — one `point dz dy dx weight` line per nonzero, with
+//! offsets relative to the bounding-box corner:
+//!
+//! ```text
+//! kernel cross
+//! dims 2
+//! extent 3 3
+//! point 0 0 1  0.25
+//! point 0 1 0  0.25
+//! point 0 1 2  0.25
+//! point 0 2 1  0.25
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. 1D kernels use
+//! `extent N`, 2D `extent EY EX`, 3D `extent EZ EY EX`.
+
+use crate::stencil::StencilKernel;
+
+/// Parse errors with line positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a kernel from the textual format.
+pub fn parse_kernel(input: &str) -> Result<StencilKernel, ParseError> {
+    let mut name: Option<String> = None;
+    let mut dims: Option<usize> = None;
+    let mut extent: Option<[usize; 3]> = None;
+    let mut weights: Option<Vec<f64>> = None;
+    let mut points: Vec<(usize, usize, usize, f64)> = Vec::new();
+    let mut in_weights = false;
+    let mut weight_values: Vec<f64> = Vec::new();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap();
+
+        if in_weights {
+            // Inside the weights block everything numeric belongs to it;
+            // `plane` separators are accepted and ignored.
+            if head == "plane" {
+                continue;
+            }
+            if head.parse::<f64>().is_ok() {
+                for tok in std::iter::once(head).chain(tokens) {
+                    weight_values.push(
+                        tok.parse::<f64>()
+                            .map_err(|_| err(lineno, format!("bad weight `{tok}`")))?,
+                    );
+                }
+                continue;
+            }
+            // Any keyword terminates the weights block.
+            weights = Some(std::mem::take(&mut weight_values));
+            in_weights = false;
+        }
+
+        match head {
+            "kernel" => {
+                let n: Vec<&str> = tokens.collect();
+                if n.is_empty() {
+                    return Err(err(lineno, "kernel requires a name"));
+                }
+                name = Some(n.join(" "));
+            }
+            "dims" => {
+                let d = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "dims requires a value"))?;
+                let d: usize = d
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad dims `{d}`")))?;
+                if !(1..=3).contains(&d) {
+                    return Err(err(lineno, "dims must be 1, 2 or 3"));
+                }
+                dims = Some(d);
+            }
+            "extent" => {
+                let vals: Result<Vec<usize>, _> = tokens.map(str::parse).collect();
+                let vals = vals.map_err(|_| err(lineno, "bad extent values"))?;
+                let d = dims.ok_or_else(|| err(lineno, "extent must follow dims"))?;
+                if vals.len() != d {
+                    return Err(err(
+                        lineno,
+                        format!("extent expects {d} values for dims {d}, got {}", vals.len()),
+                    ));
+                }
+                if vals.contains(&0) {
+                    return Err(err(lineno, "extents must be positive"));
+                }
+                let mut e = [1usize; 3];
+                e[3 - d..].copy_from_slice(&vals);
+                extent = Some(e);
+            }
+            "weights" => {
+                if extent.is_none() {
+                    return Err(err(lineno, "weights must follow extent"));
+                }
+                in_weights = true;
+            }
+            "point" => {
+                let vals: Vec<&str> = tokens.collect();
+                if vals.len() != 4 {
+                    return Err(err(lineno, "point expects `dz dy dx weight`"));
+                }
+                let dz: usize = vals[0]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad point offset"))?;
+                let dy: usize = vals[1]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad point offset"))?;
+                let dx: usize = vals[2]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad point offset"))?;
+                let w: f64 = vals[3]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad point weight"))?;
+                points.push((dz, dy, dx, w));
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+    if in_weights {
+        weights = Some(weight_values);
+    }
+
+    let name = name.ok_or_else(|| err(0, "missing `kernel` name"))?;
+    let dims = dims.ok_or_else(|| err(0, "missing `dims`"))?;
+    let extent = extent.ok_or_else(|| err(0, "missing `extent`"))?;
+    let [ez, ey, ex] = extent;
+
+    let weight_vec = match (weights, points.is_empty()) {
+        (Some(w), true) => {
+            if w.len() != ez * ey * ex {
+                return Err(err(
+                    0,
+                    format!(
+                        "weights block holds {} values, extent needs {}",
+                        w.len(),
+                        ez * ey * ex
+                    ),
+                ));
+            }
+            w
+        }
+        (None, false) => {
+            let mut w = vec![0.0; ez * ey * ex];
+            for (dz, dy, dx, v) in points {
+                if dz >= ez || dy >= ey || dx >= ex {
+                    return Err(err(0, format!("point ({dz},{dy},{dx}) outside extent")));
+                }
+                w[(dz * ey + dy) * ex + dx] = v;
+            }
+            w
+        }
+        (Some(_), false) => {
+            return Err(err(0, "use either a weights block or point lines, not both"))
+        }
+        (None, true) => return Err(err(0, "no weights given")),
+    };
+
+    if weight_vec.iter().all(|&w| w == 0.0) {
+        return Err(err(0, "kernel has no nonzero weights"));
+    }
+    Ok(StencilKernel::new(name, dims, extent, weight_vec))
+}
+
+/// Serialize a kernel back into the grid-form text (round-trips through
+/// [`parse_kernel`]).
+pub fn format_kernel(kernel: &StencilKernel) -> String {
+    use std::fmt::Write as _;
+    let [ez, ey, ex] = kernel.extent();
+    let mut s = String::new();
+    let _ = writeln!(s, "kernel {}", kernel.name());
+    let _ = writeln!(s, "dims {}", kernel.dims());
+    match kernel.dims() {
+        1 => {
+            let _ = writeln!(s, "extent {ex}");
+        }
+        2 => {
+            let _ = writeln!(s, "extent {ey} {ex}");
+        }
+        _ => {
+            let _ = writeln!(s, "extent {ez} {ey} {ex}");
+        }
+    }
+    let _ = writeln!(s, "weights");
+    for z in 0..ez {
+        if z > 0 {
+            let _ = writeln!(s, "plane");
+        }
+        for y in 0..ey {
+            let row: Vec<String> = (0..ex)
+                .map(|x| format!("{}", kernel.weight(z, y, x)))
+                .collect();
+            let _ = writeln!(s, "{}", row.join(" "));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_form_2d() {
+        let k = parse_kernel(
+            "kernel heat2d\n\
+             dims 2\n\
+             extent 3 3\n\
+             weights\n\
+             0 0.125 0\n\
+             0.125 0.5 0.125\n\
+             0 0.125 0\n",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "heat2d");
+        assert_eq!(k.points(), 5);
+        assert_eq!(k.weight(0, 1, 1), 0.5);
+        assert_eq!(k, StencilKernel::heat2d().with_name("heat2d"));
+    }
+
+    #[test]
+    fn point_form_2d() {
+        let k = parse_kernel(
+            "kernel cross\n\
+             dims 2\n\
+             extent 3 3\n\
+             point 0 0 1 0.25\n\
+             point 0 1 0 0.25\n\
+             point 0 1 2 0.25\n\
+             point 0 2 1 0.25\n",
+        )
+        .unwrap();
+        assert_eq!(k.points(), 4);
+        assert_eq!(k.weight(0, 0, 1), 0.25);
+        assert_eq!(k.weight(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_extent_shorthand() {
+        let k = parse_kernel("kernel h1\ndims 1\nextent 3\nweights\n0.25 0.5 0.25\n").unwrap();
+        assert_eq!(k.extent(), [1, 1, 3]);
+        assert_eq!(k.dims(), 1);
+    }
+
+    #[test]
+    fn three_dimensional_with_planes() {
+        let text = "kernel h3\ndims 3\nextent 3 3 3\nweights\n\
+            0 0 0\n0 0.1 0\n0 0 0\nplane\n\
+            0 0.1 0\n0.1 0.4 0.1\n0 0.1 0\nplane\n\
+            0 0 0\n0 0.1 0\n0 0 0\n";
+        let k = parse_kernel(text).unwrap();
+        assert_eq!(k.points(), 7);
+        assert_eq!(k, StencilKernel::heat3d().with_name("h3"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let k = parse_kernel(
+            "# a heat kernel\nkernel h\n\ndims 1\nextent 3 # inline comment\nweights\n1 2 1\n",
+        )
+        .unwrap();
+        assert_eq!(k.points(), 3);
+    }
+
+    #[test]
+    fn roundtrip_all_table2_kernels() {
+        for k in [
+            StencilKernel::heat1d(),
+            StencilKernel::onedim5p(),
+            StencilKernel::heat2d(),
+            StencilKernel::box2d49p(),
+            StencilKernel::star2d13p(),
+            StencilKernel::heat3d(),
+            StencilKernel::box3d27p(),
+        ] {
+            let text = format_kernel(&k);
+            let back = parse_kernel(&text).unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            assert_eq!(back, k, "roundtrip failed for {}", k.name());
+        }
+    }
+
+    #[test]
+    fn error_cases_report_lines() {
+        assert!(parse_kernel("dims 2\n").unwrap_err().message.contains("kernel"));
+        let e = parse_kernel("kernel x\ndims 7\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_kernel("kernel x\ndims 2\nextent 3\n").unwrap_err();
+        assert!(e.message.contains("expects 2 values"));
+        let e = parse_kernel("kernel x\ndims 2\nextent 3 3\nweights\n1 2 3\n").unwrap_err();
+        assert!(e.message.contains("holds 3 values"));
+        let e = parse_kernel("kernel x\ndims 2\nextent 3 3\npoint 0 5 0 1.0\n").unwrap_err();
+        assert!(e.message.contains("outside extent"));
+        let e = parse_kernel("kernel x\ndims 2\nextent 3 3\nbogus 1\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+        let e = parse_kernel("kernel x\ndims 2\nextent 3 3\nweights\n0 0 0\n0 0 0\n0 0 0\n")
+            .unwrap_err();
+        assert!(e.message.contains("no nonzero"));
+    }
+
+    #[test]
+    fn parsed_kernel_runs_through_the_pipeline() {
+        use crate::pipeline::Executor;
+        use crate::plan::Options;
+        let k = parse_kernel(
+            "kernel custom-L\ndims 2\nextent 3 3\n\
+             point 0 0 0 0.2\npoint 0 1 0 0.2\npoint 0 2 0 0.2\n\
+             point 0 2 1 0.2\npoint 0 2 2 0.2\n",
+        )
+        .unwrap();
+        let shape = [1, 40, 40];
+        let exec = Executor::<f32>::new(&k, shape, &Options::default()).unwrap();
+        let g = crate::grid::Grid::<f32>::smooth_random(2, shape);
+        let err = exec.verify(&g, 1);
+        assert!(err < 5e-2, "custom kernel err {err}");
+    }
+}

@@ -1,0 +1,192 @@
+//! The top-level SparStencil API.
+//!
+//! [`Executor`] bundles the full flow of Figure-less §3: compile a kernel
+//! (layout exploration → layout morphing → sparsity conversion → kernel
+//! generation), execute it on the simulated sparse TCUs, verify against
+//! the scalar reference, inspect the generated CUDA source, and profile
+//! preprocessing overhead (Figure 8).
+
+use crate::codegen;
+use crate::exec::{self, RunStats};
+use crate::grid::Grid;
+use crate::plan::{self, CompileError, CompiledStencil, Options};
+use crate::reference;
+use crate::stencil::StencilKernel;
+use sparstencil_mat::Real;
+
+/// A compiled, runnable stencil pipeline.
+#[derive(Debug, Clone)]
+pub struct Executor<R: Real> {
+    plan: CompiledStencil<R>,
+}
+
+/// One point of the Figure-8 overhead profile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OverheadPoint {
+    /// Iteration count the overhead is amortized over.
+    pub iters: usize,
+    /// Transformation share of total time (TS in Figure 8).
+    pub transform_pct: f64,
+    /// Metadata-generation share (MD).
+    pub metadata_pct: f64,
+    /// Lookup-table share (LUT).
+    pub lut_pct: f64,
+}
+
+impl<R: Real> Executor<R> {
+    /// Compile `kernel` for `grid_shape` under `options`.
+    pub fn new(
+        kernel: &StencilKernel,
+        grid_shape: [usize; 3],
+        options: &Options,
+    ) -> Result<Self, CompileError> {
+        Ok(Self {
+            plan: plan::compile(kernel, grid_shape, options)?,
+        })
+    }
+
+    /// The underlying compiled plan.
+    pub fn plan(&self) -> &CompiledStencil<R> {
+        &self.plan
+    }
+
+    /// Execute `iters` steps functionally on the simulator.
+    pub fn run(&self, input: &Grid<R>, iters: usize) -> (Grid<R>, RunStats) {
+        exec::run(&self.plan, input, iters)
+    }
+
+    /// Evaluate the analytic model at an arbitrary (paper-scale) problem
+    /// size without functional execution.
+    pub fn run_modelled(&self, grid_shape: [usize; 3], iters: usize) -> RunStats {
+        exec::model_run(&self.plan, grid_shape, iters)
+    }
+
+    /// Run functionally and return the max relative interior error versus
+    /// the scalar `f64` reference (after quantizing the reference input
+    /// through the plan's precision, as the hardware would).
+    pub fn verify(&self, input: &Grid<R>, iters: usize) -> f64 {
+        let (got, _) = self.run(input, iters);
+        let k = &self.plan.kernel;
+        let shape = self.plan.grid_shape;
+        let mut ref_in =
+            Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| input.get(z, y, x).to_f64());
+        ref_in.quantize(self.plan.precision);
+        let want = reference::iterate_parallel(k, &ref_in, iters);
+        let got64 = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| got.get(z, y, x).to_f64());
+        // Region that stays valid across `iters` applications.
+        let reach = k.extent().map(|e| (e - 1) * iters + 1);
+        let probe = StencilKernel::new(
+            "reach-probe",
+            k.dims(),
+            [
+                if k.dims() == 3 { reach[0] } else { 1 },
+                if k.dims() >= 2 { reach[1] } else { 1 },
+                reach[2],
+            ],
+            vec![
+                0.0;
+                (if k.dims() == 3 { reach[0] } else { 1 })
+                    * (if k.dims() >= 2 { reach[1] } else { 1 })
+                    * reach[2]
+            ],
+        );
+        got64.max_rel_diff_interior(&want, &probe)
+    }
+
+    /// The CUDA source the code generator emits for this plan.
+    pub fn cuda_source(&self) -> String {
+        codegen::emit_cuda(&self.plan)
+    }
+
+    /// The Figure-8 overhead profile: preprocessing shares (TS / MD /
+    /// LUT) of total runtime as a function of the iteration count the
+    /// preprocessing is amortized over. Uses measured host times and the
+    /// modelled per-iteration kernel time.
+    pub fn overhead_profile(&self, iteration_counts: &[usize]) -> Vec<OverheadPoint> {
+        let per_iter = self
+            .run_modelled(self.plan.grid_shape, 1)
+            .seconds_per_iter;
+        iteration_counts
+            .iter()
+            .map(|&iters| {
+                let kernel_time = per_iter * iters as f64;
+                let p = &self.plan.prep;
+                // Search is part of transformation in the paper's TS bar.
+                let ts = p.transform_s + p.search_s;
+                let total = kernel_time + ts + p.metadata_s + p.lut_s;
+                OverheadPoint {
+                    iters,
+                    transform_pct: 100.0 * ts / total,
+                    metadata_pct: 100.0 * p.metadata_s / total,
+                    lut_pct: 100.0 * p.lut_s / total,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::half::verify_tolerance;
+
+    #[test]
+    fn executor_end_to_end() {
+        let ex = Executor::<f32>::new(
+            &StencilKernel::box2d9p(),
+            [1, 50, 50],
+            &Options::default(),
+        )
+        .unwrap();
+        let g = Grid::<f32>::smooth_random(2, [1, 50, 50]);
+        let err = ex.verify(&g, 1);
+        assert!(err <= verify_tolerance(ex.plan().precision), "err {err}");
+    }
+
+    #[test]
+    fn cuda_source_nonempty() {
+        let ex = Executor::<f32>::new(
+            &StencilKernel::heat2d(),
+            [1, 34, 34],
+            &Options::default(),
+        )
+        .unwrap();
+        assert!(ex.cuda_source().contains("sparstencil_kernel"));
+    }
+
+    #[test]
+    fn overhead_decays_with_iterations() {
+        let ex = Executor::<f32>::new(
+            &StencilKernel::box2d49p(),
+            [1, 130, 130],
+            &Options::default(),
+        )
+        .unwrap();
+        let profile = ex.overhead_profile(&[1, 10, 100, 1000]);
+        assert_eq!(profile.len(), 4);
+        let total =
+            |p: &OverheadPoint| p.transform_pct + p.metadata_pct + p.lut_pct;
+        for w in profile.windows(2) {
+            assert!(
+                total(&w[1]) <= total(&w[0]) + 1e-9,
+                "overhead must decay: {:?}",
+                profile
+            );
+        }
+        assert!(total(&profile[3]) < total(&profile[0]));
+    }
+
+    #[test]
+    fn modelled_run_at_larger_scale() {
+        let ex = Executor::<f32>::new(
+            &StencilKernel::box2d9p(),
+            [1, 66, 66],
+            &Options::default(),
+        )
+        .unwrap();
+        let small = ex.run_modelled([1, 66, 66], 10);
+        let big = ex.run_modelled([1, 1026, 1026], 10);
+        assert!(big.gstencil_per_sec > small.gstencil_per_sec,
+            "bigger problems amortize launches: {} vs {}", big.gstencil_per_sec, small.gstencil_per_sec);
+    }
+}

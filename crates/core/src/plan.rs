@@ -1,0 +1,574 @@
+//! Kernel plans — the compiled artifact of Automatic Kernel Generation.
+//!
+//! A [`CompiledStencil`] is everything the generated CUDA kernel would
+//! embed, in executable form for the simulator: the converted and
+//! compressed `A''` operands (per 3D slice, split into fragment strips),
+//! the 2:4 **metadata** (inside [`sparstencil_mat::TwoFourMatrix`]), the
+//! gather **lookup table** mapping operand rows to input offsets (§3.3:
+//! precomputed on the host to avoid per-access integer division), the
+//! scatter table for outputs, and the launch geometry. Host-side
+//! preparation is timed per artifact ([`PrepStats`]) to reproduce the
+//! Figure-8 overhead analysis.
+
+use crate::convert::{self, Strategy};
+use crate::crush::{build_a_prime, CrushPlan};
+use crate::layout::{self, ExecMode, LayoutGeometry};
+use crate::stencil::StencilKernel;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::{DenseMatrix, Permutation, Real, TwoFourMatrix};
+use sparstencil_tcu::{FragmentShape, GpuConfig, LaunchConfig};
+use std::time::Instant;
+
+/// Runtime optimizations of the generated kernel (the "+opts" stage of
+/// Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OptFlags {
+    /// Host-precomputed lookup tables for global→shared address mapping.
+    /// Without it the kernel spends integer ops per gathered element.
+    pub lut: bool,
+    /// Double-buffered async pipeline (compute/memory overlap). Without
+    /// it kernel time is `T_compute + T_memory` instead of the `max`.
+    pub double_buffer: bool,
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        Self {
+            lut: true,
+            double_buffer: true,
+        }
+    }
+}
+
+/// Host-side preprocessing times (Figure 8: TS / MD / LUT).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrepStats {
+    /// Layout search time, seconds.
+    pub search_s: f64,
+    /// Transformation time (crush + sparsity conversion), seconds.
+    pub transform_s: f64,
+    /// Metadata generation (2:4 compression) time, seconds.
+    pub metadata_s: f64,
+    /// Lookup-table construction time, seconds.
+    pub lut_s: f64,
+}
+
+impl PrepStats {
+    /// Total preprocessing time.
+    pub fn total(&self) -> f64 {
+        self.search_s + self.transform_s + self.metadata_s + self.lut_s
+    }
+}
+
+/// One fragment-strip operand of `A''`.
+#[derive(Debug, Clone)]
+pub enum Operand<R: Real> {
+    /// Compressed 2:4 operand with metadata (sparse mode).
+    Sparse(TwoFourMatrix<R>),
+    /// Dense operand (dense-TCU mode).
+    Dense(DenseMatrix<R>),
+}
+
+impl<R: Real> Operand<R> {
+    /// Bytes of metadata carried by this strip (0 for dense).
+    pub fn metadata_bytes(&self) -> usize {
+        match self {
+            Operand::Sparse(m) => m.metadata_bytes(),
+            Operand::Dense(_) => 0,
+        }
+    }
+}
+
+/// The per-`dz` operand block: strips indexed `[m_strip][k_strip]`.
+#[derive(Debug, Clone)]
+pub struct SliceOperands<R: Real> {
+    /// Kernel depth offset this slice multiplies against.
+    pub dz: usize,
+    /// Fragment strips `[m_strip][k_strip]`.
+    pub strips: Vec<Vec<Operand<R>>>,
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The kernel is larger than the grid on some axis.
+    KernelTooLarge {
+        /// Offending axis (0 = z).
+        axis: usize,
+    },
+    /// Sparse execution requested at a precision without hardware 2:4
+    /// support (FP64 — §4.7).
+    SparseUnsupported {
+        /// The requested precision.
+        precision: Precision,
+    },
+    /// Fragment/mode mismatch (e.g. dense fragment in sparse mode).
+    FragmentModeMismatch,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::KernelTooLarge { axis } => {
+                write!(f, "kernel larger than grid on axis {axis}")
+            }
+            CompileError::SparseUnsupported { precision } => {
+                write!(f, "no sparse tensor core support at {}", precision.name())
+            }
+            CompileError::FragmentModeMismatch => write!(f, "fragment shape incompatible with mode"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Operand precision (default FP16, the paper's main mode).
+    pub precision: Precision,
+    /// Fragment geometry; `None` picks the mode's default.
+    pub frag: Option<FragmentShape>,
+    /// Sparse or dense tensor-core execution.
+    pub mode: ExecMode,
+    /// Matching strategy for sparsity conversion.
+    pub strategy: Strategy,
+    /// Fixed `(r1, r2)`, or `None` to run layout exploration.
+    pub layout: Option<(usize, usize)>,
+    /// Runtime optimization flags.
+    pub flags: OptFlags,
+    /// Search-space bound per axis for exploration.
+    pub max_r: usize,
+    /// Hardware model.
+    pub gpu: GpuConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            precision: Precision::Fp16,
+            frag: None,
+            mode: ExecMode::SparseTcu,
+            strategy: Strategy::Auto,
+            layout: None,
+            flags: OptFlags::default(),
+            max_r: 16,
+            gpu: GpuConfig::a100(),
+        }
+    }
+}
+
+impl Options {
+    /// The fragment geometry in effect.
+    pub fn effective_frag(&self) -> FragmentShape {
+        self.frag.unwrap_or(match (self.mode, self.precision) {
+            (ExecMode::SparseTcu, Precision::Fp64) => FragmentShape::sparse_fp64_projected(),
+            (ExecMode::SparseTcu, _) => FragmentShape::sparse_fp16(),
+            (ExecMode::DenseTcu, Precision::Fp64) => FragmentShape::dense_fp64(),
+            (ExecMode::DenseTcu, _) => FragmentShape::dense_fp16(),
+        })
+    }
+}
+
+/// A fully compiled stencil: the simulator-executable equivalent of the
+/// generated CUDA kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledStencil<R: Real> {
+    /// The (possibly temporally fused) kernel this plan executes.
+    pub kernel: StencilKernel,
+    /// Grid shape the plan was compiled for.
+    pub grid_shape: [usize; 3],
+    /// Crush geometry.
+    pub plan: CrushPlan,
+    /// Derived layout geometry (Equation 9 quantities).
+    pub geom: LayoutGeometry,
+    /// Fragment geometry.
+    pub frag: FragmentShape,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Operand precision.
+    pub precision: Precision,
+    /// Optimization flags.
+    pub flags: OptFlags,
+    /// Hardware model.
+    pub gpu: GpuConfig,
+    /// PIT permutation used (identity-with-padding in dense mode).
+    pub perm: Permutation,
+    /// Per-slice operands, `[dz]` → strips `[mi][ki]`.
+    pub slices: Vec<SliceOperands<R>>,
+    /// Gather LUT: operand row → input offset relative to the tile base
+    /// (`dz·plane_stride + iy·nx + ix`), `-1` for padding rows. This is
+    /// the table the generated kernel ships to the GPU.
+    pub gather_lut: Vec<i64>,
+    /// Gather coordinates `(dz, iy, ix)` per operand row (`u32::MAX`
+    /// triple for padding rows) — used by the executor's edge-tile path,
+    /// where the linear offset alone cannot be bounds-checked.
+    pub gather_coords: Vec<(u32, u32, u32)>,
+    /// Scatter LUT: `A''` row → output offset within the plane relative
+    /// to the tile base, `usize::MAX` for padded rows.
+    pub scatter_lut: Vec<usize>,
+    /// Which matcher the conversion used.
+    pub strategy_used: &'static str,
+    /// Host preprocessing times.
+    pub prep: PrepStats,
+    /// Launch geometry for the occupancy model.
+    pub launch: LaunchConfig,
+}
+
+impl<R: Real> CompiledStencil<R> {
+    /// Total metadata bytes across all operand strips (Figure 8's MD
+    /// artifact).
+    pub fn metadata_bytes(&self) -> usize {
+        self.slices
+            .iter()
+            .flat_map(|s| s.strips.iter().flatten())
+            .map(Operand::metadata_bytes)
+            .sum()
+    }
+
+    /// Lookup-table size in bytes (Figure 8's LUT artifact).
+    pub fn lut_bytes(&self) -> usize {
+        self.gather_lut.len() * 8 + self.scatter_lut.len() * 8
+    }
+
+    /// Achieved occupancy under the launch model.
+    pub fn occupancy(&self) -> f64 {
+        self.launch.occupancy(&self.gpu)
+    }
+}
+
+/// Compile a stencil kernel for a grid (Automatic Kernel Generation).
+pub fn compile<R: Real>(
+    kernel: &StencilKernel,
+    grid_shape: [usize; 3],
+    options: &Options,
+) -> Result<CompiledStencil<R>, CompileError> {
+    let e = kernel.extent();
+    for axis in 0..3 {
+        if grid_shape[axis] < e[axis] {
+            return Err(CompileError::KernelTooLarge { axis });
+        }
+    }
+    let frag = options.effective_frag();
+    match options.mode {
+        ExecMode::SparseTcu => {
+            if !frag.sparse {
+                return Err(CompileError::FragmentModeMismatch);
+            }
+            if !options.gpu.supports_sparse(options.precision) {
+                return Err(CompileError::SparseUnsupported {
+                    precision: options.precision,
+                });
+            }
+        }
+        ExecMode::DenseTcu => {
+            if frag.sparse {
+                return Err(CompileError::FragmentModeMismatch);
+            }
+        }
+    }
+
+    let mut prep = PrepStats::default();
+
+    // ---- Layout exploration (Equation 11) or fixed layout. ----
+    let t0 = Instant::now();
+    let (r1, r2) = match options.layout {
+        Some(rs) => rs,
+        None => {
+            layout::explore(
+                kernel,
+                grid_shape,
+                frag,
+                options.mode,
+                options.precision,
+                &options.gpu,
+                options.max_r,
+            )
+            .best
+        }
+    };
+    prep.search_s = t0.elapsed().as_secs_f64();
+
+    let [ez, ey, ex] = e;
+    let plan = CrushPlan::new(ey, ex, r1, r2);
+
+    // ---- Transformation: crush + sparsity conversion. ----
+    // 3D kernels fold their depth slices into ONE stacked operand of
+    // width `ez·k'` (source column `dz·k' + s` multiplies the input at
+    // depth offset `dz`), so fragment depth amortizes across the whole
+    // z-accumulation.
+    let t0 = Instant::now();
+    let k_stacked = ez * plan.k_prime();
+    let mut stacked = DenseMatrix::<f64>::zeros(plan.m_prime(), k_stacked);
+    for dz in 0..ez {
+        let a_dz = build_a_prime(&kernel.slice2d(dz), &plan);
+        stacked.set_block(0, dz * plan.k_prime(), &a_dz);
+    }
+
+    let (perm, strategy_used) = match options.mode {
+        ExecMode::DenseTcu => {
+            // Identity order padded up to a fragment multiple.
+            let k_pad = k_stacked.div_ceil(frag.k) * frag.k;
+            let mut order: Vec<usize> = (0..k_stacked).collect();
+            order.resize(k_pad, Permutation::PAD);
+            (Permutation::from_order(order, k_stacked), "dense")
+        }
+        ExecMode::SparseTcu => {
+            let conv = convert::convert_segments(&stacked, &plan, ez, options.strategy);
+            // Round the converted width up to a fragment multiple.
+            let k_pad = conv.k_converted().div_ceil(frag.k) * frag.k;
+            let mut order = conv.perm.order().to_vec();
+            order.resize(k_pad, Permutation::PAD);
+            (
+                Permutation::from_order(order, k_stacked),
+                conv.strategy_used,
+            )
+        }
+    };
+    prep.transform_s = t0.elapsed().as_secs_f64();
+
+    let k_logical = perm.len();
+    let m_padded = plan.m_prime().div_ceil(frag.m) * frag.m;
+
+    // ---- Operand build + metadata generation (2:4 compression). ----
+    let t0 = Instant::now();
+    let permuted = perm.apply_to_cols(&stacked);
+    let quantized = DenseMatrix::<R>::from_fn(m_padded, k_logical, |r, c| {
+        if r < plan.m_prime() {
+            R::from_f64(options.precision.round_f64(permuted.get(r, c)))
+        } else {
+            R::ZERO
+        }
+    });
+    let m_strips = m_padded / frag.m;
+    let k_strips = k_logical / frag.k;
+    let mut strips = Vec::with_capacity(m_strips);
+    for mi in 0..m_strips {
+        let mut row = Vec::with_capacity(k_strips);
+        for ki in 0..k_strips {
+            let block = quantized.block(mi * frag.m, ki * frag.k, frag.m, frag.k);
+            row.push(match options.mode {
+                ExecMode::SparseTcu => Operand::Sparse(
+                    TwoFourMatrix::compress(&block)
+                        .expect("conversion guarantees 2:4 compatibility"),
+                ),
+                ExecMode::DenseTcu => Operand::Dense(block),
+            });
+        }
+        strips.push(row);
+    }
+    let slices = vec![SliceOperands { dz: 0, strips }];
+    prep.metadata_s = t0.elapsed().as_secs_f64();
+
+    // ---- Lookup tables. ----
+    let t0 = Instant::now();
+    let nx = grid_shape[2];
+    let plane_stride = grid_shape[1] * grid_shape[2];
+    let gather_coords: Vec<(u32, u32, u32)> = (0..k_logical)
+        .map(|j| {
+            let src = perm.source_of(j);
+            if src == Permutation::PAD {
+                (u32::MAX, u32::MAX, u32::MAX)
+            } else {
+                let dz = src / plan.k_prime();
+                let rem = src % plan.k_prime();
+                (dz as u32, (rem / plan.gx) as u32, (rem % plan.gx) as u32)
+            }
+        })
+        .collect();
+    let gather_lut: Vec<i64> = gather_coords
+        .iter()
+        .map(|&(dz, iy, ix)| {
+            if dz == u32::MAX {
+                -1
+            } else {
+                (dz as usize * plane_stride + iy as usize * nx + ix as usize) as i64
+            }
+        })
+        .collect();
+    let scatter_lut: Vec<usize> = (0..m_padded)
+        .map(|row| {
+            if row < plan.m_prime() {
+                let (j2, j1) = (row / plan.r1, row % plan.r1);
+                j2 * nx + j1
+            } else {
+                usize::MAX
+            }
+        })
+        .collect();
+    prep.lut_s = t0.elapsed().as_secs_f64();
+
+    let mut geom = layout::geometry(kernel, grid_shape, r1, r2, frag, options.mode);
+    // The explorer's pad count is an estimate; pin the geometry to the
+    // conversion's actual converted width so Equation-9 counts match the
+    // executed fragment ops exactly.
+    layout::refine_geometry(&mut geom, frag, k_logical, perm.pad_count());
+
+    // Launch geometry: persistent blocks (grid-stride over 4
+    // fragment-column blocks at a time), 128 threads (4 warps),
+    // double-buffered staging in shared memory.
+    let tiles_total = geom.tiles_per_plane * geom.planes;
+    let col_blocks = tiles_total.div_ceil(frag.n);
+    let blocks = col_blocks
+        .div_ceil(4)
+        .min(layout::PERSISTENT_BLOCKS as usize);
+    let stage_bytes = 4 * frag.n * plan.k_prime() * options.precision.bytes();
+    let buffers = if options.flags.double_buffer { 2 } else { 1 };
+    let launch = LaunchConfig {
+        blocks,
+        threads_per_block: 128,
+        shared_bytes_per_block: (buffers * stage_bytes).min(options.gpu.shared_per_sm),
+    };
+
+    Ok(CompiledStencil {
+        kernel: kernel.clone(),
+        grid_shape,
+        plan,
+        geom,
+        frag,
+        mode: options.mode,
+        precision: options.precision,
+        flags: options.flags,
+        gpu: options.gpu.clone(),
+        perm,
+        slices,
+        gather_lut,
+        gather_coords,
+        scatter_lut,
+        strategy_used,
+        prep,
+        launch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_box2d9p_sparse() {
+        let k = StencilKernel::box2d9p();
+        let c: CompiledStencil<f32> = compile(&k, [1, 66, 66], &Options::default()).unwrap();
+        assert_eq!(c.mode, ExecMode::SparseTcu);
+        assert!(c.geom.k_logical % 32 == 0);
+        assert_eq!(c.slices.len(), 1);
+        assert!(c.metadata_bytes() > 0);
+        assert!(c.lut_bytes() > 0);
+        assert_eq!(c.gather_lut.len(), c.geom.k_logical);
+        // Every non-pad gather offset is within one tile's window.
+        let max_off = ((c.plan.gy - 1) * 66 + (c.plan.gx - 1)) as i64;
+        for &o in &c.gather_lut {
+            assert!(o == -1 || (0..=max_off).contains(&o));
+        }
+    }
+
+    #[test]
+    fn compile_dense_mode_identity_perm() {
+        let k = StencilKernel::box2d9p();
+        let opts = Options {
+            mode: ExecMode::DenseTcu,
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [1, 66, 66], &opts).unwrap();
+        assert_eq!(c.strategy_used, "dense");
+        assert_eq!(c.metadata_bytes(), 0);
+        assert_eq!(c.perm.pad_count(), c.geom.k_logical - c.plan.k_prime());
+        // Identity prefix.
+        for j in 0..c.plan.k_prime() {
+            assert_eq!(c.perm.source_of(j), j);
+        }
+    }
+
+    #[test]
+    fn fp64_sparse_rejected() {
+        let k = StencilKernel::heat2d();
+        let opts = Options {
+            precision: Precision::Fp64,
+            ..Options::default()
+        };
+        let err = compile::<f64>(&k, [1, 34, 34], &opts).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::SparseUnsupported {
+                precision: Precision::Fp64
+            }
+        );
+    }
+
+    #[test]
+    fn fp64_dense_accepted() {
+        let k = StencilKernel::heat2d();
+        let opts = Options {
+            precision: Precision::Fp64,
+            mode: ExecMode::DenseTcu,
+            layout: Some((2, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f64> = compile(&k, [1, 34, 34], &opts).unwrap();
+        assert_eq!(c.frag, FragmentShape::dense_fp64());
+    }
+
+    #[test]
+    fn kernel_too_large_rejected() {
+        let k = StencilKernel::box2d49p();
+        let err = compile::<f32>(&k, [1, 4, 100], &Options::default()).unwrap_err();
+        assert_eq!(err, CompileError::KernelTooLarge { axis: 1 });
+    }
+
+    #[test]
+    fn fragment_mode_mismatch_rejected() {
+        let k = StencilKernel::heat2d();
+        let opts = Options {
+            frag: Some(FragmentShape::dense_fp16()),
+            mode: ExecMode::SparseTcu,
+            ..Options::default()
+        };
+        assert_eq!(
+            compile::<f32>(&k, [1, 34, 34], &opts).unwrap_err(),
+            CompileError::FragmentModeMismatch
+        );
+    }
+
+    #[test]
+    fn three_d_kernel_folds_slices_into_one_operand() {
+        let k = StencilKernel::heat3d();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [10, 34, 34], &opts).unwrap();
+        // z-folded: one operand spanning ez·k' logical columns.
+        assert_eq!(c.slices.len(), 1);
+        assert!(c.geom.k_prime >= 3 * c.plan.k_prime());
+        let s = &c.slices[0];
+        assert_eq!(s.strips.len(), c.geom.m_padded / c.frag.m);
+        assert_eq!(s.strips[0].len(), c.geom.k_logical / c.frag.k);
+        // Some gather offsets must reach into deeper planes.
+        let ps = (34 * 34) as i64;
+        assert!(c.gather_lut.iter().any(|&o| o >= ps));
+    }
+
+    #[test]
+    fn prep_stats_populated() {
+        let k = StencilKernel::box2d49p();
+        let c: CompiledStencil<f32> = compile(&k, [1, 130, 130], &Options::default()).unwrap();
+        assert!(c.prep.total() > 0.0);
+        assert!(c.prep.search_s > 0.0);
+        assert!(c.prep.transform_s > 0.0);
+    }
+
+    #[test]
+    fn scatter_lut_maps_rows() {
+        let k = StencilKernel::box2d9p();
+        let opts = Options {
+            layout: Some((4, 2)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [1, 34, 34], &opts).unwrap();
+        // Row (j2=1, j1=3) → offset 1*34 + 3.
+        assert_eq!(c.scatter_lut[1 * 4 + 3], 34 + 3);
+        // Padded rows marked.
+        assert!(c.scatter_lut[c.plan.m_prime()..].iter().all(|&v| v == usize::MAX));
+    }
+}

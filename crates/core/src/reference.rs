@@ -1,0 +1,201 @@
+//! Scalar reference executors — the ground truth every accelerated path
+//! is verified against.
+//!
+//! `apply` computes one stencil step with valid-region semantics (outputs
+//! written at `0..n−e+1` per axis, remaining cells copied from the input);
+//! `apply_parallel` is the Rayon row-parallel equivalent with identical
+//! per-point arithmetic order, so the two agree bit-for-bit. `iterate`
+//! runs multiple steps with buffer swapping, the execution model of every
+//! benchmark (Equation 12 counts `T` iterations).
+
+use crate::grid::Grid;
+use crate::stencil::StencilKernel;
+use rayon::prelude::*;
+use sparstencil_mat::Real;
+
+/// One stencil step, serial. Returns a new grid: valid region updated,
+/// boundary copied from the input.
+pub fn apply<R: Real>(kernel: &StencilKernel, input: &Grid<R>) -> Grid<R> {
+    let mut out = input.clone();
+    let v = input.valid_extent(kernel);
+    let e = kernel.extent();
+    for oz in 0..v[0] {
+        for oy in 0..v[1] {
+            for ox in 0..v[2] {
+                let mut acc = R::ZERO;
+                for dz in 0..e[0] {
+                    for dy in 0..e[1] {
+                        for dx in 0..e[2] {
+                            let w = kernel.weight(dz, dy, dx);
+                            if w == 0.0 {
+                                continue;
+                            }
+                            acc += R::from_f64(w) * input.get(oz + dz, oy + dy, ox + dx);
+                        }
+                    }
+                }
+                out.set(oz, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// One stencil step, Rayon-parallel over output rows. Identical per-point
+/// arithmetic order to [`apply`].
+pub fn apply_parallel<R: Real>(kernel: &StencilKernel, input: &Grid<R>) -> Grid<R> {
+    let mut out = input.clone();
+    let v = input.valid_extent(kernel);
+    let e = kernel.extent();
+    let [_, ny, nx] = input.shape();
+    let row_elems = nx;
+
+    // Parallelize over (z, y) output rows; each row band of the output is
+    // disjoint, so we can split the output buffer mutably by rows.
+    let valid_rows: Vec<(usize, usize)> = (0..v[0])
+        .flat_map(|z| (0..v[1]).map(move |y| (z, y)))
+        .collect();
+
+    let results: Vec<(usize, Vec<R>)> = valid_rows
+        .par_iter()
+        .map(|&(oz, oy)| {
+            let mut row = vec![R::ZERO; v[2]];
+            for (ox, slot) in row.iter_mut().enumerate() {
+                let mut acc = R::ZERO;
+                for dz in 0..e[0] {
+                    for dy in 0..e[1] {
+                        for dx in 0..e[2] {
+                            let w = kernel.weight(dz, dy, dx);
+                            if w == 0.0 {
+                                continue;
+                            }
+                            acc += R::from_f64(w) * input.get(oz + dz, oy + dy, ox + dx);
+                        }
+                    }
+                }
+                *slot = acc;
+            }
+            ((oz * ny + oy) * row_elems, row)
+        })
+        .collect();
+
+    for (base, row) in results {
+        out.as_mut_slice()[base..base + row.len()].copy_from_slice(&row);
+    }
+    out
+}
+
+/// Run `iters` serial steps with buffer swapping.
+pub fn iterate<R: Real>(kernel: &StencilKernel, input: &Grid<R>, iters: usize) -> Grid<R> {
+    let mut cur = input.clone();
+    for _ in 0..iters {
+        cur = apply(kernel, &cur);
+    }
+    cur
+}
+
+/// Run `iters` parallel steps with buffer swapping.
+pub fn iterate_parallel<R: Real>(kernel: &StencilKernel, input: &Grid<R>, iters: usize) -> Grid<R> {
+    let mut cur = input.clone();
+    for _ in 0..iters {
+        cur = apply_parallel(kernel, &cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_is_shift_free() {
+        // A 1×1×1 kernel with weight 1 leaves the grid unchanged.
+        let k = StencilKernel::new("id", 2, [1, 1, 1], vec![1.0]);
+        let g = Grid::<f64>::smooth_random(2, [1, 6, 7]);
+        assert_eq!(apply(&k, &g), g);
+    }
+
+    #[test]
+    fn constant_field_is_fixed_point_of_normalized_kernels() {
+        // Σw = 1 kernels preserve constant fields on the interior.
+        for k in [
+            StencilKernel::heat1d(),
+            StencilKernel::heat2d(),
+            StencilKernel::box2d9p(),
+            StencilKernel::heat3d(),
+            StencilKernel::box3d27p(),
+        ] {
+            let shape = match k.dims() {
+                1 => [1, 1, 32],
+                2 => [1, 12, 12],
+                _ => [8, 8, 8],
+            };
+            let g = Grid::<f64>::from_fn_3d(k.dims(), shape, |_, _, _| 2.5);
+            let out = apply(&k, &g);
+            let v = g.valid_extent(&k);
+            for z in 0..v[0] {
+                for y in 0..v[1] {
+                    for x in 0..v[2] {
+                        assert!(
+                            (out.get(z, y, x) - 2.5).abs() < 1e-12,
+                            "kernel {} not conservative",
+                            k.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_1d_values() {
+        // Heat-1D on [0,1,2,3,4]: out[i] = 0.25 a + 0.5 b + 0.25 c.
+        let g = Grid::<f64>::from_fn_3d(1, [1, 1, 5], |_, _, x| x as f64);
+        let out = apply(&StencilKernel::heat1d(), &g);
+        assert_eq!(out.get(0, 0, 0), 1.0);
+        assert_eq!(out.get(0, 0, 1), 2.0);
+        assert_eq!(out.get(0, 0, 2), 3.0);
+        // Boundary copied.
+        assert_eq!(out.get(0, 0, 3), 3.0);
+        assert_eq!(out.get(0, 0, 4), 4.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        for k in [
+            StencilKernel::heat2d(),
+            StencilKernel::box2d49p(),
+            StencilKernel::star2d13p(),
+            StencilKernel::heat3d(),
+        ] {
+            let shape = if k.dims() == 3 { [9, 10, 11] } else { [1, 17, 19] };
+            let g = Grid::<f64>::smooth_random(k.dims(), shape);
+            assert_eq!(apply(&k, &g), apply_parallel(&k, &g), "kernel {}", k.name());
+        }
+    }
+
+    #[test]
+    fn temporal_fusion_equals_repeated_steps_on_interior() {
+        let k = StencilKernel::heat2d();
+        let fused = k.temporal_fusion(3);
+        let g = Grid::<f64>::smooth_random(2, [1, 16, 16]);
+        let stepped = iterate(&k, &g, 3);
+        let direct = apply(&fused, &g);
+        // Compare on the fused kernel's valid region (deep interior).
+        let diff = direct.max_rel_diff_interior(&stepped, &fused);
+        assert!(diff < 1e-12, "fusion mismatch: {diff}");
+    }
+
+    #[test]
+    fn iterate_zero_steps_is_identity() {
+        let g = Grid::<f64>::smooth_random(2, [1, 8, 8]);
+        assert_eq!(iterate(&StencilKernel::heat2d(), &g, 0), g);
+    }
+
+    #[test]
+    fn iterate_parallel_matches_serial() {
+        let k = StencilKernel::box2d9p();
+        let g = Grid::<f64>::smooth_random(2, [1, 12, 12]);
+        assert_eq!(iterate(&k, &g, 3), iterate_parallel(&k, &g, 3));
+    }
+}

@@ -1,0 +1,333 @@
+//! Stencil kernel definitions.
+//!
+//! A stencil is a weight pattern over a `d`-dimensional neighborhood
+//! (§2.2): *star* stencils weight the center and axis-aligned neighbors,
+//! *box* stencils weight a full square/cube. We store every kernel as a
+//! dense weight cuboid over its bounding box (zeros where a star pattern
+//! has no point) with the anchor at the cuboid's corner — the matrix
+//! transformations of §3 operate on exactly this cuboid, and interior
+//! zeros are what Structured Sparsity Conversion later exploits.
+
+use sparstencil_mat::DenseMatrix;
+
+/// A stencil kernel: dense weights over the pattern's bounding box.
+///
+/// Axis order is `[z, y, x]`; 1D kernels have `ez = ey = 1`, 2D kernels
+/// `ez = 1`. Output point `o` (in valid-region coordinates) is computed
+/// as `Σ_d w[d] · input[o + d]` with `d` ranging over the cuboid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilKernel {
+    name: String,
+    dims: usize,
+    extent: [usize; 3],
+    weights: Vec<f64>,
+}
+
+impl StencilKernel {
+    /// Build from explicit extents and a row-major (`z`-major) weight
+    /// vector.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != ez*ey*ex`, any extent is zero, or
+    /// `dims` is not 1–3, or extents are inconsistent with `dims`.
+    pub fn new(name: impl Into<String>, dims: usize, extent: [usize; 3], weights: Vec<f64>) -> Self {
+        assert!((1..=3).contains(&dims), "dims must be 1..=3");
+        let [ez, ey, ex] = extent;
+        assert!(ez > 0 && ey > 0 && ex > 0, "extents must be positive");
+        assert_eq!(weights.len(), ez * ey * ex, "weight count mismatch");
+        if dims < 3 {
+            assert_eq!(ez, 1, "1D/2D kernels must have ez = 1");
+        }
+        if dims < 2 {
+            assert_eq!(ey, 1, "1D kernels must have ey = 1");
+        }
+        Self {
+            name: name.into(),
+            dims,
+            extent,
+            weights,
+        }
+    }
+
+    /// Kernel name (used in benchmark tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimensionality (1–3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Extents `[ez, ey, ex]` of the bounding box.
+    pub fn extent(&self) -> [usize; 3] {
+        self.extent
+    }
+
+    /// Weight at offset `(dz, dy, dx)` within the bounding box.
+    #[inline]
+    pub fn weight(&self, dz: usize, dy: usize, dx: usize) -> f64 {
+        let [_, ey, ex] = self.extent;
+        self.weights[(dz * ey + dy) * ex + dx]
+    }
+
+    /// All weights, `z`-major.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of nonzero points (the "Points" column of Table 2).
+    pub fn points(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0.0).count()
+    }
+
+    /// Fraction of bounding-box entries that are zero — the sparsity the
+    /// pipeline will exploit.
+    pub fn bounding_box_sparsity(&self) -> f64 {
+        1.0 - self.points() as f64 / self.weights.len() as f64
+    }
+
+    /// The 2D slice of the kernel at depth `dz` as a `ey × ex` matrix
+    /// (the per-plane operand of the 3D accumulation path).
+    pub fn slice2d(&self, dz: usize) -> DenseMatrix<f64> {
+        let [_, ey, ex] = self.extent;
+        DenseMatrix::from_fn(ey, ex, |y, x| self.weight(dz, y, x))
+    }
+
+    /// Rename (builders for derived kernels).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Compose `self ∘ other` by full weight convolution: one application
+    /// of the result equals applying `other` then `self` (exact for
+    /// linear stencils on the interior). Used for the 3× temporal fusion
+    /// of §4.1 ("ConvStencil employs 3x temporal fusion for small
+    /// kernels; SparStencil adopts the same approach").
+    pub fn compose(&self, other: &StencilKernel) -> StencilKernel {
+        assert_eq!(self.dims, other.dims, "cannot compose across dims");
+        let e1 = self.extent;
+        let e2 = other.extent;
+        let out = [e1[0] + e2[0] - 1, e1[1] + e2[1] - 1, e1[2] + e2[2] - 1];
+        let mut w = vec![0.0; out[0] * out[1] * out[2]];
+        for z1 in 0..e1[0] {
+            for y1 in 0..e1[1] {
+                for x1 in 0..e1[2] {
+                    let w1 = self.weight(z1, y1, x1);
+                    if w1 == 0.0 {
+                        continue;
+                    }
+                    for z2 in 0..e2[0] {
+                        for y2 in 0..e2[1] {
+                            for x2 in 0..e2[2] {
+                                let w2 = other.weight(z2, y2, x2);
+                                if w2 == 0.0 {
+                                    continue;
+                                }
+                                let idx = ((z1 + z2) * out[1] + (y1 + y2)) * out[2] + (x1 + x2);
+                                w[idx] += w1 * w2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StencilKernel::new(
+            format!("{}∘{}", self.name, other.name),
+            self.dims,
+            out,
+            w,
+        )
+    }
+
+    /// `self` composed with itself `times` times (temporal fusion of
+    /// `times` steps). `times = 1` returns a clone.
+    pub fn temporal_fusion(&self, times: usize) -> StencilKernel {
+        assert!(times >= 1, "fusion depth must be at least 1");
+        let mut out = self.clone();
+        for _ in 1..times {
+            out = out.compose(self);
+        }
+        out.with_name(format!("{}x{}", self.name, times))
+    }
+
+    // ---------------- Named constructors (Table 2 kernels) ----------------
+
+    /// 1D 3-point heat kernel (Heat-1D of Table 2).
+    pub fn heat1d() -> Self {
+        Self::new("Heat-1D", 1, [1, 1, 3], vec![0.25, 0.5, 0.25])
+    }
+
+    /// 1D 5-point kernel (1D5P of Table 2), 4th-order central difference.
+    pub fn onedim5p() -> Self {
+        Self::new(
+            "1D5P",
+            1,
+            [1, 1, 5],
+            vec![-1.0 / 12.0, 4.0 / 3.0, -2.5, 4.0 / 3.0, -1.0 / 12.0],
+        )
+    }
+
+    /// 2D 5-point star heat kernel (Heat-2D of Table 2).
+    pub fn heat2d() -> Self {
+        #[rustfmt::skip]
+        let w = vec![
+            0.0,  0.125, 0.0,
+            0.125, 0.5,  0.125,
+            0.0,  0.125, 0.0,
+        ];
+        Self::new("Heat-2D", 2, [1, 3, 3], w)
+    }
+
+    /// 2D 9-point box kernel (Box-2D9P of Table 2).
+    pub fn box2d9p() -> Self {
+        let w = vec![1.0 / 9.0; 9];
+        Self::new("Box-2D9P", 2, [1, 3, 3], w)
+    }
+
+    /// 2D 13-point star of radius 3 (Star-2D13P of Table 2).
+    pub fn star2d13p() -> Self {
+        let mut w = vec![0.0; 49];
+        let coeff = [0.01, 0.02, 0.05];
+        // Center.
+        w[3 * 7 + 3] = 0.72;
+        for r in 1..=3usize {
+            let c = coeff[r - 1];
+            w[3 * 7 + (3 - r)] = c; // left
+            w[3 * 7 + (3 + r)] = c; // right
+            w[(3 - r) * 7 + 3] = c; // up
+            w[(3 + r) * 7 + 3] = c; // down
+        }
+        Self::new("Star-2D13P", 2, [1, 7, 7], w)
+    }
+
+    /// 2D 49-point box of radius 3 (Box-2D49P of Table 2).
+    pub fn box2d49p() -> Self {
+        let w = vec![1.0 / 49.0; 49];
+        Self::new("Box-2D49P", 2, [1, 7, 7], w)
+    }
+
+    /// Generic 2D box kernel of a given radius, uniform weights.
+    pub fn box2d(radius: usize) -> Self {
+        let e = 2 * radius + 1;
+        let w = vec![1.0 / (e * e) as f64; e * e];
+        Self::new(format!("Box-2D{}P", e * e), 2, [1, e, e], w)
+    }
+
+    /// Generic 2D star kernel of a given radius.
+    pub fn star2d(radius: usize) -> Self {
+        let e = 2 * radius + 1;
+        let mut w = vec![0.0; e * e];
+        let c = radius;
+        let pts = (4 * radius + 1) as f64;
+        w[c * e + c] = 1.0 / pts;
+        for r in 1..=radius {
+            w[c * e + (c - r)] = 1.0 / pts;
+            w[c * e + (c + r)] = 1.0 / pts;
+            w[(c - r) * e + c] = 1.0 / pts;
+            w[(c + r) * e + c] = 1.0 / pts;
+        }
+        Self::new(format!("Star-2D{}P", 4 * radius + 1), 2, [1, e, e], w)
+    }
+
+    /// 3D 7-point star heat kernel (Heat-3D of Table 2).
+    pub fn heat3d() -> Self {
+        let mut w = vec![0.0; 27];
+        let idx = |z: usize, y: usize, x: usize| (z * 3 + y) * 3 + x;
+        w[idx(1, 1, 1)] = 0.4;
+        for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+            w[idx(z, y, x)] = 0.1;
+        }
+        Self::new("Heat-3D", 3, [3, 3, 3], w)
+    }
+
+    /// 3D 27-point box kernel (Box-3D27P of Table 2).
+    pub fn box3d27p() -> Self {
+        let w = vec![1.0 / 27.0; 27];
+        Self::new("Box-3D27P", 3, [3, 3, 3], w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_point_counts() {
+        assert_eq!(StencilKernel::heat1d().points(), 3);
+        assert_eq!(StencilKernel::onedim5p().points(), 5);
+        assert_eq!(StencilKernel::heat2d().points(), 5);
+        assert_eq!(StencilKernel::box2d9p().points(), 9);
+        assert_eq!(StencilKernel::star2d13p().points(), 13);
+        assert_eq!(StencilKernel::box2d49p().points(), 49);
+        assert_eq!(StencilKernel::heat3d().points(), 7);
+        assert_eq!(StencilKernel::box3d27p().points(), 27);
+    }
+
+    #[test]
+    fn star_bounding_box_sparsity() {
+        let s = StencilKernel::star2d13p();
+        assert_eq!(s.extent(), [1, 7, 7]);
+        assert!((s.bounding_box_sparsity() - 36.0 / 49.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generic_builders_match_named() {
+        assert_eq!(StencilKernel::box2d(3).points(), 49);
+        assert_eq!(StencilKernel::star2d(3).points(), 13);
+        assert_eq!(StencilKernel::star2d(1).points(), 5);
+        assert_eq!(StencilKernel::box2d(1).points(), 9);
+    }
+
+    #[test]
+    fn slices_of_3d_kernel() {
+        let h = StencilKernel::heat3d();
+        let mid = h.slice2d(1);
+        assert_eq!(mid.get(1, 1), 0.4);
+        assert_eq!(mid.nnz(), 5);
+        let top = h.slice2d(0);
+        assert_eq!(top.nnz(), 1);
+        assert_eq!(top.get(1, 1), 0.1);
+    }
+
+    #[test]
+    fn compose_extends_extent() {
+        let h = StencilKernel::heat2d();
+        let h2 = h.compose(&h);
+        assert_eq!(h2.extent(), [1, 5, 5]);
+        // Weight conservation: Σw(compose) = (Σw)².
+        let sum1: f64 = h.weights().iter().sum();
+        let sum2: f64 = h2.weights().iter().sum();
+        assert!((sum2 - sum1 * sum1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temporal_fusion_3x_extent() {
+        let f = StencilKernel::heat1d().temporal_fusion(3);
+        assert_eq!(f.extent(), [1, 1, 7]);
+        assert_eq!(f.dims(), 1);
+        let f1 = StencilKernel::heat1d().temporal_fusion(1);
+        assert_eq!(f1.extent(), [1, 1, 3]);
+    }
+
+    #[test]
+    fn compose_is_convolution() {
+        // [1,1] ∘ [1,1] = [1,2,1].
+        let a = StencilKernel::new("a", 1, [1, 1, 2], vec![1.0, 1.0]);
+        let c = a.compose(&a);
+        assert_eq!(c.weights(), &[1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight count mismatch")]
+    fn wrong_weight_count_panics() {
+        let _ = StencilKernel::new("bad", 2, [1, 3, 3], vec![1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ez = 1")]
+    fn dims_extent_consistency() {
+        let _ = StencilKernel::new("bad", 2, [2, 3, 3], vec![1.0; 18]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over the whole SparStencil pipeline.
+//!
+//! Random kernels (box and star shapes with random weights) and random
+//! crush factors exercise the full transformation chain; the invariants
+//! are numeric agreement with the scalar reference and structural 2:4
+//! validity after conversion.
+
+use proptest::prelude::*;
+use sparstencil::convert::{convert, violations_after, Strategy as ConvStrategy};
+use sparstencil::crush::{build_a_prime, build_b_prime, CrushPlan};
+use sparstencil::grid::Grid;
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::{compile, Options};
+use sparstencil::reference;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::gemm;
+use sparstencil_mat::half::verify_tolerance;
+
+/// Strategy: a random 2D kernel — box or star over a radius-`r` bounding
+/// box with nonzero weights.
+fn random_kernel_2d() -> impl Strategy<Value = StencilKernel> {
+    (1usize..=3, any::<bool>(), 1i32..=9).prop_map(|(radius, star, seed)| {
+        let e = 2 * radius + 1;
+        let mut w = vec![0.0f64; e * e];
+        let c = radius;
+        let mut s = seed as u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 17) as f64 - 8.0) / 16.0
+        };
+        if star {
+            w[c * e + c] = next().abs().max(0.1);
+            for r in 1..=radius {
+                for (y, x) in [(c, c - r), (c, c + r), (c - r, c), (c + r, c)] {
+                    let mut v = next();
+                    if v == 0.0 {
+                        v = 0.25;
+                    }
+                    w[y * e + x] = v;
+                }
+            }
+        } else {
+            for v in w.iter_mut() {
+                let mut val = next();
+                if val == 0.0 {
+                    val = 0.125;
+                }
+                *v = val;
+            }
+        }
+        StencilKernel::new(
+            format!("rand-{}-r{radius}", if star { "star" } else { "box" }),
+            2,
+            [1, e, e],
+            w,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn crush_product_equals_reference(
+        kernel in random_kernel_2d(),
+        r1 in 1usize..=6,
+        r2 in 1usize..=6,
+    ) {
+        let [_, ey, ex] = kernel.extent();
+        let plan = CrushPlan::new(ey, ex, r1, r2);
+        let shape = [1, ey + 13, ex + 17];
+        let g = Grid::<f64>::smooth_random(2, shape);
+        let a = build_a_prime(&kernel.slice2d(0), &plan);
+        let b = build_b_prime(&g, 0, &kernel, &plan);
+        let c = gemm::matmul(&a, &b);
+        let want = reference::apply(&kernel, &g);
+        let v = g.valid_extent(&kernel);
+        let tiles_x = v[2].div_ceil(r1);
+        for oy in 0..v[1] {
+            for ox in 0..v[2] {
+                let (ty, j2) = (oy / r2, oy % r2);
+                let (tx, j1) = (ox / r1, ox % r1);
+                let got = c.get(plan.a_row(j2, j1), ty * tiles_x + tx);
+                prop_assert!((got - want.get(0, oy, ox)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_always_two_four_valid(
+        kernel in random_kernel_2d(),
+        r1 in 1usize..=6,
+        r2 in 1usize..=6,
+        blossom in any::<bool>(),
+    ) {
+        let [_, ey, ex] = kernel.extent();
+        let plan = CrushPlan::new(ey, ex, r1, r2);
+        let a = build_a_prime(&kernel.slice2d(0), &plan);
+        let strat = if blossom { ConvStrategy::Blossom } else { ConvStrategy::Auto };
+        let conv = convert(&a, &plan, strat);
+        prop_assert_eq!(violations_after(&a, &conv), 0);
+        prop_assert_eq!(conv.k_converted() % 4, 0);
+    }
+
+    #[test]
+    fn end_to_end_matches_reference(
+        kernel in random_kernel_2d(),
+        r1 in 2usize..=5,
+        r2 in 2usize..=5,
+    ) {
+        let [_, ey, ex] = kernel.extent();
+        let shape = [1, ey + 24, ex + 28];
+        let opts = Options {
+            layout: Some((r1, r2)),
+            ..Options::default()
+        };
+        let exec = Executor::<f32>::new(&kernel, shape, &opts).unwrap();
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let err = exec.verify(&g, 1);
+        // Random weights are not normalized; scale the FP16 tolerance by
+        // the kernel's ℓ1 mass.
+        let mass: f64 = kernel.weights().iter().map(|w| w.abs()).sum::<f64>().max(1.0);
+        prop_assert!(
+            err <= verify_tolerance(Precision::Fp16) * mass,
+            "err {err} for kernel {} mass {mass}", kernel.name()
+        );
+    }
+
+    #[test]
+    fn dense_mode_matches_sparse_mode(
+        kernel in random_kernel_2d(),
+    ) {
+        // The two TCU paths must agree with each other bit-for-bit after
+        // quantization-identical inputs (same arithmetic, different
+        // operand encodings).
+        let [_, ey, ex] = kernel.extent();
+        let shape = [1, ey + 20, ex + 20];
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let sparse = Executor::<f32>::new(&kernel, shape, &Options {
+            layout: Some((4, 2)),
+            ..Options::default()
+        }).unwrap();
+        let dense = Executor::<f32>::new(&kernel, shape, &Options {
+            layout: Some((4, 2)),
+            mode: ExecMode::DenseTcu,
+            ..Options::default()
+        }).unwrap();
+        let (a, _) = sparse.run(&g, 1);
+        let (b, _) = dense.run(&g, 1);
+        let va = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| a.get(z, y, x) as f64);
+        let vb = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| b.get(z, y, x) as f64);
+        prop_assert!(va.max_rel_diff_interior(&vb, &kernel) < 1e-6);
+    }
+
+    #[test]
+    fn equation9_counts_hold(
+        kernel in random_kernel_2d(),
+        r1 in 2usize..=5,
+        r2 in 2usize..=5,
+    ) {
+        let [_, ey, ex] = kernel.extent();
+        let shape = [1, ey + 16, ex + 16];
+        let opts = Options { layout: Some((r1, r2)), ..Options::default() };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let g = Grid::<f32>::smooth_random(2, shape);
+        let (_, stats) = sparstencil::exec::run(&plan, &g, 1);
+        prop_assert_eq!(stats.counters.n_mma(), plan.geom.n_mma);
+    }
+}

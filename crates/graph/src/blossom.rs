@@ -1,0 +1,340 @@
+//! Edmonds' blossom algorithm for maximum matching in general graphs.
+//!
+//! §3.2 of the paper: when the input deviates from the k-staircase
+//! structure, Structured Sparsity Conversion "falls back to the classical
+//! Blossom algorithm \[Edmonds 1965\] to compute maximum matchings over
+//! arbitrary sparsity patterns". The matching is computed on the
+//! *complement* of the conflict graph (we pair columns that do **not**
+//! conflict), and the minimum number of zero-pad columns equals
+//! `n − 2·|maximum matching|`.
+//!
+//! This is the standard O(V³) contraction-free formulation: repeated BFS
+//! searches for augmenting paths with on-the-fly blossom base relabelling
+//! (`base[]`), as in Edmonds (1965) — "Paths, Trees, and Flowers".
+
+use crate::graph::Graph;
+
+/// Maximum matching of `g`. Returns `mate`, where `mate[v] = Some(u)` iff
+/// `v` is matched to `u` (symmetric), `None` if exposed.
+pub fn maximum_matching(g: &Graph) -> Vec<Option<usize>> {
+    let n = g.len();
+    let adj = g.adjacency_list();
+    let mut mate: Vec<Option<usize>> = vec![None; n];
+
+    // Greedy warm start: halves the number of augmenting searches.
+    for v in 0..n {
+        if mate[v].is_none() {
+            for &u in &adj[v] {
+                if mate[u].is_none() {
+                    mate[v] = Some(u);
+                    mate[u] = Some(v);
+                    break;
+                }
+            }
+        }
+    }
+
+    for root in 0..n {
+        if mate[root].is_some() {
+            continue;
+        }
+        // find_augmenting_path augments in place when a path is found.
+        let _ = find_augmenting_path(&adj, &mut mate, root);
+    }
+    mate
+}
+
+/// Size (number of edges) of a matching in `mate` representation.
+pub fn matching_size(mate: &[Option<usize>]) -> usize {
+    mate.iter().flatten().count() / 2
+}
+
+/// Per-search state for the augmenting BFS.
+struct Search {
+    /// `parent[v]`: the *odd* predecessor of even-level vertex v's mate,
+    /// i.e. the standard `p[]` array of the contraction-free formulation.
+    parent: Vec<Option<usize>>,
+    /// `base[v]`: current blossom base of v.
+    base: Vec<usize>,
+    /// Queue membership (even-level vertices).
+    used: Vec<bool>,
+    /// Scratch marker for blossom contraction.
+    blossom: Vec<bool>,
+}
+
+fn find_augmenting_path(
+    adj: &[Vec<usize>],
+    mate: &mut [Option<usize>],
+    root: usize,
+) -> Option<usize> {
+    let n = adj.len();
+    let mut s = Search {
+        parent: vec![None; n],
+        base: (0..n).collect(),
+        used: vec![false; n],
+        blossom: vec![false; n],
+    };
+    let mut queue = std::collections::VecDeque::new();
+    s.used[root] = true;
+    queue.push_back(root);
+
+    while let Some(v) = queue.pop_front() {
+        for &to in &adj[v] {
+            if s.base[v] == s.base[to] || mate[v] == Some(to) {
+                continue;
+            }
+            if to == root || matches!(mate[to], Some(m) if s.parent[m].is_some()) {
+                // Odd cycle: contract the blossom rooted at lca(v, to).
+                let curbase = lca(&s, mate, v, to);
+                s.blossom.iter_mut().for_each(|b| *b = false);
+                mark_path(&mut s, mate, v, curbase, to);
+                mark_path(&mut s, mate, to, curbase, v);
+                for i in 0..n {
+                    if s.blossom[s.base[i]] {
+                        s.base[i] = curbase;
+                        if !s.used[i] {
+                            s.used[i] = true;
+                            queue.push_back(i);
+                        }
+                    }
+                }
+            } else if s.parent[to].is_none() {
+                s.parent[to] = Some(v);
+                match mate[to] {
+                    None => {
+                        // Exposed vertex reached: flip the alternating
+                        // path root → … → to.
+                        augment(&s, mate, to);
+                        return Some(to);
+                    }
+                    Some(m) => {
+                        s.used[m] = true;
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Flip matched/unmatched edges along the augmenting path ending at the
+/// exposed vertex `leaf`, following the `parent` threading built during the
+/// search (and re-rooted through blossoms by [`mark_path`]).
+fn augment(s: &Search, mate: &mut [Option<usize>], leaf: usize) {
+    let mut v = Some(leaf);
+    while let Some(cur) = v {
+        let pv = s.parent[cur].expect("augmenting path vertex must have a parent");
+        let ppv = mate[pv];
+        mate[cur] = Some(pv);
+        mate[pv] = Some(cur);
+        v = ppv;
+    }
+}
+
+/// Lowest common ancestor of `a` and `b` in the alternating forest,
+/// walking via blossom bases.
+fn lca(s: &Search, mate: &[Option<usize>], a: usize, b: usize) -> usize {
+    let n = s.base.len();
+    let mut visited = vec![false; n];
+    // Walk up from a, marking bases.
+    let mut x = a;
+    loop {
+        x = s.base[x];
+        visited[x] = true;
+        match mate[x] {
+            None => break, // reached the root
+            Some(m) => match s.parent[m] {
+                Some(p) => x = p,
+                None => break,
+            },
+        }
+    }
+    // Walk up from b until a marked base is found.
+    let mut y = b;
+    loop {
+        y = s.base[y];
+        if visited[y] {
+            return y;
+        }
+        match mate[y] {
+            None => unreachable!("walk from b must hit a visited base"),
+            Some(m) => match s.parent[m] {
+                Some(p) => y = p,
+                None => unreachable!("walk from b must hit a visited base"),
+            },
+        }
+    }
+}
+
+/// Mark blossom vertices on the path from `v` down to `base_vertex`,
+/// re-rooting parents toward `child` so future augmentations can traverse
+/// the contracted blossom in either direction.
+fn mark_path(
+    s: &mut Search,
+    mate: &[Option<usize>],
+    mut v: usize,
+    base_vertex: usize,
+    mut child: usize,
+) {
+    while s.base[v] != base_vertex {
+        let m = mate[v].expect("non-base blossom vertex must be matched");
+        s.blossom[s.base[v]] = true;
+        s.blossom[s.base[m]] = true;
+        s.parent[v] = Some(child);
+        child = m;
+        v = s.parent[m].expect("blossom path must be parented");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Exhaustive maximum matching by brute force (n ≤ 10).
+    fn brute_force(g: &Graph) -> usize {
+        fn rec(g: &Graph, used: &mut Vec<bool>, start: usize) -> usize {
+            let n = g.len();
+            let mut v = start;
+            while v < n && used[v] {
+                v += 1;
+            }
+            if v >= n {
+                return 0;
+            }
+            used[v] = true;
+            // Option 1: leave v unmatched.
+            let mut best = rec(g, used, v + 1);
+            // Option 2: match v with any free neighbor.
+            for u in g.neighbors(v) {
+                if !used[u] {
+                    used[u] = true;
+                    best = best.max(1 + rec(g, used, v + 1));
+                    used[u] = false;
+                }
+            }
+            used[v] = false;
+            best
+        }
+        rec(g, &mut vec![false; g.len()], 0)
+    }
+
+    fn check(g: &Graph) {
+        let mate = maximum_matching(g);
+        // Symmetry + edges exist.
+        for v in 0..g.len() {
+            if let Some(u) = mate[v] {
+                assert_eq!(mate[u], Some(v), "matching not symmetric");
+                assert!(g.has_edge(u, v), "matched pair not an edge");
+            }
+        }
+        assert_eq!(matching_size(&mate), brute_force(g), "not maximum");
+    }
+
+    #[test]
+    fn path_graph() {
+        let mut g = Graph::new(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1);
+        }
+        check(&g);
+        assert_eq!(matching_size(&maximum_matching(&g)), 2);
+    }
+
+    #[test]
+    fn odd_cycle_triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        check(&g);
+        assert_eq!(matching_size(&maximum_matching(&g)), 1);
+    }
+
+    #[test]
+    fn five_cycle_needs_blossom() {
+        let mut g = Graph::new(5);
+        for v in 0..5 {
+            g.add_edge(v, (v + 1) % 5);
+        }
+        check(&g);
+        assert_eq!(matching_size(&maximum_matching(&g)), 2);
+    }
+
+    #[test]
+    fn petersen_graph_perfect_matching() {
+        // The Petersen graph has a perfect matching (size 5) but is not
+        // bipartite — a classic blossom stress test.
+        let mut g = Graph::new(10);
+        for v in 0..5 {
+            g.add_edge(v, (v + 1) % 5); // outer cycle
+            g.add_edge(v + 5, (v + 2) % 5 + 5); // inner pentagram
+            g.add_edge(v, v + 5); // spokes
+        }
+        let mate = maximum_matching(&g);
+        assert_eq!(matching_size(&mate), 5);
+        check(&g);
+    }
+
+    #[test]
+    fn two_triangles_bridge() {
+        // Two triangles joined by a bridge: perfect matching of size 3.
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3);
+        check(&g);
+        assert_eq!(matching_size(&maximum_matching(&g)), 3);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        check(&Graph::new(0));
+        check(&Graph::new(7));
+        assert_eq!(matching_size(&maximum_matching(&Graph::new(7))), 0);
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 1..8 {
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    g.add_edge(u, v);
+                }
+            }
+            check(&g);
+            assert_eq!(matching_size(&maximum_matching(&g)), n / 2);
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        // Deterministic xorshift-generated graphs, n up to 9.
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let n = 3 + (rand() % 7) as usize;
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rand() % 100 < 40 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let _ = trial;
+            check(&g);
+        }
+    }
+}

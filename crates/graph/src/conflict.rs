@@ -1,0 +1,221 @@
+//! Conflict-graph construction (Definitions 1–2, Figure 5b).
+//!
+//! Given a kernel matrix `A'`, the **conflict graph** has one node per
+//! column and an edge between two columns whenever some row holds nonzeros
+//! in both (Definition 1). Non-adjacent nodes may share an aligned 4-group
+//! without violating the ≤2-per-group constraint.
+//!
+//! The self-similar staircase structure produced by Duplicates Crush
+//! induces *two-level* conflict graphs: a **global** graph over block
+//! columns and identical **local** graphs inside each block (Figure 5b).
+//! Theorem 1 (verified by [`verify_non_conflict_theorem`] and by property
+//! tests) states that in a width-`k` staircase, columns at distance ≥ `k`
+//! never conflict — the key fact behind Algorithm 1's stride choice.
+
+use crate::graph::Graph;
+use sparstencil_mat::{BitMask, DenseMatrix, Real};
+
+/// Build the conflict graph of the columns of `a` (Definition 1).
+pub fn conflict_graph<R: Real>(a: &DenseMatrix<R>) -> Graph {
+    conflict_graph_of_mask(&BitMask::from_matrix(a))
+}
+
+/// Build the conflict graph from a precomputed nonzero mask.
+pub fn conflict_graph_of_mask(mask: &BitMask) -> Graph {
+    let n = mask.cols();
+    let mut g = Graph::new(n);
+    // Row-sweep construction: columns conflict iff they co-occur in a row.
+    // For each row collect its nonzero columns and connect all pairs; this
+    // is O(rows * nnz_per_row²), tiny for kernel matrices and much faster
+    // than the naive O(n² rows) pairwise scan for sparse inputs.
+    for r in 0..mask.rows() {
+        let cols: Vec<usize> = (0..n).filter(|&c| mask.get(r, c)).collect();
+        for (i, &u) in cols.iter().enumerate() {
+            for &v in &cols[i + 1..] {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The two-level conflict structure of a block-partitioned matrix
+/// (Figure 5b): a global graph over block columns plus one local graph per
+/// block column (all identical for self-similar staircases; stored
+/// per-block for generality).
+#[derive(Debug, Clone)]
+pub struct TwoLevelConflict {
+    /// Global conflict graph: node `i` = block column `i`; edge iff some
+    /// block row holds nonzero blocks in both block columns.
+    pub global: Graph,
+    /// Local conflict graph of each block column, over its `block_cols`
+    /// columns (union of conflicts across all block rows touching it).
+    pub local: Vec<Graph>,
+    /// Columns per block.
+    pub block_cols: usize,
+}
+
+impl TwoLevelConflict {
+    /// `true` iff every local graph equals the first — the "Exactly Same!"
+    /// observation of Figure 5(b) that lets Algorithm 1 analyze a single
+    /// subgraph.
+    pub fn locals_identical(&self) -> bool {
+        self.local.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Build the two-level conflict graphs of `a` partitioned into blocks of
+/// `block_rows × block_cols`.
+///
+/// # Panics
+/// Panics if the matrix shape is not divisible by the block shape.
+pub fn two_level_conflict<R: Real>(
+    a: &DenseMatrix<R>,
+    block_rows: usize,
+    block_cols: usize,
+) -> TwoLevelConflict {
+    assert!(
+        a.rows().is_multiple_of(block_rows) && a.cols().is_multiple_of(block_cols),
+        "matrix {}x{} not divisible into {}x{} blocks",
+        a.rows(),
+        a.cols(),
+        block_rows,
+        block_cols
+    );
+    let grid_rows = a.rows() / block_rows;
+    let grid_cols = a.cols() / block_cols;
+
+    // Block nonzero pattern.
+    let block_nnz = |gr: usize, gc: usize| -> bool {
+        a.block(gr * block_rows, gc * block_cols, block_rows, block_cols)
+            .nnz()
+            > 0
+    };
+
+    let mut global = Graph::new(grid_cols);
+    for gr in 0..grid_rows {
+        let cols: Vec<usize> = (0..grid_cols).filter(|&gc| block_nnz(gr, gc)).collect();
+        for (i, &u) in cols.iter().enumerate() {
+            for &v in &cols[i + 1..] {
+                global.add_edge(u, v);
+            }
+        }
+    }
+
+    // Local graph per block column: union of per-block conflict relations
+    // over every block row whose block at this column is nonzero.
+    let mut local = Vec::with_capacity(grid_cols);
+    for gc in 0..grid_cols {
+        let mut lg = Graph::new(block_cols);
+        for gr in 0..grid_rows {
+            if !block_nnz(gr, gc) {
+                continue;
+            }
+            let blk = a.block(gr * block_rows, gc * block_cols, block_rows, block_cols);
+            let bg = conflict_graph(&blk);
+            for u in 0..block_cols {
+                for v in (u + 1)..block_cols {
+                    if bg.has_edge(u, v) {
+                        lg.add_edge(u, v);
+                    }
+                }
+            }
+        }
+        local.push(lg);
+    }
+
+    TwoLevelConflict {
+        global,
+        local,
+        block_cols,
+    }
+}
+
+/// Check Theorem 1 on a concrete conflict graph: no edge joins columns at
+/// distance ≥ `k`. Returns the first violating pair, if any.
+pub fn verify_non_conflict_theorem(g: &Graph, k: usize) -> Option<(usize, usize)> {
+    for u in 0..g.len() {
+        for v in (u + k)..g.len() {
+            if g.has_edge(u, v) {
+                return Some((u, v));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::staircase::{block_staircase, staircase_from_weights};
+
+    #[test]
+    fn simple_conflicts() {
+        // Columns 0,1 share row 0; column 2 isolated.
+        let mut a = DenseMatrix::<f64>::zeros(2, 3);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 2, 3.0);
+        let g = conflict_graph(&a);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn staircase_conflicts_are_banded() {
+        // Width-3 staircase on 5 rows: columns within distance 2 conflict,
+        // distance ≥ 3 never (Theorem 1).
+        let s = staircase_from_weights(&[1.0f64, 2.0, 3.0], 5);
+        let g = conflict_graph(&s);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(verify_non_conflict_theorem(&g, 3), None);
+        assert_eq!(verify_non_conflict_theorem(&g, 2), Some((0, 2)));
+    }
+
+    #[test]
+    fn star_weights_reduce_conflicts() {
+        // Weights [1, 0, 3]: columns at distance 1 do NOT conflict
+        // (no row holds adjacent nonzeros), distance 2 does.
+        let s = staircase_from_weights(&[1.0f64, 0.0, 3.0], 4);
+        let g = conflict_graph(&s);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert_eq!(verify_non_conflict_theorem(&g, 3), None);
+    }
+
+    #[test]
+    fn two_level_matches_figure5() {
+        // Self-similar staircase: 3 block-rows, blocks of a width-2
+        // staircase on 2 rows (2×3 blocks), 2 blocks per block-row.
+        let b0 = staircase_from_weights(&[1.0f64, 2.0], 2);
+        let b1 = staircase_from_weights(&[3.0f64, 4.0], 2);
+        let a = block_staircase(&[b0, b1], 3);
+        let tl = two_level_conflict(&a, 2, 3);
+        // Global: width-2 staircase over 4 block columns.
+        assert!(tl.global.has_edge(0, 1));
+        assert!(!tl.global.has_edge(0, 2));
+        assert_eq!(verify_non_conflict_theorem(&tl.global, 2), None);
+        // Locals identical, and banded with width 2.
+        assert!(tl.locals_identical());
+        for lg in &tl.local {
+            assert_eq!(verify_non_conflict_theorem(lg, 2), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_blocks_panic() {
+        let a = DenseMatrix::<f64>::zeros(4, 5);
+        let _ = two_level_conflict(&a, 2, 2);
+    }
+
+    #[test]
+    fn empty_matrix_graph() {
+        let a = DenseMatrix::<f64>::zeros(3, 4);
+        let g = conflict_graph(&a);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

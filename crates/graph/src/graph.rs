@@ -1,0 +1,198 @@
+//! A small undirected graph with bitset adjacency.
+//!
+//! Conflict graphs derived from stencil kernel matrices are tiny (the node
+//! count is the crushed `k'` dimension, a few dozen to a few hundred), so a
+//! dense bitset adjacency matrix is both the simplest and the fastest
+//! representation: conflict queries during matching validation are O(1)
+//! word operations.
+
+/// An undirected graph on `n` nodes with bitset adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    words_per_row: usize,
+    adj: Vec<u64>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        Self {
+            n,
+            words_per_row,
+            adj: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the undirected edge `(u, v)`. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range {}", self.n);
+        if u == v {
+            return;
+        }
+        self.adj[u * self.words_per_row + v / 64] |= 1 << (v % 64);
+        self.adj[v * self.words_per_row + u / 64] |= 1 << (u % 64);
+    }
+
+    /// `true` iff `(u, v)` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        debug_assert!(u < self.n && v < self.n);
+        (self.adj[u * self.words_per_row + v / 64] >> (v % 64)) & 1 == 1
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u * self.words_per_row..(u + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).sum::<usize>() / 2
+    }
+
+    /// Neighbors of `u` in ascending order.
+    pub fn neighbors(&self, u: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &word) in self.adj[u * self.words_per_row..(u + 1) * self.words_per_row]
+            .iter()
+            .enumerate()
+        {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                out.push(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Adjacency-list view (`Vec` of neighbor `Vec`s), the format consumed
+    /// by the blossom algorithm.
+    pub fn adjacency_list(&self) -> Vec<Vec<usize>> {
+        (0..self.n).map(|u| self.neighbors(u)).collect()
+    }
+
+    /// The complement graph (no self-loops).
+    pub fn complement(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// Node-induced subgraph on `nodes` (renumbered 0..nodes.len() in the
+    /// given order).
+    pub fn induced(&self, nodes: &[usize]) -> Graph {
+        let mut g = Graph::new(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_degrees() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 4);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), vec![1, 4]);
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        let mut g = Graph::new(3);
+        g.add_edge(1, 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn large_graph_word_boundaries() {
+        let mut g = Graph::new(130);
+        g.add_edge(0, 129);
+        g.add_edge(63, 64);
+        assert!(g.has_edge(129, 0));
+        assert!(g.has_edge(64, 63));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(129), vec![0]);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let c = g.complement();
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert_eq!(c.edge_count(), 4); // K4 has 6 edges; 6 - 2 = 4.
+        assert_eq!(c.complement(), g);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 2);
+        g.add_edge(2, 4);
+        g.add_edge(1, 3);
+        let s = g.induced(&[0, 2, 4]);
+        assert_eq!(s.len(), 3);
+        assert!(s.has_edge(0, 1)); // 0-2 in original
+        assert!(s.has_edge(1, 2)); // 2-4 in original
+        assert!(!s.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # sparstencil-graph — conflict graphs and matching for SparStencil
+//!
+//! The Structured Sparsity Conversion stage (§3.2 of the paper) reduces the
+//! problem of rearranging a staircase-sparse kernel matrix into a
+//! 2:4-compatible layout to *minimum zero-column matching* on a **conflict
+//! graph** (Definitions 1–3): columns are nodes, and two columns conflict
+//! when they share a row with nonzeros in both. Any perfect matching of
+//! columns into non-conflicting pairs yields a valid 2:4 layout (two pairs
+//! per aligned 4-group ⇒ at most two nonzeros per row per group); zero
+//! columns are appended for nodes that cannot be paired.
+//!
+//! This crate provides:
+//!
+//! - [`Graph`] — a small undirected graph with bitset adjacency.
+//! - [`conflict`] — conflict-graph construction from matrices, including
+//!   the two-level (global block / local column) graphs of Figure 5(b).
+//! - [`hierarchical`] — the paper's Algorithm 1, *Hierarchical Two-Level
+//!   Matching*: linear time, provably pad-optimal on self-similar
+//!   staircase inputs (Theorems 1–2).
+//! - [`blossom`] — a complete Edmonds blossom maximum-matching
+//!   implementation, used (on the *complement* graph) as the fallback for
+//!   arbitrary sparsity patterns, and as the exactness oracle in tests.
+//! - [`matching`] — the matching data type, validity checking
+//!   (Definition 3) and the minimum-padding computation (Problem 1).
+
+#![warn(missing_docs)]
+
+pub mod blossom;
+pub mod conflict;
+pub mod graph;
+pub mod hierarchical;
+pub mod matching;
+
+pub use graph::Graph;
+pub use matching::{Matching, PairList};

@@ -1,0 +1,268 @@
+//! Matchings, validity (Definition 3) and minimum zero-column padding
+//! (Problem 1).
+//!
+//! A *valid matching* covers every original column exactly once with pairs
+//! that are conflict-free; columns that cannot be paired with another
+//! column are paired with inserted zero columns. The minimum number of
+//! zero columns is `n − 2·ν(Ḡ)` where `ν(Ḡ)` is the maximum matching size
+//! of the conflict graph's complement — computed exactly by the blossom
+//! algorithm.
+
+use crate::blossom;
+use crate::graph::Graph;
+
+/// A pair of column indices, or a column paired with an inserted zero
+/// column ([`PairList::PAD`]).
+pub type Pair = (usize, usize);
+
+/// An ordered list of column pairs; the downstream conversion lays each
+/// consecutive two pairs into one aligned 4-group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairList {
+    /// Pairs `(a, b)`; `b == PairList::PAD` denotes a zero-column partner.
+    pub pairs: Vec<Pair>,
+    /// Number of original columns covered.
+    pub n: usize,
+}
+
+impl PairList {
+    /// Sentinel partner index marking an inserted zero column.
+    pub const PAD: usize = usize::MAX;
+
+    /// Number of inserted zero columns.
+    pub fn pad_count(&self) -> usize {
+        self.pairs.iter().filter(|&&(_, b)| b == Self::PAD).count()
+    }
+
+    /// Validity per Definition 3 against a conflict graph:
+    /// (i) coverage — every node in `0..n` appears exactly once;
+    /// (ii) conflict-freedom — no pair is an edge of `conflicts`.
+    pub fn validate(&self, conflicts: &Graph) -> Result<(), MatchingError> {
+        if conflicts.len() != self.n {
+            return Err(MatchingError::WrongNodeCount {
+                expected: self.n,
+                got: conflicts.len(),
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &(a, b) in &self.pairs {
+            for v in [a, b] {
+                if v == Self::PAD {
+                    continue;
+                }
+                if v >= self.n {
+                    return Err(MatchingError::OutOfRange { node: v });
+                }
+                if seen[v] {
+                    return Err(MatchingError::DoublyCovered { node: v });
+                }
+                seen[v] = true;
+            }
+            if a != Self::PAD && b != Self::PAD && conflicts.has_edge(a, b) {
+                return Err(MatchingError::ConflictingPair { a, b });
+            }
+        }
+        if let Some(node) = seen.iter().position(|&s| !s) {
+            return Err(MatchingError::Uncovered { node });
+        }
+        Ok(())
+    }
+}
+
+/// Reasons a pair list fails Definition 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// Conflict graph size differs from the pair list's node count.
+    WrongNodeCount {
+        /// Expected node count.
+        expected: usize,
+        /// Actual node count.
+        got: usize,
+    },
+    /// A pair references a node outside `0..n`.
+    OutOfRange {
+        /// The offending node.
+        node: usize,
+    },
+    /// A node appears in more than one pair.
+    DoublyCovered {
+        /// The offending node.
+        node: usize,
+    },
+    /// A node appears in no pair.
+    Uncovered {
+        /// The offending node.
+        node: usize,
+    },
+    /// A pair joins two conflicting columns.
+    ConflictingPair {
+        /// First column.
+        a: usize,
+        /// Second column.
+        b: usize,
+    },
+}
+
+impl std::fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchingError::WrongNodeCount { expected, got } => {
+                write!(f, "conflict graph has {got} nodes, expected {expected}")
+            }
+            MatchingError::OutOfRange { node } => write!(f, "node {node} out of range"),
+            MatchingError::DoublyCovered { node } => write!(f, "node {node} covered twice"),
+            MatchingError::Uncovered { node } => write!(f, "node {node} uncovered"),
+            MatchingError::ConflictingPair { a, b } => {
+                write!(f, "pair ({a},{b}) joins conflicting columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+/// Alias kept for readability at call sites.
+pub type Matching = PairList;
+
+/// Solve Problem 1 exactly for an arbitrary conflict graph: compute a
+/// maximum matching on the complement (pairable columns) with the blossom
+/// algorithm, then pad every unmatched column with a zero column.
+/// The returned pad count `n − 2·ν(Ḡ)` is minimal.
+pub fn min_padding_matching(conflicts: &Graph) -> PairList {
+    let n = conflicts.len();
+    let compatible = conflicts.complement();
+    let mate = blossom::maximum_matching(&compatible);
+    let mut pairs = Vec::with_capacity(n.div_ceil(2));
+    let mut done = vec![false; n];
+    for v in 0..n {
+        if done[v] {
+            continue;
+        }
+        match mate[v] {
+            Some(u) if !done[u] => {
+                pairs.push((v, u));
+                done[v] = true;
+                done[u] = true;
+            }
+            _ => {
+                pairs.push((v, PairList::PAD));
+                done[v] = true;
+            }
+        }
+    }
+    PairList { pairs, n }
+}
+
+/// Lower bound on padding for any valid matching: `n − 2·ν(Ḡ)`.
+/// [`min_padding_matching`] achieves it; Algorithm 1 must match it on
+/// staircase inputs (Theorem 2) — asserted by tests.
+pub fn optimal_pad_count(conflicts: &Graph) -> usize {
+    let compatible = conflicts.complement();
+    let mate = blossom::maximum_matching(&compatible);
+    conflicts.len() - 2 * blossom::matching_size(&mate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_conflicts(n: usize) -> Graph {
+        // Conflicts between adjacent columns only (width-2 staircase).
+        let mut g = Graph::new(n);
+        for v in 0..n.saturating_sub(1) {
+            g.add_edge(v, v + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn min_padding_on_path() {
+        // 4 columns, adjacent conflicts: (0,2),(1,3) is a perfect
+        // conflict-free matching → zero pads.
+        let g = path_conflicts(4);
+        let m = min_padding_matching(&g);
+        assert_eq!(m.pad_count(), 0);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn min_padding_odd_count() {
+        let g = path_conflicts(5);
+        let m = min_padding_matching(&g);
+        assert_eq!(m.pad_count(), 1);
+        m.validate(&g).unwrap();
+        assert_eq!(optimal_pad_count(&g), 1);
+    }
+
+    #[test]
+    fn complete_conflicts_pad_everything() {
+        // Every pair conflicts: all columns need zero partners.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let m = min_padding_matching(&g);
+        assert_eq!(m.pad_count(), 3);
+        m.validate(&g).unwrap();
+        assert_eq!(optimal_pad_count(&g), 3);
+    }
+
+    #[test]
+    fn no_conflicts_no_padding_even() {
+        let g = Graph::new(6);
+        let m = min_padding_matching(&g);
+        assert_eq!(m.pad_count(), 0);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_detects_conflicting_pair() {
+        let g = path_conflicts(2);
+        let m = PairList {
+            pairs: vec![(0, 1)],
+            n: 2,
+        };
+        assert_eq!(
+            m.validate(&g),
+            Err(MatchingError::ConflictingPair { a: 0, b: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_detects_uncovered() {
+        let g = Graph::new(3);
+        let m = PairList {
+            pairs: vec![(0, 1)],
+            n: 3,
+        };
+        assert_eq!(m.validate(&g), Err(MatchingError::Uncovered { node: 2 }));
+    }
+
+    #[test]
+    fn validate_detects_double_cover() {
+        let g = Graph::new(3);
+        let m = PairList {
+            pairs: vec![(0, 1), (1, 2)],
+            n: 3,
+        };
+        assert_eq!(m.validate(&g), Err(MatchingError::DoublyCovered { node: 1 }));
+    }
+
+    #[test]
+    fn validate_detects_out_of_range() {
+        let g = Graph::new(2);
+        let m = PairList {
+            pairs: vec![(0, 5)],
+            n: 2,
+        };
+        assert_eq!(m.validate(&g), Err(MatchingError::OutOfRange { node: 5 }));
+    }
+
+    #[test]
+    fn empty_matching_is_valid() {
+        let g = Graph::new(0);
+        let m = PairList { pairs: vec![], n: 0 };
+        m.validate(&g).unwrap();
+        assert_eq!(min_padding_matching(&g).pairs.len(), 0);
+    }
+}

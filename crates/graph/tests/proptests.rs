@@ -1,0 +1,127 @@
+//! Property-based tests for conflict graphs and matching algorithms.
+
+use proptest::prelude::*;
+use sparstencil_graph::blossom::{matching_size, maximum_matching};
+use sparstencil_graph::conflict::{conflict_graph, verify_non_conflict_theorem};
+use sparstencil_graph::hierarchical::{hierarchical_matching, StaircaseSpec};
+use sparstencil_graph::matching::{min_padding_matching, optimal_pad_count};
+use sparstencil_graph::Graph;
+use sparstencil_mat::staircase::staircase_from_weights;
+use sparstencil_mat::DenseMatrix;
+
+/// Random undirected graph from an edge-probability matrix seed.
+fn random_graph(n: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(u, v) in edges {
+        if u < n && v < n && u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn blossom_matching_is_valid(
+        n in 1usize..20,
+        edges in proptest::collection::vec((0usize..20, 0usize..20), 0..60),
+    ) {
+        let g = random_graph(n, &edges);
+        let mate = maximum_matching(&g);
+        for v in 0..n {
+            if let Some(u) = mate[v] {
+                prop_assert_eq!(mate[u], Some(v));
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn blossom_is_maximal(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        // A maximum matching is in particular maximal: no edge joins two
+        // exposed vertices.
+        let g = random_graph(n, &edges);
+        let mate = maximum_matching(&g);
+        for u in 0..n {
+            if mate[u].is_none() {
+                for v in g.neighbors(u) {
+                    prop_assert!(mate[v].is_some(), "edge ({u},{v}) joins exposed vertices");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_padding_matching_always_valid(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let g = random_graph(n, &edges);
+        let m = min_padding_matching(&g);
+        prop_assert!(m.validate(&g).is_ok());
+        prop_assert_eq!(m.pad_count(), optimal_pad_count(&g));
+    }
+
+    #[test]
+    fn theorem1_on_random_staircases(
+        rows in 1usize..10,
+        weights in proptest::collection::vec(-4i32..=4, 1..6),
+    ) {
+        // Theorem 1: in a width-k staircase, columns ≥ k apart never
+        // conflict — regardless of interior zeros in the weights.
+        let w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        let s = staircase_from_weights(&w, rows);
+        let g = conflict_graph(&s);
+        prop_assert_eq!(verify_non_conflict_theorem(&g, w.len()), None);
+    }
+
+    #[test]
+    fn hierarchical_always_valid_on_staircases(
+        rows in 1usize..8,
+        k in 1usize..5,
+        blocks in 1usize..5,
+    ) {
+        // Build an explicit self-similar staircase and check Algorithm 1's
+        // output against its true conflict graph.
+        let weights: Vec<f64> = (1..=k).map(|i| i as f64).collect();
+        let base = staircase_from_weights(&weights, rows);
+        let blks: Vec<DenseMatrix<f64>> = (0..k).map(|_| base.clone()).collect();
+        let a = sparstencil_mat::staircase::block_staircase(&blks, blocks);
+        let g_cols = rows + k - 1;
+        let spec = StaircaseSpec { n: a.cols(), g: g_cols, k };
+        let m = hierarchical_matching(spec).unwrap();
+        let cg = conflict_graph(&a);
+        prop_assert!(m.validate(&cg).is_ok(), "invalid: rows={rows} k={k} blocks={blocks}");
+        // Never better than the exact optimum.
+        prop_assert!(m.pad_count() >= optimal_pad_count(&cg));
+    }
+
+    #[test]
+    fn complement_matching_disjoint_from_conflicts(
+        n in 2usize..14,
+        edges in proptest::collection::vec((0usize..14, 0usize..14), 0..30),
+    ) {
+        let g = random_graph(n, &edges);
+        let m = min_padding_matching(&g);
+        for &(a, b) in &m.pairs {
+            if b != usize::MAX {
+                prop_assert!(!g.has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_size_halves_cover(
+        n in 1usize..16,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let g = random_graph(n, &edges);
+        let mate = maximum_matching(&g);
+        let covered = mate.iter().flatten().count();
+        prop_assert_eq!(covered % 2, 0);
+        prop_assert_eq!(matching_size(&mate), covered / 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! Row-major dense matrices over [`Real`] scalars.
+//!
+//! This is the workhorse container of the pipeline: flattened stencil
+//! matrices, crushed kernel matrices, fragment tiles and verification
+//! buffers are all `DenseMatrix`. The type is deliberately simple — a
+//! `Vec<R>` plus dimensions — because the performance-critical paths in the
+//! simulator operate on raw row slices.
+
+use crate::real::Real;
+
+/// A row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<R: Real> {
+    rows: usize,
+    cols: usize,
+    data: Vec<R>,
+}
+
+impl<R: Real> DenseMatrix<R> {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![R::ZERO; rows * cols],
+        }
+    }
+
+    /// Build from a closure `f(row, col) -> value`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> R) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<R>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { R::ONE } else { R::ZERO })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> R {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: R) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[R] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [R] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow the full row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[R] {
+        &self.data
+    }
+
+    /// Mutably borrow the full row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
+    /// Extract column `c` as an owned vector.
+    pub fn col(&self, c: usize) -> Vec<R> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Number of exactly-zero entries.
+    pub fn zero_count(&self) -> usize {
+        self.data.iter().filter(|v| v.is_zero()).count()
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len() - self.zero_count()
+    }
+
+    /// Fraction of entries that are zero (`0.0` for an empty matrix).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.zero_count() as f64 / self.data.len() as f64
+    }
+
+    /// `true` iff column `c` is entirely zero.
+    pub fn col_is_zero(&self, c: usize) -> bool {
+        (0..self.rows).all(|r| self.get(r, c).is_zero())
+    }
+
+    /// Copy of the matrix padded with zeros to `new_rows × new_cols`.
+    ///
+    /// # Panics
+    /// Panics if the new shape is smaller than the current one.
+    pub fn pad_to(&self, new_rows: usize, new_cols: usize) -> Self {
+        assert!(
+            new_rows >= self.rows && new_cols >= self.cols,
+            "pad_to target {new_rows}x{new_cols} smaller than {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut out = Self::zeros(new_rows, new_cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Extract the `rows × cols` block whose top-left corner is `(r0, c0)`.
+    /// Out-of-range elements are zero-filled, so blocks may overhang the
+    /// matrix edge (used when tiling to fragment boundaries).
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        Self::from_fn(rows, cols, |r, c| {
+            let (rr, cc) = (r0 + r, c0 + c);
+            if rr < self.rows && cc < self.cols {
+                self.get(rr, cc)
+            } else {
+                R::ZERO
+            }
+        })
+    }
+
+    /// Overwrite the block at `(r0, c0)` with `src`, ignoring any part of
+    /// `src` that would fall outside `self`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &Self) {
+        for r in 0..src.rows {
+            if r0 + r >= self.rows {
+                break;
+            }
+            for c in 0..src.cols {
+                if c0 + c >= self.cols {
+                    break;
+                }
+                self.set(r0 + r, c0 + c, src.get(r, c));
+            }
+        }
+    }
+
+    /// Select columns in the given order into a new matrix. Indices equal to
+    /// `usize::MAX` produce zero columns (used for zero-column padding in
+    /// the sparsity conversion).
+    pub fn select_cols(&self, order: &[usize]) -> Self {
+        Self::from_fn(self.rows, order.len(), |r, i| {
+            let c = order[i];
+            if c == usize::MAX {
+                R::ZERO
+            } else {
+                self.get(r, c)
+            }
+        })
+    }
+
+    /// Select rows in the given order into a new matrix. Indices equal to
+    /// `usize::MAX` produce zero rows.
+    pub fn select_rows(&self, order: &[usize]) -> Self {
+        Self::from_fn(order.len(), self.cols, |i, c| {
+            let r = order[i];
+            if r == usize::MAX {
+                R::ZERO
+            } else {
+                self.get(r, c)
+            }
+        })
+    }
+
+    /// Largest absolute difference against another matrix of the same shape.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest relative difference `|a-b| / max(1, |a|, |b|)` against
+    /// another matrix of the same shape.
+    pub fn max_rel_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_rel_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| {
+                let (a, b) = (a.to_f64(), b.to_f64());
+                (a - b).abs() / 1.0_f64.max(a.abs()).max(b.abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(R) -> R) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 3), 11.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(m.col(2), vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = DenseMatrix::<f32>::identity(4);
+        assert_eq!(i.nnz(), 4);
+        for r in 0..4 {
+            assert_eq!(i.get(r, r), 1.0);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(3, 2), m.get(2, 3));
+    }
+
+    #[test]
+    fn sparsity_statistics() {
+        let mut m = DenseMatrix::<f64>::zeros(2, 4);
+        assert_eq!(m.sparsity(), 1.0);
+        m.set(0, 0, 1.0);
+        m.set(1, 3, 2.0);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.zero_count(), 6);
+        assert!((m.sparsity() - 0.75).abs() < 1e-12);
+        assert!(m.col_is_zero(1));
+        assert!(!m.col_is_zero(0));
+    }
+
+    #[test]
+    fn pad_preserves_and_zero_fills() {
+        let m = sample();
+        let p = m.pad_to(5, 6);
+        assert_eq!(p.shape(), (5, 6));
+        assert_eq!(p.get(2, 3), 11.0);
+        assert_eq!(p.get(4, 5), 0.0);
+        assert_eq!(p.get(2, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller")]
+    fn pad_smaller_panics() {
+        sample().pad_to(2, 4);
+    }
+
+    #[test]
+    fn block_overhang_is_zero_filled() {
+        let m = sample();
+        let b = m.block(2, 3, 2, 2);
+        assert_eq!(b.get(0, 0), 11.0);
+        assert_eq!(b.get(0, 1), 0.0);
+        assert_eq!(b.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn set_block_clips() {
+        let mut m = DenseMatrix::<f64>::zeros(3, 3);
+        let src = DenseMatrix::from_fn(2, 2, |_, _| 7.0);
+        m.set_block(2, 2, &src);
+        assert_eq!(m.get(2, 2), 7.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn select_cols_with_zero_padding() {
+        let m = sample();
+        let s = m.select_cols(&[3, usize::MAX, 0]);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert!(s.col_is_zero(1));
+        assert_eq!(s.get(1, 2), 4.0);
+    }
+
+    #[test]
+    fn select_rows_with_zero_padding() {
+        let m = sample();
+        let s = m.select_rows(&[2, usize::MAX]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), m.row(2));
+        assert!(s.row(1).iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = sample();
+        let mut b = a.clone();
+        b.set(1, 1, 5.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+        assert!(a.max_rel_diff(&a) == 0.0);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut m = sample();
+        m.map_inplace(|v| v * 2.0);
+        assert_eq!(m.get(2, 3), 22.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Reference matrix products.
+//!
+//! These are the ground-truth kernels the fragment engine and the whole
+//! SparStencil pipeline are validated against. Three variants are provided:
+//! a textbook triple loop, a cache-blocked version, and a Rayon row-parallel
+//! version used by the larger integration tests. All three must agree
+//! exactly for `f64` inputs whose products are exactly representable, and
+//! to within accumulation-order tolerance otherwise (the parallel version
+//! uses the same per-row loop order as the serial ones, so in practice they
+//! agree bit-for-bit).
+
+use crate::dense::DenseMatrix;
+use crate::real::Real;
+use rayon::prelude::*;
+
+/// `C = A × B` with the textbook i-k-j loop (good spatial locality on
+/// row-major data).
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>) -> DenseMatrix<R> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {}x{} times {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for kk in 0..k {
+            let aik = a_row[kk];
+            if aik.is_zero() {
+                continue;
+            }
+            let b_row = b.row(kk);
+            let c_row = c.row_mut(i);
+            for j in 0..n {
+                c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+    c
+}
+
+/// Cache-blocked `C = A × B` with `block`-sized tiles along every dimension.
+pub fn matmul_blocked<R: Real>(
+    a: &DenseMatrix<R>,
+    b: &DenseMatrix<R>,
+    block: usize,
+) -> DenseMatrix<R> {
+    assert!(block > 0, "block size must be positive");
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n);
+    for i0 in (0..m).step_by(block) {
+        for k0 in (0..k).step_by(block) {
+            for j0 in (0..n).step_by(block) {
+                let i1 = (i0 + block).min(m);
+                let k1 = (k0 + block).min(k);
+                let j1 = (j0 + block).min(n);
+                for i in i0..i1 {
+                    for kk in k0..k1 {
+                        let aik = a.get(i, kk);
+                        if aik.is_zero() {
+                            continue;
+                        }
+                        let b_row = &b.row(kk)[j0..j1];
+                        let c_row = &mut c.row_mut(i)[j0..j1];
+                        for (cj, bj) in c_row.iter_mut().zip(b_row.iter()) {
+                            *cj += aik * *bj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Rayon row-parallel `C = A × B`. Per-row arithmetic order matches
+/// [`matmul`], so results agree bit-for-bit with the serial version.
+pub fn matmul_parallel<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>) -> DenseMatrix<R> {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let rows: Vec<Vec<R>> = (0..m)
+        .into_par_iter()
+        .map(|i| {
+            let mut c_row = vec![R::ZERO; n];
+            let a_row = a.row(i);
+            for kk in 0..k {
+                let aik = a_row[kk];
+                if aik.is_zero() {
+                    continue;
+                }
+                let b_row = b.row(kk);
+                for j in 0..n {
+                    c_row[j] += aik * b_row[j];
+                }
+            }
+            c_row
+        })
+        .collect();
+    DenseMatrix::from_vec(m, n, rows.into_iter().flatten().collect())
+}
+
+/// `y = A × x` (matrix-vector product).
+///
+/// # Panics
+/// Panics if `A.cols() != x.len()`.
+pub fn matvec<R: Real>(a: &DenseMatrix<R>, x: &[R]) -> Vec<R> {
+    assert_eq!(a.cols(), x.len(), "matvec dimension mismatch");
+    (0..a.rows())
+        .map(|i| {
+            a.row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(&aij, &xj)| aij * xj)
+                .sum()
+        })
+        .collect()
+}
+
+/// `y = x × B` (row-vector times matrix), the shape produced by Stencil
+/// Flattening before Duplicates Crush.
+pub fn vecmat<R: Real>(x: &[R], b: &DenseMatrix<R>) -> Vec<R> {
+    assert_eq!(x.len(), b.rows(), "vecmat dimension mismatch");
+    let n = b.cols();
+    let mut y = vec![R::ZERO; n];
+    for (kk, &xk) in x.iter().enumerate() {
+        if xk.is_zero() {
+            continue;
+        }
+        let b_row = b.row(kk);
+        for j in 0..n {
+            y[j] += xk * b_row[j];
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> DenseMatrix<f64> {
+        DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+    fn b() -> DenseMatrix<f64> {
+        DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn small_known_product() {
+        let c = matmul(&a(), &b());
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn variants_agree() {
+        let m = DenseMatrix::from_fn(17, 23, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let n = DenseMatrix::from_fn(23, 19, |r, c| ((r * 5 + c * 11) % 17) as f64 - 8.0);
+        let reference = matmul(&m, &n);
+        assert_eq!(matmul_blocked(&m, &n, 4), reference);
+        assert_eq!(matmul_blocked(&m, &n, 8), reference);
+        assert_eq!(matmul_blocked(&m, &n, 64), reference);
+        assert_eq!(matmul_parallel(&m, &n), reference);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = DenseMatrix::from_fn(5, 5, |r, c| (r * 5 + c) as f64);
+        assert_eq!(matmul(&m, &DenseMatrix::identity(5)), m);
+        assert_eq!(matmul(&DenseMatrix::identity(5), &m), m);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = a();
+        let x = vec![1.0, -1.0, 2.0];
+        let y = matvec(&m, &x);
+        let xmat = DenseMatrix::from_vec(3, 1, x);
+        let c = matmul(&m, &xmat);
+        assert_eq!(y, c.as_slice());
+    }
+
+    #[test]
+    fn vecmat_matches_matmul() {
+        let m = b();
+        let x = vec![1.0, -2.0, 0.5];
+        let y = vecmat(&x, &m);
+        let xmat = DenseMatrix::from_vec(1, 3, x);
+        let c = matmul(&xmat, &m);
+        assert_eq!(y, c.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatch_panics() {
+        let _ = matmul(&a(), &a());
+    }
+
+    #[test]
+    fn zero_block_size_panics() {
+        let r = std::panic::catch_unwind(|| matmul_blocked(&a(), &b(), 0));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Software emulation of tensor-core operand precisions.
+//!
+//! Sparse tensor cores on Ampere accept FP16 / BF16 / TF32 operands and
+//! accumulate in FP32 (§2.1 of the paper). This environment has no GPU, so
+//! we reproduce the *numerics* in software: operands are rounded to the
+//! target format with IEEE round-to-nearest-even before every fragment
+//! operation, while all arithmetic runs in `f32`/`f64`.
+//!
+//! The FP16 conversion here is a complete binary16 implementation
+//! (normals, subnormals, overflow-to-infinity, NaN preservation) rather
+//! than a truncation, because stencil weights are often tiny (e.g. `1/90`
+//! coefficients of high-order finite differences) and correct rounding is
+//! what keeps the FP16 pipeline within the verification tolerances used by
+//! the test-suite.
+
+/// Operand precision of a (simulated) tensor-core fragment operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// IEEE binary16 operands, FP32 accumulate (the paper's main mode).
+    Fp16,
+    /// bfloat16 operands, FP32 accumulate.
+    Bf16,
+    /// TF32 (19-bit) operands, FP32 accumulate.
+    Tf32,
+    /// IEEE binary32 operands (CUDA-core FFMA path).
+    Fp32,
+    /// IEEE binary64 operands (dense-TCU FP64 path of Table 3).
+    Fp64,
+}
+
+impl Precision {
+    /// Bytes of storage per element in this precision.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp16 | Precision::Bf16 => 2,
+            Precision::Tf32 | Precision::Fp32 => 4,
+            Precision::Fp64 => 8,
+        }
+    }
+
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Fp16 => "FP16",
+            Precision::Bf16 => "BF16",
+            Precision::Tf32 => "TF32",
+            Precision::Fp32 => "FP32",
+            Precision::Fp64 => "FP64",
+        }
+    }
+
+    /// Round an `f64` value through this precision's storage format.
+    pub fn round_f64(self, v: f64) -> f64 {
+        match self {
+            Precision::Fp16 => f16_to_f32(f32_to_f16(v as f32)) as f64,
+            Precision::Bf16 => bf16_round(v as f32) as f64,
+            Precision::Tf32 => tf32_round(v as f32) as f64,
+            Precision::Fp32 => v as f32 as f64,
+            Precision::Fp64 => v,
+        }
+    }
+
+    /// Round an `f32` value through this precision's storage format.
+    /// `Fp64` is the identity at `f32` width.
+    pub fn round_f32(self, v: f32) -> f32 {
+        match self {
+            Precision::Fp16 => f16_to_f32(f32_to_f16(v)),
+            Precision::Bf16 => bf16_round(v),
+            Precision::Tf32 => tf32_round(v),
+            Precision::Fp32 | Precision::Fp64 => v,
+        }
+    }
+}
+
+/// Convert an `f32` to IEEE binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN: preserve NaN payload top bits, force quiet bit.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((mant >> 13) as u16 & 0x3ff)
+        };
+    }
+
+    // Re-bias from 127 to 15.
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1f {
+        // Overflow → infinity.
+        return sign | 0x7c00;
+    }
+
+    if half_exp <= 0 {
+        // Subnormal half (or underflow to zero).
+        if half_exp < -10 {
+            return sign; // Rounds to ±0.
+        }
+        // Implicit leading one becomes explicit.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (14 - half_exp) as u32; // 14..=24
+        let half_mant = (full_mant >> shift) as u16;
+        // Round-to-nearest-even on the shifted-out bits.
+        let rem = full_mant & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half_mant + 1,
+            std::cmp::Ordering::Equal => half_mant + (half_mant & 1),
+            std::cmp::Ordering::Less => half_mant,
+        };
+        return sign | rounded;
+    }
+
+    // Normal half.
+    let half_mant = (mant >> 13) as u16;
+    let base = sign | ((half_exp as u16) << 10) | half_mant;
+    let rem = mant & 0x1fff;
+    match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => base + 1, // May carry into exponent: correct (rounds up to next binade / inf).
+        std::cmp::Ordering::Equal => base + (base & 1),
+        std::cmp::Ordering::Less => base,
+    }
+}
+
+/// Convert IEEE binary16 bits to `f32` (exact).
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x3ff) as u32;
+
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign // ±0
+        } else {
+            // Subnormal: value = mant * 2^-24 = (mant / 2^10) * 2^-14.
+            // Normalize: after s left-shifts the value is 1.f × 2^(-14-s).
+            let mut m = mant;
+            let mut e = -14i32;
+            while m & 0x400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x3ff;
+            sign | (((e + 127) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13) // Inf / NaN
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Round an `f32` to bfloat16 precision (truncate mantissa to 7 bits, RNE).
+pub fn bf16_round(v: f32) -> f32 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        return v;
+    }
+    let rem = bits & 0xffff;
+    let base = bits & 0xffff_0000;
+    let rounded = match rem.cmp(&0x8000) {
+        std::cmp::Ordering::Greater => base.wrapping_add(0x1_0000),
+        std::cmp::Ordering::Equal => base.wrapping_add(base & 0x1_0000),
+        std::cmp::Ordering::Less => base,
+    };
+    f32::from_bits(rounded)
+}
+
+/// Round an `f32` to TF32 precision (10-bit mantissa, RNE), the format used
+/// by Ampere tensor cores for FP32 inputs.
+pub fn tf32_round(v: f32) -> f32 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        return v;
+    }
+    // Keep 10 mantissa bits: drop the low 13 of the 23-bit mantissa.
+    let rem = bits & 0x1fff;
+    let base = bits & !0x1fff;
+    let rounded = match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => base.wrapping_add(0x2000),
+        std::cmp::Ordering::Equal => base.wrapping_add(base & 0x2000),
+        std::cmp::Ordering::Less => base,
+    };
+    f32::from_bits(rounded)
+}
+
+/// Quantize a whole slice in place through `precision`.
+pub fn quantize_slice_f32(data: &mut [f32], precision: Precision) {
+    for v in data.iter_mut() {
+        *v = precision.round_f32(*v);
+    }
+}
+
+/// Relative-error tolerance appropriate for verifying a pipeline that ran
+/// its operands through `precision`. Used by tests and examples.
+pub fn verify_tolerance(precision: Precision) -> f64 {
+    match precision {
+        Precision::Fp16 => 5e-2,
+        Precision::Bf16 => 1e-1,
+        Precision::Tf32 => 1e-3,
+        Precision::Fp32 => 1e-5,
+        Precision::Fp64 => 1e-12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        // Values exactly representable in binary16 must round-trip.
+        for v in [
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0, 0.000061035156,
+        ] {
+            let rt = f16_to_f32(f32_to_f16(v));
+            assert_eq!(rt, v, "roundtrip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e6)), f32::NEG_INFINITY);
+        // 65520 is the halfway point between 65504 (max half) and "65536";
+        // RNE rounds it up, i.e. to infinity.
+        assert_eq!(f16_to_f32(f32_to_f16(65520.0)), f32::INFINITY);
+        // Just below halfway stays finite.
+        assert_eq!(f16_to_f32(f32_to_f16(65519.0)), 65504.0);
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        let min_sub = 5.960_464_5e-8; // 2^-24
+        let rt = f16_to_f32(f32_to_f16(min_sub));
+        assert!((rt - min_sub).abs() < 1e-12);
+        // Half of the smallest subnormal rounds to zero (RNE ties-to-even).
+        assert_eq!(f16_to_f32(f32_to_f16(min_sub / 2.0)), 0.0);
+        // Slightly more than half rounds up to the smallest subnormal.
+        let rt2 = f16_to_f32(f32_to_f16(min_sub * 0.51));
+        assert!(rt2 > 0.0);
+    }
+
+    #[test]
+    fn f16_nan_preserved() {
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next half;
+        // RNE keeps the even mantissa, i.e. 1.0.
+        let halfway = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(f16_to_f32(f32_to_f16(halfway)), 1.0);
+        // 1.0 + 3*2^-11 is halfway between odd and even+1 → rounds up.
+        let halfway_up = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        let expect = 1.0 + 2.0 * 2.0_f32.powi(-10);
+        assert_eq!(f16_to_f32(f32_to_f16(halfway_up)), expect);
+    }
+
+    #[test]
+    fn tf32_keeps_10_bits() {
+        let v = 1.0 + 2.0_f32.powi(-10);
+        assert_eq!(tf32_round(v), v, "2^-10 must survive TF32");
+        let w = 1.0 + 2.0_f32.powi(-12);
+        assert_eq!(tf32_round(w), 1.0, "2^-12 must be rounded away");
+    }
+
+    #[test]
+    fn bf16_keeps_7_bits() {
+        let v = 1.0 + 2.0_f32.powi(-7);
+        assert_eq!(bf16_round(v), v);
+        let w = 1.0 + 2.0_f32.powi(-9);
+        assert_eq!(bf16_round(w), 1.0);
+    }
+
+    #[test]
+    fn precision_bytes_and_names() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Tf32.bytes(), 4);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+        assert_eq!(Precision::Fp16.name(), "FP16");
+    }
+
+    #[test]
+    fn round_f64_path_matches_f32_path() {
+        for v in [0.1f32, 3.14159, -0.007, 123.456] {
+            let a = Precision::Fp16.round_f32(v) as f64;
+            let b = Precision::Fp16.round_f64(v as f64);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn quantize_slice_applies_everywhere() {
+        let mut data = vec![0.1f32; 16];
+        quantize_slice_f32(&mut data, Precision::Fp16);
+        let q = Precision::Fp16.round_f32(0.1);
+        assert!(data.iter().all(|&v| v == q));
+    }
+}

@@ -1,0 +1,49 @@
+//! # sparstencil-mat — matrix substrate for SparStencil
+//!
+//! This crate provides every matrix-shaped building block the SparStencil
+//! pipeline needs, independent of stencils and of the TCU simulator:
+//!
+//! - [`DenseMatrix`] — row-major dense matrices over [`Real`] scalars
+//!   (`f32` / `f64`) with views, block extraction and padding helpers.
+//! - [`gemm`] — reference, blocked and Rayon-parallel matrix products used
+//!   to validate the fragment engine.
+//! - [`half`] — software emulation of IEEE binary16 (FP16) and TF32
+//!   round-to-nearest-even, matching the input quantization performed by
+//!   real tensor cores (inputs rounded, accumulation in FP32).
+//! - [`BitMask`] — binary sparsity masks with the 2:4 validity predicate of
+//!   the paper's Equation (2) and sparsity statistics (residual sparsity,
+//!   clustered-sparsity measure).
+//! - [`TwoFourMatrix`] — the compressed operand format consumed by sparse
+//!   tensor cores: a value matrix of width `k/2` plus 2-bit-per-element
+//!   metadata selecting which 2 of every 4 columns are stored, including
+//!   the sub-pattern (0:4, 1:4) promotion rule of §2.1.
+//! - [`staircase`] — constructors and checkers for the *k-staircase*
+//!   property (Definition 4) and the self-similar block staircase produced
+//!   by Duplicates Crush.
+//! - [`Permutation`] — column/row permutations and the Permutation
+//!   Invariant Transformation (PIT) of Equation (5).
+//!
+//! Everything here is pure CPU math; no hardware modelling. The TCU
+//! simulator (`sparstencil-tcu`) consumes these types.
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod gemm;
+pub mod half;
+pub mod mask;
+pub mod permute;
+pub mod real;
+pub mod staircase;
+pub mod two_four;
+
+pub use dense::DenseMatrix;
+pub use mask::BitMask;
+pub use permute::Permutation;
+pub use real::Real;
+pub use two_four::TwoFourMatrix;
+
+/// Number of columns in one structured-sparsity group (the "4" of 2:4).
+pub const GROUP: usize = 4;
+/// Number of elements kept per group (the "2" of 2:4).
+pub const KEEP: usize = 2;

@@ -1,0 +1,256 @@
+//! Binary sparsity masks and the 2:4 validity predicate.
+//!
+//! The mask matrix `M` of the paper's Equation (1) is a bit pattern; the
+//! structured-sparsity constraint of Equation (2) requires each aligned
+//! group of 4 row elements to contain *exactly* two ones. §2.1 relaxes this
+//! to *at most* two ones per group (0:4 and 1:4 sub-patterns are processed
+//! by promoting zeros to stored "nonzeros"), which is the predicate the
+//! conversion stage must establish and the one checked here.
+
+use crate::dense::DenseMatrix;
+use crate::real::Real;
+use crate::{GROUP, KEEP};
+
+/// A dense bit mask over an `rows × cols` matrix, one bit per element,
+/// packed row-major into `u64` words per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMask {
+    /// All-zeros mask.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Mask of the nonzero pattern of a matrix.
+    pub fn from_matrix<R: Real>(m: &DenseMatrix<R>) -> Self {
+        let mut mask = Self::zeros(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if !m.get(r, c).is_zero() {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+        mask
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read bit `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = r * self.words_per_row + c / 64;
+        (self.bits[w] >> (c % 64)) & 1 == 1
+    }
+
+    /// Write bit `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = r * self.words_per_row + c / 64;
+        if v {
+            self.bits[w] |= 1 << (c % 64);
+        } else {
+            self.bits[w] &= !(1 << (c % 64));
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of zero bits, i.e. the sparsity ratio reported in Figure 9.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.count_ones() as f64 / total as f64
+    }
+
+    /// Number of set bits in the aligned 4-group `g` of row `r`
+    /// (columns `4g .. 4g+4`, truncated at the matrix edge).
+    pub fn group_count(&self, r: usize, g: usize) -> usize {
+        let start = g * GROUP;
+        let end = (start + GROUP).min(self.cols);
+        (start..end).filter(|&c| self.get(r, c)).count()
+    }
+
+    /// `true` iff every aligned 4-group of every row has at most [`KEEP`]
+    /// set bits — the relaxed 2:4 compatibility predicate of §2.1
+    /// (sub-patterns 0:4 and 1:4 are allowed; 3:4 and 4:4 are not).
+    pub fn is_two_four_compatible(&self) -> bool {
+        self.two_four_violations() == 0
+    }
+
+    /// Number of `(row, group)` pairs violating the ≤2-per-4 constraint.
+    /// This is the quantity the Structured Sparsity Conversion must drive
+    /// to zero.
+    pub fn two_four_violations(&self) -> usize {
+        let groups = self.cols.div_ceil(GROUP);
+        let mut violations = 0;
+        for r in 0..self.rows {
+            for g in 0..groups {
+                if self.group_count(r, g) > KEEP {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// A measure of *clustered sparsity* (§2.3): the fraction of aligned
+    /// 4-groups that are either completely full or completely empty. Dense
+    /// clusters violate 2:4 alignment; empty clusters waste fragment slots.
+    /// AI-style uniformly random 50% masks score near zero; stencil-induced
+    /// masks score high until the conversion regularizes them.
+    pub fn clustering_ratio(&self) -> f64 {
+        let groups = self.cols.div_ceil(GROUP);
+        if self.rows == 0 || groups == 0 {
+            return 0.0;
+        }
+        let mut clustered = 0usize;
+        for r in 0..self.rows {
+            for g in 0..groups {
+                let width = (self.cols - g * GROUP).min(GROUP);
+                let count = self.group_count(r, g);
+                if count == width || count == 0 {
+                    clustered += 1;
+                }
+            }
+        }
+        clustered as f64 / (self.rows * groups) as f64
+    }
+
+    /// `true` iff two columns share a row in which both have a set bit —
+    /// the conflict relation of the paper's Definition 1.
+    pub fn cols_conflict(&self, c1: usize, c2: usize) -> bool {
+        (0..self.rows).any(|r| self.get(r, c1) && self.get(r, c2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = BitMask::zeros(2, 130);
+        m.set(0, 0, true);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(1, 129, true);
+        assert!(m.get(0, 0) && m.get(0, 63) && m.get(0, 64) && m.get(1, 129));
+        assert!(!m.get(1, 0));
+        assert_eq!(m.count_ones(), 4);
+        m.set(0, 63, false);
+        assert!(!m.get(0, 63));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_matrix_matches_pattern() {
+        let mut d = DenseMatrix::<f32>::zeros(2, 4);
+        d.set(0, 1, 3.0);
+        d.set(1, 3, -1.0);
+        let m = BitMask::from_matrix(&d);
+        assert!(m.get(0, 1) && m.get(1, 3));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    fn sparsity_ratio() {
+        let mut m = BitMask::zeros(1, 8);
+        assert_eq!(m.sparsity(), 1.0);
+        for c in 0..4 {
+            m.set(0, c, true);
+        }
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_four_compatibility() {
+        // Row with 2 nonzeros in group 0, 1 in group 1: compatible.
+        let mut ok = BitMask::zeros(1, 8);
+        ok.set(0, 0, true);
+        ok.set(0, 2, true);
+        ok.set(0, 5, true);
+        assert!(ok.is_two_four_compatible());
+        assert_eq!(ok.two_four_violations(), 0);
+
+        // Row with 3 nonzeros in one aligned group: violation.
+        let mut bad = BitMask::zeros(1, 8);
+        bad.set(0, 0, true);
+        bad.set(0, 1, true);
+        bad.set(0, 2, true);
+        assert!(!bad.is_two_four_compatible());
+        assert_eq!(bad.two_four_violations(), 1);
+
+        // Straddling the 4-boundary does NOT count: groups are aligned.
+        let mut straddle = BitMask::zeros(1, 8);
+        straddle.set(0, 2, true);
+        straddle.set(0, 3, true);
+        straddle.set(0, 4, true);
+        straddle.set(0, 5, true);
+        assert!(straddle.is_two_four_compatible());
+    }
+
+    #[test]
+    fn ragged_tail_group() {
+        // 6 columns → group 1 has width 2; 2 nonzeros there are allowed.
+        let mut m = BitMask::zeros(1, 6);
+        m.set(0, 4, true);
+        m.set(0, 5, true);
+        assert!(m.is_two_four_compatible());
+    }
+
+    #[test]
+    fn clustering_ratio_extremes() {
+        // Fully dense row: every group full → ratio 1.
+        let mut dense = BitMask::zeros(1, 8);
+        for c in 0..8 {
+            dense.set(0, c, true);
+        }
+        assert_eq!(dense.clustering_ratio(), 1.0);
+
+        // Perfect 2:4 pattern: no group full or empty → ratio 0.
+        let mut tf = BitMask::zeros(1, 8);
+        for c in [0, 1, 4, 5] {
+            tf.set(0, c, true);
+        }
+        assert_eq!(tf.clustering_ratio(), 0.0);
+    }
+
+    #[test]
+    fn conflict_relation() {
+        let mut m = BitMask::zeros(3, 3);
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(2, 2, true);
+        assert!(m.cols_conflict(0, 1));
+        assert!(!m.cols_conflict(0, 2));
+        assert!(!m.cols_conflict(1, 2));
+    }
+}

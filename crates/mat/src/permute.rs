@@ -1,0 +1,229 @@
+//! Permutations and the Permutation Invariant Transformation (PIT).
+//!
+//! PIT (Equation 5 of the paper) simultaneously permutes the columns of `A`
+//! and the rows of `B` along the shared `k` dimension:
+//!
+//! ```text
+//! C = Σᵢ aᵢ bᵢᵀ = Σᵢ a_P(i) b_P(i)ᵀ
+//! ```
+//!
+//! so `A × B` is invariant under any shared permutation `P`. The sparsity
+//! conversion additionally inserts *zero columns* into `A` (Problem 1's
+//! padding); the matching rows of `B` may hold arbitrary values because the
+//! corresponding `A` columns are identically zero. [`Permutation`] models
+//! both: a sequence of source indices where the sentinel [`Permutation::PAD`]
+//! denotes an inserted zero column.
+
+use crate::dense::DenseMatrix;
+use crate::gemm;
+use crate::real::Real;
+
+/// A (possibly padding-extended) permutation of `n` source indices.
+///
+/// `order[i]` is the source index placed at destination position `i`, or
+/// [`Permutation::PAD`] for an inserted zero column/row. Every non-PAD
+/// source index must appear exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    order: Vec<usize>,
+    source_len: usize,
+}
+
+impl Permutation {
+    /// Sentinel marking an inserted zero column/row.
+    pub const PAD: usize = usize::MAX;
+
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            order: (0..n).collect(),
+            source_len: n,
+        }
+    }
+
+    /// Build from an explicit destination→source order over `source_len`
+    /// original indices.
+    ///
+    /// # Panics
+    /// Panics if any non-PAD index is out of range or duplicated, or if any
+    /// source index is missing.
+    pub fn from_order(order: Vec<usize>, source_len: usize) -> Self {
+        let mut seen = vec![false; source_len];
+        let mut covered = 0;
+        for &idx in &order {
+            if idx == Self::PAD {
+                continue;
+            }
+            assert!(idx < source_len, "index {idx} out of range {source_len}");
+            assert!(!seen[idx], "duplicate index {idx} in permutation");
+            seen[idx] = true;
+            covered += 1;
+        }
+        assert_eq!(
+            covered, source_len,
+            "permutation covers {covered} of {source_len} source indices"
+        );
+        Self { order, source_len }
+    }
+
+    /// Destination length (source length plus inserted padding).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` iff the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of original (source) indices.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Number of inserted zero pads.
+    pub fn pad_count(&self) -> usize {
+        self.order.iter().filter(|&&i| i == Self::PAD).count()
+    }
+
+    /// The destination→source order, with [`Permutation::PAD`] sentinels.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Source index at destination `i` (may be PAD).
+    pub fn source_of(&self, i: usize) -> usize {
+        self.order[i]
+    }
+
+    /// Destination position of each source index (source→destination).
+    pub fn inverse_positions(&self) -> Vec<usize> {
+        let mut pos = vec![Self::PAD; self.source_len];
+        for (dst, &src) in self.order.iter().enumerate() {
+            if src != Self::PAD {
+                pos[src] = dst;
+            }
+        }
+        pos
+    }
+
+    /// Apply to the columns of `a`: destination column `i` is source column
+    /// `order[i]` (zero column for PAD).
+    pub fn apply_to_cols<R: Real>(&self, a: &DenseMatrix<R>) -> DenseMatrix<R> {
+        assert_eq!(a.cols(), self.source_len, "column count mismatch");
+        a.select_cols(&self.order)
+    }
+
+    /// Apply to the rows of `b`: destination row `i` is source row
+    /// `order[i]` (zero row for PAD).
+    pub fn apply_to_rows<R: Real>(&self, b: &DenseMatrix<R>) -> DenseMatrix<R> {
+        assert_eq!(b.rows(), self.source_len, "row count mismatch");
+        b.select_rows(&self.order)
+    }
+
+    /// The Permutation Invariant Transformation: permute `A`'s columns and
+    /// `B`'s rows jointly, preserving `A × B` exactly (PAD slots contribute
+    /// `0 × b = 0`).
+    pub fn pit<R: Real>(
+        &self,
+        a: &DenseMatrix<R>,
+        b: &DenseMatrix<R>,
+    ) -> (DenseMatrix<R>, DenseMatrix<R>) {
+        (self.apply_to_cols(a), self.apply_to_rows(b))
+    }
+}
+
+/// Verify Equation (5) numerically: `A×B == P(A)×P(B)` for the given
+/// permutation. Returns the max absolute deviation (0.0 for `f64` inputs —
+/// the permuted product performs the same additions in a different order,
+/// which for our test matrices is exact).
+pub fn pit_deviation<R: Real>(
+    a: &DenseMatrix<R>,
+    b: &DenseMatrix<R>,
+    p: &Permutation,
+) -> f64 {
+    let base = gemm::matmul(a, b);
+    let (ap, bp) = p.pit(a, b);
+    let permuted = gemm::matmul(&ap, &bp);
+    base.max_abs_diff(&permuted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let a = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let p = Permutation::identity(4);
+        assert_eq!(p.apply_to_cols(&a), a);
+        assert_eq!(p.pad_count(), 0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn reversal_permutation() {
+        let a = DenseMatrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let p = Permutation::from_order(vec![2, 1, 0], 3);
+        let ap = p.apply_to_cols(&a);
+        assert_eq!(ap.col(0), a.col(2));
+        assert_eq!(ap.col(2), a.col(0));
+    }
+
+    #[test]
+    fn padding_inserts_zero_columns() {
+        let a = DenseMatrix::from_fn(2, 2, |_, _| 1.0f64);
+        let p = Permutation::from_order(vec![0, Permutation::PAD, 1], 2);
+        let ap = p.apply_to_cols(&a);
+        assert_eq!(ap.cols(), 3);
+        assert!(ap.col_is_zero(1));
+        assert_eq!(p.pad_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_index_rejected() {
+        let _ = Permutation::from_order(vec![0, 0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "covers")]
+    fn missing_index_rejected() {
+        let _ = Permutation::from_order(vec![0, Permutation::PAD], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = Permutation::from_order(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn inverse_positions_roundtrip() {
+        let p = Permutation::from_order(vec![2, Permutation::PAD, 0, 1], 3);
+        let inv = p.inverse_positions();
+        assert_eq!(inv, vec![2, 3, 0]);
+        for (src, &dst) in inv.iter().enumerate() {
+            assert_eq!(p.source_of(dst), src);
+        }
+    }
+
+    #[test]
+    fn pit_preserves_product_exactly() {
+        let a = DenseMatrix::from_fn(4, 6, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let b = DenseMatrix::from_fn(6, 5, |r, c| ((r * 3 + c * 11) % 7) as f64 - 3.0);
+        let p = Permutation::from_order(vec![5, 3, 1, 0, 2, 4], 6);
+        assert_eq!(pit_deviation(&a, &b, &p), 0.0);
+    }
+
+    #[test]
+    fn pit_with_padding_preserves_product() {
+        let a = DenseMatrix::from_fn(3, 4, |r, c| (r + c) as f64);
+        let b = DenseMatrix::from_fn(4, 3, |r, c| (r * c) as f64 + 1.0);
+        let p = Permutation::from_order(
+            vec![1, Permutation::PAD, 3, 0, Permutation::PAD, 2],
+            4,
+        );
+        assert_eq!(pit_deviation(&a, &b, &p), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Scalar abstraction over the floating-point types used by the pipeline.
+//!
+//! SparStencil operates in FP16 (emulated, FP32 accumulate), TF32 and FP64.
+//! Rather than threading three storage types through the code base, the
+//! pipeline is generic over [`Real`] (`f32` or `f64`) and precision-specific
+//! *rounding* is applied explicitly via [`crate::half`]. This mirrors the
+//! hardware: tensor-core inputs are rounded to the operand precision while
+//! arithmetic accumulates at higher precision.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable throughout the SparStencil pipeline.
+///
+/// Implemented for `f32` and `f64`. The trait is deliberately small: the
+/// numeric kernels only ever need ring operations, comparisons and
+/// conversions to/from `f64` for statistics.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossless (for the value range we use) conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `true` iff the value is exactly zero (used for sparsity masks).
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+    /// Maximum of two values (NaN-free inputs assumed).
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Real>(v: f64) -> f64 {
+        R::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, 1.0, -2.5, 1e-30, 1e30, 0.1] {
+            assert_eq!(roundtrip::<f64>(v), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_small_integers_exact() {
+        for v in [0.0, 1.0, -2.0, 1024.0, -65504.0] {
+            assert_eq!(roundtrip::<f32>(v), v);
+        }
+    }
+
+    #[test]
+    fn zero_one_constants() {
+        assert!(f32::ZERO.is_zero());
+        assert!(!f32::ONE.is_zero());
+        assert!(f64::ZERO.is_zero());
+        assert_eq!(f64::ONE + f64::ONE, 2.0);
+    }
+
+    #[test]
+    fn abs_and_max() {
+        assert_eq!((-3.5f32).abs(), 3.5);
+        assert_eq!(Real::max(2.0f64, -5.0), 2.0);
+        assert_eq!(Real::max(-2.0f32, 5.0), 5.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! k-staircase matrices (Definition 4) and the self-similar block
+//! staircase produced by Duplicates Crush (§3.1, Figure 5a).
+//!
+//! A matrix has the *k-staircase property* when the support of row `r` is
+//! contained in columns `[r, r+k)`: each row is the previous row shifted
+//! right by one. Horizontal Duplicates Crush produces exactly this shape
+//! (row `j` holds the kernel weights shifted by `j`); Vertical Duplicates
+//! Crush nests it — the block-level pattern is itself a staircase whose
+//! blocks are local staircases ("Global Staircase" / "Local Staircase").
+//!
+//! The staircase property is what makes the Hierarchical Two-Level
+//! Matching of `sparstencil-graph` linear-time and optimal (Theorems 1–2):
+//! columns at distance ≥ k never conflict.
+
+use crate::dense::DenseMatrix;
+use crate::real::Real;
+
+/// Build the `rows × (rows + weights.len() - 1)` staircase matrix whose
+/// row `r` holds `weights` starting at column `r`.
+///
+/// Zero entries inside `weights` are preserved (star stencils produce
+/// staircases with interior zeros); the *support* is still confined to the
+/// staircase band.
+///
+/// # Panics
+/// Panics if `weights` is empty or `rows == 0`.
+pub fn staircase_from_weights<R: Real>(weights: &[R], rows: usize) -> DenseMatrix<R> {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    assert!(rows > 0, "rows must be positive");
+    let k = weights.len();
+    let cols = rows + k - 1;
+    let mut m = DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for (i, &w) in weights.iter().enumerate() {
+            m.set(r, r + i, w);
+        }
+    }
+    m
+}
+
+/// `true` iff the support of `m` is contained in the k-staircase band:
+/// `m[r, c] != 0 ⇒ r ≤ c < r + k`.
+pub fn is_staircase_within<R: Real>(m: &DenseMatrix<R>, k: usize) -> bool {
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if !m.get(r, c).is_zero() && !(c >= r && c < r + k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Smallest `k` such that `m` satisfies [`is_staircase_within`], or `None`
+/// if some nonzero lies below the diagonal (no staircase width fits).
+pub fn staircase_width<R: Real>(m: &DenseMatrix<R>) -> Option<usize> {
+    let mut k = 0usize;
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if !m.get(r, c).is_zero() {
+                if c < r {
+                    return None;
+                }
+                k = k.max(c - r + 1);
+            }
+        }
+    }
+    Some(k.max(1))
+}
+
+/// Build the self-similar block staircase of Figure 5(a): `block_rows`
+/// block-rows, where block-row `s` places `blocks[b]` at block-column
+/// `s + b`. All blocks must share one shape. The result has
+/// `block_rows × blocks[0].rows()` rows and
+/// `(block_rows + blocks.len() - 1) × blocks[0].cols()` columns.
+///
+/// # Panics
+/// Panics if `blocks` is empty, `block_rows == 0`, or block shapes differ.
+pub fn block_staircase<R: Real>(blocks: &[DenseMatrix<R>], block_rows: usize) -> DenseMatrix<R> {
+    assert!(!blocks.is_empty(), "blocks must be non-empty");
+    assert!(block_rows > 0, "block_rows must be positive");
+    let (br, bc) = blocks[0].shape();
+    for (i, b) in blocks.iter().enumerate() {
+        assert_eq!(b.shape(), (br, bc), "block {i} shape mismatch");
+    }
+    let nb = blocks.len();
+    let mut m = DenseMatrix::zeros(block_rows * br, (block_rows + nb - 1) * bc);
+    for s in 0..block_rows {
+        for (b, blk) in blocks.iter().enumerate() {
+            m.set_block(s * br, (s + b) * bc, blk);
+        }
+    }
+    m
+}
+
+/// Check the two-level self-similarity of Figure 5(a): the block-level
+/// pattern of `m` (with `block_rows × block_cols`-shaped blocks) is a
+/// staircase of width `global_k`, and every nonzero block is a local
+/// staircase of width `local_k`.
+pub fn is_self_similar_staircase<R: Real>(
+    m: &DenseMatrix<R>,
+    block_rows: usize,
+    block_cols: usize,
+    global_k: usize,
+    local_k: usize,
+) -> bool {
+    if !m.rows().is_multiple_of(block_rows) || !m.cols().is_multiple_of(block_cols) {
+        return false;
+    }
+    let grid_rows = m.rows() / block_rows;
+    let grid_cols = m.cols() / block_cols;
+    for gr in 0..grid_rows {
+        for gc in 0..grid_cols {
+            let blk = m.block(gr * block_rows, gc * block_cols, block_rows, block_cols);
+            let in_band = gc >= gr && gc < gr + global_k;
+            if !in_band {
+                if blk.nnz() != 0 {
+                    return false;
+                }
+            } else if !is_staircase_within(&blk, local_k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_shape_and_support() {
+        let s = staircase_from_weights(&[1.0f64, 2.0, 3.0], 4);
+        assert_eq!(s.shape(), (4, 6));
+        assert!(is_staircase_within(&s, 3));
+        assert!(!is_staircase_within(&s, 2));
+        assert_eq!(s.get(2, 2), 1.0);
+        assert_eq!(s.get(2, 4), 3.0);
+        assert_eq!(s.get(2, 1), 0.0);
+        assert_eq!(staircase_width(&s), Some(3));
+    }
+
+    #[test]
+    fn staircase_with_interior_zeros() {
+        // Star-like weights: [1, 0, 2] — zero inside the band is fine.
+        let s = staircase_from_weights(&[1.0f64, 0.0, 2.0], 3);
+        assert!(is_staircase_within(&s, 3));
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(staircase_width(&s), Some(3));
+    }
+
+    #[test]
+    fn below_diagonal_is_not_staircase() {
+        let mut m = DenseMatrix::<f64>::zeros(3, 3);
+        m.set(2, 0, 1.0);
+        assert!(!is_staircase_within(&m, 3));
+        assert_eq!(staircase_width(&m), None);
+    }
+
+    #[test]
+    fn zero_matrix_width_is_one() {
+        let m = DenseMatrix::<f64>::zeros(3, 5);
+        assert_eq!(staircase_width(&m), Some(1));
+        assert!(is_staircase_within(&m, 1));
+    }
+
+    #[test]
+    fn block_staircase_structure() {
+        let b0 = staircase_from_weights(&[1.0f64, 2.0], 2); // 2×3
+        let b1 = staircase_from_weights(&[3.0f64, 4.0], 2); // 2×3
+        let m = block_staircase(&[b0.clone(), b1.clone()], 3);
+        assert_eq!(m.shape(), (6, 12));
+        // Block (0,0) is b0, block (0,1) is b1, block (1,0) empty.
+        assert_eq!(m.block(0, 0, 2, 3), b0);
+        assert_eq!(m.block(0, 3, 2, 3), b1);
+        assert_eq!(m.block(2, 0, 2, 3).nnz(), 0);
+        assert!(is_self_similar_staircase(&m, 2, 3, 2, 2));
+        assert!(!is_self_similar_staircase(&m, 2, 3, 1, 2));
+    }
+
+    #[test]
+    fn self_similar_detects_local_violation() {
+        let b0 = staircase_from_weights(&[1.0f64, 2.0], 2);
+        let mut m = block_staircase(&[b0], 2);
+        // Corrupt a local block below its diagonal.
+        m.set(1, 0, 9.0);
+        assert!(!is_self_similar_staircase(&m, 2, 3, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_panics() {
+        let _ = staircase_from_weights::<f64>(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_blocks_panic() {
+        let b0 = DenseMatrix::<f64>::zeros(2, 2);
+        let b1 = DenseMatrix::<f64>::zeros(2, 3);
+        let _ = block_staircase(&[b0, b1], 2);
+    }
+}

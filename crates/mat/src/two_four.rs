@@ -1,0 +1,352 @@
+//! The 2:4 compressed operand format of sparse tensor cores.
+//!
+//! Ampere's sparse MMA consumes matrix `A` in compressed form: for every
+//! aligned group of 4 columns only 2 values are stored, plus 2-bit
+//! *metadata* indices recording which columns they came from. Groups with
+//! fewer than 2 nonzeros (the 0:4 / 1:4 sub-patterns of §2.1) are handled
+//! by promoting zero elements to stored slots — multiplying by zero keeps
+//! the result correct while satisfying the fixed 2-of-4 storage layout.
+//!
+//! [`TwoFourMatrix`] reproduces that layout bit-for-bit: values in a
+//! `rows × cols/2` matrix and metadata packed 2 bits per stored element,
+//! 16 indices per `u32` word, exactly like the hardware's `e` operand.
+
+use crate::dense::DenseMatrix;
+use crate::mask::BitMask;
+use crate::real::Real;
+use crate::{GROUP, KEEP};
+
+/// Error produced when a matrix cannot be 2:4-compressed as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// Column count is not a multiple of 4; pad first.
+    UnalignedColumns {
+        /// The offending column count.
+        cols: usize,
+    },
+    /// Some aligned group of 4 holds more than 2 nonzeros.
+    GroupTooDense {
+        /// Row of the violating group.
+        row: usize,
+        /// Group index (columns `4*group .. 4*group+4`).
+        group: usize,
+        /// Number of nonzeros found in the group.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for CompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompressError::UnalignedColumns { cols } => {
+                write!(f, "column count {cols} is not a multiple of {GROUP}")
+            }
+            CompressError::GroupTooDense { row, group, count } => write!(
+                f,
+                "row {row}, group {group} holds {count} nonzeros (max {KEEP})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// A matrix stored in hardware 2:4 compressed layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoFourMatrix<R: Real> {
+    /// Logical (uncompressed) column count; always a multiple of 4.
+    logical_cols: usize,
+    /// Stored values, `rows × logical_cols/2`.
+    values: DenseMatrix<R>,
+    /// 2-bit indices, 16 per `u32`, row-major by (row, stored element).
+    meta: Vec<u32>,
+    meta_words_per_row: usize,
+}
+
+impl<R: Real> TwoFourMatrix<R> {
+    /// Compress `a`, which must already satisfy the (relaxed) 2:4 pattern:
+    /// every aligned 4-group of every row holds at most 2 nonzeros.
+    ///
+    /// Index selection follows the hardware rule: metadata indices within a
+    /// group are strictly increasing. Groups with fewer than 2 nonzeros
+    /// promote the lowest-index zero columns not already selected.
+    pub fn compress(a: &DenseMatrix<R>) -> Result<Self, CompressError> {
+        if !a.cols().is_multiple_of(GROUP) {
+            return Err(CompressError::UnalignedColumns { cols: a.cols() });
+        }
+        let groups = a.cols() / GROUP;
+        let stored_cols = groups * KEEP;
+        let meta_words_per_row = stored_cols.div_ceil(16);
+        let mut values = DenseMatrix::zeros(a.rows(), stored_cols);
+        let mut meta = vec![0u32; a.rows() * meta_words_per_row];
+
+        for r in 0..a.rows() {
+            for g in 0..groups {
+                let base = g * GROUP;
+                // Indices of nonzeros within the group, ascending.
+                let mut picks = [0usize; KEEP];
+                let mut npicks = 0;
+                for l in 0..GROUP {
+                    if !a.get(r, base + l).is_zero() {
+                        if npicks == KEEP {
+                            return Err(CompressError::GroupTooDense {
+                                row: r,
+                                group: g,
+                                count: (0..GROUP)
+                                    .filter(|&l| !a.get(r, base + l).is_zero())
+                                    .count(),
+                            });
+                        }
+                        picks[npicks] = l;
+                        npicks += 1;
+                    }
+                }
+                // Promote zeros (lowest unused indices) to fill the 2 slots,
+                // keeping indices strictly increasing as hardware requires.
+                let mut l = 0;
+                while npicks < KEEP {
+                    if !picks[..npicks].contains(&l) {
+                        picks[npicks] = l;
+                        npicks += 1;
+                        picks[..npicks].sort_unstable();
+                    }
+                    l += 1;
+                }
+                for (slot, &pick) in picks.iter().enumerate() {
+                    let stored_idx = g * KEEP + slot;
+                    values.set(r, stored_idx, a.get(r, base + pick));
+                    let word = r * meta_words_per_row + stored_idx / 16;
+                    let shift = (stored_idx % 16) * 2;
+                    meta[word] |= (pick as u32) << shift;
+                }
+            }
+        }
+
+        Ok(Self {
+            logical_cols: a.cols(),
+            values,
+            meta,
+            meta_words_per_row,
+        })
+    }
+
+    /// Compress after zero-padding the column count up to a multiple of 4.
+    pub fn compress_padded(a: &DenseMatrix<R>) -> Result<Self, CompressError> {
+        let padded_cols = a.cols().div_ceil(GROUP) * GROUP;
+        if padded_cols == a.cols() {
+            Self::compress(a)
+        } else {
+            Self::compress(&a.pad_to(a.rows(), padded_cols))
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// Logical (uncompressed) column count.
+    pub fn logical_cols(&self) -> usize {
+        self.logical_cols
+    }
+
+    /// Stored (compressed) column count — half the logical count.
+    pub fn stored_cols(&self) -> usize {
+        self.values.cols()
+    }
+
+    /// The stored value matrix (`rows × logical_cols/2`).
+    pub fn values(&self) -> &DenseMatrix<R> {
+        &self.values
+    }
+
+    /// Metadata size in bytes (the paper's "Metadata" preprocessing
+    /// artifact, Figure 8).
+    pub fn metadata_bytes(&self) -> usize {
+        self.meta.len() * 4
+    }
+
+    /// Metadata index of stored element `(r, stored_idx)` within its group.
+    #[inline]
+    pub fn meta_index(&self, r: usize, stored_idx: usize) -> usize {
+        let word = self.meta[r * self.meta_words_per_row + stored_idx / 16];
+        ((word >> ((stored_idx % 16) * 2)) & 0b11) as usize
+    }
+
+    /// Logical column of stored element `(r, stored_idx)`.
+    #[inline]
+    pub fn logical_col(&self, r: usize, stored_idx: usize) -> usize {
+        (stored_idx / KEEP) * GROUP + self.meta_index(r, stored_idx)
+    }
+
+    /// Reconstruct the logical (uncompressed) matrix.
+    pub fn decompress(&self) -> DenseMatrix<R> {
+        let mut out = DenseMatrix::zeros(self.rows(), self.logical_cols);
+        for r in 0..self.rows() {
+            for s in 0..self.stored_cols() {
+                let c = self.logical_col(r, s);
+                let v = self.values.get(r, s);
+                if !v.is_zero() {
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense product `C = (A ⊙ M) × B` using only the stored
+    /// values and metadata — the arithmetic a sparse tensor core performs.
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != logical_cols`.
+    pub fn spmm(&self, b: &DenseMatrix<R>) -> DenseMatrix<R> {
+        assert_eq!(
+            b.rows(),
+            self.logical_cols,
+            "spmm dimension mismatch: logical k={} vs B rows={}",
+            self.logical_cols,
+            b.rows()
+        );
+        let n = b.cols();
+        let mut c = DenseMatrix::zeros(self.rows(), n);
+        for r in 0..self.rows() {
+            let c_row_ptr: *mut R = c.row_mut(r).as_mut_ptr();
+            for s in 0..self.stored_cols() {
+                let v = self.values.get(r, s);
+                if v.is_zero() {
+                    continue;
+                }
+                let k = self.logical_col(r, s);
+                let b_row = b.row(k);
+                // Safety: c_row_ptr points at row r of c which lives for the
+                // whole loop body; no aliasing with b.
+                let c_row = unsafe { std::slice::from_raw_parts_mut(c_row_ptr, n) };
+                for j in 0..n {
+                    c_row[j] += v * b_row[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// The nonzero mask of the logical matrix.
+    pub fn mask(&self) -> BitMask {
+        BitMask::from_matrix(&self.decompress())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    /// A 2:4-compatible 2×8 matrix exercising 2:4, 1:4 and 0:4 groups.
+    fn sample() -> DenseMatrix<f64> {
+        let mut a = DenseMatrix::zeros(2, 8);
+        // Row 0: group 0 has 2 nnz (cols 1,3); group 1 has 1 nnz (col 6).
+        a.set(0, 1, 2.0);
+        a.set(0, 3, -1.0);
+        a.set(0, 6, 4.0);
+        // Row 1: group 0 empty; group 1 has 2 nnz (cols 4,7).
+        a.set(1, 4, 5.0);
+        a.set(1, 7, 0.5);
+        a
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let a = sample();
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        assert_eq!(c.decompress(), a);
+        assert_eq!(c.stored_cols(), 4);
+        assert_eq!(c.logical_cols(), 8);
+    }
+
+    #[test]
+    fn metadata_indices_ascending() {
+        let a = sample();
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        for r in 0..c.rows() {
+            for g in 0..c.stored_cols() / KEEP {
+                let i0 = c.meta_index(r, g * KEEP);
+                let i1 = c.meta_index(r, g * KEEP + 1);
+                assert!(i0 < i1, "indices must be strictly increasing: {i0} {i1}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_group_rejected() {
+        let mut a = DenseMatrix::<f32>::zeros(1, 4);
+        for c in 0..3 {
+            a.set(0, c, 1.0);
+        }
+        match TwoFourMatrix::compress(&a) {
+            Err(CompressError::GroupTooDense { row: 0, group: 0, count: 3 }) => {}
+            other => panic!("expected GroupTooDense, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unaligned_columns_rejected() {
+        let a = DenseMatrix::<f32>::zeros(1, 6);
+        assert_eq!(
+            TwoFourMatrix::compress(&a),
+            Err(CompressError::UnalignedColumns { cols: 6 })
+        );
+    }
+
+    #[test]
+    fn compress_padded_accepts_unaligned() {
+        let mut a = DenseMatrix::<f64>::zeros(1, 6);
+        a.set(0, 5, 3.0);
+        let c = TwoFourMatrix::compress_padded(&a).unwrap();
+        assert_eq!(c.logical_cols(), 8);
+        assert_eq!(c.decompress().get(0, 5), 3.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = sample();
+        let b = DenseMatrix::from_fn(8, 5, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        let c24 = TwoFourMatrix::compress(&a).unwrap();
+        assert_eq!(c24.spmm(&b), gemm::matmul(&a, &b));
+    }
+
+    #[test]
+    fn spmm_dimension_mismatch_panics() {
+        let a = sample();
+        let c24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::<f64>::zeros(4, 2);
+        assert!(std::panic::catch_unwind(move || c24.spmm(&b)).is_err());
+    }
+
+    #[test]
+    fn all_zero_matrix_compresses() {
+        let a = DenseMatrix::<f64>::zeros(3, 16);
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        assert_eq!(c.decompress(), a);
+        // Promoted zero slots must still have valid ascending metadata.
+        // 16 logical columns → 4 groups of 4.
+        for r in 0..3 {
+            for g in 0..4 {
+                assert!(c.meta_index(r, g * 2) < c.meta_index(r, g * 2 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_bytes_accounting() {
+        // 32 logical cols → 16 stored → 1 u32 word per row.
+        let a = DenseMatrix::<f32>::zeros(4, 32);
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        assert_eq!(c.metadata_bytes(), 4 * 4);
+    }
+
+    #[test]
+    fn mask_is_two_four_compatible() {
+        let a = sample();
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        assert!(c.mask().is_two_four_compatible());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the matrix substrate.
+//!
+//! These pin the invariants the rest of the pipeline relies on:
+//! compress∘decompress identity, sparse MMA ≡ dense MMA, PIT invariance,
+//! fp16 rounding monotonicity, and staircase band containment.
+
+use proptest::prelude::*;
+use sparstencil_mat::dense::DenseMatrix;
+use sparstencil_mat::gemm;
+use sparstencil_mat::half::{f16_to_f32, f32_to_f16, Precision};
+use sparstencil_mat::mask::BitMask;
+use sparstencil_mat::permute::{pit_deviation, Permutation};
+use sparstencil_mat::staircase;
+use sparstencil_mat::two_four::TwoFourMatrix;
+
+/// Strategy: a 2:4-compatible matrix (each aligned group of 4 gets at most
+/// 2 nonzeros, at random positions with random small-integer values).
+fn two_four_matrix(
+    max_rows: usize,
+    max_groups: usize,
+) -> impl Strategy<Value = DenseMatrix<f64>> {
+    (1..=max_rows, 1..=max_groups).prop_flat_map(|(rows, groups)| {
+        let cells = rows * groups;
+        proptest::collection::vec((0usize..=2, 0usize..4, 0usize..4, -8i32..=8, -8i32..=8), cells)
+            .prop_map(move |specs| {
+                let mut m = DenseMatrix::zeros(rows, groups * 4);
+                for (cell, (count, p0, p1, v0, v1)) in specs.into_iter().enumerate() {
+                    let (r, g) = (cell / groups, cell % groups);
+                    let base = g * 4;
+                    if count >= 1 && v0 != 0 {
+                        m.set(r, base + p0, v0 as f64);
+                    }
+                    if count >= 2 && v1 != 0 && p1 != p0 {
+                        m.set(r, base + p1, v1 as f64);
+                    }
+                }
+                m
+            })
+    })
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
+    proptest::collection::vec(-10i32..=10, rows * cols)
+        .prop_map(move |v| DenseMatrix::from_vec(rows, cols, v.into_iter().map(f64::from).collect()))
+}
+
+proptest! {
+    #[test]
+    fn compress_decompress_identity(a in two_four_matrix(6, 5)) {
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        prop_assert_eq!(c.decompress(), a);
+    }
+
+    #[test]
+    fn spmm_equals_dense_matmul(a in two_four_matrix(5, 4), n in 1usize..6) {
+        let k = a.cols();
+        let b = DenseMatrix::from_fn(k, n, |r, c| ((r * 13 + c * 7) % 9) as f64 - 4.0);
+        let c24 = TwoFourMatrix::compress(&a).unwrap();
+        prop_assert_eq!(c24.spmm(&b), gemm::matmul(&a, &b));
+    }
+
+    #[test]
+    fn compressed_mask_is_compatible(a in two_four_matrix(5, 6)) {
+        let mask = BitMask::from_matrix(&a);
+        prop_assert!(mask.is_two_four_compatible());
+        prop_assert_eq!(mask.two_four_violations(), 0);
+    }
+
+    #[test]
+    fn metadata_indices_strictly_increase(a in two_four_matrix(4, 6)) {
+        let c = TwoFourMatrix::compress(&a).unwrap();
+        for r in 0..c.rows() {
+            for g in 0..c.logical_cols() / 4 {
+                prop_assert!(c.meta_index(r, g * 2) < c.meta_index(r, g * 2 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn pit_invariance_random_permutation(
+        a in small_matrix(4, 8),
+        b in small_matrix(8, 3),
+        seed in 0u64..1000,
+    ) {
+        // Deterministic Fisher-Yates from the seed.
+        let mut order: Vec<usize> = (0..8).collect();
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for i in (1..8).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let p = Permutation::from_order(order, 8);
+        prop_assert_eq!(pit_deviation(&a, &b, &p), 0.0);
+    }
+
+    #[test]
+    fn pit_invariance_with_padding(
+        a in small_matrix(3, 6),
+        b in small_matrix(6, 4),
+        pads in proptest::collection::vec(0usize..=6, 0..3),
+    ) {
+        let mut order: Vec<usize> = (0..6).collect();
+        for (i, pos) in pads.into_iter().enumerate() {
+            order.insert(pos.min(order.len()), Permutation::PAD);
+            let _ = i;
+        }
+        let p = Permutation::from_order(order, 6);
+        prop_assert_eq!(pit_deviation(&a, &b, &p), 0.0);
+    }
+
+    #[test]
+    fn f16_roundtrip_idempotent(bits in any::<u16>()) {
+        // Rounding an already-rounded value must be the identity
+        // (skip NaNs where equality is undefined).
+        let v = f16_to_f32(bits);
+        if !v.is_nan() {
+            let rt = f16_to_f32(f32_to_f16(v));
+            prop_assert_eq!(rt, v);
+        }
+    }
+
+    #[test]
+    fn f16_rounding_error_bounded(v in -60000.0f32..60000.0) {
+        // Relative error of one rounding step is at most 2^-11 for normals;
+        // absolute error at most 2^-25 in the subnormal range.
+        let r = f16_to_f32(f32_to_f16(v));
+        let err = (r - v).abs();
+        let bound = (v.abs() * 2.0f32.powi(-11)).max(2.0f32.powi(-25));
+        prop_assert!(err <= bound, "v={v} r={r} err={err} bound={bound}");
+    }
+
+    #[test]
+    fn precision_round_idempotent(v in -1000.0f32..1000.0) {
+        for p in [Precision::Fp16, Precision::Bf16, Precision::Tf32, Precision::Fp32] {
+            let once = p.round_f32(v);
+            prop_assert_eq!(p.round_f32(once), once);
+        }
+    }
+
+    #[test]
+    fn staircase_band_containment(
+        k in 1usize..6,
+        rows in 1usize..8,
+        weights in proptest::collection::vec(-5i32..=5, 1..6),
+    ) {
+        let w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        let s = staircase::staircase_from_weights(&w, rows);
+        prop_assert!(staircase::is_staircase_within(&s, w.len()));
+        let _ = k;
+        if let Some(width) = staircase::staircase_width(&s) {
+            prop_assert!(width <= w.len());
+        }
+    }
+
+    #[test]
+    fn matmul_variants_agree(a in small_matrix(5, 7), b in small_matrix(7, 6)) {
+        let reference = gemm::matmul(&a, &b);
+        prop_assert_eq!(gemm::matmul_blocked(&a, &b, 3), reference.clone());
+        prop_assert_eq!(gemm::matmul_parallel(&a, &b), reference);
+    }
+
+    #[test]
+    fn select_cols_inverse(a in small_matrix(4, 6), seed in 0u64..100) {
+        let mut order: Vec<usize> = (0..6).collect();
+        let mut state = seed.wrapping_add(1);
+        for i in (1..6).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_order(order.clone(), 6);
+        let shuffled = p.apply_to_cols(&a);
+        // Undo via inverse positions.
+        let inv = p.inverse_positions();
+        let restored = shuffled.select_cols(&inv);
+        prop_assert_eq!(restored, a);
+    }
+}

@@ -1,0 +1,369 @@
+//! Hardware configuration of the simulated GPU.
+//!
+//! The defaults model the NVIDIA A100-SXM4-80GB the paper evaluates on
+//! (§4.1: 108 SMs, 4 sparse tensor cores per SM, PCIe Gen4 host link).
+//! Throughput and bandwidth constants follow the A100 datasheet
+//! \[NVIDIA 2020\]:
+//!
+//! | quantity | value |
+//! |---|---|
+//! | SMs × TCUs/SM | 108 × 4 |
+//! | boost clock | 1.41 GHz |
+//! | FP16 dense tensor | 312 TFLOP/s (sparse 624) |
+//! | TF32 dense tensor | 156 TFLOP/s (sparse 312) |
+//! | FP64 tensor | 19.5 TFLOP/s (no sparsity) |
+//! | FP32 CUDA FFMA | 19.5 TFLOP/s |
+//! | FP64 CUDA FFMA | 9.7 TFLOP/s |
+//! | HBM2e bandwidth | 1555 GB/s |
+//! | aggregate shared-memory bandwidth | ≈19.5 TB/s (128 B/cycle/SM) |
+//! | L2 bandwidth | ≈4.7 TB/s |
+//! | shared memory per SM | 164 KiB usable |
+//! | max warps per SM | 64 |
+//!
+//! All quantities live here so experiments can swap in other GPUs (the
+//! Figure 9 fragment study uses the same chip with different fragment
+//! geometries).
+
+use sparstencil_mat::half::Precision;
+
+/// Geometry of one tensor-core fragment operation `m × n × k`
+/// (`D[m×n] += A[m×k] × B[k×n]`); for sparse fragments `k` is the
+/// *logical* (uncompressed) depth, twice the stored depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FragmentShape {
+    /// Rows of `A`/`D`.
+    pub m: usize,
+    /// Columns of `B`/`D`.
+    pub n: usize,
+    /// Depth (logical, i.e. uncompressed, for sparse fragments).
+    pub k: usize,
+    /// `true` for 2:4 sparse fragments (`mma.sp`).
+    pub sparse: bool,
+}
+
+impl FragmentShape {
+    /// Ampere dense FP16 fragment `m16n8k16`.
+    pub const fn dense_fp16() -> Self {
+        Self { m: 16, n: 8, k: 16, sparse: false }
+    }
+    /// Ampere sparse FP16 fragment `m16n8k32` (stored depth 16).
+    pub const fn sparse_fp16() -> Self {
+        Self { m: 16, n: 8, k: 32, sparse: true }
+    }
+    /// The `16×16×8` fragment class referenced in §2.1 (dense).
+    pub const fn m16n16k8() -> Self {
+        Self { m: 16, n: 16, k: 8, sparse: false }
+    }
+    /// The `16×32×8` fragment class referenced in §2.1 (dense).
+    pub const fn m16n32k8() -> Self {
+        Self { m: 16, n: 32, k: 8, sparse: false }
+    }
+    /// Sparse variant of the `16×16` class (`m16n16k16` logical).
+    pub const fn sparse_m16n16k16() -> Self {
+        Self { m: 16, n: 16, k: 16, sparse: true }
+    }
+    /// Ampere dense FP64 tensor fragment `m8n8k4`.
+    pub const fn dense_fp64() -> Self {
+        Self { m: 8, n: 8, k: 4, sparse: false }
+    }
+    /// Hypothetical FP64 sparse fragment for the §4.7 projection
+    /// (`m8n8k8` logical, stored depth 4 — the FP64 analogue of the
+    /// FP16 `m16n8k32`/`m16n8k16` relationship).
+    pub const fn sparse_fp64_projected() -> Self {
+        Self { m: 8, n: 8, k: 8, sparse: true }
+    }
+
+    /// Floating-point operations *executed* by one fragment op
+    /// (multiply+add each count one). Sparse fragments skip half the
+    /// logical depth, so they execute the same FLOPs as a dense fragment
+    /// of depth `k/2` while covering twice the columns.
+    pub fn executed_flops(&self) -> u64 {
+        let depth = if self.sparse { self.k / 2 } else { self.k };
+        2 * (self.m * self.n * depth) as u64
+    }
+
+    /// Logical FLOPs covered (counting skipped zeros), the basis of the
+    /// "sparse TCUs deliver 2× dense" accounting.
+    pub fn logical_flops(&self) -> u64 {
+        2 * (self.m * self.n * self.k) as u64
+    }
+
+    /// Stored depth of the `A` operand (`k/2` for sparse).
+    pub fn stored_k(&self) -> usize {
+        if self.sparse {
+            self.k / 2
+        } else {
+            self.k
+        }
+    }
+
+    /// Short display form, e.g. `m16n8k32.sp`.
+    pub fn label(&self) -> String {
+        format!(
+            "m{}n{}k{}{}",
+            self.m,
+            self.n,
+            self.k,
+            if self.sparse { ".sp" } else { "" }
+        )
+    }
+}
+
+/// Simulated GPU hardware parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GpuConfig {
+    /// Marketing name, for report headers.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Tensor cores per SM.
+    pub tcus_per_sm: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Dense tensor-core throughput in FLOP/s for FP16 operands.
+    pub tc_fp16_flops: f64,
+    /// Dense tensor-core throughput in FLOP/s for TF32 operands.
+    pub tc_tf32_flops: f64,
+    /// Tensor-core throughput in FLOP/s for FP64 operands (no sparsity).
+    pub tc_fp64_flops: f64,
+    /// CUDA-core FFMA throughput in FLOP/s for FP32.
+    pub cuda_fp32_flops: f64,
+    /// CUDA-core FFMA throughput in FLOP/s for FP64.
+    pub cuda_fp64_flops: f64,
+    /// CUDA-core FFMA throughput in FLOP/s for FP16 (vectorized half2).
+    pub cuda_fp16_flops: f64,
+    /// Global (HBM) bandwidth, bytes/s.
+    pub global_bw: f64,
+    /// Aggregate shared-memory bandwidth, bytes/s.
+    pub shared_bw: f64,
+    /// L2 cache bandwidth, bytes/s.
+    pub l2_bw: f64,
+    /// Usable shared memory per SM, bytes.
+    pub shared_per_sm: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Kernel launch overhead, seconds (PCIe Gen4 submission latency).
+    pub launch_overhead_s: f64,
+
+    // ---- Achieved-vs-peak derates (roofline calibration) ----
+    // Peak datasheet numbers are never sustained by real kernels; these
+    // factors calibrate the model to achievable rates. They are global
+    // (every mapping — SparStencil and baselines alike — pays the same
+    // derate), so relative comparisons are driven purely by counted work.
+    /// Achieved fraction of FP16/BF16/TF32 tensor throughput. Small-`n`
+    /// fragment GEMMs with operand staging sustain ~30% of peak.
+    pub eff_tc_half: f64,
+    /// Achieved fraction of FP64 tensor throughput (DMMA pipelines are
+    /// close to CUDA-core style and sustain a much higher fraction).
+    pub eff_tc_fp64: f64,
+    /// Achieved fraction of CUDA-core FFMA peak for stencil loops
+    /// (register pressure, address arithmetic, load-use stalls).
+    pub eff_ffma: f64,
+    /// Achieved fraction of HBM bandwidth (typical stream efficiency).
+    pub eff_global: f64,
+    /// Achieved fraction of aggregate shared/L1 bandwidth (bank
+    /// conflicts, transaction granularity).
+    pub eff_shared: f64,
+    /// Achieved fraction of L2 bandwidth (sector granularity, slice
+    /// imbalance).
+    pub eff_l2: f64,
+    /// Hypothetical FP64 2:4 sparsity support (§4.7's projected future
+    /// hardware; `false` on every shipping part).
+    pub fp64_sparse: bool,
+}
+
+impl GpuConfig {
+    /// The paper's evaluation platform: NVIDIA A100 (108 SMs, 4 sparse
+    /// TCUs each).
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100 (simulated)".to_string(),
+            num_sms: 108,
+            tcus_per_sm: 4,
+            clock_hz: 1.41e9,
+            tc_fp16_flops: 312e12,
+            tc_tf32_flops: 156e12,
+            tc_fp64_flops: 19.5e12,
+            cuda_fp32_flops: 19.5e12,
+            cuda_fp64_flops: 9.7e12,
+            cuda_fp16_flops: 78e12,
+            global_bw: 1555e9,
+            shared_bw: 19.5e12,
+            l2_bw: 4.7e12,
+            shared_per_sm: 164 * 1024,
+            max_warps_per_sm: 64,
+            launch_overhead_s: 3e-6,
+            eff_tc_half: 0.30,
+            eff_tc_fp64: 0.70,
+            eff_ffma: 0.30,
+            eff_global: 0.85,
+            eff_shared: 0.60,
+            eff_l2: 0.50,
+            fp64_sparse: false,
+        }
+    }
+
+    /// Achievable tensor-core FLOP/s (peak × derate) for timing.
+    pub fn effective_tc_flops(&self, precision: Precision) -> f64 {
+        let eff = match precision {
+            Precision::Fp64 => self.eff_tc_fp64,
+            _ => self.eff_tc_half,
+        };
+        self.tc_flops(precision) * eff
+    }
+
+    /// Achievable CUDA-core FFMA FLOP/s.
+    pub fn effective_ffma_flops(&self, precision: Precision) -> f64 {
+        self.ffma_flops(precision) * self.eff_ffma
+    }
+
+    /// Achievable HBM bandwidth, bytes/s.
+    pub fn effective_global_bw(&self) -> f64 {
+        self.global_bw * self.eff_global
+    }
+
+    /// Achievable shared/L1 bandwidth, bytes/s.
+    pub fn effective_shared_bw(&self) -> f64 {
+        self.shared_bw * self.eff_shared
+    }
+
+    /// Achievable L2 bandwidth, bytes/s.
+    pub fn effective_l2_bw(&self) -> f64 {
+        self.l2_bw * self.eff_l2
+    }
+
+    /// A hypothetical next-generation part for the §4.7 projection:
+    /// "Future sparse TCUs with FP64 support will further amplify
+    /// SparStencil's benefits." Hopper-class scaling (≈2.1× tensor
+    /// throughput, 1.9× HBM, 1.5× L2 bandwidth, 132 SMs) **plus** the
+    /// hypothetical capability the paper anticipates — 2:4 sparsity at
+    /// FP64 (`supports_sparse` returns true for every precision because
+    /// `fp64_sparse` is set).
+    pub fn future_fp64_sparse() -> Self {
+        Self {
+            name: "Future GPU (FP64 sparse TCU, projected)".to_string(),
+            num_sms: 132,
+            tcus_per_sm: 4,
+            clock_hz: 1.8e9,
+            tc_fp16_flops: 660e12,
+            tc_tf32_flops: 330e12,
+            tc_fp64_flops: 60e12,
+            cuda_fp32_flops: 60e12,
+            cuda_fp64_flops: 30e12,
+            cuda_fp16_flops: 120e12,
+            global_bw: 3000e9,
+            shared_bw: 33e12,
+            l2_bw: 7e12,
+            shared_per_sm: 228 * 1024,
+            max_warps_per_sm: 64,
+            launch_overhead_s: 3e-6,
+            eff_tc_half: 0.30,
+            eff_tc_fp64: 0.70,
+            eff_ffma: 0.30,
+            eff_global: 0.85,
+            eff_shared: 0.60,
+            eff_l2: 0.50,
+            fp64_sparse: true,
+        }
+    }
+
+    /// Dense tensor-core FLOP/s for the given operand precision.
+    /// BF16 matches FP16 on Ampere; FP32 operands run as TF32.
+    pub fn tc_flops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp16 | Precision::Bf16 => self.tc_fp16_flops,
+            Precision::Tf32 | Precision::Fp32 => self.tc_tf32_flops,
+            Precision::Fp64 => self.tc_fp64_flops,
+        }
+    }
+
+    /// `true` if the hardware accelerates 2:4 sparsity at this precision
+    /// (A100: FP16/BF16/TF32 only — §4.7 notes the lack of FP64 sparse
+    /// support; [`GpuConfig::future_fp64_sparse`] lifts the restriction).
+    pub fn supports_sparse(&self, precision: Precision) -> bool {
+        self.fp64_sparse || !matches!(precision, Precision::Fp64)
+    }
+
+    /// CUDA-core FFMA FLOP/s for the given precision.
+    pub fn ffma_flops(&self, precision: Precision) -> f64 {
+        match precision {
+            Precision::Fp16 | Precision::Bf16 => self.cuda_fp16_flops,
+            Precision::Tf32 | Precision::Fp32 => self.cuda_fp32_flops,
+            Precision::Fp64 => self.cuda_fp64_flops,
+        }
+    }
+
+    /// Cycles one fragment op occupies a single TCU (`CPI_tcu` of
+    /// Equation 7), derived from the executed FLOPs and the per-TCU
+    /// per-cycle throughput.
+    pub fn cpi_tcu(&self, frag: FragmentShape, precision: Precision) -> f64 {
+        let per_tcu_per_cycle =
+            self.tc_flops(precision) / (self.num_sms as f64 * self.tcus_per_sm as f64 * self.clock_hz);
+        frag.executed_flops() as f64 / per_tcu_per_cycle
+    }
+
+    /// Total number of tensor cores (`N_tcu` of Equation 7).
+    pub fn n_tcu(&self) -> usize {
+        self.num_sms * self.tcus_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_flop_accounting() {
+        let dense = FragmentShape::dense_fp16();
+        assert_eq!(dense.executed_flops(), 2 * 16 * 8 * 16);
+        assert_eq!(dense.logical_flops(), 2 * 16 * 8 * 16);
+        assert_eq!(dense.stored_k(), 16);
+
+        let sparse = FragmentShape::sparse_fp16();
+        assert_eq!(sparse.executed_flops(), 2 * 16 * 8 * 16); // same as dense
+        assert_eq!(sparse.logical_flops(), 2 * 16 * 8 * 32); // covers 2×
+        assert_eq!(sparse.stored_k(), 16);
+        assert_eq!(sparse.label(), "m16n8k32.sp");
+    }
+
+    #[test]
+    fn a100_cpi_matches_datasheet() {
+        // 312 TFLOP/s over 432 TCUs at 1.41 GHz = 512 FLOP/TCU/cycle;
+        // one m16n8k16 executes 4096 FLOPs → 8 cycles.
+        let cfg = GpuConfig::a100();
+        let cpi = cfg.cpi_tcu(FragmentShape::dense_fp16(), Precision::Fp16);
+        assert!((cpi - 8.0).abs() < 0.1, "cpi = {cpi}");
+        // Sparse fragment: same executed FLOPs → same CPI, double coverage.
+        let cpi_sp = cfg.cpi_tcu(FragmentShape::sparse_fp16(), Precision::Fp16);
+        assert!((cpi_sp - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn sparse_support_matrix() {
+        let cfg = GpuConfig::a100();
+        assert!(cfg.supports_sparse(Precision::Fp16));
+        assert!(cfg.supports_sparse(Precision::Tf32));
+        assert!(!cfg.supports_sparse(Precision::Fp64));
+    }
+
+    #[test]
+    fn throughput_lookup() {
+        let cfg = GpuConfig::a100();
+        assert_eq!(cfg.tc_flops(Precision::Fp16), 312e12);
+        assert_eq!(cfg.tc_flops(Precision::Bf16), 312e12);
+        assert_eq!(cfg.tc_flops(Precision::Fp64), 19.5e12);
+        assert_eq!(cfg.ffma_flops(Precision::Fp64), 9.7e12);
+        assert_eq!(cfg.n_tcu(), 432);
+    }
+
+    #[test]
+    fn fp64_fragment() {
+        let f = FragmentShape::dense_fp64();
+        assert_eq!(f.executed_flops(), 2 * 8 * 8 * 4);
+        let cfg = GpuConfig::a100();
+        // 19.5 TFLOP/s over 432 TCUs at 1.41 GHz = 32 FLOP/TCU/cycle;
+        // m8n8k4 executes 512 FLOPs → 16 cycles.
+        let cpi = cfg.cpi_tcu(f, Precision::Fp64);
+        assert!((cpi - 16.0).abs() < 0.1, "cpi = {cpi}");
+    }
+}

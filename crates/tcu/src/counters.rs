@@ -1,0 +1,143 @@
+//! Hardware activity counters.
+//!
+//! The engine accumulates exact op and byte counts while executing a
+//! kernel plan functionally; the analytic model (Equations 6–8) converts
+//! them to time, and [`crate::model::UtilizationReport`] derives the six
+//! Figure-11 metrics. Counting is exact — no sampling — which is what
+//! makes the "analytic model equals counted ops" cross-check tests
+//! meaningful.
+
+/// Exact counts of simulated hardware activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Counters {
+    /// Dense fragment MMA operations issued.
+    pub dense_mma_count: u64,
+    /// Sparse (2:4) fragment MMA operations issued.
+    pub sparse_mma_count: u64,
+    /// FLOPs actually executed on tensor cores (dense-equivalent; sparse
+    /// fragments contribute their executed, not logical, FLOPs).
+    pub tc_executed_flops: u64,
+    /// Scalar fused multiply-add operations on CUDA cores.
+    pub ffma_count: u64,
+    /// Bytes read from global memory (including those served by L2).
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory.
+    pub global_write_bytes: u64,
+    /// Subset of `global_read_bytes` served by the L2 cache.
+    pub l2_hit_bytes: u64,
+    /// Bytes read from shared memory (the `data_transR` of Equation 8).
+    pub shared_read_bytes: u64,
+    /// Bytes written to shared memory (the `data_transW` of Equation 8).
+    pub shared_write_bytes: u64,
+    /// Kernel launches (each pays the host submission overhead).
+    pub kernel_launches: u64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total fragment MMA operations (`N_MMA` of Equation 9).
+    pub fn n_mma(&self) -> u64 {
+        self.dense_mma_count + self.sparse_mma_count
+    }
+
+    /// Total global-memory traffic in bytes (`data_R + data_W`).
+    pub fn global_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Total shared-memory traffic in bytes
+    /// (`data_transR + data_transW`).
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_read_bytes + self.shared_write_bytes
+    }
+
+    /// Global read bytes that had to come from DRAM (missed L2).
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.global_read_bytes.saturating_sub(self.l2_hit_bytes)
+    }
+
+    /// Total DRAM traffic: misses plus write-through traffic.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes() + self.global_write_bytes
+    }
+
+    /// Element-wise accumulation (for merging per-iteration counters).
+    pub fn merge(&mut self, other: &Counters) {
+        self.dense_mma_count += other.dense_mma_count;
+        self.sparse_mma_count += other.sparse_mma_count;
+        self.tc_executed_flops += other.tc_executed_flops;
+        self.ffma_count += other.ffma_count;
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.l2_hit_bytes += other.l2_hit_bytes;
+        self.shared_read_bytes += other.shared_read_bytes;
+        self.shared_write_bytes += other.shared_write_bytes;
+        self.kernel_launches += other.kernel_launches;
+    }
+
+    /// Scale every count by an integer factor (extrapolating one measured
+    /// iteration to a full run).
+    pub fn scaled(&self, factor: u64) -> Counters {
+        Counters {
+            dense_mma_count: self.dense_mma_count * factor,
+            sparse_mma_count: self.sparse_mma_count * factor,
+            tc_executed_flops: self.tc_executed_flops * factor,
+            ffma_count: self.ffma_count * factor,
+            global_read_bytes: self.global_read_bytes * factor,
+            global_write_bytes: self.global_write_bytes * factor,
+            l2_hit_bytes: self.l2_hit_bytes * factor,
+            shared_read_bytes: self.shared_read_bytes * factor,
+            shared_write_bytes: self.shared_write_bytes * factor,
+            kernel_launches: self.kernel_launches * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::new();
+        a.dense_mma_count = 3;
+        a.global_read_bytes = 100;
+        let mut b = Counters::new();
+        b.dense_mma_count = 2;
+        b.sparse_mma_count = 7;
+        b.global_write_bytes = 50;
+        a.merge(&b);
+        assert_eq!(a.dense_mma_count, 5);
+        assert_eq!(a.n_mma(), 12);
+        assert_eq!(a.global_bytes(), 150);
+    }
+
+    #[test]
+    fn dram_accounting_saturates() {
+        let mut c = Counters::new();
+        c.global_read_bytes = 100;
+        c.l2_hit_bytes = 30;
+        c.global_write_bytes = 10;
+        assert_eq!(c.dram_read_bytes(), 70);
+        assert_eq!(c.dram_bytes(), 80);
+        c.l2_hit_bytes = 1000; // over-attributed hits must not underflow
+        assert_eq!(c.dram_read_bytes(), 0);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let mut c = Counters::new();
+        c.sparse_mma_count = 4;
+        c.shared_read_bytes = 8;
+        c.kernel_launches = 1;
+        let s = c.scaled(10);
+        assert_eq!(s.sparse_mma_count, 40);
+        assert_eq!(s.shared_read_bytes, 80);
+        assert_eq!(s.kernel_launches, 10);
+        assert_eq!(c.sparse_mma_count, 4, "original untouched");
+    }
+}

@@ -1,0 +1,221 @@
+//! The execution engine: functional simulation + exact activity counting.
+//!
+//! An [`Engine`] executes fragment operations numerically (so end-to-end
+//! results can be verified against scalar references) while recording
+//! every op and byte in [`Counters`]. Timing never comes from wall-clock
+//! measurement of the simulation itself — it is derived from the counters
+//! through the analytic model (Equations 6–8), the same way the paper's
+//! layout explorer reasons about kernels. This separation is what lets
+//! benchmark binaries evaluate paper-scale problem sizes analytically
+//! while tests verify numerics at CI-friendly scale.
+//!
+//! Parallel use: clone engines per worker (cheap — counters are plain
+//! integers), execute disjoint tile ranges, then [`Counters::merge`] the
+//! results. The numeric output is deterministic because tiles are
+//! disjoint.
+
+use crate::config::{FragmentShape, GpuConfig};
+use crate::counters::Counters;
+use crate::fragment::dense_fragment_mma;
+use crate::model::{self, TimingBreakdown, UtilizationReport};
+use crate::sparse::sparse_fragment_mma;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::{DenseMatrix, Real, TwoFourMatrix};
+
+/// Functional simulator with exact activity counters.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Hardware parameters used for timing derivation.
+    pub config: GpuConfig,
+    /// Operand precision (used for timing; numerics use pre-rounded
+    /// buffers supplied by the caller).
+    pub precision: Precision,
+    /// Accumulated activity.
+    pub counters: Counters,
+}
+
+impl Engine {
+    /// New engine over the given hardware and precision.
+    pub fn new(config: GpuConfig, precision: Precision) -> Self {
+        Self {
+            config,
+            precision,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Fresh engine sharing config/precision but with zeroed counters —
+    /// for per-worker counting in parallel execution.
+    pub fn fork(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            precision: self.precision,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Absorb a forked worker's counters.
+    pub fn join(&mut self, worker: &Engine) {
+        self.counters.merge(&worker.counters);
+    }
+
+    /// Execute and count one dense fragment MMA: `c += a × b`.
+    pub fn dense_mma<R: Real>(
+        &mut self,
+        frag: FragmentShape,
+        a: &DenseMatrix<R>,
+        b: &DenseMatrix<R>,
+        c: &mut DenseMatrix<R>,
+    ) {
+        dense_fragment_mma(frag, a, b, c);
+        self.counters.dense_mma_count += 1;
+        self.counters.tc_executed_flops += frag.executed_flops();
+    }
+
+    /// Execute and count one sparse fragment MMA from compressed `A`.
+    pub fn sparse_mma<R: Real>(
+        &mut self,
+        frag: FragmentShape,
+        a24: &TwoFourMatrix<R>,
+        b: &DenseMatrix<R>,
+        c: &mut DenseMatrix<R>,
+    ) {
+        sparse_fragment_mma(frag, a24, b, c);
+        self.counters.sparse_mma_count += 1;
+        self.counters.tc_executed_flops += frag.executed_flops();
+    }
+
+    /// Count `count` scalar FFMA operations (CUDA-core path). The caller
+    /// performs the arithmetic (baselines compute through the reference
+    /// implementation); the engine only accounts for time.
+    pub fn ffma(&mut self, count: u64) {
+        self.counters.ffma_count += count;
+    }
+
+    /// Count a global-memory read. `l2_hit_fraction` of the bytes are
+    /// served by L2 (tile-overlap reuse estimated by the caller's access
+    /// pattern analysis).
+    pub fn read_global(&mut self, bytes: u64, l2_hit_fraction: f64) {
+        debug_assert!((0.0..=1.0).contains(&l2_hit_fraction));
+        self.counters.global_read_bytes += bytes;
+        self.counters.l2_hit_bytes += (bytes as f64 * l2_hit_fraction) as u64;
+    }
+
+    /// Count a global-memory write.
+    pub fn write_global(&mut self, bytes: u64) {
+        self.counters.global_write_bytes += bytes;
+    }
+
+    /// Count a shared-memory write (global→shared staging).
+    pub fn smem_write(&mut self, bytes: u64) {
+        self.counters.shared_write_bytes += bytes;
+    }
+
+    /// Count a shared-memory read (shared→register operand fetch).
+    pub fn smem_read(&mut self, bytes: u64) {
+        self.counters.shared_read_bytes += bytes;
+    }
+
+    /// Count one kernel launch.
+    pub fn launch(&mut self) {
+        self.counters.kernel_launches += 1;
+    }
+
+    /// Modelled kernel time over the accumulated counters.
+    pub fn timing(&self) -> TimingBreakdown {
+        model::kernel_time(&self.config, &self.counters, self.precision)
+    }
+
+    /// Figure-11 utilization metrics for the accumulated counters.
+    pub fn utilization(&self, occupancy: f64) -> UtilizationReport {
+        let t = self.timing();
+        model::utilization(&self.config, &self.counters, &t, occupancy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::gemm;
+
+    #[test]
+    fn engine_counts_and_computes() {
+        let mut e = Engine::new(GpuConfig::a100(), Precision::Fp16);
+        let frag = FragmentShape::dense_fp16();
+        let a = DenseMatrix::from_fn(16, 16, |r, c| ((r + c) % 3) as f32);
+        let b = DenseMatrix::from_fn(16, 8, |r, c| ((r * c) % 5) as f32);
+        let mut c = DenseMatrix::zeros(16, 8);
+        e.dense_mma(frag, &a, &b, &mut c);
+        assert_eq!(c, gemm::matmul(&a, &b));
+        assert_eq!(e.counters.dense_mma_count, 1);
+        assert_eq!(e.counters.tc_executed_flops, frag.executed_flops());
+    }
+
+    #[test]
+    fn sparse_counting_matches_dense_flops() {
+        let mut e = Engine::new(GpuConfig::a100(), Precision::Fp16);
+        let frag = FragmentShape::sparse_fp16();
+        let a = DenseMatrix::from_fn(
+            16,
+            32,
+            |r, c| if c % 4 < 2 { ((r + c) % 7) as f32 } else { 0.0 },
+        );
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::from_fn(32, 8, |r, c| ((r + 2 * c) % 3) as f32);
+        let mut c = DenseMatrix::zeros(16, 8);
+        e.sparse_mma(frag, &a24, &b, &mut c);
+        assert_eq!(c, gemm::matmul(&a, &b));
+        assert_eq!(e.counters.sparse_mma_count, 1);
+        // Sparse fragment executes the same FLOPs as the dense m16n8k16.
+        assert_eq!(
+            e.counters.tc_executed_flops,
+            FragmentShape::dense_fp16().executed_flops()
+        );
+    }
+
+    #[test]
+    fn fork_join_merges_counters() {
+        let mut main = Engine::new(GpuConfig::a100(), Precision::Fp16);
+        main.ffma(10);
+        let mut w1 = main.fork();
+        let mut w2 = main.fork();
+        assert_eq!(w1.counters.ffma_count, 0);
+        w1.ffma(5);
+        w2.read_global(100, 0.5);
+        main.join(&w1);
+        main.join(&w2);
+        assert_eq!(main.counters.ffma_count, 15);
+        assert_eq!(main.counters.global_read_bytes, 100);
+        assert_eq!(main.counters.l2_hit_bytes, 50);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut e = Engine::new(GpuConfig::a100(), Precision::Fp16);
+        e.read_global(1000, 0.25);
+        e.write_global(500);
+        e.smem_write(200);
+        e.smem_read(300);
+        e.launch();
+        assert_eq!(e.counters.global_bytes(), 1500);
+        assert_eq!(e.counters.l2_hit_bytes, 250);
+        assert_eq!(e.counters.shared_bytes(), 500);
+        assert_eq!(e.counters.kernel_launches, 1);
+        let t = e.timing();
+        assert!(t.total > 0.0);
+    }
+
+    #[test]
+    fn timing_uses_precision() {
+        let mut fp16 = Engine::new(GpuConfig::a100(), Precision::Fp16);
+        let mut fp64 = Engine::new(GpuConfig::a100(), Precision::Fp64);
+        fp16.counters.tc_executed_flops = 1_000_000_000;
+        fp64.counters.tc_executed_flops = 1_000_000_000;
+        // FP64 tensor is 16× slower at peak; the achieved derates (0.70
+        // FP64 vs 0.30 FP16) compress that to 16 × 0.30/0.70 ≈ 6.86.
+        let cfg = GpuConfig::a100();
+        let expect = 16.0 * cfg.eff_tc_half / cfg.eff_tc_fp64;
+        let ratio = fp64.timing().t_tensor / fp16.timing().t_tensor;
+        assert!((ratio - expect).abs() < 0.1, "ratio {ratio} expect {expect}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Dense fragment MMA — the functional core of the dense tensor-core path.
+//!
+//! One fragment op computes `C[m×n] += A[m×k] × B[k×n]` for the fixed
+//! fragment geometry of the target hardware (§2.1: "sparse TCUs partition
+//! matrices into uniformly sized fragments ... these fragments remain
+//! fixed"). Operand precision is the caller's responsibility (operands are
+//! pre-rounded once per buffer, as on real hardware where registers hold
+//! already-converted FP16); accumulation happens at the full width of the
+//! scalar type, matching the FP32-accumulate behaviour of tensor cores.
+
+use crate::config::FragmentShape;
+use sparstencil_mat::{DenseMatrix, Real};
+
+/// Execute one dense fragment op: `c += a × b`.
+///
+/// # Panics
+/// Panics if operand shapes do not match `frag` or if `frag.sparse`.
+pub fn dense_fragment_mma<R: Real>(
+    frag: FragmentShape,
+    a: &DenseMatrix<R>,
+    b: &DenseMatrix<R>,
+    c: &mut DenseMatrix<R>,
+) {
+    assert!(!frag.sparse, "dense_fragment_mma requires a dense fragment");
+    assert_eq!(a.shape(), (frag.m, frag.k), "A operand shape mismatch");
+    assert_eq!(b.shape(), (frag.k, frag.n), "B operand shape mismatch");
+    assert_eq!(c.shape(), (frag.m, frag.n), "C operand shape mismatch");
+    for i in 0..frag.m {
+        let a_row = a.row(i);
+        for kk in 0..frag.k {
+            let aik = a_row[kk];
+            if aik.is_zero() {
+                // Dense hardware still spends the cycle; numerically a no-op.
+                continue;
+            }
+            let b_row = b.row(kk);
+            let c_row = c.row_mut(i);
+            for j in 0..frag.n {
+                c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// Tile a large `C += A × B` into fragment ops, returning the number of
+/// fragment operations a tensor-core kernel would issue (operands are
+/// zero-padded to fragment boundaries, exactly like the `⌈·⌉` terms of
+/// Equation 9). The computation itself runs at full precision on the
+/// padded tiles.
+///
+/// # Panics
+/// Panics if inner dimensions disagree.
+pub fn tiled_dense_matmul<R: Real>(
+    frag: FragmentShape,
+    a: &DenseMatrix<R>,
+    b: &DenseMatrix<R>,
+) -> (DenseMatrix<R>, u64) {
+    assert!(!frag.sparse, "tiled_dense_matmul requires a dense fragment");
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (fm, fk, fn_) = (frag.m, frag.k, frag.n);
+    let (tm, tk, tn) = (m.div_ceil(fm), k.div_ceil(fk), n.div_ceil(fn_));
+
+    let mut c = DenseMatrix::zeros(tm * fm, tn * fn_);
+    let mut ops = 0u64;
+    for ti in 0..tm {
+        for tj in 0..tn {
+            let mut c_frag = DenseMatrix::zeros(fm, fn_);
+            for tkk in 0..tk {
+                let a_frag = a.block(ti * fm, tkk * fk, fm, fk);
+                let b_frag = b.block(tkk * fk, tj * fn_, fk, fn_);
+                dense_fragment_mma(frag, &a_frag, &b_frag, &mut c_frag);
+                ops += 1;
+            }
+            c.set_block(ti * fm, tj * fn_, &c_frag);
+        }
+    }
+    (c.block(0, 0, m, n), ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::gemm;
+
+    #[test]
+    fn fragment_mma_matches_gemm() {
+        let frag = FragmentShape { m: 4, n: 3, k: 5, sparse: false };
+        let a = DenseMatrix::from_fn(4, 5, |r, c| ((r * 5 + c) % 7) as f64 - 3.0);
+        let b = DenseMatrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
+        let mut c = DenseMatrix::from_fn(4, 3, |r, c| (r + c) as f64);
+        let expect = {
+            let mut e = gemm::matmul(&a, &b);
+            for r in 0..4 {
+                for cc in 0..3 {
+                    let v = e.get(r, cc) + (r + cc) as f64;
+                    e.set(r, cc, v);
+                }
+            }
+            e
+        };
+        dense_fragment_mma(frag, &a, &b, &mut c);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_gemm_and_counts_ops() {
+        let frag = FragmentShape::dense_fp16(); // 16×8×16
+        let a = DenseMatrix::from_fn(20, 35, |r, c| ((r * 13 + c * 7) % 11) as f64 - 5.0);
+        let b = DenseMatrix::from_fn(35, 17, |r, c| ((r * 3 + c * 5) % 9) as f64 - 4.0);
+        let (c, ops) = tiled_dense_matmul(frag, &a, &b);
+        assert_eq!(c, gemm::matmul(&a, &b));
+        // ⌈20/16⌉ ⌈35/16⌉ ⌈17/8⌉ = 2 * 3 * 3 = 18 ops (Equation 9).
+        assert_eq!(ops, 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "A operand shape mismatch")]
+    fn wrong_shape_panics() {
+        let frag = FragmentShape::dense_fp16();
+        let a = DenseMatrix::<f32>::zeros(8, 16);
+        let b = DenseMatrix::<f32>::zeros(16, 8);
+        let mut c = DenseMatrix::<f32>::zeros(16, 8);
+        dense_fragment_mma(frag, &a, &b, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense fragment")]
+    fn sparse_fragment_rejected() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = DenseMatrix::<f32>::zeros(16, 32);
+        let b = DenseMatrix::<f32>::zeros(32, 8);
+        let mut c = DenseMatrix::<f32>::zeros(16, 8);
+        dense_fragment_mma(frag, &a, &b, &mut c);
+    }
+
+    #[test]
+    fn exact_tile_boundaries_no_padding_waste() {
+        let frag = FragmentShape { m: 2, n: 2, k: 2, sparse: false };
+        let a = DenseMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let b = DenseMatrix::identity(4);
+        let (c, ops) = tiled_dense_matmul(frag, &a, &b);
+        assert_eq!(c, a);
+        assert_eq!(ops, 2 * 2 * 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sparstencil-tcu — a sparse Tensor Core simulator
+//!
+//! This environment has no GPU, and Rust has no mature sparse-tensor-core
+//! bindings (the repro constraint called out for this reproduction), so
+//! this crate implements the substrate the paper's system runs on: a
+//! **functional + cycle-analytic simulator** of an A100-class GPU with
+//! sparse tensor cores.
+//!
+//! Two strictly separated concerns:
+//!
+//! 1. **Functional execution** — [`fragment`] and [`sparse`] execute dense
+//!    and 2:4-sparse fragment MMAs numerically (compressed operands +
+//!    metadata, FP32/FP64 accumulation), so every kernel plan produces
+//!    real numbers verifiable against scalar references.
+//! 2. **Timing derivation** — [`engine::Engine`] counts every op and byte
+//!    exactly; [`model`] converts counters to time via the paper's own
+//!    analytic model (Equations 6–8) with datasheet constants
+//!    ([`config::GpuConfig::a100`]), and derives the Figure-11 utilization
+//!    metrics.
+//!
+//! Nothing in this crate knows about stencils; it is a general simulated
+//! matrix accelerator consumed by the `sparstencil` core crate and by the
+//! baseline implementations.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod engine;
+pub mod fragment;
+pub mod model;
+pub mod sparse;
+
+pub use config::{FragmentShape, GpuConfig};
+pub use counters::Counters;
+pub use engine::Engine;
+pub use model::{
+    gflops_per_sec, gstencils_per_sec, kernel_time, utilization, LaunchConfig, TimingBreakdown,
+    UtilizationReport,
+};
+pub use sparstencil_mat::half::Precision;

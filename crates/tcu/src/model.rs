@@ -1,0 +1,316 @@
+//! The analytic timing model — Equations 6–8 of the paper.
+//!
+//! ```text
+//! T        = max(T_compute, T_memory)                          (Eq. 6)
+//! T_compute = N_MMA × CPI_tcu / (f · N_tcu)                    (Eq. 7)
+//! T_memory  = max(data_R/bw_G + data_W/bw_G,
+//!                 data_transW/bw_S + data_transR/bw_S)         (Eq. 8)
+//! ```
+//!
+//! The same model serves two purposes, exactly as in the paper: (a) the
+//! layout explorer evaluates candidate `(r1, r2)` configurations with it
+//! (§3.3), and (b) the benchmark harness converts counted hardware
+//! activity into kernel time and GStencil/s. Equation 7 is evaluated here
+//! through executed FLOPs (`N_MMA × CPI_tcu / (f·N_tcu)` ≡
+//! `executed_flops / peak_flops`, since `CPI` is itself derived from peak
+//! throughput — see [`crate::config::GpuConfig::cpi_tcu`]); tests pin the
+//! equivalence.
+
+use crate::config::GpuConfig;
+use crate::counters::Counters;
+use sparstencil_mat::half::Precision;
+
+/// Kernel-time decomposition produced by the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimingBreakdown {
+    /// Tensor-core compute time, seconds (Eq. 7 term).
+    pub t_tensor: f64,
+    /// CUDA-core (FFMA) compute time, seconds.
+    pub t_ffma: f64,
+    /// Global-memory term of Eq. 8, seconds.
+    pub t_global: f64,
+    /// Shared-memory term of Eq. 8, seconds.
+    pub t_shared: f64,
+    /// L2 service time (traffic / L2 bandwidth), seconds.
+    pub t_l2: f64,
+    /// Kernel launch overheads, seconds.
+    pub t_launch: f64,
+    /// Total modelled time: `max(compute, memory) + launch` (Eq. 6).
+    pub total: f64,
+}
+
+impl TimingBreakdown {
+    /// Compute-side time: tensor + scalar pipelines (they share issue
+    /// slots in our kernels — the generated kernels use one or the other).
+    pub fn t_compute(&self) -> f64 {
+        self.t_tensor + self.t_ffma
+    }
+
+    /// Memory-side time (max over hierarchy levels, Eq. 8 extended with
+    /// the L2 level).
+    pub fn t_memory(&self) -> f64 {
+        self.t_global.max(self.t_shared).max(self.t_l2)
+    }
+
+    /// `true` when the kernel is memory-bound under the model.
+    pub fn memory_bound(&self) -> bool {
+        self.t_memory() >= self.t_compute()
+    }
+}
+
+/// Evaluate Equations 6–8 over exact activity counters.
+///
+/// The global term uses DRAM traffic (L2 hits are served on-chip and do
+/// not consume HBM bandwidth); all global requests additionally pay the
+/// L2 service term, which can become the binding level for hit-heavy
+/// gather patterns.
+pub fn kernel_time(config: &GpuConfig, counters: &Counters, precision: Precision) -> TimingBreakdown {
+    let t_tensor = counters.tc_executed_flops as f64 / config.effective_tc_flops(precision);
+    // One FFMA = 2 FLOPs.
+    let t_ffma = (counters.ffma_count as f64 * 2.0) / config.effective_ffma_flops(precision);
+    let t_global = counters.dram_bytes() as f64 / config.effective_global_bw();
+    let t_shared = counters.shared_bytes() as f64 / config.effective_shared_bw();
+    let t_l2 = counters.global_bytes() as f64 / config.effective_l2_bw();
+    let t_launch = counters.kernel_launches as f64 * config.launch_overhead_s;
+    let compute = t_tensor + t_ffma;
+    let memory = t_global.max(t_shared).max(t_l2);
+    TimingBreakdown {
+        t_tensor,
+        t_ffma,
+        t_global,
+        t_shared,
+        t_l2,
+        t_launch,
+        total: compute.max(memory) + t_launch,
+    }
+}
+
+/// GStencil/s (Equation 12): `iters × Π Nᵢ / (t × 10⁹)` — stencil points
+/// updated per nanosecond.
+pub fn gstencils_per_sec(points_per_iter: u64, iters: u64, seconds: f64) -> f64 {
+    (iters as f64 * points_per_iter as f64) / (seconds * 1e9)
+}
+
+/// GFlop/s over useful stencil arithmetic (Table 3's metric): each stencil
+/// point of a `p`-point kernel costs `2p` FLOPs (multiply + add).
+pub fn gflops_per_sec(points_per_iter: u64, kernel_points: u64, iters: u64, seconds: f64) -> f64 {
+    (iters as f64 * points_per_iter as f64 * kernel_points as f64 * 2.0) / (seconds * 1e9)
+}
+
+/// The six Figure-11 hardware-utilization metrics, derived from counters
+/// and modelled time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct UtilizationReport {
+    /// Fraction of the kernel during which compute pipes are busy.
+    pub sm_utilization: f64,
+    /// Achieved occupancy (resident warps / max warps).
+    pub occupancy: f64,
+    /// L1/TEX (shared-memory) throughput vs peak.
+    pub l1_throughput: f64,
+    /// Combined memory throughput vs peak (max over levels).
+    pub mem_throughput: f64,
+    /// DRAM throughput vs peak.
+    pub dram_throughput: f64,
+    /// L2 throughput vs peak.
+    pub l2_throughput: f64,
+}
+
+/// Compute the utilization report for a kernel with the given achieved
+/// occupancy over modelled time `timing`.
+pub fn utilization(
+    config: &GpuConfig,
+    counters: &Counters,
+    timing: &TimingBreakdown,
+    occupancy: f64,
+) -> UtilizationReport {
+    let t = timing.total.max(1e-30);
+    let l1 = (counters.shared_bytes() as f64 / t) / config.shared_bw;
+    let dram = (counters.dram_bytes() as f64 / t) / config.global_bw;
+    let l2 =
+        ((counters.l2_hit_bytes + counters.global_write_bytes + counters.dram_read_bytes()) as f64
+            / t)
+            / config.l2_bw;
+    UtilizationReport {
+        sm_utilization: (timing.t_compute() / t).min(1.0),
+        occupancy: occupancy.clamp(0.0, 1.0),
+        l1_throughput: l1.min(1.0),
+        mem_throughput: l1.max(dram).min(1.0),
+        dram_throughput: dram.min(1.0),
+        l2_throughput: l2.min(1.0),
+    }
+}
+
+/// Kernel launch geometry, used for the occupancy model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks launched.
+    pub blocks: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+    /// Shared memory per block in bytes (double-buffer staging included).
+    pub shared_bytes_per_block: usize,
+}
+
+impl LaunchConfig {
+    /// Achieved occupancy: resident warps per SM over the maximum,
+    /// limited by warp slots, shared-memory capacity and the block supply
+    /// (a grid smaller than the GPU cannot fill it).
+    pub fn occupancy(&self, config: &GpuConfig) -> f64 {
+        if self.threads_per_block == 0 || self.blocks == 0 {
+            return 0.0;
+        }
+        let warps_per_block = self.threads_per_block.div_ceil(32);
+        let by_warps = config.max_warps_per_sm / warps_per_block.max(1);
+        let by_smem = if self.shared_bytes_per_block > 0 {
+            config.shared_per_sm / self.shared_bytes_per_block
+        } else {
+            usize::MAX
+        };
+        let blocks_per_sm = by_warps.min(by_smem).min(32);
+        if blocks_per_sm == 0 {
+            return 0.0;
+        }
+        // Block supply limit: with fewer blocks than SM slots, SMs idle.
+        let supply = self.blocks as f64 / config.num_sms as f64;
+        let resident_blocks = (blocks_per_sm as f64).min(supply);
+        (resident_blocks * warps_per_block as f64 / config.max_warps_per_sm as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FragmentShape;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::a100()
+    }
+
+    #[test]
+    fn eq7_equivalence_flops_vs_cpi() {
+        // T_compute computed from executed FLOPs must equal
+        // N_MMA × CPI / (f × N_tcu).
+        let config = cfg();
+        let frag = FragmentShape::sparse_fp16();
+        let n_mma = 1000u64;
+        let mut c = Counters::new();
+        c.sparse_mma_count = n_mma;
+        c.tc_executed_flops = n_mma * frag.executed_flops();
+        let t = kernel_time(&config, &c, Precision::Fp16);
+        let cpi = config.cpi_tcu(frag, Precision::Fp16);
+        // The CPI formulation reaches peak; timing applies the achieved
+        // derate on top.
+        let expect =
+            n_mma as f64 * cpi / (config.clock_hz * config.n_tcu() as f64) / config.eff_tc_half;
+        assert!(
+            (t.t_tensor - expect).abs() / expect < 1e-12,
+            "flops path {} vs cpi path {expect}",
+            t.t_tensor
+        );
+    }
+
+    #[test]
+    fn memory_bound_detection() {
+        let config = cfg();
+        let mut c = Counters::new();
+        c.global_read_bytes = 10_000_000_000; // 10 GB at 1555 GB/s ≈ 6.4 ms
+        c.tc_executed_flops = 1_000_000; // trivially small compute
+        let t = kernel_time(&config, &c, Precision::Fp16);
+        assert!(t.memory_bound());
+        assert!((t.total - t.t_global).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_detection() {
+        let config = cfg();
+        let mut c = Counters::new();
+        c.tc_executed_flops = 312_000_000_000; // 1 ms of peak FP16 tensor work
+        c.global_read_bytes = 1000;
+        let t = kernel_time(&config, &c, Precision::Fp16);
+        assert!(!t.memory_bound());
+        // Achieved rate is peak × eff_tc_half.
+        let expect = 1e-3 / config.eff_tc_half;
+        assert!((t.total - expect).abs() < 1e-6, "total {}", t.total);
+    }
+
+    #[test]
+    fn launch_overhead_added() {
+        let config = cfg();
+        let mut c = Counters::new();
+        c.kernel_launches = 100;
+        let t = kernel_time(&config, &c, Precision::Fp16);
+        assert!((t.t_launch - 100.0 * config.launch_overhead_s).abs() < 1e-12);
+        assert_eq!(t.total, t.t_launch);
+    }
+
+    #[test]
+    fn gstencil_metric() {
+        // 1e9 points, 10 iterations, 1 second → 10 GStencil/s.
+        assert!((gstencils_per_sec(1_000_000_000, 10, 1.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_metric() {
+        // 1e9 points × 49-point kernel × 2 flops, 1 iter, 1 s → 98 GFlop/s.
+        assert!((gflops_per_sec(1_000_000_000, 49, 1, 1.0) - 98.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_limits() {
+        let config = cfg();
+        // 256 threads = 8 warps; warp-limited: 64/8 = 8 blocks/SM → full.
+        let full = LaunchConfig {
+            blocks: 100_000,
+            threads_per_block: 256,
+            shared_bytes_per_block: 0,
+        };
+        assert!((full.occupancy(&config) - 1.0).abs() < 1e-12);
+
+        // Shared-memory-limited: 64 KiB per block → 2 blocks/SM → 16/64.
+        let smem = LaunchConfig {
+            blocks: 100_000,
+            threads_per_block: 256,
+            shared_bytes_per_block: 64 * 1024,
+        };
+        assert!((smem.occupancy(&config) - 0.25).abs() < 1e-12);
+
+        // Supply-limited: 54 blocks on 108 SMs → half the SMs idle.
+        let supply = LaunchConfig {
+            blocks: 54,
+            threads_per_block: 256,
+            shared_bytes_per_block: 0,
+        };
+        assert!((supply.occupancy(&config) - 54.0 / 108.0 * 8.0 / 64.0).abs() < 1e-12);
+
+        // Degenerate.
+        let zero = LaunchConfig {
+            blocks: 0,
+            threads_per_block: 0,
+            shared_bytes_per_block: 0,
+        };
+        assert_eq!(zero.occupancy(&config), 0.0);
+    }
+
+    #[test]
+    fn utilization_report_bounds() {
+        let config = cfg();
+        let mut c = Counters::new();
+        c.tc_executed_flops = 1_000_000_000;
+        c.global_read_bytes = 1_000_000;
+        c.shared_read_bytes = 4_000_000;
+        c.l2_hit_bytes = 500_000;
+        let t = kernel_time(&config, &c, Precision::Fp16);
+        let u = utilization(&config, &c, &t, 0.97);
+        for v in [
+            u.sm_utilization,
+            u.occupancy,
+            u.l1_throughput,
+            u.mem_throughput,
+            u.dram_throughput,
+            u.l2_throughput,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+        }
+        assert!(u.sm_utilization > 0.9, "compute-bound kernel: SM busy");
+    }
+}

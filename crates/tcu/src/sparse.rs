@@ -1,0 +1,166 @@
+//! Sparse (2:4) fragment MMA — the functional core of `mma.sp`.
+//!
+//! One sparse fragment op computes `C[m×n] += (A ⊙ M)[m×k] × B[k×n]`
+//! where `A` arrives *compressed* (stored depth `k/2`) together with 2-bit
+//! metadata (Equation 1). The arithmetic reads only the stored values and
+//! uses metadata to select which `B` rows they multiply — exactly the
+//! dataflow of the hardware instruction, which is why this routine's
+//! agreement with masked dense MMA is a property-tested invariant.
+
+use crate::config::FragmentShape;
+use sparstencil_mat::{DenseMatrix, Real, TwoFourMatrix};
+
+/// Execute one sparse fragment op: `c += decompress(a24) × b`, computed
+/// directly from the compressed representation.
+///
+/// # Panics
+/// Panics if the fragment is not sparse or operand shapes mismatch
+/// (`a24` must be `m × k` logical, `b` must be `k × n`, `c` `m × n`).
+pub fn sparse_fragment_mma<R: Real>(
+    frag: FragmentShape,
+    a24: &TwoFourMatrix<R>,
+    b: &DenseMatrix<R>,
+    c: &mut DenseMatrix<R>,
+) {
+    assert!(frag.sparse, "sparse_fragment_mma requires a sparse fragment");
+    assert_eq!(a24.rows(), frag.m, "A operand row mismatch");
+    assert_eq!(a24.logical_cols(), frag.k, "A operand logical depth mismatch");
+    assert_eq!(b.shape(), (frag.k, frag.n), "B operand shape mismatch");
+    assert_eq!(c.shape(), (frag.m, frag.n), "C operand shape mismatch");
+
+    for i in 0..frag.m {
+        let c_row_ptr: *mut R = c.row_mut(i).as_mut_ptr();
+        for s in 0..a24.stored_cols() {
+            let v = a24.values().get(i, s);
+            if v.is_zero() {
+                // Promoted zero slot: hardware multiplies it anyway; the
+                // numeric result is unchanged, so we skip the work.
+                continue;
+            }
+            let k = a24.logical_col(i, s);
+            let b_row = b.row(k);
+            // Safety: c_row_ptr addresses row i of c, disjoint from b.
+            let c_row = unsafe { std::slice::from_raw_parts_mut(c_row_ptr, frag.n) };
+            for j in 0..frag.n {
+                c_row[j] += v * b_row[j];
+            }
+        }
+    }
+}
+
+/// Tile a large compressed `C += A24 × B` into sparse fragment ops along
+/// `n` (the `k` dimension must equal one fragment's logical depth — the
+/// layout generator splits `A` into per-fragment compressed strips).
+/// Returns the op count.
+pub fn tiled_sparse_matmul_n<R: Real>(
+    frag: FragmentShape,
+    a24: &TwoFourMatrix<R>,
+    b: &DenseMatrix<R>,
+) -> (DenseMatrix<R>, u64) {
+    assert!(frag.sparse, "requires a sparse fragment");
+    assert_eq!(a24.rows(), frag.m, "A rows must equal fragment m");
+    assert_eq!(a24.logical_cols(), frag.k, "A depth must equal fragment k");
+    assert_eq!(b.rows(), frag.k, "B rows mismatch");
+    let n = b.cols();
+    let tn = n.div_ceil(frag.n);
+    let mut c = DenseMatrix::zeros(frag.m, tn * frag.n);
+    let mut ops = 0u64;
+    for tj in 0..tn {
+        let b_frag = b.block(0, tj * frag.n, frag.k, frag.n);
+        let mut c_frag = DenseMatrix::zeros(frag.m, frag.n);
+        sparse_fragment_mma(frag, a24, &b_frag, &mut c_frag);
+        ops += 1;
+        c.set_block(0, tj * frag.n, &c_frag);
+    }
+    (c.block(0, 0, frag.m, n), ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil_mat::gemm;
+
+    /// A 2:4-compatible 16×32 matrix with mixed 0:4 / 1:4 / 2:4 groups.
+    fn sample_a() -> DenseMatrix<f64> {
+        DenseMatrix::from_fn(16, 32, |r, c| {
+            let g = c / 4;
+            let pos = c % 4;
+            // Deterministic pattern: group parity decides which 2 slots
+            // are nonzero; some groups left emptier.
+            match (r + g) % 3 {
+                0 => {
+                    if pos == 0 || pos == 2 {
+                        ((r * 31 + c * 7) % 9) as f64 - 4.0
+                    } else {
+                        0.0
+                    }
+                }
+                1 => {
+                    if pos == 1 {
+                        ((r * 13 + c) % 5) as f64 - 2.0
+                    } else {
+                        0.0
+                    }
+                }
+                _ => 0.0,
+            }
+        })
+    }
+
+    #[test]
+    fn sparse_mma_matches_masked_dense() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = sample_a();
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::from_fn(32, 8, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        let mut c = DenseMatrix::zeros(16, 8);
+        sparse_fragment_mma(frag, &a24, &b, &mut c);
+        assert_eq!(c, gemm::matmul(&a, &b));
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing_c() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = sample_a();
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::from_fn(32, 8, |r, c| (r + c) as f64 * 0.25);
+        let mut c = DenseMatrix::from_fn(16, 8, |_, _| 100.0);
+        sparse_fragment_mma(frag, &a24, &b, &mut c);
+        let mut expect = gemm::matmul(&a, &b);
+        expect.map_inplace(|v| v + 100.0);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn tiled_n_sweep_matches_gemm() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = sample_a();
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::from_fn(32, 21, |r, c| ((r * 11 + c * 3) % 13) as f64 - 6.0);
+        let (c, ops) = tiled_sparse_matmul_n(frag, &a24, &b);
+        assert_eq!(c, gemm::matmul(&a, &b));
+        assert_eq!(ops, 3); // ⌈21/8⌉
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse fragment")]
+    fn dense_fragment_rejected() {
+        let frag = FragmentShape::dense_fp16();
+        let a = DenseMatrix::<f64>::zeros(16, 32);
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::<f64>::zeros(32, 8);
+        let mut c = DenseMatrix::<f64>::zeros(16, 8);
+        sparse_fragment_mma(frag, &a24, &b, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "logical depth mismatch")]
+    fn wrong_depth_panics() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = DenseMatrix::<f64>::zeros(16, 16);
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::<f64>::zeros(32, 8);
+        let mut c = DenseMatrix::<f64>::zeros(16, 8);
+        sparse_fragment_mma(frag, &a24, &b, &mut c);
+    }
+}

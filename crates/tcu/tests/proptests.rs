@@ -1,0 +1,120 @@
+//! Property-based tests for the TCU simulator: sparse fragment MMA must
+//! equal masked dense MMA for arbitrary 2:4-compatible operands and
+//! fragment geometries, tiling must be exact, and the timing model must
+//! be monotone in work.
+
+use proptest::prelude::*;
+use sparstencil_mat::gemm;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::{DenseMatrix, TwoFourMatrix};
+use sparstencil_tcu::fragment::{dense_fragment_mma, tiled_dense_matmul};
+use sparstencil_tcu::model::kernel_time;
+use sparstencil_tcu::sparse::sparse_fragment_mma;
+use sparstencil_tcu::{Counters, FragmentShape, GpuConfig};
+
+/// A random 2:4-compatible m×k matrix (k multiple of 4).
+fn two_four(m: usize, groups: usize) -> impl Strategy<Value = DenseMatrix<f32>> {
+    proptest::collection::vec((0usize..4, 0usize..4, -8i32..=8, -8i32..=8), m * groups).prop_map(
+        move |cells| {
+            let mut a = DenseMatrix::zeros(m, groups * 4);
+            for (i, (p0, p1, v0, v1)) in cells.into_iter().enumerate() {
+                let (r, g) = (i / groups, i % groups);
+                if v0 != 0 {
+                    a.set(r, g * 4 + p0, v0 as f32);
+                }
+                if v1 != 0 && p1 != p0 {
+                    a.set(r, g * 4 + p1, v1 as f32);
+                }
+            }
+            a
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn sparse_mma_equals_masked_dense_any_fragment(
+        a in two_four(16, 8),
+        nsel in 0usize..3,
+        seed in 0u64..50,
+    ) {
+        let n = [4usize, 8, 16][nsel];
+        let frag = FragmentShape { m: 16, n, k: 32, sparse: true };
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let b = DenseMatrix::from_fn(32, n, |r, c| {
+            (((r as u64 * 31 + c as u64 * 7 + seed) % 13) as f32) - 6.0
+        });
+        let mut c = DenseMatrix::zeros(16, n);
+        sparse_fragment_mma(frag, &a24, &b, &mut c);
+        prop_assert_eq!(c, gemm::matmul(&a, &b));
+    }
+
+    #[test]
+    fn dense_fragment_equals_gemm(
+        m in 1usize..20, n in 1usize..12, k in 1usize..24, seed in 0u64..50,
+    ) {
+        let frag = FragmentShape { m, n, k, sparse: false };
+        let a = DenseMatrix::from_fn(m, k, |r, c| (((r * 7 + c * 3) as u64 + seed) % 9) as f32 - 4.0);
+        let b = DenseMatrix::from_fn(k, n, |r, c| (((r * 5 + c * 11) as u64 + seed) % 7) as f32 - 3.0);
+        let mut c = DenseMatrix::zeros(m, n);
+        dense_fragment_mma(frag, &a, &b, &mut c);
+        prop_assert_eq!(c, gemm::matmul(&a, &b));
+    }
+
+    #[test]
+    fn tiled_matmul_exact_and_op_count_formula(
+        m in 1usize..40, n in 1usize..24, k in 1usize..40, seed in 0u64..20,
+    ) {
+        let frag = FragmentShape::dense_fp16();
+        let a = DenseMatrix::from_fn(m, k, |r, c| (((r * 3 + c) as u64 + seed) % 5) as f32 - 2.0);
+        let b = DenseMatrix::from_fn(k, n, |r, c| (((r + c * 7) as u64 + seed) % 5) as f32 - 2.0);
+        let (c, ops) = tiled_dense_matmul(frag, &a, &b);
+        prop_assert_eq!(c, gemm::matmul(&a, &b));
+        let expect = m.div_ceil(16) as u64 * k.div_ceil(16) as u64 * n.div_ceil(8) as u64;
+        prop_assert_eq!(ops, expect);
+    }
+
+    #[test]
+    fn timing_monotone_in_every_counter(
+        flops in 1u64..1_000_000_000,
+        bytes in 1u64..1_000_000_000,
+        extra in 1u64..1_000_000_000,
+    ) {
+        let gpu = GpuConfig::a100();
+        let mut base = Counters::new();
+        base.tc_executed_flops = flops;
+        base.global_read_bytes = bytes;
+        let t0 = kernel_time(&gpu, &base, Precision::Fp16).total;
+        // Growing any cost component never reduces total time.
+        for grow in 0..4 {
+            let mut c = base;
+            match grow {
+                0 => c.tc_executed_flops += extra,
+                1 => c.global_read_bytes += extra,
+                2 => c.shared_read_bytes += extra,
+                _ => c.ffma_count += extra,
+            }
+            let t = kernel_time(&gpu, &c, Precision::Fp16).total;
+            prop_assert!(t >= t0 - 1e-15, "component {grow} shrank time");
+        }
+    }
+
+    #[test]
+    fn counters_merge_is_addition(
+        a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000,
+    ) {
+        let mut x = Counters::new();
+        x.dense_mma_count = a;
+        x.global_read_bytes = b;
+        let mut y = Counters::new();
+        y.dense_mma_count = c;
+        y.shared_write_bytes = b;
+        let mut merged = x;
+        merged.merge(&y);
+        prop_assert_eq!(merged.dense_mma_count, a + c);
+        prop_assert_eq!(merged.global_read_bytes, b);
+        prop_assert_eq!(merged.shared_write_bytes, b);
+        let scaled = merged.scaled(3);
+        prop_assert_eq!(scaled.dense_mma_count, 3 * (a + c));
+    }
+}

@@ -1,0 +1,562 @@
+//! # sparstencil-zoo — 79 real-world stencil kernels across 9 domains
+//!
+//! The paper's Figure 10 evaluates SparStencil on "79 real-world stencil
+//! kernels spanning 9 application domains" (PDE solvers, fluid dynamics,
+//! lattice Boltzmann methods, phase-field models, geophysical
+//! simulations, and more). The authors' exact kernel list is not
+//! published; this zoo reconstructs an equivalent population spanning the
+//! same domains and the same structural axes — dimensionality (1D/2D/3D),
+//! pattern (star / box / asymmetric / diagonal), radius (1–4), and
+//! anisotropy — with weights taken from standard finite-difference,
+//! lattice-Boltzmann and image-processing operators.
+//!
+//! Every entry is a plain [`StencilKernel`] the SparStencil pipeline (and
+//! every baseline) can compile unchanged.
+
+#![warn(missing_docs)]
+
+use sparstencil::stencil::StencilKernel;
+
+/// The nine application domains of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Elliptic/parabolic PDE solvers (Jacobi, Poisson, biharmonic).
+    PdeSolvers,
+    /// Computational fluid dynamics (advection, diffusion, vorticity).
+    FluidDynamics,
+    /// Lattice Boltzmann methods (DdQq neighborhoods).
+    LatticeBoltzmann,
+    /// Phase-field models (Allen–Cahn, Cahn–Hilliard, grain growth).
+    PhaseField,
+    /// Geophysics / seismic imaging (acoustic/elastic wave FD schemes).
+    Geophysics,
+    /// Weather & climate (shallow water, advection, boundary layers).
+    WeatherClimate,
+    /// Image processing (blur, gradient, sharpen, emboss).
+    ImageProcessing,
+    /// Computational electromagnetics (FDTD, Helmholtz, PML).
+    Electromagnetics,
+    /// Structural mechanics (elasticity, plate bending, thermal stress).
+    StructuralMechanics,
+}
+
+impl Domain {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::PdeSolvers => "PDE",
+            Domain::FluidDynamics => "CFD",
+            Domain::LatticeBoltzmann => "LBM",
+            Domain::PhaseField => "Phase",
+            Domain::Geophysics => "Seismic",
+            Domain::WeatherClimate => "Climate",
+            Domain::ImageProcessing => "Image",
+            Domain::Electromagnetics => "EM",
+            Domain::StructuralMechanics => "Solid",
+        }
+    }
+
+    /// All nine domains.
+    pub fn all() -> [Domain; 9] {
+        [
+            Domain::PdeSolvers,
+            Domain::FluidDynamics,
+            Domain::LatticeBoltzmann,
+            Domain::PhaseField,
+            Domain::Geophysics,
+            Domain::WeatherClimate,
+            Domain::ImageProcessing,
+            Domain::Electromagnetics,
+            Domain::StructuralMechanics,
+        ]
+    }
+}
+
+/// One zoo entry.
+pub struct ZooEntry {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: Domain,
+    /// Kernel constructor.
+    pub build: fn() -> StencilKernel,
+}
+
+impl ZooEntry {
+    /// Build the kernel, renamed to the zoo entry name.
+    pub fn kernel(&self) -> StencilKernel {
+        (self.build)().with_name(self.name)
+    }
+}
+
+// --------------------------- weight helpers ---------------------------
+
+/// 2D star from per-ring coefficients: `center`, then `ring[r-1]` applied
+/// to the four axis neighbors at distance `r`.
+fn star2(center: f64, rings: &[f64]) -> StencilKernel {
+    let radius = rings.len();
+    let e = 2 * radius + 1;
+    let c = radius;
+    let mut w = vec![0.0; e * e];
+    w[c * e + c] = center;
+    for (i, &v) in rings.iter().enumerate() {
+        let r = i + 1;
+        w[c * e + (c - r)] = v;
+        w[c * e + (c + r)] = v;
+        w[(c - r) * e + c] = v;
+        w[(c + r) * e + c] = v;
+    }
+    StencilKernel::new("star2", 2, [1, e, e], w)
+}
+
+/// Anisotropic 2D star (distinct x / y coefficients).
+fn star2_aniso(center: f64, x_rings: &[f64], y_rings: &[f64]) -> StencilKernel {
+    assert_eq!(x_rings.len(), y_rings.len());
+    let radius = x_rings.len();
+    let e = 2 * radius + 1;
+    let c = radius;
+    let mut w = vec![0.0; e * e];
+    w[c * e + c] = center;
+    for i in 0..radius {
+        let r = i + 1;
+        w[c * e + (c - r)] = x_rings[i];
+        w[c * e + (c + r)] = x_rings[i];
+        w[(c - r) * e + c] = y_rings[i];
+        w[(c + r) * e + c] = y_rings[i];
+    }
+    StencilKernel::new("star2a", 2, [1, e, e], w)
+}
+
+/// 2D box from an explicit `e×e` weight table.
+fn box2(e: usize, w: Vec<f64>) -> StencilKernel {
+    StencilKernel::new("box2", 2, [1, e, e], w)
+}
+
+/// 1D kernel from explicit weights.
+fn line1(w: Vec<f64>) -> StencilKernel {
+    let e = w.len();
+    StencilKernel::new("line1", 1, [1, 1, e], w)
+}
+
+/// 3D star from per-ring coefficients (six neighbors per ring).
+fn star3(center: f64, rings: &[f64]) -> StencilKernel {
+    let radius = rings.len();
+    let e = 2 * radius + 1;
+    let c = radius;
+    let idx = |z: usize, y: usize, x: usize| (z * e + y) * e + x;
+    let mut w = vec![0.0; e * e * e];
+    w[idx(c, c, c)] = center;
+    for (i, &v) in rings.iter().enumerate() {
+        let r = i + 1;
+        for (z, y, x) in [
+            (c - r, c, c),
+            (c + r, c, c),
+            (c, c - r, c),
+            (c, c + r, c),
+            (c, c, c - r),
+            (c, c, c + r),
+        ] {
+            w[idx(z, y, x)] = v;
+        }
+    }
+    StencilKernel::new("star3", 3, [e, e, e], w)
+}
+
+/// 3D radius-1 kernel from center/face/edge/corner weights (the LBM DdQq
+/// and compact-FD shapes).
+fn cube1(center: f64, face: f64, edge: f64, corner: f64) -> StencilKernel {
+    let mut w = vec![0.0; 27];
+    for dz in 0..3usize {
+        for dy in 0..3usize {
+            for dx in 0..3usize {
+                let dist = usize::from(dz != 1) + usize::from(dy != 1) + usize::from(dx != 1);
+                w[(dz * 3 + dy) * 3 + dx] = match dist {
+                    0 => center,
+                    1 => face,
+                    2 => edge,
+                    _ => corner,
+                };
+            }
+        }
+    }
+    StencilKernel::new("cube1", 3, [3, 3, 3], w)
+}
+
+/// 2D 9-point compact pattern (center / edge / corner weights).
+fn compact9(center: f64, edge: f64, corner: f64) -> StencilKernel {
+    #[rustfmt::skip]
+    let w = vec![
+        corner, edge, corner,
+        edge, center, edge,
+        corner, edge, corner,
+    ];
+    box2(3, w)
+}
+
+/// Classic 4th-order central second-derivative coefficients.
+const FD4: [f64; 2] = [4.0 / 3.0, -1.0 / 12.0];
+/// 6th-order central second-derivative coefficients.
+const FD6: [f64; 3] = [1.5, -0.15, 1.0 / 90.0];
+/// 8th-order central second-derivative coefficients.
+const FD8: [f64; 4] = [8.0 / 5.0, -0.2, 8.0 / 315.0, -1.0 / 560.0];
+
+// ----------------------------- the registry ---------------------------
+
+/// The full 79-kernel registry.
+pub fn all() -> Vec<ZooEntry> {
+    use Domain::*;
+    let mut v: Vec<ZooEntry> = Vec::with_capacity(79);
+    let mut push = |name: &'static str, domain: Domain, build: fn() -> StencilKernel| {
+        v.push(ZooEntry {
+            name,
+            domain,
+            build,
+        })
+    };
+
+    // --- PDE solvers (10) ---
+    push("jacobi-1d-3p", PdeSolvers, || line1(vec![0.25, 0.5, 0.25]));
+    push("jacobi-2d-5p", PdeSolvers, || star2(0.5, &[0.125]));
+    push("jacobi-3d-7p", PdeSolvers, || star3(0.4, &[0.1]));
+    push("poisson-2d-5p", PdeSolvers, || star2(-2.0, &[0.5]));
+    push("poisson-2d-9p", PdeSolvers, || {
+        compact9(-10.0 / 3.0, 2.0 / 3.0, 1.0 / 6.0)
+    });
+    push("laplace-2d-fd4", PdeSolvers, || star2(-5.0, &[FD4[0], FD4[1]]));
+    push("laplace-3d-fd4", PdeSolvers, || star3(-7.5, &[FD4[0], FD4[1]]));
+    push("biharmonic-2d-13p", PdeSolvers, || star2(20.0, &[-8.0, 1.0]));
+    push("helmholtz-2d-5p", PdeSolvers, || star2(-3.9, &[1.0]));
+    push("jacobi-1d-fd8", PdeSolvers, || {
+        line1(vec![
+            FD8[3],
+            FD8[2],
+            FD8[1],
+            FD8[0],
+            -2.0 * (FD8[0] + FD8[1] + FD8[2] + FD8[3]),
+            FD8[0],
+            FD8[1],
+            FD8[2],
+            FD8[3],
+        ])
+    });
+
+    // --- Fluid dynamics (9) ---
+    push("diffusion-2d-5p", FluidDynamics, || star2(0.6, &[0.1]));
+    push("advection-1d-up3", FluidDynamics, || {
+        // 3rd-order upwind: asymmetric support.
+        line1(vec![1.0 / 6.0, -1.0, 0.5, 1.0 / 3.0, 0.0])
+    });
+    push("advdiff-2d-9p", FluidDynamics, || compact9(0.4, 0.1, 0.05));
+    push("burgers-1d-5p", FluidDynamics, || {
+        line1(vec![-0.05, 0.3, 0.5, 0.3, -0.05])
+    });
+    push("vorticity-2d-13p", FluidDynamics, || star2(0.5, &[0.1, 0.025]));
+    push("ns-pressure-2d-5p", FluidDynamics, || star2(-4.0, &[1.0]));
+    push("smagorinsky-2d-9p", FluidDynamics, || compact9(0.5, 0.08, 0.045));
+    push("channel-3d-7p", FluidDynamics, || star3(0.52, &[0.08]));
+    push("jet-2d-25p", FluidDynamics, || {
+        box2(
+            5,
+            (0..25)
+                .map(|i| 1.0 / 25.0 + (i as f64 - 12.0) * 1e-3)
+                .collect(),
+        )
+    });
+
+    // --- Lattice Boltzmann (8) ---
+    push("lbm-d2q5", LatticeBoltzmann, || star2(1.0 / 3.0, &[1.0 / 6.0]));
+    push("lbm-d2q9", LatticeBoltzmann, || {
+        compact9(4.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0)
+    });
+    push("lbm-d3q7", LatticeBoltzmann, || star3(0.25, &[0.125]));
+    push("lbm-d3q15", LatticeBoltzmann, || {
+        cube1(2.0 / 9.0, 1.0 / 9.0, 0.0, 1.0 / 72.0)
+    });
+    push("lbm-d3q19", LatticeBoltzmann, || {
+        cube1(1.0 / 3.0, 1.0 / 18.0, 1.0 / 36.0, 0.0)
+    });
+    push("lbm-d3q27", LatticeBoltzmann, || {
+        cube1(8.0 / 27.0, 2.0 / 27.0, 1.0 / 54.0, 1.0 / 216.0)
+    });
+    push("lbm-d2q9-mrt", LatticeBoltzmann, || compact9(0.5, 0.075, 0.05));
+    push("lbm-thermal-d2q5", LatticeBoltzmann, || star2(0.4, &[0.15]));
+
+    // --- Phase field (8) ---
+    push("allen-cahn-2d-5p", PhaseField, || star2(0.52, &[0.12]));
+    push("allen-cahn-3d-7p", PhaseField, || star3(0.46, &[0.09]));
+    push("cahn-hilliard-2d-13p", PhaseField, || star2(19.0, &[-7.5, 0.875]));
+    push("cahn-hilliard-2d-25p", PhaseField, || {
+        box2(5, {
+            let mut w = vec![0.005; 25];
+            w[12] = 0.88;
+            for i in [7, 11, 13, 17] {
+                w[i] = 0.02;
+            }
+            w
+        })
+    });
+    push("grain-growth-2d-9p", PhaseField, || compact9(0.6, 0.075, 0.025));
+    push("dendrite-2d-13p", PhaseField, || star2(0.44, &[0.12, 0.02]));
+    push("spinodal-3d-19p", PhaseField, || cube1(0.4, 0.06, 0.01, 0.0));
+    push("phase-aniso-2d-9p", PhaseField, || {
+        star2_aniso(0.5, &[0.2, 0.0], &[0.05, 0.0])
+    });
+
+    // --- Geophysics / seismic (10) ---
+    push("acoustic-2d-fd4", Geophysics, || star2(-5.0, &[FD4[0], FD4[1]]));
+    push("acoustic-2d-fd8", Geophysics, || {
+        star2(-2.0 * 2.0 * (FD8[0] + FD8[1] + FD8[2] + FD8[3]), &FD8)
+    });
+    push("acoustic-3d-fd4", Geophysics, || star3(-7.5, &[FD4[0], FD4[1]]));
+    push("acoustic-3d-fd6", Geophysics, || {
+        star3(-3.0 * 2.0 * (FD6[0] + FD6[1] + FD6[2]), &FD6)
+    });
+    push("wave-1d-fd8", Geophysics, || {
+        line1(vec![
+            FD8[3],
+            FD8[2],
+            FD8[1],
+            FD8[0],
+            -2.0 * (FD8[0] + FD8[1] + FD8[2] + FD8[3]),
+            FD8[0],
+            FD8[1],
+            FD8[2],
+            FD8[3],
+        ])
+    });
+    push("elastic-2d-9p", Geophysics, || compact9(-3.0, 0.6, 0.15));
+    push("rtm-2d-fd6", Geophysics, || {
+        star2(-2.0 * 2.0 * (FD6[0] + FD6[1] + FD6[2]), &FD6)
+    });
+    push("tti-2d-25p", Geophysics, || {
+        box2(5, {
+            let mut w = vec![0.01; 25];
+            w[12] = -0.4;
+            w[2] = 0.08;
+            w[22] = 0.08;
+            w[10] = 0.08;
+            w[14] = 0.08;
+            w
+        })
+    });
+    push("vsp-1d-fd4", Geophysics, || {
+        line1(vec![
+            FD4[1],
+            FD4[0],
+            -2.0 * (FD4[0] + FD4[1]),
+            FD4[0],
+            FD4[1],
+        ])
+    });
+    push("overthrust-3d-7p", Geophysics, || star3(-6.0, &[1.0]));
+
+    // --- Weather & climate (8) ---
+    push("shallow-water-2d-5p", WeatherClimate, || star2(0.56, &[0.11]));
+    push("shallow-water-2d-9p", WeatherClimate, || compact9(0.44, 0.11, 0.03));
+    push("barotropic-2d-13p", WeatherClimate, || star2(0.4, &[0.13, 0.02]));
+    push("advection-3d-7p", WeatherClimate, || star3(0.49, &[0.085]));
+    push("coriolis-2d-9p", WeatherClimate, || {
+        // Rotationally asymmetric weights.
+        box2(3, vec![0.02, 0.1, 0.05, 0.12, 0.42, 0.08, 0.05, 0.1, 0.06])
+    });
+    push("radiation-1d-5p", WeatherClimate, || {
+        line1(vec![0.05, 0.2, 0.5, 0.2, 0.05])
+    });
+    push("boundary-layer-3d-7p", WeatherClimate, || {
+        // Strong vertical anisotropy (z-diffusion dominates).
+        let e = 3usize;
+        let idx = |z: usize, y: usize, x: usize| (z * e + y) * e + x;
+        let base = star3(0.4, &[0.05]);
+        let mut w = base.weights().to_vec();
+        w[idx(0, 1, 1)] = 0.2;
+        w[idx(2, 1, 1)] = 0.2;
+        StencilKernel::new("boundary-layer-3d-7p", 3, [3, 3, 3], w)
+    });
+    push("monsoon-2d-25p", WeatherClimate, || {
+        box2(
+            5,
+            (0..25)
+                .map(|i| if i == 12 { 0.4 } else { 0.025 })
+                .collect(),
+        )
+    });
+
+    // --- Image processing (10) ---
+    push("gaussian-3x3", ImageProcessing, || compact9(0.25, 0.125, 0.0625));
+    push("gaussian-5x5", ImageProcessing, || {
+        let g = [1.0, 4.0, 6.0, 4.0, 1.0];
+        box2(5, (0..25).map(|i| g[i / 5] * g[i % 5] / 256.0).collect())
+    });
+    push("sobel-x-3x3", ImageProcessing, || {
+        box2(3, vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0])
+    });
+    push("sobel-y-3x3", ImageProcessing, || {
+        box2(3, vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0])
+    });
+    push("laplacian-3x3", ImageProcessing, || compact9(-4.0, 1.0, 0.0));
+    push("sharpen-3x3", ImageProcessing, || compact9(5.0, -1.0, 0.0));
+    push("emboss-3x3", ImageProcessing, || {
+        box2(3, vec![-2.0, -1.0, 0.0, -1.0, 1.0, 1.0, 0.0, 1.0, 2.0])
+    });
+    push("motion-blur-5x5", ImageProcessing, || {
+        // Diagonal-only support: a pattern far from any star/box.
+        box2(
+            5,
+            (0..25)
+                .map(|i| if i / 5 == i % 5 { 0.2 } else { 0.0 })
+                .collect(),
+        )
+    });
+    push("box-blur-7x7", ImageProcessing, || box2(7, vec![1.0 / 49.0; 49]));
+    push("unsharp-5x5", ImageProcessing, || {
+        let g = [1.0, 4.0, 6.0, 4.0, 1.0];
+        box2(
+            5,
+            (0..25)
+                .map(|i| {
+                    let gauss = g[i / 5] * g[i % 5] / 256.0;
+                    if i == 12 {
+                        2.0 - gauss
+                    } else {
+                        -gauss
+                    }
+                })
+                .collect(),
+        )
+    });
+
+    // --- Electromagnetics (8) ---
+    push("fdtd-2d-te-5p", Electromagnetics, || {
+        // Curl update touches 4 off-center points asymmetrically.
+        box2(3, vec![0.0, -0.5, 0.0, -0.5, 1.0, 0.5, 0.0, 0.5, 0.0])
+    });
+    push("fdtd-2d-tm-5p", Electromagnetics, || star2(0.8, &[0.05]));
+    push("fdtd-3d-7p", Electromagnetics, || star3(0.7, &[0.05]));
+    push("mur-abc-1d-3p", Electromagnetics, || line1(vec![0.33, 0.34, 0.33]));
+    push("pml-2d-9p", Electromagnetics, || compact9(0.52, 0.09, 0.03));
+    push("helmholtz-2d-9p", Electromagnetics, || compact9(-2.7, 0.55, 0.125));
+    push("waveguide-2d-13p", Electromagnetics, || {
+        star2(-4.9, &[FD4[0], FD4[1]])
+    });
+    push("maxwell-3d-19p", Electromagnetics, || cube1(0.34, 0.07, 0.0175, 0.0));
+
+    // --- Structural mechanics (8) ---
+    push("elasticity-2d-9p", StructuralMechanics, || {
+        compact9(-2.67, 0.58, 0.085)
+    });
+    push("elasticity-3d-27p", StructuralMechanics, || {
+        cube1(-0.5, 0.1, 0.04, 0.01)
+    });
+    push("plate-bending-13p", StructuralMechanics, || star2(20.0, &[-8.0, 1.0]));
+    push("beam-1d-5p", StructuralMechanics, || {
+        line1(vec![1.0, -4.0, 6.0, -4.0, 1.0])
+    });
+    push("thermal-stress-2d-5p", StructuralMechanics, || {
+        star2(0.55, &[0.1125])
+    });
+    push("vonmises-2d-9p", StructuralMechanics, || compact9(0.48, 0.1, 0.03));
+    push("crack-2d-25p", StructuralMechanics, || {
+        box2(5, {
+            let mut w = vec![0.0; 25];
+            w[12] = 0.5;
+            for i in [6, 8, 16, 18, 2, 10, 14, 22] {
+                w[i] = 0.0625;
+            }
+            w
+        })
+    });
+    push("shell-3d-19p", StructuralMechanics, || cube1(0.3, 0.08, 0.0275, 0.0));
+
+    assert_eq!(v.len(), 79, "registry must hold exactly 79 kernels");
+    v
+}
+
+/// Entries of one domain.
+pub fn by_domain(domain: Domain) -> Vec<ZooEntry> {
+    all().into_iter().filter(|e| e.domain == domain).collect()
+}
+
+/// Find a kernel by name.
+pub fn find(name: &str) -> Option<ZooEntry> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_79_kernels_across_9_domains() {
+        let zoo = all();
+        assert_eq!(zoo.len(), 79);
+        let domains: HashSet<_> = zoo.iter().map(|e| e.domain).collect();
+        assert_eq!(domains.len(), 9);
+        for d in Domain::all() {
+            assert!(
+                by_domain(d).len() >= 8,
+                "{} has {} kernels",
+                d.name(),
+                by_domain(d).len()
+            );
+        }
+    }
+
+    #[test]
+    fn names_unique_and_kernels_buildable() {
+        let zoo = all();
+        let names: HashSet<_> = zoo.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), 79, "duplicate kernel names");
+        for e in &zoo {
+            let k = e.kernel();
+            assert!(k.points() > 0, "{} has no points", e.name);
+            assert_eq!(k.name(), e.name);
+            let [ez, ey, ex] = k.extent();
+            assert!(ez * ey * ex >= k.points());
+        }
+    }
+
+    #[test]
+    fn structural_diversity() {
+        let zoo = all();
+        let kernels: Vec<_> = zoo.iter().map(|e| e.kernel()).collect();
+        assert!(kernels.iter().any(|k| k.dims() == 1));
+        assert!(kernels.iter().any(|k| k.dims() == 2));
+        assert!(kernels.iter().any(|k| k.dims() == 3));
+        // Sparse (star-like) and dense (box-like) bounding boxes.
+        assert!(kernels.iter().any(|k| k.bounding_box_sparsity() > 0.5));
+        assert!(kernels.iter().any(|k| k.bounding_box_sparsity() == 0.0));
+        // Radii 1 through ≥3.
+        assert!(kernels.iter().any(|k| k.extent()[2] >= 7));
+        let pts: Vec<_> = kernels.iter().map(|k| k.points()).collect();
+        assert!(pts.iter().min().unwrap() <= &3);
+        assert!(pts.iter().max().unwrap() >= &27);
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("lbm-d2q9").is_some());
+        assert!(find("acoustic-2d-fd8").is_some());
+        assert!(find("nonexistent").is_none());
+        assert_eq!(
+            find("gaussian-3x3").unwrap().domain,
+            Domain::ImageProcessing
+        );
+    }
+
+    #[test]
+    fn fd_kernels_sum_near_zero() {
+        // Laplacian-type FD kernels must be zero-sum (constant fields are
+        // in their null space).
+        for name in [
+            "acoustic-2d-fd8",
+            "acoustic-3d-fd6",
+            "wave-1d-fd8",
+            "beam-1d-5p",
+        ] {
+            let k = find(name).unwrap().kernel();
+            let s: f64 = k.weights().iter().sum();
+            assert!(s.abs() < 1e-9, "{name}: sum {s}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Inside Automatic Kernel Generation: watch the layout explorer sweep
+//! the `(r1, r2)` space (Equation 11), compare matching strategies, and
+//! dump the generated CUDA kernel.
+//!
+//! ```sh
+//! cargo run --release --example layout_explorer
+//! ```
+
+use sparstencil::convert::Strategy;
+use sparstencil::layout::{self, ExecMode};
+use sparstencil::prelude::*;
+
+fn main() {
+    let kernel = StencilKernel::box2d49p();
+    let shape = [1, 2054, 2054];
+    let gpu = GpuConfig::a100();
+    let frag = FragmentShape::sparse_fp16();
+
+    println!("== layout exploration for {} on {} ==\n", kernel.name(), gpu.name);
+    let exploration = layout::explore(
+        &kernel,
+        shape,
+        frag,
+        ExecMode::SparseTcu,
+        Precision::Fp16,
+        &gpu,
+        8,
+    );
+
+    println!("  (r1,r2)   m'   k'->k''   N_MMA      T_compute  T_memory   T_total");
+    println!("  -------   --   -------   --------   ---------  --------   -------");
+    let mut shown = 0;
+    for e in &exploration.evaluated {
+        if e.geom.r1 % 2 == 0 && e.geom.r2 % 2 == 0 || (e.geom.r1, e.geom.r2) == exploration.best {
+            let marker = if (e.geom.r1, e.geom.r2) == exploration.best { " <-- best" } else { "" };
+            println!(
+                "  ({:>2},{:>2})   {:>3}   {:>3}->{:<3}   {:>8}   {:>7.3}ms  {:>7.3}ms  {:>6.3}ms{marker}",
+                e.geom.r1, e.geom.r2, e.geom.m_prime, e.geom.k_prime, e.geom.k_logical,
+                e.geom.n_mma, e.t_compute * 1e3, e.t_memory * 1e3, e.t_total * 1e3
+            );
+            shown += 1;
+        }
+    }
+    println!("  ({} of {} candidates shown)\n", shown, exploration.evaluated.len());
+
+    // Matching strategies: Algorithm 1 vs the Blossom exact solver.
+    println!("== matching strategies at the chosen layout ==\n");
+    let (r1, r2) = exploration.best;
+    for (label, strategy) in [("hierarchical (Alg. 1)", Strategy::Hierarchical),
+                              ("blossom (exact)", Strategy::Blossom)] {
+        let [_, ey, ex] = kernel.extent();
+        let plan = sparstencil::crush::CrushPlan::new(ey, ex, r1, r2);
+        let a = sparstencil::crush::build_a_prime(&kernel.slice2d(0), &plan);
+        let t0 = std::time::Instant::now();
+        let conv = sparstencil::convert::convert(&a, &plan, strategy);
+        let dt = t0.elapsed();
+        println!(
+            "  {label:<22} pads: {:>3}   k'': {:>4}   time: {:?}",
+            conv.pad_count,
+            conv.k_converted(),
+            dt
+        );
+    }
+
+    // Compile with the winning configuration and emit CUDA.
+    println!("\n== generated kernel (head) ==\n");
+    let exec = Executor::<f32>::new(&kernel, [1, 262, 262], &Options::default()).unwrap();
+    for line in exec.cuda_source().lines().take(14) {
+        println!("  {line}");
+    }
+    println!("  ...");
+}

@@ -1,0 +1,98 @@
+//! Geophysics: 3D acoustic wave propagation with a 4th-order
+//! finite-difference Laplacian on the sparse-TCU pipeline.
+//!
+//! Second-order-in-time wave equation, `p_next = 2p − p_prev + c²Δt² ∇²p`,
+//! where the ∇² stencil (the zoo's `acoustic-3d-fd4`, a radius-2 3D star)
+//! runs through SparStencil and the leapfrog update happens on the host —
+//! the standard split in production RTM codes. A point source is injected
+//! at the center; we track the expanding wavefront radius.
+//!
+//! ```sh
+//! cargo run --release --example seismic_wave
+//! ```
+
+use sparstencil::prelude::*;
+
+fn main() {
+    let laplacian = sparstencil_zoo::find("acoustic-3d-fd4")
+        .expect("zoo kernel")
+        .kernel();
+    let n = 48;
+    let shape = [n, n, n];
+    let c2dt2 = 0.05f32; // c²Δt² (stability-safe for this operator)
+
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let exec = Executor::<f32>::new(&laplacian, shape, &opts).expect("compile ∇²");
+    println!("== 3D acoustic wave (FD4 star, {} points) ==\n", laplacian.points());
+    println!(
+        "grid {n}³ | layout ({}, {}) | operand k'' = {} | strategy {}",
+        exec.plan().plan.r1,
+        exec.plan().plan.r2,
+        exec.plan().geom.k_logical,
+        exec.plan().strategy_used
+    );
+
+    // Ricker-ish point source at the center.
+    let mut p = Grid::<f32>::zeros_3d(n, n, n);
+    let c = n / 2;
+    p.set(c, c, c, 1.0);
+    let mut p_prev = p.clone();
+
+    println!("\n  step   wavefront radius (cells)   max |p|");
+    println!("  ----   ------------------------   -------");
+    for step in 1..=10 {
+        // ∇²p through the sparse-TCU pipeline. The valid-region output is
+        // anchored at the kernel corner: output (z,y,x) holds the
+        // Laplacian centred at (z+2, y+2, x+2) for this radius-2 star.
+        let (lap, _) = exec.run(&p, 1);
+        let r = 2usize;
+        let mut p_next = p.clone();
+        for z in r..n - r {
+            for y in r..n - r {
+                for x in r..n - r {
+                    let lap_v = lap.get(z - r, y - r, x - r);
+                    let v = 2.0 * p.get(z, y, x) - p_prev.get(z, y, x) + c2dt2 * lap_v;
+                    p_next.set(z, y, x, v);
+                }
+            }
+        }
+        p_prev = p;
+        p = p_next;
+
+        // Wavefront: farthest cell with non-negligible amplitude.
+        let mut radius = 0f64;
+        let mut maxamp = 0f32;
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let a = p.get(z, y, x).abs();
+                    maxamp = maxamp.max(a);
+                    if a > 1e-4 {
+                        let d = (((z as f64 - c as f64).powi(2)
+                            + (y as f64 - c as f64).powi(2)
+                            + (x as f64 - c as f64).powi(2))
+                        .sqrt())
+                        .ceil();
+                        radius = radius.max(d);
+                    }
+                }
+            }
+        }
+        if step % 2 == 0 {
+            println!("  {step:>4}   {radius:>24.0}   {maxamp:>7.4}");
+        }
+    }
+
+    let (_, stats) = exec.run(&p, 4);
+    println!(
+        "\n  pipeline stats (4 Laplacians): {:.1} GStencil/s, {} MMAs, occupancy {:.0}%",
+        stats.gstencil_per_sec,
+        stats.counters.n_mma(),
+        stats.occupancy * 100.0
+    );
+    let err = exec.verify(&p, 1);
+    println!("  Laplacian verification vs reference: {err:.2e}");
+}

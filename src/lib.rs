@@ -1,0 +1,19 @@
+//! Umbrella crate for the SparStencil workspace.
+//!
+//! This crate hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! - [`sparstencil`] — the SparStencil pipeline (the paper's contribution).
+//! - [`sparstencil_mat`] — matrix substrate (dense, 2:4, staircase, fp16).
+//! - [`sparstencil_graph`] — conflict graphs and matching algorithms.
+//! - [`sparstencil_tcu`] — the sparse Tensor Core simulator.
+//! - [`sparstencil_zoo`] — 79 real-world stencil kernels over 9 domains.
+//! - [`sparstencil_baselines`] — state-of-the-art baseline mappings.
+
+pub use sparstencil;
+pub use sparstencil_baselines;
+pub use sparstencil_graph;
+pub use sparstencil_mat;
+pub use sparstencil_tcu;
+pub use sparstencil_zoo;

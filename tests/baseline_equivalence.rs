@@ -1,0 +1,170 @@
+//! Baselines compute the same stencils: every mapping is performance
+//! engineering, not arithmetic — results must agree with SparStencil's.
+
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::prelude::{Grid, Precision, StencilKernel};
+use sparstencil_baselines::all_baselines;
+use sparstencil_mat::half::verify_tolerance;
+use sparstencil_tcu::GpuConfig;
+
+#[test]
+fn all_baselines_agree_with_sparstencil() {
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 44, 44];
+    let input = Grid::<f32>::smooth_random(2, shape);
+
+    let spar = Executor::<f32>::new(
+        &kernel,
+        shape,
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let (spar_out, _) = spar.run(&input, 1);
+    let spar64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| spar_out.get(z, y, x) as f64);
+
+    for baseline in all_baselines() {
+        let out = baseline.execute(&kernel, &input, 1);
+        let out64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| out.get(z, y, x) as f64);
+        let diff = out64.max_rel_diff_interior(&spar64, &kernel);
+        // Both sides carry FP16 rounding; allow twice the one-sided band.
+        assert!(
+            diff <= 2.0 * verify_tolerance(Precision::Fp16),
+            "{} diverges from SparStencil by {diff:.3e}",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn baseline_models_cover_the_benchmark_matrix() {
+    let gpu = GpuConfig::a100();
+    let kernels = [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d49p(),
+        StencilKernel::heat3d(),
+        StencilKernel::heat1d(),
+    ];
+    for b in all_baselines() {
+        for k in &kernels {
+            let shape = match k.dims() {
+                1 => [1, 1, 100_000],
+                2 => [1, 1030, 1030],
+                _ => [130, 130, 130],
+            };
+            let s = b.model(k, shape, 10, Precision::Fp16, &gpu);
+            let stats = s.unwrap_or_else(|| panic!("{} refused {}", b.name(), k.name()));
+            assert!(
+                stats.gstencil_per_sec.is_finite() && stats.gstencil_per_sec > 0.0,
+                "{} on {}: bad throughput",
+                b.name(),
+                k.name()
+            );
+            assert!(stats.total_seconds > 0.0);
+        }
+    }
+}
+
+#[test]
+fn fp64_support_matrix_matches_paper() {
+    // Table 3 lists AMOS, cuDNN, DRStencil, ConvStencil (and SparStencil);
+    // TCStencil is absent — it is FP16-only.
+    let gpu = GpuConfig::a100();
+    let k = StencilKernel::heat2d();
+    for b in all_baselines() {
+        let s = b.model(&k, [1, 1030, 1030], 5, Precision::Fp64, &gpu);
+        if b.name() == "TCStencil" {
+            assert!(s.is_none(), "TCStencil must refuse FP64");
+        } else {
+            assert!(s.is_some(), "{} must support FP64", b.name());
+        }
+    }
+}
+
+#[test]
+fn headline_orderings_hold_at_paper_scale() {
+    // The reproduction's "shape" claims, pinned as tests:
+    // on Box-2D49P at 10240² FP16, SparStencil beats ConvStencil, which
+    // beats TCStencil and cuDNN; AMOS is last among TCU systems.
+    let gpu = GpuConfig::a100();
+    let kernel = StencilKernel::box2d49p();
+    let shape = [1, 10_246, 10_246];
+    let iters = 100;
+
+    let get = |name: &str| -> f64 {
+        all_baselines()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .unwrap()
+            .model(&kernel, shape, iters, Precision::Fp16, &gpu)
+            .unwrap()
+            .gstencil_per_sec
+    };
+    let spar = {
+        let exec = Executor::<f32>::new(
+            &kernel,
+            [1, 262, 262],
+            &Options {
+                gpu: gpu.clone(),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        exec.run_modelled(shape, iters).gstencil_per_sec
+    };
+
+    let conv = get("ConvStencil");
+    let tc = get("TCStencil");
+    let cudnn = get("cuDNN");
+    let amos = get("AMOS");
+    let dr = get("DRStencil");
+
+    assert!(spar > conv, "SparStencil {spar:.1} vs ConvStencil {conv:.1}");
+    assert!(conv > tc, "ConvStencil {conv:.1} vs TCStencil {tc:.1}");
+    assert!(tc > cudnn, "TCStencil {tc:.1} vs cuDNN {cudnn:.1}");
+    assert!(cudnn > amos, "cuDNN {cudnn:.1} vs AMOS {amos:.1}");
+    assert!(spar > dr, "SparStencil {spar:.1} vs DRStencil {dr:.1}");
+    // Abstract headline band: 2.89–60.35× over cuDNN.
+    let vs_cudnn = spar / cudnn;
+    assert!(
+        vs_cudnn > 2.89,
+        "speedup vs cuDNN {vs_cudnn:.2} below paper band"
+    );
+}
+
+#[test]
+fn fp64_table3_ordering() {
+    let gpu = GpuConfig::a100();
+    let kernel = StencilKernel::box2d49p();
+    let shape = [1, 10_246, 10_246];
+    let get = |name: &str| -> f64 {
+        all_baselines()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .unwrap()
+            .model(&kernel, shape, 50, Precision::Fp64, &gpu)
+            .unwrap()
+            .gflops_per_sec
+    };
+    let spar = {
+        let exec = Executor::<f64>::new(
+            &kernel,
+            [1, 262, 262],
+            &Options {
+                precision: Precision::Fp64,
+                mode: sparstencil::layout::ExecMode::DenseTcu,
+                gpu: gpu.clone(),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        exec.run_modelled(shape, 50).gflops_per_sec
+    };
+    assert!(spar >= get("ConvStencil"));
+    assert!(spar > get("DRStencil"));
+    assert!(spar > get("cuDNN"));
+    assert!(get("cuDNN") > get("AMOS"));
+}

@@ -1,0 +1,206 @@
+//! Cross-crate integration: the full SparStencil pipeline against the
+//! scalar reference for every Table-2-class kernel, every execution mode,
+//! and multi-iteration runs.
+
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::prelude::{Grid, Precision, StencilKernel};
+use sparstencil_mat::half::verify_tolerance;
+
+fn verify(kernel: &StencilKernel, shape: [usize; 3], opts: &Options, iters: usize) {
+    let exec = Executor::<f32>::new(kernel, shape, opts)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", kernel.name()));
+    let input = Grid::<f32>::smooth_random(kernel.dims(), shape);
+    let err = exec.verify(&input, iters);
+    let tol = verify_tolerance(opts.precision) * iters as f64;
+    assert!(
+        err <= tol,
+        "{}: rel err {err:.3e} > tol {tol:.1e} (mode {:?})",
+        kernel.name(),
+        opts.mode
+    );
+}
+
+#[test]
+fn table2_kernels_sparse_mode() {
+    for kernel in [
+        StencilKernel::heat1d(),
+        StencilKernel::onedim5p(),
+        StencilKernel::heat2d(),
+        StencilKernel::box2d9p(),
+        StencilKernel::star2d13p(),
+        StencilKernel::box2d49p(),
+    ] {
+        let shape = if kernel.dims() == 1 {
+            [1, 1, 600]
+        } else {
+            [1, 52, 56]
+        };
+        verify(&kernel, shape, &Options::default(), 1);
+    }
+}
+
+#[test]
+fn table2_kernels_3d_sparse_mode() {
+    for kernel in [StencilKernel::heat3d(), StencilKernel::box3d27p()] {
+        verify(
+            &kernel,
+            [14, 24, 24],
+            &Options {
+                layout: Some((4, 4)),
+                ..Options::default()
+            },
+            1,
+        );
+    }
+}
+
+#[test]
+fn table2_kernels_dense_mode() {
+    for kernel in [StencilKernel::heat2d(), StencilKernel::box2d49p()] {
+        verify(
+            &kernel,
+            [1, 50, 50],
+            &Options {
+                mode: ExecMode::DenseTcu,
+                layout: Some((4, 2)),
+                ..Options::default()
+            },
+            1,
+        );
+    }
+}
+
+#[test]
+fn fp64_dense_pipeline_tight_tolerance() {
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 40, 44];
+    let opts = Options {
+        precision: Precision::Fp64,
+        mode: ExecMode::DenseTcu,
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let exec = Executor::<f64>::new(&kernel, shape, &opts).unwrap();
+    let input = Grid::<f64>::smooth_random(2, shape);
+    let err = exec.verify(&input, 2);
+    assert!(err < 1e-12, "fp64 err {err:.3e}");
+}
+
+#[test]
+fn multi_iteration_stability() {
+    verify(
+        &StencilKernel::heat2d(),
+        [1, 64, 64],
+        &Options::default(),
+        5,
+    );
+}
+
+#[test]
+fn temporal_fusion_matches_stepped_reference() {
+    let kernel = StencilKernel::heat2d();
+    let fused = kernel.temporal_fusion(3);
+    // One fused application ≡ three plain steps (checked in the fused
+    // kernel's interior) through the full pipeline.
+    verify(
+        &fused,
+        [1, 64, 64],
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+        1,
+    );
+}
+
+#[test]
+fn tf32_precision_mode() {
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 48, 48];
+    let opts = Options {
+        precision: Precision::Tf32,
+        ..Options::default()
+    };
+    verify(&kernel, shape, &opts, 1);
+}
+
+#[test]
+fn blossom_strategy_end_to_end() {
+    let opts = Options {
+        strategy: sparstencil::convert::Strategy::Blossom,
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    verify(&StencilKernel::star2d13p(), [1, 52, 52], &opts, 1);
+}
+
+#[test]
+fn non_divisible_grids_edge_tiles() {
+    // Valid extents deliberately not divisible by (r1, r2): edge tiles
+    // exercise the clamped gather and masked scatter paths.
+    let kernel = StencilKernel::box2d9p();
+    for shape in [[1, 37, 41], [1, 35, 53], [1, 43, 39]] {
+        verify(
+            &kernel,
+            shape,
+            &Options {
+                layout: Some((4, 4)),
+                ..Options::default()
+            },
+            1,
+        );
+    }
+}
+
+#[test]
+fn one_point_kernel_degenerate() {
+    let kernel = StencilKernel::new("identity", 2, [1, 1, 1], vec![1.0]);
+    verify(
+        &kernel,
+        [1, 33, 33],
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+        1,
+    );
+}
+
+#[test]
+fn bf16_precision_mode() {
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 44, 44];
+    let opts = Options {
+        precision: Precision::Bf16,
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    verify(&kernel, shape, &opts, 1);
+}
+
+#[test]
+fn projected_fp64_sparse_hardware_compiles_and_verifies() {
+    // §4.7 projection: the hypothetical FP64-sparse part accepts
+    // SparseTcu + Fp64, and the pipeline stays numerically exact.
+    use sparstencil_tcu::GpuConfig;
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 40, 44];
+    let opts = Options {
+        precision: Precision::Fp64,
+        gpu: GpuConfig::future_fp64_sparse(),
+        layout: Some((4, 2)),
+        ..Options::default()
+    };
+    let exec = Executor::<f64>::new(&kernel, shape, &opts).unwrap();
+    let input = Grid::<f64>::smooth_random(2, shape);
+    let err = exec.verify(&input, 2);
+    assert!(err < 1e-12, "fp64 sparse err {err:.3e}");
+    // And on the A100 the same options are rejected.
+    let a100_opts = Options {
+        gpu: sparstencil_tcu::GpuConfig::a100(),
+        ..opts
+    };
+    assert!(Executor::<f64>::new(&kernel, shape, &a100_opts).is_err());
+}

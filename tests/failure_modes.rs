@@ -1,0 +1,182 @@
+//! Failure injection: every documented error path fires, and degenerate
+//! configurations behave sanely instead of corrupting results.
+
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::{compile, CompileError, Options};
+use sparstencil::prelude::{Grid, Precision, StencilKernel};
+use sparstencil_tcu::FragmentShape;
+
+#[test]
+fn kernel_larger_than_grid() {
+    let k = StencilKernel::box2d49p();
+    assert_eq!(
+        compile::<f32>(&k, [1, 5, 100], &Options::default()).unwrap_err(),
+        CompileError::KernelTooLarge { axis: 1 }
+    );
+    assert_eq!(
+        compile::<f32>(&k, [1, 100, 5], &Options::default()).unwrap_err(),
+        CompileError::KernelTooLarge { axis: 2 }
+    );
+}
+
+#[test]
+fn sparse_fp64_refused_with_clear_error() {
+    let k = StencilKernel::heat2d();
+    let err = compile::<f64>(
+        &k,
+        [1, 40, 40],
+        &Options {
+            precision: Precision::Fp64,
+            ..Options::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        CompileError::SparseUnsupported {
+            precision: Precision::Fp64
+        }
+    );
+    assert!(err.to_string().contains("FP64"));
+}
+
+#[test]
+fn fragment_mode_mismatch_both_directions() {
+    let k = StencilKernel::heat2d();
+    for (frag, mode) in [
+        (FragmentShape::dense_fp16(), ExecMode::SparseTcu),
+        (FragmentShape::sparse_fp16(), ExecMode::DenseTcu),
+    ] {
+        let err = compile::<f32>(
+            &k,
+            [1, 40, 40],
+            &Options {
+                frag: Some(frag),
+                mode,
+                ..Options::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CompileError::FragmentModeMismatch);
+    }
+}
+
+#[test]
+fn grid_exactly_kernel_sized_single_output() {
+    // Valid region collapses to one point: the smallest legal problem.
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 3, 3];
+    let exec = Executor::<f32>::new(
+        &k,
+        shape,
+        &Options {
+            layout: Some((1, 1)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let g = Grid::<f32>::from_fn_3d(2, shape, |_, _, _| 1.0);
+    let (out, stats) = exec.run(&g, 1);
+    assert!((out.get(0, 0, 0) - 1.0).abs() < 1e-2, "mean of ones is one");
+    assert!(stats.counters.n_mma() >= 1);
+}
+
+#[test]
+fn zero_iterations_is_identity_modulo_quantization() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 34, 34];
+    let exec = Executor::<f32>::new(&k, shape, &Options::default()).unwrap();
+    let g = Grid::<f32>::smooth_random(2, shape);
+    let (out, stats) = exec.run(&g, 0);
+    assert_eq!(stats.counters.n_mma(), 0);
+    // Output equals the fp16-quantized input.
+    let mut expect = g.clone();
+    expect.quantize(Precision::Fp16);
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn layout_exceeding_valid_region_still_correct() {
+    // r1/r2 larger than the valid output extent: everything lands in one
+    // partial tile; gathers clamp, scatters mask.
+    let k = StencilKernel::heat2d();
+    let shape = [1, 8, 8]; // valid region 6×6, layout 8×8
+    let exec = Executor::<f32>::new(
+        &k,
+        shape,
+        &Options {
+            layout: Some((8, 8)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let g = Grid::<f32>::smooth_random(2, shape);
+    let err = exec.verify(&g, 1);
+    assert!(err < 5e-2, "oversized tile err {err}");
+}
+
+#[test]
+fn asymmetric_kernel_no_symmetry_assumptions() {
+    // Sobel-x is antisymmetric; any accidental transpose/flip in the
+    // layout pipeline would be caught here.
+    let k = sparstencil_zoo::find("sobel-x-3x3").unwrap().kernel();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(
+        &k,
+        shape,
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let g = Grid::<f32>::smooth_random(2, shape);
+    let err = exec.verify(&g, 1);
+    assert!(err < 5e-1, "sobel err {err}"); // |weights| sum to 8
+}
+
+#[test]
+fn diagonal_kernel_stresses_conversion() {
+    // Diagonal-only support produces a conflict structure unlike any
+    // star/box; the Auto strategy must still reach a valid 2:4 layout.
+    let k = sparstencil_zoo::find("motion-blur-5x5").unwrap().kernel();
+    let shape = [1, 44, 44];
+    let exec = Executor::<f32>::new(
+        &k,
+        shape,
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let g = Grid::<f32>::smooth_random(2, shape);
+    let err = exec.verify(&g, 1);
+    assert!(err < 5e-2, "diagonal err {err}");
+}
+
+#[test]
+fn parser_rejects_conflicting_forms() {
+    let bad = "kernel x\ndims 2\nextent 3 3\nweights\n1 1 1\n1 1 1\n1 1 1\npoint 0 0 0 1.0\n";
+    assert!(sparstencil::parse::parse_kernel(bad).is_err());
+}
+
+#[test]
+fn two_four_compress_rejects_dense_rows() {
+    use sparstencil_mat::{DenseMatrix, TwoFourMatrix};
+    let dense = DenseMatrix::<f32>::from_fn(2, 8, |_, _| 1.0);
+    assert!(TwoFourMatrix::compress(&dense).is_err());
+}
+
+#[test]
+fn engine_rejects_malformed_fragments() {
+    use sparstencil_mat::DenseMatrix;
+    use sparstencil_tcu::{fragment::dense_fragment_mma, FragmentShape};
+    let frag = FragmentShape::dense_fp16();
+    let a = DenseMatrix::<f32>::zeros(16, 8); // wrong depth
+    let b = DenseMatrix::<f32>::zeros(16, 8);
+    let mut c = DenseMatrix::<f32>::zeros(16, 8);
+    let r = std::panic::catch_unwind(move || dense_fragment_mma(frag, &a, &b, &mut c));
+    assert!(r.is_err());
+}

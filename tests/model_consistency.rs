@@ -1,0 +1,165 @@
+//! The analytic model and the functional executor must agree exactly:
+//! Equation-9 op counts, traffic volumes, and overhead decay.
+
+use sparstencil::exec;
+use sparstencil::layout::ExecMode;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::{compile, Options};
+use sparstencil::prelude::{Grid, StencilKernel};
+
+#[test]
+fn counted_equals_modelled_across_kernels_and_layouts() {
+    for kernel in [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d49p(),
+        StencilKernel::star2d13p(),
+    ] {
+        for layout in [(2, 2), (4, 4), (8, 2)] {
+            let shape = [1, 70, 74];
+            let opts = Options {
+                layout: Some(layout),
+                ..Options::default()
+            };
+            let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+            let g = Grid::<f32>::smooth_random(2, shape);
+            let (_, functional) = exec::run(&plan, &g, 2);
+            let modelled = exec::model_run(&plan, shape, 2);
+            assert_eq!(
+                functional.counters.n_mma(),
+                modelled.counters.n_mma(),
+                "{} {layout:?}: MMA count",
+                kernel.name()
+            );
+            assert_eq!(
+                functional.counters.global_bytes(),
+                modelled.counters.global_bytes(),
+                "{} {layout:?}: global traffic",
+                kernel.name()
+            );
+            assert_eq!(
+                functional.counters.shared_bytes(),
+                modelled.counters.shared_bytes(),
+                "{} {layout:?}: shared traffic",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counted_equals_modelled_3d() {
+    let kernel = StencilKernel::heat3d();
+    let shape = [12, 26, 26];
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+    let g = Grid::<f32>::smooth_random(3, shape);
+    let (_, functional) = exec::run(&plan, &g, 1);
+    let modelled = exec::model_run(&plan, shape, 1);
+    assert_eq!(functional.counters.n_mma(), modelled.counters.n_mma());
+    assert_eq!(functional.counters.n_mma(), plan.geom.n_mma);
+}
+
+#[test]
+fn dense_mode_counts_match_too() {
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 50, 50];
+    let opts = Options {
+        mode: ExecMode::DenseTcu,
+        layout: Some((4, 2)),
+        ..Options::default()
+    };
+    let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+    let g = Grid::<f32>::smooth_random(2, shape);
+    let (_, functional) = exec::run(&plan, &g, 3);
+    assert_eq!(functional.counters.n_mma(), plan.geom.n_mma * 3);
+    assert_eq!(functional.counters.sparse_mma_count, 0);
+}
+
+#[test]
+fn sparse_mode_halves_k_strips_vs_dense() {
+    // The mechanism behind the paper's "+PIT" gain: at the same layout,
+    // the sparse plan issues at most ~half the fragment ops of the dense
+    // plan (compressed depth covers 2× columns per op), modulo the
+    // conversion's zero-column padding.
+    let kernel = StencilKernel::box2d49p();
+    let shape = [1, 70, 70];
+    let dense = compile::<f32>(
+        &kernel,
+        shape,
+        &Options {
+            mode: ExecMode::DenseTcu,
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let sparse = compile::<f32>(
+        &kernel,
+        shape,
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let ratio = dense.geom.n_mma as f64 / sparse.geom.n_mma as f64;
+    assert!(
+        (1.4..=2.2).contains(&ratio),
+        "dense/sparse op ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn modelled_time_scales_linearly_with_iterations() {
+    let kernel = StencilKernel::heat2d();
+    let exec = Executor::<f32>::new(&kernel, [1, 130, 130], &Options::default()).unwrap();
+    let one = exec.run_modelled([1, 1030, 1030], 1);
+    let hundred = exec.run_modelled([1, 1030, 1030], 100);
+    let ratio = hundred.total_seconds / one.total_seconds;
+    assert!(
+        (99.0..=101.0).contains(&ratio),
+        "iteration scaling {ratio:.2}"
+    );
+}
+
+#[test]
+fn prep_overhead_monotonically_decays() {
+    let exec =
+        Executor::<f32>::new(&StencilKernel::box2d49p(), [1, 130, 130], &Options::default())
+            .unwrap();
+    let profile = exec.overhead_profile(&[1, 10, 100, 1000, 10000]);
+    let totals: Vec<f64> = profile
+        .iter()
+        .map(|p| p.transform_pct + p.metadata_pct + p.lut_pct)
+        .collect();
+    for w in totals.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "overhead must decay: {totals:?}");
+    }
+    assert!(totals[0] > totals[4] * 10.0, "decay too shallow: {totals:?}");
+}
+
+#[test]
+fn cuda_source_emitted_for_all_modes() {
+    let kernel = StencilKernel::box2d9p();
+    for (mode, needle) in [
+        (ExecMode::SparseTcu, "mma.sp.sync"),
+        (ExecMode::DenseTcu, "mma.sync"),
+    ] {
+        let exec = Executor::<f32>::new(
+            &kernel,
+            [1, 50, 50],
+            &Options {
+                mode,
+                layout: Some((4, 2)),
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        let src = exec.cuda_source();
+        assert!(src.contains(needle), "{mode:?}: missing {needle}");
+        assert!(src.contains("GATHER_LUT"));
+    }
+}

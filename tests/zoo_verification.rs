@@ -1,0 +1,98 @@
+//! All 79 zoo kernels compile and verify through the full SparStencil
+//! pipeline — the functional backbone of the Figure-10 experiment.
+
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::prelude::{Grid, StencilKernel};
+use sparstencil_mat::half::verify_tolerance;
+use sparstencil_zoo::{all, Domain};
+
+fn shape_for(kernel: &StencilKernel) -> [usize; 3] {
+    let e = kernel.extent();
+    match kernel.dims() {
+        1 => [1, 1, 400 + e[2]],
+        2 => [1, 36 + e[1], 40 + e[2]],
+        _ => [10 + e[0], 16 + e[1], 16 + e[2]],
+    }
+}
+
+/// Tolerance scaled by the kernel's ℓ1 mass (zoo weights are not all
+/// normalized; FP16 error is relative to operand magnitude).
+fn tolerance(kernel: &StencilKernel) -> f64 {
+    let mass: f64 = kernel.weights().iter().map(|w| w.abs()).sum();
+    verify_tolerance(sparstencil_mat::half::Precision::Fp16) * mass.max(1.0)
+}
+
+#[test]
+fn all_79_kernels_verify_sparse() {
+    let mut failures = Vec::new();
+    for entry in all() {
+        let kernel = entry.kernel();
+        let shape = shape_for(&kernel);
+        let opts = Options {
+            layout: Some((4, if kernel.dims() >= 2 { 4 } else { 1 })),
+            ..Options::default()
+        };
+        let exec = match Executor::<f32>::new(&kernel, shape, &opts) {
+            Ok(e) => e,
+            Err(e) => {
+                failures.push(format!("{}: compile error {e}", entry.name));
+                continue;
+            }
+        };
+        let input = Grid::<f32>::smooth_random(kernel.dims(), shape);
+        let err = exec.verify(&input, 1);
+        if err > tolerance(&kernel) {
+            failures.push(format!(
+                "{}: rel err {err:.3e} > {:.1e}",
+                entry.name,
+                tolerance(&kernel)
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "zoo failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn layout_exploration_succeeds_for_every_domain_representative() {
+    // Full layout exploration (not a fixed layout) for one kernel per
+    // domain — exercises the analytic model across pattern families.
+    for domain in Domain::all() {
+        let entry = &sparstencil_zoo::by_domain(domain)[0];
+        let kernel = entry.kernel();
+        let shape = shape_for(&kernel);
+        let exec = Executor::<f32>::new(&kernel, shape, &Options::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let plan = exec.plan();
+        assert!(plan.plan.r1 >= 1 && plan.plan.r2 >= 1);
+        assert_eq!(plan.geom.k_logical % plan.frag.k, 0);
+    }
+}
+
+#[test]
+fn every_kernel_produces_two_four_compatible_operands() {
+    use sparstencil_mat::BitMask;
+    for entry in all() {
+        let kernel = entry.kernel();
+        let shape = shape_for(&kernel);
+        let opts = Options {
+            layout: Some((2, if kernel.dims() >= 2 { 4 } else { 1 })),
+            ..Options::default()
+        };
+        let exec = Executor::<f32>::new(&kernel, shape, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        for slice in &exec.plan().slices {
+            for strip_row in &slice.strips {
+                for op in strip_row {
+                    if let sparstencil::plan::Operand::Sparse(m) = op {
+                        assert!(
+                            BitMask::from_matrix(&m.decompress()).is_two_four_compatible(),
+                            "{}: operand violates 2:4",
+                            entry.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
