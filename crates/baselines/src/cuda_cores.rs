@@ -18,6 +18,7 @@ use sparstencil_tcu::{Counters, GpuConfig};
 /// transits the L1/shared datapath and is charged to the shared-memory
 /// counters. L2/DRAM only see the reuse-filtered stream: roughly the
 /// unique bytes plus a halo overhead.
+#[allow(clippy::too_many_arguments)]
 fn cuda_core_model(
     kernel: &StencilKernel,
     grid_shape: [usize; 3],
@@ -143,8 +144,14 @@ mod tests {
     use super::*;
 
     fn stats(b: &dyn Baseline, kernel: &StencilKernel) -> RunStats {
-        b.model(kernel, [1, 2050, 2050], 10, Precision::Fp16, &GpuConfig::a100())
-            .unwrap()
+        b.model(
+            kernel,
+            [1, 2050, 2050],
+            10,
+            Precision::Fp16,
+            &GpuConfig::a100(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn dense_frag(precision: Precision) -> FragmentShape {
 /// Shared implicit-GEMM counter model. `l2_reuse` controls whether
 /// overlapping im2col windows hit in L2; `mapping_overhead` scales the
 /// fragment-op count for suboptimal tiling.
+#[allow(clippy::too_many_arguments)]
 fn implicit_gemm_model(
     kernel: &StencilKernel,
     grid_shape: [usize; 3],
@@ -155,10 +156,22 @@ mod tests {
         // kernels because im2col traffic scales with the bounding box.
         let gpu = GpuConfig::a100();
         let small = CudnnLike
-            .model(&StencilKernel::heat2d(), [1, 2050, 2050], 10, Precision::Fp64, &gpu)
+            .model(
+                &StencilKernel::heat2d(),
+                [1, 2050, 2050],
+                10,
+                Precision::Fp64,
+                &gpu,
+            )
             .unwrap();
         let large = CudnnLike
-            .model(&StencilKernel::box2d49p(), [1, 2054, 2054], 10, Precision::Fp64, &gpu)
+            .model(
+                &StencilKernel::box2d49p(),
+                [1, 2054, 2054],
+                10,
+                Precision::Fp64,
+                &gpu,
+            )
             .unwrap();
         let per_point_small = small.seconds_per_iter / small.points_per_iter as f64;
         let per_point_large = large.seconds_per_iter / large.points_per_iter as f64;
@@ -174,10 +187,22 @@ mod tests {
         // Box-2D49P but fewer useful flops → lower useful GFlop/s.
         let gpu = GpuConfig::a100();
         let star = CudnnLike
-            .model(&StencilKernel::star2d13p(), [1, 2054, 2054], 10, Precision::Fp64, &gpu)
+            .model(
+                &StencilKernel::star2d13p(),
+                [1, 2054, 2054],
+                10,
+                Precision::Fp64,
+                &gpu,
+            )
             .unwrap();
         let boxk = CudnnLike
-            .model(&StencilKernel::box2d49p(), [1, 2054, 2054], 10, Precision::Fp64, &gpu)
+            .model(
+                &StencilKernel::box2d49p(),
+                [1, 2054, 2054],
+                10,
+                Precision::Fp64,
+                &gpu,
+            )
             .unwrap();
         assert!(star.gflops_per_sec < boxk.gflops_per_sec);
         // Same wall time (same traffic).

@@ -100,9 +100,8 @@ pub(crate) struct Geometry {
 impl Geometry {
     pub(crate) fn of(kernel: &StencilKernel, grid_shape: [usize; 3]) -> Self {
         let [ez, ey, ex] = kernel.extent();
-        let outputs = ((grid_shape[0] - ez + 1)
-            * (grid_shape[1] - ey + 1)
-            * (grid_shape[2] - ex + 1)) as u64;
+        let outputs =
+            ((grid_shape[0] - ez + 1) * (grid_shape[1] - ey + 1) * (grid_shape[2] - ex + 1)) as u64;
         Self {
             outputs,
             grid_points: (grid_shape[0] * grid_shape[1] * grid_shape[2]) as u64,
@@ -158,7 +157,15 @@ mod tests {
         let names: Vec<_> = b.iter().map(|x| x.name()).collect();
         assert_eq!(
             names,
-            vec!["CUDA", "cuDNN", "AMOS", "Brick", "DRStencil", "TCStencil", "ConvStencil"]
+            vec![
+                "CUDA",
+                "cuDNN",
+                "AMOS",
+                "Brick",
+                "DRStencil",
+                "TCStencil",
+                "ConvStencil"
+            ]
         );
     }
 

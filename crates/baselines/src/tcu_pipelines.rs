@@ -195,8 +195,7 @@ mod tests {
         for b in [&TcStencilLike as &dyn Baseline, &ConvStencilLike] {
             let got = b.execute(&k, &input, 1);
             // Against the quantized reference.
-            let mut ref_in =
-                Grid::<f64>::from_fn_3d(2, shape, |z, y, x| input.get(z, y, x) as f64);
+            let mut ref_in = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| input.get(z, y, x) as f64);
             ref_in.quantize(Precision::Fp16);
             let want = sparstencil::reference::apply(&k, &ref_in);
             let got64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| got.get(z, y, x) as f64);

@@ -19,9 +19,7 @@ fn bench_fragment_ops(c: &mut Criterion) {
     g.throughput(Throughput::Elements(dense_frag.executed_flops()));
     g.bench_function("dense_m16n8k16", |bench| {
         let mut cacc = DenseMatrix::zeros(16, 8);
-        bench.iter(|| {
-            dense_fragment_mma(dense_frag, black_box(&a), black_box(&b), &mut cacc)
-        })
+        bench.iter(|| dense_fragment_mma(dense_frag, black_box(&a), black_box(&b), &mut cacc))
     });
 
     let sparse_frag = FragmentShape::sparse_fp16();
@@ -64,5 +62,42 @@ fn bench_executor_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fragment_ops, bench_executor_step);
+/// Optimized engine vs retained naive path on the perf-tracking cases
+/// (2D-5pt at 256², 3D-27pt at 128³): the zero-allocation rewrite must
+/// hold a ≥2× steady-state advantage on the 3D-27pt case. Each
+/// measurement runs several steps so the per-run arena setup amortizes
+/// and the numbers reflect steady-state stepping.
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    const STEPS: usize = 6;
+    let mut g = c.benchmark_group("engine_vs_naive");
+    g.sample_size(10);
+    let cases = [
+        ("2d5pt_256", StencilKernel::heat2d(), [1usize, 256, 256]),
+        ("3d27pt_128", StencilKernel::box3d27p(), [128, 128, 128]),
+    ];
+    for (name, kernel, shape) in cases {
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let grid = Grid::<f32>::smooth_random(kernel.dims(), shape);
+        let cells = (shape[0] * shape[1] * shape[2]) as u64;
+        g.throughput(Throughput::Elements(cells * STEPS as u64));
+        g.bench_function(format!("{name}/optimized"), |bench| {
+            bench.iter(|| exec::run(black_box(&plan), black_box(&grid), STEPS))
+        });
+        g.bench_function(format!("{name}/naive"), |bench| {
+            bench.iter(|| exec::run_naive(black_box(&plan), black_box(&grid), STEPS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fragment_ops,
+    bench_executor_step,
+    bench_engine_vs_naive
+);
 criterion_main!(benches);

@@ -26,7 +26,13 @@ fn main() {
 fn matching_ablation() {
     println!("== Ablation A: Hierarchical (Alg. 1) vs Blossom matching ==\n");
     let mut t = Table::new(&[
-        "kernel", "k'", "pads hier", "pads blossom", "saved", "t hier (µs)", "t blossom (µs)",
+        "kernel",
+        "k'",
+        "pads hier",
+        "pads blossom",
+        "saved",
+        "t hier (µs)",
+        "t blossom (µs)",
     ]);
     let (mut total_h, mut total_b, mut blossom_wins) = (0usize, 0usize, 0usize);
     let mut time_ratio = Vec::new();
@@ -80,10 +86,34 @@ fn flag_ablation() {
     println!("== Ablation B: kernel optimization flags (GStencil/s, FP16) ==\n");
     let mut t = Table::new(&["kernel", "neither", "+LUT", "+DB", "+both", "both/neither"]);
     let variants = [
-        ("neither", OptFlags { lut: false, double_buffer: false }),
-        ("+LUT", OptFlags { lut: true, double_buffer: false }),
-        ("+DB", OptFlags { lut: false, double_buffer: true }),
-        ("+both", OptFlags { lut: true, double_buffer: true }),
+        (
+            "neither",
+            OptFlags {
+                lut: false,
+                double_buffer: false,
+            },
+        ),
+        (
+            "+LUT",
+            OptFlags {
+                lut: true,
+                double_buffer: false,
+            },
+        ),
+        (
+            "+DB",
+            OptFlags {
+                lut: false,
+                double_buffer: true,
+            },
+        ),
+        (
+            "+both",
+            OptFlags {
+                lut: true,
+                double_buffer: true,
+            },
+        ),
     ];
     for b in table2() {
         if b.kernel.dims() == 1 {

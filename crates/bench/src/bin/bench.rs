@@ -1,0 +1,104 @@
+//! Step-throughput benchmark: measures the functional executor's
+//! steady-state cells/second on the two tracking workloads (2D-5pt at
+//! 256², 3D-27pt at 128³), for both the optimized engine (`exec::run`)
+//! and the retained naive reference path (`exec::run_naive`), and
+//! writes `BENCH_step_throughput.json` so successive PRs accumulate a
+//! perf trajectory.
+//!
+//! Usage: `cargo run --release -p sparstencil-bench --bin bench`
+//! (`--iters N` to change the measured step count, default 8).
+
+use sparstencil::exec::{run, run_naive};
+use sparstencil::grid::Grid;
+use sparstencil::plan::{compile, CompiledStencil, Options};
+use sparstencil::stencil::StencilKernel;
+use std::time::Instant;
+
+struct Case {
+    name: &'static str,
+    kernel: StencilKernel,
+    shape: [usize; 3],
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "2d5pt_256x256",
+            kernel: StencilKernel::heat2d(),
+            shape: [1, 256, 256],
+        },
+        Case {
+            name: "3d27pt_128x128x128",
+            kernel: StencilKernel::box3d27p(),
+            shape: [128, 128, 128],
+        },
+    ]
+}
+
+/// Wall-clock cells/second of `f` over `iters` steps (median of 3
+/// repetitions, one untimed warm-up).
+fn measure<F>(plan: &CompiledStencil<f32>, input: &Grid<f32>, iters: usize, f: F) -> f64
+where
+    F: Fn(&CompiledStencil<f32>, &Grid<f32>, usize),
+{
+    f(plan, input, 1); // warm up pool, caches, lazy init
+    let cells = (plan.grid_shape[0] * plan.grid_shape[1] * plan.grid_shape[2]) as f64;
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f(plan, input, iters);
+            cells * iters as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    rates[1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // At least one measured step: zero iterations would make every rate
+    // 0/0 and the emitted speedups NaN (invalid JSON).
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize)
+        .max(1);
+
+    let mut rows = Vec::new();
+    for case in cases() {
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&case.kernel, case.shape, &opts).unwrap();
+        let input = Grid::<f32>::smooth_random(case.kernel.dims(), case.shape);
+
+        let optimized = measure(&plan, &input, iters, |p, g, n| {
+            let _ = run(p, g, n);
+        });
+        let naive = measure(&plan, &input, iters, |p, g, n| {
+            let _ = run_naive(p, g, n);
+        });
+        let speedup = optimized / naive;
+        println!(
+            "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x",
+            case.name, optimized, naive
+        );
+        rows.push(format!(
+            "    {{\"case\": \"{}\", \"iters\": {iters}, \
+             \"optimized_cells_per_sec\": {optimized:.1}, \
+             \"naive_cells_per_sec\": {naive:.1}, \
+             \"speedup\": {speedup:.3}}}",
+            case.name
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"step_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_step_throughput.json", &json).expect("write BENCH_step_throughput.json");
+    println!("wrote BENCH_step_throughput.json");
+}

@@ -18,9 +18,7 @@ use sparstencil_tcu::GpuConfig;
 fn main() {
     let scale = Scale::from_args();
     let gpu = GpuConfig::a100();
-    println!(
-        "== Figure 6: state-of-the-art comparison (FP16, GStencil/s, {scale:?} scale) ==\n"
-    );
+    println!("== Figure 6: state-of-the-art comparison (FP16, GStencil/s, {scale:?} scale) ==\n");
 
     let baselines = all_baselines();
     let mut headers: Vec<&str> = vec!["kernel", "size"];

@@ -4,7 +4,7 @@
 //!   1. CUDA baseline (scalar cores)
 //!   2. + Layout Morphing on **dense** TCUs            (paper: ~1.58×)
 //!   3. + PIT on **sparse** TCUs                        (paper: ~1.22×;
-//!      <1× at small sizes where PIT's memory overhead outweighs it)
+//!        `<1×` at small sizes where PIT's memory overhead outweighs it)
 //!   4. + further optimizations (LUT + double buffering) (paper: ~1.24×)
 
 use sparstencil::layout::ExecMode;
@@ -48,10 +48,24 @@ fn main() {
             .unwrap()
             .gstencil_per_sec;
         let (dense, _) = sparstencil_stats(
-            &kernel, shape, iters, 1, ExecMode::DenseTcu, raw, Precision::Fp16, &gpu,
+            &kernel,
+            shape,
+            iters,
+            1,
+            ExecMode::DenseTcu,
+            raw,
+            Precision::Fp16,
+            &gpu,
         );
         let (sparse, _) = sparstencil_stats(
-            &kernel, shape, iters, 1, ExecMode::SparseTcu, raw, Precision::Fp16, &gpu,
+            &kernel,
+            shape,
+            iters,
+            1,
+            ExecMode::SparseTcu,
+            raw,
+            Precision::Fp16,
+            &gpu,
         );
         let (opt, _) = sparstencil_stats(
             &kernel,

@@ -19,8 +19,8 @@ fn main() {
     for b in table2() {
         let shape = scale.shape(&b);
         let compile_shape = compile_shape_for(&b.kernel, shape);
-        let exec = Executor::<f32>::new(&b.kernel, compile_shape, &Options::default())
-            .expect("compile");
+        let exec =
+            Executor::<f32>::new(&b.kernel, compile_shape, &Options::default()).expect("compile");
         let profile = exec.overhead_profile(&iteration_counts);
 
         println!("-- {} --", b.kernel.name());

@@ -95,7 +95,10 @@ fn main() {
                 let useful = 1e-9 / ev.t_total; // relative scale per point
                 useful * (shape[1] - e + 1) as f64 * (shape[2] - e + 1) as f64
             });
-            println!("\n-- {}: compute density (useful/executed FLOPs) --", kernel.name());
+            println!(
+                "\n-- {}: compute density (useful/executed FLOPs) --",
+                kernel.name()
+            );
             print_heatmap(&kernel, shape, &gpu, |ev| ev.compute_density * 100.0);
         }
     } else {

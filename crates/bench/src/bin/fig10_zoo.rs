@@ -36,8 +36,7 @@ fn shape_for(kernel: &StencilKernel, scale: Scale) -> [usize; 3] {
 /// layout transformation improves — DRAM bytes alone would hide cuDNN's
 /// im2col expansion behind L2 hits.
 fn intensity(stats: &sparstencil::exec::RunStats, kernel: &StencilKernel) -> f64 {
-    let useful =
-        stats.points_per_iter as f64 * kernel.points() as f64 * 2.0 * stats.iters as f64;
+    let useful = stats.points_per_iter as f64 * kernel.points() as f64 * 2.0 * stats.iters as f64;
     useful / stats.counters.global_bytes().max(1) as f64
 }
 
@@ -126,6 +125,11 @@ fn main() {
     );
     println!("\n  per-domain geomean speedup vs ConvStencil:");
     for (d, v) in per_domain {
-        println!("    {:<8} {:.2}x  ({} kernels)", d.name(), geomean(&v), v.len());
+        println!(
+            "    {:<8} {:.2}x  ({} kernels)",
+            d.name(),
+            geomean(&v),
+            v.len()
+        );
     }
 }

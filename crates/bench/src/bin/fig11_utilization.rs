@@ -51,7 +51,8 @@ fn main() {
         "cuDNN",
         "paper Spar",
     ]);
-    let rows: [(&str, fn(&UtilizationReport) -> f64, &str); 6] = [
+    type MetricRow = (&'static str, fn(&UtilizationReport) -> f64, &'static str);
+    let rows: [MetricRow; 6] = [
         ("SM utilization", |u| u.sm_utilization, "74.5"),
         ("occupancy", |u| u.occupancy, "96.9"),
         ("L1/TEX throughput", |u| u.l1_throughput, "64.5"),

@@ -45,17 +45,65 @@ pub fn table2() -> Vec<Benchmark> {
         fuse_small,
     };
     vec![
-        b(StencilKernel::heat1d(), [1, 1, 10_240_000], 10_000, [1, 1, 4096], true),
-        b(StencilKernel::onedim5p(), [1, 1, 10_240_000], 10_000, [1, 1, 4096], true),
-        b(StencilKernel::heat2d(), [1, 10_240, 10_240], 10_240, [1, 258, 258], true),
-        b(StencilKernel::box2d9p(), [1, 10_240, 10_240], 10_240, [1, 258, 258], true),
-        b(StencilKernel::star2d13p(), [1, 10_246, 10_246], 10_240, [1, 262, 262], false),
-        b(StencilKernel::box2d49p(), [1, 10_246, 10_246], 10_240, [1, 262, 262], false),
+        b(
+            StencilKernel::heat1d(),
+            [1, 1, 10_240_000],
+            10_000,
+            [1, 1, 4096],
+            true,
+        ),
+        b(
+            StencilKernel::onedim5p(),
+            [1, 1, 10_240_000],
+            10_000,
+            [1, 1, 4096],
+            true,
+        ),
+        b(
+            StencilKernel::heat2d(),
+            [1, 10_240, 10_240],
+            10_240,
+            [1, 258, 258],
+            true,
+        ),
+        b(
+            StencilKernel::box2d9p(),
+            [1, 10_240, 10_240],
+            10_240,
+            [1, 258, 258],
+            true,
+        ),
+        b(
+            StencilKernel::star2d13p(),
+            [1, 10_246, 10_246],
+            10_240,
+            [1, 262, 262],
+            false,
+        ),
+        b(
+            StencilKernel::box2d49p(),
+            [1, 10_246, 10_246],
+            10_240,
+            [1, 262, 262],
+            false,
+        ),
         // 3D kernels are not fused: folding three steps cubes the stacked
         // operand depth (k'' grows ~e³), which costs more than the three
         // memory passes it saves — the layout cost model agrees.
-        b(StencilKernel::heat3d(), [1024, 1024, 1024], 1024, [34, 66, 66], false),
-        b(StencilKernel::box3d27p(), [1024, 1024, 1024], 1024, [34, 66, 66], false),
+        b(
+            StencilKernel::heat3d(),
+            [1024, 1024, 1024],
+            1024,
+            [34, 66, 66],
+            false,
+        ),
+        b(
+            StencilKernel::box3d27p(),
+            [1024, 1024, 1024],
+            1024,
+            [34, 66, 66],
+            false,
+        ),
     ]
 }
 
@@ -99,6 +147,7 @@ impl Scale {
 /// enough to build quickly) and model at the evaluation shape. Returns
 /// `(stats, fusion_factor)` — GStencil/s must be multiplied by the fusion
 /// factor because one fused application advances `fusion` time steps.
+#[allow(clippy::too_many_arguments)]
 pub fn sparstencil_stats(
     kernel: &StencilKernel,
     eval_shape: [usize; 3],

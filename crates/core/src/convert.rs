@@ -168,7 +168,12 @@ mod tests {
     use crate::crush::build_a_prime;
     use crate::stencil::StencilKernel;
 
-    fn convert_kernel(k: &StencilKernel, r1: usize, r2: usize, s: Strategy) -> (DenseMatrix<f64>, Conversion) {
+    fn convert_kernel(
+        k: &StencilKernel,
+        r1: usize,
+        r2: usize,
+        s: Strategy,
+    ) -> (DenseMatrix<f64>, Conversion) {
         let [_, ky, kx] = k.extent();
         let plan = CrushPlan::new(ky, kx, r1, r2);
         let a = build_a_prime(&k.slice2d(0), &plan);
@@ -247,8 +252,9 @@ mod tests {
         // must clean all of them simultaneously.
         let k = StencilKernel::heat3d();
         let plan = CrushPlan::new(3, 3, 4, 4);
-        let slices: Vec<DenseMatrix<f64>> =
-            (0..3).map(|dz| build_a_prime(&k.slice2d(dz), &plan)).collect();
+        let slices: Vec<DenseMatrix<f64>> = (0..3)
+            .map(|dz| build_a_prime(&k.slice2d(dz), &plan))
+            .collect();
         let mut stack = DenseMatrix::zeros(3 * plan.m_prime(), plan.k_prime());
         for (i, s) in slices.iter().enumerate() {
             stack.set_block(i * plan.m_prime(), 0, s);

@@ -89,6 +89,17 @@ impl CrushPlan {
         iy * self.gx + ix
     }
 
+    /// Output-space origin `(oy, ox)` of plane-local tile index `tile`
+    /// when a plane's valid region is covered by `tiles_x` tiles per row
+    /// (row-major tile order). The single source of truth for the
+    /// tile-coordinate arithmetic shared by the gather and scatter halves
+    /// of the executor and the plan-time descriptor builder.
+    #[inline]
+    pub fn tile_origin(&self, tile: usize, tiles_x: usize) -> (usize, usize) {
+        let (ty, tx) = (tile / tiles_x, tile % tiles_x);
+        (ty * self.r2, tx * self.r1)
+    }
+
     /// Fraction of `A'` entries that are zero for a dense (box) kernel:
     /// `1 − kx·ky / k'` — the residual sparsity the sparse TCU will
     /// exploit (50–80% in the paper's insight #2).
@@ -212,7 +223,9 @@ mod tests {
         // m' = 4·3 = 12, k' = (3+4−1)(3+3−1) = 6·5 = 30.
         assert_eq!(a.shape(), (12, 30));
         // Blocks: r1 × gx = 4 × 6; global width ky = 3, local width kx = 3.
-        assert!(is_self_similar_staircase(&a, plan.r1, plan.gx, plan.ky, plan.kx));
+        assert!(is_self_similar_staircase(
+            &a, plan.r1, plan.gx, plan.ky, plan.kx
+        ));
     }
 
     #[test]

@@ -11,6 +11,50 @@
 //! The numeric path is deliberately the *same arithmetic* as the
 //! hardware: operands pre-rounded to the plan's precision, accumulation
 //! at full scalar width, outputs re-rounded on store.
+//!
+//! # Execution engine: buffer ownership and scratch lifecycle
+//!
+//! [`run`] mirrors the discipline of the generated kernels — all
+//! bookkeeping hoisted to plan time, all buffers allocated once:
+//!
+//! - **Ping-pong double buffering.** A [`StepBuffers`] arena owns two
+//!   persistent grids. `cur` is cloned from the caller's input (and
+//!   quantized) once per run; `next` is cloned from `cur` once, which
+//!   copies the boundary cells that no step ever rewrites. Each step
+//!   computes the valid region of `next` from `cur` and the buffers
+//!   swap — the per-step full-grid `clone()` of the naive path is gone.
+//!   Every valid cell is overwritten every step (tiles tile the valid
+//!   region exactly), so stale interior values from two steps ago are
+//!   never observable.
+//! - **Plan-time gather/scatter tables.** Tile origins, base offsets,
+//!   interior/edge and full/partial classification
+//!   ([`crate::plan::TileDesc`]), the per-step work list, the gather LUT
+//!   with padding rows removed, per-row scatter offsets, and the
+//!   operands compiled to full-depth nonzero row programs
+//!   ([`sparstencil_tcu::fragment::RowProgram`], k-strips concatenated
+//!   in accumulation order) all live in [`crate::plan::ExecTables`],
+//!   built once by `compile`. The hot loop only indexes — no division,
+//!   no metadata decode, no zero tests, no per-k-strip bookkeeping.
+//! - **Per-worker scratch.** Each pool worker owns a `WorkerScratch`
+//!   with one full-depth `B` staging buffer and one accumulator per
+//!   m-strip, allocated at run start and reused across slices, tiles,
+//!   and steps. The staging buffer keeps the invariant "padding rows
+//!   are zero" across steps without rewriting them: interior gathers
+//!   touch only non-padding rows, edge gathers rewrite their full
+//!   column (zeros included).
+//! - **Parallel direct scatter.** Each work item writes its results
+//!   straight into the shared output grid. Tiles partition the valid
+//!   region and each tile belongs to exactly one work item, so all
+//!   writes are disjoint; `SharedOutput` encapsulates the aliasing
+//!   argument.
+//!
+//! After the first iteration warms the buffers, a step performs **zero
+//! heap allocations** (asserted by `tests/alloc_steady_state.rs`).
+//! Counter totals are closed-form from plan geometry (`work × m-strips ×
+//! k-strips` MMAs), identical to what per-op counting in the naive path
+//! produces. [`run_naive`] retains the original implementation as the
+//! equivalence oracle: `tests/exec_equivalence.rs` pins bit-identical
+//! grids and identical counters between the two.
 
 use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
@@ -53,6 +97,10 @@ pub struct RunStats {
 /// Execute `iters` stencil steps of a compiled plan over `input`.
 /// Returns the final grid and run statistics.
 ///
+/// This is the optimized engine: ping-pong buffers, plan-time gather
+/// tables, persistent per-worker scratch, parallel direct scatter (see
+/// the module docs). Bit-identical to [`run_naive`].
+///
 /// # Panics
 /// Panics if the input shape differs from the plan's compile-time shape.
 pub fn run<R: Real>(
@@ -66,21 +114,284 @@ pub fn run<R: Real>(
         "grid shape differs from the compiled plan"
     );
     let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
-
-    let mut cur = input.clone();
-    cur.quantize(plan.precision);
+    let mut bufs = StepBuffers::new(plan, input);
 
     for _ in 0..iters {
         engine.launch();
         account_traffic(plan, &mut engine);
-        cur = step(plan, &cur, &mut engine);
-        if !matches!(plan.precision, Precision::Fp64) {
-            cur.quantize(plan.precision);
-        }
+        // Output quantization happens inside the scatter (each value is
+        // rounded as it is stored, exactly like the hardware's store
+        // path), so no separate whole-grid re-quantization pass runs:
+        // boundary cells were quantized once when the arena was built
+        // and never change.
+        step_into(
+            plan,
+            &bufs.cur,
+            &mut bufs.next,
+            &mut bufs.scratch,
+            &mut engine,
+        );
+        std::mem::swap(&mut bufs.cur, &mut bufs.next);
     }
 
     let stats = finalize_stats(plan, &engine, iters);
-    (cur, stats)
+    (bufs.cur, stats)
+}
+
+/// Per-worker reusable scratch: one `B` staging buffer spanning the full
+/// logical operand depth plus one accumulator fragment per m-strip.
+/// Allocated once per run, reused across slices, tiles, and steps.
+///
+/// Invariant: padding rows of `b_all` stay zero for the buffer's whole
+/// lifetime — they are zeroed at construction, interior gathers only
+/// write non-padding rows, and edge gathers rewrite whole columns
+/// (writing explicit zeros for padding rows).
+struct WorkerScratch<R: Real> {
+    b_all: DenseMatrix<R>,
+    strips: Vec<DenseMatrix<R>>,
+}
+
+/// The persistent execution arena of one [`run`]: the two ping-pong
+/// grids and the per-worker scratch pool. Everything a step touches is
+/// allocated here, up front.
+struct StepBuffers<R: Real> {
+    cur: Grid<R>,
+    next: Grid<R>,
+    scratch: Vec<WorkerScratch<R>>,
+}
+
+impl<R: Real> StepBuffers<R> {
+    fn new(plan: &CompiledStencil<R>, input: &Grid<R>) -> Self {
+        let mut cur = input.clone();
+        cur.quantize(plan.precision);
+        // One clone copies the boundary cells into the second buffer;
+        // steps rewrite every valid cell, so the boundary never needs
+        // copying again.
+        let next = cur.clone();
+        let frag = plan.frag;
+        let scratch = (0..rayon::current_num_threads())
+            .map(|_| WorkerScratch {
+                b_all: DenseMatrix::zeros(plan.geom.k_logical, frag.n),
+                strips: (0..plan.exec.m_strips)
+                    .map(|_| DenseMatrix::zeros(frag.m, frag.n))
+                    .collect(),
+            })
+            .collect();
+        Self { cur, next, scratch }
+    }
+}
+
+/// Shared output buffer for the parallel direct scatter.
+///
+/// Safety argument: the valid output region is exactly tiled by the
+/// plan's tiles; every tile belongs to exactly one `(plane, column
+/// block)` work item, and the work list is partitioned across pool
+/// tasks. Each cell index passed to `write` is therefore touched by at
+/// most one task per step.
+struct SharedOutput<R> {
+    ptr: *mut R,
+    len: usize,
+}
+
+// SAFETY: see the struct docs — all concurrent writes target disjoint
+// indices.
+unsafe impl<R: Send> Sync for SharedOutput<R> {}
+
+impl<R: Real> SharedOutput<R> {
+    /// Write one output cell.
+    ///
+    /// # Safety
+    /// `idx < len`, and no other task writes `idx` during this step.
+    #[inline]
+    unsafe fn write(&self, idx: usize, v: R) {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) = v }
+    }
+}
+
+/// One optimized stencil step: compute the valid region of `out` from
+/// `cur`. Boundary cells of `out` are expected to already hold the (old,
+/// never-changing) boundary values.
+fn step_into<R: Real>(
+    plan: &CompiledStencil<R>,
+    cur: &Grid<R>,
+    out: &mut Grid<R>,
+    scratch: &mut [WorkerScratch<R>],
+    engine: &mut Engine,
+) {
+    let t = &plan.exec;
+    let plane_stride = cur.plane_stride();
+    let frag = plan.frag;
+    let m_prime = plan.plan.m_prime();
+    let tiles_per_plane = plan.geom.tiles_per_plane;
+    let precision = plan.precision;
+    let data = cur.as_slice();
+    let out_slice = out.as_mut_slice();
+    let shared_out = SharedOutput {
+        ptr: out_slice.as_mut_ptr(),
+        len: out_slice.len(),
+    };
+
+    rayon::pool::parallel_for_slots(t.work.len(), scratch, |_slot, ws, range| {
+        for wi in range {
+            let (z, cb) = t.work[wi];
+            let first_tile = cb * frag.n;
+            let tiles_in_block = frag.n.min(tiles_per_plane - first_tile);
+            let block_tiles = &t.tiles[first_tile..first_tile + tiles_in_block];
+            let out_plane = z * plane_stride;
+
+            for c_frag in &mut ws.strips {
+                c_frag.fill(R::ZERO);
+            }
+
+            for (si, slice) in plan.slices.iter().enumerate() {
+                let src_plane = (z + slice.dz) * plane_stride;
+                let b_all = &mut ws.b_all;
+                if t.block_interior[cb] {
+                    // Branch-free interior gather: for every non-padding
+                    // operand row, one strided load per tile into a
+                    // contiguous b_all row segment.
+                    for &(i, off) in &t.gather_rows {
+                        let row = &mut b_all.row_mut(i)[..tiles_in_block];
+                        for (dst, td) in row.iter_mut().zip(block_tiles) {
+                            let idx = src_plane + td.base + off;
+                            // SAFETY: `ExecTables::build` validated
+                            // every (interior tile, LUT offset)
+                            // combination against the grid length.
+                            debug_assert!(idx < data.len());
+                            *dst = unsafe { *data.get_unchecked(idx) };
+                        }
+                    }
+                } else {
+                    gather_mixed(plan, block_tiles, data, src_plane, b_all);
+                }
+                // Columns past `tiles_in_block` (and columns of tiles
+                // past the plane) may hold stale data; the MMA computes
+                // per-column results independently and the scatter
+                // below never reads those columns.
+                for (mi, c_frag) in ws.strips.iter_mut().enumerate() {
+                    program_mma_hot(&t.programs[si][mi], b_all, c_frag, frag);
+                }
+            }
+
+            // Direct scatter: this work item owns every output cell of
+            // its tiles. Per accumulator row, the source values are one
+            // contiguous c_frag row; the branch-free path needs no
+            // per-cell validity checks.
+            let block_full = t.block_full[cb];
+            for (mi, c_frag) in ws.strips.iter().enumerate() {
+                let row0 = mi * frag.m;
+                let rows = frag.m.min(m_prime.saturating_sub(row0));
+                for fr in 0..rows {
+                    let sr = &t.scatter_rows[row0 + fr];
+                    let c_row = &c_frag.row(fr)[..tiles_in_block];
+                    if block_full {
+                        for (&v, td) in c_row.iter().zip(block_tiles) {
+                            // SAFETY: disjointness per the SharedOutput
+                            // docs; full tiles index cell
+                            // (z, oy+j2, ox+j1) which is in range.
+                            unsafe {
+                                shared_out
+                                    .write(out_plane + td.base + sr.off, v.round_to(precision));
+                            }
+                        }
+                    } else {
+                        for (&v, td) in c_row.iter().zip(block_tiles) {
+                            if td.full || (td.oy + sr.j2 < t.vy && td.ox + sr.j1 < t.vx) {
+                                // SAFETY: as above; the bounds check
+                                // guards partial tiles.
+                                unsafe {
+                                    shared_out
+                                        .write(out_plane + td.base + sr.off, v.round_to(precision));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    let total_mma = (t.work.len() * t.k_strips * t.m_strips * plan.slices.len()) as u64;
+    engine.record_mma_bulk(frag, matches!(plan.mode, ExecMode::SparseTcu), total_mma);
+}
+
+/// The executor's MMA inner loop: identical arithmetic (and accumulation
+/// order) to [`sparstencil_tcu::fragment::program_mma`], with the `B`
+/// row slicing unchecked — entry
+/// indices were validated against the program depth when it was
+/// compiled, and the scratch `B` buffer is allocated at exactly
+/// `depth × frag.n`.
+fn program_mma_hot<R: Real>(
+    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    b_all: &DenseMatrix<R>,
+    c_frag: &mut DenseMatrix<R>,
+    frag: sparstencil_tcu::FragmentShape,
+) {
+    debug_assert_eq!(b_all.shape(), (prog.depth(), frag.n));
+    debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
+    let n = frag.n;
+    let b_data = b_all.as_slice();
+    for i in 0..prog.rows() {
+        let c_row = &mut c_frag.row_mut(i)[..n];
+        for &(kk, v) in prog.row(i) {
+            let start = kk as usize * n;
+            // SAFETY: kk < prog.depth() by construction, so the
+            // row [start, start + n) lies inside the depth×n buffer.
+            debug_assert!(start + n <= b_data.len());
+            let b_row = unsafe { b_data.get_unchecked(start..start + n) };
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += v * bj;
+            }
+        }
+    }
+}
+
+/// Gather for blocks containing edge tiles: interior tiles copy through
+/// the LUT row-wise (per-tile branch, but uniform per column so well
+/// predicted), edge tiles resolve explicit coordinates with bounds
+/// checks (out-of-range and padding rows read as zero).
+fn gather_mixed<R: Real>(
+    plan: &CompiledStencil<R>,
+    block_tiles: &[crate::plan::TileDesc],
+    data: &[R],
+    src_plane: usize,
+    b_all: &mut DenseMatrix<R>,
+) {
+    let t = &plan.exec;
+    let [_, ny, nx] = plan.grid_shape;
+    let plane_stride = ny * nx;
+    let nblk = block_tiles.len();
+    for &(i, off) in &t.gather_rows {
+        let row = &mut b_all.row_mut(i)[..nblk];
+        for (dst, td) in row.iter_mut().zip(block_tiles) {
+            if td.interior {
+                let idx = src_plane + td.base + off;
+                // SAFETY: `ExecTables::build` validated every (interior
+                // tile, LUT offset) combination against the grid length.
+                debug_assert!(idx < data.len());
+                *dst = unsafe { *data.get_unchecked(idx) };
+            }
+        }
+    }
+    for (tcol, td) in block_tiles.iter().enumerate() {
+        if td.interior {
+            continue;
+        }
+        for (i, &(dz, iy, ix)) in plan.gather_coords.iter().enumerate() {
+            let v = if dz == u32::MAX {
+                R::ZERO
+            } else {
+                let (dz, iy, ix) = (dz as usize, iy as usize, ix as usize);
+                if td.oy + iy < ny && td.ox + ix < nx {
+                    data[src_plane + dz * plane_stride + (td.oy + iy) * nx + td.ox + ix]
+                } else {
+                    R::ZERO
+                }
+            };
+            b_all.set(i, tcol, v);
+        }
+    }
 }
 
 /// Bulk-account the per-iteration memory traffic using the same formulas
@@ -107,15 +418,53 @@ fn account_traffic<R: Real>(plan: &CompiledStencil<R>, engine: &mut Engine) {
     if !plan.flags.lut {
         // Without lookup tables every gathered element pays address
         // arithmetic (integer div/mod chains, ~4 scalar ops each — §3.3).
-        let touches = (plan.geom.tiles_per_plane * plan.geom.planes) as u64
-            * plan.geom.k_prime as u64;
+        let touches =
+            (plan.geom.tiles_per_plane * plan.geom.planes) as u64 * plan.geom.k_prime as u64;
         engine.ffma(touches * 4);
     }
 }
 
-/// One stencil step: returns the new grid (valid region updated, boundary
-/// copied) and adds the issued MMA ops to the engine.
-fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) -> Grid<R> {
+/// Execute `iters` steps through the retained pre-refactor path: clone
+/// the grid per step, allocate per-work-item scratch, collect results
+/// and scatter serially, count every MMA as it is issued.
+///
+/// Kept as the equivalence oracle for [`run`] (bit-identical grids,
+/// identical counters — `tests/exec_equivalence.rs`) and as the baseline
+/// the `simulator_throughput` bench measures the rewrite against.
+///
+/// # Panics
+/// Panics if the input shape differs from the plan's compile-time shape.
+pub fn run_naive<R: Real>(
+    plan: &CompiledStencil<R>,
+    input: &Grid<R>,
+    iters: usize,
+) -> (Grid<R>, RunStats) {
+    assert_eq!(
+        input.shape(),
+        plan.grid_shape,
+        "grid shape differs from the compiled plan"
+    );
+    let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
+
+    let mut cur = input.clone();
+    cur.quantize(plan.precision);
+
+    for _ in 0..iters {
+        engine.launch();
+        account_traffic(plan, &mut engine);
+        cur = step_naive(plan, &cur, &mut engine);
+        if !matches!(plan.precision, Precision::Fp64) {
+            cur.quantize(plan.precision);
+        }
+    }
+
+    let stats = finalize_stats(plan, &engine, iters);
+    (cur, stats)
+}
+
+/// One naive stencil step: returns the new grid (valid region updated,
+/// boundary copied) and adds the issued MMA ops to the engine.
+fn step_naive<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) -> Grid<R> {
     let [_, ny, nx] = cur.shape();
     let [_ez, ey, ex] = plan.kernel.extent();
     let (vy, vx) = (ny - ey + 1, nx - ex + 1);
@@ -148,8 +497,9 @@ fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) 
             let first_tile = cb * frag.n;
             let m_strips = plan.geom.m_padded / frag.m;
             let k_strips = plan.geom.k_logical / frag.k;
-            let mut strips: Vec<DenseMatrix<R>> =
-                (0..m_strips).map(|_| DenseMatrix::zeros(frag.m, frag.n)).collect();
+            let mut strips: Vec<DenseMatrix<R>> = (0..m_strips)
+                .map(|_| DenseMatrix::zeros(frag.m, frag.n))
+                .collect();
             let mut mma_ops = 0u64;
             let mut b_frag = DenseMatrix::<R>::zeros(frag.k, frag.n);
 
@@ -170,8 +520,7 @@ fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) 
                             }
                             continue;
                         }
-                        let (ty, tx) = (tile / tiles_x, tile % tiles_x);
-                        let (oy, ox) = (ty * r2, tx * r1);
+                        let (oy, ox) = plan.plan.tile_origin(tile, tiles_x);
                         let interior = oy + plan.plan.gy <= ny && ox + plan.plan.gx <= nx;
                         let base = plane_base + oy * nx + ox;
                         if interior {
@@ -195,8 +544,7 @@ fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) 
                                 let v = if dz == u32::MAX {
                                     R::ZERO
                                 } else {
-                                    let (dz, iy, ix) =
-                                        (dz as usize, iy as usize, ix as usize);
+                                    let (dz, iy, ix) = (dz as usize, iy as usize, ix as usize);
                                     if oy + iy < ny && ox + ix < nx {
                                         data[plane_base
                                             + dz * plane_stride
@@ -239,8 +587,7 @@ fn step<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) 
             if tile >= tiles_per_plane {
                 continue;
             }
-            let (ty, tx) = (tile / tiles_x, tile % tiles_x);
-            let (oy, ox) = (ty * r2, tx * r1);
+            let (oy, ox) = plan.plan.tile_origin(tile, tiles_x);
             for (mi, c_frag) in br.strips.iter().enumerate() {
                 for fr in 0..frag.m {
                     let row = mi * frag.m + fr;
@@ -355,8 +702,7 @@ pub fn model_run<R: Real>(
     counters.shared_write_bytes = tr.shared_write * iters as u64;
     counters.shared_read_bytes = tr.shared_read * iters as u64;
     if !plan.flags.lut {
-        let touches =
-            (geom.tiles_per_plane * geom.planes) as u64 * geom.k_prime as u64;
+        let touches = (geom.tiles_per_plane * geom.planes) as u64 * geom.k_prime as u64;
         counters.ffma_count = touches * 4 * iters as u64;
     }
 
@@ -367,9 +713,8 @@ pub fn model_run<R: Real>(
         timing.t_compute() + timing.t_memory() + timing.t_launch
     };
     let [ez, ey, ex] = plan.kernel.extent();
-    let points_per_iter = ((grid_shape[0] - ez + 1)
-        * (grid_shape[1] - ey + 1)
-        * (grid_shape[2] - ex + 1)) as u64;
+    let points_per_iter =
+        ((grid_shape[0] - ez + 1) * (grid_shape[1] - ey + 1) * (grid_shape[2] - ex + 1)) as u64;
 
     // Launch geometry scales with the grid (persistent-block cap).
     let col_blocks = geom.tiles_per_plane.div_ceil(plan.frag.n) * geom.planes;
@@ -386,7 +731,11 @@ pub fn model_run<R: Real>(
         iters,
         counters,
         timing,
-        seconds_per_iter: if iters > 0 { total_seconds / iters as f64 } else { 0.0 },
+        seconds_per_iter: if iters > 0 {
+            total_seconds / iters as f64
+        } else {
+            0.0
+        },
         total_seconds,
         points_per_iter,
         gstencil_per_sec: if total_seconds > 0.0 {
@@ -423,9 +772,8 @@ mod tests {
         let input = Grid::<f32>::smooth_random(k.dims(), shape);
         let (got, stats) = run(&plan, &input, iters);
 
-        let mut ref_in = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| {
-            input.get(z, y, x) as f64
-        });
+        let mut ref_in =
+            Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| input.get(z, y, x) as f64);
         ref_in.quantize(plan.precision);
         let want = reference::iterate(k, &ref_in, iters);
         let got64 = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| got.get(z, y, x) as f64);
@@ -490,7 +838,12 @@ mod tests {
 
     #[test]
     fn multiple_iterations_stay_accurate() {
-        check_kernel(&StencilKernel::heat2d(), [1, 40, 40], &Options::default(), 3);
+        check_kernel(
+            &StencilKernel::heat2d(),
+            [1, 40, 40],
+            &Options::default(),
+            3,
+        );
     }
 
     #[test]
@@ -641,7 +994,10 @@ mod multi_strip_tests {
         let exec = crate::pipeline::Executor::<f32>::new(&k, shape, &opts).unwrap();
         let g = Grid::<f32>::smooth_random(2, shape);
         let err = exec.verify(&g, 1);
-        assert!(err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16), "err {err}");
+        assert!(
+            err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16),
+            "err {err}"
+        );
     }
 
     /// Wide-n fragment (m16n32k8 dense class) on the dense path.
@@ -658,6 +1014,9 @@ mod multi_strip_tests {
         let exec = crate::pipeline::Executor::<f32>::new(&k, shape, &opts).unwrap();
         let g = Grid::<f32>::smooth_random(2, shape);
         let err = exec.verify(&g, 1);
-        assert!(err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16), "err {err}");
+        assert!(
+            err <= verify_tolerance(sparstencil_mat::half::Precision::Fp16),
+            "err {err}"
+        );
     }
 }

@@ -140,7 +140,11 @@ mod tests {
             StencilKernel::star2d13p(),
             StencilKernel::heat1d(),
         ] {
-            let shape = if k.dims() == 1 { [1, 1, 24] } else { [1, 11, 13] };
+            let shape = if k.dims() == 1 {
+                [1, 1, 24]
+            } else {
+                [1, 11, 13]
+            };
             let g = Grid::<f64>::smooth_random(k.dims(), shape);
             let f = flatten_2d(&k, &g);
             let kv: Vec<f64> = f.kernel_vector.clone();

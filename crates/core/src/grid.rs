@@ -37,7 +37,10 @@ impl<R: Real> Grid<R> {
     }
 
     fn zeros(dims: usize, shape: [usize; 3]) -> Self {
-        assert!(shape.iter().all(|&s| s > 0), "grid extents must be positive");
+        assert!(
+            shape.iter().all(|&s| s > 0),
+            "grid extents must be positive"
+        );
         Self {
             shape,
             dims,
@@ -164,10 +167,12 @@ impl<R: Real> Grid<R> {
     }
 
     /// Round every value through `precision` (operand quantization applied
-    /// once per buffer, as on real tensor-core kernels).
+    /// once per buffer, as on real tensor-core kernels). Operates in place
+    /// at native scalar width, so the per-step re-quantization in the
+    /// executor allocates nothing.
     pub fn quantize(&mut self, precision: Precision) {
         for v in &mut self.data {
-            *v = R::from_f64(precision.round_f64(v.to_f64()));
+            *v = v.round_to(precision);
         }
     }
 

@@ -46,6 +46,10 @@ pub struct LayoutGeometry {
     pub m_padded: usize,
     /// Tiles per output plane (`n'`).
     pub tiles_per_plane: usize,
+    /// Tiles along `x` per plane (`⌈vx / r1⌉`); row-major tile order.
+    pub tiles_x: usize,
+    /// Tiles along `y` per plane (`⌈vy / r2⌉`).
+    pub tiles_y: usize,
     /// Output planes (1 for 1D/2D).
     pub planes: usize,
     /// Kernel depth (slices accumulated per output plane; 1 for 1D/2D).
@@ -108,6 +112,8 @@ pub fn geometry(
         grid_shape[2] - ex + 1,
     );
     let tiles = plan.n_prime(vy, vx);
+    let tiles_x = vx.div_ceil(r1);
+    let tiles_y = vy.div_ceil(r2);
     // 3D kernels fold their `ez` depth slices into one stacked operand of
     // width `ez·k'` (gather offsets span planes), so the fragment depth
     // amortizes across the whole accumulation instead of per slice.
@@ -146,6 +152,8 @@ pub fn geometry(
         k_logical,
         m_padded,
         tiles_per_plane: tiles,
+        tiles_x,
+        tiles_y,
         planes: vz,
         slices: ez,
         n_mma,
@@ -156,7 +164,12 @@ pub fn geometry(
 /// converted width (used by `compile` after the conversion determines the
 /// exact padding, which for z-folded 3D operands comes from the Blossom
 /// matcher rather than the explorer's estimate).
-pub fn refine_geometry(geom: &mut LayoutGeometry, frag: FragmentShape, k_logical: usize, pads: usize) {
+pub fn refine_geometry(
+    geom: &mut LayoutGeometry,
+    frag: FragmentShape,
+    k_logical: usize,
+    pads: usize,
+) {
     geom.k_logical = k_logical;
     geom.pads = pads;
     let m_strips = (geom.m_padded / frag.m) as u64;
@@ -195,9 +208,7 @@ pub fn traffic(
     // `gy × (tiles·r1 + kx − 1)` elements. Only inter-block and
     // inter-row halos are re-fetched (and then usually hit in L2).
     let tiles_per_block = 4 * frag.n;
-    let vx = grid_shape[2] - ex + 1;
-    let tiles_x = vx.div_ceil(geom.r1);
-    let tiles_y = geom.tiles_per_plane / tiles_x.max(1);
+    let (tiles_x, tiles_y) = (geom.tiles_x, geom.tiles_y);
     let full_chunks = tiles_x / tiles_per_block;
     let rem = tiles_x % tiles_per_block;
     let row_touches = full_chunks as u64
@@ -249,11 +260,7 @@ pub fn traffic(
     let l2_hit = l2_hit + table_reads.saturating_sub(table_bytes_once);
 
     // Valid outputs written once.
-    let [_, vy, vx] = [
-        0,
-        grid_shape[1] - ey + 1,
-        grid_shape[2] - ex + 1,
-    ];
+    let [_, vy, vx] = [0, grid_shape[1] - ey + 1, grid_shape[2] - ex + 1];
     let global_write = (geom.planes * vy * vx) as u64 * elem;
 
     // Shared: staging writes mirror gather touches plus operand staging
@@ -276,6 +283,7 @@ pub fn traffic(
 }
 
 /// Evaluate one candidate with the analytic model (Equations 6–9).
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate(
     kernel: &StencilKernel,
     grid_shape: [usize; 3],
@@ -289,8 +297,7 @@ pub fn evaluate(
     let geom = geometry(kernel, grid_shape, r1, r2, frag, mode);
     let tr = traffic(kernel, grid_shape, &geom, frag, precision, true);
 
-    let t_compute =
-        (geom.n_mma * frag.executed_flops()) as f64 / gpu.effective_tc_flops(precision);
+    let t_compute = (geom.n_mma * frag.executed_flops()) as f64 / gpu.effective_tc_flops(precision);
     let dram = (tr.global_read - tr.l2_hit) + tr.global_write;
     let t_global = dram as f64 / gpu.effective_global_bw();
     let t_l2 = (tr.global_read + tr.global_write) as f64 / gpu.effective_l2_bw();
@@ -404,7 +411,14 @@ mod tests {
         // m'=16→1 strip; k'=36, pads → k_logical multiple of 32;
         // tiles = 32×32 = 1024 → 128 column blocks.
         let k = StencilKernel::box2d9p();
-        let g = geometry(&k, [1, 130, 130], 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
+        let g = geometry(
+            &k,
+            [1, 130, 130],
+            4,
+            4,
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+        );
         assert_eq!(g.m_prime, 16);
         assert_eq!(g.m_padded, 16);
         assert_eq!(g.k_prime, 36);
@@ -416,7 +430,14 @@ mod tests {
     #[test]
     fn dense_mode_skips_conversion() {
         let k = StencilKernel::box2d9p();
-        let g = geometry(&k, [1, 130, 130], 4, 4, FragmentShape::dense_fp16(), ExecMode::DenseTcu);
+        let g = geometry(
+            &k,
+            [1, 130, 130],
+            4,
+            4,
+            FragmentShape::dense_fp16(),
+            ExecMode::DenseTcu,
+        );
         assert_eq!(g.pads, 0);
         assert_eq!(g.k_logical, 48); // 36 → 48 (multiple of 16)
     }
@@ -426,8 +447,26 @@ mod tests {
         let k = StencilKernel::box2d49p();
         let shape = [1, 1030, 1030];
         let gpu = gpu();
-        let sp = evaluate(&k, shape, 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu, Precision::Fp16, &gpu);
-        let dn = evaluate(&k, shape, 4, 4, FragmentShape::dense_fp16(), ExecMode::DenseTcu, Precision::Fp16, &gpu);
+        let sp = evaluate(
+            &k,
+            shape,
+            4,
+            4,
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+            Precision::Fp16,
+            &gpu,
+        );
+        let dn = evaluate(
+            &k,
+            shape,
+            4,
+            4,
+            FragmentShape::dense_fp16(),
+            ExecMode::DenseTcu,
+            Precision::Fp16,
+            &gpu,
+        );
         let ratio = dn.t_compute / sp.t_compute;
         assert!(
             (1.5..=2.6).contains(&ratio),
@@ -474,13 +513,24 @@ mod tests {
             32,
         );
         assert!(ex.evaluated.iter().all(|e| e.geom.r2 == 1));
-        assert!(ex.best.0 >= 8, "1D should pick a wide r1, got {:?}", ex.best);
+        assert!(
+            ex.best.0 >= 8,
+            "1D should pick a wide r1, got {:?}",
+            ex.best
+        );
     }
 
     #[test]
     fn three_d_geometry_has_slices_and_planes() {
         let k = StencilKernel::heat3d();
-        let g = geometry(&k, [34, 34, 34], 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
+        let g = geometry(
+            &k,
+            [34, 34, 34],
+            4,
+            4,
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+        );
         assert_eq!(g.slices, 3);
         assert_eq!(g.planes, 32);
         assert_eq!(g.tiles_per_plane, 64);
@@ -490,7 +540,16 @@ mod tests {
     fn compute_density_bounded_and_meaningful() {
         let k = StencilKernel::box2d49p();
         let gpu = gpu();
-        let e = evaluate(&k, [1, 1030, 1030], 8, 2, FragmentShape::sparse_fp16(), ExecMode::SparseTcu, Precision::Fp16, &gpu);
+        let e = evaluate(
+            &k,
+            [1, 1030, 1030],
+            8,
+            2,
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+            Precision::Fp16,
+            &gpu,
+        );
         assert!(e.compute_density > 0.0 && e.compute_density <= 1.0);
         assert!(e.stored_sparsity >= 0.0 && e.stored_sparsity < 1.0);
     }
@@ -499,8 +558,22 @@ mod tests {
     fn traffic_global_write_counts_valid_outputs() {
         let k = StencilKernel::box2d9p();
         let shape = [1, 34, 34];
-        let g = geometry(&k, shape, 4, 4, FragmentShape::sparse_fp16(), ExecMode::SparseTcu);
-        let t = traffic(&k, shape, &g, FragmentShape::sparse_fp16(), Precision::Fp16, true);
+        let g = geometry(
+            &k,
+            shape,
+            4,
+            4,
+            FragmentShape::sparse_fp16(),
+            ExecMode::SparseTcu,
+        );
+        let t = traffic(
+            &k,
+            shape,
+            &g,
+            FragmentShape::sparse_fp16(),
+            Precision::Fp16,
+            true,
+        );
         assert_eq!(t.global_write, 32 * 32 * 2);
         assert!(t.global_read > 0 && t.shared_read > 0);
     }

@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::grid::Grid;
     pub use crate::layout::ExecMode;
     pub use crate::pipeline::Executor;
-    pub use crate::plan::{CompileError, Options, OptFlags};
+    pub use crate::plan::{CompileError, OptFlags, Options};
     pub use crate::stencil::StencilKernel;
     pub use sparstencil_mat::half::Precision;
     pub use sparstencil_tcu::{FragmentShape, GpuConfig};

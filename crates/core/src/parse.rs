@@ -197,7 +197,10 @@ pub fn parse_kernel(input: &str) -> Result<StencilKernel, ParseError> {
             w
         }
         (Some(_), false) => {
-            return Err(err(0, "use either a weights block or point lines, not both"))
+            return Err(err(
+                0,
+                "use either a weights block or point lines, not both",
+            ))
         }
         (None, true) => return Err(err(0, "no weights given")),
     };
@@ -327,7 +330,10 @@ mod tests {
 
     #[test]
     fn error_cases_report_lines() {
-        assert!(parse_kernel("dims 2\n").unwrap_err().message.contains("kernel"));
+        assert!(parse_kernel("dims 2\n")
+            .unwrap_err()
+            .message
+            .contains("kernel"));
         let e = parse_kernel("kernel x\ndims 7\n").unwrap_err();
         assert_eq!(e.line, 2);
         let e = parse_kernel("kernel x\ndims 2\nextent 3\n").unwrap_err();

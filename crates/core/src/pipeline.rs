@@ -50,9 +50,19 @@ impl<R: Real> Executor<R> {
         &self.plan
     }
 
-    /// Execute `iters` steps functionally on the simulator.
+    /// Execute `iters` steps functionally on the simulator, through the
+    /// zero-allocation double-buffered engine (see [`exec`]'s module
+    /// docs for the buffer ownership and scratch lifecycle).
     pub fn run(&self, input: &Grid<R>, iters: usize) -> (Grid<R>, RunStats) {
         exec::run(&self.plan, input, iters)
+    }
+
+    /// Execute through the retained naive reference path — bit-identical
+    /// to [`Executor::run`] but without the plan-time-table/ping-pong
+    /// optimizations. Useful as a cross-check and as the baseline for
+    /// the `simulator_throughput` benchmarks.
+    pub fn run_naive(&self, input: &Grid<R>, iters: usize) -> (Grid<R>, RunStats) {
+        exec::run_naive(&self.plan, input, iters)
     }
 
     /// Evaluate the analytic model at an arbitrary (paper-scale) problem
@@ -103,9 +113,7 @@ impl<R: Real> Executor<R> {
     /// preprocessing is amortized over. Uses measured host times and the
     /// modelled per-iteration kernel time.
     pub fn overhead_profile(&self, iteration_counts: &[usize]) -> Vec<OverheadPoint> {
-        let per_iter = self
-            .run_modelled(self.plan.grid_shape, 1)
-            .seconds_per_iter;
+        let per_iter = self.run_modelled(self.plan.grid_shape, 1).seconds_per_iter;
         iteration_counts
             .iter()
             .map(|&iters| {
@@ -132,12 +140,8 @@ mod tests {
 
     #[test]
     fn executor_end_to_end() {
-        let ex = Executor::<f32>::new(
-            &StencilKernel::box2d9p(),
-            [1, 50, 50],
-            &Options::default(),
-        )
-        .unwrap();
+        let ex = Executor::<f32>::new(&StencilKernel::box2d9p(), [1, 50, 50], &Options::default())
+            .unwrap();
         let g = Grid::<f32>::smooth_random(2, [1, 50, 50]);
         let err = ex.verify(&g, 1);
         assert!(err <= verify_tolerance(ex.plan().precision), "err {err}");
@@ -145,12 +149,8 @@ mod tests {
 
     #[test]
     fn cuda_source_nonempty() {
-        let ex = Executor::<f32>::new(
-            &StencilKernel::heat2d(),
-            [1, 34, 34],
-            &Options::default(),
-        )
-        .unwrap();
+        let ex = Executor::<f32>::new(&StencilKernel::heat2d(), [1, 34, 34], &Options::default())
+            .unwrap();
         assert!(ex.cuda_source().contains("sparstencil_kernel"));
     }
 
@@ -164,8 +164,7 @@ mod tests {
         .unwrap();
         let profile = ex.overhead_profile(&[1, 10, 100, 1000]);
         assert_eq!(profile.len(), 4);
-        let total =
-            |p: &OverheadPoint| p.transform_pct + p.metadata_pct + p.lut_pct;
+        let total = |p: &OverheadPoint| p.transform_pct + p.metadata_pct + p.lut_pct;
         for w in profile.windows(2) {
             assert!(
                 total(&w[1]) <= total(&w[0]) + 1e-9,
@@ -178,15 +177,15 @@ mod tests {
 
     #[test]
     fn modelled_run_at_larger_scale() {
-        let ex = Executor::<f32>::new(
-            &StencilKernel::box2d9p(),
-            [1, 66, 66],
-            &Options::default(),
-        )
-        .unwrap();
+        let ex = Executor::<f32>::new(&StencilKernel::box2d9p(), [1, 66, 66], &Options::default())
+            .unwrap();
         let small = ex.run_modelled([1, 66, 66], 10);
         let big = ex.run_modelled([1, 1026, 1026], 10);
-        assert!(big.gstencil_per_sec > small.gstencil_per_sec,
-            "bigger problems amortize launches: {} vs {}", big.gstencil_per_sec, small.gstencil_per_sec);
+        assert!(
+            big.gstencil_per_sec > small.gstencil_per_sec,
+            "bigger problems amortize launches: {} vs {}",
+            big.gstencil_per_sec,
+            small.gstencil_per_sec
+        );
     }
 }

@@ -16,6 +16,7 @@ use crate::layout::{self, ExecMode, LayoutGeometry};
 use crate::stencil::StencilKernel;
 use sparstencil_mat::half::Precision;
 use sparstencil_mat::{DenseMatrix, Permutation, Real, TwoFourMatrix};
+use sparstencil_tcu::fragment::RowProgram;
 use sparstencil_tcu::{FragmentShape, GpuConfig, LaunchConfig};
 use std::time::Instant;
 
@@ -88,6 +89,205 @@ pub struct SliceOperands<R: Real> {
     pub strips: Vec<Vec<Operand<R>>>,
 }
 
+/// Plan-time per-tile execution descriptor. Everything the per-step hot
+/// loop previously re-derived from the tile index — origin coordinates,
+/// linear base offset, interior/edge and full/partial classification —
+/// computed once at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileDesc {
+    /// Linear offset of the tile origin within its plane (`oy·nx + ox`).
+    pub base: usize,
+    /// Output-space origin row `oy`.
+    pub oy: usize,
+    /// Output-space origin column `ox`.
+    pub ox: usize,
+    /// The whole `gy × gx` gather window lies inside the grid, so the
+    /// gather is a straight indexed copy through the offset LUT.
+    pub interior: bool,
+    /// All `r2 × r1` outputs lie inside the valid region, so the scatter
+    /// needs no per-cell bounds checks.
+    pub full: bool,
+}
+
+/// Plan-time scatter descriptor for one `A''` row (`row < m'`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterRow {
+    /// Plane-local output offset relative to the tile base (`j2·nx + j1`).
+    pub off: usize,
+    /// Intra-tile output row `j2 = row / r1`.
+    pub j2: usize,
+    /// Intra-tile output column `j1 = row % r1`.
+    pub j1: usize,
+}
+
+/// Precomputed execution tables: the step-invariant part of `exec::run`'s
+/// inner loop, hoisted into the compiled plan (the simulator-side analogue
+/// of §3.3's host-precomputed lookup tables). Built once by [`compile`];
+/// the executor's hot path only indexes, never divides.
+#[derive(Debug, Clone)]
+pub struct ExecTables<R: Real> {
+    /// Valid output rows per plane (`ny − ey + 1`).
+    pub vy: usize,
+    /// Valid output columns per plane (`nx − ex + 1`).
+    pub vx: usize,
+    /// Fragment-column blocks per plane (`⌈n' / frag.n⌉`).
+    pub col_blocks: usize,
+    /// Fragment m-strips (`m_padded / frag.m`).
+    pub m_strips: usize,
+    /// Fragment k-strips (`k_logical / frag.k`).
+    pub k_strips: usize,
+    /// The per-step work list `(output plane, fragment column block)` —
+    /// pure plan geometry, formerly rebuilt on every step.
+    pub work: Vec<(usize, usize)>,
+    /// Per-tile descriptors, plane-local tile order.
+    pub tiles: Vec<TileDesc>,
+    /// Every tile of column block `cb` is interior (enables the
+    /// row-major branch-free gather for the whole block).
+    pub block_interior: Vec<bool>,
+    /// Column block `cb` spans exactly `frag.n` tiles, all fully inside
+    /// the valid region (enables the branch-free scatter).
+    pub block_full: Vec<bool>,
+    /// `(operand row, tile-base-relative input offset)` for every
+    /// non-padding operand row over the full logical depth — the gather
+    /// LUT with padding rows removed.
+    pub gather_rows: Vec<(usize, usize)>,
+    /// Per `A''` row `< m'`: scatter target within the tile.
+    pub scatter_rows: Vec<ScatterRow>,
+    /// Compiled operand programs `[slice][m_strip]`, spanning the full
+    /// logical depth `k_logical` — the per-k-strip fragment programs
+    /// concatenated in k-strip order (preserving the hardware's
+    /// accumulation order), with the 2:4 metadata decode and zero-skip
+    /// hoisted out of every MMA.
+    pub programs: Vec<Vec<RowProgram<R>>>,
+}
+
+impl<R: Real> ExecTables<R> {
+    fn build(
+        grid_shape: [usize; 3],
+        kernel_extent: [usize; 3],
+        plan: &CrushPlan,
+        geom: &LayoutGeometry,
+        frag: FragmentShape,
+        slices: &[SliceOperands<R>],
+        gather_lut: &[i64],
+    ) -> Self {
+        let [_, ny, nx] = grid_shape;
+        let [_, ey, ex] = kernel_extent;
+        let vy = ny - ey + 1;
+        let vx = nx - ex + 1;
+        let m_prime = plan.m_prime();
+        let col_blocks = geom.tiles_per_plane.div_ceil(frag.n);
+        let m_strips = geom.m_padded / frag.m;
+        let k_strips = geom.k_logical / frag.k;
+
+        let work: Vec<(usize, usize)> = (0..geom.planes)
+            .flat_map(|z| (0..col_blocks).map(move |cb| (z, cb)))
+            .collect();
+
+        let tiles: Vec<TileDesc> = (0..geom.tiles_per_plane)
+            .map(|tile| {
+                let (oy, ox) = plan.tile_origin(tile, geom.tiles_x);
+                TileDesc {
+                    base: oy * nx + ox,
+                    oy,
+                    ox,
+                    interior: oy + plan.gy <= ny && ox + plan.gx <= nx,
+                    full: oy + plan.r2 <= vy && ox + plan.r1 <= vx,
+                }
+            })
+            .collect();
+
+        let block_interior: Vec<bool> = (0..col_blocks)
+            .map(|cb| {
+                let first = cb * frag.n;
+                let count = frag.n.min(geom.tiles_per_plane - first);
+                tiles[first..first + count].iter().all(|t| t.interior)
+            })
+            .collect();
+
+        let block_full: Vec<bool> = (0..col_blocks)
+            .map(|cb| {
+                let first = cb * frag.n;
+                let count = frag.n.min(geom.tiles_per_plane - first);
+                count == frag.n && tiles[first..first + count].iter().all(|t| t.full)
+            })
+            .collect();
+
+        let gather_rows: Vec<(usize, usize)> = gather_lut
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &off)| (off >= 0).then_some((i, off as usize)))
+            .collect();
+
+        let scatter_rows: Vec<ScatterRow> = (0..m_prime)
+            .map(|row| {
+                let (j2, j1) = (row / plan.r1, row % plan.r1);
+                ScatterRow {
+                    off: j2 * nx + j1,
+                    j2,
+                    j1,
+                }
+            })
+            .collect();
+
+        // Validate the interior fast path's indexing once, so the
+        // executor can use unchecked loads: the largest possible data
+        // index — deepest source plane, right/bottom-most interior
+        // tile, largest LUT offset — must be inside the grid. When no
+        // tile is interior (layouts larger than the grid) the fast path
+        // never runs and there is nothing to validate.
+        if let Some(max_interior_base) = tiles.iter().filter(|t| t.interior).map(|t| t.base).max() {
+            let max_off = gather_lut.iter().copied().max().unwrap_or(0).max(0) as usize;
+            let max_dz = slices.iter().map(|s| s.dz).max().unwrap_or(0);
+            let plane_stride = ny * nx;
+            assert!(
+                (geom.planes - 1 + max_dz) * plane_stride + max_interior_base + max_off
+                    < grid_shape[0] * plane_stride,
+                "interior gather table exceeds the grid"
+            );
+        }
+
+        // One program per m-strip spanning the whole logical depth: the
+        // per-k-strip fragment programs concatenated in k-strip order,
+        // which is exactly the order the per-strip MMA sequence
+        // accumulates in.
+        let programs: Vec<Vec<RowProgram<R>>> = slices
+            .iter()
+            .map(|slice| {
+                slice
+                    .strips
+                    .iter()
+                    .map(|row| {
+                        let parts: Vec<RowProgram<R>> = row
+                            .iter()
+                            .map(|op| match op {
+                                Operand::Sparse(a24) => RowProgram::from_two_four(a24),
+                                Operand::Dense(a) => RowProgram::from_dense(a),
+                            })
+                            .collect();
+                        RowProgram::concat(&parts)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Self {
+            vy,
+            vx,
+            col_blocks,
+            m_strips,
+            k_strips,
+            work,
+            tiles,
+            block_interior,
+            block_full,
+            gather_rows,
+            scatter_rows,
+            programs,
+        }
+    }
+}
+
 /// Compilation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
@@ -115,7 +315,9 @@ impl std::fmt::Display for CompileError {
             CompileError::SparseUnsupported { precision } => {
                 write!(f, "no sparse tensor core support at {}", precision.name())
             }
-            CompileError::FragmentModeMismatch => write!(f, "fragment shape incompatible with mode"),
+            CompileError::FragmentModeMismatch => {
+                write!(f, "fragment shape incompatible with mode")
+            }
         }
     }
 }
@@ -213,6 +415,10 @@ pub struct CompiledStencil<R: Real> {
     pub prep: PrepStats,
     /// Launch geometry for the occupancy model.
     pub launch: LaunchConfig,
+    /// Precomputed execution tables (per-tile descriptors, work list,
+    /// split gather LUT, compiled operand programs) for the
+    /// zero-allocation executor.
+    pub exec: ExecTables<R>,
 }
 
 impl<R: Real> CompiledStencil<R> {
@@ -420,6 +626,8 @@ pub fn compile<R: Real>(
         shared_bytes_per_block: (buffers * stage_bytes).min(options.gpu.shared_per_sm),
     };
 
+    let exec = ExecTables::build(grid_shape, e, &plan, &geom, frag, &slices, &gather_lut);
+
     Ok(CompiledStencil {
         kernel: kernel.clone(),
         grid_shape,
@@ -438,6 +646,7 @@ pub fn compile<R: Real>(
         strategy_used,
         prep,
         launch,
+        exec,
     })
 }
 
@@ -450,7 +659,7 @@ mod tests {
         let k = StencilKernel::box2d9p();
         let c: CompiledStencil<f32> = compile(&k, [1, 66, 66], &Options::default()).unwrap();
         assert_eq!(c.mode, ExecMode::SparseTcu);
-        assert!(c.geom.k_logical % 32 == 0);
+        assert!(c.geom.k_logical.is_multiple_of(32));
         assert_eq!(c.slices.len(), 1);
         assert!(c.metadata_bytes() > 0);
         assert!(c.lut_bytes() > 0);
@@ -567,8 +776,10 @@ mod tests {
         };
         let c: CompiledStencil<f32> = compile(&k, [1, 34, 34], &opts).unwrap();
         // Row (j2=1, j1=3) → offset 1*34 + 3.
-        assert_eq!(c.scatter_lut[1 * 4 + 3], 34 + 3);
+        assert_eq!(c.scatter_lut[4 + 3], 34 + 3);
         // Padded rows marked.
-        assert!(c.scatter_lut[c.plan.m_prime()..].iter().all(|&v| v == usize::MAX));
+        assert!(c.scatter_lut[c.plan.m_prime()..]
+            .iter()
+            .all(|&v| v == usize::MAX));
     }
 }

@@ -168,7 +168,11 @@ mod tests {
             StencilKernel::star2d13p(),
             StencilKernel::heat3d(),
         ] {
-            let shape = if k.dims() == 3 { [9, 10, 11] } else { [1, 17, 19] };
+            let shape = if k.dims() == 3 {
+                [9, 10, 11]
+            } else {
+                [1, 17, 19]
+            };
             let g = Grid::<f64>::smooth_random(k.dims(), shape);
             assert_eq!(apply(&k, &g), apply_parallel(&k, &g), "kernel {}", k.name());
         }

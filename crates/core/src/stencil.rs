@@ -30,7 +30,12 @@ impl StencilKernel {
     /// # Panics
     /// Panics if `weights.len() != ez*ey*ex`, any extent is zero, or
     /// `dims` is not 1–3, or extents are inconsistent with `dims`.
-    pub fn new(name: impl Into<String>, dims: usize, extent: [usize; 3], weights: Vec<f64>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        dims: usize,
+        extent: [usize; 3],
+        weights: Vec<f64>,
+    ) -> Self {
         assert!((1..=3).contains(&dims), "dims must be 1..=3");
         let [ez, ey, ex] = extent;
         assert!(ez > 0 && ey > 0 && ex > 0, "extents must be positive");
@@ -133,12 +138,7 @@ impl StencilKernel {
                 }
             }
         }
-        StencilKernel::new(
-            format!("{}∘{}", self.name, other.name),
-            self.dims,
-            out,
-            w,
-        )
+        StencilKernel::new(format!("{}∘{}", self.name, other.name), self.dims, out, w)
     }
 
     /// `self` composed with itself `times` times (temporal fusion of
@@ -236,7 +236,14 @@ impl StencilKernel {
         let mut w = vec![0.0; 27];
         let idx = |z: usize, y: usize, x: usize| (z * 3 + y) * 3 + x;
         w[idx(1, 1, 1)] = 0.4;
-        for (z, y, x) in [(0, 1, 1), (2, 1, 1), (1, 0, 1), (1, 2, 1), (1, 1, 0), (1, 1, 2)] {
+        for (z, y, x) in [
+            (0, 1, 1),
+            (2, 1, 1),
+            (1, 0, 1),
+            (1, 2, 1),
+            (1, 1, 0),
+            (1, 1, 2),
+        ] {
             w[idx(z, y, x)] = 0.1;
         }
         Self::new("Heat-3D", 3, [3, 3, 3], w)

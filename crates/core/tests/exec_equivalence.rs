@@ -1,0 +1,186 @@
+//! Equivalence suite: the optimized execution engine (`exec::run` —
+//! ping-pong buffers, plan-time gather tables, per-worker scratch,
+//! parallel direct scatter, closed-form counters) must be
+//! indistinguishable from the retained naive reference path
+//! (`exec::run_naive`): bit-identical output grids and identical
+//! modelled counters, across dimensionalities, modes, fragment shapes,
+//! layouts, and iteration counts.
+
+use sparstencil::exec::{model_run, run, run_naive};
+use sparstencil::grid::Grid;
+use sparstencil::layout::ExecMode;
+use sparstencil::plan::{compile, Options};
+use sparstencil::stencil::StencilKernel;
+use sparstencil_tcu::FragmentShape;
+
+fn assert_equivalent(k: &StencilKernel, shape: [usize; 3], opts: &Options, iters: usize) {
+    let plan = compile::<f32>(k, shape, opts).unwrap();
+    let input = Grid::<f32>::smooth_random(k.dims(), shape);
+
+    let (fast, fast_stats) = run(&plan, &input, iters);
+    let (naive, naive_stats) = run_naive(&plan, &input, iters);
+
+    assert_eq!(
+        fast,
+        naive,
+        "{}: optimized and naive grids must be bit-identical (iters={iters})",
+        k.name()
+    );
+    assert_eq!(
+        fast_stats.counters,
+        naive_stats.counters,
+        "{}: counters must be identical (iters={iters})",
+        k.name()
+    );
+    assert_eq!(fast_stats.iters, naive_stats.iters);
+    assert_eq!(fast_stats.points_per_iter, naive_stats.points_per_iter);
+    // Timing is a pure function of the counters, so it must agree too.
+    assert_eq!(fast_stats.total_seconds, naive_stats.total_seconds);
+}
+
+#[test]
+fn equivalent_1d_kernels() {
+    for k in [StencilKernel::heat1d(), StencilKernel::onedim5p()] {
+        assert_equivalent(&k, [1, 1, 400], &Options::default(), 1);
+    }
+}
+
+#[test]
+fn equivalent_2d_kernels() {
+    for k in [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d9p(),
+        StencilKernel::star2d13p(),
+        StencilKernel::box2d49p(),
+    ] {
+        assert_equivalent(&k, [1, 48, 52], &Options::default(), 1);
+    }
+}
+
+#[test]
+fn equivalent_3d_kernels() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    for k in [StencilKernel::heat3d(), StencilKernel::box3d27p()] {
+        assert_equivalent(&k, [12, 20, 20], &opts, 1);
+    }
+}
+
+#[test]
+fn equivalent_multi_iteration() {
+    // Several steps exercise the ping-pong swap, the boundary-copied-once
+    // invariant, and scratch reuse across steps.
+    assert_equivalent(
+        &StencilKernel::heat2d(),
+        [1, 40, 40],
+        &Options::default(),
+        5,
+    );
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::heat3d(), [10, 18, 18], &opts, 3);
+}
+
+#[test]
+fn equivalent_dense_mode() {
+    let opts = Options {
+        mode: ExecMode::DenseTcu,
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 40, 44], &opts, 2);
+}
+
+#[test]
+fn equivalent_multi_m_strip_layout() {
+    // m' = 32 → two fragment m-strips.
+    let opts = Options {
+        layout: Some((8, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 52, 68], &opts, 2);
+}
+
+#[test]
+fn equivalent_alternate_fragments() {
+    let sparse16 = Options {
+        frag: Some(FragmentShape::sparse_m16n16k16()),
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::heat2d(), [1, 50, 50], &sparse16, 1);
+
+    let wide_n = Options {
+        frag: Some(FragmentShape::m16n32k8()),
+        mode: ExecMode::DenseTcu,
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 44, 60], &wide_n, 1);
+}
+
+#[test]
+fn equivalent_edge_heavy_layouts() {
+    // Deliberately misaligned grids: valid extents not multiples of
+    // (r1, r2) produce partial tiles on both axes, and tile counts not
+    // multiples of frag.n produce tail column blocks — the scatter
+    // bounds-check path and the stale-tail-column invariant.
+    let opts = Options {
+        layout: Some((5, 3)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 39, 41], &opts, 2);
+    assert_equivalent(&StencilKernel::star2d13p(), [1, 37, 43], &opts, 1);
+}
+
+#[test]
+fn equivalent_no_lut_flag() {
+    let opts = Options {
+        flags: sparstencil::plan::OptFlags {
+            lut: false,
+            double_buffer: false,
+        },
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 50, 50], &opts, 1);
+}
+
+#[test]
+fn equivalent_fp64_dense() {
+    let opts = Options {
+        precision: sparstencil_mat::half::Precision::Fp64,
+        mode: ExecMode::DenseTcu,
+        layout: Some((2, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::heat2d();
+    let shape = [1, 34, 34];
+    let plan = compile::<f64>(&k, shape, &opts).unwrap();
+    let input = Grid::<f64>::smooth_random(2, shape);
+    let (fast, fs) = run(&plan, &input, 2);
+    let (naive, ns) = run_naive(&plan, &input, 2);
+    assert_eq!(fast, naive);
+    assert_eq!(fs.counters, ns.counters);
+}
+
+#[test]
+fn optimized_counters_still_match_model() {
+    // The closed-form bulk counter update must agree with the analytic
+    // model exactly, like the naive per-op counting did.
+    let k = StencilKernel::box2d9p();
+    let opts = Options {
+        layout: Some((4, 2)),
+        ..Options::default()
+    };
+    let plan = compile::<f32>(&k, [1, 50, 50], &opts).unwrap();
+    let input = Grid::<f32>::smooth_random(2, [1, 50, 50]);
+    let (_, functional) = run(&plan, &input, 1);
+    let modelled = model_run(&plan, [1, 50, 50], 1);
+    assert_eq!(functional.counters.n_mma(), modelled.counters.n_mma());
+    assert_eq!(functional.counters.n_mma(), plan.geom.n_mma);
+}

@@ -14,9 +14,9 @@ use sparstencil::pipeline::Executor;
 use sparstencil::plan::{compile, Options};
 use sparstencil::reference;
 use sparstencil::stencil::StencilKernel;
-use sparstencil_mat::half::Precision;
 use sparstencil_mat::gemm;
 use sparstencil_mat::half::verify_tolerance;
+use sparstencil_mat::half::Precision;
 
 /// Strategy: a random 2D kernel — box or star over a radius-`r` bounding
 /// box with nonzero weights.

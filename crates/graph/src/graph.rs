@@ -40,7 +40,11 @@ impl Graph {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range {}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range {}",
+            self.n
+        );
         if u == v {
             return;
         }

@@ -92,10 +92,7 @@ pub fn hierarchical_matching(spec: StaircaseSpec) -> Result<PairList, SpecError>
     // ---- Level 2: match columns inside unmatched subgraphs (lines 5–13). --
     let s2 = (g / 2).max(k);
     let mut m2: Vec<(usize, usize)> = Vec::new();
-    for x in 0..m {
-        if block_matched[x] {
-            continue;
-        }
+    for (x, _) in block_matched.iter().enumerate().filter(|&(_, &bm)| !bm) {
         let base = x * g;
         let mut col_matched = vec![false; g];
         for u in 0..g {
@@ -158,7 +155,11 @@ pub fn hierarchical_pad_count(spec: StaircaseSpec) -> Result<usize, SpecError> {
     // Per unmatched block: columns g−s2..g that cannot find partners,
     // minus those consumed as right partners.
     let s2 = (g / 2).max(k);
-    let pads_per_block = if s2 >= g { g } else { g - 2 * (g - s2).min(g / 2) };
+    let pads_per_block = if s2 >= g {
+        g
+    } else {
+        g - 2 * (g - s2).min(g / 2)
+    };
     Ok(unmatched_blocks * pads_per_block)
 }
 
@@ -243,11 +244,7 @@ mod tests {
                     }
                     let unmatched_blocks = bm.iter().filter(|&&b| !b).count();
                     if unmatched_blocks == 0 {
-                        assert_eq!(
-                            m.pad_count(),
-                            opt,
-                            "k={k} br={block_rows} gr={global_rows}"
-                        );
+                        assert_eq!(m.pad_count(), opt, "k={k} br={block_rows} gr={global_rows}");
                     } else {
                         assert!(
                             m.pad_count() <= opt + unmatched_blocks * g_cols,
@@ -273,11 +270,7 @@ mod tests {
                     };
                     let m = hierarchical_matching(spec).unwrap();
                     let predicted = hierarchical_pad_count(spec).unwrap();
-                    assert_eq!(
-                        m.pad_count(),
-                        predicted,
-                        "nb={n_blocks} g={g} k={k}"
-                    );
+                    assert_eq!(m.pad_count(), predicted, "nb={n_blocks} g={g} k={k}");
                 }
             }
         }

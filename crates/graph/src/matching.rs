@@ -245,7 +245,10 @@ mod tests {
             pairs: vec![(0, 1), (1, 2)],
             n: 3,
         };
-        assert_eq!(m.validate(&g), Err(MatchingError::DoublyCovered { node: 1 }));
+        assert_eq!(
+            m.validate(&g),
+            Err(MatchingError::DoublyCovered { node: 1 })
+        );
     }
 
     #[test]
@@ -261,7 +264,10 @@ mod tests {
     #[test]
     fn empty_matching_is_valid() {
         let g = Graph::new(0);
-        let m = PairList { pairs: vec![], n: 0 };
+        let m = PairList {
+            pairs: vec![],
+            n: 0,
+        };
         m.validate(&g).unwrap();
         assert_eq!(min_padding_matching(&g).pairs.len(), 0);
     }

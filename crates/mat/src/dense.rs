@@ -225,7 +225,11 @@ impl<R: Real> DenseMatrix<R> {
     /// # Panics
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -236,7 +240,11 @@ impl<R: Real> DenseMatrix<R> {
     /// Largest relative difference `|a-b| / max(1, |a|, |b|)` against
     /// another matrix of the same shape.
     pub fn max_rel_diff(&self, other: &Self) -> f64 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_rel_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_rel_diff"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -245,6 +253,13 @@ impl<R: Real> DenseMatrix<R> {
                 (a - b).abs() / 1.0_f64.max(a.abs()).max(b.abs())
             })
             .fold(0.0, f64::max)
+    }
+
+    /// Set every element to `v` (used to reset reusable accumulator
+    /// fragments without reallocating).
+    #[inline]
+    pub fn fill(&mut self, v: R) {
+        self.data.fill(v);
     }
 
     /// Apply `f` to every element in place.
@@ -375,5 +390,12 @@ mod tests {
         let mut m = sample();
         m.map_inplace(|v| v * 2.0);
         assert_eq!(m.get(2, 3), 22.0);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut m = sample();
+        m.fill(1.5);
+        assert!(m.as_slice().iter().all(|&v| v == 1.5));
     }
 }

@@ -32,8 +32,7 @@ pub fn matmul<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>) -> DenseMatrix<R>
     let mut c = DenseMatrix::zeros(m, n);
     for i in 0..m {
         let a_row = a.row(i);
-        for kk in 0..k {
-            let aik = a_row[kk];
+        for (kk, &aik) in a_row.iter().enumerate().take(k) {
             if aik.is_zero() {
                 continue;
             }
@@ -84,16 +83,21 @@ pub fn matmul_blocked<R: Real>(
 
 /// Rayon row-parallel `C = A × B`. Per-row arithmetic order matches
 /// [`matmul`], so results agree bit-for-bit with the serial version.
+/// Workers write directly into disjoint row chunks of the output — no
+/// intermediate per-row buffers are allocated.
 pub fn matmul_parallel<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>) -> DenseMatrix<R> {
     assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let rows: Vec<Vec<R>> = (0..m)
-        .into_par_iter()
-        .map(|i| {
-            let mut c_row = vec![R::ZERO; n];
+    let mut c = DenseMatrix::zeros(m, n);
+    if n == 0 {
+        return c;
+    }
+    c.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, c_row)| {
             let a_row = a.row(i);
-            for kk in 0..k {
-                let aik = a_row[kk];
+            for (kk, &aik) in a_row.iter().enumerate().take(k) {
                 if aik.is_zero() {
                     continue;
                 }
@@ -102,10 +106,8 @@ pub fn matmul_parallel<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>) -> Dense
                     c_row[j] += aik * b_row[j];
                 }
             }
-            c_row
-        })
-        .collect();
-    DenseMatrix::from_vec(m, n, rows.into_iter().flatten().collect())
+        });
+    c
 }
 
 /// `y = A × x` (matrix-vector product).

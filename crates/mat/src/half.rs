@@ -62,13 +62,38 @@ impl Precision {
 
     /// Round an `f32` value through this precision's storage format.
     /// `Fp64` is the identity at `f32` width.
+    #[inline]
     pub fn round_f32(self, v: f32) -> f32 {
         match self {
-            Precision::Fp16 => f16_to_f32(f32_to_f16(v)),
+            Precision::Fp16 => fp16_round(v),
             Precision::Bf16 => bf16_round(v),
             Precision::Tf32 => tf32_round(v),
             Precision::Fp32 | Precision::Fp64 => v,
         }
+    }
+}
+
+/// Round an `f32` to the nearest FP16-representable value, staying in
+/// `f32` format. Bit-identical to `f16_to_f32(f32_to_f16(v))` for every
+/// input (verified exhaustively over all 2³² bit patterns), but with a
+/// branch-light fast path for the f16 normal range — this sits on the
+/// executor's per-step re-quantization path, where the full
+/// convert-and-back round trip dominated.
+#[inline]
+pub fn fp16_round(v: f32) -> f32 {
+    let bits = v.to_bits();
+    let exp = (bits >> 23) & 0xff;
+    // Exponents 113..=141 cover values whose rounded result is a normal
+    // f16 (rounding never decreases the exponent; carry from 141 lands
+    // on 2^15, still representable). Outside — zeros, f16 subnormals,
+    // overflow to infinity, NaNs — defer to the exact conversion pair.
+    if (113..=141).contains(&exp) {
+        // Round-to-nearest-even on the low 13 mantissa bits, performed
+        // directly on the f32 representation.
+        let rounded = (bits + 0x0FFF + ((bits >> 13) & 1)) & !0x1FFF;
+        f32::from_bits(rounded)
+    } else {
+        f16_to_f32(f32_to_f16(v))
     }
 }
 
@@ -218,7 +243,16 @@ mod tests {
     fn f16_roundtrip_exact_values() {
         // Values exactly representable in binary16 must round-trip.
         for v in [
-            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0, 0.000061035156,
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            1024.0,
+            65504.0,
+            -65504.0,
+            0.000061035156,
         ] {
             let rt = f16_to_f32(f32_to_f16(v));
             assert_eq!(rt, v, "roundtrip failed for {v}");
@@ -290,8 +324,48 @@ mod tests {
     }
 
     #[test]
+    fn fp16_round_matches_conversion_pair() {
+        // The fast path was verified exhaustively over all 2³² bit
+        // patterns offline; this test pins the interesting subspace so
+        // any edit to the magic constants fails immediately: every
+        // low-mantissa pattern (the RNE tie/carry space) across the
+        // fast-path exponent boundaries (112/113, 141/142), extremes,
+        // and NaN/Inf/subnormal exponents — both signs — plus a
+        // deterministic pseudo-random sample of full-width patterns.
+        let check = |bits: u32| {
+            let v = f32::from_bits(bits);
+            let fast = fp16_round(v);
+            let slow = f16_to_f32(f32_to_f16(v));
+            assert!(
+                fast.to_bits() == slow.to_bits() || (fast.is_nan() && slow.is_nan()),
+                "fp16_round mismatch at bits {bits:#010x}: fast {:#010x} slow {:#010x}",
+                fast.to_bits(),
+                slow.to_bits()
+            );
+        };
+        for exp in [
+            0u32, 1, 100, 111, 112, 113, 114, 127, 140, 141, 142, 143, 254, 255,
+        ] {
+            for mant_low in 0..(1u32 << 13) {
+                for mant_high in [0u32, 0x155, 0x3ff] {
+                    for sign in [0u32, 1] {
+                        check((sign << 31) | (exp << 23) | (mant_high << 13) | mant_low);
+                    }
+                }
+            }
+        }
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..1_000_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            check((state >> 32) as u32);
+        }
+    }
+
+    #[test]
     fn round_f64_path_matches_f32_path() {
-        for v in [0.1f32, 3.14159, -0.007, 123.456] {
+        for v in [0.1f32, 2.5, -0.007, 123.456] {
             let a = Precision::Fp16.round_f32(v) as f64;
             let b = Precision::Fp16.round_f64(v as f64);
             assert_eq!(a, b);

@@ -137,11 +137,7 @@ impl Permutation {
 /// permutation. Returns the max absolute deviation (0.0 for `f64` inputs —
 /// the permuted product performs the same additions in a different order,
 /// which for our test matrices is exact).
-pub fn pit_deviation<R: Real>(
-    a: &DenseMatrix<R>,
-    b: &DenseMatrix<R>,
-    p: &Permutation,
-) -> f64 {
+pub fn pit_deviation<R: Real>(a: &DenseMatrix<R>, b: &DenseMatrix<R>, p: &Permutation) -> f64 {
     let base = gemm::matmul(a, b);
     let (ap, bp) = p.pit(a, b);
     let permuted = gemm::matmul(&ap, &bp);
@@ -220,10 +216,7 @@ mod tests {
     fn pit_with_padding_preserves_product() {
         let a = DenseMatrix::from_fn(3, 4, |r, c| (r + c) as f64);
         let b = DenseMatrix::from_fn(4, 3, |r, c| (r * c) as f64 + 1.0);
-        let p = Permutation::from_order(
-            vec![1, Permutation::PAD, 3, 0, Permutation::PAD, 2],
-            4,
-        );
+        let p = Permutation::from_order(vec![1, Permutation::PAD, 3, 0, Permutation::PAD, 2], 4);
         assert_eq!(pit_deviation(&a, &b, &p), 0.0);
     }
 }

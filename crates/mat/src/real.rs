@@ -7,6 +7,7 @@
 //! hardware: tensor-core inputs are rounded to the operand precision while
 //! arithmetic accumulates at higher precision.
 
+use crate::half::Precision;
 use std::fmt::{Debug, Display};
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -44,6 +45,12 @@ pub trait Real:
 
     /// Lossless (for the value range we use) conversion from `f64`.
     fn from_f64(v: f64) -> Self;
+    /// Round through `precision`'s storage format at native width.
+    /// Equivalent to `from_f64(precision.round_f64(self.to_f64()))` but
+    /// without the `f64` round trip for `f32` (the rounding functions
+    /// narrow to `f32` first either way, so the results are identical
+    /// bit for bit).
+    fn round_to(self, precision: Precision) -> Self;
     /// Widening conversion to `f64`.
     fn to_f64(self) -> f64;
     /// Absolute value.
@@ -73,6 +80,10 @@ impl Real for f32 {
         v as f32
     }
     #[inline]
+    fn round_to(self, precision: Precision) -> Self {
+        precision.round_f32(self)
+    }
+    #[inline]
     fn to_f64(self) -> f64 {
         self as f64
     }
@@ -89,6 +100,10 @@ impl Real for f64 {
     #[inline]
     fn from_f64(v: f64) -> Self {
         v
+    }
+    #[inline]
+    fn round_to(self, precision: Precision) -> Self {
+        precision.round_f64(self)
     }
     #[inline]
     fn to_f64(self) -> f64 {
@@ -128,6 +143,23 @@ mod tests {
         assert!(!f32::ONE.is_zero());
         assert!(f64::ZERO.is_zero());
         assert_eq!(f64::ONE + f64::ONE, 2.0);
+    }
+
+    #[test]
+    fn round_to_matches_f64_path() {
+        for v in [0.1f32, -3.75, 1234.5, 1e-5, 65000.0] {
+            for p in [
+                Precision::Fp16,
+                Precision::Bf16,
+                Precision::Tf32,
+                Precision::Fp32,
+                Precision::Fp64,
+            ] {
+                assert_eq!(v.round_to(p), f32::from_f64(p.round_f64(v as f64)));
+                let d = v as f64;
+                assert_eq!(d.round_to(p), p.round_f64(d));
+            }
+        }
     }
 
     #[test]

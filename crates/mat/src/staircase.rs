@@ -43,7 +43,7 @@ pub fn staircase_from_weights<R: Real>(weights: &[R], rows: usize) -> DenseMatri
 pub fn is_staircase_within<R: Real>(m: &DenseMatrix<R>, k: usize) -> bool {
     for r in 0..m.rows() {
         for c in 0..m.cols() {
-            if !m.get(r, c).is_zero() && !(c >= r && c < r + k) {
+            if !m.get(r, c).is_zero() && !(r..r + k).contains(&c) {
                 return false;
             }
         }

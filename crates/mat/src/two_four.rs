@@ -282,7 +282,11 @@ mod tests {
             a.set(0, c, 1.0);
         }
         match TwoFourMatrix::compress(&a) {
-            Err(CompressError::GroupTooDense { row: 0, group: 0, count: 3 }) => {}
+            Err(CompressError::GroupTooDense {
+                row: 0,
+                group: 0,
+                count: 3,
+            }) => {}
             other => panic!("expected GroupTooDense, got {other:?}"),
         }
     }

@@ -15,33 +15,34 @@ use sparstencil_mat::two_four::TwoFourMatrix;
 
 /// Strategy: a 2:4-compatible matrix (each aligned group of 4 gets at most
 /// 2 nonzeros, at random positions with random small-integer values).
-fn two_four_matrix(
-    max_rows: usize,
-    max_groups: usize,
-) -> impl Strategy<Value = DenseMatrix<f64>> {
+fn two_four_matrix(max_rows: usize, max_groups: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
     (1..=max_rows, 1..=max_groups).prop_flat_map(|(rows, groups)| {
         let cells = rows * groups;
-        proptest::collection::vec((0usize..=2, 0usize..4, 0usize..4, -8i32..=8, -8i32..=8), cells)
-            .prop_map(move |specs| {
-                let mut m = DenseMatrix::zeros(rows, groups * 4);
-                for (cell, (count, p0, p1, v0, v1)) in specs.into_iter().enumerate() {
-                    let (r, g) = (cell / groups, cell % groups);
-                    let base = g * 4;
-                    if count >= 1 && v0 != 0 {
-                        m.set(r, base + p0, v0 as f64);
-                    }
-                    if count >= 2 && v1 != 0 && p1 != p0 {
-                        m.set(r, base + p1, v1 as f64);
-                    }
+        proptest::collection::vec(
+            (0usize..=2, 0usize..4, 0usize..4, -8i32..=8, -8i32..=8),
+            cells,
+        )
+        .prop_map(move |specs| {
+            let mut m = DenseMatrix::zeros(rows, groups * 4);
+            for (cell, (count, p0, p1, v0, v1)) in specs.into_iter().enumerate() {
+                let (r, g) = (cell / groups, cell % groups);
+                let base = g * 4;
+                if count >= 1 && v0 != 0 {
+                    m.set(r, base + p0, v0 as f64);
                 }
-                m
-            })
+                if count >= 2 && v1 != 0 && p1 != p0 {
+                    m.set(r, base + p1, v1 as f64);
+                }
+            }
+            m
+        })
     })
 }
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
-    proptest::collection::vec(-10i32..=10, rows * cols)
-        .prop_map(move |v| DenseMatrix::from_vec(rows, cols, v.into_iter().map(f64::from).collect()))
+    proptest::collection::vec(-10i32..=10, rows * cols).prop_map(move |v| {
+        DenseMatrix::from_vec(rows, cols, v.into_iter().map(f64::from).collect())
+    })
 }
 
 proptest! {

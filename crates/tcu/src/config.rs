@@ -44,33 +44,68 @@ pub struct FragmentShape {
 impl FragmentShape {
     /// Ampere dense FP16 fragment `m16n8k16`.
     pub const fn dense_fp16() -> Self {
-        Self { m: 16, n: 8, k: 16, sparse: false }
+        Self {
+            m: 16,
+            n: 8,
+            k: 16,
+            sparse: false,
+        }
     }
     /// Ampere sparse FP16 fragment `m16n8k32` (stored depth 16).
     pub const fn sparse_fp16() -> Self {
-        Self { m: 16, n: 8, k: 32, sparse: true }
+        Self {
+            m: 16,
+            n: 8,
+            k: 32,
+            sparse: true,
+        }
     }
     /// The `16×16×8` fragment class referenced in §2.1 (dense).
     pub const fn m16n16k8() -> Self {
-        Self { m: 16, n: 16, k: 8, sparse: false }
+        Self {
+            m: 16,
+            n: 16,
+            k: 8,
+            sparse: false,
+        }
     }
     /// The `16×32×8` fragment class referenced in §2.1 (dense).
     pub const fn m16n32k8() -> Self {
-        Self { m: 16, n: 32, k: 8, sparse: false }
+        Self {
+            m: 16,
+            n: 32,
+            k: 8,
+            sparse: false,
+        }
     }
     /// Sparse variant of the `16×16` class (`m16n16k16` logical).
     pub const fn sparse_m16n16k16() -> Self {
-        Self { m: 16, n: 16, k: 16, sparse: true }
+        Self {
+            m: 16,
+            n: 16,
+            k: 16,
+            sparse: true,
+        }
     }
     /// Ampere dense FP64 tensor fragment `m8n8k4`.
     pub const fn dense_fp64() -> Self {
-        Self { m: 8, n: 8, k: 4, sparse: false }
+        Self {
+            m: 8,
+            n: 8,
+            k: 4,
+            sparse: false,
+        }
     }
     /// Hypothetical FP64 sparse fragment for the §4.7 projection
     /// (`m8n8k8` logical, stored depth 4 — the FP64 analogue of the
     /// FP16 `m16n8k32`/`m16n8k16` relationship).
     pub const fn sparse_fp64_projected() -> Self {
-        Self { m: 8, n: 8, k: 8, sparse: true }
+        Self {
+            m: 8,
+            n: 8,
+            k: 8,
+            sparse: true,
+        }
     }
 
     /// Floating-point operations *executed* by one fragment op
@@ -297,8 +332,8 @@ impl GpuConfig {
     /// Equation 7), derived from the executed FLOPs and the per-TCU
     /// per-cycle throughput.
     pub fn cpi_tcu(&self, frag: FragmentShape, precision: Precision) -> f64 {
-        let per_tcu_per_cycle =
-            self.tc_flops(precision) / (self.num_sms as f64 * self.tcus_per_sm as f64 * self.clock_hz);
+        let per_tcu_per_cycle = self.tc_flops(precision)
+            / (self.num_sms as f64 * self.tcus_per_sm as f64 * self.clock_hz);
         frag.executed_flops() as f64 / per_tcu_per_cycle
     }
 

@@ -85,6 +85,19 @@ impl Engine {
         self.counters.tc_executed_flops += frag.executed_flops();
     }
 
+    /// Account for `count` fragment MMAs executed outside the engine
+    /// (the plan executor runs compiled row programs itself and reports
+    /// the exact op count in bulk — the count is closed-form from plan
+    /// geometry, so per-op bookkeeping in the hot loop is unnecessary).
+    pub fn record_mma_bulk(&mut self, frag: FragmentShape, sparse: bool, count: u64) {
+        if sparse {
+            self.counters.sparse_mma_count += count;
+        } else {
+            self.counters.dense_mma_count += count;
+        }
+        self.counters.tc_executed_flops += count * frag.executed_flops();
+    }
+
     /// Count `count` scalar FFMA operations (CUDA-core path). The caller
     /// performs the arithmetic (baselines compute through the reference
     /// implementation); the engine only accounts for time.
@@ -216,6 +229,9 @@ mod tests {
         let cfg = GpuConfig::a100();
         let expect = 16.0 * cfg.eff_tc_half / cfg.eff_tc_fp64;
         let ratio = fp64.timing().t_tensor / fp16.timing().t_tensor;
-        assert!((ratio - expect).abs() < 0.1, "ratio {ratio} expect {expect}");
+        assert!(
+            (ratio - expect).abs() < 0.1,
+            "ratio {ratio} expect {expect}"
+        );
     }
 }

@@ -27,8 +27,7 @@ pub fn dense_fragment_mma<R: Real>(
     assert_eq!(c.shape(), (frag.m, frag.n), "C operand shape mismatch");
     for i in 0..frag.m {
         let a_row = a.row(i);
-        for kk in 0..frag.k {
-            let aik = a_row[kk];
+        for (kk, &aik) in a_row.iter().enumerate().take(frag.k) {
             if aik.is_zero() {
                 // Dense hardware still spends the cycle; numerically a no-op.
                 continue;
@@ -37,6 +36,148 @@ pub fn dense_fragment_mma<R: Real>(
             let c_row = c.row_mut(i);
             for j in 0..frag.n {
                 c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// A fragment `A` operand compiled to its nonzero multiply schedule.
+///
+/// Fragment operands are built once at plan time and then re-used for
+/// every tile of every step, so the per-access work the plain MMA
+/// routines repeat — zero tests, 2:4 metadata decoding, bounds checks —
+/// can be hoisted into one flat `(b_row, value)` list per output row.
+/// [`program_mma`] then executes exactly the multiplies the hardware's
+/// useful lanes would, in the same order as [`dense_fragment_mma`] /
+/// [`crate::sparse::sparse_fragment_mma`] (ascending stored index), so
+/// results are bit-identical to the uncompiled routines.
+#[derive(Debug, Clone)]
+pub struct RowProgram<R: Real> {
+    m: usize,
+    k: usize,
+    /// `(b_row_index, a_value)` pairs, all rows concatenated.
+    entries: Vec<(u32, R)>,
+    /// `row_ends[i]` = end of row `i`'s entries (prefix sums).
+    row_ends: Vec<u32>,
+}
+
+impl<R: Real> RowProgram<R> {
+    /// Compile a dense `m × k` fragment operand: one entry per nonzero,
+    /// ascending column order (the order `dense_fragment_mma` multiplies
+    /// in).
+    pub fn from_dense(a: &DenseMatrix<R>) -> Self {
+        let (m, k) = a.shape();
+        let mut entries = Vec::new();
+        let mut row_ends = Vec::with_capacity(m);
+        for i in 0..m {
+            for (kk, &v) in a.row(i).iter().enumerate() {
+                if !v.is_zero() {
+                    entries.push((kk as u32, v));
+                }
+            }
+            row_ends.push(entries.len() as u32);
+        }
+        Self {
+            m,
+            k,
+            entries,
+            row_ends,
+        }
+    }
+
+    /// Output rows `m`.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Logical operand depth `k` (the `B` operand must have `k` rows).
+    pub fn depth(&self) -> usize {
+        self.k
+    }
+
+    /// Total scheduled multiplies (nonzero `A` lanes).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entries of output row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[(u32, R)] {
+        let start = if i == 0 {
+            0
+        } else {
+            self.row_ends[i - 1] as usize
+        };
+        &self.entries[start..self.row_ends[i] as usize]
+    }
+
+    /// Concatenate fragment programs along the depth axis: part `p`'s
+    /// entries keep their per-row order with `b_row` indices offset by
+    /// the cumulative depth of earlier parts. Executing the result
+    /// against a stacked `B` (parts' `B` operands stacked row-wise) is
+    /// arithmetically identical — same multiplies, same order — to
+    /// executing the parts one after another against their own `B`s.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the parts disagree on `m`.
+    pub fn concat(parts: &[Self]) -> Self {
+        assert!(!parts.is_empty(), "cannot concat zero programs");
+        let m = parts[0].m;
+        assert!(
+            parts.iter().all(|p| p.m == m),
+            "row-count mismatch in program concat"
+        );
+        let k: usize = parts.iter().map(|p| p.k).sum();
+        let rows = (0..m)
+            .map(|i| {
+                let mut base = 0u32;
+                let mut row = Vec::new();
+                for p in parts {
+                    row.extend(p.row(i).iter().map(|&(kk, v)| (base + kk, v)));
+                    base += p.k as u32;
+                }
+                row
+            })
+            .collect();
+        Self::from_rows(k, rows)
+    }
+
+    /// Build directly from per-row entry lists (used by the sparse
+    /// constructor). Entries' `b_row` indices must be `< k`.
+    pub(crate) fn from_rows(k: usize, rows: Vec<Vec<(u32, R)>>) -> Self {
+        let m = rows.len();
+        let mut entries = Vec::new();
+        let mut row_ends = Vec::with_capacity(m);
+        for row in rows {
+            debug_assert!(row.iter().all(|&(kk, _)| (kk as usize) < k));
+            entries.extend(row);
+            row_ends.push(entries.len() as u32);
+        }
+        Self {
+            m,
+            k,
+            entries,
+            row_ends,
+        }
+    }
+}
+
+/// Execute one fragment op from a compiled operand: `c += program × b`.
+/// Bit-identical to the corresponding uncompiled MMA routine (same
+/// multiply order, same skipped lanes).
+///
+/// # Panics
+/// Panics if `b`/`c` shapes do not match the program geometry.
+pub fn program_mma<R: Real>(prog: &RowProgram<R>, b: &DenseMatrix<R>, c: &mut DenseMatrix<R>) {
+    assert_eq!(b.rows(), prog.k, "B operand depth mismatch");
+    assert_eq!(c.shape(), (prog.m, b.cols()), "C operand shape mismatch");
+    let n = b.cols();
+    for i in 0..prog.m {
+        let c_row = c.row_mut(i);
+        for &(kk, v) in prog.row(i) {
+            let b_row = &b.row(kk as usize)[..n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += v * bj;
             }
         }
     }
@@ -85,7 +226,12 @@ mod tests {
 
     #[test]
     fn fragment_mma_matches_gemm() {
-        let frag = FragmentShape { m: 4, n: 3, k: 5, sparse: false };
+        let frag = FragmentShape {
+            m: 4,
+            n: 3,
+            k: 5,
+            sparse: false,
+        };
         let a = DenseMatrix::from_fn(4, 5, |r, c| ((r * 5 + c) % 7) as f64 - 3.0);
         let b = DenseMatrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
         let mut c = DenseMatrix::from_fn(4, 3, |r, c| (r + c) as f64);
@@ -135,8 +281,80 @@ mod tests {
     }
 
     #[test]
+    fn program_mma_matches_dense_fragment_mma() {
+        let frag = FragmentShape::dense_fp16();
+        let a = DenseMatrix::from_fn(16, 16, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0f32
+            } else {
+                ((r * 7 + c * 5) % 11) as f32 - 5.0
+            }
+        });
+        let b = DenseMatrix::from_fn(16, 8, |r, c| ((r * 3 + c) % 9) as f32 - 4.0);
+        let prog = RowProgram::from_dense(&a);
+        assert_eq!(prog.rows(), 16);
+        assert_eq!(prog.depth(), 16);
+        assert_eq!(prog.nnz(), a.nnz());
+        let mut c1 = DenseMatrix::from_fn(16, 8, |r, c| (r + c) as f32);
+        let mut c2 = c1.clone();
+        dense_fragment_mma(frag, &a, &b, &mut c1);
+        program_mma(&prog, &b, &mut c2);
+        assert_eq!(c1, c2, "compiled program must be bit-identical");
+    }
+
+    #[test]
+    fn concat_matches_sequential_execution() {
+        let a1 = DenseMatrix::from_fn(4, 6, |r, c| {
+            if (r + c) % 2 == 0 {
+                0.0
+            } else {
+                (r * 6 + c) as f64
+            }
+        });
+        let a2 = DenseMatrix::from_fn(4, 10, |r, c| {
+            if c % 3 == 0 {
+                (r + c) as f64 - 3.0
+            } else {
+                0.0
+            }
+        });
+        let p1 = RowProgram::from_dense(&a1);
+        let p2 = RowProgram::from_dense(&a2);
+        let merged = RowProgram::concat(&[p1.clone(), p2.clone()]);
+        assert_eq!(merged.depth(), 16);
+        assert_eq!(merged.nnz(), p1.nnz() + p2.nnz());
+
+        let b1 = DenseMatrix::from_fn(6, 5, |r, c| ((r * 5 + c) % 7) as f64 - 3.0);
+        let b2 = DenseMatrix::from_fn(10, 5, |r, c| ((r * 3 + c) % 5) as f64 - 2.0);
+        let mut stacked = DenseMatrix::zeros(16, 5);
+        stacked.set_block(0, 0, &b1);
+        stacked.set_block(6, 0, &b2);
+
+        let mut c_seq = DenseMatrix::zeros(4, 5);
+        program_mma(&p1, &b1, &mut c_seq);
+        program_mma(&p2, &b2, &mut c_seq);
+        let mut c_merged = DenseMatrix::zeros(4, 5);
+        program_mma(&merged, &stacked, &mut c_merged);
+        assert_eq!(c_seq, c_merged, "concat must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn program_mma_checks_depth() {
+        let prog = RowProgram::from_dense(&DenseMatrix::<f32>::identity(4));
+        let b = DenseMatrix::<f32>::zeros(5, 3);
+        let mut c = DenseMatrix::<f32>::zeros(4, 3);
+        program_mma(&prog, &b, &mut c);
+    }
+
+    #[test]
     fn exact_tile_boundaries_no_padding_waste() {
-        let frag = FragmentShape { m: 2, n: 2, k: 2, sparse: false };
+        let frag = FragmentShape {
+            m: 2,
+            n: 2,
+            k: 2,
+            sparse: false,
+        };
         let a = DenseMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
         let b = DenseMatrix::identity(4);
         let (c, ops) = tiled_dense_matmul(frag, &a, &b);

@@ -64,7 +64,11 @@ impl TimingBreakdown {
 /// not consume HBM bandwidth); all global requests additionally pay the
 /// L2 service term, which can become the binding level for hit-heavy
 /// gather patterns.
-pub fn kernel_time(config: &GpuConfig, counters: &Counters, precision: Precision) -> TimingBreakdown {
+pub fn kernel_time(
+    config: &GpuConfig,
+    counters: &Counters,
+    precision: Precision,
+) -> TimingBreakdown {
     let t_tensor = counters.tc_executed_flops as f64 / config.effective_tc_flops(precision);
     // One FFMA = 2 FLOPs.
     let t_ffma = (counters.ffma_count as f64 * 2.0) / config.effective_ffma_flops(precision);
@@ -126,10 +130,10 @@ pub fn utilization(
     let t = timing.total.max(1e-30);
     let l1 = (counters.shared_bytes() as f64 / t) / config.shared_bw;
     let dram = (counters.dram_bytes() as f64 / t) / config.global_bw;
-    let l2 =
-        ((counters.l2_hit_bytes + counters.global_write_bytes + counters.dram_read_bytes()) as f64
-            / t)
-            / config.l2_bw;
+    let l2 = ((counters.l2_hit_bytes + counters.global_write_bytes + counters.dram_read_bytes())
+        as f64
+        / t)
+        / config.l2_bw;
     UtilizationReport {
         sm_utilization: (timing.t_compute() / t).min(1.0),
         occupancy: occupancy.clamp(0.0, 1.0),
@@ -161,11 +165,10 @@ impl LaunchConfig {
         }
         let warps_per_block = self.threads_per_block.div_ceil(32);
         let by_warps = config.max_warps_per_sm / warps_per_block.max(1);
-        let by_smem = if self.shared_bytes_per_block > 0 {
-            config.shared_per_sm / self.shared_bytes_per_block
-        } else {
-            usize::MAX
-        };
+        let by_smem = config
+            .shared_per_sm
+            .checked_div(self.shared_bytes_per_block)
+            .unwrap_or(usize::MAX);
         let blocks_per_sm = by_warps.min(by_smem).min(32);
         if blocks_per_sm == 0 {
             return 0.0;

@@ -22,9 +22,16 @@ pub fn sparse_fragment_mma<R: Real>(
     b: &DenseMatrix<R>,
     c: &mut DenseMatrix<R>,
 ) {
-    assert!(frag.sparse, "sparse_fragment_mma requires a sparse fragment");
+    assert!(
+        frag.sparse,
+        "sparse_fragment_mma requires a sparse fragment"
+    );
     assert_eq!(a24.rows(), frag.m, "A operand row mismatch");
-    assert_eq!(a24.logical_cols(), frag.k, "A operand logical depth mismatch");
+    assert_eq!(
+        a24.logical_cols(),
+        frag.k,
+        "A operand logical depth mismatch"
+    );
     assert_eq!(b.shape(), (frag.k, frag.n), "B operand shape mismatch");
     assert_eq!(c.shape(), (frag.m, frag.n), "C operand shape mismatch");
 
@@ -45,6 +52,31 @@ pub fn sparse_fragment_mma<R: Real>(
                 c_row[j] += v * b_row[j];
             }
         }
+    }
+}
+
+impl<R: Real> crate::fragment::RowProgram<R> {
+    /// Compile a compressed 2:4 operand: one entry per nonzero *stored*
+    /// element, ascending stored order with the metadata already decoded
+    /// to logical `B` rows — exactly the lanes (and order)
+    /// [`sparse_fragment_mma`] multiplies, with the per-access metadata
+    /// decode hoisted to compile time.
+    pub fn from_two_four(a24: &TwoFourMatrix<R>) -> Self {
+        let rows = (0..a24.rows())
+            .map(|i| {
+                (0..a24.stored_cols())
+                    .filter_map(|s| {
+                        let v = a24.values().get(i, s);
+                        if v.is_zero() {
+                            None
+                        } else {
+                            Some((a24.logical_col(i, s) as u32, v))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self::from_rows(a24.logical_cols(), rows)
     }
 }
 
@@ -88,20 +120,8 @@ mod tests {
             // Deterministic pattern: group parity decides which 2 slots
             // are nonzero; some groups left emptier.
             match (r + g) % 3 {
-                0 => {
-                    if pos == 0 || pos == 2 {
-                        ((r * 31 + c * 7) % 9) as f64 - 4.0
-                    } else {
-                        0.0
-                    }
-                }
-                1 => {
-                    if pos == 1 {
-                        ((r * 13 + c) % 5) as f64 - 2.0
-                    } else {
-                        0.0
-                    }
-                }
+                0 if (pos == 0 || pos == 2) => ((r * 31 + c * 7) % 9) as f64 - 4.0,
+                1 if pos == 1 => ((r * 13 + c) % 5) as f64 - 2.0,
                 _ => 0.0,
             }
         })
@@ -140,6 +160,21 @@ mod tests {
         let (c, ops) = tiled_sparse_matmul_n(frag, &a24, &b);
         assert_eq!(c, gemm::matmul(&a, &b));
         assert_eq!(ops, 3); // ⌈21/8⌉
+    }
+
+    #[test]
+    fn compiled_program_matches_sparse_mma() {
+        let frag = FragmentShape::sparse_fp16();
+        let a = sample_a();
+        let a24 = TwoFourMatrix::compress(&a).unwrap();
+        let prog = crate::fragment::RowProgram::from_two_four(&a24);
+        let b = DenseMatrix::from_fn(32, 8, |r, c| ((r * 7 + c * 3) % 9) as f64 - 4.0);
+        let mut c1 = DenseMatrix::from_fn(16, 8, |r, c| (r * 8 + c) as f64 * 0.5);
+        let mut c2 = c1.clone();
+        sparse_fragment_mma(frag, &a24, &b, &mut c1);
+        crate::fragment::program_mma(&prog, &b, &mut c2);
+        assert_eq!(c1, c2, "compiled program must be bit-identical");
+        assert_eq!(prog.nnz(), a.nnz());
     }
 
     #[test]

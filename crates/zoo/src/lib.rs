@@ -222,9 +222,15 @@ pub fn all() -> Vec<ZooEntry> {
     push("poisson-2d-9p", PdeSolvers, || {
         compact9(-10.0 / 3.0, 2.0 / 3.0, 1.0 / 6.0)
     });
-    push("laplace-2d-fd4", PdeSolvers, || star2(-5.0, &[FD4[0], FD4[1]]));
-    push("laplace-3d-fd4", PdeSolvers, || star3(-7.5, &[FD4[0], FD4[1]]));
-    push("biharmonic-2d-13p", PdeSolvers, || star2(20.0, &[-8.0, 1.0]));
+    push("laplace-2d-fd4", PdeSolvers, || {
+        star2(-5.0, &[FD4[0], FD4[1]])
+    });
+    push("laplace-3d-fd4", PdeSolvers, || {
+        star3(-7.5, &[FD4[0], FD4[1]])
+    });
+    push("biharmonic-2d-13p", PdeSolvers, || {
+        star2(20.0, &[-8.0, 1.0])
+    });
     push("helmholtz-2d-5p", PdeSolvers, || star2(-3.9, &[1.0]));
     push("jacobi-1d-fd8", PdeSolvers, || {
         line1(vec![
@@ -250,9 +256,13 @@ pub fn all() -> Vec<ZooEntry> {
     push("burgers-1d-5p", FluidDynamics, || {
         line1(vec![-0.05, 0.3, 0.5, 0.3, -0.05])
     });
-    push("vorticity-2d-13p", FluidDynamics, || star2(0.5, &[0.1, 0.025]));
+    push("vorticity-2d-13p", FluidDynamics, || {
+        star2(0.5, &[0.1, 0.025])
+    });
     push("ns-pressure-2d-5p", FluidDynamics, || star2(-4.0, &[1.0]));
-    push("smagorinsky-2d-9p", FluidDynamics, || compact9(0.5, 0.08, 0.045));
+    push("smagorinsky-2d-9p", FluidDynamics, || {
+        compact9(0.5, 0.08, 0.045)
+    });
     push("channel-3d-7p", FluidDynamics, || star3(0.52, &[0.08]));
     push("jet-2d-25p", FluidDynamics, || {
         box2(
@@ -264,7 +274,9 @@ pub fn all() -> Vec<ZooEntry> {
     });
 
     // --- Lattice Boltzmann (8) ---
-    push("lbm-d2q5", LatticeBoltzmann, || star2(1.0 / 3.0, &[1.0 / 6.0]));
+    push("lbm-d2q5", LatticeBoltzmann, || {
+        star2(1.0 / 3.0, &[1.0 / 6.0])
+    });
     push("lbm-d2q9", LatticeBoltzmann, || {
         compact9(4.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0)
     });
@@ -278,13 +290,17 @@ pub fn all() -> Vec<ZooEntry> {
     push("lbm-d3q27", LatticeBoltzmann, || {
         cube1(8.0 / 27.0, 2.0 / 27.0, 1.0 / 54.0, 1.0 / 216.0)
     });
-    push("lbm-d2q9-mrt", LatticeBoltzmann, || compact9(0.5, 0.075, 0.05));
+    push("lbm-d2q9-mrt", LatticeBoltzmann, || {
+        compact9(0.5, 0.075, 0.05)
+    });
     push("lbm-thermal-d2q5", LatticeBoltzmann, || star2(0.4, &[0.15]));
 
     // --- Phase field (8) ---
     push("allen-cahn-2d-5p", PhaseField, || star2(0.52, &[0.12]));
     push("allen-cahn-3d-7p", PhaseField, || star3(0.46, &[0.09]));
-    push("cahn-hilliard-2d-13p", PhaseField, || star2(19.0, &[-7.5, 0.875]));
+    push("cahn-hilliard-2d-13p", PhaseField, || {
+        star2(19.0, &[-7.5, 0.875])
+    });
     push("cahn-hilliard-2d-25p", PhaseField, || {
         box2(5, {
             let mut w = vec![0.005; 25];
@@ -295,19 +311,27 @@ pub fn all() -> Vec<ZooEntry> {
             w
         })
     });
-    push("grain-growth-2d-9p", PhaseField, || compact9(0.6, 0.075, 0.025));
+    push("grain-growth-2d-9p", PhaseField, || {
+        compact9(0.6, 0.075, 0.025)
+    });
     push("dendrite-2d-13p", PhaseField, || star2(0.44, &[0.12, 0.02]));
-    push("spinodal-3d-19p", PhaseField, || cube1(0.4, 0.06, 0.01, 0.0));
+    push("spinodal-3d-19p", PhaseField, || {
+        cube1(0.4, 0.06, 0.01, 0.0)
+    });
     push("phase-aniso-2d-9p", PhaseField, || {
         star2_aniso(0.5, &[0.2, 0.0], &[0.05, 0.0])
     });
 
     // --- Geophysics / seismic (10) ---
-    push("acoustic-2d-fd4", Geophysics, || star2(-5.0, &[FD4[0], FD4[1]]));
+    push("acoustic-2d-fd4", Geophysics, || {
+        star2(-5.0, &[FD4[0], FD4[1]])
+    });
     push("acoustic-2d-fd8", Geophysics, || {
         star2(-2.0 * 2.0 * (FD8[0] + FD8[1] + FD8[2] + FD8[3]), &FD8)
     });
-    push("acoustic-3d-fd4", Geophysics, || star3(-7.5, &[FD4[0], FD4[1]]));
+    push("acoustic-3d-fd4", Geophysics, || {
+        star3(-7.5, &[FD4[0], FD4[1]])
+    });
     push("acoustic-3d-fd6", Geophysics, || {
         star3(-3.0 * 2.0 * (FD6[0] + FD6[1] + FD6[2]), &FD6)
     });
@@ -351,9 +375,15 @@ pub fn all() -> Vec<ZooEntry> {
     push("overthrust-3d-7p", Geophysics, || star3(-6.0, &[1.0]));
 
     // --- Weather & climate (8) ---
-    push("shallow-water-2d-5p", WeatherClimate, || star2(0.56, &[0.11]));
-    push("shallow-water-2d-9p", WeatherClimate, || compact9(0.44, 0.11, 0.03));
-    push("barotropic-2d-13p", WeatherClimate, || star2(0.4, &[0.13, 0.02]));
+    push("shallow-water-2d-5p", WeatherClimate, || {
+        star2(0.56, &[0.11])
+    });
+    push("shallow-water-2d-9p", WeatherClimate, || {
+        compact9(0.44, 0.11, 0.03)
+    });
+    push("barotropic-2d-13p", WeatherClimate, || {
+        star2(0.4, &[0.13, 0.02])
+    });
     push("advection-3d-7p", WeatherClimate, || star3(0.49, &[0.085]));
     push("coriolis-2d-9p", WeatherClimate, || {
         // Rotationally asymmetric weights.
@@ -375,14 +405,14 @@ pub fn all() -> Vec<ZooEntry> {
     push("monsoon-2d-25p", WeatherClimate, || {
         box2(
             5,
-            (0..25)
-                .map(|i| if i == 12 { 0.4 } else { 0.025 })
-                .collect(),
+            (0..25).map(|i| if i == 12 { 0.4 } else { 0.025 }).collect(),
         )
     });
 
     // --- Image processing (10) ---
-    push("gaussian-3x3", ImageProcessing, || compact9(0.25, 0.125, 0.0625));
+    push("gaussian-3x3", ImageProcessing, || {
+        compact9(0.25, 0.125, 0.0625)
+    });
     push("gaussian-5x5", ImageProcessing, || {
         let g = [1.0, 4.0, 6.0, 4.0, 1.0];
         box2(5, (0..25).map(|i| g[i / 5] * g[i % 5] / 256.0).collect())
@@ -393,7 +423,9 @@ pub fn all() -> Vec<ZooEntry> {
     push("sobel-y-3x3", ImageProcessing, || {
         box2(3, vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0])
     });
-    push("laplacian-3x3", ImageProcessing, || compact9(-4.0, 1.0, 0.0));
+    push("laplacian-3x3", ImageProcessing, || {
+        compact9(-4.0, 1.0, 0.0)
+    });
     push("sharpen-3x3", ImageProcessing, || compact9(5.0, -1.0, 0.0));
     push("emboss-3x3", ImageProcessing, || {
         box2(3, vec![-2.0, -1.0, 0.0, -1.0, 1.0, 1.0, 0.0, 1.0, 2.0])
@@ -407,7 +439,9 @@ pub fn all() -> Vec<ZooEntry> {
                 .collect(),
         )
     });
-    push("box-blur-7x7", ImageProcessing, || box2(7, vec![1.0 / 49.0; 49]));
+    push("box-blur-7x7", ImageProcessing, || {
+        box2(7, vec![1.0 / 49.0; 49])
+    });
     push("unsharp-5x5", ImageProcessing, || {
         let g = [1.0, 4.0, 6.0, 4.0, 1.0];
         box2(
@@ -432,13 +466,19 @@ pub fn all() -> Vec<ZooEntry> {
     });
     push("fdtd-2d-tm-5p", Electromagnetics, || star2(0.8, &[0.05]));
     push("fdtd-3d-7p", Electromagnetics, || star3(0.7, &[0.05]));
-    push("mur-abc-1d-3p", Electromagnetics, || line1(vec![0.33, 0.34, 0.33]));
+    push("mur-abc-1d-3p", Electromagnetics, || {
+        line1(vec![0.33, 0.34, 0.33])
+    });
     push("pml-2d-9p", Electromagnetics, || compact9(0.52, 0.09, 0.03));
-    push("helmholtz-2d-9p", Electromagnetics, || compact9(-2.7, 0.55, 0.125));
+    push("helmholtz-2d-9p", Electromagnetics, || {
+        compact9(-2.7, 0.55, 0.125)
+    });
     push("waveguide-2d-13p", Electromagnetics, || {
         star2(-4.9, &[FD4[0], FD4[1]])
     });
-    push("maxwell-3d-19p", Electromagnetics, || cube1(0.34, 0.07, 0.0175, 0.0));
+    push("maxwell-3d-19p", Electromagnetics, || {
+        cube1(0.34, 0.07, 0.0175, 0.0)
+    });
 
     // --- Structural mechanics (8) ---
     push("elasticity-2d-9p", StructuralMechanics, || {
@@ -447,14 +487,18 @@ pub fn all() -> Vec<ZooEntry> {
     push("elasticity-3d-27p", StructuralMechanics, || {
         cube1(-0.5, 0.1, 0.04, 0.01)
     });
-    push("plate-bending-13p", StructuralMechanics, || star2(20.0, &[-8.0, 1.0]));
+    push("plate-bending-13p", StructuralMechanics, || {
+        star2(20.0, &[-8.0, 1.0])
+    });
     push("beam-1d-5p", StructuralMechanics, || {
         line1(vec![1.0, -4.0, 6.0, -4.0, 1.0])
     });
     push("thermal-stress-2d-5p", StructuralMechanics, || {
         star2(0.55, &[0.1125])
     });
-    push("vonmises-2d-9p", StructuralMechanics, || compact9(0.48, 0.1, 0.03));
+    push("vonmises-2d-9p", StructuralMechanics, || {
+        compact9(0.48, 0.1, 0.03)
+    });
     push("crack-2d-25p", StructuralMechanics, || {
         box2(5, {
             let mut w = vec![0.0; 25];
@@ -465,7 +509,9 @@ pub fn all() -> Vec<ZooEntry> {
             w
         })
     });
-    push("shell-3d-19p", StructuralMechanics, || cube1(0.3, 0.08, 0.0275, 0.0));
+    push("shell-3d-19p", StructuralMechanics, || {
+        cube1(0.3, 0.08, 0.0275, 0.0)
+    });
 
     assert_eq!(v.len(), 79, "registry must hold exactly 79 kernels");
     v

@@ -14,7 +14,11 @@
 use sparstencil::prelude::*;
 
 fn enstrophy(g: &Grid<f32>) -> f64 {
-    g.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / g.len() as f64
+    g.as_slice()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / g.len() as f64
 }
 
 fn main() {
@@ -62,8 +66,11 @@ fn main() {
     }
 
     let (_, stats) = exec.run(&input, 40);
-    println!("\n  40 steps: {:.1} GStencil/s modelled, {} fragment MMAs",
-        stats.gstencil_per_sec, stats.counters.n_mma());
+    println!(
+        "\n  40 steps: {:.1} GStencil/s modelled, {} fragment MMAs",
+        stats.gstencil_per_sec,
+        stats.counters.n_mma()
+    );
     let err = exec.verify(&input, 3);
     println!("  verification vs scalar reference (3 steps): {err:.2e}");
 }

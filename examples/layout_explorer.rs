@@ -16,7 +16,11 @@ fn main() {
     let gpu = GpuConfig::a100();
     let frag = FragmentShape::sparse_fp16();
 
-    println!("== layout exploration for {} on {} ==\n", kernel.name(), gpu.name);
+    println!(
+        "== layout exploration for {} on {} ==\n",
+        kernel.name(),
+        gpu.name
+    );
     let exploration = layout::explore(
         &kernel,
         shape,
@@ -32,7 +36,11 @@ fn main() {
     let mut shown = 0;
     for e in &exploration.evaluated {
         if e.geom.r1 % 2 == 0 && e.geom.r2 % 2 == 0 || (e.geom.r1, e.geom.r2) == exploration.best {
-            let marker = if (e.geom.r1, e.geom.r2) == exploration.best { " <-- best" } else { "" };
+            let marker = if (e.geom.r1, e.geom.r2) == exploration.best {
+                " <-- best"
+            } else {
+                ""
+            };
             println!(
                 "  ({:>2},{:>2})   {:>3}   {:>3}->{:<3}   {:>8}   {:>7.3}ms  {:>7.3}ms  {:>6.3}ms{marker}",
                 e.geom.r1, e.geom.r2, e.geom.m_prime, e.geom.k_prime, e.geom.k_logical,
@@ -41,13 +49,19 @@ fn main() {
             shown += 1;
         }
     }
-    println!("  ({} of {} candidates shown)\n", shown, exploration.evaluated.len());
+    println!(
+        "  ({} of {} candidates shown)\n",
+        shown,
+        exploration.evaluated.len()
+    );
 
     // Matching strategies: Algorithm 1 vs the Blossom exact solver.
     println!("== matching strategies at the chosen layout ==\n");
     let (r1, r2) = exploration.best;
-    for (label, strategy) in [("hierarchical (Alg. 1)", Strategy::Hierarchical),
-                              ("blossom (exact)", Strategy::Blossom)] {
+    for (label, strategy) in [
+        ("hierarchical (Alg. 1)", Strategy::Hierarchical),
+        ("blossom (exact)", Strategy::Blossom),
+    ] {
         let [_, ey, ex] = kernel.extent();
         let plan = sparstencil::crush::CrushPlan::new(ey, ex, r1, r2);
         let a = sparstencil::crush::build_a_prime(&kernel.slice2d(0), &plan);

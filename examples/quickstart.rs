@@ -16,16 +16,26 @@ fn main() {
     // Compile: layout exploration → layout morphing → structured sparsity
     // conversion → kernel generation. Options::default() is FP16 on the
     // simulated A100's sparse tensor cores.
-    let exec = Executor::<f32>::new(&kernel, shape, &Options::default())
-        .expect("compilation failed");
+    let exec =
+        Executor::<f32>::new(&kernel, shape, &Options::default()).expect("compilation failed");
     let plan = exec.plan();
 
     println!("== SparStencil quickstart ==\n");
-    println!("kernel        : {} ({} points)", kernel.name(), kernel.points());
-    println!("chosen layout : (r1, r2) = ({}, {})", plan.plan.r1, plan.plan.r2);
+    println!(
+        "kernel        : {} ({} points)",
+        kernel.name(),
+        kernel.points()
+    );
+    println!(
+        "chosen layout : (r1, r2) = ({}, {})",
+        plan.plan.r1, plan.plan.r2
+    );
     println!(
         "operand shape : m' = {}, k' = {} -> k'' = {} (pads: {}, strategy: {})",
-        plan.geom.m_prime, plan.geom.k_prime, plan.geom.k_logical, plan.geom.pads,
+        plan.geom.m_prime,
+        plan.geom.k_prime,
+        plan.geom.k_logical,
+        plan.geom.pads,
         plan.strategy_used
     );
     println!(
@@ -39,8 +49,14 @@ fn main() {
     let (output, stats) = exec.run(&input, 10);
     println!("\nafter 10 steps:");
     println!("  fragment MMAs issued : {}", stats.counters.n_mma());
-    println!("  modelled kernel time : {:.3} ms", stats.total_seconds * 1e3);
-    println!("  throughput           : {:.1} GStencil/s", stats.gstencil_per_sec);
+    println!(
+        "  modelled kernel time : {:.3} ms",
+        stats.total_seconds * 1e3
+    );
+    println!(
+        "  throughput           : {:.1} GStencil/s",
+        stats.gstencil_per_sec
+    );
     println!(
         "  sample value         : out[128][128] = {:.5}",
         output.get(0, 128, 128)

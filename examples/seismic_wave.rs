@@ -26,7 +26,10 @@ fn main() {
         ..Options::default()
     };
     let exec = Executor::<f32>::new(&laplacian, shape, &opts).expect("compile ∇²");
-    println!("== 3D acoustic wave (FD4 star, {} points) ==\n", laplacian.points());
+    println!(
+        "== 3D acoustic wave (FD4 star, {} points) ==\n",
+        laplacian.points()
+    );
     println!(
         "grid {n}³ | layout ({}, {}) | operand k'' = {} | strategy {}",
         exec.plan().plan.r1,

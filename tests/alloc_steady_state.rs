@@ -1,0 +1,97 @@
+//! Zero-allocation steady state: after the first iteration warms the
+//! ping-pong buffers and per-worker scratch, additional executor steps
+//! must perform **zero** heap allocations.
+//!
+//! Methodology: a counting global allocator tallies every allocation in
+//! this test binary. A run with `N` iterations and a run with `1`
+//! iteration differ only in `N − 1` extra steady-state steps (plan,
+//! buffers, and finalization are identical), so their allocation counts
+//! must be exactly equal.
+
+use sparstencil::exec::run;
+use sparstencil::grid::Grid;
+use sparstencil::plan::{compile, Options};
+use sparstencil::stencil::StencilKernel;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_for_run(
+    plan: &sparstencil::plan::CompiledStencil<f32>,
+    input: &Grid<f32>,
+    iters: usize,
+) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let (out, stats) = run(plan, input, iters);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    // Keep the results alive past the measurement and sanity-check them
+    // so the runs cannot be optimized away.
+    assert_eq!(out.shape(), input.shape());
+    assert_eq!(stats.iters, iters);
+    after - before
+}
+
+fn assert_zero_steady_state_allocs(k: &StencilKernel, shape: [usize; 3], opts: &Options) {
+    let plan = compile::<f32>(k, shape, opts).unwrap();
+    let input = Grid::<f32>::smooth_random(k.dims(), shape);
+
+    // Warm up process-global state (thread pool, lazy runtime init).
+    let _ = run(&plan, &input, 2);
+
+    let one = allocations_for_run(&plan, &input, 1);
+    let many = allocations_for_run(&plan, &input, 6);
+    assert!(one > 0, "run setup must allocate the arena");
+    assert_eq!(
+        many,
+        one,
+        "{}: steps 2..6 allocated {} time(s); steady-state steps must not \
+         allocate at all",
+        k.name(),
+        many - one,
+    );
+}
+
+#[test]
+fn zero_steady_state_allocations_2d() {
+    assert_zero_steady_state_allocs(&StencilKernel::box2d9p(), [1, 50, 50], &Options::default());
+}
+
+#[test]
+fn zero_steady_state_allocations_2d_edge_tiles() {
+    let opts = Options {
+        layout: Some((5, 3)),
+        ..Options::default()
+    };
+    assert_zero_steady_state_allocs(&StencilKernel::box2d49p(), [1, 45, 47], &opts);
+}
+
+#[test]
+fn zero_steady_state_allocations_3d() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_zero_steady_state_allocs(&StencilKernel::box3d27p(), [10, 20, 20], &opts);
+}

@@ -122,7 +122,10 @@ fn headline_orderings_hold_at_paper_scale() {
     let amos = get("AMOS");
     let dr = get("DRStencil");
 
-    assert!(spar > conv, "SparStencil {spar:.1} vs ConvStencil {conv:.1}");
+    assert!(
+        spar > conv,
+        "SparStencil {spar:.1} vs ConvStencil {conv:.1}"
+    );
     assert!(conv > tc, "ConvStencil {conv:.1} vs TCStencil {tc:.1}");
     assert!(tc > cudnn, "TCStencil {tc:.1} vs cuDNN {cudnn:.1}");
     assert!(cudnn > amos, "cuDNN {cudnn:.1} vs AMOS {amos:.1}");

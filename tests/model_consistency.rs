@@ -127,9 +127,12 @@ fn modelled_time_scales_linearly_with_iterations() {
 
 #[test]
 fn prep_overhead_monotonically_decays() {
-    let exec =
-        Executor::<f32>::new(&StencilKernel::box2d49p(), [1, 130, 130], &Options::default())
-            .unwrap();
+    let exec = Executor::<f32>::new(
+        &StencilKernel::box2d49p(),
+        [1, 130, 130],
+        &Options::default(),
+    )
+    .unwrap();
     let profile = exec.overhead_profile(&[1, 10, 100, 1000, 10000]);
     let totals: Vec<f64> = profile
         .iter()
@@ -138,7 +141,10 @@ fn prep_overhead_monotonically_decays() {
     for w in totals.windows(2) {
         assert!(w[1] <= w[0] + 1e-9, "overhead must decay: {totals:?}");
     }
-    assert!(totals[0] > totals[4] * 10.0, "decay too shallow: {totals:?}");
+    assert!(
+        totals[0] > totals[4] * 10.0,
+        "decay too shallow: {totals:?}"
+    );
 }
 
 #[test]

@@ -50,7 +50,11 @@ fn all_79_kernels_verify_sparse() {
             ));
         }
     }
-    assert!(failures.is_empty(), "zoo failures:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "zoo failures:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -1,0 +1,263 @@
+//! Vendored, API-compatible subset of [rayon](https://docs.rs/rayon).
+//!
+//! The build environment has no registry access, so this crate
+//! reimplements exactly the parallel-iterator surface the workspace
+//! uses, backed by one persistent thread pool ([`pool`]):
+//!
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! - `range.into_par_iter().map(f).collect::<Vec<_>>()`
+//! - `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//!
+//! plus one extension real rayon does not have,
+//! [`pool::parallel_for_slots`], which hands each worker a persistent
+//! `&mut` scratch slot — the primitive the SparStencil executor uses
+//! for its zero-allocation steady state (dispatch through the pool
+//! performs no heap allocation once the pool threads exist).
+//!
+//! Ordering guarantees match rayon: `collect` preserves item order and
+//! the work splitting is deterministic (contiguous chunks), so results
+//! never depend on thread scheduling.
+
+pub mod pool;
+
+/// Number of threads the global pool runs on (compatible with
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    pool::current_num_threads()
+}
+
+/// The prelude: parallel-iterator extension traits.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+pub mod iter {
+    //! Parallel iterator adaptors (the consumed subset).
+
+    use crate::pool;
+    use std::mem::MaybeUninit;
+    use std::ops::Range;
+
+    /// `.par_iter()` on borrowed collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the parallel iterator.
+        type Item: Sync + 'a;
+        /// Borrowing parallel iterator over `&self`.
+        fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { slice: self }
+        }
+    }
+
+    /// `.into_par_iter()` on owned ranges.
+    pub trait IntoParallelIterator {
+        /// Item type yielded by the parallel iterator.
+        type Item: Send;
+        /// The iterator type.
+        type Iter;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Parallel iterator over a slice.
+    pub struct ParSlice<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParSlice<'a, T> {
+        /// Map every element through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            U: Send,
+            F: Fn(&'a T) -> U + Sync,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel slice iterator.
+    pub struct ParMap<'a, T, F> {
+        slice: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ParMap<'a, T, F> {
+        /// Collect mapped results preserving input order.
+        pub fn collect<U, C>(self) -> C
+        where
+            U: Send,
+            F: Fn(&'a T) -> U + Sync,
+            C: From<Vec<U>>,
+        {
+            let slice = self.slice;
+            let f = &self.f;
+            C::from(ordered_collect(slice.len(), |i| f(&slice[i])))
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParRange {
+        /// Map every index through `f` in parallel.
+        pub fn map<U, F>(self, f: F) -> ParRangeMap<F>
+        where
+            U: Send,
+            F: Fn(usize) -> U + Sync,
+        {
+            ParRangeMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    /// Mapped parallel range iterator.
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<F> ParRangeMap<F> {
+        /// Collect mapped results preserving index order.
+        pub fn collect<U, C>(self) -> C
+        where
+            U: Send,
+            F: Fn(usize) -> U + Sync,
+            C: From<Vec<U>>,
+        {
+            let start = self.range.start;
+            let n = self.range.end.saturating_sub(start);
+            let f = &self.f;
+            C::from(ordered_collect(n, |i| f(start + i)))
+        }
+    }
+
+    /// Run `f(i)` for `i in 0..n` in parallel, collecting results in
+    /// index order. Each slot is written exactly once by exactly one
+    /// task, so the unsafe assembly below is race-free.
+    fn ordered_collect<U: Send>(n: usize, f: impl Fn(usize) -> U + Sync) -> Vec<U> {
+        let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit contents are allowed to be uninitialized.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(n);
+        }
+        {
+            let out_ptr = SendPtr(out.as_mut_ptr());
+            pool::run_tasks(n, &|i| {
+                let out_ptr = &out_ptr;
+                // SAFETY: each index i is dispatched to exactly one task.
+                unsafe {
+                    out_ptr.0.add(i).write(MaybeUninit::new(f(i)));
+                }
+            });
+        }
+        // SAFETY: every slot was initialized above (run_tasks ran each
+        // index exactly once, or panicked — in which case we never get
+        // here and the Vec<MaybeUninit> leaks its elements, which is
+        // safe).
+        unsafe { std::mem::transmute::<Vec<MaybeUninit<U>>, Vec<U>>(out) }
+    }
+
+    struct SendPtr<T>(*mut T);
+    // SAFETY: the pointer is only used to write disjoint slots.
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+    /// `.par_chunks_mut()` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over non-overlapping mutable chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Parallel mutable-chunks iterator.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+            ParChunksMutEnumerate {
+                slice: self.slice,
+                chunk_size: self.chunk_size,
+            }
+        }
+
+        /// Apply `f` to every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut [T]) + Sync,
+        {
+            self.enumerate().for_each(|(_, chunk)| f(chunk));
+        }
+    }
+
+    /// Enumerated parallel mutable-chunks iterator.
+    pub struct ParChunksMutEnumerate<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<T: Send> ParChunksMutEnumerate<'_, T> {
+        /// Apply `f` to every `(index, chunk)` in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &mut [T])) + Sync,
+        {
+            let len = self.slice.len();
+            if len == 0 {
+                return;
+            }
+            let chunk = self.chunk_size;
+            let n_chunks = len.div_ceil(chunk);
+            let base = SendPtr(self.slice.as_mut_ptr());
+            pool::run_tasks(n_chunks, &|i| {
+                let base = &base;
+                let start = i * chunk;
+                let end = (start + chunk).min(len);
+                // SAFETY: chunks [start, end) are pairwise disjoint and
+                // within the original slice; each is visited by exactly
+                // one task.
+                let part =
+                    unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                f((i, part));
+            });
+        }
+    }
+}

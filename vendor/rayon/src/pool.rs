@@ -1,0 +1,371 @@
+//! The persistent thread pool behind the parallel iterators.
+//!
+//! One global pool is spawned on first use (`threads - 1` workers; the
+//! calling thread participates in every parallel region). Dispatching a
+//! parallel region performs **no heap allocation**: the job is passed as
+//! a raw `dyn Fn` pointer through pre-existing shared state, tasks are
+//! claimed with an atomic cursor, and completion is signalled through a
+//! condvar. The SparStencil executor's zero-allocation steady state
+//! depends on this property (see `tests/alloc_steady_state.rs` in the
+//! workspace root).
+//!
+//! Concurrency notes:
+//! - Concurrent `run_tasks` callers are serialized by a run lock; tasks
+//!   that recursively enter `run_tasks` (or calls made from a worker)
+//!   fall back to inline serial execution, so nesting cannot deadlock.
+//! - The task cursor packs `(generation << 32) | next_index` into one
+//!   atomic; a worker's claim CAS fails the moment a new generation is
+//!   installed, so a stale worker can never execute an old job pointer
+//!   against a new generation's indices.
+//! - Panics inside tasks are caught, recorded, and re-raised on the
+//!   calling thread once the region completes.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Condvar, Mutex, OnceLock};
+
+/// Lifetime-erased job reference: `f(task_index)`. The true lifetime is
+/// "until every task of the installing generation completed", which the
+/// installer enforces by blocking until `done == total`.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+/// The job slot lives inside a mutex so installation pairs atomically
+/// with the generation bump.
+struct Ctrl {
+    generation: u32,
+    job: Option<JobPtr>,
+}
+
+#[derive(Clone, Copy)]
+struct JobPtr(Job);
+// SAFETY: the pointee is `Sync` and is kept alive by the installing
+// thread until every task of its generation has completed.
+unsafe impl Send for JobPtr {}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// `(generation << 32) | next_task_index`.
+    cursor: AtomicU64,
+    /// Tasks in the current generation.
+    total: AtomicUsize,
+    /// Completed tasks in the current generation.
+    done: AtomicUsize,
+    /// A task of the current generation panicked.
+    panicked: AtomicBool,
+}
+
+struct Pool {
+    shared: &'static Shared,
+    workers: usize,
+    /// Serializes top-level parallel regions from concurrent threads.
+    run_lock: Mutex<()>,
+}
+
+thread_local! {
+    /// Set while this thread is executing inside a parallel region
+    /// (worker threads permanently; the installer for the duration of a
+    /// region). Nested regions run inline serially.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn desired_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                generation: 0,
+                job: None,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicU64::new(0),
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        }));
+        let workers = desired_threads().saturating_sub(1);
+        // Warm-up handshake: every worker blocks on (and wakes from) a
+        // condvar once before the pool is handed out, so per-thread
+        // lazy synchronization/TLS initialization — which performs a
+        // small one-time heap allocation per thread — happens here and
+        // never inside a caller's parallel region. The executor's
+        // zero-allocation steady state relies on this.
+        let ready: &'static Barrier = Box::leak(Box::new(Barrier::new(workers + 1)));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || {
+                    ready.wait();
+                    ready.wait();
+                    worker_loop(shared)
+                })
+                .expect("failed to spawn pool worker");
+        }
+        // Two rounds: the first waits for every thread to exist, the
+        // second forces each through a full block/wake cycle.
+        ready.wait();
+        ready.wait();
+        Pool {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+        }
+    })
+}
+
+/// Number of threads participating in parallel regions.
+pub fn current_num_threads() -> usize {
+    pool().workers + 1
+}
+
+fn worker_loop(shared: &'static Shared) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen: u32 = 0;
+    loop {
+        let (generation, job) = {
+            let mut g = shared.ctrl.lock().unwrap();
+            while g.generation == seen {
+                g = shared.work_cv.wait(g).unwrap();
+            }
+            seen = g.generation;
+            (g.generation, g.job)
+        };
+        if let Some(JobPtr(j)) = job {
+            execute_tasks(shared, j, generation);
+        }
+    }
+}
+
+/// Claim and run tasks of `generation` until the cursor moves past the
+/// end or the generation changes. Returns after contributing to `done`.
+fn execute_tasks(shared: &Shared, job: &(dyn Fn(usize) + Sync), generation: u32) {
+    loop {
+        let cur = shared.cursor.load(Ordering::SeqCst);
+        if (cur >> 32) as u32 != generation {
+            return; // a newer region was installed
+        }
+        // Load `total` only after the generation check: installation
+        // writes the cursor *before* the total, so a matching generation
+        // guarantees this total belongs to it (or to no install at all).
+        let total = shared.total.load(Ordering::SeqCst);
+        let idx = (cur & 0xffff_ffff) as usize;
+        if idx >= total {
+            return;
+        }
+        if shared
+            .cursor
+            .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            continue;
+        }
+        if catch_unwind(AssertUnwindSafe(|| job(idx))).is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        if shared.done.fetch_add(1, Ordering::SeqCst) + 1 == total {
+            let _g = shared.ctrl.lock().unwrap();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Run `job(i)` for every `i in 0..n` across the pool. Blocks until all
+/// tasks completed; panics (after completion) if any task panicked.
+/// Allocation-free after the pool exists.
+pub fn run_tasks(n: usize, job: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let p = pool();
+    let nested = IN_POOL.with(|f| f.get());
+    if p.workers == 0 || nested || n == 1 {
+        for i in 0..n {
+            job(i);
+        }
+        return;
+    }
+    assert!(n < u32::MAX as usize, "too many tasks for one region");
+    // A task panic is re-raised below while this guard is live, which
+    // poisons the mutex; that is fine — every region re-initializes the
+    // shared state from scratch, so recover the lock instead of letting
+    // one caught panic permanently disable parallel execution.
+    let _run_guard = p
+        .run_lock
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    IN_POOL.with(|f| f.set(true));
+    let shared = p.shared;
+    let generation = {
+        let mut g = shared.ctrl.lock().unwrap();
+        g.generation = g.generation.wrapping_add(1);
+        shared.done.store(0, Ordering::SeqCst);
+        shared.panicked.store(false, Ordering::SeqCst);
+        // Cursor before total: see the ordering comment in
+        // `execute_tasks`.
+        shared
+            .cursor
+            .store((g.generation as u64) << 32, Ordering::SeqCst);
+        shared.total.store(n, Ordering::SeqCst);
+        // SAFETY: the reference is kept alive past every use — this
+        // function blocks until `done == n`, after which no thread can
+        // claim a task of this generation (the cursor CAS fails on the
+        // generation bits), and `g.job` is cleared below.
+        let erased: Job = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), Job>(job) };
+        g.job = Some(JobPtr(erased));
+        shared.work_cv.notify_all();
+        g.generation
+    };
+    execute_tasks(shared, job, generation);
+    {
+        let mut g = shared.ctrl.lock().unwrap();
+        while shared.done.load(Ordering::SeqCst) < n {
+            g = shared.done_cv.wait(g).unwrap();
+        }
+        g.job = None;
+    }
+    IN_POOL.with(|f| f.set(false));
+    if shared.panicked.load(Ordering::SeqCst) {
+        panic!("a task in a parallel region panicked");
+    }
+}
+
+/// Evenly split `0..n_items` into `chunks` contiguous ranges; range `i`
+/// is `chunk_range(n_items, chunks, i)`.
+pub fn chunk_range(n_items: usize, chunks: usize, i: usize) -> Range<usize> {
+    let base = n_items / chunks;
+    let rem = n_items % chunks;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..(start + len)
+}
+
+/// Split `0..n_items` into `slots.len()` contiguous ranges and run
+/// `f(slot_index, &mut slots[slot_index], range)` for each non-empty
+/// range in parallel. Each slot is handed to exactly one task, which is
+/// what makes persistent per-worker scratch (allocated once, reused
+/// every call) sound. Extension over real rayon; see the crate docs.
+pub fn parallel_for_slots<S: Send>(
+    n_items: usize,
+    slots: &mut [S],
+    f: impl Fn(usize, &mut S, Range<usize>) + Sync,
+) {
+    let n_slots = slots.len();
+    assert!(n_slots > 0, "parallel_for_slots needs at least one slot");
+    if n_items == 0 {
+        return;
+    }
+    struct SlotsPtr<S>(*mut S);
+    // SAFETY: each slot index is visited by exactly one task.
+    unsafe impl<S: Send> Sync for SlotsPtr<S> {}
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    run_tasks(n_slots, &|i| {
+        let slots_ptr = &slots_ptr;
+        let range = chunk_range(n_items, n_slots, i);
+        if range.is_empty() {
+            return;
+        }
+        // SAFETY: task i is the only accessor of slots[i].
+        let slot = unsafe { &mut *slots_ptr.0.add(i) };
+        f(i, slot, range);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+        run_tasks(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        let count = AtomicU32::new(0);
+        run_tasks(4, &|_| {
+            run_tasks(4, &|_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        // A caught task panic must not poison the pool: later regions
+        // run normally.
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(8, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+        let count = AtomicU32::new(0);
+        run_tasks(16, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        for n in [0usize, 1, 7, 64, 65] {
+            for k in [1usize, 2, 3, 8] {
+                let mut covered = vec![false; n];
+                for i in 0..k {
+                    for j in chunk_range(n, k, i) {
+                        assert!(!covered[j]);
+                        covered[j] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c));
+            }
+        }
+    }
+
+    #[test]
+    fn slots_receive_disjoint_ranges() {
+        let mut slots = vec![0usize; 3];
+        parallel_for_slots(100, &mut slots, |_, slot, range| {
+            *slot += range.len();
+        });
+        assert_eq!(slots.iter().sum::<usize>(), 100);
+    }
+}

@@ -1,0 +1,15 @@
+//! Vendored [serde](https://docs.rs/serde) shim.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (as a
+//! courtesy to downstream users of the real crate); nothing serializes
+//! at runtime. This shim therefore provides the two derive macros
+//! (expanding to nothing) plus marker traits of the same names so
+//! `T: serde::Serialize` bounds would still compile if ever written.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! shim. Nothing in this workspace actually serializes values — the
+//! derives exist so type definitions annotated for downstream users
+//! still compile without registry access — so the macros expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
