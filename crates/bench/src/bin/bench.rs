@@ -1,14 +1,25 @@
 //! Step-throughput benchmark: measures the functional executor's
 //! steady-state cells/second on the two tracking workloads (2D-5pt at
-//! 256², 3D-27pt at 128³), for both the optimized engine (`exec::run`)
-//! and the retained naive reference path (`exec::run_naive`), and
-//! writes `BENCH_step_throughput.json` so successive PRs accumulate a
-//! perf trajectory.
+//! 256², 3D-27pt at 128³) and writes `BENCH_step_throughput.json` so
+//! successive PRs accumulate a perf trajectory.
+//!
+//! Per case it reports:
+//! - the optimized engine (`exec::run_with_parallelism`) across a
+//!   1/2/4 worker-lane sweep (multi-core scaling is first-class; on a
+//!   single-CPU box the >1-lane rows measure scheduling overhead only),
+//! - the retained naive reference path (`exec::run_naive`),
+//! - `edge_block_fraction` — the share of fragment-column blocks that
+//!   would fall off the branch-free gather path, `0.0` for every plan
+//!   since the executor plans over a halo-padded domain (regression
+//!   guard for that invariant).
+//!
+//! `optimized_cells_per_sec` stays the single-lane number so the CI
+//! regression gate (`bench_compare`) tracks one stable configuration.
 //!
 //! Usage: `cargo run --release -p sparstencil-bench --bin bench`
 //! (`--iters N` to change the measured step count, default 8).
 
-use sparstencil::exec::{run, run_naive};
+use sparstencil::exec::{run_naive, run_with_parallelism};
 use sparstencil::grid::Grid;
 use sparstencil::plan::{compile, CompiledStencil, Options};
 use sparstencil::stencil::StencilKernel;
@@ -74,23 +85,47 @@ fn main() {
         };
         let plan = compile::<f32>(&case.kernel, case.shape, &opts).unwrap();
         let input = Grid::<f32>::smooth_random(case.kernel.dims(), case.shape);
+        let edge_block_fraction = plan.exec.edge_block_fraction();
 
-        let optimized = measure(&plan, &input, iters, |p, g, n| {
-            let _ = run(p, g, n);
-        });
+        let lane_rates: Vec<(usize, f64)> = [1usize, 2, 4]
+            .iter()
+            .map(|&lanes| {
+                let rate = measure(&plan, &input, iters, |p, g, n| {
+                    let _ = run_with_parallelism(p, g, n, lanes);
+                });
+                (lanes, rate)
+            })
+            .collect();
+        let optimized = lane_rates[0].1;
         let naive = measure(&plan, &input, iters, |p, g, n| {
             let _ = run_naive(p, g, n);
         });
         let speedup = optimized / naive;
         println!(
-            "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x",
+            "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x   \
+             edge_blocks {edge_block_fraction:.3}",
             case.name, optimized, naive
         );
+        for &(lanes, rate) in &lane_rates[1..] {
+            println!(
+                "{:<22}   {lanes} lanes  {:>12.0} cells/s   ({:.2}x vs 1 lane)",
+                "",
+                rate,
+                rate / optimized
+            );
+        }
+        let threads_json = lane_rates
+            .iter()
+            .map(|&(lanes, rate)| format!("{{\"lanes\": {lanes}, \"cells_per_sec\": {rate:.1}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         rows.push(format!(
             "    {{\"case\": \"{}\", \"iters\": {iters}, \
+             \"edge_block_fraction\": {edge_block_fraction:.4}, \
              \"optimized_cells_per_sec\": {optimized:.1}, \
              \"naive_cells_per_sec\": {naive:.1}, \
-             \"speedup\": {speedup:.3}}}",
+             \"speedup\": {speedup:.3}, \
+             \"thread_sweep\": [{threads_json}]}}",
             case.name
         ));
     }

@@ -1,0 +1,128 @@
+//! Bench-regression gate: compare a freshly generated
+//! `BENCH_step_throughput.json` against a committed baseline and fail
+//! (exit code 1) when single-core performance regressed by more than
+//! the tolerated fraction (default 10%).
+//!
+//! The gating metric is the per-case `speedup` (optimized engine vs
+//! `run_naive`, measured in the same process on the same machine):
+//! the naive path is the stable denominator that normalizes out
+//! hardware differences between the machine that committed the
+//! baseline and the CI runner, so the gate trips on code regressions,
+//! not on runner variance. Absolute `optimized_cells_per_sec` drops
+//! are reported as warnings only.
+//!
+//! The parser is deliberately a line scanner over the fixed format the
+//! `bench` bin emits (one result object per line) rather than a JSON
+//! library — the workspace vendors only API-subset shims, and the
+//! format is owned by this crate.
+//!
+//! Usage:
+//! `cargo run --release -p sparstencil-bench --bin bench_compare -- \
+//!      <baseline.json> <fresh.json> [--tolerance 0.10]`
+
+use std::process::ExitCode;
+
+/// Extract the string value of `"key": "…"` from a line, if present.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract the numeric value of `"key": <number>` from a line, if
+/// present.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Row {
+    case: String,
+    speedup: f64,
+    cells_per_sec: f64,
+}
+
+/// Parse per-case rows from a bench JSON file.
+fn parse(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    text.lines()
+        .filter_map(|line| {
+            Some(Row {
+                case: string_field(line, "case")?,
+                speedup: number_field(line, "speedup")?,
+                cells_per_sec: number_field(line, "optimized_cells_per_sec")?,
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--tolerance 0.10]");
+        return ExitCode::FAILURE;
+    }
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10f64);
+
+    let baseline = parse(&args[1]);
+    let fresh = parse(&args[2]);
+    if baseline.is_empty() {
+        eprintln!("no parsable results in baseline {}", args[1]);
+        return ExitCode::FAILURE;
+    }
+    if fresh.is_empty() {
+        eprintln!("no parsable results in fresh run {}", args[2]);
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for old in &baseline {
+        let Some(new) = fresh.iter().find(|r| r.case == old.case) else {
+            eprintln!("REGRESSION: case {} missing from fresh results", old.case);
+            failed = true;
+            continue;
+        };
+        let ratio = new.speedup / old.speedup;
+        let abs_ratio = new.cells_per_sec / old.cells_per_sec;
+        let verdict = if ratio < 1.0 - tolerance {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<10} {:<24} speedup-vs-naive {:.2}x -> {:.2}x (ratio {ratio:.3})  \
+             abs {:.0} -> {:.0} cells/s (ratio {abs_ratio:.3})",
+            old.case, old.speedup, new.speedup, old.cells_per_sec, new.cells_per_sec
+        );
+        if abs_ratio < 1.0 - tolerance && verdict == "ok" {
+            println!(
+                "warning    {:<24} absolute throughput dropped {:.0}% — likely runner \
+                 hardware variance (speedup-vs-naive held)",
+                old.case,
+                (1.0 - abs_ratio) * 100.0
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "single-core throughput (speedup vs naive) regressed by more than {:.0}% on at \
+             least one case",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -100,6 +100,24 @@ impl CrushPlan {
         (ty * self.r2, tx * self.r1)
     }
 
+    /// Ghost-padded plane extents `(pad_ny, pad_nx)` for a `tiles_y ×
+    /// tiles_x` tile grid: the smallest plane in which every tile's
+    /// `gy × gx` gather window *and* every tile's full `r2 × r1` output
+    /// footprint are in-bounds by construction. Planning over a grid
+    /// embedded in this padded domain is what lets the executor drop all
+    /// per-tile edge classification (no tile is ever "edge").
+    ///
+    /// The last tile row starts at output row `(tiles_y − 1)·r2`, so its
+    /// gather window ends at `(tiles_y − 1)·r2 + gy = tiles_y·r2 + ky − 1`
+    /// (and symmetrically in `x`). The padded extent always covers the
+    /// semantic grid: `tiles_y·r2 ≥ vy` gives `pad_ny ≥ vy + ky − 1 = ny`.
+    pub fn padded_extent(&self, tiles_y: usize, tiles_x: usize) -> (usize, usize) {
+        (
+            tiles_y * self.r2 + self.ky - 1,
+            tiles_x * self.r1 + self.kx - 1,
+        )
+    }
+
     /// Fraction of `A'` entries that are zero for a dense (box) kernel:
     /// `1 − kx·ky / k'` — the residual sparsity the sparse TCU will
     /// exploit (50–80% in the paper's insight #2).

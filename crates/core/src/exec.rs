@@ -12,49 +12,62 @@
 //! hardware: operands pre-rounded to the plan's precision, accumulation
 //! at full scalar width, outputs re-rounded on store.
 //!
-//! # Execution engine: buffer ownership and scratch lifecycle
+//! # Execution engine: halo-padded interior-only execution
 //!
 //! [`run`] mirrors the discipline of the generated kernels — all
-//! bookkeeping hoisted to plan time, all buffers allocated once:
+//! bookkeeping hoisted to plan time, all buffers allocated once, and
+//! **no edge-tile path at all**:
 //!
-//! - **Ping-pong double buffering.** A [`StepBuffers`] arena owns two
-//!   persistent grids. `cur` is cloned from the caller's input (and
-//!   quantized) once per run; `next` is cloned from `cur` once, which
-//!   copies the boundary cells that no step ever rewrites. Each step
-//!   computes the valid region of `next` from `cur` and the buffers
-//!   swap — the per-step full-grid `clone()` of the naive path is gone.
-//!   Every valid cell is overwritten every step (tiles tile the valid
-//!   region exactly), so stale interior values from two steps ago are
-//!   never observable.
-//! - **Plan-time gather/scatter tables.** Tile origins, base offsets,
-//!   interior/edge and full/partial classification
-//!   ([`crate::plan::TileDesc`]), the per-step work list, the gather LUT
-//!   with padding rows removed, per-row scatter offsets, and the
-//!   operands compiled to full-depth nonzero row programs
-//!   ([`sparstencil_tcu::fragment::RowProgram`], k-strips concatenated
-//!   in accumulation order) all live in [`crate::plan::ExecTables`],
-//!   built once by `compile`. The hot loop only indexes — no division,
-//!   no metadata decode, no zero tests, no per-k-strip bookkeeping.
-//! - **Per-worker scratch.** Each pool worker owns a `WorkerScratch`
-//!   with one full-depth `B` staging buffer and one accumulator per
-//!   m-strip, allocated at run start and reused across slices, tiles,
-//!   and steps. The staging buffer keeps the invariant "padding rows
-//!   are zero" across steps without rewriting them: interior gathers
-//!   touch only non-padding rows, edge gathers rewrite their full
-//!   column (zeros included).
+//! - **Halo-padded ping-pong buffering.** A [`StepBuffers`] arena owns
+//!   two persistent grids embedded in a ghost-zone-padded domain
+//!   (`pad_ny × pad_nx` planes, [`crate::crush::CrushPlan::padded_extent`]) where
+//!   every tile's gather window and output footprint is in-bounds *by
+//!   construction*. `cur` is the quantized input embedded once per run;
+//!   `next` is cloned from it once, which seeds the boundary cells. Each
+//!   step computes `next` from `cur` and the buffers swap; the semantic
+//!   grid is extracted from the padded buffer once at run end.
+//! - **Interior-only branch-free hot loop.** Because no tile is ever
+//!   "edge" in the padded domain ([`crate::plan::TileDesc::interior`] is
+//!   universally true, asserted at plan build), the per-tile
+//!   interior/edge and full/partial classification of the previous
+//!   engine — and the branchy mixed-gather and bounds-checked-scatter
+//!   paths it guarded — are gone. Every block gathers through one
+//!   strided-copy loop over [`crate::plan::ExecTables::gather_rows`]
+//!   (offsets rebuilt on padded strides) and scatters unconditionally:
+//!   ghost outputs land in the padding, and a plan-time **mirror list**
+//!   (`mirror_segments`) restores the few overwritten semantic boundary
+//!   cells from the previous buffer once per step.
+//! - **Overwrite-first accumulation.** Slice 0's row programs are
+//!   compiled so every row has at least one entry (synthetic zero-store
+//!   for empty rows,
+//!   [`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`]); the
+//!   first
+//!   scheduled multiply of each accumulator row *stores* `v·b` instead
+//!   of accumulating into a pre-zeroed register, eliminating the
+//!   per-work-item `c_frag.fill(0)` pass (~2M stores/step on 3D-27pt
+//!   128³) from the steady-state loop entirely.
+//! - **Guided multi-core partitioning.** Work items are claimed from an
+//!   atomic cursor in shrinking block-granular chunks
+//!   (`rayon::pool::parallel_for_slots_guided`) rather than split into
+//!   one static contiguous range per pool thread, so threads that drew
+//!   cheap regions steal work from threads that drew expensive ones.
+//!   Each slot of persistent `WorkerScratch` is still owned by exactly
+//!   one task. [`run_with_parallelism`] exposes the lane count for
+//!   thread-scaling benchmarks.
 //! - **Parallel direct scatter.** Each work item writes its results
-//!   straight into the shared output grid. Tiles partition the valid
-//!   region and each tile belongs to exactly one work item, so all
-//!   writes are disjoint; `SharedOutput` encapsulates the aliasing
-//!   argument.
+//!   straight into the shared padded output grid. Tiles partition the
+//!   padded output footprint and each tile belongs to exactly one work
+//!   item, so all writes are disjoint; `SharedOutput` encapsulates the
+//!   aliasing argument.
 //!
 //! After the first iteration warms the buffers, a step performs **zero
 //! heap allocations** (asserted by `tests/alloc_steady_state.rs`).
-//! Counter totals are closed-form from plan geometry (`work × m-strips ×
-//! k-strips` MMAs), identical to what per-op counting in the naive path
-//! produces. [`run_naive`] retains the original implementation as the
-//! equivalence oracle: `tests/exec_equivalence.rs` pins bit-identical
-//! grids and identical counters between the two.
+//! Counter totals are closed-form from plan geometry via
+//! [`iter_counters`] — the same helper `model_run` scales analytically,
+//! so "analytic == counted" holds by construction. [`run_naive`] retains
+//! the original implementation as the equivalence oracle:
+//! `tests/exec_equivalence.rs` pins bit-identical grids and identical
+//! counters between the two.
 
 use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
@@ -108,34 +121,46 @@ pub fn run<R: Real>(
     input: &Grid<R>,
     iters: usize,
 ) -> (Grid<R>, RunStats) {
+    run_with_parallelism(plan, input, iters, rayon::current_num_threads())
+}
+
+/// [`run`] with an explicit worker-lane count: `lanes` persistent scratch
+/// slots are created and the guided scheduler dispatches that many slot
+/// tasks (each executed by at most one pool thread at a time, so `lanes`
+/// bounds the effective parallelism even on a wider pool). Results and
+/// counters are identical for every lane count — the thread-sweep
+/// benchmark measures scaling through this entry point.
+///
+/// # Panics
+/// Panics if the input shape differs from the plan's compile-time shape.
+pub fn run_with_parallelism<R: Real>(
+    plan: &CompiledStencil<R>,
+    input: &Grid<R>,
+    iters: usize,
+    lanes: usize,
+) -> (Grid<R>, RunStats) {
     assert_eq!(
         input.shape(),
         plan.grid_shape,
         "grid shape differs from the compiled plan"
     );
     let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
-    let mut bufs = StepBuffers::new(plan, input);
+    let per_iter = iter_counters(plan, &plan.geom, plan.grid_shape, true);
+    let mut bufs = StepBuffers::new(plan, input, lanes.max(1));
 
     for _ in 0..iters {
-        engine.launch();
-        account_traffic(plan, &mut engine);
+        engine.counters.merge(&per_iter);
         // Output quantization happens inside the scatter (each value is
         // rounded as it is stored, exactly like the hardware's store
         // path), so no separate whole-grid re-quantization pass runs:
         // boundary cells were quantized once when the arena was built
-        // and never change.
-        step_into(
-            plan,
-            &bufs.cur,
-            &mut bufs.next,
-            &mut bufs.scratch,
-            &mut engine,
-        );
+        // and are re-mirrored, not recomputed.
+        step_into(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch);
         std::mem::swap(&mut bufs.cur, &mut bufs.next);
     }
 
     let stats = finalize_stats(plan, &engine, iters);
-    (bufs.cur, stats)
+    (bufs.cur.window(plan.grid_shape), stats)
 }
 
 /// Per-worker reusable scratch: one `B` staging buffer spanning the full
@@ -143,17 +168,16 @@ pub fn run<R: Real>(
 /// Allocated once per run, reused across slices, tiles, and steps.
 ///
 /// Invariant: padding rows of `b_all` stay zero for the buffer's whole
-/// lifetime — they are zeroed at construction, interior gathers only
-/// write non-padding rows, and edge gathers rewrite whole columns
-/// (writing explicit zeros for padding rows).
+/// lifetime — they are zeroed at construction and the gather (which only
+/// iterates `gather_rows`, the non-padding rows) never touches them.
 struct WorkerScratch<R: Real> {
     b_all: DenseMatrix<R>,
     strips: Vec<DenseMatrix<R>>,
 }
 
-/// The persistent execution arena of one [`run`]: the two ping-pong
-/// grids and the per-worker scratch pool. Everything a step touches is
-/// allocated here, up front.
+/// The persistent execution arena of one [`run`]: the two halo-padded
+/// ping-pong grids and the per-lane scratch pool. Everything a step
+/// touches is allocated here, up front.
 struct StepBuffers<R: Real> {
     cur: Grid<R>,
     next: Grid<R>,
@@ -161,15 +185,19 @@ struct StepBuffers<R: Real> {
 }
 
 impl<R: Real> StepBuffers<R> {
-    fn new(plan: &CompiledStencil<R>, input: &Grid<R>) -> Self {
-        let mut cur = input.clone();
+    fn new(plan: &CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
+        // Embed the input in the ghost-padded domain (padding reads as
+        // zero, like the old edge path's out-of-range loads) and
+        // quantize once.
+        let pad_shape = [plan.grid_shape[0], plan.geom.pad_ny, plan.geom.pad_nx];
+        let mut cur = input.embedded_in(pad_shape);
         cur.quantize(plan.precision);
-        // One clone copies the boundary cells into the second buffer;
-        // steps rewrite every valid cell, so the boundary never needs
-        // copying again.
+        // One clone seeds the boundary cells of the second buffer; steps
+        // rewrite every tile output and re-mirror the boundary band, so
+        // a full boundary copy never happens again.
         let next = cur.clone();
         let frag = plan.frag;
-        let scratch = (0..rayon::current_num_threads())
+        let scratch = (0..lanes)
             .map(|_| WorkerScratch {
                 b_all: DenseMatrix::zeros(plan.geom.k_logical, frag.n),
                 strips: (0..plan.exec.m_strips)
@@ -183,11 +211,13 @@ impl<R: Real> StepBuffers<R> {
 
 /// Shared output buffer for the parallel direct scatter.
 ///
-/// Safety argument: the valid output region is exactly tiled by the
-/// plan's tiles; every tile belongs to exactly one `(plane, column
-/// block)` work item, and the work list is partitioned across pool
-/// tasks. Each cell index passed to `write` is therefore touched by at
-/// most one task per step.
+/// Safety argument: tiles have pairwise-disjoint `r2 × r1` output
+/// footprints in the padded plane (origins on an `r2/r1`-strided
+/// lattice), every tile belongs to exactly one `(plane, column block)`
+/// work item, and each work item is claimed by exactly one pool task per
+/// step. Each cell index passed to `write` is therefore touched by at
+/// most one task per step; the boundary mirror runs after the parallel
+/// region, on the caller's thread.
 struct SharedOutput<R> {
     ptr: *mut R,
     len: usize,
@@ -209,18 +239,18 @@ impl<R: Real> SharedOutput<R> {
     }
 }
 
-/// One optimized stencil step: compute the valid region of `out` from
-/// `cur`. Boundary cells of `out` are expected to already hold the (old,
+/// One optimized stencil step over the padded buffers: compute every tile
+/// output of `out` from `cur`, then mirror the semantic boundary band
+/// back. Boundary planes (`z ≥ planes`) of `out` already hold the (old,
 /// never-changing) boundary values.
 fn step_into<R: Real>(
     plan: &CompiledStencil<R>,
     cur: &Grid<R>,
     out: &mut Grid<R>,
     scratch: &mut [WorkerScratch<R>],
-    engine: &mut Engine,
 ) {
     let t = &plan.exec;
-    let plane_stride = cur.plane_stride();
+    let plane_stride = cur.plane_stride(); // padded: pad_ny · pad_nx
     let frag = plan.frag;
     let m_prime = plan.plan.m_prime();
     let tiles_per_plane = plan.geom.tiles_per_plane;
@@ -232,7 +262,7 @@ fn step_into<R: Real>(
         len: out_slice.len(),
     };
 
-    rayon::pool::parallel_for_slots(t.work.len(), scratch, |_slot, ws, range| {
+    rayon::pool::parallel_for_slots_guided(t.work.len(), 1, scratch, |_slot, ws, range| {
         for wi in range {
             let (z, cb) = t.work[wi];
             let first_tile = cb * frag.n;
@@ -240,71 +270,56 @@ fn step_into<R: Real>(
             let block_tiles = &t.tiles[first_tile..first_tile + tiles_in_block];
             let out_plane = z * plane_stride;
 
-            for c_frag in &mut ws.strips {
-                c_frag.fill(R::ZERO);
-            }
-
             for (si, slice) in plan.slices.iter().enumerate() {
                 let src_plane = (z + slice.dz) * plane_stride;
                 let b_all = &mut ws.b_all;
-                if t.block_interior[cb] {
-                    // Branch-free interior gather: for every non-padding
-                    // operand row, one strided load per tile into a
-                    // contiguous b_all row segment.
-                    for &(i, off) in &t.gather_rows {
-                        let row = &mut b_all.row_mut(i)[..tiles_in_block];
-                        for (dst, td) in row.iter_mut().zip(block_tiles) {
-                            let idx = src_plane + td.base + off;
-                            // SAFETY: `ExecTables::build` validated
-                            // every (interior tile, LUT offset)
-                            // combination against the grid length.
-                            debug_assert!(idx < data.len());
-                            *dst = unsafe { *data.get_unchecked(idx) };
-                        }
+                // The only gather path: for every non-padding operand
+                // row, one strided load per tile into a contiguous
+                // b_all row segment. Every (tile, offset) pair is
+                // in-bounds in the padded domain by construction.
+                for &(i, off) in &t.gather_rows {
+                    let row = &mut b_all.row_mut(i)[..tiles_in_block];
+                    for (dst, td) in row.iter_mut().zip(block_tiles) {
+                        let idx = src_plane + td.base + off;
+                        // SAFETY: `ExecTables::build` validated every
+                        // (tile, offset) combination against the padded
+                        // grid length.
+                        debug_assert!(idx < data.len());
+                        *dst = unsafe { *data.get_unchecked(idx) };
                     }
-                } else {
-                    gather_mixed(plan, block_tiles, data, src_plane, b_all);
                 }
                 // Columns past `tiles_in_block` (and columns of tiles
                 // past the plane) may hold stale data; the MMA computes
                 // per-column results independently and the scatter
                 // below never reads those columns.
                 for (mi, c_frag) in ws.strips.iter_mut().enumerate() {
-                    program_mma_hot(&t.programs[si][mi], b_all, c_frag, frag);
+                    if si == 0 {
+                        // Overwrite-first: slice 0's program stores its
+                        // first multiply, so no zeroing pass ran.
+                        program_mma_overwrite(&t.programs[si][mi], b_all, c_frag, frag);
+                    } else {
+                        program_mma_hot(&t.programs[si][mi], b_all, c_frag, frag);
+                    }
                 }
             }
 
-            // Direct scatter: this work item owns every output cell of
-            // its tiles. Per accumulator row, the source values are one
-            // contiguous c_frag row; the branch-free path needs no
-            // per-cell validity checks.
-            let block_full = t.block_full[cb];
+            // Unconditional direct scatter: this work item owns every
+            // output cell of its tiles, and in the padded domain every
+            // tile's full r2×r1 footprint is writable — ghost outputs
+            // land in the padding (restored by the mirror below), so no
+            // per-cell validity checks remain.
             for (mi, c_frag) in ws.strips.iter().enumerate() {
                 let row0 = mi * frag.m;
                 let rows = frag.m.min(m_prime.saturating_sub(row0));
                 for fr in 0..rows {
-                    let sr = &t.scatter_rows[row0 + fr];
+                    let off = t.scatter_offs[row0 + fr];
                     let c_row = &c_frag.row(fr)[..tiles_in_block];
-                    if block_full {
-                        for (&v, td) in c_row.iter().zip(block_tiles) {
-                            // SAFETY: disjointness per the SharedOutput
-                            // docs; full tiles index cell
-                            // (z, oy+j2, ox+j1) which is in range.
-                            unsafe {
-                                shared_out
-                                    .write(out_plane + td.base + sr.off, v.round_to(precision));
-                            }
-                        }
-                    } else {
-                        for (&v, td) in c_row.iter().zip(block_tiles) {
-                            if td.full || (td.oy + sr.j2 < t.vy && td.ox + sr.j1 < t.vx) {
-                                // SAFETY: as above; the bounds check
-                                // guards partial tiles.
-                                unsafe {
-                                    shared_out
-                                        .write(out_plane + td.base + sr.off, v.round_to(precision));
-                                }
-                            }
+                    for (&v, td) in c_row.iter().zip(block_tiles) {
+                        // SAFETY: disjointness per the SharedOutput
+                        // docs; the padded plane contains every tile's
+                        // full output footprint.
+                        unsafe {
+                            shared_out.write(out_plane + td.base + off, v.round_to(precision));
                         }
                     }
                 }
@@ -312,16 +327,29 @@ fn step_into<R: Real>(
         }
     });
 
-    let total_mma = (t.work.len() * t.k_strips * t.m_strips * plan.slices.len()) as u64;
-    engine.record_mma_bulk(frag, matches!(plan.mode, ExecMode::SparseTcu), total_mma);
+    // Boundary mirror: restore the semantic boundary cells the ghost
+    // scatters overwrote. Boundary values are step-invariant, so copying
+    // from `cur` (whose band was restored the same way last step, or
+    // seeded at arena build) is exact.
+    for z in 0..plan.geom.planes {
+        let p = z * plane_stride;
+        for &(off, len) in &t.mirror_segments {
+            out_slice[p + off..p + off + len].copy_from_slice(&data[p + off..p + off + len]);
+        }
+    }
 }
 
-/// The executor's MMA inner loop: identical arithmetic (and accumulation
-/// order) to [`sparstencil_tcu::fragment::program_mma`], with the `B`
-/// row slicing unchecked — entry
-/// indices were validated against the program depth when it was
-/// compiled, and the scratch `B` buffer is allocated at exactly
-/// `depth × frag.n`.
+/// The executor's accumulating MMA inner loop, for slices past the
+/// first. Today's `compile` z-folds every kernel into a single stacked
+/// slice, so this path is reachable only through multi-slice
+/// `SliceOperands` built elsewhere — it is kept because `step_into`
+/// handles that operand layout generically (as `run_naive` does), not
+/// because any current plan emits it. Identical arithmetic (and
+/// accumulation order) to
+/// [`sparstencil_tcu::fragment::program_mma`], with the `B` row slicing
+/// unchecked — entry indices were validated against the program depth
+/// when it was compiled, and the scratch `B` buffer is allocated at
+/// exactly `depth × frag.n`.
 fn program_mma_hot<R: Real>(
     prog: &sparstencil_tcu::fragment::RowProgram<R>,
     b_all: &DenseMatrix<R>,
@@ -330,14 +358,107 @@ fn program_mma_hot<R: Real>(
 ) {
     debug_assert_eq!(b_all.shape(), (prog.depth(), frag.n));
     debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
-    let n = frag.n;
-    let b_data = b_all.as_slice();
+    match frag.n {
+        8 => mma_rows::<R, 8, false>(prog, b_all.as_slice(), c_frag),
+        16 => mma_rows::<R, 16, false>(prog, b_all.as_slice(), c_frag),
+        32 => mma_rows::<R, 32, false>(prog, b_all.as_slice(), c_frag),
+        n => mma_rows_generic::<R, false>(prog, b_all.as_slice(), c_frag, n),
+    }
+}
+
+/// Overwrite-first variant for the first slice: the first scheduled
+/// multiply of each row *stores* `v·b` into the accumulator row
+/// (replacing whatever the previous work item left there) and the rest
+/// accumulate — eliminating the per-work-item zeroing pass. Every row
+/// has at least one entry by plan construction
+/// ([`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`]).
+/// Numerically identical to zero-fill + accumulate: IEEE `0 + x = x`
+/// (the sign of an exact-zero result is unobservable through the
+/// comparisons and arithmetic downstream).
+fn program_mma_overwrite<R: Real>(
+    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    b_all: &DenseMatrix<R>,
+    c_frag: &mut DenseMatrix<R>,
+    frag: sparstencil_tcu::FragmentShape,
+) {
+    debug_assert_eq!(b_all.shape(), (prog.depth(), frag.n));
+    debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
+    match frag.n {
+        8 => mma_rows::<R, 8, true>(prog, b_all.as_slice(), c_frag),
+        16 => mma_rows::<R, 16, true>(prog, b_all.as_slice(), c_frag),
+        32 => mma_rows::<R, 32, true>(prog, b_all.as_slice(), c_frag),
+        n => mma_rows_generic::<R, true>(prog, b_all.as_slice(), c_frag, n),
+    }
+}
+
+/// Width-specialized program execution: the `N`-lane accumulator row
+/// lives in registers across every entry of the row program (one load +
+/// one store per lane per *row*, not per *entry*), and the compile-time
+/// width lets LLVM unroll and vectorize the lane loop. The per-lane
+/// operation sequence is exactly the generic path's, so results stay
+/// bit-identical.
+fn mma_rows<R: Real, const N: usize, const OVERWRITE: bool>(
+    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    b_data: &[R],
+    c_frag: &mut DenseMatrix<R>,
+) {
+    for i in 0..prog.rows() {
+        let row = prog.row(i);
+        let c_row = &mut c_frag.row_mut(i)[..N];
+        let mut acc = [R::ZERO; N];
+        let mut entries = row.iter();
+        if OVERWRITE {
+            debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
+            let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+            let start = kk0 as usize * N;
+            // SAFETY: kk < prog.depth() by construction, so the row
+            // [start, start + N) lies inside the depth×N buffer.
+            debug_assert!(start + N <= b_data.len());
+            let b_row = unsafe { b_data.get_unchecked(start..start + N) };
+            for j in 0..N {
+                acc[j] = v0 * b_row[j];
+            }
+        } else {
+            acc.copy_from_slice(c_row);
+        }
+        for &(kk, v) in entries {
+            let start = kk as usize * N;
+            // SAFETY: as above.
+            debug_assert!(start + N <= b_data.len());
+            let b_row = unsafe { b_data.get_unchecked(start..start + N) };
+            for j in 0..N {
+                acc[j] += v * b_row[j];
+            }
+        }
+        c_row.copy_from_slice(&acc);
+    }
+}
+
+/// Fallback for fragment widths without a specialized kernel.
+fn mma_rows_generic<R: Real, const OVERWRITE: bool>(
+    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    b_data: &[R],
+    c_frag: &mut DenseMatrix<R>,
+    n: usize,
+) {
     for i in 0..prog.rows() {
         let c_row = &mut c_frag.row_mut(i)[..n];
-        for &(kk, v) in prog.row(i) {
+        let row = prog.row(i);
+        let mut entries = row.iter();
+        if OVERWRITE {
+            debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
+            let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+            let start = kk0 as usize * n;
+            // SAFETY: kk < prog.depth() by construction.
+            debug_assert!(start + n <= b_data.len());
+            let b_row = unsafe { b_data.get_unchecked(start..start + n) };
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj = v0 * bj;
+            }
+        }
+        for &(kk, v) in entries {
             let start = kk as usize * n;
-            // SAFETY: kk < prog.depth() by construction, so the
-            // row [start, start + n) lies inside the depth×n buffer.
+            // SAFETY: as above.
             debug_assert!(start + n <= b_data.len());
             let b_row = unsafe { b_data.get_unchecked(start..start + n) };
             for (cj, &bj) in c_row.iter_mut().zip(b_row) {
@@ -347,81 +468,48 @@ fn program_mma_hot<R: Real>(
     }
 }
 
-/// Gather for blocks containing edge tiles: interior tiles copy through
-/// the LUT row-wise (per-tile branch, but uniform per column so well
-/// predicted), edge tiles resolve explicit coordinates with bounds
-/// checks (out-of-range and padding rows read as zero).
-fn gather_mixed<R: Real>(
+/// Closed-form per-iteration activity counters of a compiled plan at a
+/// grid shape — **the** single source of the executor-side accounting:
+/// [`run`] merges this into its engine once per step, [`model_run`]
+/// scales it by the iteration count, so "analytic == counted" holds by
+/// construction instead of by parallel re-derivation. [`run_naive`]
+/// passes `include_mma = false` and keeps counting fragment ops one by
+/// one as the independent oracle the equivalence suite compares against.
+fn iter_counters<R: Real>(
     plan: &CompiledStencil<R>,
-    block_tiles: &[crate::plan::TileDesc],
-    data: &[R],
-    src_plane: usize,
-    b_all: &mut DenseMatrix<R>,
-) {
-    let t = &plan.exec;
-    let [_, ny, nx] = plan.grid_shape;
-    let plane_stride = ny * nx;
-    let nblk = block_tiles.len();
-    for &(i, off) in &t.gather_rows {
-        let row = &mut b_all.row_mut(i)[..nblk];
-        for (dst, td) in row.iter_mut().zip(block_tiles) {
-            if td.interior {
-                let idx = src_plane + td.base + off;
-                // SAFETY: `ExecTables::build` validated every (interior
-                // tile, LUT offset) combination against the grid length.
-                debug_assert!(idx < data.len());
-                *dst = unsafe { *data.get_unchecked(idx) };
-            }
-        }
-    }
-    for (tcol, td) in block_tiles.iter().enumerate() {
-        if td.interior {
-            continue;
-        }
-        for (i, &(dz, iy, ix)) in plan.gather_coords.iter().enumerate() {
-            let v = if dz == u32::MAX {
-                R::ZERO
-            } else {
-                let (dz, iy, ix) = (dz as usize, iy as usize, ix as usize);
-                if td.oy + iy < ny && td.ox + ix < nx {
-                    data[src_plane + dz * plane_stride + (td.oy + iy) * nx + td.ox + ix]
-                } else {
-                    R::ZERO
-                }
-            };
-            b_all.set(i, tcol, v);
-        }
-    }
-}
-
-/// Bulk-account the per-iteration memory traffic using the same formulas
-/// the layout explorer evaluates (keeping "analytic == counted" exact).
-fn account_traffic<R: Real>(plan: &CompiledStencil<R>, engine: &mut Engine) {
+    geom: &layout::LayoutGeometry,
+    grid_shape: [usize; 3],
+    include_mma: bool,
+) -> Counters {
     let tr = layout::traffic(
         &plan.kernel,
-        plan.grid_shape,
-        &plan.geom,
+        grid_shape,
+        geom,
         plan.frag,
         plan.precision,
         plan.flags.lut,
     );
-    let hit_fraction = if tr.global_read > 0 {
-        tr.l2_hit as f64 / tr.global_read as f64
-    } else {
-        0.0
-    };
-    engine.read_global(tr.global_read, hit_fraction.clamp(0.0, 1.0));
-    engine.write_global(tr.global_write);
-    engine.smem_write(tr.shared_write);
-    engine.smem_read(tr.shared_read);
-
+    let mut c = Counters::new();
+    c.kernel_launches = 1;
+    c.global_read_bytes = tr.global_read;
+    c.global_write_bytes = tr.global_write;
+    c.l2_hit_bytes = tr.l2_hit.min(tr.global_read);
+    c.shared_write_bytes = tr.shared_write;
+    c.shared_read_bytes = tr.shared_read;
+    if include_mma {
+        match plan.mode {
+            ExecMode::SparseTcu => c.sparse_mma_count = geom.n_mma,
+            ExecMode::DenseTcu => c.dense_mma_count = geom.n_mma,
+        }
+        c.tc_executed_flops = geom.n_mma * plan.frag.executed_flops();
+    }
     if !plan.flags.lut {
         // Without lookup tables every gathered element pays address
         // arithmetic (integer div/mod chains, ~4 scalar ops each — §3.3).
-        let touches =
-            (plan.geom.tiles_per_plane * plan.geom.planes) as u64 * plan.geom.k_prime as u64;
-        engine.ffma(touches * 4);
+        let touches = (geom.tiles_per_plane * geom.planes) as u64 * geom.k_prime as u64;
+        c.ffma_count = touches * 4;
     }
+    c
 }
 
 /// Execute `iters` steps through the retained pre-refactor path: clone
@@ -445,13 +533,16 @@ pub fn run_naive<R: Real>(
         "grid shape differs from the compiled plan"
     );
     let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
+    // Traffic/launch accounting shares the closed-form helper with the
+    // optimized engine; the fragment ops stay counted one by one inside
+    // `step_naive` as the independent oracle.
+    let per_iter = iter_counters(plan, &plan.geom, plan.grid_shape, false);
 
     let mut cur = input.clone();
     cur.quantize(plan.precision);
 
     for _ in 0..iters {
-        engine.launch();
-        account_traffic(plan, &mut engine);
+        engine.counters.merge(&per_iter);
         cur = step_naive(plan, &cur, &mut engine);
         if !matches!(plan.precision, Precision::Fp64) {
             cur.quantize(plan.precision);
@@ -681,30 +772,9 @@ pub fn model_run<R: Real>(
     // Pin to the compiled plan's actual converted width (grid-size
     // independent) so modelled counts match functional counts.
     layout::refine_geometry(&mut geom, plan.frag, plan.geom.k_logical, plan.geom.pads);
-    let tr = layout::traffic(
-        &plan.kernel,
-        grid_shape,
-        &geom,
-        plan.frag,
-        plan.precision,
-        plan.flags.lut,
-    );
-    let mut counters = Counters::new();
-    counters.kernel_launches = iters as u64;
-    match plan.mode {
-        ExecMode::SparseTcu => counters.sparse_mma_count = geom.n_mma * iters as u64,
-        ExecMode::DenseTcu => counters.dense_mma_count = geom.n_mma * iters as u64,
-    }
-    counters.tc_executed_flops = geom.n_mma * plan.frag.executed_flops() * iters as u64;
-    counters.global_read_bytes = tr.global_read * iters as u64;
-    counters.global_write_bytes = tr.global_write * iters as u64;
-    counters.l2_hit_bytes = tr.l2_hit * iters as u64;
-    counters.shared_write_bytes = tr.shared_write * iters as u64;
-    counters.shared_read_bytes = tr.shared_read * iters as u64;
-    if !plan.flags.lut {
-        let touches = (geom.tiles_per_plane * geom.planes) as u64 * geom.k_prime as u64;
-        counters.ffma_count = touches * 4 * iters as u64;
-    }
+    // The same closed-form per-iteration helper `run` merges per step —
+    // analytic and counted totals agree by construction.
+    let counters = iter_counters(plan, &geom, grid_shape, true).scaled(iters as u64);
 
     let timing = model::kernel_time(&plan.gpu, &counters, plan.precision);
     let total_seconds = if plan.flags.double_buffer {

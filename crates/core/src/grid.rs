@@ -166,6 +166,53 @@ impl<R: Real> Grid<R> {
         v[0] * v[1] * v[2]
     }
 
+    /// Embed this grid in the low corner of a zero-filled grid of `shape`
+    /// (ghost-zone padding: `shape ≥ self.shape()` per axis). The padding
+    /// cells read as zero, exactly what out-of-range gathers produced
+    /// before the executor planned over a padded domain.
+    ///
+    /// # Panics
+    /// Panics if `shape` is smaller than this grid on any axis.
+    pub fn embedded_in(&self, shape: [usize; 3]) -> Grid<R> {
+        let s = self.shape;
+        assert!(
+            (0..3).all(|a| shape[a] >= s[a]),
+            "padded shape {shape:?} smaller than grid {s:?}"
+        );
+        let mut out = Self::zeros(self.dims, shape);
+        for z in 0..s[0] {
+            for y in 0..s[1] {
+                let src = (z * s[1] + y) * s[2];
+                let dst = (z * shape[1] + y) * shape[2];
+                out.data[dst..dst + s[2]].copy_from_slice(&self.data[src..src + s[2]]);
+            }
+        }
+        out
+    }
+
+    /// Extract the low-corner `shape` window (the inverse of
+    /// [`Grid::embedded_in`]: recovers the semantic grid from a
+    /// ghost-padded one).
+    ///
+    /// # Panics
+    /// Panics if `shape` exceeds this grid on any axis.
+    pub fn window(&self, shape: [usize; 3]) -> Grid<R> {
+        let s = self.shape;
+        assert!(
+            (0..3).all(|a| shape[a] <= s[a]),
+            "window {shape:?} larger than grid {s:?}"
+        );
+        let mut out = Self::zeros(self.dims, shape);
+        for z in 0..shape[0] {
+            for y in 0..shape[1] {
+                let src = (z * s[1] + y) * s[2];
+                let dst = (z * shape[1] + y) * shape[2];
+                out.data[dst..dst + shape[2]].copy_from_slice(&self.data[src..src + shape[2]]);
+            }
+        }
+        out
+    }
+
     /// Round every value through `precision` (operand quantization applied
     /// once per buffer, as on real tensor-core kernels). Operates in place
     /// at native scalar width, so the per-step re-quantization in the
@@ -253,6 +300,26 @@ mod tests {
             let v = g.get(0, 0, x);
             assert_eq!(Precision::Fp16.round_f32(v), v, "already rounded");
         }
+    }
+
+    #[test]
+    fn embed_window_round_trip() {
+        let g = Grid::<f32>::smooth_random(3, [2, 3, 4]);
+        let padded = g.embedded_in([2, 5, 7]);
+        assert_eq!(padded.shape(), [2, 5, 7]);
+        assert_eq!(padded.dims(), 3);
+        // Low corner holds the original values, padding is zero.
+        assert_eq!(padded.get(1, 2, 3), g.get(1, 2, 3));
+        assert_eq!(padded.get(1, 4, 6), 0.0);
+        assert_eq!(padded.get(0, 3, 0), 0.0);
+        assert_eq!(padded.window([2, 3, 4]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than grid")]
+    fn embed_rejects_shrinking() {
+        let g = Grid::<f32>::zeros_2d(4, 4);
+        let _ = g.embedded_in([1, 4, 3]);
     }
 
     #[test]

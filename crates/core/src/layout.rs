@@ -50,6 +50,12 @@ pub struct LayoutGeometry {
     pub tiles_x: usize,
     /// Tiles along `y` per plane (`⌈vy / r2⌉`).
     pub tiles_y: usize,
+    /// Ghost-padded plane rows (`tiles_y·r2 + ky − 1 ≥ ny`): the executor
+    /// embeds the grid in `pad_ny × pad_nx` planes so every tile's gather
+    /// window and output footprint is in-bounds by construction.
+    pub pad_ny: usize,
+    /// Ghost-padded plane columns (`tiles_x·r1 + kx − 1 ≥ nx`).
+    pub pad_nx: usize,
     /// Output planes (1 for 1D/2D).
     pub planes: usize,
     /// Kernel depth (slices accumulated per output plane; 1 for 1D/2D).
@@ -142,6 +148,7 @@ pub fn geometry(
     let k_strips = (k_logical / frag.k) as u64;
     let col_blocks = tiles.div_ceil(frag.n) as u64;
     let n_mma = m_strips * k_strips * col_blocks * vz as u64;
+    let (pad_ny, pad_nx) = plan.padded_extent(tiles_y, tiles_x);
 
     LayoutGeometry {
         r1,
@@ -154,6 +161,8 @@ pub fn geometry(
         tiles_per_plane: tiles,
         tiles_x,
         tiles_y,
+        pad_ny,
+        pad_nx,
         planes: vz,
         slices: ez,
         n_mma,

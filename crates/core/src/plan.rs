@@ -90,40 +90,38 @@ pub struct SliceOperands<R: Real> {
 }
 
 /// Plan-time per-tile execution descriptor. Everything the per-step hot
-/// loop previously re-derived from the tile index — origin coordinates,
-/// linear base offset, interior/edge and full/partial classification —
-/// computed once at compile time.
+/// loop previously re-derived from the tile index — origin coordinates
+/// and the linear base offset *in the ghost-padded plane* — computed once
+/// at compile time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileDesc {
-    /// Linear offset of the tile origin within its plane (`oy·nx + ox`).
+    /// Linear offset of the tile origin within its ghost-padded plane
+    /// (`oy·pad_nx + ox`).
     pub base: usize,
     /// Output-space origin row `oy`.
     pub oy: usize,
     /// Output-space origin column `ox`.
     pub ox: usize,
-    /// The whole `gy × gx` gather window lies inside the grid, so the
-    /// gather is a straight indexed copy through the offset LUT.
+    /// The whole `gy × gx` gather window lies inside the padded plane —
+    /// `true` for every tile by construction of the padded domain
+    /// ([`CrushPlan::padded_extent`]); retained as the classification the
+    /// interior-only executor is built on, asserted at plan build and in
+    /// tests, and reported by [`ExecTables::edge_block_fraction`].
     pub interior: bool,
-    /// All `r2 × r1` outputs lie inside the valid region, so the scatter
-    /// needs no per-cell bounds checks.
-    pub full: bool,
-}
-
-/// Plan-time scatter descriptor for one `A''` row (`row < m'`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScatterRow {
-    /// Plane-local output offset relative to the tile base (`j2·nx + j1`).
-    pub off: usize,
-    /// Intra-tile output row `j2 = row / r1`.
-    pub j2: usize,
-    /// Intra-tile output column `j1 = row % r1`.
-    pub j1: usize,
 }
 
 /// Precomputed execution tables: the step-invariant part of `exec::run`'s
 /// inner loop, hoisted into the compiled plan (the simulator-side analogue
 /// of §3.3's host-precomputed lookup tables). Built once by [`compile`];
 /// the executor's hot path only indexes, never divides.
+///
+/// All offsets here address the **ghost-padded** plane geometry
+/// (`pad_ny × pad_nx` per plane, [`LayoutGeometry::pad_ny`]/`pad_nx`):
+/// the executor embeds the grid in a padded domain where every tile's
+/// gather window and output footprint is in-bounds by construction, so
+/// there is no edge-tile path at all. The shipped [`CompiledStencil::
+/// gather_lut`]/`scatter_lut` keep semantic-grid strides — they model
+/// what the generated kernel uploads for the *unpadded* layout.
 #[derive(Debug, Clone)]
 pub struct ExecTables<R: Real> {
     /// Valid output rows per plane (`ny − ey + 1`).
@@ -132,6 +130,8 @@ pub struct ExecTables<R: Real> {
     pub vx: usize,
     /// Fragment-column blocks per plane (`⌈n' / frag.n⌉`).
     pub col_blocks: usize,
+    /// Tiles per fragment-column block (`frag.n`).
+    pub frag_n: usize,
     /// Fragment m-strips (`m_padded / frag.m`).
     pub m_strips: usize,
     /// Fragment k-strips (`k_logical / frag.k`).
@@ -139,25 +139,34 @@ pub struct ExecTables<R: Real> {
     /// The per-step work list `(output plane, fragment column block)` —
     /// pure plan geometry, formerly rebuilt on every step.
     pub work: Vec<(usize, usize)>,
-    /// Per-tile descriptors, plane-local tile order.
+    /// Per-tile descriptors, plane-local tile order; bases in padded
+    /// coordinates.
     pub tiles: Vec<TileDesc>,
-    /// Every tile of column block `cb` is interior (enables the
-    /// row-major branch-free gather for the whole block).
-    pub block_interior: Vec<bool>,
-    /// Column block `cb` spans exactly `frag.n` tiles, all fully inside
-    /// the valid region (enables the branch-free scatter).
-    pub block_full: Vec<bool>,
-    /// `(operand row, tile-base-relative input offset)` for every
+    /// `(operand row, tile-base-relative padded input offset)` for every
     /// non-padding operand row over the full logical depth — the gather
-    /// LUT with padding rows removed.
+    /// LUT rebuilt on padded strides with padding rows removed. Every
+    /// offset is in-bounds for every tile, which is what makes the single
+    /// branch-free gather loop the only gather path.
     pub gather_rows: Vec<(usize, usize)>,
-    /// Per `A''` row `< m'`: scatter target within the tile.
-    pub scatter_rows: Vec<ScatterRow>,
+    /// Per `A''` row `< m'`: padded-plane output offset relative to the
+    /// tile base (`(row / r1)·pad_nx + row % r1`). The scatter is
+    /// unconditional — ghost outputs land in the padding and are restored
+    /// by the boundary mirror.
+    pub scatter_offs: Vec<usize>,
+    /// Plane-relative `(offset, len)` row segments of the semantic
+    /// boundary band that ghost scatters may overwrite; the executor
+    /// copies them back from the previous buffer once per step ("boundary
+    /// mirror"). Empty when the layout tiles the valid region exactly.
+    pub mirror_segments: Vec<(usize, usize)>,
     /// Compiled operand programs `[slice][m_strip]`, spanning the full
     /// logical depth `k_logical` — the per-k-strip fragment programs
     /// concatenated in k-strip order (preserving the hardware's
     /// accumulation order), with the 2:4 metadata decode and zero-skip
-    /// hoisted out of every MMA.
+    /// hoisted out of every MMA. Slice 0's programs are compiled
+    /// **overwrite-first**: every row is guaranteed at least one entry
+    /// (empty rows get a synthetic zero-store), so the executor's first
+    /// scheduled multiply per row stores instead of accumulating and the
+    /// per-work-item accumulator zeroing pass disappears.
     pub programs: Vec<Vec<RowProgram<R>>>,
 }
 
@@ -169,12 +178,14 @@ impl<R: Real> ExecTables<R> {
         geom: &LayoutGeometry,
         frag: FragmentShape,
         slices: &[SliceOperands<R>],
-        gather_lut: &[i64],
+        gather_coords: &[(u32, u32, u32)],
     ) -> Self {
         let [_, ny, nx] = grid_shape;
         let [_, ey, ex] = kernel_extent;
         let vy = ny - ey + 1;
         let vx = nx - ex + 1;
+        let (pad_ny, pad_nx) = (geom.pad_ny, geom.pad_nx);
+        let pad_ps = pad_ny * pad_nx;
         let m_prime = plan.m_prime();
         let col_blocks = geom.tiles_per_plane.div_ceil(frag.n);
         let m_strips = geom.m_padded / frag.m;
@@ -188,76 +199,37 @@ impl<R: Real> ExecTables<R> {
             .map(|tile| {
                 let (oy, ox) = plan.tile_origin(tile, geom.tiles_x);
                 TileDesc {
-                    base: oy * nx + ox,
+                    base: oy * pad_nx + ox,
                     oy,
                     ox,
-                    interior: oy + plan.gy <= ny && ox + plan.gx <= nx,
-                    full: oy + plan.r2 <= vy && ox + plan.r1 <= vx,
+                    interior: oy + plan.gy <= pad_ny && ox + plan.gx <= pad_nx,
                 }
             })
             .collect();
-
-        let block_interior: Vec<bool> = (0..col_blocks)
-            .map(|cb| {
-                let first = cb * frag.n;
-                let count = frag.n.min(geom.tiles_per_plane - first);
-                tiles[first..first + count].iter().all(|t| t.interior)
-            })
-            .collect();
-
-        let block_full: Vec<bool> = (0..col_blocks)
-            .map(|cb| {
-                let first = cb * frag.n;
-                let count = frag.n.min(geom.tiles_per_plane - first);
-                count == frag.n && tiles[first..first + count].iter().all(|t| t.full)
-            })
-            .collect();
-
-        let gather_rows: Vec<(usize, usize)> = gather_lut
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &off)| (off >= 0).then_some((i, off as usize)))
-            .collect();
-
-        let scatter_rows: Vec<ScatterRow> = (0..m_prime)
-            .map(|row| {
-                let (j2, j1) = (row / plan.r1, row % plan.r1);
-                ScatterRow {
-                    off: j2 * nx + j1,
-                    j2,
-                    j1,
-                }
-            })
-            .collect();
-
-        // Validate the interior fast path's indexing once, so the
-        // executor can use unchecked loads: the largest possible data
-        // index — deepest source plane, right/bottom-most interior
-        // tile, largest LUT offset — must be inside the grid. When no
-        // tile is interior (layouts larger than the grid) the fast path
-        // never runs and there is nothing to validate.
-        if let Some(max_interior_base) = tiles.iter().filter(|t| t.interior).map(|t| t.base).max() {
-            let max_off = gather_lut.iter().copied().max().unwrap_or(0).max(0) as usize;
-            let max_dz = slices.iter().map(|s| s.dz).max().unwrap_or(0);
-            let plane_stride = ny * nx;
-            assert!(
-                (geom.planes - 1 + max_dz) * plane_stride + max_interior_base + max_off
-                    < grid_shape[0] * plane_stride,
-                "interior gather table exceeds the grid"
-            );
-        }
+        assert!(
+            tiles.iter().all(|t| t.interior),
+            "halo padding must make every tile interior"
+        );
 
         // One program per m-strip spanning the whole logical depth: the
         // per-k-strip fragment programs concatenated in k-strip order,
         // which is exactly the order the per-strip MMA sequence
-        // accumulates in.
+        // accumulates in. The first slice is the first write of every
+        // accumulator element each step, so its programs are compiled
+        // overwrite-first: empty rows get a synthetic zero-store entry,
+        // pointed at an operand padding row (guaranteed zero in the
+        // staging buffer) when the conversion produced one.
+        let pad_zero_row = gather_coords.iter().position(|&(dz, _, _)| dz == u32::MAX);
+        let zero_row = pad_zero_row.unwrap_or(0);
         let programs: Vec<Vec<RowProgram<R>>> = slices
             .iter()
-            .map(|slice| {
+            .enumerate()
+            .map(|(si, slice)| {
                 slice
                     .strips
                     .iter()
-                    .map(|row| {
+                    .enumerate()
+                    .map(|(mi, row)| {
                         let parts: Vec<RowProgram<R>> = row
                             .iter()
                             .map(|op| match op {
@@ -265,26 +237,133 @@ impl<R: Real> ExecTables<R> {
                                 Operand::Dense(a) => RowProgram::from_dense(a),
                             })
                             .collect();
-                        RowProgram::concat(&parts)
+                        let prog = RowProgram::concat(&parts);
+                        if si == 0 {
+                            if pad_zero_row.is_none() {
+                                // Without a guaranteed-zero B row, the
+                                // synthetic store computes 0·b[0] — an
+                                // exact +0 only if the row is never
+                                // observed. Pin the invariant that empty
+                                // rows occur only in the m-padding band
+                                // (rows ≥ m', which the scatter never
+                                // reads), so a future kernel that breaks
+                                // it fails loudly at plan build instead
+                                // of silently perturbing outputs.
+                                for i in 0..prog.rows() {
+                                    assert!(
+                                        !prog.row(i).is_empty() || mi * frag.m + i >= m_prime,
+                                        "empty program row {} below m' with no operand padding row",
+                                        mi * frag.m + i
+                                    );
+                                }
+                            }
+                            prog.with_zero_fill_rows(zero_row)
+                        } else {
+                            prog
+                        }
                     })
                     .collect()
             })
             .collect();
 
+        // Operand rows actually referenced by some program entry: rows
+        // outside this set (padding rows, and window cells every kernel
+        // weight skips — common for star kernels in a box bounding box)
+        // never feed an MMA lane, so the gather need not stage them.
+        let mut referenced = vec![false; geom.k_logical];
+        for slice_programs in &programs {
+            for prog in slice_programs {
+                for i in 0..prog.rows() {
+                    for &(kk, _) in prog.row(i) {
+                        referenced[kk as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Gather offsets on padded strides; padding and unreferenced
+        // rows dropped. (The semantic-stride `gather_lut` cannot be
+        // reused here: its linear offsets bake in `ny·nx` plane
+        // geometry.)
+        let gather_rows: Vec<(usize, usize)> = gather_coords
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(dz, _, _))| dz != u32::MAX && referenced[i])
+            .map(|(i, &(dz, iy, ix))| {
+                (i, dz as usize * pad_ps + iy as usize * pad_nx + ix as usize)
+            })
+            .collect();
+
+        let scatter_offs: Vec<usize> = (0..m_prime)
+            .map(|row| (row / plan.r1) * pad_nx + row % plan.r1)
+            .collect();
+
+        // Boundary mirror: ghost outputs (tile rows/cols past the valid
+        // region) are scattered unconditionally into the padded plane and
+        // may overlap the semantic boundary band `[vy, ny) × [0, nx)` and
+        // `[0, vy) × [vx, nx)`, whose cells must keep their original
+        // input values. Record the overwritten row segments once; the
+        // executor restores them from the previous buffer after each
+        // step's scatter. Cells past the semantic grid (`≥ ny`/`≥ nx`)
+        // are pure ghost and never need restoring.
+        let mut mirror_segments: Vec<(usize, usize)> = Vec::new();
+        if geom.tiles_x * plan.r1 > vx && nx > vx {
+            for y in 0..vy {
+                mirror_segments.push((y * pad_nx + vx, nx - vx));
+            }
+        }
+        if geom.tiles_y * plan.r2 > vy {
+            for y in vy..ny {
+                mirror_segments.push((y * pad_nx, nx));
+            }
+        }
+
+        // Validate the gather indexing once, so the executor can use
+        // unchecked loads: the largest possible data index — deepest
+        // source plane, bottom-right tile, largest offset — must be
+        // inside the padded buffer.
+        if let Some(max_base) = tiles.iter().map(|t| t.base).max() {
+            let max_off = gather_rows.iter().map(|&(_, off)| off).max().unwrap_or(0);
+            let max_dz = slices.iter().map(|s| s.dz).max().unwrap_or(0);
+            assert!(
+                (geom.planes - 1 + max_dz) * pad_ps + max_base + max_off < grid_shape[0] * pad_ps,
+                "gather table exceeds the padded grid"
+            );
+        }
+
         Self {
             vy,
             vx,
             col_blocks,
+            frag_n: frag.n,
             m_strips,
             k_strips,
             work,
             tiles,
-            block_interior,
-            block_full,
             gather_rows,
-            scatter_rows,
+            scatter_offs,
+            mirror_segments,
             programs,
         }
+    }
+
+    /// Fraction of fragment-column blocks containing at least one
+    /// non-interior (edge) tile — the work share that would fall off the
+    /// branch-free gather path. `0.0` for every plan since the executor
+    /// plans over the halo-padded domain; emitted per benchmark case as
+    /// the regression guard for that invariant.
+    pub fn edge_block_fraction(&self) -> f64 {
+        if self.col_blocks == 0 {
+            return 0.0;
+        }
+        let edge_blocks = (0..self.col_blocks)
+            .filter(|cb| {
+                let first = cb * self.frag_n;
+                let count = self.frag_n.min(self.tiles.len() - first);
+                self.tiles[first..first + count].iter().any(|t| !t.interior)
+            })
+            .count();
+        edge_blocks as f64 / self.col_blocks as f64
     }
 }
 
@@ -626,7 +705,7 @@ pub fn compile<R: Real>(
         shared_bytes_per_block: (buffers * stage_bytes).min(options.gpu.shared_per_sm),
     };
 
-    let exec = ExecTables::build(grid_shape, e, &plan, &geom, frag, &slices, &gather_lut);
+    let exec = ExecTables::build(grid_shape, e, &plan, &geom, frag, &slices, &gather_coords);
 
     Ok(CompiledStencil {
         kernel: kernel.clone(),

@@ -1,12 +1,13 @@
 //! Equivalence suite: the optimized execution engine (`exec::run` —
-//! ping-pong buffers, plan-time gather tables, per-worker scratch,
-//! parallel direct scatter, closed-form counters) must be
-//! indistinguishable from the retained naive reference path
-//! (`exec::run_naive`): bit-identical output grids and identical
-//! modelled counters, across dimensionalities, modes, fragment shapes,
-//! layouts, and iteration counts.
+//! halo-padded interior-only planning, ping-pong buffers, plan-time
+//! gather tables, overwrite-first accumulators, per-worker scratch,
+//! guided work partitioning, parallel direct scatter, closed-form
+//! counters) must be indistinguishable from the retained naive
+//! reference path (`exec::run_naive`): bit-identical output grids and
+//! identical modelled counters, across dimensionalities, modes,
+//! fragment shapes, layouts, grid asymmetries, and iteration counts.
 
-use sparstencil::exec::{model_run, run, run_naive};
+use sparstencil::exec::{model_run, run, run_naive, run_with_parallelism};
 use sparstencil::grid::Grid;
 use sparstencil::layout::ExecMode;
 use sparstencil::plan::{compile, Options};
@@ -166,6 +167,113 @@ fn equivalent_fp64_dense() {
     let (naive, ns) = run_naive(&plan, &input, 2);
     assert_eq!(fast, naive);
     assert_eq!(fs.counters, ns.counters);
+}
+
+#[test]
+fn equivalent_asymmetric_grids() {
+    // All-distinct extents per axis exercise the padded planner's
+    // per-axis ghost-zone arithmetic (pad_ny ≠ pad_nx, and a z extent
+    // that is no multiple of either).
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::heat2d(), [1, 96, 64], &opts, 2);
+    assert_equivalent(&StencilKernel::box3d27p(), [12, 28, 20], &opts, 1);
+    // Asymmetric layout on an asymmetric grid: ghost tiles on both axes.
+    let skewed = Options {
+        layout: Some((6, 2)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box2d9p(), [1, 45, 61], &skewed, 2);
+}
+
+#[test]
+fn equivalent_radius2_star() {
+    // Radius-2 star (extent 5×5, zero corners): the program compiler
+    // skips the zero weights and the padded gather list drops window
+    // cells no program references; both paths must still agree exactly.
+    let opts = Options {
+        layout: Some((5, 3)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::star2d(2), [1, 41, 39], &opts, 2);
+    assert_equivalent(
+        &StencilKernel::star2d(2),
+        [1, 36, 52],
+        &Options::default(),
+        1,
+    );
+}
+
+#[test]
+fn equivalent_temporal_fusion_3x() {
+    // Fused kernels widen the operand substantially (k' grows with the
+    // composed extent); the padded engine must stay exact through them.
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let fused2d = StencilKernel::heat2d().temporal_fusion(3);
+    assert_equivalent(&fused2d, [1, 40, 44], &opts, 2);
+    let fused1d = StencilKernel::heat1d().temporal_fusion(3);
+    assert_equivalent(&fused1d, [1, 1, 300], &Options::default(), 2);
+}
+
+#[test]
+fn equivalent_across_lane_counts() {
+    // The guided scheduler partitions work dynamically, but tiles are
+    // disjoint and counters closed-form, so grids and stats must be
+    // identical for every lane count (including lanes beyond the pool).
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 22, 18];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let input = Grid::<f32>::smooth_random(3, shape);
+    let (base, base_stats) = run_with_parallelism(&plan, &input, 2, 1);
+    for lanes in [2, 3, 8] {
+        let (g, stats) = run_with_parallelism(&plan, &input, 2, lanes);
+        assert_eq!(base, g, "lanes={lanes}: grids must be identical");
+        assert_eq!(base_stats.counters, stats.counters, "lanes={lanes}");
+    }
+}
+
+#[test]
+fn all_column_blocks_interior_after_padding() {
+    // The tentpole invariant: planning over the halo-padded domain makes
+    // 100% of tiles (hence 100% of column blocks) interior, even for
+    // misaligned layouts that previously routed ~25% of blocks through
+    // the edge path.
+    type Case = (StencilKernel, [usize; 3], Option<(usize, usize)>);
+    let cases: [Case; 4] = [
+        (StencilKernel::box2d9p(), [1, 39, 41], Some((5, 3))),
+        (StencilKernel::box3d27p(), [12, 20, 20], Some((4, 4))),
+        (StencilKernel::star2d13p(), [1, 37, 43], Some((5, 3))),
+        (StencilKernel::box2d49p(), [1, 48, 52], None),
+    ];
+    for (kernel, shape, layout) in cases {
+        let opts = Options {
+            layout,
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        assert!(
+            plan.exec.tiles.iter().all(|t| t.interior),
+            "{}: every tile must be interior after padding",
+            kernel.name()
+        );
+        assert_eq!(
+            plan.exec.edge_block_fraction(),
+            0.0,
+            "{}: edge block fraction must be zero",
+            kernel.name()
+        );
+        // The padded plane covers the semantic plane.
+        assert!(plan.geom.pad_ny >= shape[1] && plan.geom.pad_nx >= shape[2]);
+    }
 }
 
 #[test]

@@ -142,6 +142,34 @@ impl<R: Real> RowProgram<R> {
         Self::from_rows(k, rows)
     }
 
+    /// Copy with every empty row given one synthetic `(zero_row, ZERO)`
+    /// entry, so an overwrite-first executor — where the first scheduled
+    /// multiply of each row *stores* `v·b` instead of accumulating into a
+    /// pre-zeroed register — still defines every output row. The
+    /// synthetic multiply writes `0 · b[zero_row]`, numerically the zero
+    /// the accumulate-from-zero path starts from; callers point
+    /// `zero_row` at a known-zero `B` row (an operand padding row) when
+    /// one exists so the store is exactly `+0`. Rows that already have
+    /// entries are untouched, so the multiply schedule (and therefore
+    /// bit-exactness against the plain path) is preserved.
+    ///
+    /// # Panics
+    /// Panics if `zero_row` is outside the program depth.
+    pub fn with_zero_fill_rows(&self, zero_row: usize) -> Self {
+        assert!(zero_row < self.k, "synthetic row outside program depth");
+        let rows = (0..self.m)
+            .map(|i| {
+                let row = self.row(i);
+                if row.is_empty() {
+                    vec![(zero_row as u32, R::ZERO)]
+                } else {
+                    row.to_vec()
+                }
+            })
+            .collect();
+        Self::from_rows(self.k, rows)
+    }
+
     /// Build directly from per-row entry lists (used by the sparse
     /// constructor). Entries' `b_row` indices must be `< k`.
     pub(crate) fn from_rows(k: usize, rows: Vec<Vec<(u32, R)>>) -> Self {
@@ -336,6 +364,32 @@ mod tests {
         let mut c_merged = DenseMatrix::zeros(4, 5);
         program_mma(&merged, &stacked, &mut c_merged);
         assert_eq!(c_seq, c_merged, "concat must be bit-identical");
+    }
+
+    #[test]
+    fn zero_fill_rows_defines_empty_rows_only() {
+        // Rows 0 and 2 populated, rows 1 and 3 empty.
+        let a = DenseMatrix::from_fn(4, 6, |r, c| {
+            if r % 2 == 0 && c % 2 == 1 {
+                (r * 6 + c) as f64
+            } else {
+                0.0
+            }
+        });
+        let p = RowProgram::from_dense(&a);
+        let filled = p.with_zero_fill_rows(5);
+        assert_eq!(filled.rows(), 4);
+        assert_eq!(filled.depth(), 6);
+        assert_eq!(filled.row(0), p.row(0), "populated rows untouched");
+        assert_eq!(filled.row(1), &[(5u32, 0.0f64)], "empty row gets zero op");
+        assert_eq!(filled.nnz(), p.nnz() + 2);
+        // Execution is unchanged: the synthetic entries multiply by zero.
+        let b = DenseMatrix::from_fn(6, 3, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let mut c1 = DenseMatrix::zeros(4, 3);
+        let mut c2 = DenseMatrix::zeros(4, 3);
+        program_mma(&p, &b, &mut c1);
+        program_mma(&filled, &b, &mut c2);
+        assert_eq!(c1, c2);
     }
 
     #[test]

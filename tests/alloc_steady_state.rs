@@ -1,6 +1,8 @@
 //! Zero-allocation steady state: after the first iteration warms the
-//! ping-pong buffers and per-worker scratch, additional executor steps
-//! must perform **zero** heap allocations.
+//! halo-padded ping-pong buffers and per-worker scratch, additional
+//! executor steps must perform **zero** heap allocations — including the
+//! boundary mirror and the guided work scheduler (whose claim cursor
+//! lives on the dispatching stack).
 //!
 //! Methodology: a counting global allocator tallies every allocation in
 //! this test binary. A run with `N` iterations and a run with `1`
@@ -94,4 +96,26 @@ fn zero_steady_state_allocations_3d() {
         ..Options::default()
     };
     assert_zero_steady_state_allocs(&StencilKernel::box3d27p(), [10, 20, 20], &opts);
+}
+
+#[test]
+fn zero_steady_state_allocations_padded_asymmetric() {
+    // Misaligned layout on an asymmetric grid: ghost tiles on both axes,
+    // so every step runs the ghost scatter plus the boundary mirror —
+    // the padded path proper must also be allocation-free.
+    let opts = Options {
+        layout: Some((5, 3)),
+        ..Options::default()
+    };
+    assert_zero_steady_state_allocs(&StencilKernel::star2d13p(), [1, 37, 53], &opts);
+}
+
+#[test]
+fn zero_steady_state_allocations_temporal_fusion() {
+    let fused = StencilKernel::heat2d().temporal_fusion(3);
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_zero_steady_state_allocs(&fused, [1, 40, 40], &opts);
 }

@@ -288,6 +288,67 @@ pub fn parallel_for_slots<S: Send>(
     });
 }
 
+/// Guided self-scheduling variant of [`parallel_for_slots`]: instead of
+/// one static contiguous range per slot, the slot tasks repeatedly claim
+/// ranges from a shared atomic cursor, with claim sizes shrinking as the
+/// remaining work drains (half a fair share per claim, never below
+/// `min_chunk` items). Work whose per-item cost varies across the index
+/// space — e.g. stencil column blocks in edge-light vs edge-heavy grid
+/// regions — load-balances automatically: fast tasks simply claim more
+/// chunks. `f(slot, &mut slots[slot], range)` may therefore run several
+/// times per slot, over disjoint ranges that together cover
+/// `0..n_items`; each slot is still handed to exactly one task, which
+/// keeps persistent per-worker scratch sound. Allocation-free (the
+/// cursor lives on the caller's stack), like every dispatch here.
+pub fn parallel_for_slots_guided<S: Send>(
+    n_items: usize,
+    min_chunk: usize,
+    slots: &mut [S],
+    f: impl Fn(usize, &mut S, Range<usize>) + Sync,
+) {
+    let n_slots = slots.len();
+    assert!(
+        n_slots > 0,
+        "parallel_for_slots_guided needs at least one slot"
+    );
+    if n_items == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    if n_slots == 1 || n_items <= min_chunk {
+        // Nothing to balance: run the whole range serially in slot 0.
+        f(0, &mut slots[0], 0..n_items);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    struct SlotsPtr<S>(*mut S);
+    // SAFETY: each slot index is visited by exactly one task.
+    unsafe impl<S: Send> Sync for SlotsPtr<S> {}
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    run_tasks(n_slots, &|i| {
+        // Capture the Sync wrapper (not the raw pointer field) by
+        // reference.
+        let slots_ptr = &slots_ptr;
+        // SAFETY: task i is the only accessor of slots[i].
+        let slot = unsafe { &mut *slots_ptr.0.add(i) };
+        loop {
+            let start = cursor.load(Ordering::SeqCst);
+            if start >= n_items {
+                return;
+            }
+            let remaining = n_items - start;
+            let chunk = (remaining / (2 * n_slots)).max(min_chunk).min(remaining);
+            if cursor
+                .compare_exchange(start, start + chunk, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue; // another task claimed first; re-derive the chunk
+            }
+            f(i, slot, start..start + chunk);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +428,52 @@ mod tests {
             *slot += range.len();
         });
         assert_eq!(slots.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn guided_ranges_exactly_cover_items() {
+        for (n_items, n_slots, min_chunk) in [
+            (1usize, 3usize, 1usize),
+            (7, 2, 1),
+            (100, 3, 4),
+            (257, 4, 1),
+        ] {
+            let hits: Vec<AtomicU32> = (0..n_items).map(|_| AtomicU32::new(0)).collect();
+            let mut slots = vec![(); n_slots];
+            parallel_for_slots_guided(n_items, min_chunk, &mut slots, |_, _, range| {
+                for j in range {
+                    hits[j].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "n_items={n_items} n_slots={n_slots}: every item exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn guided_single_slot_runs_whole_range_inline() {
+        let mut slots = vec![Vec::<Range<usize>>::new()];
+        parallel_for_slots_guided(42, 1, &mut slots, |i, slot, range| {
+            assert_eq!(i, 0);
+            slot.push(range);
+        });
+        assert_eq!(slots[0], vec![0..42]);
+    }
+
+    #[test]
+    fn guided_chunks_cover_and_respect_min() {
+        // 64 items, min_chunk 2: claims partition the index space and
+        // respect the minimum granularity — only the final tail claim
+        // (bounded by what remains) may fall below it.
+        let mut slots = vec![Vec::<usize>::new(), Vec::new()];
+        parallel_for_slots_guided(64, 2, &mut slots, |_, slot, range| {
+            slot.push(range.len());
+        });
+        let lens: Vec<usize> = slots.iter().flatten().copied().collect();
+        assert_eq!(lens.iter().sum::<usize>(), 64);
+        let below_min = lens.iter().filter(|&&l| l < 2).count();
+        assert!(below_min <= 1, "at most the tail claim may be short");
     }
 }
