@@ -26,6 +26,13 @@
 //! the SparStencil core with fixed layouts — they execute functionally
 //! and are verified; the CUDA-core and GEMM-library models are counter
 //! models with reference-computed numerics.
+//!
+//! Every baseline plugs into the core's session API
+//! ([`sparstencil::session`]): [`Baseline::session`] returns a
+//! [`Simulation`] — pipeline-backed systems as real engine sessions over
+//! their fixed layouts, counter-model systems as [`ReferenceSession`]s —
+//! so one driver steps, probes, and reuses SparStencil and all seven
+//! comparison systems interchangeably.
 
 #![warn(missing_docs)]
 
@@ -34,8 +41,9 @@ pub mod gemm_libs;
 pub mod tcu_pipelines;
 
 use sparstencil::exec::RunStats;
-use sparstencil::grid::Grid;
+use sparstencil::grid::{FieldView, Grid};
 use sparstencil::reference;
+use sparstencil::session::{Backend, Simulation};
 use sparstencil::stencil::StencilKernel;
 use sparstencil_mat::half::Precision;
 use sparstencil_tcu::{model, Counters, GpuConfig, TimingBreakdown};
@@ -57,18 +65,108 @@ pub trait Baseline: Send + Sync {
         gpu: &GpuConfig,
     ) -> Option<RunStats>;
 
-    /// Execute functionally at verification scale. The default computes
-    /// the quantized scalar reference — correct for every baseline, since
+    /// Open a persistent functional session for this baseline's mapping
+    /// — the same [`Simulation`] driver SparStencil itself uses, so one
+    /// harness steps, probes, and reuses any system interchangeably.
+    ///
+    /// The default wraps the quantized scalar reference (a
+    /// [`ReferenceSession`] backend) — correct for every baseline, since
     /// mappings do not change the arithmetic. Pipeline-backed baselines
-    /// override this with their real fragment execution.
+    /// override this with a real fragment-execution session over their
+    /// fixed layouts.
+    fn session(&self, kernel: &StencilKernel, input: &Grid<f32>) -> Simulation<'static, f32> {
+        Simulation::new(ReferenceSession::new(kernel, input))
+    }
+
+    /// Execute functionally at verification scale, by driving a
+    /// throwaway [`Baseline::session`] for `iters` steps.
     fn execute(&self, kernel: &StencilKernel, input: &Grid<f32>, iters: usize) -> Grid<f32> {
-        let mut g = input.clone();
-        g.quantize(Precision::Fp16);
-        for _ in 0..iters {
-            g = reference::apply_parallel(kernel, &g);
-            g.quantize(Precision::Fp16);
+        let mut sim = self.session(kernel, input);
+        sim.step_n(iters);
+        sim.into_grid()
+    }
+}
+
+/// Session backend for counter-model baselines: steps the Rayon-parallel
+/// scalar reference with FP16 quantization per step — the functional
+/// semantics every mapping shares (mappings are performance engineering,
+/// not arithmetic). Carries no hardware model, so
+/// [`Simulation::stats`] is `None`; performance comes from
+/// [`Baseline::model`].
+pub struct ReferenceSession {
+    kernel: StencilKernel,
+    cur: Grid<f32>,
+    /// Pristine quantized input for `reset()`; `Option` only to share
+    /// the core's [`stage_initial`](sparstencil::session::stage_initial)
+    /// staging in `load()` — always `Some` (grids at verification scale
+    /// are small enough that eager retention costs nothing).
+    initial: Option<Grid<f32>>,
+    /// Live dimensionality — a `load` may change it while `cur`'s own
+    /// metadata still carries the construction-time value.
+    dims: usize,
+}
+
+impl ReferenceSession {
+    /// A reference session over `input`, quantized through FP16 like the
+    /// hardware paths.
+    pub fn new(kernel: &StencilKernel, input: &Grid<f32>) -> Self {
+        let mut cur = input.clone();
+        cur.quantize(Precision::Fp16);
+        let initial = Some(cur.clone());
+        Self {
+            kernel: kernel.clone(),
+            cur,
+            initial,
+            dims: input.dims(),
         }
-        g
+    }
+}
+
+impl Backend<f32> for ReferenceSession {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn shape(&self) -> [usize; 3] {
+        self.cur.shape()
+    }
+
+    fn step(&mut self) {
+        self.cur = reference::apply_parallel(&self.kernel, &self.cur);
+        self.cur.quantize(Precision::Fp16);
+    }
+
+    fn field(&self) -> FieldView<'_, f32> {
+        FieldView::windowed(&self.cur, self.dims, self.cur.shape())
+    }
+
+    fn load(&mut self, input: &Grid<f32>) {
+        assert_eq!(
+            input.shape(),
+            self.cur.shape(),
+            "grid shape differs from the session's"
+        );
+        sparstencil::session::stage_initial(
+            input,
+            &mut self.initial,
+            self.cur.shape(),
+            Precision::Fp16,
+        );
+        self.dims = input.dims();
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        let initial = self.initial.as_ref().expect("eagerly retained");
+        self.cur.as_mut_slice().copy_from_slice(initial.as_slice());
+    }
+
+    fn into_grid(self: Box<Self>) -> Grid<f32> {
+        if self.cur.dims() == self.dims {
+            self.cur
+        } else {
+            self.field().to_grid()
+        }
     }
 }
 

@@ -22,6 +22,7 @@ use sparstencil::grid::Grid;
 use sparstencil::layout::ExecMode;
 use sparstencil::pipeline::Executor;
 use sparstencil::plan::{OptFlags, Options};
+use sparstencil::session::Simulation;
 use sparstencil::stencil::StencilKernel;
 use sparstencil_mat::half::Precision;
 use sparstencil_tcu::GpuConfig;
@@ -87,12 +88,12 @@ impl Baseline for TcStencilLike {
         Some(exec.run_modelled(grid_shape, iters))
     }
 
-    fn execute(&self, kernel: &StencilKernel, input: &Grid<f32>, iters: usize) -> Grid<f32> {
+    fn session(&self, kernel: &StencilKernel, input: &Grid<f32>) -> Simulation<'static, f32> {
         let layout = clamp_layout(kernel, input.shape(), Self::LAYOUT);
         let opts = dense_options(Precision::Fp16, &GpuConfig::a100(), layout, false);
-        let exec = Executor::<f32>::new(kernel, input.shape(), &opts)
-            .expect("TCStencil pipeline must compile");
-        exec.run(input, iters).0
+        Executor::<f32>::new(kernel, input.shape(), &opts)
+            .expect("TCStencil pipeline must compile")
+            .into_session(input)
     }
 }
 
@@ -150,11 +151,11 @@ impl Baseline for ConvStencilLike {
         }
     }
 
-    fn execute(&self, kernel: &StencilKernel, input: &Grid<f32>, iters: usize) -> Grid<f32> {
+    fn session(&self, kernel: &StencilKernel, input: &Grid<f32>) -> Simulation<'static, f32> {
         let opts = Self::options(Precision::Fp16, &GpuConfig::a100());
-        let exec = Executor::<f32>::new(kernel, input.shape(), &opts)
-            .expect("ConvStencil pipeline must compile");
-        exec.run(input, iters).0
+        Executor::<f32>::new(kernel, input.shape(), &opts)
+            .expect("ConvStencil pipeline must compile")
+            .into_session(input)
     }
 }
 

@@ -3,11 +3,19 @@
 //! 256², 3D-27pt at 128³) and writes `BENCH_step_throughput.json` so
 //! successive PRs accumulate a perf trajectory.
 //!
+//! Measurement drives a persistent [`Simulation`] session per
+//! configuration: setup (input embedding, quantization, ping-pong buffer
+//! and scratch allocation) happens once, **outside** the timed region,
+//! and the timed region is pure steady-state stepping — the quantity a
+//! long-running solver actually experiences. Setup is reported
+//! separately as `setup_seconds` instead of being smeared into the rate.
+//!
 //! Per case it reports:
-//! - the optimized engine (`exec::run_with_parallelism`) across a
-//!   1/2/4 worker-lane sweep (multi-core scaling is first-class; on a
-//!   single-CPU box the >1-lane rows measure scheduling overhead only),
-//! - the retained naive reference path (`exec::run_naive`),
+//! - the optimized engine session across a 1/2/4 worker-lane sweep
+//!   (multi-core scaling is first-class; on a single-CPU box the
+//!   >1-lane rows measure scheduling overhead only),
+//! - the retained naive reference path (a [`NaiveBackend`] session),
+//! - `setup_seconds` — one-time session construction cost,
 //! - `edge_block_fraction` — the share of fragment-column blocks that
 //!   would fall off the branch-free gather path, `0.0` for every plan
 //!   since the executor plans over a halo-padded domain (regression
@@ -19,9 +27,9 @@
 //! Usage: `cargo run --release -p sparstencil-bench --bin bench`
 //! (`--iters N` to change the measured step count, default 8).
 
-use sparstencil::exec::{run_naive, run_with_parallelism};
 use sparstencil::grid::Grid;
-use sparstencil::plan::{compile, CompiledStencil, Options};
+use sparstencil::plan::{compile, Options};
+use sparstencil::session::{EngineBackend, NaiveBackend, Simulation};
 use sparstencil::stencil::StencilKernel;
 use std::time::Instant;
 
@@ -46,18 +54,15 @@ fn cases() -> Vec<Case> {
     ]
 }
 
-/// Wall-clock cells/second of `f` over `iters` steps (median of 3
-/// repetitions, one untimed warm-up).
-fn measure<F>(plan: &CompiledStencil<f32>, input: &Grid<f32>, iters: usize, f: F) -> f64
-where
-    F: Fn(&CompiledStencil<f32>, &Grid<f32>, usize),
-{
-    f(plan, input, 1); // warm up pool, caches, lazy init
-    let cells = (plan.grid_shape[0] * plan.grid_shape[1] * plan.grid_shape[2]) as f64;
+/// Steady-state wall-clock cells/second of a live session over `iters`
+/// steps (median of 3 repetitions, one untimed warm-up step). The
+/// session keeps stepping the same field — setup never re-runs.
+fn measure(sim: &mut Simulation<'_, f32>, cells: f64, iters: usize) -> f64 {
+    sim.step_n(1); // warm up pool, caches, lazy init
     let mut rates: Vec<f64> = (0..3)
         .map(|_| {
             let t0 = Instant::now();
-            f(plan, input, iters);
+            sim.step_n(iters);
             cells * iters as f64 / t0.elapsed().as_secs_f64()
         })
         .collect();
@@ -85,26 +90,32 @@ fn main() {
         };
         let plan = compile::<f32>(&case.kernel, case.shape, &opts).unwrap();
         let input = Grid::<f32>::smooth_random(case.kernel.dims(), case.shape);
+        let cells = (case.shape[0] * case.shape[1] * case.shape[2]) as f64;
         let edge_block_fraction = plan.exec.edge_block_fraction();
 
-        let lane_rates: Vec<(usize, f64)> = [1usize, 2, 4]
-            .iter()
-            .map(|&lanes| {
-                let rate = measure(&plan, &input, iters, |p, g, n| {
-                    let _ = run_with_parallelism(p, g, n, lanes);
-                });
-                (lanes, rate)
-            })
-            .collect();
+        // One-time session construction cost, reported separately.
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(EngineBackend::with_parallelism(&plan, &input, 1));
+        let setup_seconds = t0.elapsed().as_secs_f64();
+
+        let mut lane_rates: Vec<(usize, f64)> = Vec::new();
+        for lanes in [1usize, 2, 4] {
+            if lanes > 1 {
+                sim = Simulation::new(EngineBackend::with_parallelism(&plan, &input, lanes));
+            }
+            lane_rates.push((lanes, measure(&mut sim, cells, iters)));
+        }
         let optimized = lane_rates[0].1;
-        let naive = measure(&plan, &input, iters, |p, g, n| {
-            let _ = run_naive(p, g, n);
-        });
+        let mut naive_sim = Simulation::new(NaiveBackend::new(&plan, &input));
+        let naive = measure(&mut naive_sim, cells, iters);
         let speedup = optimized / naive;
         println!(
             "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x   \
-             edge_blocks {edge_block_fraction:.3}",
-            case.name, optimized, naive
+             setup {:.1} ms   edge_blocks {edge_block_fraction:.3}",
+            case.name,
+            optimized,
+            naive,
+            setup_seconds * 1e3
         );
         for &(lanes, rate) in &lane_rates[1..] {
             println!(
@@ -122,6 +133,7 @@ fn main() {
         rows.push(format!(
             "    {{\"case\": \"{}\", \"iters\": {iters}, \
              \"edge_block_fraction\": {edge_block_fraction:.4}, \
+             \"setup_seconds\": {setup_seconds:.6}, \
              \"optimized_cells_per_sec\": {optimized:.1}, \
              \"naive_cells_per_sec\": {naive:.1}, \
              \"speedup\": {speedup:.3}, \

@@ -73,7 +73,6 @@ use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
 use crate::plan::{CompiledStencil, Operand, PrepStats};
 use rayon::prelude::*;
-use sparstencil_mat::half::Precision;
 use sparstencil_mat::{DenseMatrix, Real};
 use sparstencil_tcu::{
     fragment::dense_fragment_mma, model, sparse::sparse_fragment_mma, Counters, Engine,
@@ -114,6 +113,10 @@ pub struct RunStats {
 /// tables, persistent per-worker scratch, parallel direct scatter (see
 /// the module docs). Bit-identical to [`run_naive`].
 ///
+/// A thin wrapper over a throwaway [`crate::session::Simulation`] — for
+/// anything that steps more than once per setup (benchmarks, drivers,
+/// mid-run observation), open a session instead and keep it.
+///
 /// # Panics
 /// Panics if the input shape differs from the plan's compile-time shape.
 pub fn run<R: Real>(
@@ -139,28 +142,12 @@ pub fn run_with_parallelism<R: Real>(
     iters: usize,
     lanes: usize,
 ) -> (Grid<R>, RunStats) {
-    assert_eq!(
-        input.shape(),
-        plan.grid_shape,
-        "grid shape differs from the compiled plan"
-    );
-    let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
-    let per_iter = iter_counters(plan, &plan.geom, plan.grid_shape, true);
-    let mut bufs = StepBuffers::new(plan, input, lanes.max(1));
-
-    for _ in 0..iters {
-        engine.counters.merge(&per_iter);
-        // Output quantization happens inside the scatter (each value is
-        // rounded as it is stored, exactly like the hardware's store
-        // path), so no separate whole-grid re-quantization pass runs:
-        // boundary cells were quantized once when the arena was built
-        // and are re-mirrored, not recomputed.
-        step_into(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch);
-        std::mem::swap(&mut bufs.cur, &mut bufs.next);
-    }
-
-    let stats = finalize_stats(plan, &engine, iters);
-    (bufs.cur.window(plan.grid_shape), stats)
+    let mut sim = crate::session::Simulation::new(crate::session::EngineBackend::throwaway(
+        plan, input, lanes,
+    ));
+    sim.step_n(iters);
+    let stats = sim.stats().expect("engine backend reports stats");
+    (sim.into_grid(), stats)
 }
 
 /// Per-worker reusable scratch: one `B` staging buffer spanning the full
@@ -170,22 +157,22 @@ pub fn run_with_parallelism<R: Real>(
 /// Invariant: padding rows of `b_all` stay zero for the buffer's whole
 /// lifetime — they are zeroed at construction and the gather (which only
 /// iterates `gather_rows`, the non-padding rows) never touches them.
-struct WorkerScratch<R: Real> {
+pub(crate) struct WorkerScratch<R: Real> {
     b_all: DenseMatrix<R>,
     strips: Vec<DenseMatrix<R>>,
 }
 
-/// The persistent execution arena of one [`run`]: the two halo-padded
-/// ping-pong grids and the per-lane scratch pool. Everything a step
-/// touches is allocated here, up front.
-struct StepBuffers<R: Real> {
-    cur: Grid<R>,
-    next: Grid<R>,
-    scratch: Vec<WorkerScratch<R>>,
+/// The persistent execution arena of one engine session: the two
+/// halo-padded ping-pong grids and the per-lane scratch pool. Everything
+/// a step touches is allocated here, up front.
+pub(crate) struct StepBuffers<R: Real> {
+    pub(crate) cur: Grid<R>,
+    pub(crate) next: Grid<R>,
+    pub(crate) scratch: Vec<WorkerScratch<R>>,
 }
 
 impl<R: Real> StepBuffers<R> {
-    fn new(plan: &CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
+    pub(crate) fn new(plan: &CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
         // Embed the input in the ghost-padded domain (padding reads as
         // zero, like the old edge path's out-of-range loads) and
         // quantize once.
@@ -243,7 +230,7 @@ impl<R: Real> SharedOutput<R> {
 /// output of `out` from `cur`, then mirror the semantic boundary band
 /// back. Boundary planes (`z ≥ planes`) of `out` already hold the (old,
 /// never-changing) boundary values.
-fn step_into<R: Real>(
+pub(crate) fn step_into<R: Real>(
     plan: &CompiledStencil<R>,
     cur: &Grid<R>,
     out: &mut Grid<R>,
@@ -475,7 +462,7 @@ fn mma_rows_generic<R: Real, const OVERWRITE: bool>(
 /// construction instead of by parallel re-derivation. [`run_naive`]
 /// passes `include_mma = false` and keeps counting fragment ops one by
 /// one as the independent oracle the equivalence suite compares against.
-fn iter_counters<R: Real>(
+pub(crate) fn iter_counters<R: Real>(
     plan: &CompiledStencil<R>,
     geom: &layout::LayoutGeometry,
     grid_shape: [usize; 3],
@@ -527,35 +514,20 @@ pub fn run_naive<R: Real>(
     input: &Grid<R>,
     iters: usize,
 ) -> (Grid<R>, RunStats) {
-    assert_eq!(
-        input.shape(),
-        plan.grid_shape,
-        "grid shape differs from the compiled plan"
-    );
-    let mut engine = Engine::new(plan.gpu.clone(), plan.precision);
-    // Traffic/launch accounting shares the closed-form helper with the
-    // optimized engine; the fragment ops stay counted one by one inside
-    // `step_naive` as the independent oracle.
-    let per_iter = iter_counters(plan, &plan.geom, plan.grid_shape, false);
-
-    let mut cur = input.clone();
-    cur.quantize(plan.precision);
-
-    for _ in 0..iters {
-        engine.counters.merge(&per_iter);
-        cur = step_naive(plan, &cur, &mut engine);
-        if !matches!(plan.precision, Precision::Fp64) {
-            cur.quantize(plan.precision);
-        }
-    }
-
-    let stats = finalize_stats(plan, &engine, iters);
-    (cur, stats)
+    let mut sim =
+        crate::session::Simulation::new(crate::session::NaiveBackend::throwaway(plan, input));
+    sim.step_n(iters);
+    let stats = sim.stats().expect("naive backend reports stats");
+    (sim.into_grid(), stats)
 }
 
 /// One naive stencil step: returns the new grid (valid region updated,
 /// boundary copied) and adds the issued MMA ops to the engine.
-fn step_naive<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut Engine) -> Grid<R> {
+pub(crate) fn step_naive<R: Real>(
+    plan: &CompiledStencil<R>,
+    cur: &Grid<R>,
+    engine: &mut Engine,
+) -> Grid<R> {
     let [_, ny, nx] = cur.shape();
     let [_ez, ey, ex] = plan.kernel.extent();
     let (vy, vx) = (ny - ey + 1, nx - ex + 1);
@@ -704,7 +676,11 @@ fn step_naive<R: Real>(plan: &CompiledStencil<R>, cur: &Grid<R>, engine: &mut En
     out
 }
 
-fn finalize_stats<R: Real>(plan: &CompiledStencil<R>, engine: &Engine, iters: usize) -> RunStats {
+pub(crate) fn finalize_stats<R: Real>(
+    plan: &CompiledStencil<R>,
+    engine: &Engine,
+    iters: usize,
+) -> RunStats {
     let timing = engine.timing();
     // Overlap policy: double buffering gives max(compute, memory);
     // without it stages serialize.

@@ -174,20 +174,45 @@ impl<R: Real> Grid<R> {
     /// # Panics
     /// Panics if `shape` is smaller than this grid on any axis.
     pub fn embedded_in(&self, shape: [usize; 3]) -> Grid<R> {
-        let s = self.shape;
-        assert!(
-            (0..3).all(|a| shape[a] >= s[a]),
-            "padded shape {shape:?} smaller than grid {s:?}"
-        );
+        // `zeros` hands back zero-filled storage, so only the semantic
+        // rows need writing (no redundant padding clear).
         let mut out = Self::zeros(self.dims, shape);
+        self.copy_rows_into(&mut out);
+        out
+    }
+
+    /// Re-embed this grid into an existing (ghost-padded) buffer without
+    /// allocating: the allocation-free counterpart of [`Grid::embedded_in`]
+    /// used by session [`load`](crate::session::Simulation::load). Padding
+    /// cells are zeroed, then the semantic rows are copied into the low
+    /// corner.
+    ///
+    /// # Panics
+    /// Panics if `dst` is smaller than this grid on any axis or the
+    /// dimensionalities differ.
+    pub fn embed_into(&self, dst: &mut Grid<R>) {
+        assert_eq!(self.dims, dst.dims, "dimensionality mismatch");
+        dst.data.fill(R::ZERO);
+        self.copy_rows_into(dst);
+    }
+
+    /// Copy this grid's rows into the low corner of `dst` (shared body
+    /// of [`Grid::embedded_in`] / [`Grid::embed_into`]; padding cells
+    /// are left untouched).
+    fn copy_rows_into(&self, dst: &mut Grid<R>) {
+        let s = self.shape;
+        let d = dst.shape;
+        assert!(
+            (0..3).all(|a| d[a] >= s[a]),
+            "padded shape {d:?} smaller than grid {s:?}"
+        );
         for z in 0..s[0] {
             for y in 0..s[1] {
                 let src = (z * s[1] + y) * s[2];
-                let dst = (z * shape[1] + y) * shape[2];
-                out.data[dst..dst + s[2]].copy_from_slice(&self.data[src..src + s[2]]);
+                let to = (z * d[1] + y) * d[2];
+                dst.data[to..to + s[2]].copy_from_slice(&self.data[src..src + s[2]]);
             }
         }
-        out
     }
 
     /// Extract the low-corner `shape` window (the inverse of
@@ -241,6 +266,118 @@ impl<R: Real> Grid<R> {
             }
         }
         worst
+    }
+}
+
+/// A zero-copy, read-only view of the semantic `[nz, ny, nx]` field
+/// inside a (possibly ghost-padded) storage buffer.
+///
+/// Execution backends keep their live state in whatever layout their hot
+/// loop wants — the optimized engine in a halo-padded ping-pong buffer,
+/// the naive and reference paths in plain semantic grids. `FieldView`
+/// is the common observation surface over all of them: it carries the
+/// semantic shape plus the storage strides, so reading `(z, y, x)` or a
+/// whole row never copies or allocates. Materialize with
+/// [`FieldView::to_grid`] only when an owned [`Grid`] is actually needed.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldView<'a, R: Real> {
+    data: &'a [R],
+    dims: usize,
+    shape: [usize; 3],
+    row_stride: usize,
+    plane_stride: usize,
+}
+
+impl<'a, R: Real> FieldView<'a, R> {
+    /// View the whole of `grid` (strides equal the semantic shape).
+    pub fn full(grid: &'a Grid<R>) -> Self {
+        Self {
+            data: &grid.data,
+            dims: grid.dims,
+            shape: grid.shape,
+            row_stride: grid.shape[2],
+            plane_stride: grid.shape[1] * grid.shape[2],
+        }
+    }
+
+    /// View the low-corner `shape` window of a ghost-padded `grid`
+    /// (the zero-copy analogue of [`Grid::window`]).
+    ///
+    /// # Panics
+    /// Panics if `shape` exceeds the padded grid on any axis.
+    pub fn windowed(grid: &'a Grid<R>, dims: usize, shape: [usize; 3]) -> Self {
+        let s = grid.shape;
+        assert!(
+            (0..3).all(|a| shape[a] <= s[a]),
+            "window {shape:?} larger than grid {s:?}"
+        );
+        Self {
+            data: &grid.data,
+            dims,
+            shape,
+            row_stride: s[2],
+            plane_stride: s[1] * s[2],
+        }
+    }
+
+    /// Semantic shape `[nz, ny, nx]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.shape
+    }
+
+    /// Field dimensionality (1–3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total number of semantic points.
+    pub fn len(&self) -> usize {
+        self.shape[0] * self.shape[1] * self.shape[2]
+    }
+
+    /// `true` iff the view covers no points (never: extents are positive).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read `(z, y, x)`.
+    #[inline]
+    pub fn get(&self, z: usize, y: usize, x: usize) -> R {
+        debug_assert!(z < self.shape[0] && y < self.shape[1] && x < self.shape[2]);
+        self.data[z * self.plane_stride + y * self.row_stride + x]
+    }
+
+    /// The contiguous semantic row `(z, y, ..)` as a slice.
+    #[inline]
+    pub fn row(&self, z: usize, y: usize) -> &'a [R] {
+        let base = z * self.plane_stride + y * self.row_stride;
+        &self.data[base..base + self.shape[2]]
+    }
+
+    /// Iterate every semantic value in `z`-major order (probe-friendly:
+    /// reductions over the live field without materializing a grid).
+    pub fn iter(&self) -> impl Iterator<Item = R> + 'a {
+        let (shape, plane_stride, row_stride, data) =
+            (self.shape, self.plane_stride, self.row_stride, self.data);
+        (0..shape[0]).flat_map(move |z| {
+            (0..shape[1]).flat_map(move |y| {
+                let base = z * plane_stride + y * row_stride;
+                data[base..base + shape[2]].iter().copied()
+            })
+        })
+    }
+
+    /// Materialize an owned [`Grid`] of the semantic region (the one
+    /// copy a zero-copy observer can explicitly opt into).
+    pub fn to_grid(&self) -> Grid<R> {
+        let mut out = Grid::zeros(self.dims, self.shape);
+        for z in 0..self.shape[0] {
+            for y in 0..self.shape[1] {
+                let dst = (z * self.shape[1] + y) * self.shape[2];
+                out.data[dst..dst + self.shape[2]].copy_from_slice(self.row(z, y));
+            }
+        }
+        out
     }
 }
 
@@ -320,6 +457,33 @@ mod tests {
     fn embed_rejects_shrinking() {
         let g = Grid::<f32>::zeros_2d(4, 4);
         let _ = g.embedded_in([1, 4, 3]);
+    }
+
+    #[test]
+    fn embed_into_matches_embedded_in() {
+        let g = Grid::<f32>::smooth_random(3, [2, 3, 4]);
+        let mut dst = Grid::<f32>::from_fn_3d(3, [2, 5, 7], |_, _, _| 9.0);
+        g.embed_into(&mut dst);
+        assert_eq!(dst, g.embedded_in([2, 5, 7]), "padding must be re-zeroed");
+    }
+
+    #[test]
+    fn field_view_windowed_reads_through_padded_strides() {
+        let g = Grid::<f32>::smooth_random(2, [1, 6, 5]);
+        let padded = g.embedded_in([1, 9, 8]);
+        let view = FieldView::windowed(&padded, 2, [1, 6, 5]);
+        assert_eq!(view.shape(), [1, 6, 5]);
+        assert_eq!(view.dims(), 2);
+        assert_eq!(view.len(), 30);
+        assert_eq!(view.get(0, 5, 4), g.get(0, 5, 4));
+        assert_eq!(view.row(0, 3), {
+            let s = g.as_slice();
+            &s[3 * 5..4 * 5]
+        });
+        assert_eq!(view.to_grid(), g);
+        let full = FieldView::full(&g);
+        assert_eq!(full.to_grid(), g);
+        assert_eq!(view.iter().collect::<Vec<_>>(), g.as_slice().to_vec());
     }
 
     #[test]

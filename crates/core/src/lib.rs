@@ -19,7 +19,10 @@
 //!    encoding, lookup-table memory mapping, and CUDA source synthesis;
 //!    execution happens on the `sparstencil-tcu` simulator ([`exec`]).
 //!
-//! The friendly entry point is [`pipeline::Executor`]:
+//! The friendly entry point is [`pipeline::Executor`]; long-running
+//! drivers open a persistent [`session::Simulation`] so compilation and
+//! buffer setup are paid once, steps are incremental, and the live field
+//! is observable between steps:
 //!
 //! ```
 //! use sparstencil::prelude::*;
@@ -28,9 +31,16 @@
 //! let shape = [1, 66, 66];
 //! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
 //! let input = Grid::<f32>::smooth_random(2, shape);
-//! let (output, stats) = exec.run(&input, 2);
+//!
+//! let mut sim = exec.session(&input);
+//! sim.step_n(2);
+//! assert_eq!(sim.field().shape(), shape);
+//! let stats = sim.stats().unwrap();
 //! assert!(stats.gstencil_per_sec > 0.0);
-//! assert_eq!(output.shape(), shape);
+//!
+//! // One-shot convenience (a throwaway session under the hood):
+//! let (output, _) = exec.run(&input, 2);
+//! assert_eq!(output, sim.to_grid());
 //! ```
 
 #![warn(missing_docs)]
@@ -46,16 +56,18 @@ pub mod parse;
 pub mod pipeline;
 pub mod plan;
 pub mod reference;
+pub mod session;
 pub mod stencil;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
     pub use crate::convert::Strategy;
     pub use crate::exec::RunStats;
-    pub use crate::grid::Grid;
+    pub use crate::grid::{FieldView, Grid};
     pub use crate::layout::ExecMode;
     pub use crate::pipeline::Executor;
     pub use crate::plan::{CompileError, OptFlags, Options};
+    pub use crate::session::{Backend, Simulation};
     pub use crate::stencil::StencilKernel;
     pub use sparstencil_mat::half::Precision;
     pub use sparstencil_tcu::{FragmentShape, GpuConfig};
@@ -64,4 +76,5 @@ pub mod prelude {
 pub use grid::Grid;
 pub use pipeline::Executor;
 pub use plan::Options;
+pub use session::Simulation;
 pub use stencil::StencilKernel;

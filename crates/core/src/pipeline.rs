@@ -11,6 +11,7 @@ use crate::exec::{self, RunStats};
 use crate::grid::Grid;
 use crate::plan::{self, CompileError, CompiledStencil, Options};
 use crate::reference;
+use crate::session::{EngineBackend, NaiveBackend, Simulation};
 use crate::stencil::StencilKernel;
 use sparstencil_mat::Real;
 
@@ -50,9 +51,60 @@ impl<R: Real> Executor<R> {
         &self.plan
     }
 
+    /// Open a persistent [`Simulation`] session over `input` on the
+    /// optimized engine: buffers are embedded, quantized, and allocated
+    /// once, then [`Simulation::step_n`] advances with zero per-step
+    /// heap allocations, [`Simulation::field`] observes the live field
+    /// zero-copy, and [`Simulation::load`] reuses the session across
+    /// inputs. The session borrows this executor's plan (see
+    /// [`crate::session`] for the ownership story); use
+    /// [`Executor::into_session`] for a self-contained session.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn session(&self, input: &Grid<R>) -> Simulation<'_, R> {
+        Simulation::new(EngineBackend::new(&self.plan, input))
+    }
+
+    /// [`Executor::session`] with an explicit worker-lane count (see
+    /// [`exec::run_with_parallelism`]); results and counters are
+    /// identical for every lane count.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn session_with_parallelism(&self, input: &Grid<R>, lanes: usize) -> Simulation<'_, R> {
+        Simulation::new(EngineBackend::with_parallelism(&self.plan, input, lanes))
+    }
+
+    /// A session over the retained naive reference path — the same
+    /// driver API, bit-identical results (the equivalence suite pins
+    /// it), without the plan-time-table/ping-pong optimizations.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn session_naive(&self, input: &Grid<R>) -> Simulation<'_, R> {
+        Simulation::new(NaiveBackend::new(&self.plan, input))
+    }
+
+    /// Consume the executor into a self-contained `'static` session that
+    /// owns the compiled plan — the form to store in long-lived driver
+    /// state or hand across API boundaries (the baseline crates return
+    /// these).
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn into_session(self, input: &Grid<R>) -> Simulation<'static, R> {
+        Simulation::new(EngineBackend::owned(self.plan, input))
+    }
+
     /// Execute `iters` steps functionally on the simulator, through the
     /// zero-allocation double-buffered engine (see [`exec`]'s module
-    /// docs for the buffer ownership and scratch lifecycle).
+    /// docs for the buffer ownership and scratch lifecycle). A thin
+    /// wrapper over a throwaway [`Executor::session`].
     pub fn run(&self, input: &Grid<R>, iters: usize) -> (Grid<R>, RunStats) {
         exec::run(&self.plan, input, iters)
     }
@@ -60,7 +112,8 @@ impl<R: Real> Executor<R> {
     /// Execute through the retained naive reference path — bit-identical
     /// to [`Executor::run`] but without the plan-time-table/ping-pong
     /// optimizations. Useful as a cross-check and as the baseline for
-    /// the `simulator_throughput` benchmarks.
+    /// the `simulator_throughput` benchmarks. A thin wrapper over a
+    /// throwaway [`Executor::session_naive`].
     pub fn run_naive(&self, input: &Grid<R>, iters: usize) -> (Grid<R>, RunStats) {
         exec::run_naive(&self.plan, input, iters)
     }
@@ -73,34 +126,52 @@ impl<R: Real> Executor<R> {
 
     /// Run functionally and return the max relative interior error versus
     /// the scalar `f64` reference (after quantizing the reference input
-    /// through the plan's precision, as the hardware would).
+    /// through the plan's precision, as the hardware would). Drives a
+    /// single throwaway session — see [`Executor::verify_at`] to verify
+    /// several iteration counts without re-paying setup per count.
     pub fn verify(&self, input: &Grid<R>, iters: usize) -> f64 {
-        let (got, _) = self.run(input, iters);
+        self.verify_at(input, &[iters])
+            .pop()
+            .expect("one checkpoint requested")
+            .1
+    }
+
+    /// Verify at several iteration checkpoints through **one** session
+    /// and **one** running reference field, both stepped incrementally —
+    /// setup (embedding, quantization, buffer allocation) happens once,
+    /// not once per count. `counts` must be non-decreasing. Returns
+    /// `(iters, max relative interior error)` per checkpoint, comparing
+    /// over the region that stays valid across that many applications.
+    ///
+    /// # Panics
+    /// Panics if `counts` is not non-decreasing or the input shape
+    /// differs from the plan's.
+    pub fn verify_at(&self, input: &Grid<R>, counts: &[usize]) -> Vec<(usize, f64)> {
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "iteration checkpoints must be non-decreasing"
+        );
         let k = &self.plan.kernel;
         let shape = self.plan.grid_shape;
-        let mut ref_in =
+        let mut sim = self.session(input);
+        let mut want =
             Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| input.get(z, y, x).to_f64());
-        ref_in.quantize(self.plan.precision);
-        let want = reference::iterate_parallel(k, &ref_in, iters);
-        let got64 = Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| got.get(z, y, x).to_f64());
-        // Region that stays valid across `iters` applications.
-        let reach = k.extent().map(|e| (e - 1) * iters + 1);
-        let probe = StencilKernel::new(
-            "reach-probe",
-            k.dims(),
-            [
-                if k.dims() == 3 { reach[0] } else { 1 },
-                if k.dims() >= 2 { reach[1] } else { 1 },
-                reach[2],
-            ],
-            vec![
-                0.0;
-                (if k.dims() == 3 { reach[0] } else { 1 })
-                    * (if k.dims() >= 2 { reach[1] } else { 1 })
-                    * reach[2]
-            ],
-        );
-        got64.max_rel_diff_interior(&want, &probe)
+        want.quantize(self.plan.precision);
+
+        let mut out = Vec::with_capacity(counts.len());
+        let mut done = 0usize;
+        for &c in counts {
+            sim.step_n(c - done);
+            for _ in done..c {
+                want = reference::apply_parallel(k, &want);
+            }
+            done = c;
+            let field = sim.field();
+            let got64 =
+                Grid::<f64>::from_fn_3d(k.dims(), shape, |z, y, x| field.get(z, y, x).to_f64());
+            out.push((c, got64.max_rel_diff_interior(&want, &reach_probe(k, c))));
+        }
+        out
     }
 
     /// The CUDA source the code generator emits for this plan.
@@ -111,7 +182,10 @@ impl<R: Real> Executor<R> {
     /// The Figure-8 overhead profile: preprocessing shares (TS / MD /
     /// LUT) of total runtime as a function of the iteration count the
     /// preprocessing is amortized over. Uses measured host times and the
-    /// modelled per-iteration kernel time.
+    /// modelled per-iteration kernel time — evaluated **once** and
+    /// scaled per checkpoint (steady-state per-step cost is
+    /// iteration-invariant, exactly like a reused session's), so no
+    /// setup or model evaluation is re-run per iteration count.
     pub fn overhead_profile(&self, iteration_counts: &[usize]) -> Vec<OverheadPoint> {
         let per_iter = self.run_modelled(self.plan.grid_shape, 1).seconds_per_iter;
         iteration_counts
@@ -131,6 +205,24 @@ impl<R: Real> Executor<R> {
             })
             .collect()
     }
+}
+
+/// The zero-weight probe kernel whose valid region is exactly the set of
+/// outputs that stay valid across `iters` stencil applications
+/// (`reach = (e − 1)·iters + 1` per axis).
+fn reach_probe(k: &StencilKernel, iters: usize) -> StencilKernel {
+    let reach = k.extent().map(|e| (e - 1) * iters + 1);
+    let ext = [
+        if k.dims() == 3 { reach[0] } else { 1 },
+        if k.dims() >= 2 { reach[1] } else { 1 },
+        reach[2],
+    ];
+    StencilKernel::new(
+        "reach-probe",
+        k.dims(),
+        ext,
+        vec![0.0; ext[0] * ext[1] * ext[2]],
+    )
 }
 
 #[cfg(test)]

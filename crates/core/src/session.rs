@@ -1,0 +1,679 @@
+//! Persistent execution sessions: the retained-state API every driver
+//! goes through.
+//!
+//! The paper's pipeline (layout exploration → morphing → 2:4 conversion
+//! → kernel generation, §3–4) produces a plan that real workloads reuse
+//! across thousands of time steps. A [`Simulation`] is the run-time
+//! counterpart of that reuse: it owns the execution state — the
+//! halo-padded ping-pong [`Grid`]s, the per-worker scratch pool, the
+//! activity-counting engine — and steps it incrementally, so setup
+//! (embedding, quantization, buffer allocation) is paid once per session
+//! instead of once per `run` call, and the live field can be observed
+//! between steps without stopping the run.
+//!
+//! # Ownership and lifetimes
+//!
+//! A session never copies the compiled plan on the borrowed path: the
+//! backend holds `Cow<'p, CompiledStencil>`, so
+//! [`Executor::session`](crate::pipeline::Executor::session) lends its
+//! plan for `'p` (the session cannot outlive the executor), while
+//! [`Executor::into_session`](crate::pipeline::Executor::into_session)
+//! moves the plan in and yields a self-contained `Simulation<'static>` —
+//! the form the baseline crates use to hand sessions across API
+//! boundaries. Everything else (grids, scratch, counters) is owned by
+//! the session outright; [`Simulation::load`] and [`Simulation::reset`]
+//! rewrite that state in place, so reusing one session across many
+//! inputs performs **zero** further heap allocations (asserted by
+//! `tests/alloc_steady_state.rs`).
+//!
+//! # Pluggable backends
+//!
+//! The stepping strategy is a [`Backend`] trait object, so one driver
+//! runs any execution path interchangeably:
+//!
+//! - [`EngineBackend`] — the optimized halo-padded interior-only engine
+//!   (see [`crate::exec`]'s module docs); zero allocations per step.
+//! - [`NaiveBackend`] — the retained pre-refactor path, the equivalence
+//!   oracle (`tests/exec_equivalence.rs` pins it bit-identical to the
+//!   engine).
+//! - The `sparstencil-baselines` crate plugs its seven comparison
+//!   systems in through the same trait (pipeline-backed baselines as
+//!   engine sessions over their fixed layouts, counter-model baselines
+//!   as scalar-reference sessions).
+//!
+//! # Observation
+//!
+//! [`Simulation::field`] returns a zero-copy [`FieldView`] of the
+//! semantic grid inside the live buffer — no extraction, no boundary
+//! pass (the engine's per-step boundary mirror keeps the semantic band
+//! current, so the view is valid the moment a step returns).
+//! [`Simulation::probe`] registers closures invoked every `k` steps with
+//! the step number and that view: reductions, snapshots, and convergence
+//! checks run mid-flight without breaking the zero-allocation steady
+//! state of the stepper itself.
+//!
+//! ```
+//! use sparstencil::prelude::*;
+//!
+//! let kernel = StencilKernel::heat2d();
+//! let shape = [1, 40, 40];
+//! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
+//! let input = Grid::<f32>::smooth_random(2, shape);
+//!
+//! let mut sim = exec.session(&input);
+//! sim.probe(2, |step, field| {
+//!     let mean: f64 = field.iter().map(|v| v as f64).sum::<f64>() / field.len() as f64;
+//!     assert!(mean.is_finite(), "step {step}");
+//! });
+//! sim.step_n(6);
+//! assert_eq!(sim.steps(), 6);
+//! let stats = sim.stats().unwrap();
+//! assert!(stats.counters.n_mma() > 0);
+//! ```
+
+use crate::exec::{self, RunStats};
+use crate::grid::{FieldView, Grid};
+use crate::plan::CompiledStencil;
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::Real;
+use sparstencil_tcu::{Counters, Engine};
+use std::borrow::Cow;
+
+/// A pluggable execution strategy behind a [`Simulation`].
+///
+/// A backend owns the live state of one run — field buffers plus
+/// whatever bookkeeping its stepping discipline needs — and advances it
+/// one stencil time step at a time. The [`Simulation`] driver layers the
+/// session services (step counting, probes, stats, reuse) on top, so
+/// every backend gets them for free and every consumer drives every
+/// backend through the same five calls.
+pub trait Backend<R: Real> {
+    /// Short display name ("engine", "naive", a baseline's name).
+    fn name(&self) -> &'static str;
+
+    /// Semantic grid shape `[nz, ny, nx]` of the simulated field.
+    fn shape(&self) -> [usize; 3];
+
+    /// Advance the field by one stencil time step.
+    fn step(&mut self);
+
+    /// Zero-copy view of the current semantic field.
+    fn field(&self) -> FieldView<'_, R>;
+
+    /// Replace the field with a new input (same shape) without
+    /// reallocating, clearing accumulated activity.
+    ///
+    /// # Panics
+    /// Panics if `input`'s shape differs from [`Backend::shape`].
+    fn load(&mut self, input: &Grid<R>);
+
+    /// Restore the initially loaded field and clear accumulated
+    /// activity, without reallocating.
+    fn reset(&mut self);
+
+    /// Simulated-hardware statistics over `steps` executed steps.
+    /// `None` for backends with no hardware model behind them (e.g. the
+    /// baselines' scalar-reference sessions).
+    fn stats(&self, steps: usize) -> Option<RunStats> {
+        let _ = steps;
+        None
+    }
+
+    /// Consume the backend and return the final semantic field. The
+    /// default materializes a copy via [`Backend::field`]; backends
+    /// whose live buffer *is* the semantic grid override this to move it
+    /// out without copying.
+    fn into_grid(self: Box<Self>) -> Grid<R> {
+        self.field().to_grid()
+    }
+}
+
+/// Shared [`Backend::load`] staging step: (re)materialize `slot` as
+/// `input` embedded in the low corner of a `padded_shape` buffer,
+/// quantized through `precision`. Reuses the existing allocation when
+/// `slot` is already materialized with matching dimensionality; the
+/// first call (or a dimensionality change) allocates it.
+pub fn stage_initial<R: Real>(
+    input: &Grid<R>,
+    slot: &mut Option<Grid<R>>,
+    padded_shape: [usize; 3],
+    precision: Precision,
+) {
+    match slot {
+        Some(init) if init.dims() == input.dims() => input.embed_into(init),
+        _ => *slot = Some(input.embedded_in(padded_shape)),
+    }
+    slot.as_mut()
+        .expect("just materialized")
+        .quantize(precision);
+}
+
+/// The optimized execution engine as a session backend: halo-padded
+/// ping-pong buffers, plan-time gather tables, per-worker scratch,
+/// guided partitioning, closed-form counters (see [`crate::exec`]).
+/// After construction, [`Backend::step`] performs zero heap allocations.
+pub struct EngineBackend<'p, R: Real> {
+    plan: Cow<'p, CompiledStencil<R>>,
+    engine: Engine,
+    per_iter: Counters,
+    bufs: exec::StepBuffers<R>,
+    /// Pristine padded+quantized input, kept for [`Backend::reset`] and
+    /// reused as the embedding staging buffer by [`Backend::load`].
+    /// `None` only for internal throwaway sessions (the one-shot `run`
+    /// wrappers), which never rewind — skipping the snapshot spares them
+    /// a full-grid clone.
+    initial: Option<Grid<R>>,
+    dims: usize,
+}
+
+impl<'p, R: Real> EngineBackend<'p, R> {
+    /// Backend borrowing `plan`, with the pool-wide default lane count.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn new(plan: &'p CompiledStencil<R>, input: &Grid<R>) -> Self {
+        Self::with_parallelism(plan, input, rayon::current_num_threads())
+    }
+
+    /// Backend borrowing `plan` with an explicit worker-lane count
+    /// (scratch slots / guided-scheduler tasks); results and counters
+    /// are identical for every lane count.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn with_parallelism(plan: &'p CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
+        Self::from_cow(Cow::Borrowed(plan), input, lanes, true)
+    }
+
+    /// Backend that owns its plan — a self-contained `'static` session
+    /// state, used by the baseline crates to return sessions without a
+    /// lender.
+    pub fn owned(plan: CompiledStencil<R>, input: &Grid<R>) -> EngineBackend<'static, R> {
+        EngineBackend::from_cow(Cow::Owned(plan), input, rayon::current_num_threads(), true)
+    }
+
+    /// One-shot internal variant for the `exec::run*` wrappers: skips
+    /// the initial-state snapshot (the wrapper never calls
+    /// `load`/`reset` before the first step), so a one-shot run pays no
+    /// more setup than the pre-session engine did.
+    pub(crate) fn throwaway(plan: &'p CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
+        Self::from_cow(Cow::Borrowed(plan), input, lanes, false)
+    }
+
+    fn from_cow(
+        plan: Cow<'p, CompiledStencil<R>>,
+        input: &Grid<R>,
+        lanes: usize,
+        retain_initial: bool,
+    ) -> Self {
+        assert_eq!(
+            input.shape(),
+            plan.grid_shape,
+            "grid shape differs from the compiled plan"
+        );
+        let engine = Engine::new(plan.gpu.clone(), plan.precision);
+        let per_iter = exec::iter_counters(&plan, &plan.geom, plan.grid_shape, true);
+        let bufs = exec::StepBuffers::new(&plan, input, lanes.max(1));
+        let initial = retain_initial.then(|| bufs.cur.clone());
+        Self {
+            plan,
+            engine,
+            per_iter,
+            bufs,
+            initial,
+            dims: input.dims(),
+        }
+    }
+}
+
+impl<R: Real> Backend<R> for EngineBackend<'_, R> {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn shape(&self) -> [usize; 3] {
+        self.plan.grid_shape
+    }
+
+    fn step(&mut self) {
+        self.engine.counters.merge(&self.per_iter);
+        // Output quantization happens inside the scatter (each value is
+        // rounded as it is stored, exactly like the hardware's store
+        // path); boundary cells were quantized once at load and are
+        // re-mirrored, not recomputed.
+        exec::step_into(
+            &self.plan,
+            &self.bufs.cur,
+            &mut self.bufs.next,
+            &mut self.bufs.scratch,
+        );
+        std::mem::swap(&mut self.bufs.cur, &mut self.bufs.next);
+    }
+
+    fn field(&self) -> FieldView<'_, R> {
+        FieldView::windowed(&self.bufs.cur, self.dims, self.plan.grid_shape)
+    }
+
+    fn load(&mut self, input: &Grid<R>) {
+        assert_eq!(
+            input.shape(),
+            self.plan.grid_shape,
+            "grid shape differs from the compiled plan"
+        );
+        stage_initial(
+            input,
+            &mut self.initial,
+            self.bufs.cur.shape(),
+            self.plan.precision,
+        );
+        self.dims = input.dims();
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        let initial = self
+            .initial
+            .as_ref()
+            .expect("internal throwaway sessions never rewind");
+        // Both buffers restart from the pristine input: `cur` is the
+        // field, `next`'s copy seeds the boundary cells exactly as
+        // `StepBuffers::new` did.
+        self.bufs
+            .cur
+            .as_mut_slice()
+            .copy_from_slice(initial.as_slice());
+        self.bufs
+            .next
+            .as_mut_slice()
+            .copy_from_slice(initial.as_slice());
+        self.engine.counters = Counters::new();
+    }
+
+    fn stats(&self, steps: usize) -> Option<RunStats> {
+        Some(exec::finalize_stats(&self.plan, &self.engine, steps))
+    }
+}
+
+/// The retained pre-refactor execution path as a session backend: clones
+/// the grid per step, counts every fragment MMA as it is issued. Kept as
+/// the equivalence oracle — `tests/exec_equivalence.rs` pins it
+/// bit-identical (grids and counters) to [`EngineBackend`].
+pub struct NaiveBackend<'p, R: Real> {
+    plan: Cow<'p, CompiledStencil<R>>,
+    engine: Engine,
+    per_iter: Counters,
+    cur: Grid<R>,
+    /// Pristine quantized input (see [`EngineBackend`]'s field docs:
+    /// `None` only for internal throwaway sessions).
+    initial: Option<Grid<R>>,
+    dims: usize,
+}
+
+impl<'p, R: Real> NaiveBackend<'p, R> {
+    /// Backend borrowing `plan`.
+    ///
+    /// # Panics
+    /// Panics if the input shape differs from the plan's compile-time
+    /// shape.
+    pub fn new(plan: &'p CompiledStencil<R>, input: &Grid<R>) -> Self {
+        Self::from_cow(Cow::Borrowed(plan), input, true)
+    }
+
+    /// Backend that owns its plan (see [`EngineBackend::owned`]).
+    pub fn owned(plan: CompiledStencil<R>, input: &Grid<R>) -> NaiveBackend<'static, R> {
+        NaiveBackend::from_cow(Cow::Owned(plan), input, true)
+    }
+
+    /// One-shot internal variant for `exec::run_naive` (see
+    /// [`EngineBackend::throwaway`]).
+    pub(crate) fn throwaway(plan: &'p CompiledStencil<R>, input: &Grid<R>) -> Self {
+        Self::from_cow(Cow::Borrowed(plan), input, false)
+    }
+
+    fn from_cow(plan: Cow<'p, CompiledStencil<R>>, input: &Grid<R>, retain_initial: bool) -> Self {
+        assert_eq!(
+            input.shape(),
+            plan.grid_shape,
+            "grid shape differs from the compiled plan"
+        );
+        let engine = Engine::new(plan.gpu.clone(), plan.precision);
+        // Traffic/launch accounting shares the closed-form helper with
+        // the optimized engine; the fragment ops stay counted one by one
+        // inside `step_naive` as the independent oracle.
+        let per_iter = exec::iter_counters(&plan, &plan.geom, plan.grid_shape, false);
+        let mut cur = input.clone();
+        cur.quantize(plan.precision);
+        let initial = retain_initial.then(|| cur.clone());
+        Self {
+            plan,
+            engine,
+            per_iter,
+            cur,
+            initial,
+            dims: input.dims(),
+        }
+    }
+}
+
+impl<R: Real> Backend<R> for NaiveBackend<'_, R> {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn shape(&self) -> [usize; 3] {
+        self.plan.grid_shape
+    }
+
+    fn step(&mut self) {
+        self.engine.counters.merge(&self.per_iter);
+        self.cur = exec::step_naive(&self.plan, &self.cur, &mut self.engine);
+        if !matches!(self.plan.precision, Precision::Fp64) {
+            self.cur.quantize(self.plan.precision);
+        }
+    }
+
+    fn field(&self) -> FieldView<'_, R> {
+        // Explicit dims: a `load` may change the input's dimensionality
+        // while `cur`'s own metadata still carries the construction-time
+        // value.
+        FieldView::windowed(&self.cur, self.dims, self.plan.grid_shape)
+    }
+
+    fn load(&mut self, input: &Grid<R>) {
+        assert_eq!(
+            input.shape(),
+            self.plan.grid_shape,
+            "grid shape differs from the compiled plan"
+        );
+        stage_initial(
+            input,
+            &mut self.initial,
+            self.cur.shape(),
+            self.plan.precision,
+        );
+        self.dims = input.dims();
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        let initial = self
+            .initial
+            .as_ref()
+            .expect("internal throwaway sessions never rewind");
+        self.cur.as_mut_slice().copy_from_slice(initial.as_slice());
+        self.engine.counters = Counters::new();
+    }
+
+    fn stats(&self, steps: usize) -> Option<RunStats> {
+        Some(exec::finalize_stats(&self.plan, &self.engine, steps))
+    }
+
+    fn into_grid(self: Box<Self>) -> Grid<R> {
+        // `cur` already is the semantic grid — move it out, unless a
+        // dims-changing `load` left stale dimensionality metadata on it.
+        if self.cur.dims() == self.dims {
+            self.cur
+        } else {
+            self.field().to_grid()
+        }
+    }
+}
+
+/// A probe callback: receives the completed-step count and a zero-copy
+/// view of the live field.
+type ProbeFn<'p, R> = Box<dyn FnMut(usize, &FieldView<'_, R>) + 'p>;
+
+/// A registered observer: fires every `every` steps with the step number
+/// and the live field view.
+struct Probe<'p, R: Real> {
+    every: usize,
+    f: ProbeFn<'p, R>,
+}
+
+/// A persistent stencil-simulation session: retained execution state
+/// stepped incrementally, observed mid-run, and reused across inputs.
+///
+/// Obtain one from [`Executor::session`](crate::pipeline::Executor::session)
+/// (borrowing the executor's plan) or wrap any [`Backend`] directly with
+/// [`Simulation::new`]. See the [module docs](self) for the ownership
+/// story and the backend roster.
+pub struct Simulation<'p, R: Real> {
+    backend: Box<dyn Backend<R> + 'p>,
+    steps: usize,
+    probes: Vec<Probe<'p, R>>,
+}
+
+impl<'p, R: Real> Simulation<'p, R> {
+    /// Wrap a backend in a session driver.
+    pub fn new(backend: impl Backend<R> + 'p) -> Self {
+        Self::from_boxed(Box::new(backend))
+    }
+
+    /// Wrap an already-boxed backend (for callers assembling `dyn`
+    /// backends, e.g. a driver iterating over several of them).
+    pub fn from_boxed(backend: Box<dyn Backend<R> + 'p>) -> Self {
+        Self {
+            backend,
+            steps: 0,
+            probes: Vec::new(),
+        }
+    }
+
+    /// The backend's display name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Semantic grid shape `[nz, ny, nx]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.backend.shape()
+    }
+
+    /// Steps executed since construction / the last [`Simulation::load`]
+    /// or [`Simulation::reset`].
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Register an observer invoked after every `every`-th step with the
+    /// completed-step count and a zero-copy view of the live field.
+    /// Probes stack (all matching probes fire, in registration order)
+    /// and survive [`Simulation::load`]/[`Simulation::reset`].
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn probe(&mut self, every: usize, f: impl FnMut(usize, &FieldView<'_, R>) + 'p) {
+        assert!(every > 0, "probe cadence must be at least 1");
+        self.probes.push(Probe {
+            every,
+            f: Box::new(f),
+        });
+    }
+
+    /// Advance one time step (and fire any due probes).
+    pub fn step(&mut self) {
+        self.step_n(1);
+    }
+
+    /// Advance `n` time steps, firing due probes after each one. The
+    /// stepping itself performs zero heap allocations on the engine
+    /// backend; whatever a probe closure allocates is its own business.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.backend.step();
+            self.steps += 1;
+            if !self.probes.is_empty() {
+                // Split borrows: the view reads `backend`, the closures
+                // live in `probes` — disjoint fields.
+                let Self {
+                    backend,
+                    probes,
+                    steps,
+                } = self;
+                let view = backend.field();
+                for p in probes.iter_mut() {
+                    if *steps % p.every == 0 {
+                        (p.f)(*steps, &view);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero-copy view of the current semantic field — valid immediately
+    /// after any step, no extraction pass.
+    pub fn field(&self) -> FieldView<'_, R> {
+        self.backend.field()
+    }
+
+    /// Materialize the current semantic field as an owned [`Grid`].
+    pub fn to_grid(&self) -> Grid<R> {
+        self.backend.field().to_grid()
+    }
+
+    /// Consume the session and return the final semantic field, moving
+    /// the live buffer out without a copy where the backend allows it
+    /// (the naive and reference paths; the padded engine extracts).
+    pub fn into_grid(self) -> Grid<R> {
+        self.backend.into_grid()
+    }
+
+    /// Start over on a new input of the same shape, reusing every buffer
+    /// (no reallocation, unless the input's *dimensionality* changed,
+    /// which re-materializes one staging buffer): the field is
+    /// re-embedded and re-quantized, the step counter and activity
+    /// counters are cleared, probes stay registered.
+    ///
+    /// # Panics
+    /// Panics if `input`'s shape differs from the session's.
+    pub fn load(&mut self, input: &Grid<R>) {
+        self.backend.load(input);
+        self.steps = 0;
+    }
+
+    /// Rewind to the initially loaded field (as of construction or the
+    /// last [`Simulation::load`]), clearing steps and counters. No
+    /// reallocation.
+    pub fn reset(&mut self) {
+        self.backend.reset();
+        self.steps = 0;
+    }
+
+    /// Accumulated simulated-hardware statistics over the session's
+    /// steps so far. `None` for backends without a hardware model (the
+    /// baselines' scalar-reference sessions).
+    pub fn stats(&self) -> Option<RunStats> {
+        self.backend.stats(self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{compile, Options};
+    use crate::stencil::StencilKernel;
+
+    fn plan_and_input(shape: [usize; 3]) -> (CompiledStencil<f32>, Grid<f32>) {
+        let k = StencilKernel::box2d9p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, shape, &opts).unwrap();
+        let input = Grid::<f32>::smooth_random(2, shape);
+        (plan, input)
+    }
+
+    #[test]
+    fn stepwise_equals_oneshot() {
+        let (plan, input) = plan_and_input([1, 44, 48]);
+        let (want, want_stats) = exec::run(&plan, &input, 4);
+
+        let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
+        for _ in 0..4 {
+            sim.step();
+        }
+        assert_eq!(sim.steps(), 4);
+        assert_eq!(sim.to_grid(), want);
+        let stats = sim.stats().unwrap();
+        assert_eq!(stats.counters, want_stats.counters);
+        assert_eq!(stats.iters, 4);
+    }
+
+    #[test]
+    fn probes_fire_on_cadence_with_live_values() {
+        let (plan, input) = plan_and_input([1, 40, 40]);
+        let (after2, _) = exec::run(&plan, &input, 2);
+        let fired = std::cell::RefCell::new(Vec::new());
+        let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
+        sim.probe(2, |step, field| {
+            fired.borrow_mut().push((step, field.get(0, 10, 10)));
+        });
+        sim.step_n(5);
+        drop(sim);
+        let fired = fired.into_inner();
+        assert_eq!(fired.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [2, 4]);
+        assert_eq!(fired[0].1, after2.get(0, 10, 10));
+    }
+
+    #[test]
+    fn load_and_reset_reuse_buffers() {
+        let (plan, a) = plan_and_input([1, 40, 40]);
+        let b = Grid::<f32>::from_fn_3d(2, [1, 40, 40], |_, y, x| ((y * 7 + x) % 11) as f32 * 0.1);
+
+        let mut sim = Simulation::new(EngineBackend::new(&plan, &a));
+        sim.step_n(3);
+        let first = sim.to_grid();
+
+        sim.load(&b);
+        assert_eq!(sim.steps(), 0);
+        sim.step_n(3);
+        let (fresh_b, fresh_b_stats) = exec::run(&plan, &b, 3);
+        assert_eq!(sim.to_grid(), fresh_b);
+        assert_eq!(sim.stats().unwrap().counters, fresh_b_stats.counters);
+
+        sim.reset();
+        sim.step_n(3);
+        assert_eq!(sim.to_grid(), fresh_b, "reset rewinds to the last load");
+
+        sim.load(&a);
+        sim.step_n(3);
+        assert_eq!(sim.to_grid(), first);
+    }
+
+    #[test]
+    fn naive_backend_matches_engine_through_one_driver() {
+        let (plan, input) = plan_and_input([1, 44, 40]);
+        let mut results = Vec::new();
+        let backends: Vec<Box<dyn Backend<f32>>> = vec![
+            Box::new(EngineBackend::new(&plan, &input)),
+            Box::new(NaiveBackend::new(&plan, &input)),
+        ];
+        for backend in backends {
+            let mut sim = Simulation::from_boxed(backend);
+            sim.step_n(3);
+            results.push((sim.to_grid(), sim.stats().unwrap().counters));
+        }
+        assert_eq!(results[0].0, results[1].0);
+        assert_eq!(results[0].1, results[1].1);
+    }
+
+    #[test]
+    fn owned_backend_outlives_its_plan_binding() {
+        let (plan, input) = plan_and_input([1, 40, 40]);
+        let (want, _) = exec::run(&plan, &input, 2);
+        let mut sim: Simulation<'static, f32> = Simulation::new(EngineBackend::owned(plan, &input));
+        sim.step_n(2);
+        assert_eq!(sim.to_grid(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from the compiled plan")]
+    fn load_rejects_wrong_shape() {
+        let (plan, input) = plan_and_input([1, 40, 40]);
+        let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
+        sim.load(&Grid::<f32>::smooth_random(2, [1, 30, 30]));
+    }
+}

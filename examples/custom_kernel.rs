@@ -43,12 +43,18 @@ fn main() {
         plan.strategy_used
     );
 
+    // A session keeps the compiled plan's buffers live across steps: the
+    // 20 steps here pay setup once, and the live field is readable
+    // without extraction.
     let input = Grid::<f32>::smooth_random(2, shape);
-    let (out, stats) = exec.run(&input, 20);
+    let mut sim = exec.session(&input);
+    sim.step_n(20);
+    let stats = sim.stats().expect("engine sessions report stats");
     println!(
-        "ran 20 steps: {:.1} GStencil/s modelled, sample out[100][100] = {:.5}",
+        "ran {} steps: {:.1} GStencil/s modelled, sample out[100][100] = {:.5}",
+        sim.steps(),
         stats.gstencil_per_sec,
-        out.get(0, 100, 100)
+        sim.field().get(0, 100, 100)
     );
 
     let err = exec.verify(&input, 5);

@@ -3,22 +3,22 @@
 //! Uses the zoo's `vorticity-2d-13p` operator (a radius-2 star) to damp a
 //! double shear-layer vorticity field — the class of workload the paper's
 //! introduction motivates ("the backbone of applications such as fluid
-//! dynamics"). The whole time loop runs through the sparse-TCU pipeline;
-//! we report enstrophy decay (a physical sanity check: diffusion must
-//! monotonically dissipate it) and the simulated GPU statistics.
+//! dynamics"). The whole time loop is **one** persistent session: the
+//! field never leaves the engine's buffers between steps, and a probe
+//! reports enstrophy decay (a physical sanity check: diffusion must
+//! monotonically dissipate it) every 8 steps while the run is in flight.
+//! Compare with the pre-session API, which re-embedded and re-extracted
+//! the grid for every 8-step chunk.
 //!
 //! ```sh
 //! cargo run --release --example fluid_dynamics
 //! ```
 
 use sparstencil::prelude::*;
+use std::cell::Cell;
 
-fn enstrophy(g: &Grid<f32>) -> f64 {
-    g.as_slice()
-        .iter()
-        .map(|&v| (v as f64) * (v as f64))
-        .sum::<f64>()
-        / g.len() as f64
+fn enstrophy(field: &FieldView<'_, f32>) -> f64 {
+    field.iter().map(|v| (v as f64) * (v as f64)).sum::<f64>() / field.len() as f64
 }
 
 fn main() {
@@ -49,28 +49,32 @@ fn main() {
         exec.plan().geom.k_logical
     );
 
-    let mut field = input.clone();
+    // One session for the whole simulation; a probe observes the live
+    // field every 8 steps with zero copies.
+    let mut sim = exec.session(&input);
     println!("\n  step   enstrophy");
     println!("  ----   ---------");
-    let mut last = f64::INFINITY;
-    for step in 0..5 {
-        let e = enstrophy(&field);
-        println!("  {:>4}   {e:.6}", step * 8);
+    let last = Cell::new(enstrophy(&sim.field()));
+    println!("  {:>4}   {:.6}", 0, last.get());
+    sim.probe(8, |step, field| {
+        let e = enstrophy(field);
+        println!("  {step:>4}   {e:.6}");
         assert!(
-            e <= last * 1.0001,
+            e <= last.get() * 1.0001,
             "diffusion must dissipate enstrophy (step {step})"
         );
-        last = e;
-        let (next, _) = exec.run(&field, 8);
-        field = next;
-    }
+        last.set(e);
+    });
+    sim.step_n(40);
 
-    let (_, stats) = exec.run(&input, 40);
+    let stats = sim.stats().expect("engine sessions report stats");
     println!(
         "\n  40 steps: {:.1} GStencil/s modelled, {} fragment MMAs",
         stats.gstencil_per_sec,
         stats.counters.n_mma()
     );
+    drop(sim);
+
     let err = exec.verify(&input, 3);
     println!("  verification vs scalar reference (3 steps): {err:.2e}");
 }

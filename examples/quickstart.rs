@@ -1,6 +1,7 @@
 //! Quickstart: compile a stencil for the simulated sparse tensor cores,
-//! run it, verify against the scalar reference, and inspect what the
-//! compiler decided.
+//! open a persistent simulation session, step it with a mid-run probe,
+//! verify against the scalar reference, and inspect what the compiler
+//! decided.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -13,9 +14,9 @@ fn main() {
     let kernel = StencilKernel::box2d9p();
     let shape = [1, 258, 258];
 
-    // Compile: layout exploration → layout morphing → structured sparsity
-    // conversion → kernel generation. Options::default() is FP16 on the
-    // simulated A100's sparse tensor cores.
+    // Compile once: layout exploration → layout morphing → structured
+    // sparsity conversion → kernel generation. Options::default() is
+    // FP16 on the simulated A100's sparse tensor cores.
     let exec =
         Executor::<f32>::new(&kernel, shape, &Options::default()).expect("compilation failed");
     let plan = exec.plan();
@@ -44,10 +45,28 @@ fn main() {
         plan.lut_bytes()
     );
 
-    // Run 10 time steps on a smooth random field.
+    // Open a session: the input is embedded and quantized and all
+    // buffers are allocated HERE, once — every step after this is
+    // allocation-free, and the live field stays observable throughout.
     let input = Grid::<f32>::smooth_random(2, shape);
-    let (output, stats) = exec.run(&input, 10);
-    println!("\nafter 10 steps:");
+    let mut sim = exec.session(&input);
+
+    // A probe watches the running simulation every 5 steps without
+    // copying the field (zero-copy FieldView).
+    println!("\n  step   mean field value");
+    sim.probe(5, |step, field| {
+        let mean: f64 = field.iter().map(|v| v as f64).sum::<f64>() / field.len() as f64;
+        println!("  {step:>4}   {mean:.6}");
+    });
+
+    // Step incrementally: 10 steps now ...
+    sim.step_n(10);
+    // ... and, because the session retains its state, 10 more later
+    // cost no setup at all.
+    sim.step_n(10);
+
+    let stats = sim.stats().expect("engine sessions report stats");
+    println!("\nafter {} steps:", sim.steps());
     println!("  fragment MMAs issued : {}", stats.counters.n_mma());
     println!(
         "  modelled kernel time : {:.3} ms",
@@ -59,13 +78,16 @@ fn main() {
     );
     println!(
         "  sample value         : out[128][128] = {:.5}",
-        output.get(0, 128, 128)
+        sim.field().get(0, 128, 128)
     );
 
-    // Verify against the scalar f64 reference.
-    let err = exec.verify(&input, 10);
-    println!("\nverification  : max relative error vs reference = {err:.2e}");
-    assert!(err < 0.5, "verification failed");
+    // Verify several checkpoints against the scalar f64 reference —
+    // one session, one running reference, no per-count setup.
+    println!("\nverification vs reference:");
+    for (iters, err) in exec.verify_at(&input, &[1, 5, 10]) {
+        println!("  {iters:>3} steps : max relative error = {err:.2e}");
+        assert!(err < 0.5, "verification failed at {iters} iters");
+    }
 
     // The CUDA kernel the code generator would emit on real hardware.
     let cuda = exec.cuda_source();

@@ -10,6 +10,51 @@
 //! - [`sparstencil_tcu`] — the sparse Tensor Core simulator.
 //! - [`sparstencil_zoo`] — 79 real-world stencil kernels over 9 domains.
 //! - [`sparstencil_baselines`] — state-of-the-art baseline mappings.
+//!
+//! # The session API in one screen
+//!
+//! Compile once with [`sparstencil::pipeline::Executor`], then drive a
+//! persistent [`sparstencil::session::Simulation`]: the plan — layout
+//! exploration, morphing, 2:4 conversion, kernel generation (§3–4 of the
+//! paper) — is reused across thousands of time steps, the way real
+//! stencil workloads (fluid, seismic, heat solvers) amortize
+//! compilation:
+//!
+//! ```
+//! use sparstencil::prelude::*;
+//!
+//! let kernel = StencilKernel::box2d9p();
+//! let shape = [1, 66, 66];
+//! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
+//! let input = Grid::<f32>::smooth_random(2, shape);
+//!
+//! // Setup (embedding, quantization, buffer allocation) happens here,
+//! // once; each step after is allocation-free.
+//! let mut sim = exec.session(&input);
+//!
+//! // Observe the live field mid-run, zero-copy, every 2 steps.
+//! sim.probe(2, |step, field| {
+//!     let peak = field.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+//!     assert!(peak.is_finite(), "step {step}");
+//! });
+//!
+//! sim.step_n(4);                      // step incrementally ...
+//! let snapshot = sim.field().get(0, 30, 30);
+//! sim.step_n(4);                      // ... and keep going, no re-setup
+//!
+//! let stats = sim.stats().unwrap();   // accumulated over the session
+//! assert!(stats.counters.n_mma() > 0);
+//!
+//! sim.load(&input);                   // reuse the buffers for a new run
+//! assert_eq!(sim.steps(), 0);
+//! let _ = snapshot;
+//! ```
+//!
+//! Every execution path — the optimized engine, the retained naive
+//! oracle, and all seven comparison systems in
+//! [`sparstencil_baselines`] — plugs into the same
+//! [`sparstencil::session::Backend`] trait, so one driver steps any of
+//! them interchangeably (see `tests/session_api.rs`).
 
 pub use sparstencil;
 pub use sparstencil_baselines;

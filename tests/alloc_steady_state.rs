@@ -13,6 +13,7 @@
 use sparstencil::exec::run;
 use sparstencil::grid::Grid;
 use sparstencil::plan::{compile, Options};
+use sparstencil::session::{EngineBackend, Simulation};
 use sparstencil::stencil::StencilKernel;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +73,50 @@ fn assert_zero_steady_state_allocs(k: &StencilKernel, shape: [usize; 3], opts: &
          allocate at all",
         k.name(),
         many - one,
+    );
+}
+
+/// The session API proper: after construction and one warm-up step,
+/// repeated `step()`/`step_n()` calls on a live [`Simulation`] — and
+/// `field()` observation, `load()` reuse, and `reset()` between them —
+/// must perform zero heap allocations.
+#[test]
+fn zero_allocations_across_session_steps() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 50, 50];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let input = Grid::<f32>::smooth_random(2, shape);
+    let other = Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y + 2 * x) % 9) as f32 / 9.0);
+
+    // Warm up process-global state (thread pool, lazy runtime init).
+    let _ = run(&plan, &input, 2);
+
+    let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
+    sim.step(); // arena warm-up step
+    let mut checksum = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        sim.step();
+        checksum += sim.field().get(0, 25, 25) as f64;
+    }
+    sim.step_n(5);
+    sim.reset();
+    sim.step_n(2);
+    sim.load(&other);
+    sim.step_n(3);
+    checksum += sim.field().get(0, 10, 10) as f64;
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state session steps (incl. field/load/reset) must not allocate"
     );
 }
 

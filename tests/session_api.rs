@@ -1,0 +1,248 @@
+//! Session-API semantics: a persistent [`Simulation`] must be
+//! indistinguishable from the one-shot entry points — `step_n(1)` called
+//! N times is bit-identical (grids *and* counters) to `run(N)`, `load()`
+//! reuse across inputs matches fresh sessions, probes observe the exact
+//! intermediate states, and one driver runs every [`Backend`] (engine,
+//! naive, all seven baselines) interchangeably.
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::Simulation;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_baselines::all_baselines;
+use sparstencil_mat::half::verify_tolerance;
+use sparstencil_tcu::Counters;
+
+fn opts_for(k: &StencilKernel) -> Options {
+    if k.dims() == 3 {
+        Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        }
+    } else {
+        Options::default()
+    }
+}
+
+/// The session-vs-one-shot identity, per backend flavor: N single steps
+/// through a session == one `run(N)`, bit-for-bit grids and counters.
+fn assert_stepwise_identity(k: &StencilKernel, shape: [usize; 3], iters: usize) {
+    let exec = Executor::<f32>::new(k, shape, &opts_for(k)).unwrap();
+    let input = Grid::<f32>::smooth_random(k.dims(), shape);
+
+    for (label, mut sim, (want, want_stats)) in [
+        ("engine", exec.session(&input), exec.run(&input, iters)),
+        (
+            "naive",
+            exec.session_naive(&input),
+            exec.run_naive(&input, iters),
+        ),
+    ] {
+        for _ in 0..iters {
+            sim.step();
+        }
+        assert_eq!(sim.steps(), iters);
+        assert_eq!(
+            sim.to_grid(),
+            want,
+            "{}/{label}: stepped grid must equal run({iters})",
+            k.name()
+        );
+        let stats = sim.stats().expect("plan-backed backends report stats");
+        assert_eq!(
+            stats.counters,
+            want_stats.counters,
+            "{}/{label}: counters must match",
+            k.name()
+        );
+        assert_eq!(stats.iters, want_stats.iters);
+        assert_eq!(stats.total_seconds, want_stats.total_seconds);
+    }
+}
+
+#[test]
+fn stepwise_identity_2d() {
+    assert_stepwise_identity(&StencilKernel::box2d9p(), [1, 48, 52], 4);
+    assert_stepwise_identity(&StencilKernel::star2d13p(), [1, 37, 43], 3);
+}
+
+#[test]
+fn stepwise_identity_3d() {
+    assert_stepwise_identity(&StencilKernel::box3d27p(), [12, 20, 20], 2);
+}
+
+#[test]
+fn stepwise_identity_temporal_fusion() {
+    let fused = StencilKernel::heat2d().temporal_fusion(3);
+    let exec = Executor::<f32>::new(
+        &fused,
+        [1, 40, 40],
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let input = Grid::<f32>::smooth_random(2, [1, 40, 40]);
+    let (want, want_stats) = exec.run(&input, 3);
+    let mut sim = exec.session(&input);
+    sim.step_n(3);
+    assert_eq!(sim.to_grid(), want);
+    assert_eq!(sim.stats().unwrap().counters, want_stats.counters);
+}
+
+#[test]
+fn load_reuse_matches_fresh_sessions() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let a = Grid::<f32>::smooth_random(2, shape);
+    let b = Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y * 13 + x * 7) % 17) as f32 / 17.0);
+
+    // One session reused across inputs A -> B -> A ...
+    let mut sim = exec.session(&a);
+    sim.step_n(3);
+    let a_grid = sim.to_grid();
+    let a_counters = sim.stats().unwrap().counters;
+
+    sim.load(&b);
+    assert_eq!(sim.steps(), 0, "load must clear the step counter");
+    sim.step_n(5);
+    let b_grid = sim.to_grid();
+    let b_counters = sim.stats().unwrap().counters;
+
+    sim.load(&a);
+    sim.step_n(3);
+    assert_eq!(sim.to_grid(), a_grid, "A after reuse must match A fresh");
+    assert_eq!(sim.stats().unwrap().counters, a_counters);
+
+    // ... must be bit-identical to fresh sessions per input.
+    let (fresh_a, fresh_a_stats) = exec.run(&a, 3);
+    let (fresh_b, fresh_b_stats) = exec.run(&b, 5);
+    assert_eq!(a_grid, fresh_a);
+    assert_eq!(a_counters, fresh_a_stats.counters);
+    assert_eq!(b_grid, fresh_b);
+    assert_eq!(b_counters, fresh_b_stats.counters);
+
+    // reset() rewinds to the last load.
+    sim.reset();
+    assert_eq!(sim.steps(), 0);
+    sim.step_n(3);
+    assert_eq!(sim.to_grid(), fresh_a);
+}
+
+#[test]
+fn probes_observe_exact_intermediate_states() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let input = Grid::<f32>::smooth_random(2, shape);
+
+    let snapshots = std::cell::RefCell::new(Vec::new());
+    let mut sim = exec.session(&input);
+    sim.probe(3, |step, field| {
+        snapshots.borrow_mut().push((step, field.to_grid()));
+    });
+    sim.step_n(7);
+    drop(sim);
+
+    let snapshots = snapshots.into_inner();
+    assert_eq!(
+        snapshots.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+        [3, 6],
+        "a cadence-3 probe fires at steps 3 and 6 over 7 steps"
+    );
+    for (step, grid) in &snapshots {
+        let (want, _) = exec.run(&input, *step);
+        assert_eq!(grid, &want, "probe at step {step} must see the live field");
+    }
+}
+
+#[test]
+fn one_driver_runs_every_backend() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 44];
+    let input = Grid::<f32>::smooth_random(2, shape);
+    let iters = 2;
+
+    // The uniform driver: any session, no backend-specific code.
+    fn drive(mut sim: Simulation<'_, f32>, iters: usize) -> (Grid<f32>, Option<Counters>) {
+        sim.step_n(iters);
+        (sim.to_grid(), sim.stats().map(|s| s.counters))
+    }
+
+    let exec = Executor::<f32>::new(
+        &k,
+        shape,
+        &Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let (engine_grid, engine_counters) = drive(exec.session(&input), iters);
+    let (naive_grid, naive_counters) = drive(exec.session_naive(&input), iters);
+    assert_eq!(
+        engine_grid, naive_grid,
+        "engine and naive are bit-identical"
+    );
+    assert_eq!(engine_counters, naive_counters);
+
+    let engine64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| engine_grid.get(z, y, x) as f64);
+    for baseline in all_baselines() {
+        let sim = baseline.session(&k, &input);
+        let name = sim.backend_name();
+        let (grid, counters) = drive(sim, iters);
+        let got64 = Grid::<f64>::from_fn_3d(2, shape, |z, y, x| grid.get(z, y, x) as f64);
+        let diff = got64.max_rel_diff_interior(&engine64, &k);
+        assert!(
+            diff <= 2.0 * verify_tolerance(sparstencil_mat::half::Precision::Fp16),
+            "{} ({name}) diverges from the engine by {diff:.3e}",
+            baseline.name()
+        );
+        // Session-driven execute must equal the trait's execute.
+        assert_eq!(
+            grid,
+            baseline.execute(&k, &input, iters),
+            "{}",
+            baseline.name()
+        );
+        // Pipeline-backed baselines carry a hardware model, counter
+        // models do not.
+        match baseline.name() {
+            "TCStencil" | "ConvStencil" => assert!(counters.is_some(), "{}", baseline.name()),
+            _ => assert!(counters.is_none(), "{}", baseline.name()),
+        }
+    }
+}
+
+#[test]
+fn verify_at_matches_per_count_verify() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let input = Grid::<f32>::smooth_random(2, shape);
+
+    let combined = exec.verify_at(&input, &[1, 2, 4]);
+    assert_eq!(combined.len(), 3);
+    for (iters, err) in combined {
+        let single = exec.verify(&input, iters);
+        assert_eq!(err, single, "verify_at({iters}) must equal verify({iters})");
+        assert!(err <= verify_tolerance(exec.plan().precision) * iters as f64);
+    }
+}
+
+#[test]
+fn owned_sessions_are_self_contained() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 36, 36];
+    let input = Grid::<f32>::smooth_random(2, shape);
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let (want, _) = exec.run(&input, 2);
+
+    // The executor is consumed; the session owns the plan.
+    let mut sim: Simulation<'static, f32> = exec.into_session(&input);
+    sim.step_n(2);
+    assert_eq!(sim.to_grid(), want);
+}
