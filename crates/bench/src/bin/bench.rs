@@ -16,13 +16,20 @@
 //!   >1-lane rows measure scheduling overhead only),
 //! - the retained naive reference path (a [`NaiveBackend`] session),
 //! - `setup_seconds` — one-time session construction cost,
+//! - `stage_seconds` / `mma_seconds` — per-step wall time of the staged
+//!   executor's operand-staging and MMA phases (single-lane,
+//!   [`sparstencil::exec::profile_phases`]), so the gather share of a
+//!   step stays visible in the perf trajectory as the staging pipeline
+//!   evolves,
 //! - `edge_block_fraction` — the share of fragment-column blocks that
 //!   would fall off the branch-free gather path, `0.0` for every plan
 //!   since the executor plans over a halo-padded domain (regression
 //!   guard for that invariant).
 //!
 //! `optimized_cells_per_sec` stays the single-lane number so the CI
-//! regression gate (`bench_compare`) tracks one stable configuration.
+//! regression gate (`bench_compare`) tracks one stable configuration —
+//! the gate keeps comparing total throughput (speedup vs naive), never
+//! the phase split.
 //!
 //! Usage: `cargo run --release -p sparstencil-bench --bin bench`
 //! (`--iters N` to change the measured step count, default 8).
@@ -109,6 +116,13 @@ fn main() {
         let mut naive_sim = Simulation::new(NaiveBackend::new(&plan, &input));
         let naive = measure(&mut naive_sim, cells, iters);
         let speedup = optimized / naive;
+
+        // Per-phase split of the staged step (single-lane, per step):
+        // where the remaining time goes, stage vs MMA.
+        let phases = sparstencil::exec::profile_phases(&plan, &input, iters);
+        let stage_seconds = phases.stage_seconds / iters as f64;
+        let mma_seconds = phases.mma_seconds / iters as f64;
+        let phase_pct = |s: f64| 100.0 * s / phases.wall_seconds;
         println!(
             "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x   \
              setup {:.1} ms   edge_blocks {edge_block_fraction:.3}",
@@ -116,6 +130,14 @@ fn main() {
             optimized,
             naive,
             setup_seconds * 1e3
+        );
+        println!(
+            "{:<22}   phases  stage {:.2} ms/step ({:.0}%)   mma {:.2} ms/step ({:.0}%)",
+            "",
+            stage_seconds * 1e3,
+            phase_pct(phases.stage_seconds),
+            mma_seconds * 1e3,
+            phase_pct(phases.mma_seconds),
         );
         for &(lanes, rate) in &lane_rates[1..] {
             println!(
@@ -134,6 +156,8 @@ fn main() {
             "    {{\"case\": \"{}\", \"iters\": {iters}, \
              \"edge_block_fraction\": {edge_block_fraction:.4}, \
              \"setup_seconds\": {setup_seconds:.6}, \
+             \"stage_seconds\": {stage_seconds:.6}, \
+             \"mma_seconds\": {mma_seconds:.6}, \
              \"optimized_cells_per_sec\": {optimized:.1}, \
              \"naive_cells_per_sec\": {naive:.1}, \
              \"speedup\": {speedup:.3}, \

@@ -6,19 +6,27 @@
 //! kernel's async-copy stage would — while the engine accumulates exact
 //! activity counters. Timing is then derived from the counters through
 //! the analytic model (with or without double-buffer overlap, per the
-//! plan's [`OptFlags`]); GStencil/s follows Equation 12.
+//! plan's [`crate::plan::OptFlags`]); GStencil/s follows Equation 12.
 //!
 //! The numeric path is deliberately the *same arithmetic* as the
 //! hardware: operands pre-rounded to the plan's precision, accumulation
 //! at full scalar width, outputs re-rounded on store.
 //!
-//! # Execution engine: halo-padded interior-only execution
+//! # Execution engine: staged-gather, halo-padded, interior-only
 //!
 //! [`run`] mirrors the discipline of the generated kernels — all
 //! bookkeeping hoisted to plan time, all buffers allocated once, and
-//! **no edge-tile path at all**:
+//! **no edge-tile path at all**. A step is a **two-phase pipeline** per
+//! work item — *stage* the operand window into contiguous per-lane
+//! scratch, then *MMA* from it by dense offset — followed by the direct
+//! scatter and, once per step, the boundary mirror:
 //!
-//! - **Halo-padded ping-pong buffering.** A [`StepBuffers`] arena owns
+//! ```text
+//!   step = for each work item:  ① stage  →  ② MMA  →  ③ scatter
+//!          then once:           ④ mirror boundary band
+//! ```
+//!
+//! - **Halo-padded ping-pong buffering.** A `StepBuffers` arena owns
 //!   two persistent grids embedded in a ghost-zone-padded domain
 //!   (`pad_ny × pad_nx` planes, [`crate::crush::CrushPlan::padded_extent`]) where
 //!   every tile's gather window and output footprint is in-bounds *by
@@ -26,34 +34,65 @@
 //!   `next` is cloned from it once, which seeds the boundary cells. Each
 //!   step computes `next` from `cur` and the buffers swap; the semantic
 //!   grid is extracted from the padded buffer once at run end.
+//! - **Staged gather with sliding-window halo reuse.** Operand bytes no
+//!   longer flow straight from strided padded-grid loads into the MMA:
+//!   each worker stages its work item's whole gather window — `window`
+//!   source z-planes × the union of in-plane cells any operand row
+//!   reads, sorted by source offset — into a contiguous scratch **ring**
+//!   ([`crate::plan::StageSchedule`]), and the row programs read
+//!   operands by dense offset from that staged buffer (entries rebased
+//!   at plan time, [`sparstencil_tcu::fragment::RowProgram::remap_rows`]).
+//!   The work list is locality-ordered into **z-sliding runs** (one
+//!   fragment-column block, `z` ascending), so consecutive items share
+//!   `window − 1` of their source planes and only the one new plane is
+//!   gathered — the new band overwrites the ring slot of the plane that
+//!   slid out:
+//!
+//! ```text
+//!   z-sliding run, 3-plane window (3D kernel), ring bands b0 b1 b2:
+//!
+//!   item z=0   stage p0→b0, p1→b1, p2→b2      MMA phase 0: [p0 p1 p2]
+//!   item z=1   stage p3→b0   (reuse p1, p2)   MMA phase 1: [p3 p1 p2]
+//!   item z=2   stage p4→b1   (reuse p2, p3)   MMA phase 2: [p4 p2 p3]
+//!   item z=3   stage p5→b2   (reuse p3, p4)   MMA phase 0: [p5 p3 p4]
+//!                 │                                  │
+//!                 └ 1 of 3 planes gathered           └ band of plane z+d
+//!                   per steady-state item              is (z+d) mod 3, so
+//!                   (the ~40% gather share              programs are rebased
+//!                   shrinks ~3× on 3D-27pt)             once per ring phase
+//! ```
+//!
+//!   For 2D/1D kernels the window is one plane and a "run" is one item:
+//!   staging degenerates to a locality-sorted gather into the scratch
+//!   buffer, with the same staged addressing.
 //! - **Interior-only branch-free hot loop.** Because no tile is ever
 //!   "edge" in the padded domain ([`crate::plan::TileDesc::interior`] is
 //!   universally true, asserted at plan build), the per-tile
 //!   interior/edge and full/partial classification of the previous
 //!   engine — and the branchy mixed-gather and bounds-checked-scatter
-//!   paths it guarded — are gone. Every block gathers through one
-//!   strided-copy loop over [`crate::plan::ExecTables::gather_rows`]
-//!   (offsets rebuilt on padded strides) and scatters unconditionally:
-//!   ghost outputs land in the padding, and a plan-time **mirror list**
+//!   paths it guarded — are gone. Every staged load is in-bounds by
+//!   plan-time validation, and the scatter is unconditional: ghost
+//!   outputs land in the padding, and a plan-time **mirror list**
 //!   (`mirror_segments`) restores the few overwritten semantic boundary
 //!   cells from the previous buffer once per step.
-//! - **Overwrite-first accumulation.** Slice 0's row programs are
-//!   compiled so every row has at least one entry (synthetic zero-store
-//!   for empty rows,
-//!   [`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`]); the
-//!   first
-//!   scheduled multiply of each accumulator row *stores* `v·b` instead
-//!   of accumulating into a pre-zeroed register, eliminating the
-//!   per-work-item `c_frag.fill(0)` pass (~2M stores/step on 3D-27pt
-//!   128³) from the steady-state loop entirely.
-//! - **Guided multi-core partitioning.** Work items are claimed from an
-//!   atomic cursor in shrinking block-granular chunks
-//!   (`rayon::pool::parallel_for_slots_guided`) rather than split into
-//!   one static contiguous range per pool thread, so threads that drew
-//!   cheap regions steal work from threads that drew expensive ones.
-//!   Each slot of persistent `WorkerScratch` is still owned by exactly
-//!   one task. [`run_with_parallelism`] exposes the lane count for
-//!   thread-scaling benchmarks.
+//! - **Overwrite-first accumulation.** The row programs are compiled so
+//!   every row has at least one entry (synthetic zero-store for empty
+//!   rows, [`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`],
+//!   rebased onto the ring's guaranteed-zero row); the first scheduled
+//!   multiply of each accumulator row *stores* `v·b` instead of
+//!   accumulating into a pre-zeroed register, eliminating the
+//!   per-work-item `c_frag.fill(0)` pass from the steady-state loop
+//!   entirely.
+//! - **Run-aligned guided partitioning.** Lanes claim work from an
+//!   atomic cursor in shrinking chunks
+//!   (`rayon::pool::parallel_for_slots_guided`) — but the claim unit is
+//!   a whole **z-sliding run**, not a work item, so a claim can never
+//!   split a run across lanes and every item with a nonzero reuse
+//!   descriptor is processed by the lane that just staged its
+//!   predecessor. Each slot of persistent `WorkerScratch` (which owns
+//!   the staged ring) is owned by exactly one task.
+//!   [`run_with_parallelism`] exposes the lane count for thread-scaling
+//!   benchmarks.
 //! - **Parallel direct scatter.** Each work item writes its results
 //!   straight into the shared padded output grid. Tiles partition the
 //!   padded output footprint and each tile belongs to exactly one work
@@ -61,13 +100,15 @@
 //!   aliasing argument.
 //!
 //! After the first iteration warms the buffers, a step performs **zero
-//! heap allocations** (asserted by `tests/alloc_steady_state.rs`).
-//! Counter totals are closed-form from plan geometry via
-//! [`iter_counters`] — the same helper `model_run` scales analytically,
+//! heap allocations** (asserted by `tests/alloc_steady_state.rs`); the
+//! staged ring is sized at plan time and survives `load()`/`reset()`
+//! untouched. Counter totals are closed-form from plan geometry via
+//! `iter_counters` — the same helper `model_run` scales analytically,
 //! so "analytic == counted" holds by construction. [`run_naive`] retains
 //! the original implementation as the equivalence oracle:
 //! `tests/exec_equivalence.rs` pins bit-identical grids and identical
-//! counters between the two.
+//! counters between the two, and [`profile_phases`] reports the
+//! per-phase (stage / MMA / scatter / mirror) wall-time split.
 
 use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
@@ -150,16 +191,23 @@ pub fn run_with_parallelism<R: Real>(
     (sim.into_grid(), stats)
 }
 
-/// Per-worker reusable scratch: one `B` staging buffer spanning the full
-/// logical operand depth plus one accumulator fragment per m-strip.
-/// Allocated once per run, reused across slices, tiles, and steps.
+/// Per-worker reusable scratch: the staged operand ring (`window` bands
+/// of `band_rows` locality-ordered cells plus the guaranteed-zero row,
+/// see [`crate::plan::StageSchedule`]) plus one accumulator fragment per
+/// m-strip. Allocated once per session — sized from the plan, so
+/// `load()`/`reset()` never touch it — and reused across tiles, runs,
+/// and steps.
 ///
-/// Invariant: padding rows of `b_all` stay zero for the buffer's whole
-/// lifetime — they are zeroed at construction and the gather (which only
-/// iterates `gather_rows`, the non-padding rows) never touches them.
+/// Invariant: the ring's zero row stays zero for the buffer's whole
+/// lifetime — it is zeroed at construction and staging only ever writes
+/// band rows (`< zero_row`).
 pub(crate) struct WorkerScratch<R: Real> {
-    b_all: DenseMatrix<R>,
+    staged: DenseMatrix<R>,
     strips: Vec<DenseMatrix<R>>,
+    /// Per-phase nanoseconds (stage, MMA, scatter), accumulated only by
+    /// the instrumented [`profile_phases`] stepper — the production
+    /// stepper never reads a clock.
+    phase_ns: [u64; 3],
 }
 
 /// The persistent execution arena of one engine session: the two
@@ -186,10 +234,11 @@ impl<R: Real> StepBuffers<R> {
         let frag = plan.frag;
         let scratch = (0..lanes)
             .map(|_| WorkerScratch {
-                b_all: DenseMatrix::zeros(plan.geom.k_logical, frag.n),
+                staged: DenseMatrix::zeros(plan.exec.stage.staged_depth(), frag.n),
                 strips: (0..plan.exec.m_strips)
                     .map(|_| DenseMatrix::zeros(frag.m, frag.n))
                     .collect(),
+                phase_ns: [0; 3],
             })
             .collect();
         Self { cur, next, scratch }
@@ -236,9 +285,30 @@ pub(crate) fn step_into<R: Real>(
     out: &mut Grid<R>,
     scratch: &mut [WorkerScratch<R>],
 ) {
+    step_into_impl(plan, cur, out, scratch, false);
+}
+
+/// The staged two-phase step body. `timed` threads the clock through for
+/// [`profile_phases`] (per-lane phase nanoseconds plus the returned
+/// mirror nanoseconds). A runtime flag rather than a const generic on
+/// purpose: one instantiation means the production hot path has the
+/// same machine code in every binary, whether or not that binary also
+/// profiles (a second monomorphization measurably perturbed code layout
+/// on the micro-kernels); when `timed` is false the cost is four
+/// predicted-untaken branches per work item and no clock reads.
+fn step_into_impl<R: Real>(
+    plan: &CompiledStencil<R>,
+    cur: &Grid<R>,
+    out: &mut Grid<R>,
+    scratch: &mut [WorkerScratch<R>],
+    timed: bool,
+) -> u64 {
     let t = &plan.exec;
+    let ss = &t.stage;
     let plane_stride = cur.plane_stride(); // padded: pad_ny · pad_nx
     let frag = plan.frag;
+    let n = frag.n;
+    let band_rows = ss.band_rows;
     let m_prime = plan.plan.m_prime();
     let tiles_per_plane = plan.geom.tiles_per_plane;
     let precision = plan.precision;
@@ -249,53 +319,72 @@ pub(crate) fn step_into<R: Real>(
         len: out_slice.len(),
     };
 
-    rayon::pool::parallel_for_slots_guided(t.work.len(), 1, scratch, |_slot, ws, range| {
-        for wi in range {
+    // The guided scheduler's claim unit is a whole z-sliding run, so a
+    // run is never split across lanes and every item's reuse descriptor
+    // (`overlap[wi] > 0` ⇒ the same lane just staged item `wi − 1`'s
+    // window) holds by construction. Run starts always stage their full
+    // window, which also makes stale ring content from the previous
+    // step (the buffers swapped) unreachable — no per-step invalidation
+    // pass is needed.
+    let n_runs = t.work.len() / ss.run_len;
+    rayon::pool::parallel_for_slots_guided(n_runs, 1, scratch, |_slot, ws, runs| {
+        let WorkerScratch {
+            staged,
+            strips,
+            phase_ns,
+        } = ws;
+        for wi in runs.start * ss.run_len..runs.end * ss.run_len {
             let (z, cb) = t.work[wi];
-            let first_tile = cb * frag.n;
-            let tiles_in_block = frag.n.min(tiles_per_plane - first_tile);
+            let first_tile = cb * n;
+            let tiles_in_block = n.min(tiles_per_plane - first_tile);
             let block_tiles = &t.tiles[first_tile..first_tile + tiles_in_block];
             let out_plane = z * plane_stride;
 
-            for (si, slice) in plan.slices.iter().enumerate() {
-                let src_plane = (z + slice.dz) * plane_stride;
-                let b_all = &mut ws.b_all;
-                // The only gather path: for every non-padding operand
-                // row, one strided load per tile into a contiguous
-                // b_all row segment. Every (tile, offset) pair is
-                // in-bounds in the padded domain by construction.
-                for &(i, off) in &t.gather_rows {
-                    let row = &mut b_all.row_mut(i)[..tiles_in_block];
+            // ---- Phase 1: stage the new window planes. ----
+            // Only planes the previous item did not leave in the ring
+            // (all of them at a run start, exactly one mid-run). Cells
+            // are copied in rank order — first-reference (permuted
+            // operand) order, chosen so the MMA's staged reads stay
+            // ascending; the source offsets are whatever the PIT
+            // permutation left. Columns past `tiles_in_block` may hold
+            // stale data, which the MMA computes garbage from and the
+            // scatter never reads.
+            let t0 = timed.then(std::time::Instant::now);
+            let staged_data = staged.as_mut_slice();
+            for d in ss.overlap[wi] as usize..ss.window {
+                let src = (z + d) * plane_stride;
+                let band_base = ((z + d) % ss.window) * band_rows;
+                for (rank, &off) in ss.cell_offsets.iter().enumerate() {
+                    let row_start = (band_base + rank) * n;
+                    let row = &mut staged_data[row_start..row_start + tiles_in_block];
                     for (dst, td) in row.iter_mut().zip(block_tiles) {
-                        let idx = src_plane + td.base + off;
+                        let idx = src + td.base + off;
                         // SAFETY: `ExecTables::build` validated every
-                        // (tile, offset) combination against the padded
-                        // grid length.
+                        // (plane, tile, cell) staging combination
+                        // against the padded grid length.
                         debug_assert!(idx < data.len());
                         *dst = unsafe { *data.get_unchecked(idx) };
                     }
                 }
-                // Columns past `tiles_in_block` (and columns of tiles
-                // past the plane) may hold stale data; the MMA computes
-                // per-column results independently and the scatter
-                // below never reads those columns.
-                for (mi, c_frag) in ws.strips.iter_mut().enumerate() {
-                    if si == 0 {
-                        // Overwrite-first: slice 0's program stores its
-                        // first multiply, so no zeroing pass ran.
-                        program_mma_overwrite(&t.programs[si][mi], b_all, c_frag, frag);
-                    } else {
-                        program_mma_hot(&t.programs[si][mi], b_all, c_frag, frag);
-                    }
-                }
             }
 
-            // Unconditional direct scatter: this work item owns every
-            // output cell of its tiles, and in the padded domain every
-            // tile's full r2×r1 footprint is writable — ghost outputs
-            // land in the padding (restored by the mirror below), so no
-            // per-cell validity checks remain.
-            for (mi, c_frag) in ws.strips.iter().enumerate() {
+            // ---- Phase 2: MMA from the staged ring. ----
+            // Operand addressing rotates with the ring, so the program
+            // set is selected by the phase `z mod window`; programs are
+            // overwrite-first, so no accumulator zeroing pass runs.
+            let t1 = timed.then(std::time::Instant::now);
+            let programs = &ss.programs[z % ss.window];
+            for (mi, c_frag) in strips.iter_mut().enumerate() {
+                program_mma_overwrite(&programs[mi], staged, c_frag, frag);
+            }
+
+            // ---- Phase 3: unconditional direct scatter. ----
+            // This work item owns every output cell of its tiles, and in
+            // the padded domain every tile's full r2×r1 footprint is
+            // writable — ghost outputs land in the padding (restored by
+            // the mirror below), so no per-cell validity checks remain.
+            let t2 = timed.then(std::time::Instant::now);
+            for (mi, c_frag) in strips.iter().enumerate() {
                 let row0 = mi * frag.m;
                 let rows = frag.m.min(m_prime.saturating_sub(row0));
                 for fr in 0..rows {
@@ -311,6 +400,13 @@ pub(crate) fn step_into<R: Real>(
                     }
                 }
             }
+            if timed {
+                let t3 = std::time::Instant::now();
+                let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
+                phase_ns[0] += (t1 - t0).as_nanos() as u64;
+                phase_ns[1] += (t2 - t1).as_nanos() as u64;
+                phase_ns[2] += (t3 - t2).as_nanos() as u64;
+            }
         }
     });
 
@@ -318,73 +414,52 @@ pub(crate) fn step_into<R: Real>(
     // scatters overwrote. Boundary values are step-invariant, so copying
     // from `cur` (whose band was restored the same way last step, or
     // seeded at arena build) is exact.
+    let t0 = timed.then(std::time::Instant::now);
     for z in 0..plan.geom.planes {
         let p = z * plane_stride;
         for &(off, len) in &t.mirror_segments {
             out_slice[p + off..p + off + len].copy_from_slice(&data[p + off..p + off + len]);
         }
     }
+    t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64)
 }
 
-/// The executor's accumulating MMA inner loop, for slices past the
-/// first. Today's `compile` z-folds every kernel into a single stacked
-/// slice, so this path is reachable only through multi-slice
-/// `SliceOperands` built elsewhere — it is kept because `step_into`
-/// handles that operand layout generically (as `run_naive` does), not
-/// because any current plan emits it. Identical arithmetic (and
-/// accumulation order) to
-/// [`sparstencil_tcu::fragment::program_mma`], with the `B` row slicing
-/// unchecked — entry indices were validated against the program depth
-/// when it was compiled, and the scratch `B` buffer is allocated at
-/// exactly `depth × frag.n`.
-fn program_mma_hot<R: Real>(
-    prog: &sparstencil_tcu::fragment::RowProgram<R>,
-    b_all: &DenseMatrix<R>,
-    c_frag: &mut DenseMatrix<R>,
-    frag: sparstencil_tcu::FragmentShape,
-) {
-    debug_assert_eq!(b_all.shape(), (prog.depth(), frag.n));
-    debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
-    match frag.n {
-        8 => mma_rows::<R, 8, false>(prog, b_all.as_slice(), c_frag),
-        16 => mma_rows::<R, 16, false>(prog, b_all.as_slice(), c_frag),
-        32 => mma_rows::<R, 32, false>(prog, b_all.as_slice(), c_frag),
-        n => mma_rows_generic::<R, false>(prog, b_all.as_slice(), c_frag, n),
-    }
-}
-
-/// Overwrite-first variant for the first slice: the first scheduled
+/// The staged MMA inner loop: execute one rebased row program against
+/// the staged operand ring, overwrite-first — the first scheduled
 /// multiply of each row *stores* `v·b` into the accumulator row
 /// (replacing whatever the previous work item left there) and the rest
-/// accumulate — eliminating the per-work-item zeroing pass. Every row
-/// has at least one entry by plan construction
-/// ([`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`]).
-/// Numerically identical to zero-fill + accumulate: IEEE `0 + x = x`
-/// (the sign of an exact-zero result is unobservable through the
-/// comparisons and arithmetic downstream).
+/// accumulate, eliminating the per-work-item zeroing pass. Every row has
+/// at least one entry by plan construction
+/// ([`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`],
+/// rebased onto the ring's guaranteed-zero row). Numerically identical
+/// to zero-fill + accumulate: IEEE `0 + x = x` (the sign of an
+/// exact-zero result is unobservable through the comparisons and
+/// arithmetic downstream). `B` row slicing is unchecked — entry indices
+/// were validated against the staged depth when the program was rebased,
+/// and the ring is allocated at exactly `staged_depth × frag.n`.
 fn program_mma_overwrite<R: Real>(
     prog: &sparstencil_tcu::fragment::RowProgram<R>,
-    b_all: &DenseMatrix<R>,
+    staged: &DenseMatrix<R>,
     c_frag: &mut DenseMatrix<R>,
     frag: sparstencil_tcu::FragmentShape,
 ) {
-    debug_assert_eq!(b_all.shape(), (prog.depth(), frag.n));
+    debug_assert_eq!(staged.shape(), (prog.depth(), frag.n));
     debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
     match frag.n {
-        8 => mma_rows::<R, 8, true>(prog, b_all.as_slice(), c_frag),
-        16 => mma_rows::<R, 16, true>(prog, b_all.as_slice(), c_frag),
-        32 => mma_rows::<R, 32, true>(prog, b_all.as_slice(), c_frag),
-        n => mma_rows_generic::<R, true>(prog, b_all.as_slice(), c_frag, n),
+        8 => mma_rows::<R, 8>(prog, staged.as_slice(), c_frag),
+        16 => mma_rows::<R, 16>(prog, staged.as_slice(), c_frag),
+        32 => mma_rows::<R, 32>(prog, staged.as_slice(), c_frag),
+        n => mma_rows_generic::<R>(prog, staged.as_slice(), c_frag, n),
     }
 }
 
 /// Width-specialized program execution: the `N`-lane accumulator row
-/// lives in registers across every entry of the row program (one load +
-/// one store per lane per *row*, not per *entry*), and the compile-time
-/// width lets LLVM unroll and vectorize the lane loop. The per-lane
-/// operation sequence is exactly the generic path's, so results stay
+/// lives in registers across every entry of the row program (one store
+/// per lane per *row*, not per *entry*), and the compile-time width lets
+/// LLVM unroll and vectorize the lane loop. The per-lane operation
+/// sequence is exactly the generic path's, so results stay
 /// bit-identical.
-fn mma_rows<R: Real, const N: usize, const OVERWRITE: bool>(
+fn mma_rows<R: Real, const N: usize>(
     prog: &sparstencil_tcu::fragment::RowProgram<R>,
     b_data: &[R],
     c_frag: &mut DenseMatrix<R>,
@@ -394,19 +469,15 @@ fn mma_rows<R: Real, const N: usize, const OVERWRITE: bool>(
         let c_row = &mut c_frag.row_mut(i)[..N];
         let mut acc = [R::ZERO; N];
         let mut entries = row.iter();
-        if OVERWRITE {
-            debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
-            let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
-            let start = kk0 as usize * N;
-            // SAFETY: kk < prog.depth() by construction, so the row
-            // [start, start + N) lies inside the depth×N buffer.
-            debug_assert!(start + N <= b_data.len());
-            let b_row = unsafe { b_data.get_unchecked(start..start + N) };
-            for j in 0..N {
-                acc[j] = v0 * b_row[j];
-            }
-        } else {
-            acc.copy_from_slice(c_row);
+        debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
+        let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+        let start = kk0 as usize * N;
+        // SAFETY: kk < prog.depth() by construction, so the row
+        // [start, start + N) lies inside the depth×N buffer.
+        debug_assert!(start + N <= b_data.len());
+        let b_row = unsafe { b_data.get_unchecked(start..start + N) };
+        for j in 0..N {
+            acc[j] = v0 * b_row[j];
         }
         for &(kk, v) in entries {
             let start = kk as usize * N;
@@ -422,7 +493,7 @@ fn mma_rows<R: Real, const N: usize, const OVERWRITE: bool>(
 }
 
 /// Fallback for fragment widths without a specialized kernel.
-fn mma_rows_generic<R: Real, const OVERWRITE: bool>(
+fn mma_rows_generic<R: Real>(
     prog: &sparstencil_tcu::fragment::RowProgram<R>,
     b_data: &[R],
     c_frag: &mut DenseMatrix<R>,
@@ -432,16 +503,14 @@ fn mma_rows_generic<R: Real, const OVERWRITE: bool>(
         let c_row = &mut c_frag.row_mut(i)[..n];
         let row = prog.row(i);
         let mut entries = row.iter();
-        if OVERWRITE {
-            debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
-            let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
-            let start = kk0 as usize * n;
-            // SAFETY: kk < prog.depth() by construction.
-            debug_assert!(start + n <= b_data.len());
-            let b_row = unsafe { b_data.get_unchecked(start..start + n) };
-            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
-                *cj = v0 * bj;
-            }
+        debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
+        let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+        let start = kk0 as usize * n;
+        // SAFETY: kk < prog.depth() by construction.
+        debug_assert!(start + n <= b_data.len());
+        let b_row = unsafe { b_data.get_unchecked(start..start + n) };
+        for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+            *cj = v0 * bj;
         }
         for &(kk, v) in entries {
             let start = kk as usize * n;
@@ -452,6 +521,73 @@ fn mma_rows_generic<R: Real, const OVERWRITE: bool>(
                 *cj += v * bj;
             }
         }
+    }
+}
+
+/// Wall-time split of the staged step's phases, measured by
+/// [`profile_phases`]. Stage + MMA + scatter are per-lane sums over
+/// every work item (single-lane: also wall time); the mirror runs once
+/// per step on the dispatching thread. `wall_seconds` is the measured
+/// end-to-end stepping time and exceeds the phase sum by the
+/// instrumentation and dispatch overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseProfile {
+    /// Instrumented steps measured.
+    pub iters: usize,
+    /// Seconds staging operand windows (phase 1), summed over lanes.
+    pub stage_seconds: f64,
+    /// Seconds in the staged MMA programs (phase 2), summed over lanes.
+    pub mma_seconds: f64,
+    /// Seconds in the direct scatter (phase 3), summed over lanes.
+    pub scatter_seconds: f64,
+    /// Seconds restoring the boundary band (once per step).
+    pub mirror_seconds: f64,
+    /// Measured wall seconds across all instrumented steps.
+    pub wall_seconds: f64,
+}
+
+/// Measure the per-phase (stage / MMA / scatter / mirror) wall-time
+/// split of the staged executor over `iters` single-lane steps on a
+/// fresh arena — the breakdown the `bench` bin emits so the gather
+/// share of a step stays visible in the perf trajectory. One untimed
+/// warm-up step runs first; the instrumented stepper reads the clock
+/// around each phase, so rates derived from `wall_seconds` sit slightly
+/// below the uninstrumented throughput.
+///
+/// # Panics
+/// Panics if the input shape differs from the plan's compile-time shape.
+pub fn profile_phases<R: Real>(
+    plan: &CompiledStencil<R>,
+    input: &Grid<R>,
+    iters: usize,
+) -> PhaseProfile {
+    let mut bufs = StepBuffers::new(plan, input, 1);
+    step_into(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch);
+    std::mem::swap(&mut bufs.cur, &mut bufs.next);
+    for ws in &mut bufs.scratch {
+        ws.phase_ns = [0; 3];
+    }
+    let mut mirror_ns = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        mirror_ns += step_into_impl(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch, true);
+        std::mem::swap(&mut bufs.cur, &mut bufs.next);
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let phase = bufs.scratch.iter().fold([0u64; 3], |acc, ws| {
+        [
+            acc[0] + ws.phase_ns[0],
+            acc[1] + ws.phase_ns[1],
+            acc[2] + ws.phase_ns[2],
+        ]
+    });
+    PhaseProfile {
+        iters,
+        stage_seconds: phase[0] as f64 * 1e-9,
+        mma_seconds: phase[1] as f64 * 1e-9,
+        scatter_seconds: phase[2] as f64 * 1e-9,
+        mirror_seconds: mirror_ns as f64 * 1e-9,
+        wall_seconds,
     }
 }
 
@@ -980,6 +1116,72 @@ mod tests {
         let (_, s1) = run(&p1, &g, 1);
         let (_, s2) = run(&p2, &g, 1);
         assert!(s1.total_seconds < s2.total_seconds);
+    }
+
+    #[test]
+    fn staged_claims_never_split_sliding_runs() {
+        // The executor dispatches the guided scheduler over *runs* (claim
+        // granularity = run_len work items, min_chunk = 1 run), so a
+        // z-sliding run can never be split across lanes: every work item
+        // whose reuse descriptor is nonzero is processed, immediately
+        // after its predecessor, by the lane that staged that
+        // predecessor's window. Reproduce the dispatch and check the
+        // per-lane item sequences directly.
+        let k = StencilKernel::box3d27p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, [12, 28, 36], &opts).unwrap();
+        let t = &plan.exec;
+        let ss = &t.stage;
+        let n_runs = t.work.len() / ss.run_len;
+        assert!(n_runs > 4, "needs several runs to contend over");
+
+        for lanes in [1usize, 2, 5] {
+            let mut slots: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+            rayon::pool::parallel_for_slots_guided(n_runs, 1, &mut slots, |_, slot, runs| {
+                slot.extend(runs.start * ss.run_len..runs.end * ss.run_len);
+            });
+            let mut seen = vec![false; t.work.len()];
+            for items in &slots {
+                for (j, &wi) in items.iter().enumerate() {
+                    assert!(!seen[wi], "work item {wi} claimed twice");
+                    seen[wi] = true;
+                    if ss.overlap[wi] > 0 {
+                        assert_eq!(
+                            j.checked_sub(1).and_then(|p| items.get(p)),
+                            Some(&(wi - 1)),
+                            "lanes={lanes}: item {wi} reuses a window its own \
+                             lane must have just staged"
+                        );
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "lanes={lanes}: full coverage");
+        }
+    }
+
+    #[test]
+    fn phase_profile_accounts_for_the_step() {
+        let k = StencilKernel::box3d27p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&k, [10, 22, 22], &opts).unwrap();
+        let input = Grid::<f32>::smooth_random(3, [10, 22, 22]);
+        let p = profile_phases(&plan, &input, 2);
+        assert_eq!(p.iters, 2);
+        assert!(p.stage_seconds > 0.0, "staging does measurable work");
+        assert!(p.mma_seconds > 0.0, "MMA does measurable work");
+        assert!(p.scatter_seconds > 0.0);
+        assert!(p.wall_seconds > 0.0);
+        // Single-lane phases are disjoint sub-intervals of the wall.
+        assert!(
+            p.stage_seconds + p.mma_seconds + p.scatter_seconds + p.mirror_seconds
+                <= p.wall_seconds * 1.05
+        );
     }
 
     #[test]

@@ -19,10 +19,26 @@
 //!    encoding, lookup-table memory mapping, and CUDA source synthesis;
 //!    execution happens on the `sparstencil-tcu` simulator ([`exec`]).
 //!
+//! # Execution
+//!
+//! The functional engine runs each step as a **two-phase staged-gather
+//! pipeline** over a halo-padded domain: every work item first *stages*
+//! its operand window — the union of in-plane cells its row programs
+//! read, across the kernel's z-extent of source planes — into a
+//! contiguous per-lane scratch ring, then the rebased row programs
+//! *multiply* from that staged buffer by dense offset, the results
+//! scatter directly into the shared output grid, and a per-step
+//! boundary mirror restores the semantic edge band. The work list is
+//! ordered into z-sliding runs so consecutive items reuse all but one
+//! staged plane (see [`plan::StageSchedule`] and the [`exec`] module
+//! docs for the ring diagram); steps are allocation-free after warm-up
+//! and bit-identical to the retained naive oracle.
+//!
 //! The friendly entry point is [`pipeline::Executor`]; long-running
-//! drivers open a persistent [`session::Simulation`] so compilation and
-//! buffer setup are paid once, steps are incremental, and the live field
-//! is observable between steps:
+//! drivers open a persistent [`session::Simulation`] (which is `Send`,
+//! so servers can hold one per client and step it on any thread) so
+//! compilation and buffer setup are paid once, steps are incremental,
+//! and the live field is observable between steps:
 //!
 //! ```
 //! use sparstencil::prelude::*;

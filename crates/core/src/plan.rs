@@ -110,6 +110,77 @@ pub struct TileDesc {
     pub interior: bool,
 }
 
+/// Plan-time staging schedule: everything the executor's two-phase
+/// **staged gather** needs, compiled once per plan.
+///
+/// The step hot path no longer gathers one strided scalar load per
+/// (operand row, tile) straight into the MMA operand buffer. Instead it
+/// *stages* the whole `window`-plane gather footprint of a work item
+/// into a contiguous per-lane scratch **ring** of `window` bands — one
+/// band per source z-plane, `band_rows` cells each, ranked in
+/// first-reference order ([`StageSchedule::cell_offsets`]) so the MMA's
+/// far more numerous staged reads stay ascending — and the row programs
+/// read operands by dense offset from that staged buffer
+/// ([`StageSchedule::programs`], rebased via
+/// [`sparstencil_tcu::fragment::RowProgram::remap_rows`]).
+///
+/// The work list is ordered so the ring actually pays off: items are
+/// grouped into **z-sliding runs** of [`StageSchedule::run_len`]
+/// consecutive output planes per fragment-column block. Within a run,
+/// work item `z` shares `window − 1` source planes with work item
+/// `z − 1`, so only the one new plane is staged
+/// ([`StageSchedule::overlap`]) and its band overwrites the ring slot of
+/// the plane that just slid out (`plane mod window`). Because the band
+/// assignment rotates with `z`, the operand addressing depends on
+/// `z mod window`: there is one rebased program set (and one
+/// [`StageSchedule::stage_map`] row-index map) per ring *phase*.
+#[derive(Debug, Clone)]
+pub struct StageSchedule<R: Real> {
+    /// Ring depth: source planes per gather window (the kernel z-extent).
+    pub window: usize,
+    /// Staged cells per band: the number of distinct in-plane window
+    /// cells any referenced operand row reads at *any* depth (the union
+    /// staging window — staging the union is what makes a band's content
+    /// valid for every depth the plane serves as the window slides).
+    pub band_rows: usize,
+    /// Tile-base-relative padded in-plane offsets of the union window
+    /// cells, in first-reference (operand) order — the order that keeps
+    /// the rebased programs' `B` reads ascending; the cell at rank `r`
+    /// is staged into band row `r`.
+    pub cell_offsets: Vec<usize>,
+    /// Work items per z-sliding run (= output planes); run `r` covers
+    /// `work[r·run_len .. (r+1)·run_len]`, all on one fragment-column
+    /// block with `z` ascending.
+    pub run_len: usize,
+    /// Per work item: staged planes shared with the *previous* item in
+    /// schedule order — `window − 1` inside a run, `0` at run starts.
+    /// The executor stages only planes `overlap[wi] .. window` of the
+    /// item's window.
+    pub overlap: Vec<u32>,
+    /// Index of the guaranteed-zero staged row (`window · band_rows`):
+    /// allocated after the bands, zeroed once, never written by staging.
+    /// Synthetic zero-store entries and operand padding rows rebase
+    /// here.
+    pub zero_row: usize,
+    /// `stage_map[phase][operand row]` → staged row index: referenced
+    /// rows map to `band(phase, dz) · band_rows + rank(iy, ix)`;
+    /// padding and never-referenced rows map to [`StageSchedule::zero_row`].
+    pub stage_map: Vec<Vec<u32>>,
+    /// Phase-rebased operand programs `[phase][m_strip]`: the slice-0
+    /// overwrite-first programs of [`ExecTables::programs`] with every
+    /// entry's `B` index rewritten through `stage_map[phase]` — same
+    /// entries, same order, same arithmetic, staged addressing.
+    pub programs: Vec<Vec<RowProgram<R>>>,
+}
+
+impl<R: Real> StageSchedule<R> {
+    /// Rows of the per-lane staged operand buffer: `window` bands plus
+    /// the guaranteed-zero row.
+    pub fn staged_depth(&self) -> usize {
+        self.window * self.band_rows + 1
+    }
+}
+
 /// Precomputed execution tables: the step-invariant part of `exec::run`'s
 /// inner loop, hoisted into the compiled plan (the simulator-side analogue
 /// of §3.3's host-precomputed lookup tables). Built once by [`compile`];
@@ -137,17 +208,25 @@ pub struct ExecTables<R: Real> {
     /// Fragment k-strips (`k_logical / frag.k`).
     pub k_strips: usize,
     /// The per-step work list `(output plane, fragment column block)` —
-    /// pure plan geometry, formerly rebuilt on every step.
+    /// pure plan geometry, formerly rebuilt on every step. Ordered by
+    /// **source locality**: column-block-major with `z` innermost, so
+    /// each contiguous group of [`StageSchedule::run_len`] items is a
+    /// z-sliding run whose consecutive items overlap in `window − 1`
+    /// source planes (the order the staged gather's ring reuse needs).
     pub work: Vec<(usize, usize)>,
     /// Per-tile descriptors, plane-local tile order; bases in padded
     /// coordinates.
     pub tiles: Vec<TileDesc>,
     /// `(operand row, tile-base-relative padded input offset)` for every
-    /// non-padding operand row over the full logical depth — the gather
-    /// LUT rebuilt on padded strides with padding rows removed. Every
-    /// offset is in-bounds for every tile, which is what makes the single
-    /// branch-free gather loop the only gather path.
+    /// non-padding operand row the programs reference, on padded strides
+    /// — the flat per-row gather LUT. The executor no longer walks it
+    /// (it stages through [`ExecTables::stage`] instead); it is retained
+    /// as the reference table the staging schedule is validated and
+    /// property-tested against, row for row.
     pub gather_rows: Vec<(usize, usize)>,
+    /// The two-phase staged-gather schedule (windows, ring maps, rebased
+    /// programs) the executor stages and multiplies through.
+    pub stage: StageSchedule<R>,
     /// Per `A''` row `< m'`: padded-plane output offset relative to the
     /// tile base (`(row / r1)·pad_nx + row % r1`). The scatter is
     /// unconditional — ghost outputs land in the padding and are restored
@@ -191,8 +270,12 @@ impl<R: Real> ExecTables<R> {
         let m_strips = geom.m_padded / frag.m;
         let k_strips = geom.k_logical / frag.k;
 
-        let work: Vec<(usize, usize)> = (0..geom.planes)
-            .flat_map(|z| (0..col_blocks).map(move |cb| (z, cb)))
+        // Locality-ordered work list: column-block-major, `z` innermost.
+        // Each column block's `planes` items form one z-sliding run —
+        // consecutive items share all but one source plane of their
+        // gather window, which is what the staged ring reuses.
+        let work: Vec<(usize, usize)> = (0..col_blocks)
+            .flat_map(|cb| (0..geom.planes).map(move |z| (z, cb)))
             .collect();
 
         let tiles: Vec<TileDesc> = (0..geom.tiles_per_plane)
@@ -294,6 +377,122 @@ impl<R: Real> ExecTables<R> {
             })
             .collect();
 
+        // ---- Staging schedule ----
+        // The staged executor assumes the z-folded single-slice operand
+        // layout `compile` always emits (one stacked operand whose
+        // gather coordinates span the kernel depth); anything else would
+        // need per-slice rings.
+        assert_eq!(
+            slices.len(),
+            1,
+            "staged execution requires the z-folded single-slice operand layout"
+        );
+        let window = kernel_extent[0].max(1);
+
+        // Union staging window: every in-plane cell some referenced row
+        // reads at any depth, ranked in **first-reference (operand)
+        // order** — the order the row programs consume operand rows in —
+        // so the rebased programs keep the plain path's ascending `B`
+        // read pattern through the MMA's inner loops (the MMA issues
+        // 2–3× more staged reads than the stager issues writes, so its
+        // access order is the one worth preserving; the stager absorbs
+        // the permuted source offsets exactly as the flat gather did).
+        // Staging the union (rather than the per-depth cell sets) is
+        // what lets a band staged for depth `d` be reused verbatim when
+        // the sliding window later reads the same plane at depth
+        // `d − 1`.
+        let mut cell_offsets: Vec<usize> = Vec::new();
+        let mut rank_of = std::collections::HashMap::new();
+        for (i, &(dz, iy, ix)) in gather_coords.iter().enumerate() {
+            if dz != u32::MAX && referenced[i] {
+                let off = iy as usize * pad_nx + ix as usize;
+                rank_of.entry(off).or_insert_with(|| {
+                    cell_offsets.push(off);
+                    cell_offsets.len() - 1
+                });
+            }
+        }
+        let band_rows = cell_offsets.len();
+        let staged_zero_row = window * band_rows;
+        let staged_depth = staged_zero_row + 1;
+
+        // Ring phase maps: operand row -> staged row, one map per
+        // `z mod window`. The band a source plane lands in rotates with
+        // `z` (plane `z + dz` lives in band `(z + dz) mod window`), so
+        // the rebased addressing is phase-dependent.
+        let stage_map: Vec<Vec<u32>> = (0..window)
+            .map(|phase| {
+                gather_coords
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(dz, iy, ix))| {
+                        if dz == u32::MAX || !referenced[i] {
+                            staged_zero_row as u32
+                        } else {
+                            let off = iy as usize * pad_nx + ix as usize;
+                            let rank = rank_of[&off];
+                            let band = (phase + dz as usize) % window;
+                            (band * band_rows + rank) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Phase-rebased programs: slice 0's overwrite-first programs
+        // with the `B` addressing rewritten onto the staged ring. Entry
+        // order is preserved, so the staged MMA stays bit-identical.
+        let staged_programs: Vec<Vec<RowProgram<R>>> = stage_map
+            .iter()
+            .map(|map| {
+                programs[0]
+                    .iter()
+                    .map(|p| p.remap_rows(map, staged_depth))
+                    .collect()
+            })
+            .collect();
+
+        // Reuse descriptors: planes of the staged window shared with the
+        // previous work item in schedule order.
+        let overlap: Vec<u32> = (0..work.len())
+            .map(|wi| {
+                if wi % geom.planes == 0 {
+                    0
+                } else {
+                    (window - 1) as u32
+                }
+            })
+            .collect();
+
+        let stage = StageSchedule {
+            window,
+            band_rows,
+            cell_offsets,
+            run_len: geom.planes,
+            overlap,
+            zero_row: staged_zero_row,
+            stage_map,
+            programs: staged_programs,
+        };
+        assert_eq!(
+            work.len(),
+            stage.run_len * col_blocks,
+            "work list must decompose into whole z-sliding runs"
+        );
+        // Staged loads stay inside the padded grid for the unchecked
+        // fast path: deepest window plane of the last run item, largest
+        // tile base, largest union-cell offset.
+        if let (Some(max_base), Some(&max_cell)) = (
+            tiles.iter().map(|t| t.base).max(),
+            stage.cell_offsets.iter().max(),
+        ) {
+            assert!(
+                (geom.planes - 1 + window - 1) * pad_ps + max_base + max_cell
+                    < grid_shape[0] * pad_ps,
+                "staging window exceeds the padded grid"
+            );
+        }
+
         let scatter_offs: Vec<usize> = (0..m_prime)
             .map(|row| (row / plan.r1) * pad_nx + row % plan.r1)
             .collect();
@@ -341,6 +540,7 @@ impl<R: Real> ExecTables<R> {
             work,
             tiles,
             gather_rows,
+            stage,
             scatter_offs,
             mirror_segments,
             programs,
@@ -844,6 +1044,117 @@ mod tests {
         assert!(c.prep.total() > 0.0);
         assert!(c.prep.search_s > 0.0);
         assert!(c.prep.transform_s > 0.0);
+    }
+
+    #[test]
+    fn stage_schedule_orders_runs_and_rotates_bands() {
+        let k = StencilKernel::box3d27p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [10, 20, 20], &opts).unwrap();
+        let t = &c.exec;
+        let ss = &t.stage;
+
+        // 3-plane window, one run per column block, z ascending inside.
+        assert_eq!(ss.window, 3);
+        assert_eq!(ss.run_len, c.geom.planes);
+        assert_eq!(t.work.len(), ss.run_len * t.col_blocks);
+        for (run, chunk) in t.work.chunks(ss.run_len).enumerate() {
+            for (step, &(z, cb)) in chunk.iter().enumerate() {
+                assert_eq!(z, step, "z ascends within a run");
+                assert_eq!(cb, run, "one column block per run");
+            }
+        }
+
+        // Reuse descriptors: full staging at run starts, one new plane
+        // everywhere else.
+        for (wi, &ov) in ss.overlap.iter().enumerate() {
+            let want = if wi % ss.run_len == 0 { 0 } else { 2 };
+            assert_eq!(ov, want, "overlap at work item {wi}");
+        }
+
+        // The union staging window of a box kernel is the full gy×gx
+        // tile window, each cell ranked exactly once.
+        assert_eq!(ss.band_rows, c.plan.k_prime());
+        let mut uniq: Vec<usize> = ss.cell_offsets.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ss.band_rows, "ranks are distinct cells");
+        assert_eq!(ss.zero_row, ss.window * ss.band_rows);
+        assert_eq!(ss.staged_depth(), ss.zero_row + 1);
+
+        // Phase maps land every gathered row in the rotated band of its
+        // source depth, at its union-cell rank.
+        let pad_ps = c.geom.pad_ny * c.geom.pad_nx;
+        assert_eq!(ss.stage_map.len(), ss.window);
+        assert_eq!(ss.programs.len(), ss.window);
+        for &(i, off) in &t.gather_rows {
+            let (dz, iy, ix) = c.gather_coords[i];
+            let inplane = iy as usize * c.geom.pad_nx + ix as usize;
+            assert_eq!(off, dz as usize * pad_ps + inplane);
+            for phase in 0..ss.window {
+                let s = ss.stage_map[phase][i] as usize;
+                assert!(s < ss.zero_row, "referenced rows stage into bands");
+                assert_eq!(s / ss.band_rows, (phase + dz as usize) % ss.window);
+                assert_eq!(ss.cell_offsets[s % ss.band_rows], inplane);
+            }
+        }
+    }
+
+    #[test]
+    fn stage_schedule_degenerates_cleanly_in_2d() {
+        let k = StencilKernel::star2d(2); // zero corners: sparse union
+        let opts = Options {
+            layout: Some((5, 3)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [1, 41, 39], &opts).unwrap();
+        let ss = &c.exec.stage;
+        assert_eq!(ss.window, 1);
+        assert_eq!(ss.run_len, 1, "2D: every work item is its own run");
+        assert!(ss.overlap.iter().all(|&o| o == 0));
+        // The star's zero corners are referenced by no program, so the
+        // union window is strictly smaller than the bounding-box window.
+        assert!(ss.band_rows < c.plan.k_prime());
+        // Unreferenced and padding operand rows rebase onto the zero row.
+        let staged_rows: std::collections::HashSet<usize> =
+            c.exec.gather_rows.iter().map(|&(i, _)| i).collect();
+        for i in 0..c.geom.k_logical {
+            if !staged_rows.contains(&i) {
+                assert_eq!(ss.stage_map[0][i] as usize, ss.zero_row);
+            }
+        }
+    }
+
+    #[test]
+    fn staged_programs_are_rebased_logical_programs() {
+        let k = StencilKernel::heat3d();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [8, 18, 18], &opts).unwrap();
+        let t = &c.exec;
+        let ss = &t.stage;
+        for (phase, staged_set) in ss.programs.iter().enumerate() {
+            assert_eq!(staged_set.len(), t.programs[0].len());
+            for (mi, staged) in staged_set.iter().enumerate() {
+                let base = &t.programs[0][mi];
+                assert_eq!(staged.rows(), base.rows());
+                assert_eq!(staged.nnz(), base.nnz());
+                assert_eq!(staged.depth(), ss.staged_depth());
+                for r in 0..base.rows() {
+                    let (be, se) = (base.row(r), staged.row(r));
+                    assert_eq!(be.len(), se.len());
+                    for (&(kk, v), &(sk, sv)) in be.iter().zip(se) {
+                        assert_eq!(v, sv, "values unchanged by rebasing");
+                        assert_eq!(sk, ss.stage_map[phase][kk as usize]);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,17 @@
 //! the session outright; [`Simulation::load`] and [`Simulation::reset`]
 //! rewrite that state in place, so reusing one session across many
 //! inputs performs **zero** further heap allocations (asserted by
-//! `tests/alloc_steady_state.rs`).
+//! `tests/alloc_steady_state.rs`) — including the engine's staged
+//! operand ring, which is sized from the plan at session construction
+//! and never touched by `load`/`reset`.
+//!
+//! Sessions are **`Send`**: a `Simulation` (and every backend behind
+//! it) can be moved to another thread, which is what lets an async or
+//! streaming server hold one session per client and step it wherever
+//! its scheduler runs. The boxed [`Backend`] and every probe closure
+//! therefore carry a `Send` bound; a compile-time test pins
+//! `Simulation: Send` so a backend that silently loses the property
+//! fails the build, not a deployment.
 //!
 //! # Pluggable backends
 //!
@@ -422,8 +432,10 @@ impl<R: Real> Backend<R> for NaiveBackend<'_, R> {
 }
 
 /// A probe callback: receives the completed-step count and a zero-copy
-/// view of the live field.
-type ProbeFn<'p, R> = Box<dyn FnMut(usize, &FieldView<'_, R>) + 'p>;
+/// view of the live field. `Send` so registering a probe never costs a
+/// session its `Send`-ness (share state with a probe through `Mutex`,
+/// atomics, or owned captures rather than `Rc`/`RefCell` references).
+type ProbeFn<'p, R> = Box<dyn FnMut(usize, &FieldView<'_, R>) + Send + 'p>;
 
 /// A registered observer: fires every `every` steps with the step number
 /// and the live field view.
@@ -440,20 +452,21 @@ struct Probe<'p, R: Real> {
 /// [`Simulation::new`]. See the [module docs](self) for the ownership
 /// story and the backend roster.
 pub struct Simulation<'p, R: Real> {
-    backend: Box<dyn Backend<R> + 'p>,
+    backend: Box<dyn Backend<R> + Send + 'p>,
     steps: usize,
     probes: Vec<Probe<'p, R>>,
 }
 
 impl<'p, R: Real> Simulation<'p, R> {
     /// Wrap a backend in a session driver.
-    pub fn new(backend: impl Backend<R> + 'p) -> Self {
+    pub fn new(backend: impl Backend<R> + Send + 'p) -> Self {
         Self::from_boxed(Box::new(backend))
     }
 
     /// Wrap an already-boxed backend (for callers assembling `dyn`
-    /// backends, e.g. a driver iterating over several of them).
-    pub fn from_boxed(backend: Box<dyn Backend<R> + 'p>) -> Self {
+    /// backends, e.g. a driver iterating over several of them). The
+    /// `Send` bound keeps the whole session `Send`.
+    pub fn from_boxed(backend: Box<dyn Backend<R> + Send + 'p>) -> Self {
         Self {
             backend,
             steps: 0,
@@ -484,7 +497,7 @@ impl<'p, R: Real> Simulation<'p, R> {
     ///
     /// # Panics
     /// Panics if `every` is zero.
-    pub fn probe(&mut self, every: usize, f: impl FnMut(usize, &FieldView<'_, R>) + 'p) {
+    pub fn probe(&mut self, every: usize, f: impl FnMut(usize, &FieldView<'_, R>) + Send + 'p) {
         assert!(every > 0, "probe cadence must be at least 1");
         self.probes.push(Probe {
             every,
@@ -606,14 +619,16 @@ mod tests {
     fn probes_fire_on_cadence_with_live_values() {
         let (plan, input) = plan_and_input([1, 40, 40]);
         let (after2, _) = exec::run(&plan, &input, 2);
-        let fired = std::cell::RefCell::new(Vec::new());
+        // Mutex rather than RefCell: probe closures are `Send` (sessions
+        // are `Send`), and `&Mutex<_>` is.
+        let fired = std::sync::Mutex::new(Vec::new());
         let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
         sim.probe(2, |step, field| {
-            fired.borrow_mut().push((step, field.get(0, 10, 10)));
+            fired.lock().unwrap().push((step, field.get(0, 10, 10)));
         });
         sim.step_n(5);
         drop(sim);
-        let fired = fired.into_inner();
+        let fired = fired.into_inner().unwrap();
         assert_eq!(fired.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [2, 4]);
         assert_eq!(fired[0].1, after2.get(0, 10, 10));
     }
@@ -647,7 +662,7 @@ mod tests {
     fn naive_backend_matches_engine_through_one_driver() {
         let (plan, input) = plan_and_input([1, 44, 40]);
         let mut results = Vec::new();
-        let backends: Vec<Box<dyn Backend<f32>>> = vec![
+        let backends: Vec<Box<dyn Backend<f32> + Send>> = vec![
             Box::new(EngineBackend::new(&plan, &input)),
             Box::new(NaiveBackend::new(&plan, &input)),
         ];
@@ -667,6 +682,28 @@ mod tests {
         let mut sim: Simulation<'static, f32> = Simulation::new(EngineBackend::owned(plan, &input));
         sim.step_n(2);
         assert_eq!(sim.to_grid(), want);
+    }
+
+    #[test]
+    fn sessions_and_backends_are_send() {
+        // Compile-time pin of the async/streaming story: a session (and
+        // every first-party backend) can be moved across threads. If a
+        // backend gains a non-Send field, this stops compiling.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<'static, f32>>();
+        assert_send::<Simulation<'static, f64>>();
+        assert_send::<EngineBackend<'static, f32>>();
+        assert_send::<NaiveBackend<'static, f64>>();
+
+        // The borrowed-plan form is Send too (CompiledStencil is Sync),
+        // and stays Send with a probe registered.
+        fn _borrowed<'p>(plan: &'p CompiledStencil<f32>, input: &Grid<f32>) -> impl Send + use<'p> {
+            let mut sim = Simulation::new(EngineBackend::new(plan, input));
+            sim.probe(1, |_, field| {
+                let _ = field.get(0, 0, 0);
+            });
+            sim
+        }
     }
 
     #[test]

@@ -189,10 +189,35 @@ fn equivalent_asymmetric_grids() {
 }
 
 #[test]
+fn equivalent_staged_sliding_window_long_runs() {
+    // Runs much longer than the 3-plane window: the staged ring cycles
+    // through every phase many times per run, reusing 2 of 3 staged
+    // planes per steady-state work item, across several steps (each
+    // step re-stages from the swapped buffer at every run start). The
+    // star kernel additionally stages a union window larger than any
+    // single depth's referenced cell set.
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::box3d27p(), [16, 20, 20], &opts, 2);
+    assert_equivalent(&StencilKernel::heat3d(), [15, 18, 22], &opts, 3);
+    // Misaligned layout: partial tiles and tail column blocks through
+    // the staged path (stale staged columns must never be observable).
+    let skewed = Options {
+        layout: Some((5, 3)),
+        ..Options::default()
+    };
+    assert_equivalent(&StencilKernel::heat3d(), [11, 19, 23], &skewed, 2);
+}
+
+#[test]
 fn equivalent_radius2_star() {
-    // Radius-2 star (extent 5×5, zero corners): the program compiler
-    // skips the zero weights and the padded gather list drops window
-    // cells no program references; both paths must still agree exactly.
+    // Radius-2 star (extent 5×5, zero corners) through the staged path:
+    // the program compiler skips the zero weights, the union staging
+    // window drops window cells no program references, and the staged
+    // programs rebase around the holes; both paths must still agree
+    // exactly.
     let opts = Options {
         layout: Some((5, 3)),
         ..Options::default()
@@ -209,7 +234,8 @@ fn equivalent_radius2_star() {
 #[test]
 fn equivalent_temporal_fusion_3x() {
     // Fused kernels widen the operand substantially (k' grows with the
-    // composed extent); the padded engine must stay exact through them.
+    // composed extent, and with it the staged band size); the staged
+    // engine must stay exact through them.
     let opts = Options {
         layout: Some((4, 4)),
         ..Options::default()

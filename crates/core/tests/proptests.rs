@@ -171,3 +171,94 @@ proptest! {
         prop_assert_eq!(stats.counters.n_mma(), plan.geom.n_mma);
     }
 }
+
+/// Strategy: a compilable (kernel, grid shape) case for the staging
+/// schedule — random-weight 2D kernels plus fixed 3D kernels (the shapes
+/// where the sliding window is non-trivial).
+fn staged_case() -> impl Strategy<Value = (StencilKernel, [usize; 3])> {
+    (0usize..4, random_kernel_2d()).prop_map(|(which, k2)| match which {
+        0 | 1 => {
+            let [_, ey, ex] = k2.extent();
+            (k2, [1, ey + 19, ex + 23])
+        }
+        2 => (StencilKernel::heat3d(), [9, 17, 19]),
+        _ => (StencilKernel::box3d27p(), [8, 16, 18]),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // The staging schedule is a pure re-addressing of the flat gather
+    // LUT: for random kernels and layouts, every `gather_rows` offset
+    // is reproduced exactly by the staged-window decomposition (ring
+    // band of the source depth at the current phase + union-cell rank),
+    // at every ring phase, and the rebased programs are the logical
+    // programs entry-for-entry.
+    #[test]
+    fn staged_windows_reproduce_gather_rows(
+        case in staged_case(),
+        r1 in 2usize..=5,
+        r2 in 2usize..=5,
+    ) {
+        let (kernel, shape) = case;
+        let opts = Options { layout: Some((r1, r2)), ..Options::default() };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let t = &plan.exec;
+        let ss = &t.stage;
+        let pad_ps = plan.geom.pad_ny * plan.geom.pad_nx;
+
+        prop_assert_eq!(ss.window, kernel.extent()[0]);
+        prop_assert_eq!(ss.run_len, plan.geom.planes);
+        prop_assert_eq!(ss.stage_map.len(), ss.window);
+        // Ranks are distinct cells (first-reference order).
+        let mut uniq = ss.cell_offsets.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), ss.band_rows);
+
+        let mut staged_rows = vec![false; plan.geom.k_logical];
+        for &(i, off) in &t.gather_rows {
+            staged_rows[i] = true;
+            let (dz, iy, ix) = plan.gather_coords[i];
+            let inplane = iy as usize * plan.geom.pad_nx + ix as usize;
+            // The flat LUT offset decomposes into (depth, in-plane cell).
+            prop_assert_eq!(off, dz as usize * pad_ps + inplane);
+            for phase in 0..ss.window {
+                let s = ss.stage_map[phase][i] as usize;
+                prop_assert!(s < ss.zero_row);
+                // Band: the ring slot plane `z + dz` occupies at `z ≡
+                // phase (mod window)`; rank: the cell's position in the
+                // ascending union window.
+                prop_assert_eq!(s / ss.band_rows, (phase + dz as usize) % ss.window);
+                prop_assert_eq!(ss.cell_offsets[s % ss.band_rows], inplane);
+            }
+        }
+        // Padding and never-referenced rows rebase onto the
+        // guaranteed-zero staged row, at every phase.
+        for (i, &staged) in staged_rows.iter().enumerate() {
+            if !staged {
+                for phase in 0..ss.window {
+                    prop_assert_eq!(ss.stage_map[phase][i] as usize, ss.zero_row);
+                }
+            }
+        }
+        // Rebased programs: identical entries in identical order, with
+        // only the B addressing rewritten through the phase map.
+        for (phase, staged_set) in ss.programs.iter().enumerate() {
+            for (mi, staged) in staged_set.iter().enumerate() {
+                let base = &t.programs[0][mi];
+                prop_assert_eq!(staged.rows(), base.rows());
+                prop_assert_eq!(staged.depth(), ss.staged_depth());
+                for r in 0..base.rows() {
+                    let (be, se) = (base.row(r), staged.row(r));
+                    prop_assert_eq!(be.len(), se.len());
+                    for (&(kk, v), &(sk, sv)) in be.iter().zip(se) {
+                        prop_assert_eq!(v, sv);
+                        prop_assert_eq!(sk, ss.stage_map[phase][kk as usize]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -170,6 +170,41 @@ impl<R: Real> RowProgram<R> {
         Self::from_rows(self.k, rows)
     }
 
+    /// Copy with every entry's `B`-row index rewritten through `map`
+    /// (`new_index = map[old_index]`) and the program depth set to
+    /// `new_depth` — the rebasing step that retargets a program compiled
+    /// against the logical operand layout onto a *staged* operand buffer
+    /// with its own row order (e.g. the executor's sliding-window scratch
+    /// ring, where rows are grouped by source plane and sorted by source
+    /// locality). Entry order — and therefore multiply/accumulation
+    /// order and bit-exactness — is preserved; only the `B` addressing
+    /// changes.
+    ///
+    /// # Panics
+    /// Panics if `map` is shorter than the program depth or maps an
+    /// entry at or past `new_depth`.
+    pub fn remap_rows(&self, map: &[u32], new_depth: usize) -> Self {
+        assert!(map.len() >= self.k, "row map shorter than program depth");
+        let entries: Vec<(u32, R)> = self
+            .entries
+            .iter()
+            .map(|&(kk, v)| {
+                let nk = map[kk as usize];
+                assert!(
+                    (nk as usize) < new_depth,
+                    "row {kk} remapped to {nk}, outside the new depth {new_depth}"
+                );
+                (nk, v)
+            })
+            .collect();
+        Self {
+            m: self.m,
+            k: new_depth,
+            entries,
+            row_ends: self.row_ends.clone(),
+        }
+    }
+
     /// Build directly from per-row entry lists (used by the sparse
     /// constructor). Entries' `b_row` indices must be `< k`.
     pub(crate) fn from_rows(k: usize, rows: Vec<Vec<(u32, R)>>) -> Self {
@@ -390,6 +425,47 @@ mod tests {
         program_mma(&p, &b, &mut c1);
         program_mma(&filled, &b, &mut c2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn remap_rows_matches_permuted_b() {
+        // Rebasing a program onto a shuffled-and-widened B layout must
+        // reproduce the original product exactly when B's rows are moved
+        // to their mapped positions.
+        let a = DenseMatrix::from_fn(4, 6, |r, c| {
+            if (r + 2 * c) % 3 == 0 {
+                0.0f64
+            } else {
+                (r * 6 + c) as f64 - 7.0
+            }
+        });
+        let prog = RowProgram::from_dense(&a);
+        // Old row i -> new row (reversed order, offset into a depth-9
+        // buffer whose extra rows are never referenced).
+        let map: Vec<u32> = (0..6).map(|i| (8 - i) as u32).collect();
+        let remapped = prog.remap_rows(&map, 9);
+        assert_eq!(remapped.rows(), prog.rows());
+        assert_eq!(remapped.depth(), 9);
+        assert_eq!(remapped.nnz(), prog.nnz());
+
+        let b = DenseMatrix::from_fn(6, 5, |r, c| ((r * 5 + c) % 11) as f64 - 5.0);
+        let mut b_wide = DenseMatrix::zeros(9, 5);
+        for (r, &target) in map.iter().enumerate() {
+            b_wide.row_mut(target as usize).copy_from_slice(b.row(r));
+        }
+        let mut c1 = DenseMatrix::zeros(4, 5);
+        let mut c2 = DenseMatrix::zeros(4, 5);
+        program_mma(&prog, &b, &mut c1);
+        program_mma(&remapped, &b_wide, &mut c2);
+        assert_eq!(c1, c2, "rebased program must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the new depth")]
+    fn remap_rows_rejects_out_of_depth_targets() {
+        let prog = RowProgram::from_dense(&DenseMatrix::<f32>::identity(4));
+        let map = vec![0u32, 1, 5, 3];
+        let _ = prog.remap_rows(&map, 4);
     }
 
     #[test]

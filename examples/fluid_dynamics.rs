@@ -15,7 +15,6 @@
 //! ```
 
 use sparstencil::prelude::*;
-use std::cell::Cell;
 
 fn enstrophy(field: &FieldView<'_, f32>) -> f64 {
     field.iter().map(|v| (v as f64) * (v as f64)).sum::<f64>() / field.len() as f64
@@ -54,16 +53,19 @@ fn main() {
     let mut sim = exec.session(&input);
     println!("\n  step   enstrophy");
     println!("  ----   ---------");
-    let last = Cell::new(enstrophy(&sim.field()));
-    println!("  {:>4}   {:.6}", 0, last.get());
-    sim.probe(8, |step, field| {
+    // Probe closures are `Send` (sessions can be handed to another
+    // thread), so the running state is moved into the closure rather
+    // than shared through a `Cell`.
+    let mut last = enstrophy(&sim.field());
+    println!("  {:>4}   {last:.6}", 0);
+    sim.probe(8, move |step, field| {
         let e = enstrophy(field);
         println!("  {step:>4}   {e:.6}");
         assert!(
-            e <= last.get() * 1.0001,
+            e <= last * 1.0001,
             "diffusion must dissipate enstrophy (step {step})"
         );
-        last.set(e);
+        last = e;
     });
     sim.step_n(40);
 

@@ -139,15 +139,17 @@ fn probes_observe_exact_intermediate_states() {
     let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
     let input = Grid::<f32>::smooth_random(2, shape);
 
-    let snapshots = std::cell::RefCell::new(Vec::new());
+    // Mutex rather than RefCell: probe closures are `Send` (sessions
+    // are `Send`), and `&Mutex<_>` is.
+    let snapshots = std::sync::Mutex::new(Vec::new());
     let mut sim = exec.session(&input);
     sim.probe(3, |step, field| {
-        snapshots.borrow_mut().push((step, field.to_grid()));
+        snapshots.lock().unwrap().push((step, field.to_grid()));
     });
     sim.step_n(7);
     drop(sim);
 
-    let snapshots = snapshots.into_inner();
+    let snapshots = snapshots.into_inner().unwrap();
     assert_eq!(
         snapshots.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
         [3, 6],
