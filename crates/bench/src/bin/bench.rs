@@ -24,7 +24,20 @@
 //! - `edge_block_fraction` — the share of fragment-column blocks that
 //!   would fall off the branch-free gather path, `0.0` for every plan
 //!   since the executor plans over a halo-padded domain (regression
-//!   guard for that invariant).
+//!   guard for that invariant),
+//! - `detected_cores` — `std::thread::available_parallelism()` on the
+//!   measuring machine, so `bench_compare` and readers can discount
+//!   multi-lane rows recorded on a single-CPU box (where they measure
+//!   scheduling overhead only).
+//!
+//! A second **batch** section measures multi-session serving
+//! throughput: N sessions over one shared plan stepped through
+//! [`sparstencil::session::Batch`]'s single guided work queue
+//! (`batch_cells_per_sec`, aggregate cells/s across all sessions,
+//! single-lane) against the serial round-robin loop over N solo
+//! sessions (`serial_cells_per_sec`) — the `batch_speedup` ratio is the
+//! regression guard for "one queue over many simulations is never
+//! slower than stepping them in turn".
 //!
 //! `optimized_cells_per_sec` stays the single-lane number so the CI
 //! regression gate (`bench_compare`) tracks one stable configuration —
@@ -36,7 +49,7 @@
 
 use sparstencil::grid::Grid;
 use sparstencil::plan::{compile, Options};
-use sparstencil::session::{EngineBackend, NaiveBackend, Simulation};
+use sparstencil::session::{Batch, EngineBackend, NaiveBackend, Simulation};
 use sparstencil::stencil::StencilKernel;
 use std::time::Instant;
 
@@ -61,6 +74,30 @@ fn cases() -> Vec<Case> {
     ]
 }
 
+struct BatchCase {
+    name: &'static str,
+    kernel: StencilKernel,
+    shape: [usize; 3],
+    sessions: usize,
+}
+
+fn batch_cases() -> Vec<BatchCase> {
+    vec![
+        BatchCase {
+            name: "batch16_2d5pt_256x256",
+            kernel: StencilKernel::heat2d(),
+            shape: [1, 256, 256],
+            sessions: 16,
+        },
+        BatchCase {
+            name: "batch8_3d27pt_128x128x128",
+            kernel: StencilKernel::box3d27p(),
+            shape: [128, 128, 128],
+            sessions: 8,
+        },
+    ]
+}
+
 /// Steady-state wall-clock cells/second of a live session over `iters`
 /// steps (median of 3 repetitions, one untimed warm-up step). The
 /// session keeps stepping the same field — setup never re-runs.
@@ -77,6 +114,52 @@ fn measure(sim: &mut Simulation<'_, f32>, cells: f64, iters: usize) -> f64 {
     rates[1]
 }
 
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Batched vs serial-loop stepping over the same sessions, measured in
+/// **interleaved** repetition pairs so slow machine-speed drift hits
+/// both sides of each pair equally: the gated `batch_speedup` is the
+/// median of the per-pair ratios, not the ratio of two medians taken a
+/// second apart. Returns `(batch cells/s, serial cells/s, speedup)`,
+/// all aggregate over every session; one untimed warm-up round each.
+///
+/// The serial baseline steps the sessions round-robin — one full
+/// dispatch per session per step, the pattern a server without a batch
+/// driver would run.
+fn measure_batch_vs_serial(
+    batch: &mut Batch<'_, f32>,
+    sims: &mut [Simulation<'_, f32>],
+    total_cells: f64,
+    iters: usize,
+) -> (f64, f64, f64) {
+    batch.step_all();
+    for sim in sims.iter_mut() {
+        sim.step_n(1);
+    }
+    let mut batch_rates = Vec::new();
+    let mut serial_rates = Vec::new();
+    let mut ratios = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        batch.step_all_n(iters);
+        let b = total_cells * iters as f64 / t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for sim in sims.iter_mut() {
+                sim.step();
+            }
+        }
+        let s = total_cells * iters as f64 / t0.elapsed().as_secs_f64();
+        batch_rates.push(b);
+        serial_rates.push(s);
+        ratios.push(b / s);
+    }
+    (median(batch_rates), median(serial_rates), median(ratios))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // At least one measured step: zero iterations would make every rate
@@ -88,6 +171,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8usize)
         .max(1);
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if detected_cores == 1 {
+        println!(
+            "detected_cores 1: multi-lane thread_sweep rows measure scheduling \
+             overhead only — discount them"
+        );
+    }
 
     let mut rows = Vec::new();
     for case in cases() {
@@ -141,10 +233,15 @@ fn main() {
         );
         for &(lanes, rate) in &lane_rates[1..] {
             println!(
-                "{:<22}   {lanes} lanes  {:>12.0} cells/s   ({:.2}x vs 1 lane)",
+                "{:<22}   {lanes} lanes  {:>12.0} cells/s   ({:.2}x vs 1 lane{})",
                 "",
                 rate,
-                rate / optimized
+                rate / optimized,
+                if lanes > detected_cores {
+                    ", more lanes than cores"
+                } else {
+                    ""
+                }
             );
         }
         let threads_json = lane_rates
@@ -154,6 +251,7 @@ fn main() {
             .join(", ");
         rows.push(format!(
             "    {{\"case\": \"{}\", \"iters\": {iters}, \
+             \"detected_cores\": {detected_cores}, \
              \"edge_block_fraction\": {edge_block_fraction:.4}, \
              \"setup_seconds\": {setup_seconds:.6}, \
              \"stage_seconds\": {stage_seconds:.6}, \
@@ -166,9 +264,90 @@ fn main() {
         ));
     }
 
+    // Batched multi-session serving throughput: one guided queue over N
+    // sessions vs the serial round-robin loop, both single-lane so the
+    // comparison isolates the dispatch discipline (and stays meaningful
+    // on the 1-CPU CI box).
+    let mut batch_rows = Vec::new();
+    for bc in batch_cases() {
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&bc.kernel, bc.shape, &opts).unwrap();
+        let cells = (bc.shape[0] * bc.shape[1] * bc.shape[2]) as f64;
+        let total_cells = cells * bc.sessions as f64;
+        let inputs: Vec<Grid<f32>> = (0..bc.sessions)
+            .map(|_| Grid::<f32>::smooth_random(bc.kernel.dims(), bc.shape))
+            .collect();
+
+        let mut serial_sims: Vec<Simulation<'_, f32>> = inputs
+            .iter()
+            .map(|input| Simulation::new(EngineBackend::with_parallelism(&plan, input, 1)))
+            .collect();
+        let mut batch = Batch::with_parallelism(&plan, &inputs, 1);
+        let (batch_rate, serial, batch_speedup) =
+            measure_batch_vs_serial(&mut batch, &mut serial_sims, total_cells, iters);
+        drop(serial_sims);
+        drop(batch);
+
+        // Batch lane sweep: the cross-session balancing win only
+        // materializes with real cores, so a multi-core re-run
+        // (workflow_dispatch) must produce multi-lane batch evidence —
+        // the gated ratio above stays the 1-lane number.
+        let mut batch_sweep: Vec<(usize, f64)> = vec![(1, batch_rate)];
+        for lanes in [2usize, 4] {
+            let mut b = Batch::with_parallelism(&plan, &inputs, lanes);
+            b.step_all();
+            let rates: Vec<f64> = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    b.step_all_n(iters);
+                    total_cells * iters as f64 / t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            batch_sweep.push((lanes, median(rates)));
+        }
+
+        println!(
+            "{:<26} batch {:>12.0} cells/s   serial-loop {:>12.0} cells/s   \
+             ratio {batch_speedup:.3}   ({} sessions)",
+            bc.name, batch_rate, serial, bc.sessions
+        );
+        for &(lanes, rate) in &batch_sweep[1..] {
+            println!(
+                "{:<26}   {lanes} lanes  {:>12.0} cells/s   ({:.2}x vs 1 lane{})",
+                "",
+                rate,
+                rate / batch_rate,
+                if lanes > detected_cores {
+                    ", more lanes than cores"
+                } else {
+                    ""
+                }
+            );
+        }
+        let sweep_json = batch_sweep
+            .iter()
+            .map(|&(lanes, rate)| format!("{{\"lanes\": {lanes}, \"cells_per_sec\": {rate:.1}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        batch_rows.push(format!(
+            "    {{\"case\": \"{}\", \"sessions\": {}, \"iters\": {iters}, \
+             \"detected_cores\": {detected_cores}, \
+             \"batch_cells_per_sec\": {batch_rate:.1}, \
+             \"serial_cells_per_sec\": {serial:.1}, \
+             \"batch_speedup\": {batch_speedup:.3}, \
+             \"batch_thread_sweep\": [{sweep_json}]}}",
+            bc.name, bc.sessions
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"benchmark\": \"step_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"benchmark\": \"step_throughput\",\n  \"results\": [\n{}\n  ],\n  \
+         \"batch_results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        batch_rows.join(",\n")
     );
     std::fs::write("BENCH_step_throughput.json", &json).expect("write BENCH_step_throughput.json");
     println!("wrote BENCH_step_throughput.json");

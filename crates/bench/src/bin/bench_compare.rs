@@ -1,15 +1,31 @@
-//! Bench-regression gate: compare a freshly generated
-//! `BENCH_step_throughput.json` against a committed baseline and fail
-//! (exit code 1) when single-core performance regressed by more than
-//! the tolerated fraction (default 10%).
+//! Bench-regression gate: validate the schema of
+//! `BENCH_step_throughput.json` files and compare a freshly generated
+//! one against the committed baseline, failing the build (exit code 1)
+//! on a malformed file, a case missing from the fresh run, or a
+//! performance regression beyond the tolerated fraction (default 10%).
 //!
-//! The gating metric is the per-case `speedup` (optimized engine vs
-//! `run_naive`, measured in the same process on the same machine):
-//! the naive path is the stable denominator that normalizes out
-//! hardware differences between the machine that committed the
-//! baseline and the CI runner, so the gate trips on code regressions,
-//! not on runner variance. Absolute `optimized_cells_per_sec` drops
-//! are reported as warnings only.
+//! **Schema gate.** Both files must carry every field the perf
+//! trajectory depends on: per-case rows need `iters`,
+//! `detected_cores`, `edge_block_fraction`, `setup_seconds`,
+//! `stage_seconds`/`mma_seconds` (present and non-negative — the phase
+//! split is how gather-cost progress is tracked), the three throughput
+//! numbers, and a `thread_sweep`; batch rows need `sessions`,
+//! `batch_cells_per_sec`, `serial_cells_per_sec`, `batch_speedup`,
+//! `detected_cores`, and a `batch_thread_sweep`. A silently dropped
+//! field or case would otherwise erase part of the trajectory without
+//! failing anything.
+//!
+//! **Performance gates.** The single-core metric is the per-case
+//! `speedup` (optimized engine vs `run_naive`, measured in the same
+//! process on the same machine): the naive path is the stable
+//! denominator that normalizes out hardware differences between the
+//! machine that committed the baseline and the CI runner, so the gate
+//! trips on code regressions, not on runner variance. Batch rows gate
+//! on `batch_speedup` (batched vs serial-loop stepping, same process):
+//! the batch driver must never be tolerably slower than the loop it
+//! replaces. Absolute `cells_per_sec` drops are reported as warnings
+//! only, and multi-lane sweep numbers are explicitly discounted when
+//! `detected_cores` is 1.
 //!
 //! The parser is deliberately a line scanner over the fixed format the
 //! `bench` bin emits (one result object per line) rather than a JSON
@@ -42,24 +58,136 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One per-case row of the main `results` array (raw fields, validated
+/// by [`validate`]).
 struct Row {
     case: String,
+    line: String,
     speedup: f64,
     cells_per_sec: f64,
+    detected_cores: Option<f64>,
 }
 
-/// Parse per-case rows from a bench JSON file.
-fn parse(path: &str) -> Vec<Row> {
+/// One row of the `batch_results` array.
+struct BatchRow {
+    case: String,
+    line: String,
+    batch_speedup: f64,
+    batch_cells_per_sec: f64,
+}
+
+struct BenchFile {
+    path: String,
+    rows: Vec<Row>,
+    batch: Vec<BatchRow>,
+}
+
+/// Parse per-case rows from a bench JSON file. A line with
+/// `optimized_cells_per_sec` is a main row; one with
+/// `batch_cells_per_sec` is a batch row.
+fn parse(path: &str) -> BenchFile {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    text.lines()
-        .filter_map(|line| {
-            Some(Row {
-                case: string_field(line, "case")?,
-                speedup: number_field(line, "speedup")?,
-                cells_per_sec: number_field(line, "optimized_cells_per_sec")?,
-            })
-        })
-        .collect()
+    let mut rows = Vec::new();
+    let mut batch = Vec::new();
+    for line in text.lines() {
+        let Some(case) = string_field(line, "case") else {
+            continue;
+        };
+        if line.contains("\"optimized_cells_per_sec\"") {
+            rows.push(Row {
+                case,
+                line: line.to_string(),
+                speedup: number_field(line, "speedup").unwrap_or(f64::NAN),
+                cells_per_sec: number_field(line, "optimized_cells_per_sec").unwrap_or(f64::NAN),
+                detected_cores: number_field(line, "detected_cores"),
+            });
+        } else if line.contains("\"batch_cells_per_sec\"") {
+            batch.push(BatchRow {
+                case,
+                line: line.to_string(),
+                batch_speedup: number_field(line, "batch_speedup").unwrap_or(f64::NAN),
+                batch_cells_per_sec: number_field(line, "batch_cells_per_sec").unwrap_or(f64::NAN),
+            });
+        }
+    }
+    BenchFile {
+        path: path.to_string(),
+        rows,
+        batch,
+    }
+}
+
+/// Schema validation: every required field present and sane on every
+/// row of both sections. Returns human-readable violations.
+fn validate(file: &BenchFile) -> Vec<String> {
+    let mut errs = Vec::new();
+    let err = |errs: &mut Vec<String>, case: &str, msg: String| {
+        errs.push(format!("{}: case {case}: {msg}", file.path));
+    };
+
+    if file.rows.is_empty() {
+        errs.push(format!("{}: no parsable per-case results", file.path));
+    }
+    if file.batch.is_empty() {
+        errs.push(format!("{}: no parsable batch_results rows", file.path));
+    }
+
+    // (field, minimum allowed value): `stage_seconds`/`mma_seconds` may
+    // legitimately be ~0 on degenerate cases but never negative;
+    // throughputs and counts must be positive.
+    let required_main: &[(&str, f64)] = &[
+        ("iters", 1.0),
+        ("detected_cores", 1.0),
+        ("edge_block_fraction", 0.0),
+        ("setup_seconds", 0.0),
+        ("stage_seconds", 0.0),
+        ("mma_seconds", 0.0),
+        ("optimized_cells_per_sec", f64::MIN_POSITIVE),
+        ("naive_cells_per_sec", f64::MIN_POSITIVE),
+        ("speedup", f64::MIN_POSITIVE),
+    ];
+    for row in &file.rows {
+        for &(key, min) in required_main {
+            match number_field(&row.line, key) {
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                Some(_) => {}
+            }
+        }
+        if !row.line.contains("\"thread_sweep\"") {
+            err(&mut errs, &row.case, "missing field thread_sweep".into());
+        }
+    }
+
+    let required_batch: &[(&str, f64)] = &[
+        ("sessions", 1.0),
+        ("iters", 1.0),
+        ("detected_cores", 1.0),
+        ("batch_cells_per_sec", f64::MIN_POSITIVE),
+        ("serial_cells_per_sec", f64::MIN_POSITIVE),
+        ("batch_speedup", f64::MIN_POSITIVE),
+    ];
+    for row in &file.batch {
+        for &(key, min) in required_batch {
+            match number_field(&row.line, key) {
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                Some(_) => {}
+            }
+        }
+        if !row.line.contains("\"batch_thread_sweep\"") {
+            err(
+                &mut errs,
+                &row.case,
+                "missing field batch_thread_sweep".into(),
+            );
+        }
+    }
+    errs
 }
 
 fn main() -> ExitCode {
@@ -77,18 +205,39 @@ fn main() -> ExitCode {
 
     let baseline = parse(&args[1]);
     let fresh = parse(&args[2]);
-    if baseline.is_empty() {
-        eprintln!("no parsable results in baseline {}", args[1]);
-        return ExitCode::FAILURE;
-    }
-    if fresh.is_empty() {
-        eprintln!("no parsable results in fresh run {}", args[2]);
+
+    // ---- Schema gate: both files, every row, every required field. ----
+    let mut schema_errs = validate(&baseline);
+    schema_errs.extend(validate(&fresh));
+    if !schema_errs.is_empty() {
+        for e in &schema_errs {
+            eprintln!("SCHEMA: {e}");
+        }
+        eprintln!(
+            "bench JSON schema validation failed ({} errors)",
+            schema_errs.len()
+        );
         return ExitCode::FAILURE;
     }
 
+    let single_core = fresh
+        .rows
+        .iter()
+        .chain(baseline.rows.iter())
+        .filter_map(|r| r.detected_cores)
+        .any(|c| c <= 1.0);
+    if single_core {
+        println!(
+            "note       a measurement ran on detected_cores = 1: multi-lane \
+             thread_sweep rows measure scheduling overhead only — discounted"
+        );
+    }
+
     let mut failed = false;
-    for old in &baseline {
-        let Some(new) = fresh.iter().find(|r| r.case == old.case) else {
+
+    // ---- Single-core gate: per-case speedup vs naive. ----
+    for old in &baseline.rows {
+        let Some(new) = fresh.rows.iter().find(|r| r.case == old.case) else {
             eprintln!("REGRESSION: case {} missing from fresh results", old.case);
             failed = true;
             continue;
@@ -102,23 +251,55 @@ fn main() -> ExitCode {
             "ok"
         };
         println!(
-            "{verdict:<10} {:<24} speedup-vs-naive {:.2}x -> {:.2}x (ratio {ratio:.3})  \
+            "{verdict:<10} {:<26} speedup-vs-naive {:.2}x -> {:.2}x (ratio {ratio:.3})  \
              abs {:.0} -> {:.0} cells/s (ratio {abs_ratio:.3})",
             old.case, old.speedup, new.speedup, old.cells_per_sec, new.cells_per_sec
         );
         if abs_ratio < 1.0 - tolerance && verdict == "ok" {
             println!(
-                "warning    {:<24} absolute throughput dropped {:.0}% — likely runner \
+                "warning    {:<26} absolute throughput dropped {:.0}% — likely runner \
                  hardware variance (speedup-vs-naive held)",
                 old.case,
                 (1.0 - abs_ratio) * 100.0
             );
         }
     }
+
+    // ---- Batch gate: batched stepping must not lose to the serial
+    // loop it replaces (same-process ratio, machine-invariant), and no
+    // batch case may vanish. ----
+    for old in &baseline.batch {
+        let Some(new) = fresh.batch.iter().find(|r| r.case == old.case) else {
+            eprintln!(
+                "REGRESSION: batch case {} missing from fresh results",
+                old.case
+            );
+            failed = true;
+            continue;
+        };
+        let verdict = if new.batch_speedup < 1.0 - tolerance {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<10} {:<26} batch-vs-serial {:.3} -> {:.3}  \
+             abs {:.0} -> {:.0} cells/s",
+            old.case,
+            old.batch_speedup,
+            new.batch_speedup,
+            old.batch_cells_per_sec,
+            new.batch_cells_per_sec
+        );
+    }
+
     if failed {
         eprintln!(
-            "single-core throughput (speedup vs naive) regressed by more than {:.0}% on at \
-             least one case",
+            "bench gate failed: a case went missing, single-core speedup-vs-naive \
+             regressed by more than {:.0}%, or batched stepping fell more than \
+             {:.0}% behind the serial loop",
+            tolerance * 100.0,
             tolerance * 100.0
         );
         ExitCode::FAILURE

@@ -99,6 +99,17 @@
 //!   item, so all writes are disjoint; `SharedOutput` encapsulates the
 //!   aliasing argument.
 //!
+//! The same hot path scales across **sessions**: the batched stepper
+//! (`step_all_into`, driving [`crate::session::Batch`]) binds a
+//! per-session `(data, out)` buffer pair per claimed range and
+//! dispatches the union of N sessions' run lists through a two-level
+//! guided queue ([`rayon::pool::parallel_for_slots_guided2`]) whose
+//! claim unit is one `(session, z-run)` pair — lanes drain work from
+//! whichever session still has it, the ring discipline is untouched
+//! (run starts restage the full window, so a lane switching sessions
+//! can never observe another session's staged planes), and every
+//! session's step stays bit-identical to stepping it alone.
+//!
 //! After the first iteration warms the buffers, a step performs **zero
 //! heap allocations** (asserted by `tests/alloc_steady_state.rs`); the
 //! staged ring is sized at plan time and survives `load()`/`reset()`
@@ -112,13 +123,14 @@
 
 use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
-use crate::plan::{CompiledStencil, Operand, PrepStats};
+use crate::plan::{BatchWork, CompiledStencil, Operand, PrepStats};
 use rayon::prelude::*;
 use sparstencil_mat::{DenseMatrix, Real};
 use sparstencil_tcu::{
     fragment::dense_fragment_mma, model, sparse::sparse_fragment_mma, Counters, Engine,
     TimingBreakdown, UtilizationReport,
 };
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Statistics of one simulated run.
 #[derive(Debug, Clone)]
@@ -210,17 +222,37 @@ pub(crate) struct WorkerScratch<R: Real> {
     phase_ns: [u64; 3],
 }
 
-/// The persistent execution arena of one engine session: the two
-/// halo-padded ping-pong grids and the per-lane scratch pool. Everything
-/// a step touches is allocated here, up front.
+impl<R: Real> WorkerScratch<R> {
+    /// The per-lane scratch pool for `lanes` worker lanes, sized from
+    /// the plan. Owned separately from [`StepBuffers`] because the pool
+    /// belongs to the *stepper*, not to any one field: a batch steps N
+    /// sessions' buffers through one shared pool of lane rings.
+    pub(crate) fn pool(plan: &CompiledStencil<R>, lanes: usize) -> Vec<Self> {
+        let frag = plan.frag;
+        (0..lanes)
+            .map(|_| WorkerScratch {
+                staged: DenseMatrix::zeros(plan.exec.stage.staged_depth(), frag.n),
+                strips: (0..plan.exec.m_strips)
+                    .map(|_| DenseMatrix::zeros(frag.m, frag.n))
+                    .collect(),
+                phase_ns: [0; 3],
+            })
+            .collect()
+    }
+}
+
+/// The persistent ping-pong field buffers of one engine session: two
+/// halo-padded grids, allocated once up front. The per-lane
+/// [`WorkerScratch`] pool lives beside (not inside) these, so a batch
+/// can own one buffer pair per session while all sessions step through
+/// one shared lane pool.
 pub(crate) struct StepBuffers<R: Real> {
     pub(crate) cur: Grid<R>,
     pub(crate) next: Grid<R>,
-    pub(crate) scratch: Vec<WorkerScratch<R>>,
 }
 
 impl<R: Real> StepBuffers<R> {
-    pub(crate) fn new(plan: &CompiledStencil<R>, input: &Grid<R>, lanes: usize) -> Self {
+    pub(crate) fn new(plan: &CompiledStencil<R>, input: &Grid<R>) -> Self {
         // Embed the input in the ghost-padded domain (padding reads as
         // zero, like the old edge path's out-of-range loads) and
         // quantize once.
@@ -231,17 +263,7 @@ impl<R: Real> StepBuffers<R> {
         // rewrite every tile output and re-mirror the boundary band, so
         // a full boundary copy never happens again.
         let next = cur.clone();
-        let frag = plan.frag;
-        let scratch = (0..lanes)
-            .map(|_| WorkerScratch {
-                staged: DenseMatrix::zeros(plan.exec.stage.staged_depth(), frag.n),
-                strips: (0..plan.exec.m_strips)
-                    .map(|_| DenseMatrix::zeros(frag.m, frag.n))
-                    .collect(),
-                phase_ns: [0; 3],
-            })
-            .collect();
-        Self { cur, next, scratch }
+        Self { cur, next }
     }
 }
 
@@ -306,12 +328,6 @@ fn step_into_impl<R: Real>(
     let t = &plan.exec;
     let ss = &t.stage;
     let plane_stride = cur.plane_stride(); // padded: pad_ny · pad_nx
-    let frag = plan.frag;
-    let n = frag.n;
-    let band_rows = ss.band_rows;
-    let m_prime = plan.plan.m_prime();
-    let tiles_per_plane = plan.geom.tiles_per_plane;
-    let precision = plan.precision;
     let data = cur.as_slice();
     let out_slice = out.as_mut_slice();
     let shared_out = SharedOutput {
@@ -328,86 +344,14 @@ fn step_into_impl<R: Real>(
     // pass is needed.
     let n_runs = t.work.len() / ss.run_len;
     rayon::pool::parallel_for_slots_guided(n_runs, 1, scratch, |_slot, ws, runs| {
-        let WorkerScratch {
-            staged,
-            strips,
-            phase_ns,
-        } = ws;
-        for wi in runs.start * ss.run_len..runs.end * ss.run_len {
-            let (z, cb) = t.work[wi];
-            let first_tile = cb * n;
-            let tiles_in_block = n.min(tiles_per_plane - first_tile);
-            let block_tiles = &t.tiles[first_tile..first_tile + tiles_in_block];
-            let out_plane = z * plane_stride;
-
-            // ---- Phase 1: stage the new window planes. ----
-            // Only planes the previous item did not leave in the ring
-            // (all of them at a run start, exactly one mid-run). Cells
-            // are copied in rank order — first-reference (permuted
-            // operand) order, chosen so the MMA's staged reads stay
-            // ascending; the source offsets are whatever the PIT
-            // permutation left. Columns past `tiles_in_block` may hold
-            // stale data, which the MMA computes garbage from and the
-            // scatter never reads.
-            let t0 = timed.then(std::time::Instant::now);
-            let staged_data = staged.as_mut_slice();
-            for d in ss.overlap[wi] as usize..ss.window {
-                let src = (z + d) * plane_stride;
-                let band_base = ((z + d) % ss.window) * band_rows;
-                for (rank, &off) in ss.cell_offsets.iter().enumerate() {
-                    let row_start = (band_base + rank) * n;
-                    let row = &mut staged_data[row_start..row_start + tiles_in_block];
-                    for (dst, td) in row.iter_mut().zip(block_tiles) {
-                        let idx = src + td.base + off;
-                        // SAFETY: `ExecTables::build` validated every
-                        // (plane, tile, cell) staging combination
-                        // against the padded grid length.
-                        debug_assert!(idx < data.len());
-                        *dst = unsafe { *data.get_unchecked(idx) };
-                    }
-                }
-            }
-
-            // ---- Phase 2: MMA from the staged ring. ----
-            // Operand addressing rotates with the ring, so the program
-            // set is selected by the phase `z mod window`; programs are
-            // overwrite-first, so no accumulator zeroing pass runs.
-            let t1 = timed.then(std::time::Instant::now);
-            let programs = &ss.programs[z % ss.window];
-            for (mi, c_frag) in strips.iter_mut().enumerate() {
-                program_mma_overwrite(&programs[mi], staged, c_frag, frag);
-            }
-
-            // ---- Phase 3: unconditional direct scatter. ----
-            // This work item owns every output cell of its tiles, and in
-            // the padded domain every tile's full r2×r1 footprint is
-            // writable — ghost outputs land in the padding (restored by
-            // the mirror below), so no per-cell validity checks remain.
-            let t2 = timed.then(std::time::Instant::now);
-            for (mi, c_frag) in strips.iter().enumerate() {
-                let row0 = mi * frag.m;
-                let rows = frag.m.min(m_prime.saturating_sub(row0));
-                for fr in 0..rows {
-                    let off = t.scatter_offs[row0 + fr];
-                    let c_row = &c_frag.row(fr)[..tiles_in_block];
-                    for (&v, td) in c_row.iter().zip(block_tiles) {
-                        // SAFETY: disjointness per the SharedOutput
-                        // docs; the padded plane contains every tile's
-                        // full output footprint.
-                        unsafe {
-                            shared_out.write(out_plane + td.base + off, v.round_to(precision));
-                        }
-                    }
-                }
-            }
-            if timed {
-                let t3 = std::time::Instant::now();
-                let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
-                phase_ns[0] += (t1 - t0).as_nanos() as u64;
-                phase_ns[1] += (t2 - t1).as_nanos() as u64;
-                phase_ns[2] += (t3 - t2).as_nanos() as u64;
-            }
-        }
+        exec_items(
+            plan,
+            data,
+            &shared_out,
+            ws,
+            runs.start * ss.run_len..runs.end * ss.run_len,
+            timed,
+        );
     });
 
     // Boundary mirror: restore the semantic boundary cells the ghost
@@ -422,6 +366,274 @@ fn step_into_impl<R: Real>(
         }
     }
     t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64)
+}
+
+/// A contiguous range of staged work items — phase 1 stage, phase 2
+/// MMA, phase 3 scatter each — against an explicit `(data, shared_out)`
+/// buffer pair, with the plan-derived loop invariants hoisted once per
+/// call. This is the whole steady-state hot path, shared verbatim by
+/// the solo stepper ([`step_into`], one call per claimed run range) and
+/// the batch stepper ([`step_all_into`], one call per claimed
+/// `(session, run range)` — the pair is re-bound per claim).
+///
+/// `#[inline(never)]` is load-bearing: with two dispatch closures in
+/// the binary, inlining would duplicate the step body and the second
+/// copy measurably perturbs code layout (the effect the `timed` runtime
+/// flag exists to avoid — A/B-measured at −10–18% on the solo
+/// microkernels when this body was `inline(always)`). One
+/// out-of-line instantiation means the solo and batch paths execute
+/// literally the same machine code, and the call cost is amortized over
+/// a whole claimed run range.
+///
+/// Ring precondition: `items` must start at a run boundary and cover
+/// whole z-sliding runs — if `stage.overlap[wi] > 0` for an item, the
+/// *same* `ws` ring must have just executed work item `wi − 1` against
+/// the *same* `data` buffer. Both callers guarantee it by claiming
+/// whole runs for one lane: run starts (`overlap == 0`) stage their
+/// full window, which also makes stale ring content — from a previous
+/// step *or another batched session* — unreachable.
+#[inline(never)]
+fn exec_items<R: Real>(
+    plan: &CompiledStencil<R>,
+    data: &[R],
+    shared_out: &SharedOutput<R>,
+    ws: &mut WorkerScratch<R>,
+    items: std::ops::Range<usize>,
+    timed: bool,
+) {
+    let t = &plan.exec;
+    let ss = &t.stage;
+    let plane_stride = plan.geom.pad_ny * plan.geom.pad_nx;
+    let frag = plan.frag;
+    let n = frag.n;
+    let band_rows = ss.band_rows;
+    let m_prime = plan.plan.m_prime();
+    let tiles_per_plane = plan.geom.tiles_per_plane;
+    let precision = plan.precision;
+    let WorkerScratch {
+        staged,
+        strips,
+        phase_ns,
+    } = ws;
+
+    for wi in items {
+        let (z, cb) = t.work[wi];
+        let first_tile = cb * n;
+        let tiles_in_block = n.min(tiles_per_plane - first_tile);
+        let block_tiles = &t.tiles[first_tile..first_tile + tiles_in_block];
+        let out_plane = z * plane_stride;
+
+        // ---- Phase 1: stage the new window planes. ----
+        // Only planes the previous item did not leave in the ring
+        // (all of them at a run start, exactly one mid-run). Cells
+        // are copied in rank order — first-reference (permuted
+        // operand) order, chosen so the MMA's staged reads stay
+        // ascending; the source offsets are whatever the PIT
+        // permutation left. Columns past `tiles_in_block` may hold
+        // stale data, which the MMA computes garbage from and the
+        // scatter never reads.
+        let t0 = timed.then(std::time::Instant::now);
+        let staged_data = staged.as_mut_slice();
+        for d in ss.overlap[wi] as usize..ss.window {
+            let src = (z + d) * plane_stride;
+            let band_base = ((z + d) % ss.window) * band_rows;
+            for (rank, &off) in ss.cell_offsets.iter().enumerate() {
+                let row_start = (band_base + rank) * n;
+                let row = &mut staged_data[row_start..row_start + tiles_in_block];
+                for (dst, td) in row.iter_mut().zip(block_tiles) {
+                    let idx = src + td.base + off;
+                    // SAFETY: `ExecTables::build` validated every
+                    // (plane, tile, cell) staging combination
+                    // against the padded grid length.
+                    debug_assert!(idx < data.len());
+                    *dst = unsafe { *data.get_unchecked(idx) };
+                }
+            }
+        }
+
+        // ---- Phase 2: MMA from the staged ring. ----
+        // Operand addressing rotates with the ring, so the program
+        // set is selected by the phase `z mod window`; programs are
+        // overwrite-first, so no accumulator zeroing pass runs.
+        let t1 = timed.then(std::time::Instant::now);
+        let programs = &ss.programs[z % ss.window];
+        for (mi, c_frag) in strips.iter_mut().enumerate() {
+            program_mma_overwrite(&programs[mi], staged, c_frag, frag);
+        }
+
+        // ---- Phase 3: unconditional direct scatter. ----
+        // This work item owns every output cell of its tiles, and in
+        // the padded domain every tile's full r2×r1 footprint is
+        // writable — ghost outputs land in the padding (restored by
+        // the mirror below), so no per-cell validity checks remain.
+        let t2 = timed.then(std::time::Instant::now);
+        for (mi, c_frag) in strips.iter().enumerate() {
+            let row0 = mi * frag.m;
+            let rows = frag.m.min(m_prime.saturating_sub(row0));
+            for fr in 0..rows {
+                let off = t.scatter_offs[row0 + fr];
+                let c_row = &c_frag.row(fr)[..tiles_in_block];
+                for (&v, td) in c_row.iter().zip(block_tiles) {
+                    // SAFETY: disjointness per the SharedOutput
+                    // docs; the padded plane contains every tile's
+                    // full output footprint.
+                    unsafe {
+                        shared_out.write(out_plane + td.base + off, v.round_to(precision));
+                    }
+                }
+            }
+        }
+        if timed {
+            let t3 = std::time::Instant::now();
+            let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
+            phase_ns[0] += (t1 - t0).as_nanos() as u64;
+            phase_ns[1] += (t2 - t1).as_nanos() as u64;
+            phase_ns[2] += (t3 - t2).as_nanos() as u64;
+        }
+    }
+}
+
+/// Raw per-session buffer bindings for one batched step: one entry per
+/// session, filled from the live `&mut [StepBuffers]` at the top of
+/// [`step_all_into`] and cleared before it returns, so no dangling
+/// pointer outlives the call. Kept in a caller-owned `Vec` (capacity
+/// reserved at batch construction) so refilling it each step allocates
+/// nothing.
+pub(crate) struct SessionPtrs<R> {
+    data: *const R,
+    out: *mut R,
+    len: usize,
+}
+
+// SAFETY: entries are only dereferenced inside `step_all_into`'s
+// parallel region, where they point into live, pairwise-disjoint
+// session buffers (see the safety argument there); between steps the
+// vec is empty.
+unsafe impl<R: Send> Send for SessionPtrs<R> {}
+unsafe impl<R: Send> Sync for SessionPtrs<R> {}
+
+/// One batched stencil step: advance **every** session's `next` buffer
+/// from its `cur` buffer by dispatching the union of all sessions'
+/// z-sliding runs ([`BatchWork`]) through a single two-level guided
+/// queue ([`rayon::pool::parallel_for_slots_guided2`]) — lanes drain
+/// work from whichever session still has it, with no barrier between
+/// sessions. The caller swaps each session's buffers afterwards.
+///
+/// Equivalence and ring discipline: a claim is a contiguous range of
+/// one session's runs (the 2-level clipping guarantees it), every run
+/// is executed start-to-finish by one lane, and run starts stage their
+/// full window — so each work item runs under exactly the conditions of
+/// the solo stepper and every session's output is **bit-identical** to
+/// stepping it alone (`tests/batch_exec.rs` pins this). The ring never
+/// carries state across sessions: a lane that switches sessions does so
+/// at a run boundary, where the full-window restage overwrites every
+/// band the MMA can reach.
+///
+/// Safety argument for the shared writes: within one session, tiles
+/// partition the padded output footprint and each `(plane, column
+/// block)` item is claimed once (the solo argument, see
+/// [`SharedOutput`]); across sessions, buffers are disjoint
+/// allocations. The boundary mirror — which overwrites cells the ghost
+/// scatters just wrote — runs inside the region too, but only after
+/// the owning session's run countdown (`pending`) hits zero: every
+/// scatter of that session happens-before the `AcqRel` decrement that
+/// releases it, exactly one lane observes zero, and that lane performs
+/// the mirror while the session's planes are still cache-warm (the
+/// post-region serial mirror cost N cold re-walks).
+pub(crate) fn step_all_into<R: Real>(
+    plan: &CompiledStencil<R>,
+    work: &BatchWork,
+    bufs: &mut [StepBuffers<R>],
+    scratch: &mut [WorkerScratch<R>],
+    ptrs: &mut Vec<SessionPtrs<R>>,
+    pending: &[AtomicU32],
+) {
+    assert_eq!(
+        work.sessions,
+        bufs.len(),
+        "batch work/buffer table mismatch"
+    );
+    assert_eq!(
+        work.sessions,
+        pending.len(),
+        "batch countdown table mismatch"
+    );
+    let t = &plan.exec;
+    debug_assert_eq!(work.runs_per_session * work.run_len, t.work.len());
+
+    // (Re)bind the per-session buffer table. `clear` + `push` within
+    // the capacity reserved at batch construction: no allocation.
+    ptrs.clear();
+    debug_assert!(ptrs.capacity() >= bufs.len());
+    for (sb, pend) in bufs.iter_mut().zip(pending) {
+        let len = sb.next.as_mut_slice().len();
+        debug_assert_eq!(sb.cur.as_slice().len(), len);
+        ptrs.push(SessionPtrs {
+            data: sb.cur.as_slice().as_ptr(),
+            out: sb.next.as_mut_slice().as_mut_ptr(),
+            len,
+        });
+        // No lane can touch this step's counters before the dispatch
+        // below publishes the work, so Relaxed is enough.
+        pend.store(work.runs_per_session as u32, Ordering::Relaxed);
+    }
+    let table: &[SessionPtrs<R>] = ptrs;
+    let plane_stride = plan.geom.pad_ny * plan.geom.pad_nx;
+
+    rayon::pool::parallel_for_slots_guided2(
+        work.sessions,
+        work.runs_per_session,
+        1,
+        scratch,
+        |_slot, ws, session, runs| {
+            let sp = &table[session];
+            // SAFETY: filled above from this step's live buffers;
+            // `data` is only read, `shared_out` writes are disjoint per
+            // the function docs.
+            let data = unsafe { std::slice::from_raw_parts(sp.data, sp.len) };
+            let shared_out = SharedOutput {
+                ptr: sp.out,
+                len: sp.len,
+            };
+            // A claim is contiguous session-local runs, so its work
+            // items are one contiguous range (`BatchWork::items` per
+            // run, concatenated).
+            exec_items(
+                plan,
+                data,
+                &shared_out,
+                ws,
+                runs.start * work.run_len..runs.end * work.run_len,
+                false,
+            );
+            // Session run countdown: the lane that retires the last run
+            // restores the session's boundary band (identical to the
+            // solo stepper's post-dispatch mirror). `AcqRel` pairs this
+            // lane's scatter writes (released by the decrement) with
+            // the zero-observer's reads of every other lane's writes.
+            let claimed = runs.len() as u32;
+            if pending[session].fetch_sub(claimed, Ordering::AcqRel) == claimed {
+                for z in 0..plan.geom.planes {
+                    let p = z * plane_stride;
+                    for &(off, len) in &t.mirror_segments {
+                        // SAFETY: all of this session's scatters
+                        // happened-before the countdown reached zero,
+                        // only this lane observed zero, and the ranges
+                        // are in-bounds (mirror offsets address the
+                        // padded plane, validated at plan build).
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                sp.data.add(p + off),
+                                sp.out.add(p + off),
+                                len,
+                            );
+                        }
+                    }
+                }
+            }
+        },
+    );
+    ptrs.clear();
 }
 
 /// The staged MMA inner loop: execute one rebased row program against
@@ -561,20 +773,21 @@ pub fn profile_phases<R: Real>(
     input: &Grid<R>,
     iters: usize,
 ) -> PhaseProfile {
-    let mut bufs = StepBuffers::new(plan, input, 1);
-    step_into(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch);
+    let mut bufs = StepBuffers::new(plan, input);
+    let mut scratch = WorkerScratch::pool(plan, 1);
+    step_into(plan, &bufs.cur, &mut bufs.next, &mut scratch);
     std::mem::swap(&mut bufs.cur, &mut bufs.next);
-    for ws in &mut bufs.scratch {
+    for ws in &mut scratch {
         ws.phase_ns = [0; 3];
     }
     let mut mirror_ns = 0u64;
     let t0 = std::time::Instant::now();
     for _ in 0..iters {
-        mirror_ns += step_into_impl(plan, &bufs.cur, &mut bufs.next, &mut bufs.scratch, true);
+        mirror_ns += step_into_impl(plan, &bufs.cur, &mut bufs.next, &mut scratch, true);
         std::mem::swap(&mut bufs.cur, &mut bufs.next);
     }
     let wall_seconds = t0.elapsed().as_secs_f64();
-    let phase = bufs.scratch.iter().fold([0u64; 3], |acc, ws| {
+    let phase = scratch.iter().fold([0u64; 3], |acc, ws| {
         [
             acc[0] + ws.phase_ns[0],
             acc[1] + ws.phase_ns[1],

@@ -11,7 +11,7 @@ use crate::exec::{self, RunStats};
 use crate::grid::Grid;
 use crate::plan::{self, CompileError, CompiledStencil, Options};
 use crate::reference;
-use crate::session::{EngineBackend, NaiveBackend, Simulation};
+use crate::session::{Batch, EngineBackend, NaiveBackend, Simulation};
 use crate::stencil::StencilKernel;
 use sparstencil_mat::Real;
 
@@ -76,6 +76,30 @@ impl<R: Real> Executor<R> {
     /// shape.
     pub fn session_with_parallelism(&self, input: &Grid<R>, lanes: usize) -> Simulation<'_, R> {
         Simulation::new(EngineBackend::with_parallelism(&self.plan, input, lanes))
+    }
+
+    /// Open a [`Batch`] of persistent sessions — one per input — over
+    /// this executor's plan: every session shares the one compiled
+    /// plan, and [`Batch::step_all`] advances them all through a single
+    /// guided work queue with no barrier between sessions (see
+    /// [`crate::session`]'s module docs for the ownership diagram).
+    /// Each session remains bit-identical to a solo
+    /// [`Executor::session`] over the same input.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or any input's shape differs from
+    /// the plan's compile-time shape.
+    pub fn batch(&self, inputs: &[Grid<R>]) -> Batch<'_, R> {
+        Batch::new(&self.plan, inputs)
+    }
+
+    /// [`Executor::batch`] with an explicit worker-lane count; results
+    /// and counters are identical for every lane count.
+    ///
+    /// # Panics
+    /// As [`Executor::batch`].
+    pub fn batch_with_parallelism(&self, inputs: &[Grid<R>], lanes: usize) -> Batch<'_, R> {
+        Batch::with_parallelism(&self.plan, inputs, lanes)
     }
 
     /// A session over the retained naive reference path — the same

@@ -249,7 +249,70 @@ pub struct ExecTables<R: Real> {
     pub programs: Vec<Vec<RowProgram<R>>>,
 }
 
+/// Session-tagged batch work index: the union of `sessions` identical
+/// per-session run lists over **one** shared plan, in the order the
+/// batch executor's single guided queue drains it.
+///
+/// The claim unit of batched execution is one `(session, z-sliding
+/// run)` pair — never a bare work item — so the staged ring's reuse
+/// discipline survives batching unchanged: a run is staged and
+/// multiplied by one lane start to finish, and every run *start*
+/// re-stages its full window, which makes whatever another session left
+/// in the lane's ring unreachable. Within a session the runs keep the
+/// plan's column-block-major order ([`ExecTables::work`]); across
+/// sessions the list is session-major, so the flat run index `f`
+/// decomposes as `f = session · runs_per_session + local_run` and a
+/// contiguous claim range stays inside one session until it drains.
+///
+/// The tagged list is the sequence `run(0) .. run(total_runs())` —
+/// pure arithmetic over the flat claim index, never materialized. The
+/// property tests pin it: it must be a permutation of the per-session
+/// run lists, order-preserving within each session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchWork {
+    /// Sessions in the batch.
+    pub sessions: usize,
+    /// z-sliding runs per session (`work.len() / run_len`).
+    pub runs_per_session: usize,
+    /// Work items per run (copied from [`StageSchedule::run_len`]).
+    pub run_len: usize,
+}
+
+impl BatchWork {
+    /// Total runs across all sessions (`sessions · runs_per_session`).
+    pub fn total_runs(&self) -> usize {
+        self.sessions * self.runs_per_session
+    }
+
+    /// The `(session, local run)` tag at flat claim index `f`.
+    pub fn run(&self, f: usize) -> (usize, usize) {
+        debug_assert!(f < self.total_runs());
+        (f / self.runs_per_session, f % self.runs_per_session)
+    }
+
+    /// Work-item index range (into [`ExecTables::work`]) of one
+    /// session-local run.
+    pub fn items(&self, local_run: usize) -> std::ops::Range<usize> {
+        local_run * self.run_len..(local_run + 1) * self.run_len
+    }
+}
+
 impl<R: Real> ExecTables<R> {
+    /// Build the session-tagged batch work index for `sessions`
+    /// sessions sharing this plan (see [`BatchWork`]).
+    ///
+    /// # Panics
+    /// Panics if `sessions` is zero.
+    pub fn batch_work(&self, sessions: usize) -> BatchWork {
+        assert!(sessions > 0, "a batch needs at least one session");
+        let run_len = self.stage.run_len;
+        BatchWork {
+            sessions,
+            runs_per_session: self.work.len() / run_len,
+            run_len,
+        }
+    }
+
     fn build(
         grid_shape: [usize; 3],
         kernel_extent: [usize; 3],
@@ -1155,6 +1218,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_work_tags_every_session_run_once() {
+        let k = StencilKernel::box3d27p();
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let c: CompiledStencil<f32> = compile(&k, [10, 20, 20], &opts).unwrap();
+        let t = &c.exec;
+        let n_runs = t.work.len() / t.stage.run_len;
+
+        for sessions in [1usize, 3, 8] {
+            let bw = t.batch_work(sessions);
+            assert_eq!(bw.sessions, sessions);
+            assert_eq!(bw.runs_per_session, n_runs);
+            assert_eq!(bw.run_len, t.stage.run_len);
+            assert_eq!(bw.total_runs(), sessions * n_runs);
+
+            // Session-major flat order, column-block-major run order
+            // preserved within each session.
+            for f in 0..bw.total_runs() {
+                assert_eq!(bw.run(f), (f / n_runs, f % n_runs));
+            }
+            // Run item ranges tile the plan's work list.
+            for r in 0..n_runs {
+                let items = bw.items(r);
+                assert_eq!(items.len(), bw.run_len);
+                for wi in items {
+                    let (_, cb) = t.work[wi];
+                    assert_eq!(cb, r, "run r covers column block r's items");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn batch_work_rejects_zero_sessions() {
+        let k = StencilKernel::heat2d();
+        let c: CompiledStencil<f32> = compile(&k, [1, 20, 20], &Options::default()).unwrap();
+        let _ = c.exec.batch_work(0);
     }
 
     #[test]

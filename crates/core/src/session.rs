@@ -51,6 +51,45 @@
 //!   engine sessions over their fixed layouts, counter-model baselines
 //!   as scalar-reference sessions).
 //!
+//! # Batched multi-session execution
+//!
+//! A [`Batch`] holds N sessions over **one** shared plan and steps them
+//! all per [`Batch::step_all`] call through a **single** guided work
+//! queue: the union of every session's z-sliding runs
+//! ([`crate::plan::BatchWork`]) is drained by the worker lanes with no
+//! barrier between sessions — a lane that finishes one session's last
+//! run immediately claims the next session's first, so tail imbalance
+//! in one session is absorbed by work from another. The claim unit is
+//! one `(session, z-run)` pair, which keeps the staged ring's reuse
+//! discipline intact across the batch (see [`crate::exec`]).
+//!
+//! ```text
+//!            ┌────────── CompiledStencil (one plan, Cow-shared) ─────────┐
+//!            │   ExecTables · StageSchedule · BatchWork(N)               │
+//!            └──────────────────────────┬────────────────────────────────┘
+//!                                       │ read-only
+//!   Batch ──────────────────────────────┼────────────────────────────────┐
+//!   step_all()  per-session buffers     │          one guided queue      │
+//!               ┌───────────────────┐   │   runs: S0r0 S0r1 … S1r0 …     │
+//!               │ S0  cur ⇄ next    │◄──┤        ▲        ▲              │
+//!               │ S1  cur ⇄ next    │   │   lane 0 ring  lane 1 ring     │
+//!               │ …                 │   │   (scratch is per-LANE, shared │
+//!               │ SN  cur ⇄ next    │   │    across sessions — run       │
+//!               └───────────────────┘   │    starts restage the window)  │
+//!               + per-session counters, │                                │
+//!                 initial snapshot      │                                │
+//!   ────────────────────────────────────┴────────────────────────────────┘
+//! ```
+//!
+//! Each session stays **bit-identical** to stepping it alone
+//! (`tests/batch_exec.rs` pins grids and counters against solo
+//! sessions), `step_all` performs zero steady-state heap allocations,
+//! and [`Batch::session_mut`] hands out a [`BatchSession`] — the
+//! per-session view with the familiar
+//! `step`/`field`/`load`/`reset`/`stats` surface — so one member can be
+//! observed, reloaded, or even stepped ahead individually between
+//! batched steps.
+//!
 //! # Observation
 //!
 //! [`Simulation::field`] returns a zero-copy [`FieldView`] of the
@@ -83,7 +122,7 @@
 
 use crate::exec::{self, RunStats};
 use crate::grid::{FieldView, Grid};
-use crate::plan::CompiledStencil;
+use crate::plan::{BatchWork, CompiledStencil};
 use sparstencil_mat::half::Precision;
 use sparstencil_mat::Real;
 use sparstencil_tcu::{Counters, Engine};
@@ -158,6 +197,47 @@ pub fn stage_initial<R: Real>(
         .quantize(precision);
 }
 
+/// Shared `reset` core of every engine-backed session (solo backend and
+/// batch member alike): restore **both** ping-pong buffers from the
+/// pristine snapshot — `cur` is the field, `next`'s copy seeds the
+/// boundary cells exactly as `StepBuffers::new` did — and clear the
+/// activity counters. One implementation is what keeps `load`/`reset`
+/// bit-identical between a batch member and its solo twin
+/// (`tests/batch_exec.rs` pins that identity).
+fn rewind_to_initial<R: Real>(
+    bufs: &mut exec::StepBuffers<R>,
+    initial: &Option<Grid<R>>,
+    engine: &mut Engine,
+) {
+    let initial = initial
+        .as_ref()
+        .expect("sessions that rewind retain their initial snapshot");
+    bufs.cur.as_mut_slice().copy_from_slice(initial.as_slice());
+    bufs.next.as_mut_slice().copy_from_slice(initial.as_slice());
+    engine.counters = Counters::new();
+}
+
+/// Shared `load` core of every engine-backed session: shape check,
+/// re-embed + re-quantize into the retained staging slot, record the
+/// input's dimensionality, and rewind onto the new snapshot.
+fn load_engine_session<R: Real>(
+    plan: &CompiledStencil<R>,
+    input: &Grid<R>,
+    bufs: &mut exec::StepBuffers<R>,
+    initial: &mut Option<Grid<R>>,
+    dims: &mut usize,
+    engine: &mut Engine,
+) {
+    assert_eq!(
+        input.shape(),
+        plan.grid_shape,
+        "grid shape differs from the compiled plan"
+    );
+    stage_initial(input, initial, bufs.cur.shape(), plan.precision);
+    *dims = input.dims();
+    rewind_to_initial(bufs, initial, engine);
+}
+
 /// The optimized execution engine as a session backend: halo-padded
 /// ping-pong buffers, plan-time gather tables, per-worker scratch,
 /// guided partitioning, closed-form counters (see [`crate::exec`]).
@@ -167,6 +247,7 @@ pub struct EngineBackend<'p, R: Real> {
     engine: Engine,
     per_iter: Counters,
     bufs: exec::StepBuffers<R>,
+    scratch: Vec<exec::WorkerScratch<R>>,
     /// Pristine padded+quantized input, kept for [`Backend::reset`] and
     /// reused as the embedding staging buffer by [`Backend::load`].
     /// `None` only for internal throwaway sessions (the one-shot `run`
@@ -225,13 +306,15 @@ impl<'p, R: Real> EngineBackend<'p, R> {
         );
         let engine = Engine::new(plan.gpu.clone(), plan.precision);
         let per_iter = exec::iter_counters(&plan, &plan.geom, plan.grid_shape, true);
-        let bufs = exec::StepBuffers::new(&plan, input, lanes.max(1));
+        let bufs = exec::StepBuffers::new(&plan, input);
+        let scratch = exec::WorkerScratch::pool(&plan, lanes.max(1));
         let initial = retain_initial.then(|| bufs.cur.clone());
         Self {
             plan,
             engine,
             per_iter,
             bufs,
+            scratch,
             initial,
             dims: input.dims(),
         }
@@ -257,7 +340,7 @@ impl<R: Real> Backend<R> for EngineBackend<'_, R> {
             &self.plan,
             &self.bufs.cur,
             &mut self.bufs.next,
-            &mut self.bufs.scratch,
+            &mut self.scratch,
         );
         std::mem::swap(&mut self.bufs.cur, &mut self.bufs.next);
     }
@@ -267,38 +350,18 @@ impl<R: Real> Backend<R> for EngineBackend<'_, R> {
     }
 
     fn load(&mut self, input: &Grid<R>) {
-        assert_eq!(
-            input.shape(),
-            self.plan.grid_shape,
-            "grid shape differs from the compiled plan"
-        );
-        stage_initial(
+        load_engine_session(
+            &self.plan,
             input,
+            &mut self.bufs,
             &mut self.initial,
-            self.bufs.cur.shape(),
-            self.plan.precision,
+            &mut self.dims,
+            &mut self.engine,
         );
-        self.dims = input.dims();
-        self.reset();
     }
 
     fn reset(&mut self) {
-        let initial = self
-            .initial
-            .as_ref()
-            .expect("internal throwaway sessions never rewind");
-        // Both buffers restart from the pristine input: `cur` is the
-        // field, `next`'s copy seeds the boundary cells exactly as
-        // `StepBuffers::new` did.
-        self.bufs
-            .cur
-            .as_mut_slice()
-            .copy_from_slice(initial.as_slice());
-        self.bufs
-            .next
-            .as_mut_slice()
-            .copy_from_slice(initial.as_slice());
-        self.engine.counters = Counters::new();
+        rewind_to_initial(&mut self.bufs, &self.initial, &mut self.engine);
     }
 
     fn stats(&self, steps: usize) -> Option<RunStats> {
@@ -582,6 +645,304 @@ impl<'p, R: Real> Simulation<'p, R> {
     }
 }
 
+/// Per-session execution state a [`Batch`] keeps beside the buffer
+/// table: the activity-counting engine, the pristine-input snapshot for
+/// `load`/`reset`, and the session's own step count (sessions may be
+/// stepped ahead individually through [`BatchSession`]).
+struct SessionState<R: Real> {
+    engine: Engine,
+    /// Pristine padded+quantized input (see [`EngineBackend`]'s field
+    /// docs); always retained — batches exist to be reused.
+    initial: Option<Grid<R>>,
+    steps: usize,
+    dims: usize,
+}
+
+/// N simulation sessions over one shared compiled plan, stepped
+/// together through a single guided work queue.
+///
+/// Construction embeds and quantizes every input once (one halo-padded
+/// ping-pong buffer pair per session) and builds the session-tagged
+/// run index ([`BatchWork`]) once; [`Batch::step_all`] then advances
+/// **every** session by one time step with zero heap allocations,
+/// dispatching the union of all sessions' z-sliding runs to the lanes —
+/// no barrier between sessions, no per-session dispatch overhead. See
+/// the [module docs](self) for the ownership diagram and the
+/// bit-identity guarantee versus solo stepping.
+///
+/// Obtain one from [`Executor::batch`](crate::pipeline::Executor::batch)
+/// (borrowing the executor's plan) or [`Batch::new`] over a compiled
+/// plan. Per-session access goes through [`Batch::field`],
+/// [`Batch::load`], [`Batch::stats`], or the full per-session view
+/// [`Batch::session_mut`].
+pub struct Batch<'p, R: Real> {
+    plan: Cow<'p, CompiledStencil<R>>,
+    work: BatchWork,
+    /// Per-session buffer table: `bufs[i]` are session `i`'s ping-pong
+    /// grids, the `&mut [StepBuffers]` view the batch stepper takes.
+    bufs: Vec<exec::StepBuffers<R>>,
+    state: Vec<SessionState<R>>,
+    /// Per-lane staged-ring scratch, shared by all sessions (a claimed
+    /// run re-stages its full window at its start, so rings never carry
+    /// state across sessions or steps).
+    scratch: Vec<exec::WorkerScratch<R>>,
+    /// Reusable raw buffer-binding table for the batch stepper; cleared
+    /// between steps, capacity reserved once.
+    ptrs: Vec<exec::SessionPtrs<R>>,
+    /// Per-session run countdown: the lane retiring a session's last
+    /// run mirrors its boundary band inside the parallel region (cache-
+    /// warm) instead of a serial post-pass. Reset every step.
+    pending: Vec<std::sync::atomic::AtomicU32>,
+    per_iter: Counters,
+}
+
+impl<'p, R: Real> Batch<'p, R> {
+    /// A batch borrowing `plan`, one session per input, with the
+    /// pool-wide default lane count.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or any input's shape differs from
+    /// the plan's compile-time shape (mixed-shape batches are rejected:
+    /// one batch shares one plan, and a plan is shape-specific).
+    pub fn new(plan: &'p CompiledStencil<R>, inputs: &[Grid<R>]) -> Self {
+        Self::with_parallelism(plan, inputs, rayon::current_num_threads())
+    }
+
+    /// [`Batch::new`] with an explicit worker-lane count; results and
+    /// counters are identical for every lane count.
+    ///
+    /// # Panics
+    /// As [`Batch::new`].
+    pub fn with_parallelism(
+        plan: &'p CompiledStencil<R>,
+        inputs: &[Grid<R>],
+        lanes: usize,
+    ) -> Self {
+        Self::from_cow(Cow::Borrowed(plan), inputs, lanes)
+    }
+
+    /// A batch that owns its plan — a self-contained `'static` batch,
+    /// the form to store in long-lived serving state.
+    ///
+    /// # Panics
+    /// As [`Batch::new`].
+    pub fn owned(plan: CompiledStencil<R>, inputs: &[Grid<R>]) -> Batch<'static, R> {
+        Batch::from_cow(Cow::Owned(plan), inputs, rayon::current_num_threads())
+    }
+
+    fn from_cow(plan: Cow<'p, CompiledStencil<R>>, inputs: &[Grid<R>], lanes: usize) -> Self {
+        assert!(!inputs.is_empty(), "a batch needs at least one session");
+        for input in inputs {
+            assert_eq!(
+                input.shape(),
+                plan.grid_shape,
+                "grid shape differs from the compiled plan"
+            );
+        }
+        let per_iter = exec::iter_counters(&plan, &plan.geom, plan.grid_shape, true);
+        let work = plan.exec.batch_work(inputs.len());
+        let bufs: Vec<exec::StepBuffers<R>> = inputs
+            .iter()
+            .map(|input| exec::StepBuffers::new(&plan, input))
+            .collect();
+        let state = inputs
+            .iter()
+            .zip(&bufs)
+            .map(|(input, b)| SessionState {
+                engine: Engine::new(plan.gpu.clone(), plan.precision),
+                initial: Some(b.cur.clone()),
+                steps: 0,
+                dims: input.dims(),
+            })
+            .collect();
+        let scratch = exec::WorkerScratch::pool(&plan, lanes.max(1));
+        let ptrs = Vec::with_capacity(inputs.len());
+        let pending = (0..inputs.len())
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        Self {
+            plan,
+            work,
+            bufs,
+            state,
+            scratch,
+            ptrs,
+            pending,
+            per_iter,
+        }
+    }
+
+    /// Number of sessions in the batch.
+    pub fn sessions(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Semantic grid shape `[nz, ny, nx]`, shared by every session.
+    pub fn shape(&self) -> [usize; 3] {
+        self.plan.grid_shape
+    }
+
+    /// The shared compiled plan.
+    pub fn plan(&self) -> &CompiledStencil<R> {
+        &self.plan
+    }
+
+    /// Steps executed by session `i` since construction or its last
+    /// [`Batch::load`]/reset.
+    pub fn steps(&self, i: usize) -> usize {
+        self.state[i].steps
+    }
+
+    /// Advance **every** session by one time step through the single
+    /// guided queue. Allocation-free after construction.
+    pub fn step_all(&mut self) {
+        for st in &mut self.state {
+            st.engine.counters.merge(&self.per_iter);
+        }
+        exec::step_all_into(
+            &self.plan,
+            &self.work,
+            &mut self.bufs,
+            &mut self.scratch,
+            &mut self.ptrs,
+            &self.pending,
+        );
+        for (sb, st) in self.bufs.iter_mut().zip(&mut self.state) {
+            std::mem::swap(&mut sb.cur, &mut sb.next);
+            st.steps += 1;
+        }
+    }
+
+    /// Advance every session by `n` time steps.
+    pub fn step_all_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step_all();
+        }
+    }
+
+    /// Zero-copy view of session `i`'s current semantic field.
+    pub fn field(&self, i: usize) -> FieldView<'_, R> {
+        FieldView::windowed(&self.bufs[i].cur, self.state[i].dims, self.plan.grid_shape)
+    }
+
+    /// Materialize session `i`'s current semantic field.
+    pub fn to_grid(&self, i: usize) -> Grid<R> {
+        self.field(i).to_grid()
+    }
+
+    /// Session `i`'s accumulated simulated-hardware statistics.
+    pub fn stats(&self, i: usize) -> RunStats {
+        exec::finalize_stats(&self.plan, &self.state[i].engine, self.state[i].steps)
+    }
+
+    /// Replace session `i`'s field with a new input of the same shape,
+    /// reusing its buffers (no reallocation) and clearing its step and
+    /// activity counters. Other sessions are untouched.
+    ///
+    /// # Panics
+    /// Panics if `input`'s shape differs from the plan's.
+    pub fn load(&mut self, i: usize, input: &Grid<R>) {
+        self.session_mut(i).load(input);
+    }
+
+    /// Rewind every session to its initially loaded field, clearing
+    /// steps and counters. No reallocation.
+    pub fn reset(&mut self) {
+        for i in 0..self.sessions() {
+            self.session_mut(i).reset();
+        }
+    }
+
+    /// Mutable per-session view: the familiar session surface
+    /// (`step`/`field`/`load`/`reset`/`stats`) over one member, sharing
+    /// the batch's plan and lane scratch. Stepping through the view
+    /// advances only that session — useful for catching a freshly
+    /// loaded member up to the rest of the batch.
+    pub fn session_mut(&mut self, i: usize) -> BatchSession<'_, R> {
+        BatchSession {
+            plan: &self.plan,
+            per_iter: &self.per_iter,
+            bufs: &mut self.bufs[i],
+            state: &mut self.state[i],
+            scratch: &mut self.scratch,
+        }
+    }
+}
+
+/// A mutable view of one [`Batch`] member: the per-session slice of the
+/// batch's state, with the same stepping semantics as a solo
+/// [`EngineBackend`] session (bit-identical, allocation-free). Borrowed
+/// from [`Batch::session_mut`]; dropping it returns control to the
+/// batch.
+pub struct BatchSession<'a, R: Real> {
+    plan: &'a CompiledStencil<R>,
+    per_iter: &'a Counters,
+    bufs: &'a mut exec::StepBuffers<R>,
+    state: &'a mut SessionState<R>,
+    scratch: &'a mut [exec::WorkerScratch<R>],
+}
+
+impl<R: Real> BatchSession<'_, R> {
+    /// Advance this session (only) by one time step.
+    pub fn step(&mut self) {
+        self.state.engine.counters.merge(self.per_iter);
+        exec::step_into(self.plan, &self.bufs.cur, &mut self.bufs.next, self.scratch);
+        std::mem::swap(&mut self.bufs.cur, &mut self.bufs.next);
+        self.state.steps += 1;
+    }
+
+    /// Advance this session by `n` time steps.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps this session has executed.
+    pub fn steps(&self) -> usize {
+        self.state.steps
+    }
+
+    /// Zero-copy view of this session's current semantic field.
+    pub fn field(&self) -> FieldView<'_, R> {
+        FieldView::windowed(&self.bufs.cur, self.state.dims, self.plan.grid_shape)
+    }
+
+    /// Materialize this session's current semantic field.
+    pub fn to_grid(&self) -> Grid<R> {
+        self.field().to_grid()
+    }
+
+    /// This session's accumulated simulated-hardware statistics.
+    pub fn stats(&self) -> RunStats {
+        exec::finalize_stats(self.plan, &self.state.engine, self.state.steps)
+    }
+
+    /// Replace this session's field with a new input of the same shape
+    /// (no reallocation), clearing its step and activity counters.
+    ///
+    /// # Panics
+    /// Panics if `input`'s shape differs from the plan's.
+    pub fn load(&mut self, input: &Grid<R>) {
+        load_engine_session(
+            self.plan,
+            input,
+            self.bufs,
+            &mut self.state.initial,
+            &mut self.state.dims,
+            &mut self.state.engine,
+        );
+        self.state.steps = 0;
+    }
+
+    /// Rewind this session to its initially loaded field, clearing
+    /// steps and counters. No reallocation.
+    pub fn reset(&mut self) {
+        rewind_to_initial(self.bufs, &self.state.initial, &mut self.state.engine);
+        self.state.steps = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +1055,11 @@ mod tests {
         assert_send::<Simulation<'static, f64>>();
         assert_send::<EngineBackend<'static, f32>>();
         assert_send::<NaiveBackend<'static, f64>>();
+        // A batch moves across threads too (one server task can own a
+        // whole fleet of sessions); the raw buffer-binding table inside
+        // is empty between steps.
+        assert_send::<Batch<'static, f32>>();
+        assert_send::<Batch<'static, f64>>();
 
         // The borrowed-plan form is Send too (CompiledStencil is Sync),
         // and stays Send with a probe registered.
@@ -712,5 +1078,72 @@ mod tests {
         let (plan, input) = plan_and_input([1, 40, 40]);
         let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
         sim.load(&Grid::<f32>::smooth_random(2, [1, 30, 30]));
+    }
+
+    #[test]
+    fn batch_steps_every_session_like_solo() {
+        let shape = [1, 44, 48];
+        let (plan, _) = plan_and_input(shape);
+        let inputs: Vec<Grid<f32>> = (0..3)
+            .map(|s| {
+                Grid::<f32>::from_fn_3d(2, shape, |_, y, x| {
+                    ((y * 5 + x * 3 + s * 7) % 13) as f32 * 0.07
+                })
+            })
+            .collect();
+
+        let mut batch = Batch::new(&plan, &inputs);
+        assert_eq!(batch.sessions(), 3);
+        assert_eq!(batch.shape(), shape);
+        batch.step_all_n(3);
+
+        for (i, input) in inputs.iter().enumerate() {
+            assert_eq!(batch.steps(i), 3);
+            let (want, want_stats) = exec::run(&plan, input, 3);
+            assert_eq!(batch.to_grid(i), want, "session {i} grid");
+            assert_eq!(batch.stats(i).counters, want_stats.counters, "session {i}");
+        }
+    }
+
+    #[test]
+    fn batch_session_view_steps_and_reloads_one_member() {
+        let shape = [1, 40, 40];
+        let (plan, a) = plan_and_input(shape);
+        let b = Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y * 7 + x) % 11) as f32 * 0.1);
+
+        let mut batch = Batch::new(&plan, &[a.clone(), a.clone()]);
+        batch.step_all_n(2);
+
+        // Reload member 1 mid-flight and catch it up through the view.
+        {
+            let mut s1 = batch.session_mut(1);
+            s1.load(&b);
+            assert_eq!(s1.steps(), 0);
+            s1.step_n(2);
+        }
+        batch.step_all();
+
+        let (want_a, _) = exec::run(&plan, &a, 3);
+        let (want_b, want_b_stats) = exec::run(&plan, &b, 3);
+        assert_eq!(batch.to_grid(0), want_a);
+        assert_eq!(batch.to_grid(1), want_b);
+        assert_eq!(batch.stats(1).counters, want_b_stats.counters);
+        assert_eq!(batch.steps(0), 3);
+        assert_eq!(batch.steps(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from the compiled plan")]
+    fn batch_rejects_mixed_shapes() {
+        let (plan, input) = plan_and_input([1, 44, 48]);
+        let wrong = Grid::<f32>::smooth_random(2, [1, 30, 30]);
+        let _ = Batch::new(&plan, &[input, wrong]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn batch_rejects_empty_input_set() {
+        let (plan, _) = plan_and_input([1, 40, 40]);
+        let _ = Batch::<f32>::new(&plan, &[]);
     }
 }

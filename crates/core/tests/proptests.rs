@@ -261,4 +261,65 @@ proptest! {
             }
         }
     }
+
+    // The session-tagged batch work list is a permutation of the N
+    // per-session run lists — every (session, run) pair exactly once —
+    // that preserves the plan's column-block-major run order within
+    // each session, and its item ranges tile the plan's work list. This
+    // is the index the batch executor's single guided queue drains, so
+    // a duplicate or dropped pair would double- or under-step a
+    // session's column block.
+    #[test]
+    fn batch_work_is_an_order_preserving_permutation(
+        case in staged_case(),
+        r1 in 2usize..=5,
+        r2 in 2usize..=5,
+        sessions in 1usize..=9,
+    ) {
+        let (kernel, shape) = case;
+        let opts = Options { layout: Some((r1, r2)), ..Options::default() };
+        let plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let t = &plan.exec;
+        let n_runs = t.work.len() / t.stage.run_len;
+
+        let bw = t.batch_work(sessions);
+        prop_assert_eq!(bw.sessions, sessions);
+        prop_assert_eq!(bw.runs_per_session, n_runs);
+        prop_assert_eq!(bw.run_len, t.stage.run_len);
+        prop_assert_eq!(bw.total_runs(), sessions * n_runs);
+
+        // Permutation: every (session, run) pair tagged exactly once.
+        let mut seen = vec![false; sessions * n_runs];
+        for f in 0..bw.total_runs() {
+            let (s, r) = bw.run(f);
+            prop_assert!(s < sessions && r < n_runs);
+            prop_assert!(!seen[s * n_runs + r], "pair tagged twice");
+            seen[s * n_runs + r] = true;
+        }
+        prop_assert!(seen.iter().all(|&v| v));
+
+        // Order-preserving per session: filtering the flat list down to
+        // one session yields its run list in the plan's own order.
+        for s in 0..sessions {
+            let filtered: Vec<usize> = (0..bw.total_runs())
+                .map(|f| bw.run(f))
+                .filter(|&(fs, _)| fs == s)
+                .map(|(_, r)| r)
+                .collect();
+            let want: Vec<usize> = (0..n_runs).collect();
+            prop_assert_eq!(filtered, want, "session {} run order", s);
+        }
+
+        // Item ranges: each session-local run covers exactly its column
+        // block's work items, and together they tile the work list.
+        let mut covered = vec![false; t.work.len()];
+        for r in 0..n_runs {
+            for wi in bw.items(r) {
+                prop_assert!(!covered[wi]);
+                covered[wi] = true;
+                prop_assert_eq!(t.work[wi].1, r);
+            }
+        }
+        prop_assert!(covered.iter().all(|&v| v));
+    }
 }

@@ -13,7 +13,7 @@
 use sparstencil::exec::run;
 use sparstencil::grid::Grid;
 use sparstencil::plan::{compile, Options};
-use sparstencil::session::{EngineBackend, Simulation};
+use sparstencil::session::{Batch, EngineBackend, Simulation};
 use sparstencil::stencil::StencilKernel;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +117,58 @@ fn zero_allocations_across_session_steps() {
         after - before,
         0,
         "steady-state session steps (incl. field/load/reset) must not allocate"
+    );
+}
+
+/// Batched stepping: after construction and one warm-up `step_all`,
+/// repeated `step_all()`/`step_all_n()` over many sessions — plus
+/// per-session `field()` observation, `load()` reuse, and `reset()` —
+/// must perform zero heap allocations. This pins the reusable
+/// buffer-binding table (refilled each step) and the shared lane
+/// scratch alongside the per-session ping-pong buffers.
+#[test]
+fn zero_allocations_across_batch_steps() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let inputs: Vec<Grid<f32>> = (0..3)
+        .map(|s| {
+            Grid::<f32>::from_fn_3d(3, shape, |z, y, x| {
+                ((z + 2 * y + 3 * x + s) % 7) as f32 / 7.0
+            })
+        })
+        .collect();
+    let other = Grid::<f32>::from_fn_3d(3, shape, |z, y, x| ((z + y + x) % 5) as f32 / 5.0);
+
+    // Warm up process-global state (thread pool, lazy runtime init).
+    let _ = run(&plan, &inputs[0], 2);
+
+    let mut batch = Batch::new(&plan, &inputs);
+    batch.step_all(); // arena warm-up step
+    let mut checksum = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..4 {
+        batch.step_all();
+        checksum += batch.field(1).get(5, 10, 10) as f64;
+    }
+    batch.step_all_n(3);
+    batch.load(2, &other);
+    batch.step_all_n(2);
+    batch.reset();
+    batch.step_all();
+    checksum += batch.field(2).get(3, 7, 7) as f64;
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batch steps (incl. field/load/reset) must not allocate"
     );
 }
 

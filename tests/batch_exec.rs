@@ -1,0 +1,194 @@
+//! Batched multi-session execution semantics: a [`Batch`] stepping N
+//! sessions through one guided work queue must be **indistinguishable**,
+//! per session, from N solo sessions — bit-identical grids *and*
+//! counters, at every lane count — while rejecting inputs that cannot
+//! share the batch's plan.
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::Batch;
+use sparstencil::stencil::StencilKernel;
+
+fn opts_for(k: &StencilKernel) -> Options {
+    if k.dims() == 3 {
+        Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        }
+    } else {
+        Options::default()
+    }
+}
+
+/// Distinct deterministic inputs, one per session.
+fn inputs_for(k: &StencilKernel, shape: [usize; 3], n: usize) -> Vec<Grid<f32>> {
+    (0..n)
+        .map(|s| {
+            Grid::<f32>::from_fn_3d(k.dims(), shape, |z, y, x| {
+                ((z * 11 + y * 5 + x * 3 + s * 17) % 23) as f32 * 0.04
+            })
+        })
+        .collect()
+}
+
+/// The batch-vs-solo identity: `step_all_n(iters)` over N sessions must
+/// leave every session bit-identical (grid and counters) to a solo
+/// session stepped the same number of times over the same input.
+fn assert_batch_identity(k: &StencilKernel, shape: [usize; 3], n_sessions: usize, iters: usize) {
+    let exec = Executor::<f32>::new(k, shape, &opts_for(k)).unwrap();
+    let inputs = inputs_for(k, shape, n_sessions);
+
+    let mut batch = exec.batch(&inputs);
+    assert_eq!(batch.sessions(), n_sessions);
+    batch.step_all_n(iters);
+
+    for (i, input) in inputs.iter().enumerate() {
+        let mut solo = exec.session(input);
+        solo.step_n(iters);
+        assert_eq!(batch.steps(i), iters);
+        assert_eq!(
+            batch.to_grid(i),
+            solo.to_grid(),
+            "{}: batched session {i} must equal its solo twin",
+            k.name()
+        );
+        assert_eq!(
+            batch.stats(i).counters,
+            solo.stats().unwrap().counters,
+            "{}: session {i} counters must match",
+            k.name()
+        );
+    }
+}
+
+#[test]
+fn batch_of_eight_matches_solo_2d() {
+    assert_batch_identity(&StencilKernel::box2d9p(), [1, 44, 48], 8, 3);
+}
+
+#[test]
+fn batch_of_eight_matches_solo_3d_sliding_window() {
+    // 3D: multi-plane staging windows, so z-sliding runs are real and
+    // ring reuse must survive lanes hopping between sessions.
+    assert_batch_identity(&StencilKernel::box3d27p(), [12, 20, 20], 8, 2);
+}
+
+#[test]
+fn batch_matches_solo_star_and_fused_kernels() {
+    assert_batch_identity(&StencilKernel::star2d13p(), [1, 37, 43], 4, 2);
+    let fused = StencilKernel::heat2d().temporal_fusion(3);
+    assert_batch_identity(&fused, [1, 40, 40], 3, 2);
+}
+
+#[test]
+fn batch_results_are_lane_count_invariant() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 5);
+
+    let mut reference: Option<Vec<Grid<f32>>> = None;
+    for lanes in [1usize, 2, 5] {
+        let mut batch = exec.batch_with_parallelism(&inputs, lanes);
+        batch.step_all_n(3);
+        let grids: Vec<Grid<f32>> = (0..inputs.len()).map(|i| batch.to_grid(i)).collect();
+        match &reference {
+            None => reference = Some(grids),
+            Some(want) => assert_eq!(&grids, want, "lanes={lanes}"),
+        }
+    }
+}
+
+#[test]
+fn batch_load_and_reset_reuse_members_independently() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 3);
+    let fresh = Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y * 13 + x * 7) % 19) as f32 / 19.0);
+
+    let mut batch = exec.batch(&inputs);
+    batch.step_all_n(4);
+
+    // Reload one member; the others keep their state and step counts.
+    batch.load(1, &fresh);
+    assert_eq!(batch.steps(1), 0);
+    assert_eq!(batch.steps(0), 4);
+    batch.step_all_n(2);
+
+    let (want_0, _) = exec.run(&inputs[0], 6);
+    let (want_1, want_1_stats) = exec.run(&fresh, 2);
+    assert_eq!(batch.to_grid(0), want_0, "untouched member keeps going");
+    assert_eq!(batch.to_grid(1), want_1, "reloaded member starts over");
+    assert_eq!(batch.stats(1).counters, want_1_stats.counters);
+
+    // A full reset rewinds every member to its last-loaded input.
+    batch.reset();
+    assert_eq!(batch.steps(0), 0);
+    batch.step_all_n(2);
+    let (want_0_again, _) = exec.run(&inputs[0], 2);
+    assert_eq!(batch.to_grid(0), want_0_again);
+    assert_eq!(batch.to_grid(1), want_1);
+}
+
+#[test]
+fn batch_session_view_matches_solo_catchup() {
+    // Stepping one member ahead through `session_mut` is the same solo
+    // hot path: after mixed batch/solo stepping, each member equals a
+    // solo run of its total step count.
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+
+    let mut batch = exec.batch(&inputs);
+    batch.step_all(); // everyone: 1
+    batch.session_mut(0).step_n(2); // member 0: 3
+    batch.step_all(); // 4 / 2
+
+    for (i, want_steps) in [(0usize, 4usize), (1, 2)] {
+        let (want, want_stats) = exec.run(&inputs[i], want_steps);
+        assert_eq!(batch.steps(i), want_steps);
+        assert_eq!(batch.to_grid(i), want, "member {i}");
+        assert_eq!(batch.stats(i).counters, want_stats.counters);
+    }
+}
+
+#[test]
+fn batch_field_views_are_live() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+    let mut batch = exec.batch(&inputs);
+    batch.step_all_n(2);
+    let (want, _) = exec.run(&inputs[1], 2);
+    assert_eq!(batch.field(1).get(0, 17, 23), want.get(0, 17, 23));
+    assert_eq!(batch.field(1).shape(), shape);
+}
+
+#[test]
+fn owned_batch_is_self_contained() {
+    let k = StencilKernel::heat2d();
+    let shape = [1, 36, 36];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+    let wants: Vec<Grid<f32>> = inputs.iter().map(|i| exec.run(i, 2).0).collect();
+
+    let mut batch: Batch<'static, f32> = Batch::owned(exec.plan().clone(), &inputs);
+    batch.step_all_n(2);
+    for (i, want) in wants.iter().enumerate() {
+        assert_eq!(&batch.to_grid(i), want);
+    }
+}
+
+#[test]
+#[should_panic(expected = "differs from the compiled plan")]
+fn batch_rejects_mixed_shapes() {
+    let k = StencilKernel::box2d9p();
+    let exec = Executor::<f32>::new(&k, [1, 44, 48], &opts_for(&k)).unwrap();
+    let good = Grid::<f32>::smooth_random(2, [1, 44, 48]);
+    let bad = Grid::<f32>::smooth_random(2, [1, 44, 44]);
+    let _ = exec.batch(&[good, bad]);
+}

@@ -306,18 +306,58 @@ pub fn parallel_for_slots_guided<S: Send>(
     slots: &mut [S],
     f: impl Fn(usize, &mut S, Range<usize>) + Sync,
 ) {
+    // One group spanning the whole range: the 2-level scheduler's
+    // boundary clipping degenerates to a no-op (`group_len − local`
+    // equals `remaining` when there is a single group), so claim sizes,
+    // claim order, and the serial fast path are identical to a
+    // dedicated 1-level protocol — one implementation of the atomic
+    // claim loop serves both dispatchers.
+    parallel_for_slots_guided2(1, n_items, min_chunk, slots, |i, slot, _group, range| {
+        f(i, slot, range)
+    });
+}
+
+/// Two-level guided self-scheduling: the index space is `groups`
+/// consecutive segments of `group_len` items each (a *(group, item)*
+/// matrix flattened group-major), tasks claim shrinking chunks from one
+/// shared atomic cursor exactly like [`parallel_for_slots_guided`] —
+/// but every claim is **clipped at the boundary of the group it starts
+/// in**, so each `f(slot, &mut slots[slot], group, local_range)` call
+/// covers items of exactly one group (`local_range` is group-relative).
+/// The claim accounting is thus over a 2-level index while the cursor
+/// stays a single atomic: a claim can never span groups, and within a
+/// group claims arrive in ascending order.
+///
+/// This is the batch executor's dispatch primitive: groups are
+/// simulation sessions, items are z-sliding runs, and the clipping is
+/// what lets a lane bind one session's buffers per claim while lanes as
+/// a whole drain work from whichever session still has it — no barrier
+/// between groups. Allocation-free, like every dispatch here.
+pub fn parallel_for_slots_guided2<S: Send>(
+    groups: usize,
+    group_len: usize,
+    min_chunk: usize,
+    slots: &mut [S],
+    f: impl Fn(usize, &mut S, usize, Range<usize>) + Sync,
+) {
     let n_slots = slots.len();
     assert!(
         n_slots > 0,
-        "parallel_for_slots_guided needs at least one slot"
+        "parallel_for_slots_guided2 needs at least one slot"
     );
+    let n_items = groups
+        .checked_mul(group_len)
+        .expect("2-level index overflows usize");
     if n_items == 0 {
         return;
     }
     let min_chunk = min_chunk.max(1);
     if n_slots == 1 || n_items <= min_chunk {
-        // Nothing to balance: run the whole range serially in slot 0.
-        f(0, &mut slots[0], 0..n_items);
+        // Nothing to balance: every group's full range, in order, in
+        // slot 0 — the same per-call "one group only" contract.
+        for g in 0..groups {
+            f(0, &mut slots[0], g, 0..group_len);
+        }
         return;
     }
     let cursor = AtomicUsize::new(0);
@@ -337,14 +377,20 @@ pub fn parallel_for_slots_guided<S: Send>(
                 return;
             }
             let remaining = n_items - start;
-            let chunk = (remaining / (2 * n_slots)).max(min_chunk).min(remaining);
+            let local = start % group_len;
+            // Guided size, clipped so the claim stays inside the group
+            // the cursor currently points into.
+            let chunk = (remaining / (2 * n_slots))
+                .max(min_chunk)
+                .min(remaining)
+                .min(group_len - local);
             if cursor
                 .compare_exchange(start, start + chunk, Ordering::SeqCst, Ordering::SeqCst)
                 .is_err()
             {
                 continue; // another task claimed first; re-derive the chunk
             }
-            f(i, slot, start..start + chunk);
+            f(i, slot, start / group_len, local..local + chunk);
         }
     });
 }
@@ -460,6 +506,68 @@ mod tests {
             slot.push(range);
         });
         assert_eq!(slots[0], vec![0..42]);
+    }
+
+    #[test]
+    fn guided2_claims_cover_and_never_span_groups() {
+        for (groups, group_len, n_slots, min_chunk) in [
+            (1usize, 1usize, 3usize, 1usize),
+            (3, 7, 2, 1),
+            (5, 13, 4, 2),
+            (8, 126, 3, 1),
+            (16, 1, 2, 1),
+        ] {
+            let hits: Vec<AtomicU32> = (0..groups * group_len).map(|_| AtomicU32::new(0)).collect();
+            let mut slots = vec![(); n_slots];
+            parallel_for_slots_guided2(groups, group_len, min_chunk, &mut slots, |_, _, g, r| {
+                assert!(g < groups, "group index in range");
+                assert!(r.end <= group_len, "claim clipped at its group boundary");
+                for j in r {
+                    hits[g * group_len + j].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "groups={groups} group_len={group_len} slots={n_slots}: \
+                 every (group, item) exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn guided2_single_slot_visits_groups_in_order() {
+        let mut slots = vec![Vec::<(usize, Range<usize>)>::new()];
+        parallel_for_slots_guided2(4, 6, 1, &mut slots, |i, slot, g, r| {
+            assert_eq!(i, 0);
+            slot.push((g, r));
+        });
+        let want: Vec<(usize, Range<usize>)> = (0..4).map(|g| (g, 0..6)).collect();
+        assert_eq!(slots[0], want);
+    }
+
+    #[test]
+    fn guided2_claims_ascend_within_each_group() {
+        // Per slot, record every claim; claims of one group must arrive
+        // in ascending, gap-free order across slots (the cursor hands
+        // them out monotonically), and each slot's own sequence must
+        // respect the flat order — which is what lets the executor rely
+        // on "one claim = one contiguous range of one session's runs".
+        let mut slots: Vec<Vec<(usize, Range<usize>)>> = vec![Vec::new(); 3];
+        parallel_for_slots_guided2(5, 9, 1, &mut slots, |_, slot, g, r| {
+            slot.push((g, r));
+        });
+        let mut all: Vec<(usize, Range<usize>)> = slots.iter().flatten().cloned().collect();
+        all.sort_by_key(|(g, r)| (*g, r.start));
+        let mut next = (0usize, 0usize);
+        for (g, r) in all {
+            if g != next.0 {
+                assert_eq!(next.1, 9, "group {} fully covered before {g}", next.0);
+                next = (g, 0);
+            }
+            assert_eq!(r.start, next.1, "claims within group {g} are gap-free");
+            next.1 = r.end;
+        }
+        assert_eq!(next, (4, 9));
     }
 
     #[test]
