@@ -37,7 +37,11 @@
 //! single-lane) against the serial round-robin loop over N solo
 //! sessions (`serial_cells_per_sec`) — the `batch_speedup` ratio is the
 //! regression guard for "one queue over many simulations is never
-//! slower than stepping them in turn".
+//! slower than stepping them in turn". A companion `degraded_*` row per
+//! batch case measures the same batch with one member quarantined
+//! ([`Batch::quarantine`], the fault-tolerant serving path): its gated
+//! ratio is per-member throughput, degraded vs full, guarding "a
+//! sidelined member must not slow the survivors down".
 //!
 //! `optimized_cells_per_sec` stays the single-lane number so the CI
 //! regression gate (`bench_compare`) tracks one stable configuration —
@@ -339,6 +343,52 @@ fn main() {
              \"serial_cells_per_sec\": {serial:.1}, \
              \"batch_speedup\": {batch_speedup:.3}, \
              \"batch_thread_sweep\": [{sweep_json}]}}",
+            bc.name, bc.sessions
+        ));
+
+        // Degraded-mode serving throughput: the same batch with one
+        // member quarantined (its claims drain unexecuted through the
+        // guided queue). The gated ratio is per-member throughput —
+        // degraded aggregate over N−1 movers vs full aggregate over N —
+        // so the row rides the existing batch_speedup >= 1 − tolerance
+        // gate: sidelining a member must not slow the survivors down.
+        // Interleaved repetition pairs, as above.
+        let (degraded_rate, full_rate, per_member_ratio) = {
+            let mut full = Batch::with_parallelism(&plan, &inputs, 1);
+            let mut degraded = Batch::with_parallelism(&plan, &inputs, 1);
+            degraded.quarantine(0);
+            full.step_all();
+            degraded.step_all();
+            let movers = (bc.sessions - 1) as f64;
+            let degraded_cells = cells * movers;
+            let mut full_rates = Vec::new();
+            let mut degraded_rates = Vec::new();
+            let mut ratios = Vec::new();
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                degraded.step_all_n(iters);
+                let d = degraded_cells * iters as f64 / t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                full.step_all_n(iters);
+                let f = total_cells * iters as f64 / t0.elapsed().as_secs_f64();
+                degraded_rates.push(d);
+                full_rates.push(f);
+                ratios.push((d / movers) / (f / bc.sessions as f64));
+            }
+            (median(degraded_rates), median(full_rates), median(ratios))
+        };
+        println!(
+            "{:<26} degraded {:>11.0} cells/s   full {:>12.0} cells/s   \
+             per-member ratio {per_member_ratio:.3}   ({}-of-{} quarantined)",
+            bc.name, degraded_rate, full_rate, 1, bc.sessions
+        );
+        batch_rows.push(format!(
+            "    {{\"case\": \"degraded_{}\", \"sessions\": {}, \"iters\": {iters}, \
+             \"detected_cores\": {detected_cores}, \
+             \"batch_cells_per_sec\": {degraded_rate:.1}, \
+             \"serial_cells_per_sec\": {full_rate:.1}, \
+             \"batch_speedup\": {per_member_ratio:.3}, \
+             \"batch_thread_sweep\": [{{\"lanes\": 1, \"cells_per_sec\": {degraded_rate:.1}}}]}}",
             bc.name, bc.sessions
         ));
     }

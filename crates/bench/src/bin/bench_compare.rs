@@ -85,8 +85,35 @@ struct BenchFile {
 /// Parse per-case rows from a bench JSON file. A line with
 /// `optimized_cells_per_sec` is a main row; one with
 /// `batch_cells_per_sec` is a batch row.
-fn parse(path: &str) -> BenchFile {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+///
+/// A missing, unreadable, or truncated file is an `Err` with a
+/// human-readable diagnostic (including how to regenerate the file) —
+/// never a panic with a backtrace: this gate runs in CI and locally
+/// against artifacts people routinely move around, and "you forgot to
+/// run bench" must read as exactly that.
+fn parse(path: &str) -> Result<BenchFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read bench file {path}: {e}\n  regenerate it with: \
+             cargo run --release -p sparstencil-bench --bin bench"
+        )
+    })?;
+    if text.trim().is_empty() {
+        return Err(format!(
+            "bench file {path} is empty — the bench run was interrupted before \
+             writing results; regenerate it with: \
+             cargo run --release -p sparstencil-bench --bin bench"
+        ));
+    }
+    // The writer emits the closing object brace last; a file cut off
+    // mid-write (full disk, killed run, partial copy) loses it.
+    if !text.trim_end().ends_with('}') {
+        return Err(format!(
+            "bench file {path} is truncated (no closing brace) — likely an \
+             interrupted bench run or partial copy; regenerate it with: \
+             cargo run --release -p sparstencil-bench --bin bench"
+        ));
+    }
     let mut rows = Vec::new();
     let mut batch = Vec::new();
     for line in text.lines() {
@@ -110,11 +137,11 @@ fn parse(path: &str) -> BenchFile {
             });
         }
     }
-    BenchFile {
+    Ok(BenchFile {
         path: path.to_string(),
         rows,
         batch,
-    }
+    })
 }
 
 /// Schema validation: every required field present and sane on every
@@ -203,8 +230,15 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.10f64);
 
-    let baseline = parse(&args[1]);
-    let fresh = parse(&args[2]);
+    let (baseline, fresh) = match (parse(&args[1]), parse(&args[2])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for e in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
 
     // ---- Schema gate: both files, every row, every required field. ----
     let mut schema_errs = validate(&baseline);

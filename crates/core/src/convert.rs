@@ -112,11 +112,13 @@ pub fn convert_segments(
                 Ok(pl) if pl.validate(&conflicts).is_ok() => (pl, "hierarchical"),
                 result => {
                     if matches!(strategy, Strategy::Hierarchical) {
-                        match result {
-                            Ok(pl) => panic!(
-                                "hierarchical matching invalid for this matrix: {:?}",
-                                pl.validate(&conflicts).unwrap_err()
-                            ),
+                        match result.map(|pl| pl.validate(&conflicts)) {
+                            Ok(Err(v)) => {
+                                panic!("hierarchical matching invalid for this matrix: {v:?}")
+                            }
+                            // Unreachable: this arm only runs when the
+                            // guard above saw validate() fail.
+                            Ok(Ok(())) => unreachable!("validated on the guard path"),
                             Err(e) => panic!("hierarchical matching failed: {e}"),
                         }
                     }

@@ -301,13 +301,17 @@ impl<R: Real> SharedOutput<R> {
 /// output of `out` from `cur`, then mirror the semantic boundary band
 /// back. Boundary planes (`z ≥ planes`) of `out` already hold the (old,
 /// never-changing) boundary values.
+///
+/// Returns `true` if any stored output value was non-finite — the
+/// per-step numeric-health verdict the session layer feeds its
+/// [`crate::session::HealthPolicy`].
 pub(crate) fn step_into<R: Real>(
     plan: &CompiledStencil<R>,
     cur: &Grid<R>,
     out: &mut Grid<R>,
     scratch: &mut [WorkerScratch<R>],
-) {
-    step_into_impl(plan, cur, out, scratch, false);
+) -> bool {
+    step_into_impl(plan, cur, out, scratch, false).1
 }
 
 /// The staged two-phase step body. `timed` threads the clock through for
@@ -324,7 +328,7 @@ fn step_into_impl<R: Real>(
     out: &mut Grid<R>,
     scratch: &mut [WorkerScratch<R>],
     timed: bool,
-) -> u64 {
+) -> (u64, bool) {
     let t = &plan.exec;
     let ss = &t.stage;
     let plane_stride = cur.plane_stride(); // padded: pad_ny · pad_nx
@@ -343,15 +347,21 @@ fn step_into_impl<R: Real>(
     // step (the buffers swapped) unreachable — no per-step invalidation
     // pass is needed.
     let n_runs = t.work.len() / ss.run_len;
+    // Health verdict, merged across lanes without allocating: lanes only
+    // ever raise the flag, so a Relaxed store suffices (the guided
+    // dispatch's completion is the synchronization point).
+    let nonfinite = AtomicU32::new(0);
     rayon::pool::parallel_for_slots_guided(n_runs, 1, scratch, |_slot, ws, runs| {
-        exec_items(
+        if exec_items(
             plan,
             data,
             &shared_out,
             ws,
             runs.start * ss.run_len..runs.end * ss.run_len,
             timed,
-        );
+        ) {
+            nonfinite.store(1, Ordering::Relaxed);
+        }
     });
 
     // Boundary mirror: restore the semantic boundary cells the ghost
@@ -365,7 +375,8 @@ fn step_into_impl<R: Real>(
             out_slice[p + off..p + off + len].copy_from_slice(&data[p + off..p + off + len]);
         }
     }
-    t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64)
+    let mirror_ns = t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+    (mirror_ns, nonfinite.load(Ordering::Relaxed) != 0)
 }
 
 /// A contiguous range of staged work items — phase 1 stage, phase 2
@@ -392,6 +403,11 @@ fn step_into_impl<R: Real>(
 /// whole runs for one lane: run starts (`overlap == 0`) stage their
 /// full window, which also makes stale ring content — from a previous
 /// step *or another batched session* — unreachable.
+///
+/// Returns `true` if any stored output value was non-finite (NaN/Inf
+/// after the store rounding) — the numeric-health scan, folded into the
+/// scatter so it reads each value while it is already in a register and
+/// costs no extra pass and no allocation.
 #[inline(never)]
 fn exec_items<R: Real>(
     plan: &CompiledStencil<R>,
@@ -400,7 +416,7 @@ fn exec_items<R: Real>(
     ws: &mut WorkerScratch<R>,
     items: std::ops::Range<usize>,
     timed: bool,
-) {
+) -> bool {
     let t = &plan.exec;
     let ss = &t.stage;
     let plane_stride = plan.geom.pad_ny * plan.geom.pad_nx;
@@ -415,6 +431,7 @@ fn exec_items<R: Real>(
         strips,
         phase_ns,
     } = ws;
+    let mut nonfinite = false;
 
     for wi in items {
         let (z, cb) = t.work[wi];
@@ -474,23 +491,28 @@ fn exec_items<R: Real>(
                 let off = t.scatter_offs[row0 + fr];
                 let c_row = &c_frag.row(fr)[..tiles_in_block];
                 for (&v, td) in c_row.iter().zip(block_tiles) {
+                    // Health scan on the *stored* value: rounding to a
+                    // narrower store format can itself overflow to Inf,
+                    // which the scan must catch.
+                    let r = v.round_to(precision);
+                    nonfinite |= !r.is_finite();
                     // SAFETY: disjointness per the SharedOutput
                     // docs; the padded plane contains every tile's
                     // full output footprint.
                     unsafe {
-                        shared_out.write(out_plane + td.base + off, v.round_to(precision));
+                        shared_out.write(out_plane + td.base + off, r);
                     }
                 }
             }
         }
-        if timed {
+        if let (true, Some(t0), Some(t1), Some(t2)) = (timed, t0, t1, t2) {
             let t3 = std::time::Instant::now();
-            let (t0, t1, t2) = (t0.unwrap(), t1.unwrap(), t2.unwrap());
             phase_ns[0] += (t1 - t0).as_nanos() as u64;
             phase_ns[1] += (t2 - t1).as_nanos() as u64;
             phase_ns[2] += (t3 - t2).as_nanos() as u64;
         }
     }
+    nonfinite
 }
 
 /// Raw per-session buffer bindings for one batched step: one entry per
@@ -511,6 +533,75 @@ pub(crate) struct SessionPtrs<R> {
 // vec is empty.
 unsafe impl<R: Send> Send for SessionPtrs<R> {}
 unsafe impl<R: Send> Sync for SessionPtrs<R> {}
+
+/// Per-session health flags for one batched step, shared between the
+/// parallel region (which raises them) and the [`crate::session::Batch`]
+/// driver (which publishes `SKIP` before dispatch and reads the verdict
+/// after). One `AtomicU32` of or-able bits per session, reset each step.
+pub(crate) mod health {
+    /// Some claim of this session stored a non-finite output value.
+    pub(crate) const NONFINITE: u32 = 1;
+    /// Some claim of this session panicked; its `next` buffer is
+    /// partial garbage and must not be swapped in.
+    pub(crate) const POISONED: u32 = 2;
+    /// Published by the driver before dispatch: this session sits out
+    /// the step (quarantined or already poisoned). Claims decrement the
+    /// run countdown and return without executing.
+    pub(crate) const SKIP: u32 = 4;
+}
+
+/// Deterministic fault injection for the isolation test suite
+/// (`tests/fault_injection.rs`). Compiled only under the `fault-inject`
+/// feature, so the production hot path carries no hook at all.
+///
+/// Faults are armed per *batch session index* through process-global
+/// one-shot cells (`usize::MAX` = disarmed): the next batched step that
+/// reaches the armed session consumes the cell and trips exactly one
+/// fault — a panic inside that session's first executed claim, or a NaN
+/// written into the session's live field right before dispatch. Tests
+/// that arm faults must serialize themselves (the cells are global).
+#[cfg(feature = "fault-inject")]
+pub mod fault {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const DISARMED: usize = usize::MAX;
+    static PANIC_SESSION: AtomicUsize = AtomicUsize::new(DISARMED);
+    static NAN_SESSION: AtomicUsize = AtomicUsize::new(DISARMED);
+
+    /// Arm a one-shot panic inside batch session `session`'s next
+    /// executed claim.
+    pub fn arm_panic(session: usize) {
+        PANIC_SESSION.store(session, Ordering::SeqCst);
+    }
+
+    /// Arm a one-shot NaN storm: the next batched step writes NaN into
+    /// session `session`'s live field before dispatch, so the scatter's
+    /// health scan observes non-finite outputs that same step.
+    pub fn arm_nan_storm(session: usize) {
+        NAN_SESSION.store(session, Ordering::SeqCst);
+    }
+
+    /// Disarm every pending fault.
+    pub fn disarm() {
+        PANIC_SESSION.store(DISARMED, Ordering::SeqCst);
+        NAN_SESSION.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Consume a pending panic armed for `session` (exactly one caller
+    /// wins even when claims race).
+    pub(crate) fn take_panic(session: usize) -> bool {
+        PANIC_SESSION
+            .compare_exchange(session, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Consume a pending NaN storm armed for `session`.
+    pub(crate) fn take_nan(session: usize) -> bool {
+        NAN_SESSION
+            .compare_exchange(session, DISARMED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
 
 /// One batched stencil step: advance **every** session's `next` buffer
 /// from its `cur` buffer by dispatching the union of all sessions'
@@ -540,6 +631,18 @@ unsafe impl<R: Send> Sync for SessionPtrs<R> {}
 /// releases it, exactly one lane observes zero, and that lane performs
 /// the mirror while the session's planes are still cache-warm (the
 /// post-region serial mirror cost N cold re-walks).
+///
+/// Fault containment: each claim body runs under `catch_unwind`, and a
+/// panic raises only the owning session's [`health::POISONED`] flag —
+/// the claim unit is one session's contiguous runs, so an unwind can
+/// touch no other session's buffers, and the lane's staged ring needs
+/// no repair (the next claim's run start restages its full window).
+/// The countdown is decremented on both paths, so surviving sessions'
+/// mirrors still fire; a poisoned session skips its mirror (its `next`
+/// buffer is discarded by the driver, which never swaps it in).
+/// Sessions whose [`health::SKIP`] flag was published before dispatch
+/// are drained without executing — the degraded-mode path, still
+/// allocation-free.
 pub(crate) fn step_all_into<R: Real>(
     plan: &CompiledStencil<R>,
     work: &BatchWork,
@@ -547,6 +650,7 @@ pub(crate) fn step_all_into<R: Real>(
     scratch: &mut [WorkerScratch<R>],
     ptrs: &mut Vec<SessionPtrs<R>>,
     pending: &[AtomicU32],
+    flags: &[AtomicU32],
 ) {
     assert_eq!(
         work.sessions,
@@ -558,6 +662,7 @@ pub(crate) fn step_all_into<R: Real>(
         pending.len(),
         "batch countdown table mismatch"
     );
+    assert_eq!(work.sessions, flags.len(), "batch health table mismatch");
     let t = &plan.exec;
     debug_assert_eq!(work.runs_per_session * work.run_len, t.work.len());
 
@@ -586,6 +691,15 @@ pub(crate) fn step_all_into<R: Real>(
         1,
         scratch,
         |_slot, ws, session, runs| {
+            let claimed = runs.len() as u32;
+            // Degraded mode: a session flagged SKIP (quarantined or
+            // poisoned before this step) is drained, not executed — the
+            // countdown still retires so the dispatch completes, and no
+            // mirror runs (its buffers are not stepping).
+            if flags[session].load(Ordering::Relaxed) & (health::SKIP | health::POISONED) != 0 {
+                pending[session].fetch_sub(claimed, Ordering::AcqRel);
+                return;
+            }
             let sp = &table[session];
             // SAFETY: filled above from this step's live buffers;
             // `data` is only read, `shared_out` writes are disjoint per
@@ -595,24 +709,50 @@ pub(crate) fn step_all_into<R: Real>(
                 ptr: sp.out,
                 len: sp.len,
             };
+            #[cfg(feature = "fault-inject")]
+            let inject_panic = fault::take_panic(session);
             // A claim is contiguous session-local runs, so its work
             // items are one contiguous range (`BatchWork::items` per
-            // run, concatenated).
-            exec_items(
-                plan,
-                data,
-                &shared_out,
-                ws,
-                runs.start * work.run_len..runs.end * work.run_len,
-                false,
-            );
+            // run, concatenated). AssertUnwindSafe: after a caught
+            // panic the only state a later observer can see is this
+            // session's own `next` buffer (partial scatter output,
+            // discarded un-swapped once POISONED is read) and the
+            // lane's staged ring (restaged in full at every run start);
+            // the plan and every other session's buffers are untouched
+            // by construction of the claim unit.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if inject_panic {
+                    panic!("injected fault: panic in batch session {session}");
+                }
+                exec_items(
+                    plan,
+                    data,
+                    &shared_out,
+                    ws,
+                    runs.start * work.run_len..runs.end * work.run_len,
+                    false,
+                )
+            }));
+            match result {
+                Ok(true) => {
+                    flags[session].fetch_or(health::NONFINITE, Ordering::Relaxed);
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    flags[session].fetch_or(health::POISONED, Ordering::Relaxed);
+                }
+            }
             // Session run countdown: the lane that retires the last run
             // restores the session's boundary band (identical to the
             // solo stepper's post-dispatch mirror). `AcqRel` pairs this
             // lane's scatter writes (released by the decrement) with
             // the zero-observer's reads of every other lane's writes.
-            let claimed = runs.len() as u32;
-            if pending[session].fetch_sub(claimed, Ordering::AcqRel) == claimed {
+            // A poisoned session skips the mirror: its `next` buffer is
+            // already condemned, and mirroring garbage helps no one.
+            if pending[session].fetch_sub(claimed, Ordering::AcqRel) == claimed
+                && flags[session].load(Ordering::Relaxed) & health::POISONED == 0
+            {
                 for z in 0..plan.geom.planes {
                     let p = z * plane_stride;
                     for &(off, len) in &t.mirror_segments {
@@ -783,7 +923,7 @@ pub fn profile_phases<R: Real>(
     let mut mirror_ns = 0u64;
     let t0 = std::time::Instant::now();
     for _ in 0..iters {
-        mirror_ns += step_into_impl(plan, &bufs.cur, &mut bufs.next, &mut scratch, true);
+        mirror_ns += step_into_impl(plan, &bufs.cur, &mut bufs.next, &mut scratch, true).0;
         std::mem::swap(&mut bufs.cur, &mut bufs.next);
     }
     let wall_seconds = t0.elapsed().as_secs_f64();

@@ -131,6 +131,14 @@ impl<R: Real> Grid<R> {
         &mut self.data
     }
 
+    /// Linear (`z`-major) index of the first non-finite (NaN or ±Inf)
+    /// value, or `None` if every cell is finite. Session input
+    /// validation ([`crate::session::SessionError::NonFiniteInput`])
+    /// reports this index so a caller can locate the offending cell.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.data.iter().position(|v| !v.is_finite())
+    }
+
     /// Row stride (elements between consecutive `y` values).
     pub fn row_stride(&self) -> usize {
         self.shape[2]

@@ -83,7 +83,9 @@ pub mod prelude {
     pub use crate::layout::ExecMode;
     pub use crate::pipeline::Executor;
     pub use crate::plan::{CompileError, OptFlags, Options};
-    pub use crate::session::{Backend, Simulation};
+    pub use crate::session::{
+        Backend, Batch, Checkpoint, Health, HealthPolicy, SessionError, Simulation,
+    };
     pub use crate::stencil::StencilKernel;
     pub use sparstencil_mat::half::Precision;
     pub use sparstencil_tcu::{FragmentShape, GpuConfig};

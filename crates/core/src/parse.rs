@@ -76,7 +76,9 @@ pub fn parse_kernel(input: &str) -> Result<StencilKernel, ParseError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
-        let head = tokens.next().unwrap();
+        let Some(head) = tokens.next() else {
+            continue; // unreachable: the line was checked non-empty
+        };
 
         if in_weights {
             // Inside the weights block everything numeric belongs to it;

@@ -11,7 +11,7 @@ use crate::exec::{self, RunStats};
 use crate::grid::Grid;
 use crate::plan::{self, CompileError, CompiledStencil, Options};
 use crate::reference;
-use crate::session::{Batch, EngineBackend, NaiveBackend, Simulation};
+use crate::session::{Batch, EngineBackend, NaiveBackend, SessionError, Simulation};
 use crate::stencil::StencilKernel;
 use sparstencil_mat::Real;
 
@@ -93,6 +93,14 @@ impl<R: Real> Executor<R> {
         Batch::new(&self.plan, inputs)
     }
 
+    /// Fallible [`Executor::batch`]: typed [`SessionError`]s
+    /// (empty batch, shape mismatch, non-finite input) instead of
+    /// panics — the form for serving paths that must degrade
+    /// gracefully on bad caller input.
+    pub fn try_batch(&self, inputs: &[Grid<R>]) -> Result<Batch<'_, R>, SessionError> {
+        Batch::try_new(&self.plan, inputs)
+    }
+
     /// [`Executor::batch`] with an explicit worker-lane count; results
     /// and counters are identical for every lane count.
     ///
@@ -100,6 +108,32 @@ impl<R: Real> Executor<R> {
     /// As [`Executor::batch`].
     pub fn batch_with_parallelism(&self, inputs: &[Grid<R>], lanes: usize) -> Batch<'_, R> {
         Batch::with_parallelism(&self.plan, inputs, lanes)
+    }
+
+    /// Fallible [`Executor::batch_with_parallelism`] (errors as
+    /// [`Executor::try_batch`]).
+    pub fn try_batch_with_parallelism(
+        &self,
+        inputs: &[Grid<R>],
+        lanes: usize,
+    ) -> Result<Batch<'_, R>, SessionError> {
+        Batch::try_with_parallelism(&self.plan, inputs, lanes)
+    }
+
+    /// Fallible [`Executor::session`]: [`SessionError::ShapeMismatch`]
+    /// for a wrong-shape input, [`SessionError::NonFiniteInput`] for an
+    /// input containing NaN/Inf.
+    pub fn try_session(&self, input: &Grid<R>) -> Result<Simulation<'_, R>, SessionError> {
+        if input.shape() != self.plan.grid_shape {
+            return Err(SessionError::ShapeMismatch {
+                expected: self.plan.grid_shape,
+                got: input.shape(),
+            });
+        }
+        if let Some(index) = input.first_non_finite() {
+            return Err(SessionError::NonFiniteInput { session: 0, index });
+        }
+        Ok(Simulation::new(EngineBackend::new(&self.plan, input)))
     }
 
     /// A session over the retained naive reference path — the same

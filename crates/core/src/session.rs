@@ -101,6 +101,65 @@
 //! checks run mid-flight without breaking the zero-allocation steady
 //! state of the stepper itself.
 //!
+//! # Failure model
+//!
+//! The session layer is the serving boundary, so every public entry
+//! point has a fallible `try_*` form returning [`SessionError`] — the
+//! typed taxonomy of everything that can go wrong at this layer:
+//!
+//! - [`SessionError::ShapeMismatch`] — an input grid's shape differs
+//!   from the plan's compile-time shape (`try_load`, `try_new`).
+//! - [`SessionError::EmptyBatch`] — a batch was constructed over zero
+//!   inputs.
+//! - [`SessionError::NonFiniteInput`] — a validated input contained
+//!   NaN/Inf (the `try_*` constructors and loads scan; the unchecked
+//!   `load` fast path does not, by design — it is the hot path).
+//! - [`SessionError::Poisoned`] — a panic unwound inside a batched
+//!   member's step; see below.
+//! - [`SessionError::Quarantined`] — a member was sidelined by its
+//!   [`HealthPolicy`] after producing non-finite outputs (or by an
+//!   explicit [`Batch::quarantine`]).
+//! - [`SessionError::ProbeMisuse`] — a probe registered with cadence 0.
+//! - [`SessionError::EmptyCheckpoint`] / [`SessionError::Unsupported`] —
+//!   checkpoint misuse (restoring from a never-filled [`Checkpoint`], or
+//!   checkpointing a backend with no retained state path).
+//!
+//! The historical panicking methods remain as thin wrappers that
+//! `panic!("{error}")` — same messages, one source of truth.
+//!
+//! **Numeric health.** Every engine step scans its stored outputs for
+//! NaN/Inf inside the scatter (free of extra passes and allocations; see
+//! [`crate::exec`]). The per-session [`HealthPolicy`] decides the
+//! reaction: `Ignore` drops the verdict, `Record` (the default) counts
+//! tainted steps in [`Health`], `Quarantine` additionally sidelines the
+//! session — batched members sit out subsequent `step_all` calls (their
+//! buffers frozen, the queue drained allocation-free) and solo
+//! `try_step_n` returns the typed error. Quarantine is advisory, not
+//! destructive: the tainted field is still observable, and
+//! [`Simulation::restore`]/[`Batch::restore`] (or `load`/`reset`)
+//! rewinds the member to health.
+//!
+//! **Poisoning.** A panic inside `step_all`'s parallel region is caught
+//! at the claim boundary (one session's contiguous runs — see
+//! [`crate::exec`]), so it marks only the owning member poisoned. The
+//! guarantee for the surviving members is *bit-identity*: their runs all
+//! execute, their boundary mirrors fire, and their grids and counters
+//! are exactly what solo stepping would have produced
+//! (`tests/fault_injection.rs` pins this). The poisoned member's
+//! ping-pong buffers are **not** swapped — its visible field remains the
+//! last consistent pre-step state, its counters exclude the failed step
+//! — and it reports [`SessionError::Poisoned`] until a
+//! `restore`/`load`/`reset` clears it.
+//!
+//! **Checkpoint/rollback.** [`Simulation::checkpoint`] snapshots the
+//! live padded field plus counters into a caller-held [`Checkpoint`];
+//! [`Simulation::checkpoint_into`] reuses the checkpoint's buffer on
+//! every later call (zero steady-state allocations, same discipline as
+//! [`Grid::embed_into`]). [`Simulation::restore`] rewinds the session —
+//! field, counters, step count — to the snapshot and clears any
+//! quarantine, which is the cheap recovery path for a sidelined member
+//! (a `reset()` would lose all progress since load).
+//!
 //! ```
 //! use sparstencil::prelude::*;
 //!
@@ -127,6 +186,201 @@ use sparstencil_mat::half::Precision;
 use sparstencil_mat::Real;
 use sparstencil_tcu::{Counters, Engine};
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Everything that can go wrong at the session layer — the typed error
+/// taxonomy behind every `try_*` entry point (see the
+/// [module docs](self#failure-model)). The historical panicking methods
+/// wrap these and `panic!` with the same `Display` messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// An input grid's shape differs from the plan's compile-time shape
+    /// (one batch shares one plan, and a plan is shape-specific).
+    ShapeMismatch {
+        /// The shape the plan (or checkpoint target) requires.
+        expected: [usize; 3],
+        /// The shape that was supplied.
+        got: [usize; 3],
+    },
+    /// A batch was constructed over an empty input set.
+    EmptyBatch,
+    /// A validated input contained a NaN or infinity.
+    NonFiniteInput {
+        /// Batch member the input was destined for (0 for solo sessions).
+        session: usize,
+        /// Linear (`z`-major) index of the first non-finite cell.
+        index: usize,
+    },
+    /// A panic unwound inside this batched member's step; its field is
+    /// the last consistent pre-step state and it sits out further
+    /// batched steps until restored/reloaded/reset.
+    Poisoned {
+        /// The poisoned batch member.
+        session: usize,
+    },
+    /// The session was sidelined by [`HealthPolicy::Quarantine`] after
+    /// producing non-finite outputs (or by an explicit
+    /// [`Batch::quarantine`]).
+    Quarantined {
+        /// The quarantined batch member (0 for solo sessions).
+        session: usize,
+        /// The session's completed-step count when quarantine triggered.
+        step: usize,
+    },
+    /// A probe was registered with cadence 0.
+    ProbeMisuse,
+    /// A restore was attempted from a [`Checkpoint`] never filled by a
+    /// `checkpoint_into` call.
+    EmptyCheckpoint,
+    /// The operation is not supported by this backend.
+    Unsupported {
+        /// The backend's display name.
+        backend: &'static str,
+        /// What was attempted.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ShapeMismatch { expected, got } => write!(
+                f,
+                "grid shape {got:?} differs from the compiled plan's shape {expected:?}"
+            ),
+            SessionError::EmptyBatch => write!(f, "a batch needs at least one session"),
+            SessionError::NonFiniteInput { session, index } => write!(
+                f,
+                "input for session {session} contains a non-finite value at linear index {index}"
+            ),
+            SessionError::Poisoned { session } => write!(
+                f,
+                "session {session} is poisoned: a panic unwound inside its batched step"
+            ),
+            SessionError::Quarantined { session, step } => write!(
+                f,
+                "session {session} was quarantined at step {step} after producing \
+                 non-finite values"
+            ),
+            SessionError::ProbeMisuse => write!(f, "probe cadence must be at least 1"),
+            SessionError::EmptyCheckpoint => {
+                write!(f, "cannot restore: the checkpoint was never filled")
+            }
+            SessionError::Unsupported { backend, what } => {
+                write!(f, "{what} is not supported by the {backend} backend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Reaction to the executor's per-step numeric-health scan (NaN/Inf in
+/// stored outputs — see [`crate::exec`]); set per session via
+/// [`Simulation::set_health_policy`] / [`Batch::set_health_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthPolicy {
+    /// Drop the verdict entirely; [`Health`] stays empty.
+    Ignore,
+    /// Count tainted steps in [`Health`] but keep stepping (default —
+    /// observability without behavior change).
+    #[default]
+    Record,
+    /// As `Record`, and additionally sideline the session the moment a
+    /// step stores a non-finite value: batched members sit out further
+    /// `step_all` calls, solo `try_step_n` returns
+    /// [`SessionError::Quarantined`]. Recover via
+    /// `restore`/`load`/`reset`.
+    Quarantine,
+}
+
+/// Per-session numeric-health record, maintained by the step drivers
+/// according to the session's [`HealthPolicy`] and cleared by
+/// `load`/`reset`/`restore`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Health {
+    /// Steps whose stored outputs contained at least one non-finite
+    /// value (since construction or the last `load`/`reset`/`restore`).
+    pub nonfinite_steps: usize,
+    /// Completed-step count at the first tainted step, if any.
+    pub first_nonfinite_step: Option<usize>,
+    /// Completed-step count when quarantine triggered, if it did.
+    pub quarantined_at: Option<usize>,
+}
+
+impl Health {
+    /// `true` if the session is currently sidelined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined_at.is_some()
+    }
+}
+
+/// A caller-held snapshot of one session's execution state: the live
+/// (padded, quantized) field, the activity counters, and the step
+/// count. Created empty with [`Checkpoint::new`]; filled by
+/// [`Simulation::checkpoint_into`] / [`Batch::checkpoint_into`], which
+/// reuse the buffer on every refill — repeated checkpoint/restore
+/// cycles perform zero heap allocations after the first fill
+/// (`tests/alloc_steady_state.rs` pins this).
+///
+/// A checkpoint is backend-private state: restore it only into a
+/// session over the same plan it was taken from (a shape mismatch is
+/// caught and reported; a same-shape different-plan restore is the
+/// caller's responsibility, exactly like `load`ing an unrelated grid).
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint<R: Real> {
+    /// Snapshot of the live buffer (padded for engine sessions, semantic
+    /// for the naive backend); `None` until first filled.
+    buf: Option<Grid<R>>,
+    counters: Counters,
+    steps: usize,
+    dims: usize,
+}
+
+impl<R: Real> Checkpoint<R> {
+    /// An empty checkpoint; the first `checkpoint_into` allocates its
+    /// buffer, later refills reuse it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once a `checkpoint_into` call has filled this checkpoint.
+    pub fn is_filled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// The completed-step count captured at the snapshot.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Refill `slot` with a copy of `src`, reusing the existing allocation
+/// when the shape matches (the steady-state checkpoint path).
+fn save_grid_into<R: Real>(src: &Grid<R>, slot: &mut Option<Grid<R>>) {
+    match slot {
+        Some(g) if g.shape() == src.shape() => {
+            g.as_mut_slice().copy_from_slice(src.as_slice());
+        }
+        _ => *slot = Some(src.clone()),
+    }
+}
+
+/// Shared restore-shape gate: the snapshot must match the live buffer.
+fn check_restore_shape<R: Real>(
+    ck: &Checkpoint<R>,
+    live_shape: [usize; 3],
+) -> Result<&Grid<R>, SessionError> {
+    let g = ck.buf.as_ref().ok_or(SessionError::EmptyCheckpoint)?;
+    if g.shape() != live_shape {
+        return Err(SessionError::ShapeMismatch {
+            expected: live_shape,
+            got: g.shape(),
+        });
+    }
+    Ok(g)
+}
 
 /// A pluggable execution strategy behind a [`Simulation`].
 ///
@@ -166,6 +420,38 @@ pub trait Backend<R: Real> {
     fn stats(&self, steps: usize) -> Option<RunStats> {
         let _ = steps;
         None
+    }
+
+    /// `true` if the most recent [`Backend::step`] stored any
+    /// non-finite output value. Backends without a health scan report
+    /// `false` (never tainted), which the driver treats as "healthy".
+    fn last_step_nonfinite(&self) -> bool {
+        false
+    }
+
+    /// Snapshot the live field and counters into `ck`, reusing its
+    /// buffer when already filled with a matching shape. Backends
+    /// without retained-state access return
+    /// [`SessionError::Unsupported`] (the default).
+    fn save_state(&self, ck: &mut Checkpoint<R>) -> Result<(), SessionError> {
+        let _ = ck;
+        Err(SessionError::Unsupported {
+            backend: self.name(),
+            what: "checkpoint",
+        })
+    }
+
+    /// Rewind the live field and counters to `ck`'s snapshot. Errors:
+    /// [`SessionError::EmptyCheckpoint`] for a never-filled checkpoint,
+    /// [`SessionError::ShapeMismatch`] for a snapshot from a
+    /// differently-shaped session, [`SessionError::Unsupported`] for
+    /// backends without retained-state access (the default).
+    fn restore_state(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
+        let _ = ck;
+        Err(SessionError::Unsupported {
+            backend: self.name(),
+            what: "checkpoint restore",
+        })
     }
 
     /// Consume the backend and return the final semantic field. The
@@ -255,6 +541,8 @@ pub struct EngineBackend<'p, R: Real> {
     /// a full-grid clone.
     initial: Option<Grid<R>>,
     dims: usize,
+    /// Verdict of the last step's scatter-folded health scan.
+    last_nonfinite: bool,
 }
 
 impl<'p, R: Real> EngineBackend<'p, R> {
@@ -317,6 +605,7 @@ impl<'p, R: Real> EngineBackend<'p, R> {
             scratch,
             initial,
             dims: input.dims(),
+            last_nonfinite: false,
         }
     }
 }
@@ -336,7 +625,7 @@ impl<R: Real> Backend<R> for EngineBackend<'_, R> {
         // rounded as it is stored, exactly like the hardware's store
         // path); boundary cells were quantized once at load and are
         // re-mirrored, not recomputed.
-        exec::step_into(
+        self.last_nonfinite = exec::step_into(
             &self.plan,
             &self.bufs.cur,
             &mut self.bufs.next,
@@ -366,6 +655,35 @@ impl<R: Real> Backend<R> for EngineBackend<'_, R> {
 
     fn stats(&self, steps: usize) -> Option<RunStats> {
         Some(exec::finalize_stats(&self.plan, &self.engine, steps))
+    }
+
+    fn last_step_nonfinite(&self) -> bool {
+        self.last_nonfinite
+    }
+
+    fn save_state(&self, ck: &mut Checkpoint<R>) -> Result<(), SessionError> {
+        save_grid_into(&self.bufs.cur, &mut ck.buf);
+        ck.counters = self.engine.counters;
+        ck.dims = self.dims;
+        Ok(())
+    }
+
+    fn restore_state(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
+        let snap = check_restore_shape(ck, self.bufs.cur.shape())?;
+        // Both buffers, like `rewind_to_initial`: `next`'s copy reseeds
+        // the boundary cells the mirror reads from.
+        self.bufs
+            .cur
+            .as_mut_slice()
+            .copy_from_slice(snap.as_slice());
+        self.bufs
+            .next
+            .as_mut_slice()
+            .copy_from_slice(snap.as_slice());
+        self.engine.counters = ck.counters;
+        self.dims = ck.dims;
+        self.last_nonfinite = false;
+        Ok(())
     }
 }
 
@@ -483,6 +801,21 @@ impl<R: Real> Backend<R> for NaiveBackend<'_, R> {
         Some(exec::finalize_stats(&self.plan, &self.engine, steps))
     }
 
+    fn save_state(&self, ck: &mut Checkpoint<R>) -> Result<(), SessionError> {
+        save_grid_into(&self.cur, &mut ck.buf);
+        ck.counters = self.engine.counters;
+        ck.dims = self.dims;
+        Ok(())
+    }
+
+    fn restore_state(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
+        let snap = check_restore_shape(ck, self.cur.shape())?;
+        self.cur.as_mut_slice().copy_from_slice(snap.as_slice());
+        self.engine.counters = ck.counters;
+        self.dims = ck.dims;
+        Ok(())
+    }
+
     fn into_grid(self: Box<Self>) -> Grid<R> {
         // `cur` already is the semantic grid — move it out, unless a
         // dims-changing `load` left stale dimensionality metadata on it.
@@ -518,6 +851,8 @@ pub struct Simulation<'p, R: Real> {
     backend: Box<dyn Backend<R> + Send + 'p>,
     steps: usize,
     probes: Vec<Probe<'p, R>>,
+    policy: HealthPolicy,
+    health: Health,
 }
 
 impl<'p, R: Real> Simulation<'p, R> {
@@ -534,6 +869,8 @@ impl<'p, R: Real> Simulation<'p, R> {
             backend,
             steps: 0,
             probes: Vec::new(),
+            policy: HealthPolicy::default(),
+            health: Health::default(),
         }
     }
 
@@ -559,13 +896,44 @@ impl<'p, R: Real> Simulation<'p, R> {
     /// and survive [`Simulation::load`]/[`Simulation::reset`].
     ///
     /// # Panics
-    /// Panics if `every` is zero.
+    /// Panics if `every` is zero (use [`Simulation::try_probe`] for the
+    /// fallible form).
     pub fn probe(&mut self, every: usize, f: impl FnMut(usize, &FieldView<'_, R>) + Send + 'p) {
-        assert!(every > 0, "probe cadence must be at least 1");
+        self.try_probe(every, f).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Simulation::probe`]: returns
+    /// [`SessionError::ProbeMisuse`] for a zero cadence instead of
+    /// panicking.
+    pub fn try_probe(
+        &mut self,
+        every: usize,
+        f: impl FnMut(usize, &FieldView<'_, R>) + Send + 'p,
+    ) -> Result<(), SessionError> {
+        if every == 0 {
+            return Err(SessionError::ProbeMisuse);
+        }
         self.probes.push(Probe {
             every,
             f: Box::new(f),
         });
+        Ok(())
+    }
+
+    /// This session's [`HealthPolicy`] (default: [`HealthPolicy::Record`]).
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Set the reaction to the per-step numeric-health scan. Takes
+    /// effect from the next step; does not retroactively quarantine.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.policy = policy;
+    }
+
+    /// The session's numeric-health record so far.
+    pub fn health(&self) -> Health {
+        self.health
     }
 
     /// Advance one time step (and fire any due probes).
@@ -576,24 +944,62 @@ impl<'p, R: Real> Simulation<'p, R> {
     /// Advance `n` time steps, firing due probes after each one. The
     /// stepping itself performs zero heap allocations on the engine
     /// backend; whatever a probe closure allocates is its own business.
+    ///
+    /// # Panics
+    /// Panics if the session is quarantined under
+    /// [`HealthPolicy::Quarantine`] — drive a quarantining session
+    /// through [`Simulation::try_step_n`] instead.
     pub fn step_n(&mut self, n: usize) {
+        self.try_step_n(n).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`Simulation::step_n`]: steps until `n` steps completed
+    /// or the session quarantines itself (per its [`HealthPolicy`]), in
+    /// which case [`SessionError::Quarantined`] is returned — after the
+    /// triggering step's probes fired (the tainted field is
+    /// observable). Stepping an already-quarantined session returns the
+    /// error immediately without advancing.
+    pub fn try_step_n(&mut self, n: usize) -> Result<(), SessionError> {
         for _ in 0..n {
+            if let Some(step) = self.health.quarantined_at {
+                return Err(SessionError::Quarantined { session: 0, step });
+            }
             self.backend.step();
             self.steps += 1;
-            if !self.probes.is_empty() {
-                // Split borrows: the view reads `backend`, the closures
-                // live in `probes` — disjoint fields.
-                let Self {
-                    backend,
-                    probes,
-                    steps,
-                } = self;
-                let view = backend.field();
-                for p in probes.iter_mut() {
-                    if *steps % p.every == 0 {
-                        (p.f)(*steps, &view);
-                    }
+            if self.backend.last_step_nonfinite() && self.policy != HealthPolicy::Ignore {
+                self.health.nonfinite_steps += 1;
+                if self.health.first_nonfinite_step.is_none() {
+                    self.health.first_nonfinite_step = Some(self.steps);
                 }
+                if self.policy == HealthPolicy::Quarantine {
+                    self.health.quarantined_at = Some(self.steps);
+                }
+            }
+            self.fire_probes();
+            if let Some(step) = self.health.quarantined_at {
+                return Err(SessionError::Quarantined { session: 0, step });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire every due probe for the just-completed step.
+    fn fire_probes(&mut self) {
+        if self.probes.is_empty() {
+            return;
+        }
+        // Split borrows: the view reads `backend`, the closures live in
+        // `probes` — disjoint fields.
+        let Self {
+            backend,
+            probes,
+            steps,
+            ..
+        } = self;
+        let view = backend.field();
+        for p in probes.iter_mut() {
+            if *steps % p.every == 0 {
+                (p.f)(*steps, &view);
             }
         }
     }
@@ -623,18 +1029,86 @@ impl<'p, R: Real> Simulation<'p, R> {
     /// counters are cleared, probes stay registered.
     ///
     /// # Panics
-    /// Panics if `input`'s shape differs from the session's.
+    /// Panics if `input`'s shape differs from the session's. This is
+    /// the unchecked fast path: it does **not** scan the input for
+    /// non-finite values (use [`Simulation::try_load`] for a validated
+    /// load).
     pub fn load(&mut self, input: &Grid<R>) {
         self.backend.load(input);
         self.steps = 0;
+        self.health = Health::default();
+    }
+
+    /// Fallible, validating [`Simulation::load`]: returns
+    /// [`SessionError::ShapeMismatch`] on a wrong-shape input and
+    /// [`SessionError::NonFiniteInput`] if the input contains NaN/Inf
+    /// (the unchecked `load` skips that scan). On error the session is
+    /// untouched.
+    pub fn try_load(&mut self, input: &Grid<R>) -> Result<(), SessionError> {
+        let expected = self.backend.shape();
+        if input.shape() != expected {
+            return Err(SessionError::ShapeMismatch {
+                expected,
+                got: input.shape(),
+            });
+        }
+        if let Some(index) = input.first_non_finite() {
+            return Err(SessionError::NonFiniteInput { session: 0, index });
+        }
+        self.load(input);
+        Ok(())
     }
 
     /// Rewind to the initially loaded field (as of construction or the
-    /// last [`Simulation::load`]), clearing steps and counters. No
-    /// reallocation.
+    /// last [`Simulation::load`]), clearing steps, counters, and any
+    /// quarantine. No reallocation.
     pub fn reset(&mut self) {
         self.backend.reset();
         self.steps = 0;
+        self.health = Health::default();
+    }
+
+    /// Snapshot the live field, counters, and step count into a fresh
+    /// [`Checkpoint`] (allocates its buffer; for the zero-allocation
+    /// steady-state path, hold one checkpoint and refill it with
+    /// [`Simulation::checkpoint_into`]).
+    ///
+    /// # Errors
+    /// [`SessionError::Unsupported`] for backends without retained-state
+    /// access (the engine and naive backends both support it).
+    pub fn checkpoint(&self) -> Result<Checkpoint<R>, SessionError> {
+        let mut ck = Checkpoint::new();
+        self.checkpoint_into(&mut ck)?;
+        Ok(ck)
+    }
+
+    /// Refill a caller-held [`Checkpoint`] with the current state,
+    /// reusing its buffer when already filled (zero allocations after
+    /// the first fill).
+    ///
+    /// # Errors
+    /// As [`Simulation::checkpoint`].
+    pub fn checkpoint_into(&self, ck: &mut Checkpoint<R>) -> Result<(), SessionError> {
+        self.backend.save_state(ck)?;
+        ck.steps = self.steps;
+        Ok(())
+    }
+
+    /// Rewind the session — field, counters, step count — to a
+    /// checkpoint taken from it earlier, clearing any quarantine: the
+    /// cheap recovery path for a sidelined session (`reset` would lose
+    /// all progress since load). No reallocation.
+    ///
+    /// # Errors
+    /// [`SessionError::EmptyCheckpoint`] for a never-filled checkpoint,
+    /// [`SessionError::ShapeMismatch`] for a snapshot of another shape,
+    /// [`SessionError::Unsupported`] for backends without
+    /// retained-state access. On error the session is untouched.
+    pub fn restore(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
+        self.backend.restore_state(ck)?;
+        self.steps = ck.steps;
+        self.health = Health::default();
+        Ok(())
     }
 
     /// Accumulated simulated-hardware statistics over the session's
@@ -656,6 +1130,49 @@ struct SessionState<R: Real> {
     initial: Option<Grid<R>>,
     steps: usize,
     dims: usize,
+    policy: HealthPolicy,
+    health: Health,
+    /// A panic unwound inside this member's batched step; its buffers
+    /// hold the last consistent pre-step state, un-swapped.
+    poisoned: bool,
+}
+
+impl<R: Real> SessionState<R> {
+    /// `true` if this member participates in batched steps.
+    fn active(&self) -> bool {
+        !self.poisoned && self.health.quarantined_at.is_none()
+    }
+
+    /// Apply the per-step health verdict under this member's policy
+    /// (shared by `step_all`'s post-pass and the solo view's stepper).
+    fn note_step_health(&mut self, nonfinite: bool) {
+        if !nonfinite || self.policy == HealthPolicy::Ignore {
+            return;
+        }
+        self.health.nonfinite_steps += 1;
+        if self.health.first_nonfinite_step.is_none() {
+            self.health.first_nonfinite_step = Some(self.steps);
+        }
+        if self.policy == HealthPolicy::Quarantine {
+            self.health.quarantined_at = Some(self.steps);
+        }
+    }
+
+    /// Clear poison/quarantine (recovery via restore/load/reset).
+    fn clear_faults(&mut self) {
+        self.poisoned = false;
+        self.health = Health::default();
+    }
+
+    /// The typed error a sick member reports, if any.
+    fn error(&self, i: usize) -> Option<SessionError> {
+        if self.poisoned {
+            return Some(SessionError::Poisoned { session: i });
+        }
+        self.health
+            .quarantined_at
+            .map(|step| SessionError::Quarantined { session: i, step })
+    }
 }
 
 /// N simulation sessions over one shared compiled plan, stepped
@@ -692,7 +1209,11 @@ pub struct Batch<'p, R: Real> {
     /// Per-session run countdown: the lane retiring a session's last
     /// run mirrors its boundary band inside the parallel region (cache-
     /// warm) instead of a serial post-pass. Reset every step.
-    pending: Vec<std::sync::atomic::AtomicU32>,
+    pending: Vec<AtomicU32>,
+    /// Per-session health flags for the in-flight step (skip / poisoned
+    /// / non-finite bits, see `exec::health`), driven by the same lanes
+    /// as `pending`. Reset every step.
+    flags: Vec<AtomicU32>,
     per_iter: Counters,
 }
 
@@ -701,11 +1222,21 @@ impl<'p, R: Real> Batch<'p, R> {
     /// pool-wide default lane count.
     ///
     /// # Panics
-    /// Panics if `inputs` is empty or any input's shape differs from
-    /// the plan's compile-time shape (mixed-shape batches are rejected:
-    /// one batch shares one plan, and a plan is shape-specific).
+    /// Panics if `inputs` is empty, any input's shape differs from the
+    /// plan's compile-time shape (mixed-shape batches are rejected: one
+    /// batch shares one plan, and a plan is shape-specific), or any
+    /// input contains a non-finite value. [`Batch::try_new`] is the
+    /// fallible form.
     pub fn new(plan: &'p CompiledStencil<R>, inputs: &[Grid<R>]) -> Self {
-        Self::with_parallelism(plan, inputs, rayon::current_num_threads())
+        Self::try_new(plan, inputs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Batch::new`]: [`SessionError::EmptyBatch`] for zero
+    /// inputs, [`SessionError::ShapeMismatch`] for a wrong-shape input,
+    /// [`SessionError::NonFiniteInput`] for an input containing
+    /// NaN/Inf.
+    pub fn try_new(plan: &'p CompiledStencil<R>, inputs: &[Grid<R>]) -> Result<Self, SessionError> {
+        Self::try_with_parallelism(plan, inputs, rayon::current_num_threads())
     }
 
     /// [`Batch::new`] with an explicit worker-lane count; results and
@@ -718,7 +1249,17 @@ impl<'p, R: Real> Batch<'p, R> {
         inputs: &[Grid<R>],
         lanes: usize,
     ) -> Self {
-        Self::from_cow(Cow::Borrowed(plan), inputs, lanes)
+        Self::try_with_parallelism(plan, inputs, lanes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Batch::with_parallelism`] (errors as
+    /// [`Batch::try_new`]).
+    pub fn try_with_parallelism(
+        plan: &'p CompiledStencil<R>,
+        inputs: &[Grid<R>],
+        lanes: usize,
+    ) -> Result<Self, SessionError> {
+        Self::try_from_cow(Cow::Borrowed(plan), inputs, lanes)
     }
 
     /// A batch that owns its plan — a self-contained `'static` batch,
@@ -727,17 +1268,35 @@ impl<'p, R: Real> Batch<'p, R> {
     /// # Panics
     /// As [`Batch::new`].
     pub fn owned(plan: CompiledStencil<R>, inputs: &[Grid<R>]) -> Batch<'static, R> {
-        Batch::from_cow(Cow::Owned(plan), inputs, rayon::current_num_threads())
+        Batch::try_owned(plan, inputs).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn from_cow(plan: Cow<'p, CompiledStencil<R>>, inputs: &[Grid<R>], lanes: usize) -> Self {
-        assert!(!inputs.is_empty(), "a batch needs at least one session");
-        for input in inputs {
-            assert_eq!(
-                input.shape(),
-                plan.grid_shape,
-                "grid shape differs from the compiled plan"
-            );
+    /// Fallible [`Batch::owned`] (errors as [`Batch::try_new`]).
+    pub fn try_owned(
+        plan: CompiledStencil<R>,
+        inputs: &[Grid<R>],
+    ) -> Result<Batch<'static, R>, SessionError> {
+        Batch::try_from_cow(Cow::Owned(plan), inputs, rayon::current_num_threads())
+    }
+
+    fn try_from_cow(
+        plan: Cow<'p, CompiledStencil<R>>,
+        inputs: &[Grid<R>],
+        lanes: usize,
+    ) -> Result<Self, SessionError> {
+        if inputs.is_empty() {
+            return Err(SessionError::EmptyBatch);
+        }
+        for (session, input) in inputs.iter().enumerate() {
+            if input.shape() != plan.grid_shape {
+                return Err(SessionError::ShapeMismatch {
+                    expected: plan.grid_shape,
+                    got: input.shape(),
+                });
+            }
+            if let Some(index) = input.first_non_finite() {
+                return Err(SessionError::NonFiniteInput { session, index });
+            }
         }
         let per_iter = exec::iter_counters(&plan, &plan.geom, plan.grid_shape, true);
         let work = plan.exec.batch_work(inputs.len());
@@ -753,14 +1312,16 @@ impl<'p, R: Real> Batch<'p, R> {
                 initial: Some(b.cur.clone()),
                 steps: 0,
                 dims: input.dims(),
+                policy: HealthPolicy::default(),
+                health: Health::default(),
+                poisoned: false,
             })
             .collect();
         let scratch = exec::WorkerScratch::pool(&plan, lanes.max(1));
         let ptrs = Vec::with_capacity(inputs.len());
-        let pending = (0..inputs.len())
-            .map(|_| std::sync::atomic::AtomicU32::new(0))
-            .collect();
-        Self {
+        let pending = (0..inputs.len()).map(|_| AtomicU32::new(0)).collect();
+        let flags = (0..inputs.len()).map(|_| AtomicU32::new(0)).collect();
+        Ok(Self {
             plan,
             work,
             bufs,
@@ -768,8 +1329,9 @@ impl<'p, R: Real> Batch<'p, R> {
             scratch,
             ptrs,
             pending,
+            flags,
             per_iter,
-        }
+        })
     }
 
     /// Number of sessions in the batch.
@@ -793,11 +1355,35 @@ impl<'p, R: Real> Batch<'p, R> {
         self.state[i].steps
     }
 
-    /// Advance **every** session by one time step through the single
-    /// guided queue. Allocation-free after construction.
+    /// Advance every **active** session by one time step through the
+    /// single guided queue. Allocation-free after construction.
+    ///
+    /// Degraded mode: quarantined and poisoned members are skipped (the
+    /// guided queue drains their claims without executing — their
+    /// fields, steps and counters do not move) while the remaining
+    /// members step exactly as in a full batch, bit-identical to solo
+    /// twins. A member whose claim panics during this step is poisoned:
+    /// its half-written `next` buffer is discarded (never swapped in)
+    /// so its visible field stays at the pre-step state. A member whose
+    /// step produces non-finite values is recorded or quarantined per
+    /// its [`HealthPolicy`] — its step *did* complete (the tainted
+    /// field is swapped in), matching solo semantics.
     pub fn step_all(&mut self) {
-        for st in &mut self.state {
-            st.engine.counters.merge(&self.per_iter);
+        // Publish skip flags for inactive members before the dispatch;
+        // the store below is the only write lanes can observe (flags
+        // were zeroed by the previous step's post-pass / construction).
+        for (st, flags) in self.state.iter().zip(&self.flags) {
+            if !st.active() {
+                flags.store(exec::health::SKIP, Ordering::Relaxed);
+            }
+        }
+        #[cfg(feature = "fault-inject")]
+        for (i, sb) in self.bufs.iter_mut().enumerate() {
+            if exec::fault::take_nan(i) {
+                let sh = sb.cur.shape();
+                let nan = R::from_f64(f64::NAN);
+                sb.cur.set(sh[0] / 2, sh[1] / 2, sh[2] / 2, nan);
+            }
         }
         exec::step_all_into(
             &self.plan,
@@ -806,10 +1392,23 @@ impl<'p, R: Real> Batch<'p, R> {
             &mut self.scratch,
             &mut self.ptrs,
             &self.pending,
+            &self.flags,
         );
-        for (sb, st) in self.bufs.iter_mut().zip(&mut self.state) {
+        for ((sb, st), flags) in self.bufs.iter_mut().zip(&mut self.state).zip(&self.flags) {
+            let f = flags.swap(0, Ordering::Relaxed);
+            if f & exec::health::SKIP != 0 {
+                continue; // inactive member: untouched this step
+            }
+            if f & exec::health::POISONED != 0 {
+                // The step never completed: discard the partial `next`
+                // buffer (no swap), freeze steps and counters.
+                st.poisoned = true;
+                continue;
+            }
+            st.engine.counters.merge(&self.per_iter);
             std::mem::swap(&mut sb.cur, &mut sb.next);
             st.steps += 1;
+            st.note_step_health(f & exec::health::NONFINITE != 0);
         }
     }
 
@@ -837,19 +1436,38 @@ impl<'p, R: Real> Batch<'p, R> {
 
     /// Replace session `i`'s field with a new input of the same shape,
     /// reusing its buffers (no reallocation) and clearing its step and
-    /// activity counters. Other sessions are untouched.
+    /// activity counters — including any poisoned/quarantined status,
+    /// so `load` is one of the two recovery paths (the other is
+    /// [`Batch::restore`]). Other sessions are untouched.
+    ///
+    /// Like [`Simulation::load`] this is the unchecked fast path: the
+    /// input is **not** scanned for non-finite values.
     ///
     /// # Panics
     /// Panics if `input`'s shape differs from the plan's.
     pub fn load(&mut self, i: usize, input: &Grid<R>) {
-        self.session_mut(i).load(input);
+        self.member(i).load(input);
     }
 
     /// Rewind every session to its initially loaded field, clearing
-    /// steps and counters. No reallocation.
+    /// steps, counters and any poisoned/quarantined status. No
+    /// reallocation.
     pub fn reset(&mut self) {
         for i in 0..self.sessions() {
-            self.session_mut(i).reset();
+            self.member(i).reset();
+        }
+    }
+
+    /// Per-session view without a health gate — the internal form used
+    /// by recovery paths (`load`/`reset`/`restore`), which must reach
+    /// poisoned and quarantined members.
+    fn member(&mut self, i: usize) -> BatchSession<'_, R> {
+        BatchSession {
+            plan: &self.plan,
+            per_iter: &self.per_iter,
+            bufs: &mut self.bufs[i],
+            state: &mut self.state[i],
+            scratch: &mut self.scratch,
         }
     }
 
@@ -858,14 +1476,117 @@ impl<'p, R: Real> Batch<'p, R> {
     /// the batch's plan and lane scratch. Stepping through the view
     /// advances only that session — useful for catching a freshly
     /// loaded member up to the rest of the batch.
+    ///
+    /// # Panics
+    /// Panics if the member is poisoned or quarantined
+    /// ([`Batch::try_session_mut`] is the fallible form; recover the
+    /// member first via [`Batch::load`], [`Batch::reset`] or
+    /// [`Batch::restore`]).
     pub fn session_mut(&mut self, i: usize) -> BatchSession<'_, R> {
-        BatchSession {
-            plan: &self.plan,
-            per_iter: &self.per_iter,
-            bufs: &mut self.bufs[i],
-            state: &mut self.state[i],
-            scratch: &mut self.scratch,
+        self.try_session_mut(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Batch::session_mut`]: [`SessionError::Poisoned`] or
+    /// [`SessionError::Quarantined`] when the member is faulted.
+    pub fn try_session_mut(&mut self, i: usize) -> Result<BatchSession<'_, R>, SessionError> {
+        if let Some(e) = self.state[i].error(i) {
+            return Err(e);
         }
+        Ok(self.member(i))
+    }
+
+    /// Session `i`'s health record (non-finite step count, first
+    /// occurrence, quarantine step).
+    pub fn health(&self, i: usize) -> &Health {
+        &self.state[i].health
+    }
+
+    /// Session `i`'s numeric-health policy.
+    pub fn health_policy(&self, i: usize) -> HealthPolicy {
+        self.state[i].policy
+    }
+
+    /// Set session `i`'s numeric-health policy. Takes effect from the
+    /// next step; an existing health record is kept.
+    pub fn set_health_policy(&mut self, i: usize, policy: HealthPolicy) {
+        self.state[i].policy = policy;
+    }
+
+    /// Set every session's numeric-health policy.
+    pub fn set_health_policy_all(&mut self, policy: HealthPolicy) {
+        for st in &mut self.state {
+            st.policy = policy;
+        }
+    }
+
+    /// `true` iff session `i` was poisoned by a panic during a batched
+    /// step.
+    pub fn is_poisoned(&self, i: usize) -> bool {
+        self.state[i].poisoned
+    }
+
+    /// `true` iff session `i` will step on the next [`Batch::step_all`]
+    /// (neither poisoned nor quarantined).
+    pub fn is_active(&self, i: usize) -> bool {
+        self.state[i].active()
+    }
+
+    /// The typed fault for session `i`, if any:
+    /// [`SessionError::Poisoned`] or [`SessionError::Quarantined`].
+    pub fn error(&self, i: usize) -> Option<SessionError> {
+        self.state[i].error(i)
+    }
+
+    /// Administratively quarantine session `i`: it is skipped by
+    /// subsequent [`Batch::step_all`] calls (degraded mode) until
+    /// recovered via [`Batch::load`], [`Batch::reset`] or
+    /// [`Batch::restore`]. Useful for benchmarking degraded batches and
+    /// for callers with out-of-band failure signals.
+    pub fn quarantine(&mut self, i: usize) {
+        let st = &mut self.state[i];
+        if st.health.quarantined_at.is_none() {
+            st.health.quarantined_at = Some(st.steps);
+        }
+    }
+
+    /// Snapshot session `i` into a fresh [`Checkpoint`]. Prefer
+    /// [`Batch::checkpoint_into`] in steady state (reuses the caller's
+    /// buffer, zero allocations once warm).
+    pub fn checkpoint(&self, i: usize) -> Checkpoint<R> {
+        let mut ck = Checkpoint::new();
+        self.checkpoint_into(i, &mut ck);
+        ck
+    }
+
+    /// Snapshot session `i`'s padded field, counters and step count
+    /// into `ck`, reusing `ck`'s buffer when the shape matches.
+    pub fn checkpoint_into(&self, i: usize, ck: &mut Checkpoint<R>) {
+        save_grid_into(&self.bufs[i].cur, &mut ck.buf);
+        ck.counters = self.state[i].engine.counters;
+        ck.steps = self.state[i].steps;
+        ck.dims = self.state[i].dims;
+    }
+
+    /// Rewind session `i` to `ck`, clearing any poisoned/quarantined
+    /// status — the targeted recovery path: the member resumes from the
+    /// checkpointed step instead of from its initial field
+    /// ([`Batch::reset`]). Zero allocations (buffer reuse).
+    pub fn restore(&mut self, i: usize, ck: &Checkpoint<R>) -> Result<(), SessionError> {
+        let snap = check_restore_shape(ck, self.bufs[i].cur.shape())?;
+        self.bufs[i]
+            .cur
+            .as_mut_slice()
+            .copy_from_slice(snap.as_slice());
+        self.bufs[i]
+            .next
+            .as_mut_slice()
+            .copy_from_slice(snap.as_slice());
+        let st = &mut self.state[i];
+        st.engine.counters = ck.counters;
+        st.steps = ck.steps;
+        st.dims = ck.dims;
+        st.clear_faults();
+        Ok(())
     }
 }
 
@@ -883,12 +1604,16 @@ pub struct BatchSession<'a, R: Real> {
 }
 
 impl<R: Real> BatchSession<'_, R> {
-    /// Advance this session (only) by one time step.
+    /// Advance this session (only) by one time step. Numeric health is
+    /// tracked exactly as in [`Batch::step_all`] (the solo stepper's
+    /// scatter pass carries the same non-finite scan).
     pub fn step(&mut self) {
         self.state.engine.counters.merge(self.per_iter);
-        exec::step_into(self.plan, &self.bufs.cur, &mut self.bufs.next, self.scratch);
+        let nonfinite =
+            exec::step_into(self.plan, &self.bufs.cur, &mut self.bufs.next, self.scratch);
         std::mem::swap(&mut self.bufs.cur, &mut self.bufs.next);
         self.state.steps += 1;
+        self.state.note_step_health(nonfinite);
     }
 
     /// Advance this session by `n` time steps.
@@ -933,13 +1658,21 @@ impl<R: Real> BatchSession<'_, R> {
             &mut self.state.engine,
         );
         self.state.steps = 0;
+        self.state.clear_faults();
     }
 
     /// Rewind this session to its initially loaded field, clearing
-    /// steps and counters. No reallocation.
+    /// steps, counters and any poisoned/quarantined status. No
+    /// reallocation.
     pub fn reset(&mut self) {
         rewind_to_initial(self.bufs, &self.state.initial, &mut self.state.engine);
         self.state.steps = 0;
+        self.state.clear_faults();
+    }
+
+    /// This session's health record.
+    pub fn health(&self) -> &Health {
+        &self.state.health
     }
 }
 

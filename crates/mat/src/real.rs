@@ -60,6 +60,9 @@ pub trait Real:
     fn is_zero(self) -> bool {
         self == Self::ZERO
     }
+    /// `true` iff the value is neither NaN nor infinite (used by the
+    /// executor's numeric-health scan and input validation).
+    fn is_finite(self) -> bool;
     /// Maximum of two values (NaN-free inputs assumed).
     #[inline]
     fn max(self, other: Self) -> Self {
@@ -91,6 +94,10 @@ impl Real for f32 {
     fn abs(self) -> Self {
         f32::abs(self)
     }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
 }
 
 impl Real for f64 {
@@ -112,6 +119,10 @@ impl Real for f64 {
     #[inline]
     fn abs(self) -> Self {
         f64::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
     }
 }
 
@@ -160,6 +171,14 @@ mod tests {
                 assert_eq!(d.round_to(p), p.round_f64(d));
             }
         }
+    }
+
+    #[test]
+    fn finiteness_classification() {
+        assert!(1.5f32.is_finite() && 0.0f64.is_finite());
+        assert!(!f32::NAN.is_finite());
+        assert!(!f32::INFINITY.is_finite());
+        assert!(!f64::NEG_INFINITY.is_finite());
     }
 
     #[test]

@@ -89,6 +89,28 @@ fn main() {
         assert!(err < 0.5, "verification failed at {iters} iters");
     }
 
+    // Fault tolerance: under HealthPolicy::Quarantine the session
+    // sidelines itself the moment a step stores a non-finite value, and
+    // a caller-held checkpoint rewinds it to the last good state — no
+    // re-setup, no reallocation (see the session module's "Failure
+    // model" docs).
+    sim.set_health_policy(HealthPolicy::Quarantine);
+    let checkpoint = sim.checkpoint().expect("engine sessions checkpoint");
+    let mut bad = sim.to_grid();
+    bad.set(0, 128, 128, f32::NAN); // a corrupted upstream input
+    sim.load(&bad); // load() is the unchecked fast path
+    match sim.try_step_n(5) {
+        Err(e) => println!("\nfault detected : {e}"),
+        Ok(()) => unreachable!("the NaN must quarantine the session"),
+    }
+    sim.restore(&checkpoint).expect("same-session restore");
+    sim.step_n(5); // recovered: stepping resumes from the good state
+    println!(
+        "recovered      : rolled back to step {}, now at step {}",
+        checkpoint.steps(),
+        sim.steps()
+    );
+
     // The CUDA kernel the code generator would emit on real hardware.
     let cuda = exec.cuda_source();
     println!(

@@ -97,6 +97,11 @@ fn zero_allocations_across_session_steps() {
 
     let mut sim = Simulation::new(EngineBackend::new(&plan, &input));
     sim.step(); // arena warm-up step
+
+    // Warm the caller-held checkpoint: the first fill allocates its
+    // buffer, every refill below must reuse it.
+    let mut ck = sparstencil::session::Checkpoint::new();
+    sim.checkpoint_into(&mut ck).unwrap();
     let mut checksum = 0.0f64;
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -105,6 +110,12 @@ fn zero_allocations_across_session_steps() {
         checksum += sim.field().get(0, 25, 25) as f64;
     }
     sim.step_n(5);
+    // Checkpoint/rollback cycles in steady state: refill the warm
+    // checkpoint, diverge, restore, re-step — all buffer reuse.
+    sim.checkpoint_into(&mut ck).unwrap();
+    sim.step_n(3);
+    sim.restore(&ck).unwrap();
+    sim.step_n(3);
     sim.reset();
     sim.step_n(2);
     sim.load(&other);
@@ -149,6 +160,10 @@ fn zero_allocations_across_batch_steps() {
 
     let mut batch = Batch::new(&plan, &inputs);
     batch.step_all(); // arena warm-up step
+
+    // Warm a caller-held member checkpoint for the rollback cycle below.
+    let mut ck = sparstencil::session::Checkpoint::new();
+    batch.checkpoint_into(1, &mut ck);
     let mut checksum = 0.0f64;
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
@@ -157,6 +172,17 @@ fn zero_allocations_across_batch_steps() {
         checksum += batch.field(1).get(5, 10, 10) as f64;
     }
     batch.step_all_n(3);
+    // Member checkpoint/rollback in steady state: refill, diverge,
+    // restore — buffer reuse only.
+    batch.checkpoint_into(1, &mut ck);
+    batch.step_all();
+    batch.restore(1, &ck).unwrap();
+    batch.session_mut(1).step();
+    // Degraded mode must stay allocation-free too: quarantine one
+    // member (its claims drain unexecuted) and keep stepping.
+    batch.quarantine(0);
+    batch.step_all_n(2);
+    batch.load(0, &other); // recovery path, also allocation-free
     batch.load(2, &other);
     batch.step_all_n(2);
     batch.reset();

@@ -1,0 +1,198 @@
+//! Checkpoint/rollback semantics: `restore` followed by re-stepping
+//! must be **bit-identical** — grids and counters — to an uninterrupted
+//! twin, for solo sessions (engine and naive backends, fused and 3D
+//! staged-window kernels) and for batch members, with the documented
+//! typed errors on misuse.
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::{Checkpoint, SessionError};
+use sparstencil::stencil::StencilKernel;
+
+fn opts_for(k: &StencilKernel) -> Options {
+    if k.dims() == 3 {
+        Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        }
+    } else {
+        Options::default()
+    }
+}
+
+fn input_for(k: &StencilKernel, shape: [usize; 3], seed: usize) -> Grid<f32> {
+    Grid::<f32>::from_fn_3d(k.dims(), shape, |z, y, x| {
+        ((z * 11 + y * 5 + x * 3 + seed * 17) % 23) as f32 * 0.04
+    })
+}
+
+/// The core identity: checkpoint at step `at`, keep stepping, restore,
+/// re-step to `total`, and compare against a twin that ran `total`
+/// steps uninterrupted. Grids AND counters must be bit-identical.
+fn assert_rollback_identity(k: &StencilKernel, shape: [usize; 3], at: usize, total: usize) {
+    let exec = Executor::<f32>::new(k, shape, &opts_for(k)).unwrap();
+    let input = input_for(k, shape, 0);
+
+    let mut twin = exec.session(&input);
+    twin.step_n(total);
+
+    let mut sim = exec.session(&input);
+    sim.step_n(at);
+    let ck = sim.checkpoint().unwrap();
+    assert!(ck.is_filled());
+    assert_eq!(ck.steps(), at);
+
+    // Diverge past the checkpoint, then rewind.
+    sim.step_n(3);
+    sim.restore(&ck).unwrap();
+    assert_eq!(
+        sim.steps(),
+        at,
+        "{}: restore rewinds the step count",
+        k.name()
+    );
+    sim.step_n(total - at);
+
+    assert_eq!(
+        sim.to_grid(),
+        twin.to_grid(),
+        "{}: restored run must equal the uninterrupted twin",
+        k.name()
+    );
+    assert_eq!(
+        sim.stats().unwrap().counters,
+        twin.stats().unwrap().counters,
+        "{}: counters must rewind with the field",
+        k.name()
+    );
+}
+
+#[test]
+fn rollback_identity_2d() {
+    assert_rollback_identity(&StencilKernel::box2d9p(), [1, 44, 48], 2, 5);
+}
+
+#[test]
+fn rollback_identity_3d_staged_window() {
+    assert_rollback_identity(&StencilKernel::box3d27p(), [12, 20, 20], 1, 3);
+}
+
+#[test]
+fn rollback_identity_fused_kernel() {
+    let fused = StencilKernel::heat2d().temporal_fusion(3);
+    assert_rollback_identity(&fused, [1, 40, 40], 2, 4);
+}
+
+#[test]
+fn rollback_identity_naive_backend() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 30, 34];
+    let exec = Executor::<f32>::new(&k, shape, &Options::default()).unwrap();
+    let input = input_for(&k, shape, 1);
+
+    let mut twin = exec.session_naive(&input);
+    twin.step_n(4);
+
+    let mut sim = exec.session_naive(&input);
+    sim.step_n(2);
+    let ck = sim.checkpoint().unwrap();
+    sim.step_n(5);
+    sim.restore(&ck).unwrap();
+    sim.step_n(2);
+
+    assert_eq!(sim.to_grid(), twin.to_grid());
+}
+
+/// Restoring an immediate-post-checkpoint session is a no-op: the field
+/// is byte-for-byte what the checkpoint holds.
+#[test]
+fn restore_is_idempotent() {
+    let k = StencilKernel::box2d9p();
+    let exec = Executor::<f32>::new(&k, [1, 40, 40], &Options::default()).unwrap();
+    let mut sim = exec.session(&input_for(&k, [1, 40, 40], 2));
+    sim.step_n(3);
+    let ck = sim.checkpoint().unwrap();
+    let before = sim.to_grid();
+    sim.restore(&ck).unwrap();
+    sim.restore(&ck).unwrap();
+    assert_eq!(sim.to_grid(), before);
+    assert_eq!(sim.steps(), 3);
+}
+
+/// `checkpoint_into` reuses the caller's buffer across refills and the
+/// refilled snapshot behaves exactly like a fresh one.
+#[test]
+fn checkpoint_buffer_reuse_across_refills() {
+    let k = StencilKernel::box2d9p();
+    let exec = Executor::<f32>::new(&k, [1, 40, 40], &Options::default()).unwrap();
+    let mut sim = exec.session(&input_for(&k, [1, 40, 40], 3));
+
+    let mut ck = Checkpoint::new();
+    assert!(!ck.is_filled());
+    sim.checkpoint_into(&mut ck).unwrap();
+    sim.step_n(2);
+    sim.checkpoint_into(&mut ck).unwrap(); // refill in place
+    assert_eq!(ck.steps(), 2);
+    let at2 = sim.to_grid();
+    sim.step_n(4);
+    sim.restore(&ck).unwrap();
+    assert_eq!(sim.to_grid(), at2);
+}
+
+#[test]
+fn restore_from_empty_checkpoint_is_a_typed_error() {
+    let k = StencilKernel::box2d9p();
+    let exec = Executor::<f32>::new(&k, [1, 40, 40], &Options::default()).unwrap();
+    let mut sim = exec.session(&input_for(&k, [1, 40, 40], 0));
+    let ck = Checkpoint::<f32>::new();
+    assert_eq!(sim.restore(&ck), Err(SessionError::EmptyCheckpoint));
+}
+
+#[test]
+fn restore_shape_mismatch_is_a_typed_error() {
+    let k = StencilKernel::box2d9p();
+    let small = Executor::<f32>::new(&k, [1, 30, 30], &Options::default()).unwrap();
+    let large = Executor::<f32>::new(&k, [1, 40, 40], &Options::default()).unwrap();
+    let mut sim_small = small.session(&input_for(&k, [1, 30, 30], 0));
+    sim_small.step_n(1);
+    let ck = sim_small.checkpoint().unwrap();
+
+    let mut sim_large = large.session(&input_for(&k, [1, 40, 40], 0));
+    match sim_large.restore(&ck) {
+        Err(SessionError::ShapeMismatch { .. }) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}
+
+/// Batch members checkpoint and restore individually: a restored member
+/// re-stepped inside the batch matches its uninterrupted solo twin, and
+/// the other members never notice.
+#[test]
+fn batch_member_rollback_identity() {
+    let k = StencilKernel::box3d27p();
+    let shape = [12, 20, 20];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs: Vec<Grid<f32>> = (0..4).map(|s| input_for(&k, shape, s)).collect();
+
+    let mut batch = exec.batch(&inputs);
+    batch.step_all_n(2);
+    let ck = batch.checkpoint(1);
+    batch.step_all_n(2);
+
+    batch.restore(1, &ck).unwrap();
+    assert_eq!(batch.steps(1), 2);
+    // Catch member 1 back up through its solo view, then compare all.
+    batch.session_mut(1).step_n(2);
+
+    for (i, input) in inputs.iter().enumerate() {
+        let mut solo = exec.session(input);
+        solo.step_n(4);
+        assert_eq!(
+            batch.to_grid(i),
+            solo.to_grid(),
+            "member {i} must equal its solo twin after member 1's rollback"
+        );
+        assert_eq!(batch.stats(i).counters, solo.stats().unwrap().counters);
+    }
+}

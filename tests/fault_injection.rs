@@ -1,0 +1,241 @@
+//! Deterministic fault injection (feature `fault-inject`): a panic or
+//! NaN storm planted inside ONE member of an 8-session batch must leave
+//! the other seven **bit-identical** — grids and counters — to solo
+//! twins, report a typed error for the victim, and let `restore()`
+//! bring the victim back. Run with:
+//!
+//! ```text
+//! cargo test --features fault-inject --test fault_injection
+//! ```
+#![cfg(feature = "fault-inject")]
+
+use std::sync::Mutex;
+
+use sparstencil::exec::fault;
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::{Checkpoint, HealthPolicy, SessionError};
+use sparstencil::stencil::StencilKernel;
+
+/// The injection cells are process-global one-shots; tests that arm
+/// them must not interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+const SESSIONS: usize = 8;
+const VICTIM: usize = 3;
+
+fn opts_for(k: &StencilKernel) -> Options {
+    if k.dims() == 3 {
+        Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        }
+    } else {
+        Options::default()
+    }
+}
+
+fn inputs_for(k: &StencilKernel, shape: [usize; 3]) -> Vec<Grid<f32>> {
+    (0..SESSIONS)
+        .map(|s| {
+            Grid::<f32>::from_fn_3d(k.dims(), shape, |z, y, x| {
+                ((z * 11 + y * 5 + x * 3 + s * 17) % 23) as f32 * 0.04
+            })
+        })
+        .collect()
+}
+
+/// Assert that every non-victim member matches a solo twin stepped
+/// `iters` times — fields and counters bit-identical.
+fn assert_survivors_identical(
+    exec: &Executor<f32>,
+    batch: &sparstencil::session::Batch<'_, f32>,
+    inputs: &[Grid<f32>],
+    iters: usize,
+) {
+    for (i, input) in inputs.iter().enumerate() {
+        if i == VICTIM {
+            continue;
+        }
+        let mut solo = exec.session(input);
+        solo.step_n(iters);
+        assert_eq!(batch.steps(i), iters, "survivor {i} step count");
+        assert_eq!(
+            batch.to_grid(i),
+            solo.to_grid(),
+            "survivor {i} must be bit-identical to its solo twin"
+        );
+        assert_eq!(
+            batch.stats(i).counters,
+            solo.stats().unwrap().counters,
+            "survivor {i} counters must be bit-identical"
+        );
+    }
+}
+
+fn panic_isolation_case(k: &StencilKernel, shape: [usize; 3]) {
+    let exec = Executor::<f32>::new(k, shape, &opts_for(k)).unwrap();
+    let inputs = inputs_for(k, shape);
+    let mut batch = exec.batch(&inputs);
+
+    batch.step_all(); // healthy step 1
+    let ck = batch.checkpoint(VICTIM); // rollback target at step 1
+
+    fault::arm_panic(VICTIM);
+    batch.step_all(); // the victim's claim unwinds mid-dispatch
+    fault::disarm();
+
+    // Victim: poisoned, frozen at its pre-fault state (no partial swap).
+    assert!(batch.is_poisoned(VICTIM));
+    assert!(!batch.is_active(VICTIM));
+    assert_eq!(batch.steps(VICTIM), 1, "poisoned step must not count");
+    assert_eq!(
+        batch.error(VICTIM),
+        Some(SessionError::Poisoned { session: VICTIM })
+    );
+    {
+        let mut solo = exec.session(&inputs[VICTIM]);
+        solo.step_n(1);
+        assert_eq!(
+            batch.to_grid(VICTIM),
+            solo.to_grid(),
+            "{}: poisoned member's field is the last consistent pre-fault state",
+            k.name()
+        );
+    }
+
+    // Degraded mode: two more steps with the victim sitting out (the
+    // survivors completed the fault step, so they are at 4).
+    batch.step_all_n(2);
+    assert_eq!(batch.steps(VICTIM), 1);
+    assert_survivors_identical(&exec, &batch, &inputs, 4);
+
+    // Rollback recovery: restore to step 1, catch up solo, rejoin.
+    batch.restore(VICTIM, &ck).unwrap();
+    assert!(batch.is_active(VICTIM));
+    assert_eq!(batch.error(VICTIM), None);
+    batch.session_mut(VICTIM).step_n(3); // catch up to the rest
+    batch.step_all(); // full batch again
+    let mut solo = exec.session(&inputs[VICTIM]);
+    solo.step_n(5);
+    assert_eq!(
+        batch.to_grid(VICTIM),
+        solo.to_grid(),
+        "{}: restored victim must rejoin bit-identically",
+        k.name()
+    );
+    assert_survivors_identical(&exec, &batch, &inputs, 5);
+}
+
+#[test]
+fn injected_panic_is_isolated_2d() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    panic_isolation_case(&StencilKernel::box2d9p(), [1, 44, 48]);
+}
+
+#[test]
+fn injected_panic_is_isolated_3d_staged_window() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    panic_isolation_case(&StencilKernel::box3d27p(), [12, 20, 20]);
+}
+
+#[test]
+fn injected_nan_storm_quarantines_only_the_victim() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape);
+    let mut batch = exec.batch(&inputs);
+    batch.set_health_policy_all(HealthPolicy::Quarantine);
+
+    batch.step_all(); // healthy step 1
+    let ck = batch.checkpoint(VICTIM);
+
+    fault::arm_nan_storm(VICTIM);
+    batch.step_all(); // victim's input is NaN-bombed before dispatch
+    fault::disarm();
+
+    // The tainted step completes (solo semantics), then quarantines.
+    assert!(batch.health(VICTIM).is_quarantined());
+    assert!(!batch.is_poisoned(VICTIM));
+    assert_eq!(batch.steps(VICTIM), 2);
+    assert_eq!(batch.health(VICTIM).nonfinite_steps, 1);
+    assert_eq!(
+        batch.error(VICTIM),
+        Some(SessionError::Quarantined {
+            session: VICTIM,
+            step: 2
+        })
+    );
+
+    // Degraded mode: the quarantined member sits out.
+    batch.step_all_n(2);
+    assert_eq!(batch.steps(VICTIM), 2);
+    assert_survivors_identical(&exec, &batch, &inputs, 4);
+
+    // Rollback recovery: the NaN never reaches the restored state.
+    batch.restore(VICTIM, &ck).unwrap();
+    assert!(batch.is_active(VICTIM));
+    batch.session_mut(VICTIM).step_n(3);
+    batch.step_all();
+    let mut solo = exec.session(&inputs[VICTIM]);
+    solo.step_n(5);
+    assert_eq!(
+        batch.to_grid(VICTIM),
+        solo.to_grid(),
+        "restored victim must be NaN-free and bit-identical"
+    );
+    assert_eq!(batch.health(VICTIM).nonfinite_steps, 0);
+    assert_survivors_identical(&exec, &batch, &inputs, 5);
+}
+
+/// A panic in a SOLO-view step of a batch member must propagate (no
+/// batch dispatch to contain it) — but the injection hooks only fire on
+/// the batched path, so arming then stepping solo is a no-op: the
+/// armed cell stays set until the next batched step consumes it.
+/// Disarm must clear it.
+#[test]
+fn disarm_clears_pending_injections() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape);
+    let mut batch = exec.batch(&inputs);
+
+    fault::arm_panic(0);
+    fault::arm_nan_storm(1);
+    fault::disarm();
+    batch.step_all(); // nothing fires
+    assert!(batch.is_active(0) && batch.is_active(1));
+    assert_eq!(batch.health(1).nonfinite_steps, 0);
+}
+
+/// Restore on a poisoned member also works from an EMPTY checkpoint
+/// path error: the typed error comes back instead of a panic, and the
+/// member stays recoverable via reset.
+#[test]
+fn poisoned_member_restore_misuse_is_typed_then_reset_recovers() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape);
+    let mut batch = exec.batch(&inputs);
+
+    fault::arm_panic(2);
+    batch.step_all();
+    fault::disarm();
+    assert!(batch.is_poisoned(2));
+
+    let empty = Checkpoint::<f32>::new();
+    assert_eq!(batch.restore(2, &empty), Err(SessionError::EmptyCheckpoint));
+    assert!(batch.is_poisoned(2), "failed restore must not clear poison");
+
+    batch.reset();
+    assert!(batch.is_active(2));
+    batch.step_all();
+    assert_eq!(batch.steps(2), 1);
+}

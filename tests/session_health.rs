@@ -1,0 +1,299 @@
+//! Typed session errors and numeric-health tracking: the fallible
+//! `try_*` surface returns [`SessionError`]s where the panicking
+//! wrappers die, the scatter-folded NaN/Inf scan feeds per-session
+//! [`Health`] records, and [`HealthPolicy::Quarantine`] sidelines a
+//! tainted session — solo and batched — until recovered.
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::{HealthPolicy, SessionError};
+use sparstencil::stencil::StencilKernel;
+
+fn exec_2d(shape: [usize; 3]) -> Executor<f32> {
+    Executor::<f32>::new(&StencilKernel::box2d9p(), shape, &Options::default()).unwrap()
+}
+
+fn input(shape: [usize; 3], seed: usize) -> Grid<f32> {
+    Grid::<f32>::from_fn_3d(2, shape, |z, y, x| {
+        ((z * 11 + y * 5 + x * 3 + seed * 17) % 23) as f32 * 0.04
+    })
+}
+
+fn nan_input(shape: [usize; 3]) -> Grid<f32> {
+    let mut g = input(shape, 0);
+    g.set(0, shape[1] / 2, shape[2] / 2, f32::NAN);
+    g
+}
+
+// ---------------------------------------------------------------- typed errors
+
+#[test]
+fn empty_batch_is_a_typed_error() {
+    let exec = exec_2d([1, 40, 40]);
+    assert_eq!(exec.try_batch(&[]).err(), Some(SessionError::EmptyBatch));
+    // The panicking wrapper carries the legacy message verbatim.
+    assert_eq!(
+        SessionError::EmptyBatch.to_string(),
+        "a batch needs at least one session"
+    );
+}
+
+#[test]
+fn mixed_shape_batch_is_a_typed_error() {
+    let exec = exec_2d([1, 40, 40]);
+    let good = input([1, 40, 40], 0);
+    let bad = input([1, 30, 30], 1);
+    match exec.try_batch(&[good, bad]).err() {
+        Some(e @ SessionError::ShapeMismatch { expected, got }) => {
+            assert_eq!(expected, [1, 40, 40]);
+            assert_eq!(got, [1, 30, 30]);
+            // Legacy `#[should_panic]` substring lives in the Display text.
+            assert!(e.to_string().contains("differs from the compiled plan"));
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_batch_input_is_a_typed_error() {
+    let exec = exec_2d([1, 40, 40]);
+    let inputs = [input([1, 40, 40], 0), nan_input([1, 40, 40])];
+    match exec.try_batch(&inputs).err() {
+        Some(SessionError::NonFiniteInput { session, index }) => {
+            assert_eq!(session, 1);
+            assert_eq!(index, inputs[1].first_non_finite().unwrap());
+        }
+        other => panic!("expected NonFiniteInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_solo_input_is_a_typed_error() {
+    let exec = exec_2d([1, 40, 40]);
+    assert!(matches!(
+        exec.try_session(&nan_input([1, 40, 40])),
+        Err(SessionError::NonFiniteInput { session: 0, .. })
+    ));
+    // try_load performs the same scan; unchecked load skips it.
+    let mut sim = exec.session(&input([1, 40, 40], 0));
+    assert!(matches!(
+        sim.try_load(&nan_input([1, 40, 40])),
+        Err(SessionError::NonFiniteInput { session: 0, .. })
+    ));
+    sim.load(&nan_input([1, 40, 40])); // unchecked: accepted
+}
+
+#[test]
+fn zero_probe_cadence_is_a_typed_error() {
+    let exec = exec_2d([1, 40, 40]);
+    let mut sim = exec.session(&input([1, 40, 40], 0));
+    assert_eq!(
+        sim.try_probe(0, |_, _| {}).err(),
+        Some(SessionError::ProbeMisuse)
+    );
+    assert!(sim.try_probe(2, |_, _| {}).is_ok());
+}
+
+// ------------------------------------------------------------- solo health
+
+#[test]
+fn record_policy_counts_tainted_steps_and_keeps_stepping() {
+    let exec = exec_2d([1, 40, 40]);
+    let mut sim = exec.session(&input([1, 40, 40], 0));
+    assert_eq!(sim.health_policy(), HealthPolicy::Record);
+
+    sim.load(&nan_input([1, 40, 40])); // unchecked path injects the NaN
+    sim.step_n(3); // NaN propagates: every step stores non-finite values
+    let h = sim.health();
+    assert_eq!(h.nonfinite_steps, 3);
+    assert_eq!(h.first_nonfinite_step, Some(1));
+    assert!(!h.is_quarantined());
+    assert_eq!(sim.steps(), 3);
+}
+
+#[test]
+fn ignore_policy_records_nothing() {
+    let exec = exec_2d([1, 40, 40]);
+    let mut sim = exec.session(&input([1, 40, 40], 0));
+    sim.set_health_policy(HealthPolicy::Ignore);
+    sim.load(&nan_input([1, 40, 40]));
+    sim.step_n(2);
+    assert_eq!(sim.health().nonfinite_steps, 0);
+    assert_eq!(sim.health().first_nonfinite_step, None);
+}
+
+#[test]
+fn quarantine_policy_sidelines_a_tainted_solo_session_until_recovery() {
+    let exec = exec_2d([1, 40, 40]);
+    let mut sim = exec.session(&input([1, 40, 40], 0));
+    sim.set_health_policy(HealthPolicy::Quarantine);
+    sim.step_n(2); // healthy prelude
+    let ck = sim.checkpoint().unwrap();
+
+    sim.load(&nan_input([1, 40, 40]));
+    assert_eq!(
+        sim.try_step_n(5),
+        Err(SessionError::Quarantined {
+            session: 0,
+            step: 1
+        })
+    );
+    assert_eq!(sim.steps(), 1, "quarantine stops at the tainted step");
+    assert!(sim.health().is_quarantined());
+    // Already-quarantined: error without advancing.
+    assert_eq!(
+        sim.try_step_n(1),
+        Err(SessionError::Quarantined {
+            session: 0,
+            step: 1
+        })
+    );
+    assert_eq!(sim.steps(), 1);
+
+    // Rollback is the targeted recovery: quarantine clears, stepping resumes.
+    sim.restore(&ck).unwrap();
+    assert!(!sim.health().is_quarantined());
+    assert!(sim.try_step_n(2).is_ok());
+    assert_eq!(sim.steps(), 4);
+}
+
+// ------------------------------------------------------------ batch health
+
+/// A NaN-loaded member under `Quarantine` sits out subsequent batched
+/// steps while every healthy member stays bit-identical to its solo
+/// twin; `load` recovers the member.
+#[test]
+fn batch_quarantine_isolates_the_tainted_member() {
+    let shape = [1, 44, 48];
+    let exec = exec_2d(shape);
+    let inputs: Vec<Grid<f32>> = (0..4).map(|s| input(shape, s)).collect();
+
+    let mut batch = exec.batch(&inputs);
+    batch.set_health_policy_all(HealthPolicy::Quarantine);
+    batch.step_all_n(2);
+
+    batch.load(2, &nan_input(shape)); // unchecked: the NaN goes live
+    batch.step_all(); // member 2's step completes tainted -> quarantined
+    assert!(batch.health(2).is_quarantined());
+    assert!(!batch.is_active(2));
+    assert_eq!(
+        batch.error(2),
+        Some(SessionError::Quarantined {
+            session: 2,
+            step: 1
+        })
+    );
+
+    let quarantined_steps = batch.steps(2);
+    batch.step_all_n(2); // degraded mode: member 2 sits out
+    assert_eq!(batch.steps(2), quarantined_steps);
+
+    for (i, inp) in inputs.iter().enumerate() {
+        if i == 2 {
+            continue;
+        }
+        let mut solo = exec.session(inp);
+        solo.step_n(5);
+        assert_eq!(batch.steps(i), 5);
+        assert_eq!(
+            batch.to_grid(i),
+            solo.to_grid(),
+            "healthy member {i} must match its solo twin through degraded steps"
+        );
+        assert_eq!(batch.stats(i).counters, solo.stats().unwrap().counters);
+    }
+
+    // session_mut refuses a quarantined member; try_session_mut types it.
+    assert!(matches!(
+        batch.try_session_mut(2).err(),
+        Some(SessionError::Quarantined { session: 2, .. })
+    ));
+
+    // Reload recovers the member and clears its record.
+    batch.load(2, &input(shape, 2));
+    assert!(batch.is_active(2));
+    assert_eq!(batch.error(2), None);
+    batch.step_all();
+    assert_eq!(batch.steps(2), 1);
+}
+
+#[test]
+fn batch_record_policy_observes_without_sidelining() {
+    let shape = [1, 44, 48];
+    let exec = exec_2d(shape);
+    let inputs: Vec<Grid<f32>> = (0..2).map(|s| input(shape, s)).collect();
+    let mut batch = exec.batch(&inputs); // default policy: Record
+
+    batch.load(0, &nan_input(shape));
+    batch.step_all_n(2);
+    assert_eq!(batch.health(0).nonfinite_steps, 2);
+    assert_eq!(batch.health(0).first_nonfinite_step, Some(1));
+    assert!(batch.is_active(0), "Record never sidelines");
+    assert_eq!(batch.steps(0), 2);
+    assert_eq!(batch.health(1).nonfinite_steps, 0);
+}
+
+/// The administrative quarantine hook (no NaN required) drives the same
+/// degraded path the bench suite measures.
+#[test]
+fn administrative_quarantine_and_reset_recovery() {
+    let shape = [1, 44, 48];
+    let exec = exec_2d(shape);
+    let inputs: Vec<Grid<f32>> = (0..3).map(|s| input(shape, s)).collect();
+    let mut batch = exec.batch(&inputs);
+
+    batch.step_all();
+    batch.quarantine(1);
+    assert!(batch.health(1).is_quarantined());
+    batch.step_all_n(2);
+    assert_eq!(batch.steps(1), 1, "quarantined member sat out");
+    assert_eq!(batch.steps(0), 3);
+
+    batch.reset(); // reset clears quarantine everywhere
+    assert!(batch.is_active(1));
+    for i in 0..3 {
+        assert_eq!(batch.steps(i), 0);
+    }
+    batch.step_all();
+    assert_eq!(batch.steps(1), 1);
+}
+
+/// The solo per-member view tracks health through the same policy hooks.
+#[test]
+fn batch_session_view_tracks_health() {
+    let shape = [1, 44, 48];
+    let exec = exec_2d(shape);
+    let inputs: Vec<Grid<f32>> = (0..2).map(|s| input(shape, s)).collect();
+    let mut batch = exec.batch(&inputs);
+
+    batch.load(0, &nan_input(shape));
+    batch.session_mut(0).step_n(2);
+    assert_eq!(batch.health(0).nonfinite_steps, 2);
+
+    // Under Quarantine the view's next step sidelines the member, and
+    // the batch-level surface reports it.
+    batch.set_health_policy(0, HealthPolicy::Quarantine);
+    batch.session_mut(0).step();
+    assert!(batch.health(0).is_quarantined());
+    assert!(batch.try_session_mut(0).is_err());
+}
+
+// --------------------------------------------------------------- legacy panics
+
+#[test]
+#[should_panic(expected = "a batch needs at least one session")]
+fn empty_batch_wrapper_still_panics() {
+    let exec = exec_2d([1, 40, 40]);
+    let _ = exec.batch(&[]);
+}
+
+#[test]
+#[should_panic(expected = "was quarantined at step")]
+fn stepping_quarantined_member_via_wrapper_panics() {
+    let shape = [1, 40, 40];
+    let exec = exec_2d(shape);
+    let mut batch = exec.batch(&[input(shape, 0)]);
+    batch.quarantine(0);
+    let _ = batch.session_mut(0);
+}

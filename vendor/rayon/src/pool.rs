@@ -18,7 +18,10 @@
 //!   installed, so a stale worker can never execute an old job pointer
 //!   against a new generation's indices.
 //! - Panics inside tasks are caught, recorded, and re-raised on the
-//!   calling thread once the region completes.
+//!   calling thread once the region completes. The guided dispatchers
+//!   additionally catch panics per *claim*: one panicking claim cannot
+//!   abandon the rest of the index space, and the first original
+//!   payload is re-raised after every other claim ran.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -141,9 +144,14 @@ fn worker_loop(shared: &'static Shared) {
     let mut seen: u32 = 0;
     loop {
         let (generation, job) = {
-            let mut g = shared.ctrl.lock().unwrap();
+            // Poison recovery on the control mutex throughout this file:
+            // its critical sections run no task code, and every region
+            // re-initializes the shared state from scratch, so a poisoned
+            // lock carries no corrupt invariants (same argument as the
+            // `run_lock` below).
+            let mut g = shared.ctrl.lock().unwrap_or_else(|e| e.into_inner());
             while g.generation == seen {
-                g = shared.work_cv.wait(g).unwrap();
+                g = shared.work_cv.wait(g).unwrap_or_else(|e| e.into_inner());
             }
             seen = g.generation;
             (g.generation, g.job)
@@ -181,7 +189,7 @@ fn execute_tasks(shared: &Shared, job: &(dyn Fn(usize) + Sync), generation: u32)
             shared.panicked.store(true, Ordering::SeqCst);
         }
         if shared.done.fetch_add(1, Ordering::SeqCst) + 1 == total {
-            let _g = shared.ctrl.lock().unwrap();
+            let _g = shared.ctrl.lock().unwrap_or_else(|e| e.into_inner());
             shared.done_cv.notify_all();
         }
     }
@@ -214,7 +222,7 @@ pub fn run_tasks(n: usize, job: &(dyn Fn(usize) + Sync)) {
     IN_POOL.with(|f| f.set(true));
     let shared = p.shared;
     let generation = {
-        let mut g = shared.ctrl.lock().unwrap();
+        let mut g = shared.ctrl.lock().unwrap_or_else(|e| e.into_inner());
         g.generation = g.generation.wrapping_add(1);
         shared.done.store(0, Ordering::SeqCst);
         shared.panicked.store(false, Ordering::SeqCst);
@@ -235,9 +243,9 @@ pub fn run_tasks(n: usize, job: &(dyn Fn(usize) + Sync)) {
     };
     execute_tasks(shared, job, generation);
     {
-        let mut g = shared.ctrl.lock().unwrap();
+        let mut g = shared.ctrl.lock().unwrap_or_else(|e| e.into_inner());
         while shared.done.load(Ordering::SeqCst) < n {
-            g = shared.done_cv.wait(g).unwrap();
+            g = shared.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
         g.job = None;
     }
@@ -354,13 +362,23 @@ pub fn parallel_for_slots_guided2<S: Send>(
     let min_chunk = min_chunk.max(1);
     if n_slots == 1 || n_items <= min_chunk {
         // Nothing to balance: every group's full range, in order, in
-        // slot 0 — the same per-call "one group only" contract.
+        // slot 0 — the same per-call "one group only" contract. A panic
+        // propagates immediately (no other claims exist to protect).
         for g in 0..groups {
             f(0, &mut slots[0], g, 0..group_len);
         }
         return;
     }
     let cursor = AtomicUsize::new(0);
+    // Unwind-safe claims: a panic inside one `f` call must not abandon
+    // the rest of the index space (the batch executor relies on "one
+    // panicking claim cannot stop other groups' claims from running").
+    // Each claim is caught, the first payload is kept, the claim loop
+    // keeps draining, and the original payload is re-raised on the
+    // dispatching thread once the region completes — so coverage of all
+    // non-panicking claims is preserved and callers still observe the
+    // panic they would have seen without the pool.
+    let claim_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     struct SlotsPtr<S>(*mut S);
     // SAFETY: each slot index is visited by exactly one task.
     unsafe impl<S: Send> Sync for SlotsPtr<S> {}
@@ -390,9 +408,28 @@ pub fn parallel_for_slots_guided2<S: Send>(
             {
                 continue; // another task claimed first; re-derive the chunk
             }
-            f(i, slot, start / group_len, local..local + chunk);
+            // AssertUnwindSafe: `slot` and the caller's captures may be
+            // observed after a caught panic, but only by later `f` calls
+            // of the same caller, which sees the panic re-raised below —
+            // exactly the exposure a panic mid-region already implies.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                f(i, slot, start / group_len, local..local + chunk)
+            }));
+            if let Err(payload) = r {
+                let mut first = match claim_panic.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                first.get_or_insert(payload);
+            }
         }
     });
+    if let Some(payload) = match claim_panic.into_inner() {
+        Ok(p) => p,
+        Err(poisoned) => poisoned.into_inner(),
+    } {
+        std::panic::resume_unwind(payload);
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +605,45 @@ mod tests {
             next.1 = r.end;
         }
         assert_eq!(next, (4, 9));
+    }
+
+    #[test]
+    fn guided2_claim_panic_keeps_other_claims_and_payload() {
+        // One panicking claim must not abandon the remaining index
+        // space: every item outside the panicking claim's group is
+        // still executed exactly once, and the caller observes the
+        // ORIGINAL panic payload (not a generic pool message).
+        let (groups, group_len) = (8usize, 5usize);
+        let hits: Vec<AtomicU32> = (0..groups * group_len).map(|_| AtomicU32::new(0)).collect();
+        let mut slots = vec![(); 4];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_for_slots_guided2(groups, group_len, 1, &mut slots, |_, _, g, range| {
+                if g == 3 && range.start == 0 {
+                    panic!("injected claim fault");
+                }
+                for j in range {
+                    hits[g * group_len + j].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }));
+        let payload = r.expect_err("the claim panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"injected claim fault"),
+            "original payload survives the region"
+        );
+        for g in 0..groups {
+            if g == 3 {
+                continue; // the panicking claim's own group may be partial
+            }
+            for j in 0..group_len {
+                assert_eq!(
+                    hits[g * group_len + j].load(Ordering::SeqCst),
+                    1,
+                    "group {g} item {j} must run exactly once despite the panic"
+                );
+            }
+        }
     }
 
     #[test]
