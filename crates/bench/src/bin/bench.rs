@@ -43,6 +43,18 @@
 //! ratio is per-member throughput, degraded vs full, guarding "a
 //! sidelined member must not slow the survivors down".
 //!
+//! A third **serving** section measures the supervised multi-tenant
+//! path ([`sparstencil_serve::SessionManager`], single-lane): per-round
+//! step latency over a tenant fleet, reported as `p50_step_ms` /
+//! `p99_step_ms` from the manager's fixed-bucket latency histogram
+//! (with mid-run fault recoveries exercising the self-healing loop, so
+//! the percentiles include supervision overhead), and membership-churn
+//! throughput `churn_ops_per_sec` (retire + admit cycles against the
+//! live pool, no plan rebuild). `recoveries`/`evictions` land in the
+//! row so the fault-handling activity behind the numbers is auditable.
+//! Latencies are machine-dependent, so `bench_compare` schema-gates
+//! these rows (presence + sanity) without a cross-machine ratio gate.
+//!
 //! `optimized_cells_per_sec` stays the single-lane number so the CI
 //! regression gate (`bench_compare`) tracks one stable configuration —
 //! the gate keeps comparing total throughput (speedup vs naive), never
@@ -83,6 +95,38 @@ struct BatchCase {
     kernel: StencilKernel,
     shape: [usize; 3],
     sessions: usize,
+}
+
+struct ServeCase {
+    name: &'static str,
+    kernel: StencilKernel,
+    shape: [usize; 3],
+    tenants: usize,
+    /// Supervised rounds in the timed latency phase.
+    rounds: usize,
+    /// Retire+admit cycles in the timed churn phase.
+    churn_cycles: usize,
+}
+
+fn serve_cases() -> Vec<ServeCase> {
+    vec![
+        ServeCase {
+            name: "serve32_2d5pt_96x96",
+            kernel: StencilKernel::heat2d(),
+            shape: [1, 96, 96],
+            tenants: 32,
+            rounds: 48,
+            churn_cycles: 64,
+        },
+        ServeCase {
+            name: "serve8_3d27pt_32x48x48",
+            kernel: StencilKernel::box3d27p(),
+            shape: [32, 48, 48],
+            tenants: 8,
+            rounds: 24,
+            churn_cycles: 16,
+        },
+    ]
 }
 
 fn batch_cases() -> Vec<BatchCase> {
@@ -393,11 +437,101 @@ fn main() {
         ));
     }
 
+    // Supervised serving: per-round step latency percentiles over a
+    // tenant fleet (including mid-run fault recoveries — the histogram
+    // records only the batched step itself, so supervision work that
+    // delays a round shows up, recovery replay does not), then
+    // membership-churn throughput against the live pool.
+    let mut serve_rows = Vec::new();
+    for sc in serve_cases() {
+        use sparstencil_serve::{ServePolicy, SessionManager};
+
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let plan = compile::<f32>(&sc.kernel, sc.shape, &opts).unwrap();
+        let policy = ServePolicy {
+            max_sessions: sc.tenants + 1,
+            checkpoint_every: 4,
+            checkpoint_ring: 2,
+            backoff_base: 1,
+            backoff_cap: 2,
+            ..ServePolicy::default()
+        };
+        let mut mgr = SessionManager::with_parallelism(&plan, policy, 1);
+        let inputs: Vec<Grid<f32>> = (0..sc.tenants)
+            .map(|_| Grid::<f32>::smooth_random(sc.kernel.dims(), sc.shape))
+            .collect();
+        let mut live: Vec<sparstencil_serve::TenantId> = inputs
+            .iter()
+            .map(|g| mgr.admit(g).expect("within capacity"))
+            .collect();
+
+        // Warm the pool (arena + checkpoint rings), then measure.
+        for _ in 0..6 {
+            mgr.step();
+        }
+        mgr.reset_latency();
+        mgr.drain_events();
+        for round in 0..sc.rounds {
+            // A fault every 16 rounds keeps the self-healing loop in the
+            // measured distribution without dominating it.
+            if round % 16 == 8 {
+                mgr.quarantine(live[round % live.len()])
+                    .expect("tenant is live");
+            }
+            mgr.step();
+        }
+        let hist = mgr.latency();
+        let p50_ms = hist.quantile(0.5).as_secs_f64() * 1e3;
+        let p99_ms = hist.quantile(0.99).as_secs_f64() * 1e3;
+        let mut recoveries = 0usize;
+        let mut evictions = 0usize;
+        for ev in mgr.drain_events() {
+            match ev {
+                sparstencil_serve::ServeEvent::Recovered { .. } => recoveries += 1,
+                sparstencil_serve::ServeEvent::Evicted { .. } => evictions += 1,
+                _ => {}
+            }
+        }
+
+        // Churn throughput: retire + admit cycles against the live pool
+        // (surviving members' buffers untouched, no plan rebuild). One
+        // churn op = one retire or one admit.
+        let mut seed = 0x00C0FFEEusize;
+        let t0 = Instant::now();
+        for i in 0..sc.churn_cycles {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let victim = live.swap_remove(seed % live.len());
+            mgr.retire(victim).expect("tenant is live");
+            live.push(mgr.admit(&inputs[i % inputs.len()]).expect("slot freed"));
+        }
+        let churn_ops_per_sec = (2 * sc.churn_cycles) as f64 / t0.elapsed().as_secs_f64();
+
+        println!(
+            "{:<26} step p50 {p50_ms:>8.3} ms  p99 {p99_ms:>8.3} ms   churn {:>8.0} ops/s   \
+             ({} tenants, {} rounds, {recoveries} recoveries, {evictions} evictions)",
+            sc.name, churn_ops_per_sec, sc.tenants, sc.rounds
+        );
+        serve_rows.push(format!(
+            "    {{\"case\": \"{}\", \"tenants\": {}, \"rounds\": {}, \
+             \"detected_cores\": {detected_cores}, \
+             \"p50_step_ms\": {p50_ms:.4}, \
+             \"p99_step_ms\": {p99_ms:.4}, \
+             \"churn_ops_per_sec\": {churn_ops_per_sec:.1}, \
+             \"recoveries\": {recoveries}, \
+             \"evictions\": {evictions}}}",
+            sc.name, sc.tenants, sc.rounds
+        ));
+    }
+
     let json = format!(
         "{{\n  \"benchmark\": \"step_throughput\",\n  \"results\": [\n{}\n  ],\n  \
-         \"batch_results\": [\n{}\n  ]\n}}\n",
+         \"batch_results\": [\n{}\n  ],\n  \"serving_results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
-        batch_rows.join(",\n")
+        batch_rows.join(",\n"),
+        serve_rows.join(",\n")
     );
     std::fs::write("BENCH_step_throughput.json", &json).expect("write BENCH_step_throughput.json");
     println!("wrote BENCH_step_throughput.json");

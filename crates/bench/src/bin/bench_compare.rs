@@ -11,9 +11,18 @@
 //! split is how gather-cost progress is tracked), the three throughput
 //! numbers, and a `thread_sweep`; batch rows need `sessions`,
 //! `batch_cells_per_sec`, `serial_cells_per_sec`, `batch_speedup`,
-//! `detected_cores`, and a `batch_thread_sweep`. A silently dropped
-//! field or case would otherwise erase part of the trajectory without
-//! failing anything.
+//! `detected_cores`, and a `batch_thread_sweep`; serving rows need
+//! `tenants`, `rounds`, `detected_cores`, `p50_step_ms`,
+//! `p99_step_ms` (ordered: p99 ≥ p50 > 0), `churn_ops_per_sec`,
+//! `recoveries`, and `evictions`. A silently dropped field or case
+//! would otherwise erase part of the trajectory without failing
+//! anything.
+//!
+//! Serving latencies are wall-clock on the measuring machine, so they
+//! get NO cross-machine ratio gate — only the schema/sanity gate plus
+//! the missing-case check: a serving row disappearing from a fresh run
+//! is a regression, its latency moving is runner variance (reported
+//! informationally).
 //!
 //! **Performance gates.** The single-core metric is the per-case
 //! `speedup` (optimized engine vs `run_naive`, measured in the same
@@ -76,15 +85,26 @@ struct BatchRow {
     batch_cells_per_sec: f64,
 }
 
+/// One row of the `serving_results` array.
+struct ServeRow {
+    case: String,
+    line: String,
+    p50_step_ms: f64,
+    p99_step_ms: f64,
+    churn_ops_per_sec: f64,
+}
+
 struct BenchFile {
     path: String,
     rows: Vec<Row>,
     batch: Vec<BatchRow>,
+    serving: Vec<ServeRow>,
 }
 
 /// Parse per-case rows from a bench JSON file. A line with
 /// `optimized_cells_per_sec` is a main row; one with
-/// `batch_cells_per_sec` is a batch row.
+/// `batch_cells_per_sec` is a batch row; one with `p99_step_ms` is a
+/// serving row.
 ///
 /// A missing, unreadable, or truncated file is an `Err` with a
 /// human-readable diagnostic (including how to regenerate the file) —
@@ -116,6 +136,7 @@ fn parse(path: &str) -> Result<BenchFile, String> {
     }
     let mut rows = Vec::new();
     let mut batch = Vec::new();
+    let mut serving = Vec::new();
     for line in text.lines() {
         let Some(case) = string_field(line, "case") else {
             continue;
@@ -135,12 +156,21 @@ fn parse(path: &str) -> Result<BenchFile, String> {
                 batch_speedup: number_field(line, "batch_speedup").unwrap_or(f64::NAN),
                 batch_cells_per_sec: number_field(line, "batch_cells_per_sec").unwrap_or(f64::NAN),
             });
+        } else if line.contains("\"p99_step_ms\"") {
+            serving.push(ServeRow {
+                case,
+                line: line.to_string(),
+                p50_step_ms: number_field(line, "p50_step_ms").unwrap_or(f64::NAN),
+                p99_step_ms: number_field(line, "p99_step_ms").unwrap_or(f64::NAN),
+                churn_ops_per_sec: number_field(line, "churn_ops_per_sec").unwrap_or(f64::NAN),
+            });
         }
     }
     Ok(BenchFile {
         path: path.to_string(),
         rows,
         batch,
+        serving,
     })
 }
 
@@ -157,6 +187,9 @@ fn validate(file: &BenchFile) -> Vec<String> {
     }
     if file.batch.is_empty() {
         errs.push(format!("{}: no parsable batch_results rows", file.path));
+    }
+    if file.serving.is_empty() {
+        errs.push(format!("{}: no parsable serving_results rows", file.path));
     }
 
     // (field, minimum allowed value): `stage_seconds`/`mma_seconds` may
@@ -211,6 +244,45 @@ fn validate(file: &BenchFile) -> Vec<String> {
                 &mut errs,
                 &row.case,
                 "missing field batch_thread_sweep".into(),
+            );
+        }
+    }
+
+    // Serving rows: latency percentiles must exist, be positive, and be
+    // ordered; churn throughput must be positive; the fault-activity
+    // counters must exist (zero is fine — faults are optional) so a run
+    // that silently stopped exercising recovery is visible.
+    let required_serving: &[(&str, f64)] = &[
+        ("tenants", 1.0),
+        ("rounds", 1.0),
+        ("detected_cores", 1.0),
+        ("p50_step_ms", f64::MIN_POSITIVE),
+        ("p99_step_ms", f64::MIN_POSITIVE),
+        ("churn_ops_per_sec", f64::MIN_POSITIVE),
+        ("recoveries", 0.0),
+        ("evictions", 0.0),
+    ];
+    for row in &file.serving {
+        for &(key, min) in required_serving {
+            match number_field(&row.line, key) {
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                Some(_) => {}
+            }
+        }
+        if row.p99_step_ms.is_finite()
+            && row.p50_step_ms.is_finite()
+            && row.p99_step_ms < row.p50_step_ms
+        {
+            err(
+                &mut errs,
+                &row.case,
+                format!(
+                    "p99_step_ms {} < p50_step_ms {} (percentiles out of order)",
+                    row.p99_step_ms, row.p50_step_ms
+                ),
             );
         }
     }
@@ -328,11 +400,38 @@ fn main() -> ExitCode {
         );
     }
 
+    // ---- Serving gate: every baseline serving row must still exist in
+    // the fresh run (schema/sanity was enforced above); the latency and
+    // churn numbers themselves are machine wall-clock, so the movement
+    // is printed informationally, never gated. ----
+    for old in &baseline.serving {
+        let Some(new) = fresh.serving.iter().find(|r| r.case == old.case) else {
+            eprintln!(
+                "REGRESSION: serving case {} missing from fresh results",
+                old.case
+            );
+            failed = true;
+            continue;
+        };
+        println!(
+            "{:<10} {:<26} step p50 {:.3} -> {:.3} ms  p99 {:.3} -> {:.3} ms  \
+             churn {:.0} -> {:.0} ops/s (wall-clock, not gated)",
+            "ok",
+            old.case,
+            old.p50_step_ms,
+            new.p50_step_ms,
+            old.p99_step_ms,
+            new.p99_step_ms,
+            old.churn_ops_per_sec,
+            new.churn_ops_per_sec
+        );
+    }
+
     if failed {
         eprintln!(
-            "bench gate failed: a case went missing, single-core speedup-vs-naive \
-             regressed by more than {:.0}%, or batched stepping fell more than \
-             {:.0}% behind the serial loop",
+            "bench gate failed: a case went missing (incl. batch and serving rows), \
+             single-core speedup-vs-naive regressed by more than {:.0}%, or batched \
+             stepping fell more than {:.0}% behind the serial loop",
             tolerance * 100.0,
             tolerance * 100.0
         );

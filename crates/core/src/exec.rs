@@ -603,6 +603,158 @@ pub mod fault {
     }
 }
 
+/// Fixed-bucket wall-time histogram for deadline-aware stepping: 8
+/// linear sub-buckets per power-of-two of nanoseconds (≤ 12.5% relative
+/// bucket width), covering 1 ns to the full `u64` nanosecond range in a
+/// flat 496-slot array. Recording is a shift, a mask, and an increment —
+/// no allocation ever — so [`crate::session::Batch::step_all_until`]
+/// can fold every step's latency in without perturbing the thing it
+/// measures, and the serving bench reads p50/p99 out of one struct.
+///
+/// Quantiles report a bucket's **upper** bound (conservative for
+/// latency targets: a reported p99 is never below the true p99 by more
+/// than the bucket's width).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Linear sub-buckets per power of two (as a shift).
+    const SUB_BITS: u32 = 3;
+    const SUB: usize = 1 << Self::SUB_BITS;
+    /// One sub-range for values below `SUB`, plus one per remaining
+    /// leading-bit position.
+    const BUCKETS: usize = (64 - Self::SUB_BITS as usize) * Self::SUB + Self::SUB;
+
+    /// An empty histogram. The struct is a flat array — no allocation
+    /// here or anywhere later.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < Self::SUB as u64 {
+            return ns as usize;
+        }
+        let msb = 63 - ns.leading_zeros();
+        let sub = ((ns >> (msb - Self::SUB_BITS)) & (Self::SUB as u64 - 1)) as usize;
+        (msb - Self::SUB_BITS + 1) as usize * Self::SUB + sub
+    }
+
+    /// Upper bound (inclusive, in ns) of bucket `b` — what quantiles
+    /// report.
+    fn bucket_upper(b: usize) -> u64 {
+        if b < Self::SUB {
+            return b as u64;
+        }
+        let major = (b / Self::SUB) as u32 + Self::SUB_BITS - 1;
+        let sub = (b % Self::SUB) as u128;
+        // Lower bound of the *next* sub-bucket, minus one (in u128: the
+        // topmost bucket's bound is exactly 2^64 before the decrement).
+        let ub = ((Self::SUB as u128 + sub + 1) << (major - Self::SUB_BITS)) - 1;
+        ub.min(u64::MAX as u128) as u64
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one sample given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no sample was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples as the
+    /// matching bucket's upper bound; zero when empty. `quantile(0.5)`
+    /// is the p50, `quantile(0.99)` the p99.
+    pub fn quantile(&self, q: f64) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The top bucket's upper bound saturates; report the
+                // exact observed maximum instead.
+                let ns = Self::bucket_upper(b).min(self.max_ns);
+                return std::time::Duration::from_nanos(ns);
+            }
+        }
+        std::time::Duration::from_nanos(self.max_ns)
+    }
+
+    /// Arithmetic mean of the recorded samples; zero when empty.
+    pub fn mean(&self) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        std::time::Duration::from_nanos(self.sum_ns / self.count)
+    }
+
+    /// Smallest recorded sample; zero when empty.
+    pub fn min(&self) -> std::time::Duration {
+        if self.count == 0 {
+            return std::time::Duration::ZERO;
+        }
+        std::time::Duration::from_nanos(self.min_ns)
+    }
+
+    /// Largest recorded sample; zero when empty.
+    pub fn max(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.max_ns)
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Forget every sample (the array stays allocated inline).
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+}
+
 /// One batched stencil step: advance **every** session's `next` buffer
 /// from its `cur` buffer by dispatching the union of all sessions'
 /// z-sliding runs ([`BatchWork`]) through a single two-level guided
@@ -1301,6 +1453,57 @@ mod tests {
     use crate::reference;
     use crate::stencil::StencilKernel;
     use sparstencil_mat::half::verify_tolerance;
+
+    #[test]
+    fn latency_histogram_buckets_are_contiguous_and_monotone() {
+        // Every nanosecond value maps to exactly one bucket, bucket
+        // indices never decrease with the value, and each bucket's
+        // upper bound contains the values mapped to it.
+        let mut prev = 0usize;
+        for ns in (0u64..4096).chain([u64::MAX / 3, u64::MAX - 1, u64::MAX]) {
+            let b = LatencyHistogram::bucket_of(ns);
+            assert!(b >= prev, "bucket index regressed at ns {ns}");
+            assert!(b < LatencyHistogram::BUCKETS);
+            assert!(
+                LatencyHistogram::bucket_upper(b) >= ns,
+                "bucket {b} ns {ns}"
+            );
+            if b > 0 {
+                assert!(LatencyHistogram::bucket_upper(b - 1) < ns);
+            }
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_and_merge() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), std::time::Duration::ZERO);
+        // 100 samples at 1..=100 µs: p50 within a bucket of 50 µs, p99
+        // within a bucket of 99 µs, never *below* the true quantile.
+        for us in 1..=100u64 {
+            h.record_ns(us * 1_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).as_nanos() as u64;
+        let p99 = h.quantile(0.99).as_nanos() as u64;
+        assert!((50_000..=57_000).contains(&p50), "p50 {p50}");
+        assert!((99_000..=100_000).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.min(), std::time::Duration::from_nanos(1_000));
+        assert_eq!(h.max(), std::time::Duration::from_nanos(100_000));
+        let mean = h.mean().as_nanos() as u64;
+        assert!((50_000..=51_000).contains(&mean), "mean {mean}");
+
+        let mut other = LatencyHistogram::new();
+        other.record(std::time::Duration::from_nanos(7));
+        other.merge(&h);
+        assert_eq!(other.count(), 101);
+        assert_eq!(other.min(), std::time::Duration::from_nanos(7));
+        h.clear();
+        assert!(h.is_empty());
+    }
 
     fn check_kernel(k: &StencilKernel, shape: [usize; 3], opts: &Options, iters: usize) {
         let plan = compile::<f32>(k, shape, opts).unwrap();

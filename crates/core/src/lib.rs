@@ -78,7 +78,7 @@ pub mod stencil;
 /// Convenient re-exports for typical use.
 pub mod prelude {
     pub use crate::convert::Strategy;
-    pub use crate::exec::RunStats;
+    pub use crate::exec::{LatencyHistogram, RunStats};
     pub use crate::grid::{FieldView, Grid};
     pub use crate::layout::ExecMode;
     pub use crate::pipeline::Executor;

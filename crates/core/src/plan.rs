@@ -295,6 +295,18 @@ impl BatchWork {
     pub fn items(&self, local_run: usize) -> std::ops::Range<usize> {
         local_run * self.run_len..(local_run + 1) * self.run_len
     }
+
+    /// The same per-session run geometry re-tagged for a different
+    /// member count — the membership-churn path
+    /// ([`Batch::admit`](crate::session::Batch::admit) /
+    /// [`Batch::retire`](crate::session::Batch::retire)). Pure
+    /// arithmetic: no plan data is touched, so a resize costs nothing.
+    /// Unlike [`ExecTables::batch_work`], `sessions == 0` is allowed
+    /// here — a batch drained by retires holds no members until the
+    /// next admit, and its work index must say so rather than panic.
+    pub fn with_sessions(&self, sessions: usize) -> BatchWork {
+        BatchWork { sessions, ..*self }
+    }
 }
 
 impl<R: Real> ExecTables<R> {

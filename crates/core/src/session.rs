@@ -90,6 +90,16 @@
 //! observed, reloaded, or even stepped ahead individually between
 //! batched steps.
 //!
+//! Membership is **dynamic**: [`Batch::admit`] appends a member and
+//! [`Batch::retire`] swap-removes one, both re-tagging the arithmetic
+//! work index ([`BatchWork::with_sessions`]) without rebuilding the
+//! plan or touching any surviving member's buffers — the primitives a
+//! serving layer's admission control is built on. [`Batch::pause`]
+//! parks a member on the same SKIP path quarantine uses (backpressure
+//! without state changes), and [`Batch::step_all_until`] drives the
+//! whole fleet against a wall-clock deadline while folding per-step
+//! latency into a fixed-bucket [`exec::LatencyHistogram`].
+//!
 //! # Observation
 //!
 //! [`Simulation::field`] returns a zero-copy [`FieldView`] of the
@@ -158,7 +168,43 @@
 //! [`Grid::embed_into`]). [`Simulation::restore`] rewinds the session —
 //! field, counters, step count — to the snapshot and clears any
 //! quarantine, which is the cheap recovery path for a sidelined member
-//! (a `reset()` would lose all progress since load).
+//! (a `reset()` would lose all progress since load). Restore
+//! *validates* the snapshot first: shape, fill, and a non-finite scan —
+//! a checkpoint that captured a tainted field is rejected with
+//! [`SessionError::NonFiniteInput`] instead of restored silently, so a
+//! supervisor walking a checkpoint ring falls back to the next-older
+//! snapshot rather than re-tripping quarantine one step later.
+//!
+//! **Supervision state machine.** The batch layer exposes the
+//! mechanisms — SKIP-path sit-outs ([`Batch::pause`]), retire-and-swap
+//! membership ([`Batch::admit`]/[`Batch::retire`]), validated
+//! checkpoint/restore — and the `sparstencil-serve` crate's
+//! `SessionManager` composes them into the serving-side member
+//! lifecycle:
+//!
+//! ```text
+//!             step_all: NaN output / panic            admin signal
+//!                           │                              │
+//!   ┌─────────┐      ┌──────▼──────────────┐               │
+//!   │ healthy │─────►│ quarantined/poisoned│◄──────────────┘
+//!   └────▲────┘      └──────┬──────────────┘
+//!        │                  │ supervisor: restore newest finite
+//!        │                  │ checkpoint in the ring
+//!        │           ┌──────▼─────┐  solo catch-up to the pre-fault
+//!        │           │ restoring  │  step count (session_mut), then
+//!        │           └──────┬─────┘  an escalating paused sit-out
+//!        │                  │
+//!        │   rejoined ┌─────▼──────┐   retry budget exhausted
+//!        └────────────┤ backoff    ├──────────► evicted (retire +
+//!          (resume)   │ (paused)   │            typed reason to the
+//!                     └────────────┘            tenant)
+//! ```
+//!
+//! Every hop is a published `Batch` operation, so a custom supervisor
+//! can implement a different policy over the same machine; the
+//! guarantees that make the loop sound — survivors stay bit-identical
+//! through faults, recovery, and membership churn — are pinned by
+//! `tests/fault_injection.rs` and `tests/serve_soak.rs`.
 //!
 //! ```
 //! use sparstencil::prelude::*;
@@ -367,10 +413,18 @@ fn save_grid_into<R: Real>(src: &Grid<R>, slot: &mut Option<Grid<R>>) {
     }
 }
 
-/// Shared restore-shape gate: the snapshot must match the live buffer.
-fn check_restore_shape<R: Real>(
+/// Shared restore gate: the snapshot must match the live buffer's shape
+/// **and** hold only finite values. The content scan is what makes a
+/// checkpoint ring walkable — a snapshot that happened to capture a
+/// NaN-tainted field is reported as [`SessionError::NonFiniteInput`]
+/// (with the snapshot's linear index) instead of restoring silently and
+/// re-tripping quarantine one step later, so a supervisor can fall back
+/// to the next-older snapshot. `session` names the restoring batch
+/// member in the error (0 for solo sessions).
+fn check_restore<R: Real>(
     ck: &Checkpoint<R>,
     live_shape: [usize; 3],
+    session: usize,
 ) -> Result<&Grid<R>, SessionError> {
     let g = ck.buf.as_ref().ok_or(SessionError::EmptyCheckpoint)?;
     if g.shape() != live_shape {
@@ -378,6 +432,9 @@ fn check_restore_shape<R: Real>(
             expected: live_shape,
             got: g.shape(),
         });
+    }
+    if let Some(index) = g.first_non_finite() {
+        return Err(SessionError::NonFiniteInput { session, index });
     }
     Ok(g)
 }
@@ -669,7 +726,7 @@ impl<R: Real> Backend<R> for EngineBackend<'_, R> {
     }
 
     fn restore_state(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
-        let snap = check_restore_shape(ck, self.bufs.cur.shape())?;
+        let snap = check_restore(ck, self.bufs.cur.shape(), 0)?;
         // Both buffers, like `rewind_to_initial`: `next`'s copy reseeds
         // the boundary cells the mirror reads from.
         self.bufs
@@ -809,7 +866,7 @@ impl<R: Real> Backend<R> for NaiveBackend<'_, R> {
     }
 
     fn restore_state(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
-        let snap = check_restore_shape(ck, self.cur.shape())?;
+        let snap = check_restore(ck, self.cur.shape(), 0)?;
         self.cur.as_mut_slice().copy_from_slice(snap.as_slice());
         self.engine.counters = ck.counters;
         self.dims = ck.dims;
@@ -1102,6 +1159,9 @@ impl<'p, R: Real> Simulation<'p, R> {
     /// # Errors
     /// [`SessionError::EmptyCheckpoint`] for a never-filled checkpoint,
     /// [`SessionError::ShapeMismatch`] for a snapshot of another shape,
+    /// [`SessionError::NonFiniteInput`] for a snapshot holding NaN/Inf
+    /// (restoring it would re-trip quarantine one step later — fall
+    /// back to an older checkpoint instead), and
     /// [`SessionError::Unsupported`] for backends without
     /// retained-state access. On error the session is untouched.
     pub fn restore(&mut self, ck: &Checkpoint<R>) -> Result<(), SessionError> {
@@ -1135,12 +1195,17 @@ struct SessionState<R: Real> {
     /// A panic unwound inside this member's batched step; its buffers
     /// hold the last consistent pre-step state, un-swapped.
     poisoned: bool,
+    /// Administratively parked ([`Batch::pause`]): the member sits out
+    /// `step_all` through the same SKIP path as a quarantined member,
+    /// but is *not* faulted — solo access stays open, and recovery
+    /// paths (`load`/`reset`/`restore`) do not resume it.
+    paused: bool,
 }
 
 impl<R: Real> SessionState<R> {
     /// `true` if this member participates in batched steps.
     fn active(&self) -> bool {
-        !self.poisoned && self.health.quarantined_at.is_none()
+        !self.poisoned && !self.paused && self.health.quarantined_at.is_none()
     }
 
     /// Apply the per-step health verdict under this member's policy
@@ -1315,6 +1380,7 @@ impl<'p, R: Real> Batch<'p, R> {
                 policy: HealthPolicy::default(),
                 health: Health::default(),
                 poisoned: false,
+                paused: false,
             })
             .collect();
         let scratch = exec::WorkerScratch::pool(&plan, lanes.max(1));
@@ -1332,6 +1398,108 @@ impl<'p, R: Real> Batch<'p, R> {
             flags,
             per_iter,
         })
+    }
+
+    /// Admit one more member mid-flight: validate `input` (shape check
+    /// plus non-finite scan, as [`Batch::try_new`] does), append a
+    /// fresh ping-pong buffer pair and session state, and re-tag the
+    /// work index ([`BatchWork::with_sessions`] — pure arithmetic). The
+    /// shared plan and every existing member's buffers are untouched;
+    /// admission is the only allocating membership operation (the new
+    /// member's buffers plus binding-table headroom), and `step_all`
+    /// stays allocation-free afterwards.
+    ///
+    /// The new member occupies the returned slot (the previous
+    /// [`Batch::sessions`] count) at zero steps — catch it up to the
+    /// rest of the batch through [`Batch::session_mut`] if the workload
+    /// needs aligned step counts.
+    ///
+    /// # Errors
+    /// [`SessionError::ShapeMismatch`] or
+    /// [`SessionError::NonFiniteInput`]; on error the batch is
+    /// untouched.
+    pub fn admit(&mut self, input: &Grid<R>) -> Result<usize, SessionError> {
+        let session = self.bufs.len();
+        if input.shape() != self.plan.grid_shape {
+            return Err(SessionError::ShapeMismatch {
+                expected: self.plan.grid_shape,
+                got: input.shape(),
+            });
+        }
+        if let Some(index) = input.first_non_finite() {
+            return Err(SessionError::NonFiniteInput { session, index });
+        }
+        let bufs = exec::StepBuffers::new(&self.plan, input);
+        self.state.push(SessionState {
+            engine: Engine::new(self.plan.gpu.clone(), self.plan.precision),
+            initial: Some(bufs.cur.clone()),
+            steps: 0,
+            dims: input.dims(),
+            policy: HealthPolicy::default(),
+            health: Health::default(),
+            poisoned: false,
+            paused: false,
+        });
+        self.bufs.push(bufs);
+        self.pending.push(AtomicU32::new(0));
+        self.flags.push(AtomicU32::new(0));
+        // The raw binding table is empty between steps; keep its
+        // *capacity* ahead of the member count so the next `step_all`'s
+        // refill performs no allocation.
+        self.ptrs.reserve(self.bufs.len());
+        self.work = self.work.with_sessions(self.bufs.len());
+        Ok(session)
+    }
+
+    /// Retire member `i` by swap-removal: its buffers are dropped, the
+    /// member formerly at the **last** slot moves into slot `i` (when
+    /// `i` was not last), and the work index is re-tagged for the new
+    /// count — no plan rebuild, no copy of any surviving member's
+    /// buffers (`swap_remove` moves the `StepBuffers` struct; the grids'
+    /// heap storage stays where it is). Callers that key members by
+    /// slot index must re-map the moved member — that is what
+    /// `sparstencil-serve`'s `SessionManager` does with its tenant
+    /// table.
+    ///
+    /// Any member may be retired in any state (healthy, paused, or
+    /// faulted); retiring the last member leaves a valid empty batch —
+    /// [`Batch::step_all`] becomes a no-op until an
+    /// [`Batch::admit`] repopulates it (only *construction* over zero
+    /// inputs is rejected).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn retire(&mut self, i: usize) {
+        assert!(i < self.bufs.len(), "no batch member {i} to retire");
+        self.bufs.swap_remove(i);
+        self.state.swap_remove(i);
+        self.pending.swap_remove(i);
+        self.flags.swap_remove(i);
+        self.work = self.work.with_sessions(self.bufs.len());
+    }
+
+    /// Administratively park member `i`: it sits out subsequent
+    /// [`Batch::step_all`] calls through the same SKIP path as a
+    /// quarantined member (buffers frozen, queue drained
+    /// allocation-free) but is **not** faulted — [`Batch::session_mut`]
+    /// still hands out its view, and recovery paths
+    /// (`load`/`reset`/`restore`) do not resume it. This is the
+    /// backpressure primitive: a serving layer pauses a tenant at its
+    /// step budget or in a post-recovery sit-out without touching its
+    /// state.
+    pub fn pause(&mut self, i: usize) {
+        self.state[i].paused = true;
+    }
+
+    /// Re-admit a paused member to batched stepping (no-op when not
+    /// paused).
+    pub fn resume(&mut self, i: usize) {
+        self.state[i].paused = false;
+    }
+
+    /// `true` iff member `i` is administratively paused.
+    pub fn is_paused(&self, i: usize) -> bool {
+        self.state[i].paused
     }
 
     /// Number of sessions in the batch.
@@ -1369,6 +1537,11 @@ impl<'p, R: Real> Batch<'p, R> {
     /// its [`HealthPolicy`] — its step *did* complete (the tainted
     /// field is swapped in), matching solo semantics.
     pub fn step_all(&mut self) {
+        // A batch drained by retires has nothing to dispatch (and the
+        // guided queue is not built for zero groups).
+        if self.bufs.is_empty() {
+            return;
+        }
         // Publish skip flags for inactive members before the dispatch;
         // the store below is the only write lanes can observe (flags
         // were zeroed by the previous step's post-pass / construction).
@@ -1416,6 +1589,34 @@ impl<'p, R: Real> Batch<'p, R> {
     pub fn step_all_n(&mut self, n: usize) {
         for _ in 0..n {
             self.step_all();
+        }
+    }
+
+    /// Deadline-aware stepping: repeat [`Batch::step_all`] until the
+    /// wall clock reaches `deadline`, folding each step's wall time
+    /// into `hist` (see [`exec::LatencyHistogram`] — fixed buckets,
+    /// zero allocations). Returns the number of completed steps.
+    ///
+    /// The deadline is checked **between** steps: a step in flight runs
+    /// to completion (aborting one mid-dispatch would break the
+    /// bit-identity guarantee), so the loop can overshoot the deadline
+    /// by at most one step's latency — which is exactly what the
+    /// recorded histogram quantifies. A deadline already in the past
+    /// performs no steps.
+    pub fn step_all_until(
+        &mut self,
+        deadline: std::time::Instant,
+        hist: &mut exec::LatencyHistogram,
+    ) -> usize {
+        let mut steps = 0;
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return steps;
+            }
+            self.step_all();
+            hist.record(now.elapsed());
+            steps += 1;
         }
     }
 
@@ -1526,7 +1727,7 @@ impl<'p, R: Real> Batch<'p, R> {
     }
 
     /// `true` iff session `i` will step on the next [`Batch::step_all`]
-    /// (neither poisoned nor quarantined).
+    /// (neither poisoned, quarantined, nor paused).
     pub fn is_active(&self, i: usize) -> bool {
         self.state[i].active()
     }
@@ -1570,9 +1771,16 @@ impl<'p, R: Real> Batch<'p, R> {
     /// Rewind session `i` to `ck`, clearing any poisoned/quarantined
     /// status — the targeted recovery path: the member resumes from the
     /// checkpointed step instead of from its initial field
-    /// ([`Batch::reset`]). Zero allocations (buffer reuse).
+    /// ([`Batch::reset`]). Zero allocations (buffer reuse). A paused
+    /// member stays paused.
+    ///
+    /// # Errors
+    /// As [`Simulation::restore`]: `EmptyCheckpoint`, `ShapeMismatch`,
+    /// or [`SessionError::NonFiniteInput`] for a snapshot holding
+    /// NaN/Inf (it names session `i` and the tainted linear index; walk
+    /// back to an older checkpoint). On error the member is untouched.
     pub fn restore(&mut self, i: usize, ck: &Checkpoint<R>) -> Result<(), SessionError> {
-        let snap = check_restore_shape(ck, self.bufs[i].cur.shape())?;
+        let snap = check_restore(ck, self.bufs[i].cur.shape(), i)?;
         self.bufs[i]
             .cur
             .as_mut_slice()

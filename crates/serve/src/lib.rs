@@ -1,0 +1,986 @@
+//! Supervised multi-tenant serving over one batched plan: the layer
+//! that keeps a fleet of [`sparstencil::session::Batch`] members alive
+//! under churn, budgets, and faults without the client hand-rolling
+//! recovery.
+//!
+//! The core crate supplies the mechanisms — retire-and-swap membership
+//! ([`Batch::admit`]/[`Batch::retire`]), SKIP-path sit-outs
+//! ([`Batch::pause`]), validated checkpoint/restore, typed
+//! [`SessionError`]s — and this crate's [`SessionManager`] composes
+//! them into policy:
+//!
+//! - **Admission control** ([`SessionManager::admit`]): a configurable
+//!   capacity gate (max live sessions, max aggregate cells) that
+//!   returns a typed [`RejectReason`] instead of growing without bound.
+//! - **Step budgets with backpressure**
+//!   ([`SessionManager::set_step_budget`]): a tenant at its budget sits
+//!   out [`SessionManager::step`] exactly like a quarantined member —
+//!   the same SKIP flag drains its claims allocation-free — and
+//!   resumes the moment the budget is raised.
+//! - **Supervision** (inside every [`SessionManager::step`]): periodic
+//!   auto-checkpoints per member into a ring of K snapshots (reusing
+//!   [`Batch::checkpoint_into`]; zero steady-state allocations), and on
+//!   [`SessionError::Poisoned`]/[`SessionError::Quarantined`] an
+//!   automatic restore-to-last-good + solo catch-up + rejoin, with
+//!   bounded retry attempts and an escalating sit-out (backoff measured
+//!   in supervised rounds) before the member is dropped and the tenant
+//!   notified via a typed [`EvictionReason`].
+//! - **Deadline-aware stepping** ([`SessionManager::run_until`]): the
+//!   supervised loop against a wall-clock deadline, folding every
+//!   round's step latency into a fixed-bucket
+//!   [`LatencyHistogram`] so a serving workload can report p50/p99.
+//!
+//! The manager preserves the batch layer's load-bearing guarantee:
+//! every tenant's trajectory stays **bit-identical** to a solo session
+//! over the same plan, through admission, churn of unrelated members,
+//! budget pauses, and fault recovery (restore + deterministic replay).
+//! `tests/serve_manager.rs` pins the guarantee round by round and
+//! `tests/serve_soak.rs` soaks it under injected panics and NaN storms.
+//!
+//! ```
+//! use sparstencil::prelude::*;
+//! use sparstencil_serve::{ServePolicy, SessionManager};
+//!
+//! let kernel = StencilKernel::heat2d();
+//! let shape = [1, 40, 40];
+//! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
+//! let mut mgr = SessionManager::new(exec.plan(), ServePolicy::default());
+//!
+//! let a = mgr.admit(&Grid::<f32>::smooth_random(2, shape)).unwrap();
+//! let b = mgr.admit(&Grid::<f32>::smooth_random(7, shape)).unwrap();
+//! for _ in 0..5 {
+//!     mgr.step();
+//! }
+//! assert_eq!(mgr.steps(a), Some(5));
+//! mgr.retire(b).unwrap();
+//! assert_eq!(mgr.live_sessions(), 1);
+//! ```
+
+use sparstencil::exec::LatencyHistogram;
+use sparstencil::grid::{FieldView, Grid};
+use sparstencil::plan::CompiledStencil;
+use sparstencil::session::{Batch, Checkpoint, Health, HealthPolicy, SessionError};
+use sparstencil_mat::Real;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Capacity and supervision policy for a [`SessionManager`]; every knob
+/// has a serving-shaped default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Admission gate: maximum live sessions (default 64).
+    pub max_sessions: usize,
+    /// Admission gate: maximum aggregate semantic cells across live
+    /// sessions (default unlimited).
+    pub max_total_cells: u64,
+    /// Auto-checkpoint cadence in per-member steps (default 8). The
+    /// supervisor snapshots a healthy member whenever it has advanced
+    /// this many steps past its last snapshot.
+    pub checkpoint_every: usize,
+    /// Snapshots retained per member, newest-first ring (default 3).
+    /// Zero disables the ring; recovery then falls back to the
+    /// admission-time snapshot.
+    pub checkpoint_ring: usize,
+    /// Recovery attempts granted per tenant before eviction (default
+    /// 3). The counter decays back to zero after [`heal_after`] clean
+    /// rounds, so sporadic transient faults do not accumulate into an
+    /// eviction over a long residency.
+    ///
+    /// [`heal_after`]: ServePolicy::heal_after
+    pub max_recoveries: u32,
+    /// First post-recovery sit-out, in supervised rounds (default 2).
+    /// Doubles per consecutive attempt: attempt `k` sits out
+    /// `backoff_base << (k-1)` rounds, capped at [`backoff_cap`].
+    ///
+    /// [`backoff_cap`]: ServePolicy::backoff_cap
+    pub backoff_base: u64,
+    /// Ceiling for the escalating sit-out (default 64 rounds).
+    pub backoff_cap: u64,
+    /// Clean rounds after which a tenant's recovery counter resets to
+    /// zero (default 64).
+    pub heal_after: u64,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        Self {
+            max_sessions: 64,
+            max_total_cells: u64::MAX,
+            checkpoint_every: 8,
+            checkpoint_ring: 3,
+            max_recoveries: 3,
+            backoff_base: 2,
+            backoff_cap: 64,
+            heal_after: 64,
+        }
+    }
+}
+
+/// Opaque tenant handle. Identifiers are never reused, so a stale
+/// handle can be answered precisely ([`TenantStatus::Evicted`] with its
+/// reason, or `None` for a retired/unknown tenant) instead of silently
+/// aliasing a newer admission the way a raw batch slot index would
+/// after retire-and-swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Why an [`SessionManager::admit`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The live-session cap is already reached.
+    SessionCapacity {
+        /// The policy's `max_sessions`.
+        limit: usize,
+        /// Live sessions at the time of the request.
+        live: usize,
+    },
+    /// Admitting would push the aggregate cell count over the cap.
+    CellCapacity {
+        /// The policy's `max_total_cells`.
+        limit: u64,
+        /// Aggregate cells across live sessions before the request.
+        live: u64,
+        /// Cells the requested session would add.
+        requested: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::SessionCapacity { limit, live } => {
+                write!(f, "session capacity reached ({live} live, limit {limit})")
+            }
+            RejectReason::CellCapacity {
+                limit,
+                live,
+                requested,
+            } => write!(
+                f,
+                "cell capacity would be exceeded ({live} live + {requested} requested > {limit})"
+            ),
+        }
+    }
+}
+
+/// Why a tenant was dropped by the supervisor (carried by
+/// [`ServeEvent::Evicted`] and [`TenantStatus::Evicted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvictionReason {
+    /// The tenant faulted again after exhausting its recovery budget.
+    RecoveryBudgetExhausted {
+        /// Recovery attempts that were granted and spent.
+        attempts: u32,
+        /// The fault that broke the camel's back.
+        last_fault: SessionError,
+    },
+    /// No retained snapshot (ring or admission-time) passed restore
+    /// validation — every candidate was rejected, e.g. as
+    /// [`SessionError::NonFiniteInput`].
+    NoViableCheckpoint {
+        /// The last restore rejection observed while walking the ring.
+        last_error: SessionError,
+    },
+}
+
+impl std::fmt::Display for EvictionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictionReason::RecoveryBudgetExhausted {
+                attempts,
+                last_fault,
+            } => write!(
+                f,
+                "recovery budget exhausted after {attempts} attempts (last fault: {last_fault})"
+            ),
+            EvictionReason::NoViableCheckpoint { last_error } => {
+                write!(f, "no retained checkpoint restores cleanly ({last_error})")
+            }
+        }
+    }
+}
+
+/// Everything a [`SessionManager`] call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request.
+    Rejected(RejectReason),
+    /// The handle names no live tenant (retired, evicted, or never
+    /// admitted here).
+    UnknownTenant(TenantId),
+    /// The underlying session layer refused (shape mismatch, non-finite
+    /// input, …).
+    Session(SessionError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected(r) => write!(f, "admission rejected: {r}"),
+            ServeError::UnknownTenant(id) => write!(f, "no live tenant {id}"),
+            ServeError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> Self {
+        ServeError::Session(e)
+    }
+}
+
+/// A tenant's position in the supervision state machine (see the
+/// state-machine diagram in [`sparstencil::session`]'s module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TenantStatus {
+    /// Healthy and stepping.
+    Running,
+    /// Sitting out rounds until its step budget is raised.
+    AtBudget,
+    /// Recovered from a fault; sitting out its escalating backoff.
+    BackingOff {
+        /// First supervised round it will step in again.
+        until_round: u64,
+    },
+    /// Faulted since the last supervised round; the next
+    /// [`SessionManager::step`] will attempt recovery.
+    Faulted(SessionError),
+    /// Dropped by the supervisor; the reason is retained for the
+    /// tenant to query.
+    Evicted(EvictionReason),
+}
+
+/// Notifications drained via [`SessionManager::drain_events`], in
+/// occurrence order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// A tenant was admitted into the given batch slot.
+    Admitted {
+        /// The new tenant.
+        tenant: TenantId,
+        /// Its batch slot at admission (may change on later retires).
+        slot: usize,
+    },
+    /// A tenant was retired at its own request.
+    Retired {
+        /// The departed tenant.
+        tenant: TenantId,
+    },
+    /// The supervisor restored a faulted tenant and replayed it back to
+    /// its pre-fault step count.
+    Recovered {
+        /// The recovered tenant.
+        tenant: TenantId,
+        /// The fault that triggered recovery.
+        fault: SessionError,
+        /// Step count of the snapshot that was restored.
+        restored_to_step: usize,
+        /// Solo catch-up steps replayed after the restore.
+        replayed: usize,
+        /// Which recovery attempt this was (1-based).
+        attempt: u32,
+        /// Rounds the tenant sits out before rejoining.
+        sit_out_rounds: u64,
+    },
+    /// The supervisor dropped a tenant.
+    Evicted {
+        /// The dropped tenant.
+        tenant: TenantId,
+        /// Why.
+        reason: EvictionReason,
+    },
+}
+
+/// What one supervised [`SessionManager::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepReport {
+    /// The supervised round just completed (1-based).
+    pub round: u64,
+    /// Members that stepped.
+    pub active: usize,
+    /// Members parked in a post-recovery backoff this round (their
+    /// sit-out expires by itself; budget-parked members are *not*
+    /// counted — only a budget change can wake those).
+    pub backing_off: usize,
+    /// Members restored + replayed this round.
+    pub recovered: usize,
+    /// Members evicted this round.
+    pub evicted: usize,
+}
+
+/// Aggregate of a [`SessionManager::run_until`] deadline loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Supervised rounds completed before the deadline.
+    pub rounds: u64,
+    /// Total members restored + replayed.
+    pub recovered: usize,
+    /// Total members evicted.
+    pub evicted: usize,
+}
+
+/// Per-tenant supervision state (the manager's side; execution state
+/// lives in the batch member the `slot` points at).
+struct Tenant<R: Real> {
+    slot: usize,
+    /// Lifetime step budget; the member pauses at `steps >= budget`.
+    budget: Option<usize>,
+    /// Auto-checkpoint ring, rotated at `next_ck`; newest snapshot is
+    /// the slot written most recently.
+    ring: Vec<Checkpoint<R>>,
+    next_ck: usize,
+    /// Admission-time snapshot: the recovery path of last resort, never
+    /// rotated out.
+    genesis: Checkpoint<R>,
+    /// Member step count at the most recent ring snapshot.
+    last_ck_step: usize,
+    /// Recovery attempts spent (decays after `heal_after` clean
+    /// rounds).
+    recoveries: u32,
+    /// Supervised round until which the tenant sits out, if any.
+    backoff_until: Option<u64>,
+    /// Round of the most recent fault (drives the heal decay).
+    last_fault_round: u64,
+}
+
+impl<R: Real> Tenant<R> {
+    /// Ring indices newest → oldest.
+    fn ring_newest_first(&self) -> impl Iterator<Item = usize> + '_ {
+        let len = self.ring.len();
+        (0..len).map(move |k| (self.next_ck + len - 1 - k) % len)
+    }
+}
+
+/// A supervised multi-tenant serving front over one live [`Batch`]: see
+/// the [crate docs](self) for the full feature tour and the guarantees.
+///
+/// The manager owns the batch; tenants are addressed by stable
+/// [`TenantId`] handles while the underlying batch slots shift under
+/// retire-and-swap. All supervision (fault recovery, checkpoints,
+/// budget/backoff gating) happens inside [`SessionManager::step`] —
+/// there is no background thread, so the caller decides when
+/// supervision work may run.
+pub struct SessionManager<'p, R: Real> {
+    plan: &'p CompiledStencil<R>,
+    lanes: Option<usize>,
+    policy: ServePolicy,
+    /// `None` until the first admission (a batch cannot be *built*
+    /// empty; it may later be *drained* empty by retires).
+    batch: Option<Batch<'p, R>>,
+    /// Batch slot → tenant, kept in lockstep with the batch's member
+    /// table across swap-removals.
+    slots: Vec<TenantId>,
+    tenants: BTreeMap<TenantId, Tenant<R>>,
+    /// Terminal notices for tenants the supervisor dropped.
+    evicted: BTreeMap<TenantId, EvictionReason>,
+    next_id: u64,
+    round: u64,
+    hist: LatencyHistogram,
+    events: Vec<ServeEvent>,
+    cells_per_session: u64,
+    live_cells: u64,
+}
+
+impl<'p, R: Real> SessionManager<'p, R> {
+    /// A manager serving `plan` with the pool-wide default lane count.
+    pub fn new(plan: &'p CompiledStencil<R>, policy: ServePolicy) -> Self {
+        Self::build(plan, policy, None)
+    }
+
+    /// A manager with an explicit worker-lane count (forwarded to the
+    /// batch; results are identical for every lane count).
+    pub fn with_parallelism(
+        plan: &'p CompiledStencil<R>,
+        policy: ServePolicy,
+        lanes: usize,
+    ) -> Self {
+        Self::build(plan, policy, Some(lanes))
+    }
+
+    fn build(plan: &'p CompiledStencil<R>, policy: ServePolicy, lanes: Option<usize>) -> Self {
+        let [nz, ny, nx] = plan.grid_shape;
+        Self {
+            plan,
+            lanes,
+            policy,
+            batch: None,
+            slots: Vec::new(),
+            tenants: BTreeMap::new(),
+            evicted: BTreeMap::new(),
+            next_id: 0,
+            round: 0,
+            hist: LatencyHistogram::new(),
+            events: Vec::new(),
+            cells_per_session: (nz * ny * nx) as u64,
+            live_cells: 0,
+        }
+    }
+
+    /// The policy this manager enforces.
+    pub fn policy(&self) -> &ServePolicy {
+        &self.policy
+    }
+
+    /// The shared compiled plan.
+    pub fn plan(&self) -> &CompiledStencil<R> {
+        self.plan
+    }
+
+    /// Live (admitted, not retired/evicted) sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Aggregate semantic cells across live sessions.
+    pub fn live_cells(&self) -> u64 {
+        self.live_cells
+    }
+
+    /// Supervised rounds completed.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Live tenant handles, in admission order.
+    pub fn tenants(&self) -> impl Iterator<Item = TenantId> + '_ {
+        self.tenants.keys().copied()
+    }
+
+    /// The live tenant currently occupying batch slot `slot`, if any.
+    /// Slots shift on retire-and-swap, so this mapping is only stable
+    /// between membership changes — which is exactly the window a
+    /// fault-injection harness arms its per-slot hooks in.
+    pub fn tenant_at(&self, slot: usize) -> Option<TenantId> {
+        self.slots.get(slot).copied()
+    }
+
+    /// The batch slot tenant `id` currently occupies, if live.
+    pub fn slot_of(&self, id: TenantId) -> Option<usize> {
+        self.tenants.get(&id).map(|t| t.slot)
+    }
+
+    /// Admit a tenant: capacity gates first (typed
+    /// [`ServeError::Rejected`]), then [`Batch::admit`] (shape +
+    /// non-finite validation), then supervision bootstrap — the member
+    /// runs under [`HealthPolicy::Quarantine`] (the supervisor *is* the
+    /// recovery path) and its admission-time snapshot is taken
+    /// immediately so recovery is possible before the first ring
+    /// checkpoint.
+    pub fn admit(&mut self, input: &Grid<R>) -> Result<TenantId, ServeError> {
+        let live = self.slots.len();
+        if live >= self.policy.max_sessions {
+            return Err(ServeError::Rejected(RejectReason::SessionCapacity {
+                limit: self.policy.max_sessions,
+                live,
+            }));
+        }
+        if self.live_cells.saturating_add(self.cells_per_session) > self.policy.max_total_cells {
+            return Err(ServeError::Rejected(RejectReason::CellCapacity {
+                limit: self.policy.max_total_cells,
+                live: self.live_cells,
+                requested: self.cells_per_session,
+            }));
+        }
+        let slot = match self.batch.as_mut() {
+            Some(batch) => batch.admit(input)?,
+            None => {
+                let inputs = std::slice::from_ref(input);
+                let batch = match self.lanes {
+                    Some(lanes) => Batch::try_with_parallelism(self.plan, inputs, lanes)?,
+                    None => Batch::try_new(self.plan, inputs)?,
+                };
+                self.batch = Some(batch);
+                0
+            }
+        };
+        let batch = self.batch.as_mut().expect("batch exists after admission");
+        batch.set_health_policy(slot, HealthPolicy::Quarantine);
+        let mut genesis = Checkpoint::new();
+        batch.checkpoint_into(slot, &mut genesis);
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.tenants.insert(
+            id,
+            Tenant {
+                slot,
+                budget: None,
+                ring: Vec::with_capacity(self.policy.checkpoint_ring),
+                next_ck: 0,
+                genesis,
+                last_ck_step: 0,
+                recoveries: 0,
+                backoff_until: None,
+                last_fault_round: self.round,
+            },
+        );
+        self.slots.push(id);
+        self.live_cells += self.cells_per_session;
+        self.events.push(ServeEvent::Admitted { tenant: id, slot });
+        Ok(id)
+    }
+
+    /// Retire tenant `id`: its batch member is swap-removed (surviving
+    /// members' buffers untouched; the member formerly in the last slot
+    /// takes the freed one, and the tenant table is re-pointed), its
+    /// snapshots are dropped, and its capacity is released.
+    pub fn retire(&mut self, id: TenantId) -> Result<(), ServeError> {
+        let slot = self.slot_of(id).ok_or(ServeError::UnknownTenant(id))?;
+        self.remove_slot(slot);
+        self.events.push(ServeEvent::Retired { tenant: id });
+        Ok(())
+    }
+
+    /// Set (or clear) tenant `id`'s lifetime step budget. A member
+    /// whose step count has reached its budget is parked on the batch's
+    /// SKIP path — state frozen, zero cost per round — and rejoins the
+    /// round after the budget is raised or cleared.
+    pub fn set_step_budget(
+        &mut self,
+        id: TenantId,
+        budget: Option<usize>,
+    ) -> Result<(), ServeError> {
+        self.tenants
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownTenant(id))?
+            .budget = budget;
+        Ok(())
+    }
+
+    /// Administratively fault tenant `id` (quarantine its member):
+    /// the next supervised round treats it exactly like an organic
+    /// fault — restore, replay, backoff. An operational kill-switch and
+    /// a deterministic way to exercise the recovery machinery without
+    /// the `fault-inject` feature.
+    pub fn quarantine(&mut self, id: TenantId) -> Result<(), ServeError> {
+        let slot = self.slot_of(id).ok_or(ServeError::UnknownTenant(id))?;
+        self.batch
+            .as_mut()
+            .expect("live tenant implies batch")
+            .quarantine(slot);
+        Ok(())
+    }
+
+    /// Tenant `id`'s position in the supervision state machine; `None`
+    /// for handles this manager never issued or whose tenant retired.
+    pub fn status(&self, id: TenantId) -> Option<TenantStatus> {
+        if let Some(reason) = self.evicted.get(&id) {
+            return Some(TenantStatus::Evicted(reason.clone()));
+        }
+        let t = self.tenants.get(&id)?;
+        let batch = self.batch.as_ref()?;
+        if let Some(e) = batch.error(t.slot) {
+            return Some(TenantStatus::Faulted(e));
+        }
+        if let Some(until_round) = t.backoff_until {
+            return Some(TenantStatus::BackingOff { until_round });
+        }
+        if t.budget.is_some_and(|b| batch.steps(t.slot) >= b) {
+            return Some(TenantStatus::AtBudget);
+        }
+        Some(TenantStatus::Running)
+    }
+
+    /// Tenant `id`'s completed-step count, if live.
+    pub fn steps(&self, id: TenantId) -> Option<usize> {
+        let t = self.tenants.get(&id)?;
+        Some(self.batch.as_ref()?.steps(t.slot))
+    }
+
+    /// Zero-copy view of tenant `id`'s current semantic field, if live.
+    pub fn field(&self, id: TenantId) -> Option<FieldView<'_, R>> {
+        let t = self.tenants.get(&id)?;
+        Some(self.batch.as_ref()?.field(t.slot))
+    }
+
+    /// Materialize tenant `id`'s current semantic field, if live.
+    pub fn to_grid(&self, id: TenantId) -> Option<Grid<R>> {
+        Some(self.field(id)?.to_grid())
+    }
+
+    /// Tenant `id`'s numeric-health record, if live.
+    pub fn health(&self, id: TenantId) -> Option<Health> {
+        let t = self.tenants.get(&id)?;
+        Some(*self.batch.as_ref()?.health(t.slot))
+    }
+
+    /// Per-round step-latency histogram recorded by
+    /// [`SessionManager::step`] / [`SessionManager::run_until`].
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Forget the recorded latency samples (e.g. between bench phases).
+    pub fn reset_latency(&mut self) {
+        self.hist.clear();
+    }
+
+    /// Drain the accumulated [`ServeEvent`]s, oldest first.
+    pub fn drain_events(&mut self) -> Vec<ServeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// One supervised round:
+    ///
+    /// 1. **Recover or evict** every faulted member (fault verdicts
+    ///    come from the *previous* round's step or solo activity):
+    ///    restore the newest snapshot that passes validation (ring,
+    ///    then the admission-time snapshot), solo-replay to the
+    ///    pre-fault step count, park the member for its escalating
+    ///    backoff — or evict when the retry budget is spent or no
+    ///    snapshot restores.
+    /// 2. **Auto-checkpoint** every healthy member that advanced
+    ///    `checkpoint_every` steps past its last snapshot (ring slots
+    ///    are reused once warm: zero steady-state allocations).
+    /// 3. **Gate**: park members at budget or in backoff on the SKIP
+    ///    path, wake the rest.
+    /// 4. **Step** all active members through the one guided queue,
+    ///    folding the step's wall time into the latency histogram.
+    ///
+    /// The round counter advances even when no member stepped, so
+    /// backoffs expire without external help.
+    pub fn step(&mut self) -> StepReport {
+        let mut report = StepReport {
+            round: self.round + 1,
+            ..StepReport::default()
+        };
+        self.recover_or_evict_faulted(&mut report);
+        self.take_due_checkpoints();
+        self.apply_gates(&mut report);
+        if report.active > 0 {
+            let batch = self.batch.as_mut().expect("active members imply batch");
+            let t0 = Instant::now();
+            batch.step_all();
+            self.hist.record(t0.elapsed());
+        }
+        self.round += 1;
+        report
+    }
+
+    /// Supervised rounds until the wall clock reaches `deadline`. The
+    /// deadline is checked between rounds (a round in flight completes;
+    /// see [`Batch::step_all_until`] for why aborting mid-step is not
+    /// an option). Returns early when no member could ever step again
+    /// without external action — every tenant gone, or every survivor
+    /// parked at a budget with no backoff pending.
+    pub fn run_until(&mut self, deadline: Instant) -> RunReport {
+        let mut report = RunReport::default();
+        while Instant::now() < deadline && !self.slots.is_empty() {
+            let r = self.step();
+            report.rounds += 1;
+            report.recovered += r.recovered;
+            report.evicted += r.evicted;
+            if r.active == 0 && r.backing_off == 0 {
+                break;
+            }
+        }
+        report
+    }
+
+    /// Drop the member in `slot` and re-point the tenant displaced by
+    /// the swap-removal. Returns the removed tenant's handle.
+    fn remove_slot(&mut self, slot: usize) -> TenantId {
+        self.batch
+            .as_mut()
+            .expect("live slot implies batch")
+            .retire(slot);
+        let id = self.slots.swap_remove(slot);
+        self.tenants.remove(&id);
+        if let Some(&moved) = self.slots.get(slot) {
+            self.tenants
+                .get_mut(&moved)
+                .expect("slot table mirrors tenant table")
+                .slot = slot;
+        }
+        self.live_cells -= self.cells_per_session;
+        id
+    }
+
+    /// Phase 1: walk the slot table and put every faulted member back
+    /// on its feet (or out the door). Index-walk instead of iterator:
+    /// an eviction swap-removes into the current slot, which must then
+    /// be re-examined.
+    fn recover_or_evict_faulted(&mut self, report: &mut StepReport) {
+        let mut slot = 0;
+        while slot < self.slots.len() {
+            let fault = self
+                .batch
+                .as_ref()
+                .expect("live slots imply batch")
+                .error(slot);
+            match fault {
+                None => slot += 1,
+                Some(fault) => {
+                    let id = self.slots[slot];
+                    if !self.recover_or_evict(id, slot, fault, report) {
+                        slot += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recover one faulted tenant, or evict it. Returns `true` when the
+    /// tenant was evicted (its slot now holds a different member).
+    fn recover_or_evict(
+        &mut self,
+        id: TenantId,
+        slot: usize,
+        fault: SessionError,
+        report: &mut StepReport,
+    ) -> bool {
+        let heal_after = self.policy.heal_after;
+        let round = self.round;
+        {
+            let t = self.tenants.get_mut(&id).expect("slot table in sync");
+            if t.recoveries > 0 && round.saturating_sub(t.last_fault_round) >= heal_after {
+                t.recoveries = 0;
+            }
+            t.last_fault_round = round;
+        }
+        let spent = self.tenants[&id].recoveries;
+        let attempt = spent + 1;
+        if attempt > self.policy.max_recoveries {
+            let reason = EvictionReason::RecoveryBudgetExhausted {
+                attempts: spent,
+                last_fault: fault,
+            };
+            self.evict(id, slot, reason);
+            report.evicted += 1;
+            return true;
+        }
+
+        // Restore the newest snapshot that passes validation. Disjoint
+        // field borrows: the ring lives in `tenants`, the buffers in
+        // `batch`.
+        let t = self.tenants.get(&id).expect("slot table in sync");
+        let batch = self.batch.as_mut().expect("live slots imply batch");
+        let target = batch.steps(slot);
+        let mut restored = None;
+        let mut last_error = None;
+        for idx in t.ring_newest_first() {
+            match batch.restore(slot, &t.ring[idx]) {
+                Ok(()) => {
+                    restored = Some(t.ring[idx].steps());
+                    break;
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        if restored.is_none() {
+            match batch.restore(slot, &t.genesis) {
+                Ok(()) => restored = Some(t.genesis.steps()),
+                Err(e) => last_error = Some(e),
+            }
+        }
+        let Some(from_step) = restored else {
+            let reason = EvictionReason::NoViableCheckpoint {
+                last_error: last_error.expect("the genesis restore was tried"),
+            };
+            self.evict(id, slot, reason);
+            report.evicted += 1;
+            return true;
+        };
+
+        // Solo catch-up to the pre-fault step count — deterministic
+        // replay, so a transient fault leaves the tenant bit-identical
+        // to its unfaulted twin. A *persistent* fault re-trips
+        // quarantine during the replay; stop there and let the next
+        // round escalate the attempt counter toward eviction.
+        let replay = target - from_step;
+        {
+            let mut member = batch.session_mut(slot);
+            for _ in 0..replay {
+                member.step();
+                if member.health().is_quarantined() {
+                    break;
+                }
+            }
+        }
+
+        let sit_out = (self.policy.backoff_base << (attempt - 1).min(32))
+            .min(self.policy.backoff_cap)
+            .max(1);
+        let t = self.tenants.get_mut(&id).expect("slot table in sync");
+        t.recoveries = attempt;
+        t.backoff_until = Some(round + sit_out);
+        self.events.push(ServeEvent::Recovered {
+            tenant: id,
+            fault,
+            restored_to_step: from_step,
+            replayed: replay,
+            attempt,
+            sit_out_rounds: sit_out,
+        });
+        report.recovered += 1;
+        false
+    }
+
+    fn evict(&mut self, id: TenantId, slot: usize, reason: EvictionReason) {
+        self.remove_slot(slot);
+        self.evicted.insert(id, reason.clone());
+        self.events.push(ServeEvent::Evicted { tenant: id, reason });
+    }
+
+    /// Phase 2: ring-snapshot every healthy member that advanced far
+    /// enough since its last snapshot.
+    fn take_due_checkpoints(&mut self) {
+        let Some(batch) = self.batch.as_mut() else {
+            return;
+        };
+        let every = self.policy.checkpoint_every.max(1);
+        let cap = self.policy.checkpoint_ring;
+        for t in self.tenants.values_mut() {
+            let steps = batch.steps(t.slot);
+            if cap == 0 || batch.error(t.slot).is_some() || steps < t.last_ck_step + every {
+                continue;
+            }
+            if t.ring.len() < cap {
+                let mut ck = Checkpoint::new();
+                batch.checkpoint_into(t.slot, &mut ck);
+                t.ring.push(ck);
+                t.next_ck = t.ring.len() % cap;
+            } else {
+                batch.checkpoint_into(t.slot, &mut t.ring[t.next_ck]);
+                t.next_ck = (t.next_ck + 1) % t.ring.len();
+            }
+            t.last_ck_step = steps;
+        }
+    }
+
+    /// Phase 3: publish this round's SKIP set from budgets and
+    /// backoffs, expiring due backoffs along the way.
+    fn apply_gates(&mut self, report: &mut StepReport) {
+        let Some(batch) = self.batch.as_mut() else {
+            return;
+        };
+        let round = self.round;
+        for t in self.tenants.values_mut() {
+            if t.backoff_until.is_some_and(|until| round >= until) {
+                t.backoff_until = None;
+            }
+            let at_budget = t.budget.is_some_and(|b| batch.steps(t.slot) >= b);
+            if at_budget || t.backoff_until.is_some() {
+                batch.pause(t.slot);
+            } else {
+                batch.resume(t.slot);
+            }
+            if batch.is_active(t.slot) {
+                report.active += 1;
+            } else if t.backoff_until.is_some() {
+                report.backing_off += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparstencil::plan::{compile, Options};
+    use sparstencil::StencilKernel;
+
+    fn plan(shape: [usize; 3]) -> CompiledStencil<f32> {
+        let k = StencilKernel::heat2d();
+        compile::<f32>(&k, shape, &Options::default()).unwrap()
+    }
+
+    fn input(seed: usize, shape: [usize; 3]) -> Grid<f32> {
+        Grid::<f32>::smooth_random(seed, shape)
+    }
+
+    #[test]
+    fn admission_caps_are_typed() {
+        let shape = [1, 24, 24];
+        let plan = plan(shape);
+        let policy = ServePolicy {
+            max_sessions: 2,
+            ..ServePolicy::default()
+        };
+        let mut mgr = SessionManager::new(&plan, policy);
+        let a = mgr.admit(&input(1, shape)).unwrap();
+        let _b = mgr.admit(&input(2, shape)).unwrap();
+        let err = mgr.admit(&input(3, shape)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Rejected(RejectReason::SessionCapacity { limit: 2, live: 2 })
+        );
+        // Retiring frees the slot.
+        mgr.retire(a).unwrap();
+        assert!(mgr.admit(&input(3, shape)).is_ok());
+
+        // Cell capacity: room for exactly one 24×24 session.
+        let policy = ServePolicy {
+            max_total_cells: 600,
+            ..ServePolicy::default()
+        };
+        let mut mgr = SessionManager::new(&plan, policy);
+        mgr.admit(&input(1, shape)).unwrap();
+        assert_eq!(
+            mgr.admit(&input(2, shape)).unwrap_err(),
+            ServeError::Rejected(RejectReason::CellCapacity {
+                limit: 600,
+                live: 576,
+                requested: 576
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_and_stale_handles_answer_typed() {
+        let shape = [1, 24, 24];
+        let plan = plan(shape);
+        let mut mgr = SessionManager::new(&plan, ServePolicy::default());
+        let a = mgr.admit(&input(1, shape)).unwrap();
+        mgr.retire(a).unwrap();
+        assert_eq!(mgr.retire(a), Err(ServeError::UnknownTenant(a)));
+        assert_eq!(mgr.status(a), None, "retired handles are gone");
+        assert_eq!(mgr.steps(a), None);
+        // Handles are never reused.
+        let b = mgr.admit(&input(2, shape)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ring_rotation_is_newest_first() {
+        let t: Tenant<f32> = Tenant {
+            slot: 0,
+            budget: None,
+            ring: vec![Checkpoint::new(), Checkpoint::new(), Checkpoint::new()],
+            next_ck: 1, // most recent write was index 0
+            genesis: Checkpoint::new(),
+            last_ck_step: 0,
+            recoveries: 0,
+            backoff_until: None,
+            last_fault_round: 0,
+        };
+        assert_eq!(t.ring_newest_first().collect::<Vec<_>>(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn displays_are_human_readable() {
+        let r = RejectReason::SessionCapacity { limit: 4, live: 4 };
+        assert!(format!("{r}").contains("limit 4"));
+        let e = ServeError::UnknownTenant(TenantId(7));
+        assert!(format!("{e}").contains("t7"));
+        let ev = EvictionReason::RecoveryBudgetExhausted {
+            attempts: 3,
+            last_fault: SessionError::Poisoned { session: 1 },
+        };
+        assert!(format!("{ev}").contains("3 attempts"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Serving: run a supervised multi-tenant pool over one compiled plan —
+//! admission control with typed rejections, per-tenant step budgets,
+//! deadline-bounded stepping with a latency histogram, and the
+//! self-healing loop recovering a faulted tenant live.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sparstencil::prelude::*;
+use sparstencil_serve::{ServeError, ServeEvent, ServePolicy, SessionManager, TenantStatus};
+
+fn main() {
+    // One compiled plan serves every tenant: compilation, layout
+    // exploration, and sparsity conversion are paid once.
+    let kernel = StencilKernel::box2d9p();
+    let shape = [1, 96, 96];
+    let exec =
+        Executor::<f32>::new(&kernel, shape, &Options::default()).expect("compilation failed");
+
+    // Capacity policy: at most 6 tenants, tight checkpoint cadence so
+    // recovery rewinds are short.
+    let policy = ServePolicy {
+        max_sessions: 6,
+        checkpoint_every: 4,
+        checkpoint_ring: 3,
+        backoff_base: 1,
+        backoff_cap: 4,
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(exec.plan(), policy);
+
+    println!("== SparStencil serving ==\n");
+
+    // Admit a fleet of tenants, each with its own initial condition.
+    let tenants: Vec<_> = (0..6)
+        .map(|s| {
+            mgr.admit(&Grid::<f32>::smooth_random(2 + s, shape))
+                .expect("within capacity")
+        })
+        .collect();
+    println!(
+        "admitted       : {} tenants over one plan",
+        mgr.live_sessions()
+    );
+
+    // The 7th admission is refused with a typed reason, not a panic.
+    match mgr.admit(&Grid::<f32>::smooth_random(99, shape)) {
+        Err(ServeError::Rejected(reason)) => println!("admission gate : {reason}"),
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+
+    // One tenant gets a step budget: it parks at the limit (zero cost
+    // per round) while the others keep streaming.
+    let budgeted = tenants[5];
+    mgr.set_step_budget(budgeted, Some(10))
+        .expect("tenant is live");
+
+    // Serve against a wall-clock deadline; every round's latency lands
+    // in a fixed-bucket histogram.
+    let report = mgr.run_until(Instant::now() + Duration::from_millis(250));
+    let hist = mgr.latency();
+    println!(
+        "\nserved         : {} rounds before the deadline",
+        report.rounds
+    );
+    println!(
+        "step latency   : p50 {:.3} ms, p99 {:.3} ms (n = {})",
+        hist.quantile(0.5).as_secs_f64() * 1e3,
+        hist.quantile(0.99).as_secs_f64() * 1e3,
+        hist.count()
+    );
+    println!(
+        "budget gate    : {budgeted} parked at {} steps ({:?})",
+        mgr.steps(budgeted).expect("tenant is live"),
+        mgr.status(budgeted).expect("tenant is live")
+    );
+
+    // Self-healing: fault a tenant administratively (an organic NaN
+    // storm or panic takes the same path) and let the supervisor
+    // restore it from its checkpoint ring, replay it, and back it off.
+    let victim = tenants[0];
+    let pre_fault_steps = mgr.steps(victim).expect("tenant is live");
+    mgr.quarantine(victim).expect("tenant is live");
+    assert!(matches!(mgr.status(victim), Some(TenantStatus::Faulted(_))));
+    mgr.drain_events();
+    mgr.step(); // the supervision round that heals
+    for event in mgr.drain_events() {
+        if let ServeEvent::Recovered {
+            tenant,
+            fault,
+            restored_to_step,
+            replayed,
+            sit_out_rounds,
+            ..
+        } = event
+        {
+            println!("\nfault          : {fault}");
+            println!(
+                "recovered      : {tenant} restored to step {restored_to_step}, \
+                 replayed {replayed}, sitting out {sit_out_rounds} round(s)"
+            );
+        }
+    }
+    assert_eq!(
+        mgr.steps(victim),
+        Some(pre_fault_steps),
+        "recovery replays to the pre-fault step count"
+    );
+
+    // A few more rounds: the backoff expires and the victim rejoins.
+    for _ in 0..6 {
+        mgr.step();
+    }
+    assert_eq!(mgr.status(victim), Some(TenantStatus::Running));
+    println!(
+        "rejoined       : {victim} running again at step {}",
+        mgr.steps(victim).expect("tenant is live")
+    );
+
+    // Churn: retire one tenant, admit another into the freed capacity —
+    // survivors' buffers are never rebuilt.
+    mgr.retire(tenants[1]).expect("tenant is live");
+    let fresh = mgr
+        .admit(&Grid::<f32>::smooth_random(42, shape))
+        .expect("capacity was just freed");
+    mgr.step();
+    println!(
+        "churn          : retired {}, admitted {fresh} (now {} live)",
+        tenants[1],
+        mgr.live_sessions()
+    );
+
+    // The victim's trajectory is bit-identical to a solo session run
+    // the same number of steps — supervision never cost a bit.
+    let steps = mgr.steps(victim).expect("tenant is live");
+    let mut solo = exec.session(&Grid::<f32>::smooth_random(2, shape));
+    solo.step_n(steps);
+    assert_eq!(
+        mgr.to_grid(victim).expect("tenant is live"),
+        solo.to_grid(),
+        "recovered tenant must match its solo twin"
+    );
+    println!("\nverified       : recovered tenant bit-identical to a solo twin at {steps} steps");
+}

@@ -198,6 +198,113 @@ fn zero_allocations_across_batch_steps() {
     );
 }
 
+/// Membership churn pays its allocations up front: `admit` may allocate
+/// (new member buffers, work-queue re-tag), `retire` never does, and
+/// once the churned batch has taken one warm-up step the steady state
+/// is allocation-free again — including the SKIP path for a paused
+/// member.
+#[test]
+fn zero_allocations_after_membership_churn() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 50, 50];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let inputs: Vec<Grid<f32>> = (0..3)
+        .map(|s| {
+            Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y * 5 + x * 3 + s) % 11) as f32 * 0.05)
+        })
+        .collect();
+
+    let _ = run(&plan, &inputs[0], 2); // process-global warm-up
+
+    let mut batch = Batch::new(&plan, &inputs[..2]);
+    batch.step_all();
+    // Churn: retire a member, admit two (one into the freed slot, one
+    // growing the batch), then one warm-up step for the new buffers.
+    batch.retire(0);
+    batch.admit(&inputs[1]).unwrap();
+    batch.admit(&inputs[2]).unwrap();
+    batch.step_all();
+
+    let mut checksum = 0.0f64;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    batch.step_all_n(4);
+    batch.retire(1); // retire itself must not allocate
+    batch.step_all_n(2);
+    batch.pause(0); // SKIP-path round
+    batch.step_all();
+    batch.resume(0);
+    batch.step_all();
+    checksum += batch.field(0).get(0, 25, 25) as f64;
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state steps after churn (incl. retire/pause/resume) must not allocate"
+    );
+}
+
+/// The serving supervisor inherits the discipline: once every tenant's
+/// checkpoint ring is warm, a supervised round — due-checkpoint
+/// refills, budget/backoff gating, the timed `step_all`, the latency
+/// record — performs zero heap allocations.
+#[test]
+fn zero_allocations_across_supervised_rounds() {
+    use sparstencil_serve::{ServePolicy, SessionManager};
+
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 50, 50];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let inputs: Vec<Grid<f32>> = (0..3)
+        .map(|s| Grid::<f32>::from_fn_3d(2, shape, |_, y, x| ((y * 7 + x + s) % 13) as f32 * 0.04))
+        .collect();
+
+    let _ = run(&plan, &inputs[0], 2); // process-global warm-up
+
+    let policy = ServePolicy {
+        checkpoint_every: 1,
+        checkpoint_ring: 2,
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(&plan, policy);
+    let budgeted = mgr.admit(&inputs[0]).unwrap();
+    for g in &inputs[1..] {
+        mgr.admit(g).unwrap();
+    }
+    // Warm-up: fill every ring (2 snapshots at 1-step cadence) plus the
+    // batch arena, and park one tenant so the gate path is exercised.
+    for _ in 0..4 {
+        mgr.step();
+    }
+    mgr.set_step_budget(budgeted, Some(5)).unwrap();
+    mgr.step();
+    mgr.drain_events(); // return the event queue's buffer to empty-with-capacity
+    let mut checksum = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        mgr.step();
+        checksum += mgr.latency().mean().as_nanos() as f64;
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "warm supervised rounds (checkpoints, gating, timing) must not allocate"
+    );
+}
+
 #[test]
 fn zero_steady_state_allocations_2d() {
     assert_zero_steady_state_allocs(&StencilKernel::box2d9p(), [1, 50, 50], &Options::default());

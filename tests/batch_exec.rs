@@ -183,6 +183,163 @@ fn owned_batch_is_self_contained() {
     }
 }
 
+/// Membership churn: `admit` and `retire` must not disturb survivors.
+/// Admit a member mid-flight, retire another (swap-remove moves the
+/// last slot down), keep stepping — every member stays bit-identical to
+/// a solo twin of its own total step count.
+#[test]
+fn admit_and_retire_preserve_survivor_identity() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 4);
+
+    let mut batch = exec.batch(&inputs[..3]);
+    batch.step_all_n(2);
+
+    // Admit the 4th input two steps late.
+    let slot = batch.admit(&inputs[3]).unwrap();
+    assert_eq!(slot, 3);
+    assert_eq!(batch.sessions(), 4);
+    assert_eq!(batch.steps(3), 0);
+    batch.step_all_n(2);
+
+    // Retire slot 1: the member formerly in the last slot (input 3)
+    // swaps down into slot 1; slots 0 and 2 are untouched.
+    batch.retire(1);
+    assert_eq!(batch.sessions(), 3);
+    batch.step_all_n(2);
+
+    // slot → (input index, total steps) after the churn.
+    for (slot, input_idx, want_steps) in [(0usize, 0usize, 6usize), (1, 3, 4), (2, 2, 6)] {
+        let mut solo = exec.session(&inputs[input_idx]);
+        solo.step_n(want_steps);
+        assert_eq!(batch.steps(slot), want_steps, "slot {slot} step count");
+        assert_eq!(
+            batch.to_grid(slot),
+            solo.to_grid(),
+            "slot {slot} (input {input_idx}) must equal its solo twin through churn"
+        );
+        assert_eq!(batch.stats(slot).counters, solo.stats().unwrap().counters);
+    }
+}
+
+/// Retiring down to zero members leaves a valid (if idle) batch:
+/// `step_all` is a no-op, and a later `admit` brings it back to life
+/// with full solo identity.
+#[test]
+fn retire_to_empty_then_admit_restarts() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+
+    let mut batch = exec.batch(&inputs[..1]);
+    batch.step_all_n(2);
+    batch.retire(0);
+    assert_eq!(batch.sessions(), 0);
+    batch.step_all(); // no members: nothing to do, nothing to panic
+
+    let slot = batch.admit(&inputs[1]).unwrap();
+    assert_eq!(slot, 0);
+    batch.step_all_n(3);
+    let (want, _) = exec.run(&inputs[1], 3);
+    assert_eq!(batch.to_grid(0), want);
+}
+
+/// `admit` validates like `try_new`: wrong shape and non-finite inputs
+/// come back as typed errors naming the would-be slot, and the batch is
+/// unchanged.
+#[test]
+fn admit_rejects_bad_inputs_with_typed_errors() {
+    use sparstencil::session::SessionError;
+
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+    let mut batch = exec.batch(&inputs);
+
+    let wrong = Grid::<f32>::smooth_random(2, [1, 44, 44]);
+    match batch.admit(&wrong) {
+        Err(SessionError::ShapeMismatch { .. }) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    let mut nan = inputs[0].clone();
+    nan.as_mut_slice()[100] = f32::NAN;
+    match batch.admit(&nan) {
+        Err(SessionError::NonFiniteInput { session: 2, .. }) => {}
+        other => panic!("expected NonFiniteInput for slot 2, got {other:?}"),
+    }
+    assert_eq!(batch.sessions(), 2, "failed admits must not grow the batch");
+}
+
+/// `pause` parks a member on the SKIP path: its state is frozen
+/// bit-for-bit while the others advance, and `resume` rejoins it with
+/// full solo identity.
+#[test]
+fn pause_freezes_a_member_bit_identically() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+    let mut batch = exec.batch(&inputs);
+
+    batch.step_all_n(2);
+    batch.pause(1);
+    assert!(batch.is_paused(1));
+    assert!(!batch.is_active(1));
+    let frozen = batch.to_grid(1);
+    batch.step_all_n(3);
+    assert_eq!(batch.steps(1), 2, "paused member must not step");
+    assert_eq!(batch.to_grid(1), frozen, "paused member must not change");
+
+    batch.resume(1);
+    assert!(batch.is_active(1));
+    batch.step_all();
+    for (i, want_steps) in [(0usize, 6usize), (1, 3)] {
+        let mut solo = exec.session(&inputs[i]);
+        solo.step_n(want_steps);
+        assert_eq!(batch.steps(i), want_steps);
+        assert_eq!(batch.to_grid(i), solo.to_grid(), "member {i} after resume");
+    }
+}
+
+/// `step_all_until` steps whole rounds while the deadline allows,
+/// records one latency sample per round, and refuses to start a round
+/// past the deadline.
+#[test]
+fn step_all_until_respects_deadline_and_records_latency() {
+    use sparstencil::exec::LatencyHistogram;
+    use std::time::{Duration, Instant};
+
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 44, 48];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs = inputs_for(&k, shape, 2);
+    let mut batch = exec.batch(&inputs);
+
+    let mut hist = LatencyHistogram::new();
+    let steps = batch.step_all_until(Instant::now() + Duration::from_millis(120), &mut hist);
+    assert!(steps >= 1, "a future deadline admits at least one round");
+    assert_eq!(hist.count(), steps as u64, "one latency sample per round");
+    assert_eq!(batch.steps(0), steps);
+    assert_eq!(batch.steps(1), steps);
+    assert!(hist.quantile(0.5) <= hist.quantile(0.99));
+
+    // An already-expired deadline steps nothing and records nothing.
+    let before = hist.count();
+    let none = batch.step_all_until(Instant::now() - Duration::from_millis(1), &mut hist);
+    assert_eq!(none, 0);
+    assert_eq!(hist.count(), before);
+
+    // The rounds that did run kept solo identity.
+    let mut solo = exec.session(&inputs[0]);
+    solo.step_n(steps);
+    assert_eq!(batch.to_grid(0), solo.to_grid());
+}
+
 #[test]
 #[should_panic(expected = "differs from the compiled plan")]
 fn batch_rejects_mixed_shapes() {

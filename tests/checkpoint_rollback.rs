@@ -165,6 +165,116 @@ fn restore_shape_mismatch_is_a_typed_error() {
     }
 }
 
+/// Restore validates checkpoint *contents*, not just shape: a snapshot
+/// holding NaN/Inf (e.g. taken after numerics already went bad) is
+/// refused with [`SessionError::NonFiniteInput`] instead of silently
+/// reviving a corrupt state.
+#[test]
+fn restore_rejects_non_finite_checkpoint_solo() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &Options::default()).unwrap();
+
+    // The infallible constructor skips input validation, so a NaN can be
+    // smuggled into a live session and snapshotted.
+    let mut tainted_input = input_for(&k, shape, 0);
+    tainted_input.set(0, 20, 20, f32::NAN);
+    let tainted = exec.session(&tainted_input);
+    let bad_ck = tainted.checkpoint().unwrap();
+
+    let mut sim = exec.session(&input_for(&k, shape, 1));
+    sim.step_n(2);
+    let before = sim.to_grid();
+    match sim.restore(&bad_ck) {
+        Err(SessionError::NonFiniteInput { session: 0, .. }) => {}
+        other => panic!("expected NonFiniteInput, got {other:?}"),
+    }
+    assert_eq!(
+        sim.to_grid(),
+        before,
+        "rejected restore must not touch state"
+    );
+    assert_eq!(sim.steps(), 2);
+}
+
+/// The batch path reports the same validation failure with the member's
+/// slot index, and the member keeps running on its old state.
+#[test]
+fn restore_rejects_non_finite_checkpoint_batch_member() {
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 40, 40];
+    let exec = Executor::<f32>::new(&k, shape, &Options::default()).unwrap();
+
+    let mut tainted_input = input_for(&k, shape, 0);
+    tainted_input.set(0, 15, 25, f32::NAN);
+    let bad_ck = exec.session(&tainted_input).checkpoint().unwrap();
+
+    let inputs: Vec<Grid<f32>> = (1..4).map(|s| input_for(&k, shape, s)).collect();
+    let mut batch = exec.batch(&inputs);
+    batch.step_all_n(2);
+    match batch.restore(2, &bad_ck) {
+        Err(SessionError::NonFiniteInput { session: 2, .. }) => {}
+        other => panic!("expected NonFiniteInput for member 2, got {other:?}"),
+    }
+    batch.step_all();
+    let mut solo = exec.session(&inputs[2]);
+    solo.step_n(3);
+    assert_eq!(
+        batch.to_grid(2),
+        solo.to_grid(),
+        "member must keep its valid trajectory after the rejected restore"
+    );
+}
+
+/// Checkpoint/restore interleaved with membership churn: a snapshot
+/// stays valid across unrelated `retire`/`admit` calls — including when
+/// the checkpointed member itself is *moved* by a swap-remove — and a
+/// restored member resumes bit-identically with the buffer table
+/// pointing at the right slots.
+#[test]
+fn restore_survives_membership_churn() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let exec = Executor::<f32>::new(&k, shape, &opts_for(&k)).unwrap();
+    let inputs: Vec<Grid<f32>> = (0..5).map(|s| input_for(&k, shape, s)).collect();
+
+    let mut batch = exec.batch(&inputs[..4]);
+    batch.step_all_n(2);
+
+    // Snapshot the member in the LAST slot, then churn the membership:
+    // retiring slot 1 swaps that member down into slot 1, and a fresh
+    // admission reoccupies the tail slot.
+    let ck = batch.checkpoint(3);
+    assert_eq!(ck.steps(), 2);
+    batch.retire(1); // input 3's member moves: slot 3 → slot 1
+    let fresh = batch.admit(&inputs[4]).unwrap();
+    assert_eq!(fresh, 3);
+    batch.step_all_n(2); // steps: [4, 4, 4, 2]
+
+    // Restore the moved member at its NEW slot from the pre-churn
+    // snapshot, catch it up solo, and rejoin.
+    batch.restore(1, &ck).unwrap();
+    assert_eq!(batch.steps(1), 2, "restore rewinds the moved member");
+    batch.session_mut(1).step_n(2);
+    batch.step_all(); // steps: [5, 5, 5, 3]
+
+    // Every slot must hold exactly the input its swap history says it
+    // holds, bit-identical to a solo twin — proving the buffer table
+    // tracked the churn and the restore touched only its member.
+    for (slot, input_idx, want_steps) in [(0usize, 0usize, 5usize), (1, 3, 5), (2, 2, 5), (3, 4, 3)]
+    {
+        let mut solo = exec.session(&inputs[input_idx]);
+        solo.step_n(want_steps);
+        assert_eq!(batch.steps(slot), want_steps, "slot {slot} step count");
+        assert_eq!(
+            batch.to_grid(slot),
+            solo.to_grid(),
+            "slot {slot} (input {input_idx}) after churn + restore"
+        );
+        assert_eq!(batch.stats(slot).counters, solo.stats().unwrap().counters);
+    }
+}
+
 /// Batch members checkpoint and restore individually: a restored member
 /// re-stepped inside the batch matches its uninterrupted solo twin, and
 /// the other members never notice.

@@ -1,0 +1,320 @@
+//! Supervised serving semantics: the [`SessionManager`] must gate
+//! admissions with typed rejections, park budget-exhausted tenants
+//! without losing a bit, auto-recover faulted tenants back to
+//! bit-identity with solo twins, escalate repeat offenders to typed
+//! evictions — and never disturb the innocent bystanders while doing
+//! any of it.
+
+use std::time::{Duration, Instant};
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::SessionError;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_serve::{
+    EvictionReason, RejectReason, ServeError, ServeEvent, ServePolicy, SessionManager, TenantStatus,
+};
+
+fn executor(shape: [usize; 3]) -> Executor<f32> {
+    Executor::<f32>::new(&StencilKernel::heat2d(), shape, &Options::default()).unwrap()
+}
+
+fn input(shape: [usize; 3], seed: usize) -> Grid<f32> {
+    Grid::<f32>::from_fn_3d(2, shape, |z, y, x| {
+        ((z * 11 + y * 5 + x * 3 + seed * 17) % 23) as f32 * 0.04
+    })
+}
+
+/// Every live, healthy tenant must be bit-identical to a solo session
+/// stepped its observed step count.
+fn assert_solo_identity(
+    exec: &Executor<f32>,
+    mgr: &SessionManager<'_, f32>,
+    tenants: &[(sparstencil_serve::TenantId, usize)],
+) {
+    for &(id, seed) in tenants {
+        let steps = mgr.steps(id).expect("tenant is live");
+        let mut solo = exec.session(&input(exec.plan().grid_shape, seed));
+        solo.step_n(steps);
+        assert_eq!(
+            mgr.to_grid(id).expect("tenant is live"),
+            solo.to_grid(),
+            "tenant {id} (seed {seed}) at {steps} steps must equal its solo twin"
+        );
+    }
+}
+
+#[test]
+fn admission_rejections_do_not_disturb_the_pool() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let policy = ServePolicy {
+        max_sessions: 3,
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(exec.plan(), policy);
+
+    let ids: Vec<_> = (0..3)
+        .map(|s| mgr.admit(&input(shape, s)).unwrap())
+        .collect();
+    for _ in 0..3 {
+        mgr.step();
+    }
+
+    // Over capacity: typed rejection, nobody else affected.
+    match mgr.admit(&input(shape, 9)) {
+        Err(ServeError::Rejected(RejectReason::SessionCapacity { limit: 3, live: 3 })) => {}
+        other => panic!("expected SessionCapacity, got {other:?}"),
+    }
+    // Invalid input: the session layer's typed error passes through.
+    let mut nan = input(shape, 9);
+    nan.set(0, 10, 10, f32::NAN);
+    mgr.retire(ids[2]).unwrap();
+    match mgr.admit(&nan) {
+        Err(ServeError::Session(SessionError::NonFiniteInput { .. })) => {}
+        other => panic!("expected NonFiniteInput, got {other:?}"),
+    }
+    assert_eq!(mgr.live_sessions(), 2);
+
+    for _ in 0..2 {
+        mgr.step();
+    }
+    assert_solo_identity(&exec, &mgr, &[(ids[0], 0), (ids[1], 1)]);
+}
+
+#[test]
+fn step_budgets_park_and_release_bit_identically() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let mut mgr = SessionManager::new(exec.plan(), ServePolicy::default());
+    let a = mgr.admit(&input(shape, 0)).unwrap();
+    let b = mgr.admit(&input(shape, 1)).unwrap();
+
+    mgr.set_step_budget(a, Some(3)).unwrap();
+    for _ in 0..6 {
+        mgr.step();
+    }
+    assert_eq!(mgr.steps(a), Some(3), "tenant stops exactly at its budget");
+    assert_eq!(mgr.steps(b), Some(6), "unbudgeted tenant keeps going");
+    assert_eq!(mgr.status(a), Some(TenantStatus::AtBudget));
+    assert_eq!(mgr.status(b), Some(TenantStatus::Running));
+
+    // Raising the budget releases the tenant on the next round.
+    mgr.set_step_budget(a, Some(5)).unwrap();
+    mgr.step();
+    assert_eq!(mgr.steps(a), Some(4));
+    // Clearing it removes the gate entirely.
+    mgr.set_step_budget(a, None).unwrap();
+    for _ in 0..2 {
+        mgr.step();
+    }
+    assert_eq!(mgr.steps(a), Some(6));
+    assert_solo_identity(&exec, &mgr, &[(a, 0), (b, 1)]);
+}
+
+#[test]
+fn faulted_tenant_auto_recovers_bit_identically() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let policy = ServePolicy {
+        checkpoint_every: 2,
+        checkpoint_ring: 2,
+        backoff_base: 1,
+        backoff_cap: 2,
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(exec.plan(), policy);
+    let a = mgr.admit(&input(shape, 0)).unwrap();
+    let b = mgr.admit(&input(shape, 1)).unwrap();
+    for _ in 0..5 {
+        mgr.step();
+    }
+    mgr.drain_events();
+
+    // Administrative quarantine is indistinguishable from an organic
+    // fault to the supervisor.
+    mgr.quarantine(a).unwrap();
+    assert!(matches!(mgr.status(a), Some(TenantStatus::Faulted(_))));
+
+    // The next round restores + replays the victim and parks it in
+    // backoff; the bystander steps normally.
+    let report = mgr.step();
+    assert_eq!(report.recovered, 1);
+    assert_eq!(report.evicted, 0);
+    assert_eq!(report.active, 1);
+    assert!(matches!(
+        mgr.status(a),
+        Some(TenantStatus::BackingOff { .. })
+    ));
+    assert_eq!(
+        mgr.steps(a),
+        Some(5),
+        "recovery replays back to the pre-fault step count"
+    );
+    let events = mgr.drain_events();
+    match events.as_slice() {
+        [ServeEvent::Recovered {
+            tenant,
+            restored_to_step,
+            replayed,
+            attempt: 1,
+            ..
+        }] => {
+            assert_eq!(*tenant, a);
+            assert_eq!(restored_to_step + replayed, 5);
+        }
+        other => panic!("expected one Recovered event, got {other:?}"),
+    }
+
+    // The backoff expires on its own and the tenant rejoins; both
+    // trajectories stay bit-identical to solo twins.
+    for _ in 0..4 {
+        mgr.step();
+    }
+    assert_eq!(mgr.status(a), Some(TenantStatus::Running));
+    assert!(
+        mgr.steps(a).unwrap() > 5,
+        "tenant stepped again after backoff"
+    );
+    assert_solo_identity(&exec, &mgr, &[(a, 0), (b, 1)]);
+}
+
+#[test]
+fn repeat_offender_is_evicted_with_a_typed_reason() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let policy = ServePolicy {
+        max_recoveries: 1,
+        backoff_base: 1,
+        backoff_cap: 1,
+        heal_after: 1_000_000, // no decay inside this test
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(exec.plan(), policy);
+    let a = mgr.admit(&input(shape, 0)).unwrap();
+    let b = mgr.admit(&input(shape, 1)).unwrap();
+    for _ in 0..3 {
+        mgr.step();
+    }
+
+    // First fault: recovered (attempt 1 of 1).
+    mgr.quarantine(a).unwrap();
+    assert_eq!(mgr.step().recovered, 1);
+    // Let the backoff expire, then fault again: budget exhausted.
+    while matches!(mgr.status(a), Some(TenantStatus::BackingOff { .. })) {
+        mgr.step();
+    }
+    mgr.quarantine(a).unwrap();
+    let report = mgr.step();
+    assert_eq!(report.evicted, 1);
+    assert_eq!(mgr.live_sessions(), 1);
+    match mgr.status(a) {
+        Some(TenantStatus::Evicted(EvictionReason::RecoveryBudgetExhausted {
+            attempts: 1,
+            ..
+        })) => {}
+        other => panic!("expected RecoveryBudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(mgr.steps(a), None, "evicted tenants release their slot");
+
+    // The survivor is untouched by the whole ordeal.
+    mgr.step();
+    assert_solo_identity(&exec, &mgr, &[(b, 1)]);
+}
+
+#[test]
+fn churn_remaps_slots_without_losing_identity() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let mut mgr = SessionManager::new(exec.plan(), ServePolicy::default());
+    let ids: Vec<_> = (0..4)
+        .map(|s| mgr.admit(&input(shape, s)).unwrap())
+        .collect();
+    for _ in 0..3 {
+        mgr.step();
+    }
+
+    // Retire a middle tenant: the tail tenant swaps into its slot and
+    // the manager re-points the handle.
+    let old_slot = mgr.slot_of(ids[1]).unwrap();
+    mgr.retire(ids[1]).unwrap();
+    assert_eq!(
+        mgr.slot_of(ids[3]),
+        Some(old_slot),
+        "tail tenant moved down"
+    );
+    assert_eq!(mgr.tenant_at(old_slot), Some(ids[3]));
+
+    let e = mgr.admit(&input(shape, 7)).unwrap();
+    for _ in 0..2 {
+        mgr.step();
+    }
+    assert_eq!(mgr.steps(e), Some(2));
+    assert_solo_identity(
+        &exec,
+        &mgr,
+        &[(ids[0], 0), (ids[2], 2), (ids[3], 3), (e, 7)],
+    );
+}
+
+#[test]
+fn run_until_fills_the_latency_histogram() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let mut mgr = SessionManager::new(exec.plan(), ServePolicy::default());
+    let a = mgr.admit(&input(shape, 0)).unwrap();
+    let _b = mgr.admit(&input(shape, 1)).unwrap();
+
+    let report = mgr.run_until(Instant::now() + Duration::from_millis(150));
+    assert!(
+        report.rounds >= 1,
+        "a future deadline admits at least one round"
+    );
+    assert_eq!(report.evicted, 0);
+    assert_eq!(mgr.steps(a), Some(report.rounds as usize));
+
+    let hist = mgr.latency();
+    assert_eq!(hist.count(), report.rounds, "one sample per stepped round");
+    let p50 = hist.quantile(0.5);
+    let p99 = hist.quantile(0.99);
+    assert!(
+        p50 > Duration::ZERO && p50 <= p99,
+        "p50 {p50:?} / p99 {p99:?} must be ordered"
+    );
+    assert!(hist.min() <= p50 && p99 <= hist.max());
+
+    mgr.reset_latency();
+    assert!(mgr.latency().is_empty());
+
+    // With every tenant parked at a budget (and no backoff pending),
+    // run_until returns instead of spinning to the deadline.
+    for id in mgr.tenants().collect::<Vec<_>>() {
+        mgr.set_step_budget(id, Some(0)).unwrap();
+    }
+    let t0 = Instant::now();
+    let idle = mgr.run_until(t0 + Duration::from_secs(30));
+    assert!(idle.rounds <= 1, "an all-parked pool must not spin");
+    assert!(t0.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn events_narrate_the_full_lifecycle() {
+    let shape = [1, 32, 32];
+    let exec = executor(shape);
+    let mut mgr = SessionManager::new(exec.plan(), ServePolicy::default());
+    let a = mgr.admit(&input(shape, 0)).unwrap();
+    mgr.retire(a).unwrap();
+    let b = mgr.admit(&input(shape, 1)).unwrap();
+
+    let events = mgr.drain_events();
+    assert_eq!(
+        events,
+        vec![
+            ServeEvent::Admitted { tenant: a, slot: 0 },
+            ServeEvent::Retired { tenant: a },
+            ServeEvent::Admitted { tenant: b, slot: 0 },
+        ]
+    );
+    assert!(mgr.drain_events().is_empty(), "drain empties the queue");
+}

@@ -1,0 +1,225 @@
+//! Fault-injected serving soak (feature `fault-inject`): a supervised
+//! pool of 10+ tenants survives 200+ rounds of random membership churn,
+//! injected panics, and NaN storms — every recoverable member is
+//! auto-restored **bit-identically** to a solo twin, nobody is evicted,
+//! and the pool never deadlocks. Run with:
+//!
+//! ```text
+//! cargo test --features fault-inject --test serve_soak
+//! ```
+//!
+//! CI runs this at 1 and 4 worker lanes (`RAYON_NUM_THREADS`): panic
+//! unwinding and claim draining only cross real thread boundaries with
+//! a multi-worker pool.
+#![cfg(feature = "fault-inject")]
+
+use std::collections::BTreeMap;
+
+use sparstencil::exec::fault;
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::Simulation;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_serve::{ServePolicy, SessionManager, TenantId, TenantStatus};
+
+const SHAPE: [usize; 3] = [1, 32, 32];
+const INITIAL_TENANTS: usize = 10;
+const ROUNDS: u64 = 220;
+
+fn input(seed: usize) -> Grid<f32> {
+    Grid::<f32>::from_fn_3d(2, SHAPE, |z, y, x| {
+        ((z * 11 + y * 5 + x * 3 + seed * 17) % 23) as f32 * 0.04
+    })
+}
+
+/// Deterministic xorshift64*: the soak must replay identically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A tenant that faulted keeps a tainted or rolled-back state only
+/// while its status is `Faulted`; in every other live state the
+/// supervisor has already replayed it to a clean trajectory.
+fn is_clean(status: &TenantStatus) -> bool {
+    matches!(
+        status,
+        TenantStatus::Running | TenantStatus::AtBudget | TenantStatus::BackingOff { .. }
+    )
+}
+
+#[test]
+fn fault_injected_serving_soak() {
+    let exec = Executor::<f32>::new(&StencilKernel::heat2d(), SHAPE, &Options::default()).unwrap();
+    let policy = ServePolicy {
+        max_sessions: 12,
+        checkpoint_every: 2,
+        checkpoint_ring: 3,
+        max_recoveries: 8,
+        backoff_base: 1,
+        backoff_cap: 4,
+        heal_after: 8,
+        ..ServePolicy::default()
+    };
+    let mut mgr = SessionManager::new(exec.plan(), policy);
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    let mut next_seed = 0usize;
+
+    // Solo twins: the ground truth each tenant must stay bit-identical
+    // to. `usize` tracks the twin's seed for diagnostics.
+    let mut twins: BTreeMap<TenantId, (usize, Simulation<'_, f32>)> = BTreeMap::new();
+    fn admit_tenant<'e>(
+        exec: &'e Executor<f32>,
+        mgr: &mut SessionManager<'_, f32>,
+        twins: &mut BTreeMap<TenantId, (usize, Simulation<'e, f32>)>,
+        seed: usize,
+    ) -> TenantId {
+        let grid = input(seed);
+        let id = mgr.admit(&grid).expect("soak stays within capacity");
+        twins.insert(id, (seed, exec.session(&grid)));
+        id
+    }
+    for _ in 0..INITIAL_TENANTS {
+        admit_tenant(&exec, &mut mgr, &mut twins, next_seed);
+        next_seed += 1;
+    }
+
+    let mut recovered_total = 0usize;
+    let mut evicted_total = 0usize;
+    let mut faults_armed = 0usize;
+    let mut compared = 0usize;
+
+    for round in 0..ROUNDS {
+        // Membership churn: every 13th round retire a random live tenant
+        // (keeping at least 8, per the acceptance bar) and admit a fresh
+        // one in its place.
+        if round % 13 == 12 && mgr.live_sessions() > 8 {
+            let live: Vec<TenantId> = mgr.tenants().collect();
+            let victim = live[rng.below(live.len())];
+            mgr.retire(victim).expect("victim is live");
+            twins.remove(&victim);
+            admit_tenant(&exec, &mut mgr, &mut twins, next_seed);
+            next_seed += 1;
+        }
+
+        // Fault injection: every 5th round arm a one-shot panic or NaN
+        // storm against a currently-running tenant's slot (a running
+        // member is active, so the hook fires inside this round's step).
+        if round % 5 == 3 {
+            let running: Vec<TenantId> = mgr
+                .tenants()
+                .filter(|id| mgr.status(*id) == Some(TenantStatus::Running))
+                .collect();
+            if !running.is_empty() {
+                let victim = running[rng.below(running.len())];
+                let slot = mgr.slot_of(victim).expect("running tenant has a slot");
+                if rng.next() & 1 == 0 {
+                    fault::arm_panic(slot);
+                } else {
+                    fault::arm_nan_storm(slot);
+                }
+                faults_armed += 1;
+            }
+        }
+
+        let report = mgr.step();
+        recovered_total += report.recovered;
+        evicted_total += report.evicted;
+
+        // Keep every clean tenant's twin caught up to its observed step
+        // count, and spot-check one tenant's field per round.
+        let live: Vec<TenantId> = mgr.tenants().collect();
+        for id in &live {
+            let status = mgr.status(*id).expect("tenant is live");
+            if !is_clean(&status) {
+                continue;
+            }
+            let steps = mgr.steps(*id).expect("tenant is live");
+            let (seed, twin) = twins.get_mut(id).expect("twins track membership");
+            assert!(
+                twin.steps() <= steps,
+                "round {round}: tenant {id} (seed {seed}) went backwards: \
+                 twin at {}, observed {steps}",
+                twin.steps()
+            );
+            twin.step_n(steps - twin.steps());
+        }
+        if !live.is_empty() {
+            let probe = live[(round % live.len() as u64) as usize];
+            if mgr.status(probe).as_ref().is_some_and(is_clean) {
+                let (seed, twin) = &twins[&probe];
+                assert_eq!(
+                    mgr.to_grid(probe).expect("probe is live"),
+                    twin.to_grid(),
+                    "round {round}: tenant {probe} (seed {seed}) diverged from its solo twin"
+                );
+                compared += 1;
+            }
+        }
+    }
+
+    // Nothing armed may outlive the soak (a fault aimed at a slot that
+    // went idle would otherwise fire on an innocent later occupant).
+    fault::disarm();
+
+    // Settle: give in-flight recoveries and backoffs bounded time to
+    // drain, then require the whole pool healthy.
+    for _ in 0..32 {
+        if mgr
+            .tenants()
+            .all(|id| mgr.status(id) == Some(TenantStatus::Running))
+        {
+            break;
+        }
+        let report = mgr.step();
+        recovered_total += report.recovered;
+        evicted_total += report.evicted;
+    }
+
+    // The acceptance bar: faults really fired, every recoverable member
+    // was auto-restored (no evictions), the pool kept stepping the
+    // whole time, and every survivor is bit-identical to its solo twin.
+    assert!(
+        faults_armed >= 40,
+        "soak must inject a meaningful fault load, armed only {faults_armed}"
+    );
+    assert!(
+        recovered_total >= faults_armed / 2,
+        "supervision must actually recover members: {recovered_total} recoveries \
+         for {faults_armed} armed faults"
+    );
+    assert_eq!(evicted_total, 0, "every injected fault is recoverable");
+    assert!(compared >= 150, "spot checks must have run, got {compared}");
+    assert_eq!(
+        mgr.round(),
+        ROUNDS + (mgr.round() - ROUNDS),
+        "pool never deadlocked"
+    );
+    assert!(mgr.live_sessions() >= 8);
+    assert!(mgr.latency().count() > 0, "stepped rounds record latency");
+
+    for id in mgr.tenants().collect::<Vec<_>>() {
+        assert_eq!(mgr.status(id), Some(TenantStatus::Running));
+        let steps = mgr.steps(id).expect("tenant is live");
+        let (seed, twin) = twins.get_mut(&id).expect("twins track membership");
+        twin.step_n(steps - twin.steps());
+        assert_eq!(
+            mgr.to_grid(id).expect("tenant is live"),
+            twin.to_grid(),
+            "final: tenant {id} (seed {seed}) must end bit-identical to its solo twin"
+        );
+    }
+}
