@@ -55,6 +55,23 @@
 //! Latencies are machine-dependent, so `bench_compare` schema-gates
 //! these rows (presence + sanity) without a cross-machine ratio gate.
 //!
+//! A fourth **shard** section measures sharded-grid execution
+//! ([`sparstencil_shard::ShardedSimulation`], single-lane): one
+//! semantic grid decomposed across 1/2/4/8 halo-exchanging
+//! shard-sessions (a 256³-class 3D-27pt case plus an edge-heavy
+//! radius-3 2D case), reporting aggregate `shard_cells_per_sec` over
+//! the global grid and the static `exchange_fraction` (halo cells
+//! copied per step as a share of the domain). Rates are wall-clock, so
+//! `bench_compare` schema-gates these rows without a cross-machine
+//! ratio gate; the trajectory of the 1-shard vs N-shard numbers tracks
+//! the protocol's overhead.
+//!
+//! **Protocol:** every reported rate is the median of
+//! [`MEASURE_REPS`] = 5 timed repetitions after one untimed warm-up
+//! (paired ratios like `batch_speedup` are medians of per-pair ratios),
+//! so one scheduler hiccup on the runner cannot move a committed
+//! number.
+//!
 //! `optimized_cells_per_sec` stays the single-lane number so the CI
 //! regression gate (`bench_compare`) tracks one stable configuration —
 //! the gate keeps comparing total throughput (speedup vs naive), never
@@ -146,20 +163,57 @@ fn batch_cases() -> Vec<BatchCase> {
     ]
 }
 
+struct ShardCase {
+    name: &'static str,
+    kernel: StencilKernel,
+    shape: [usize; 3],
+    /// Shard counts to sweep (every valid extent must divide evenly).
+    shard_counts: &'static [usize],
+}
+
+fn shard_cases() -> Vec<ShardCase> {
+    vec![
+        // 256 valid z-planes: z-slab splits at 1/2/4/8 with no
+        // tile-period alignment constraint.
+        ShardCase {
+            name: "shard_3d27pt_258x256x256",
+            kernel: StencilKernel::box3d27p(),
+            shape: [258, 256, 256],
+            shard_counts: &[1, 2, 4, 8],
+        },
+        // Edge-heavy: a radius-3 49-point box makes the halo 3 rows
+        // deep, so the exchange fraction is the stress axis; 512 valid
+        // y rows split at 1/2/4/8 with every chunk a multiple of r2.
+        ShardCase {
+            name: "shard_2d49pt_518x518",
+            kernel: StencilKernel::box2d49p(),
+            shape: [1, 518, 518],
+            shard_counts: &[1, 2, 4, 8],
+        },
+    ]
+}
+
+/// Repetitions per measured configuration: every rate this harness
+/// reports is the **median of `MEASURE_REPS` timed repetitions** (one
+/// untimed warm-up first), so a single scheduler hiccup or frequency
+/// excursion on the runner cannot move a committed number.
+const MEASURE_REPS: usize = 5;
+
 /// Steady-state wall-clock cells/second of a live session over `iters`
-/// steps (median of 3 repetitions, one untimed warm-up step). The
-/// session keeps stepping the same field — setup never re-runs.
+/// steps (median of [`MEASURE_REPS`] repetitions, one untimed warm-up
+/// step). The session keeps stepping the same field — setup never
+/// re-runs.
 fn measure(sim: &mut Simulation<'_, f32>, cells: f64, iters: usize) -> f64 {
     sim.step_n(1); // warm up pool, caches, lazy init
-    let mut rates: Vec<f64> = (0..3)
-        .map(|_| {
-            let t0 = Instant::now();
-            sim.step_n(iters);
-            cells * iters as f64 / t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    rates[1]
+    median(
+        (0..MEASURE_REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                sim.step_n(iters);
+                cells * iters as f64 / t0.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -190,7 +244,7 @@ fn measure_batch_vs_serial(
     let mut batch_rates = Vec::new();
     let mut serial_rates = Vec::new();
     let mut ratios = Vec::new();
-    for _ in 0..5 {
+    for _ in 0..MEASURE_REPS {
         let t0 = Instant::now();
         batch.step_all_n(iters);
         let b = total_cells * iters as f64 / t0.elapsed().as_secs_f64();
@@ -347,7 +401,7 @@ fn main() {
         for lanes in [2usize, 4] {
             let mut b = Batch::with_parallelism(&plan, &inputs, lanes);
             b.step_all();
-            let rates: Vec<f64> = (0..3)
+            let rates: Vec<f64> = (0..MEASURE_REPS)
                 .map(|_| {
                     let t0 = Instant::now();
                     b.step_all_n(iters);
@@ -408,7 +462,7 @@ fn main() {
             let mut full_rates = Vec::new();
             let mut degraded_rates = Vec::new();
             let mut ratios = Vec::new();
-            for _ in 0..3 {
+            for _ in 0..MEASURE_REPS {
                 let t0 = Instant::now();
                 degraded.step_all_n(iters);
                 let d = degraded_cells * iters as f64 / t0.elapsed().as_secs_f64();
@@ -526,12 +580,61 @@ fn main() {
         ));
     }
 
+    // Sharded-grid execution: one semantic grid decomposed across N
+    // halo-exchanging shard-sessions ([`sparstencil_shard`]). Reported
+    // per shard count: aggregate cells/s over the global grid
+    // (single-lane — the number tracks protocol overhead, not core
+    // scaling) and the static `exchange_fraction` = halo cells copied
+    // per step / global cells. Wall-clock rates are machine-dependent,
+    // so `bench_compare` schema-gates these rows (presence + sanity)
+    // without a hard ratio gate.
+    let mut shard_rows = Vec::new();
+    for sc in shard_cases() {
+        use sparstencil_shard::ShardedSimulation;
+
+        let opts = Options {
+            layout: Some((4, 4)),
+            ..Options::default()
+        };
+        let input = Grid::<f32>::smooth_random(sc.kernel.dims(), sc.shape);
+        let cells = (sc.shape[0] * sc.shape[1] * sc.shape[2]) as f64;
+        for &n in sc.shard_counts {
+            let mut sharded =
+                ShardedSimulation::<f32>::try_with_parallelism(&sc.kernel, &input, &opts, n, 1)
+                    .expect("shard case must decompose");
+            let exchange_fraction = sharded.exchange_cells() as f64 / cells;
+            sharded.step(); // warm up arena + exchange counters
+            let rate = median(
+                (0..MEASURE_REPS)
+                    .map(|_| {
+                        let t0 = Instant::now();
+                        sharded.step_n(iters);
+                        cells * iters as f64 / t0.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            println!(
+                "{:<26} {n} shard(s) {:>12.0} cells/s   exchange {:.4} of domain/step",
+                sc.name, rate, exchange_fraction
+            );
+            shard_rows.push(format!(
+                "    {{\"case\": \"{}_s{n}\", \"shards\": {n}, \"iters\": {iters}, \
+                 \"detected_cores\": {detected_cores}, \
+                 \"shard_cells_per_sec\": {rate:.1}, \
+                 \"exchange_fraction\": {exchange_fraction:.6}}}",
+                sc.name
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"benchmark\": \"step_throughput\",\n  \"results\": [\n{}\n  ],\n  \
-         \"batch_results\": [\n{}\n  ],\n  \"serving_results\": [\n{}\n  ]\n}}\n",
+         \"batch_results\": [\n{}\n  ],\n  \"serving_results\": [\n{}\n  ],\n  \
+         \"shard_results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
         batch_rows.join(",\n"),
-        serve_rows.join(",\n")
+        serve_rows.join(",\n"),
+        shard_rows.join(",\n")
     );
     std::fs::write("BENCH_step_throughput.json", &json).expect("write BENCH_step_throughput.json");
     println!("wrote BENCH_step_throughput.json");

@@ -14,15 +14,16 @@
 //! `detected_cores`, and a `batch_thread_sweep`; serving rows need
 //! `tenants`, `rounds`, `detected_cores`, `p50_step_ms`,
 //! `p99_step_ms` (ordered: p99 ≥ p50 > 0), `churn_ops_per_sec`,
-//! `recoveries`, and `evictions`. A silently dropped field or case
-//! would otherwise erase part of the trajectory without failing
-//! anything.
+//! `recoveries`, and `evictions`; shard rows need `shards`, `iters`,
+//! `detected_cores`, `shard_cells_per_sec`, and an `exchange_fraction`
+//! in `[0, 1)`. A silently dropped field or case would otherwise erase
+//! part of the trajectory without failing anything.
 //!
-//! Serving latencies are wall-clock on the measuring machine, so they
-//! get NO cross-machine ratio gate — only the schema/sanity gate plus
-//! the missing-case check: a serving row disappearing from a fresh run
-//! is a regression, its latency moving is runner variance (reported
-//! informationally).
+//! Serving latencies and sharded-grid rates are wall-clock on the
+//! measuring machine, so they get NO cross-machine ratio gate — only
+//! the schema/sanity gate plus the missing-case check: a serving or
+//! shard row disappearing from a fresh run is a regression, its
+//! number moving is runner variance (reported informationally).
 //!
 //! **Performance gates.** The single-core metric is the per-case
 //! `speedup` (optimized engine vs `run_naive`, measured in the same
@@ -85,6 +86,15 @@ struct BatchRow {
     batch_cells_per_sec: f64,
 }
 
+/// One row of the `shard_results` array (sharded-grid execution over
+/// the halo-exchange protocol).
+struct ShardRow {
+    case: String,
+    line: String,
+    shard_cells_per_sec: f64,
+    exchange_fraction: f64,
+}
+
 /// One row of the `serving_results` array.
 struct ServeRow {
     case: String,
@@ -99,12 +109,13 @@ struct BenchFile {
     rows: Vec<Row>,
     batch: Vec<BatchRow>,
     serving: Vec<ServeRow>,
+    shard: Vec<ShardRow>,
 }
 
 /// Parse per-case rows from a bench JSON file. A line with
 /// `optimized_cells_per_sec` is a main row; one with
 /// `batch_cells_per_sec` is a batch row; one with `p99_step_ms` is a
-/// serving row.
+/// serving row; one with `shard_cells_per_sec` is a shard row.
 ///
 /// A missing, unreadable, or truncated file is an `Err` with a
 /// human-readable diagnostic (including how to regenerate the file) —
@@ -137,6 +148,7 @@ fn parse(path: &str) -> Result<BenchFile, String> {
     let mut rows = Vec::new();
     let mut batch = Vec::new();
     let mut serving = Vec::new();
+    let mut shard = Vec::new();
     for line in text.lines() {
         let Some(case) = string_field(line, "case") else {
             continue;
@@ -164,6 +176,13 @@ fn parse(path: &str) -> Result<BenchFile, String> {
                 p99_step_ms: number_field(line, "p99_step_ms").unwrap_or(f64::NAN),
                 churn_ops_per_sec: number_field(line, "churn_ops_per_sec").unwrap_or(f64::NAN),
             });
+        } else if line.contains("\"shard_cells_per_sec\"") {
+            shard.push(ShardRow {
+                case,
+                line: line.to_string(),
+                shard_cells_per_sec: number_field(line, "shard_cells_per_sec").unwrap_or(f64::NAN),
+                exchange_fraction: number_field(line, "exchange_fraction").unwrap_or(f64::NAN),
+            });
         }
     }
     Ok(BenchFile {
@@ -171,6 +190,7 @@ fn parse(path: &str) -> Result<BenchFile, String> {
         rows,
         batch,
         serving,
+        shard,
     })
 }
 
@@ -190,6 +210,9 @@ fn validate(file: &BenchFile) -> Vec<String> {
     }
     if file.serving.is_empty() {
         errs.push(format!("{}: no parsable serving_results rows", file.path));
+    }
+    if file.shard.is_empty() {
+        errs.push(format!("{}: no parsable shard_results rows", file.path));
     }
 
     // (field, minimum allowed value): `stage_seconds`/`mma_seconds` may
@@ -282,6 +305,39 @@ fn validate(file: &BenchFile) -> Vec<String> {
                 format!(
                     "p99_step_ms {} < p50_step_ms {} (percentiles out of order)",
                     row.p99_step_ms, row.p50_step_ms
+                ),
+            );
+        }
+    }
+
+    // Shard rows: throughput must be positive; the exchange fraction is
+    // a plan-time share of the domain, so it must sit in [0, 1) — 0 is
+    // the legitimate single-shard row, 1+ would mean the schedule
+    // copies the whole grid and the decomposition is broken.
+    let required_shard: &[(&str, f64)] = &[
+        ("shards", 1.0),
+        ("iters", 1.0),
+        ("detected_cores", 1.0),
+        ("shard_cells_per_sec", f64::MIN_POSITIVE),
+        ("exchange_fraction", 0.0),
+    ];
+    for row in &file.shard {
+        for &(key, min) in required_shard {
+            match number_field(&row.line, key) {
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                Some(_) => {}
+            }
+        }
+        if row.exchange_fraction.is_finite() && row.exchange_fraction >= 1.0 {
+            err(
+                &mut errs,
+                &row.case,
+                format!(
+                    "exchange_fraction {} >= 1 (halo schedule copies the whole domain)",
+                    row.exchange_fraction
                 ),
             );
         }
@@ -427,9 +483,33 @@ fn main() -> ExitCode {
         );
     }
 
+    // ---- Shard gate: every baseline shard row must still exist in the
+    // fresh run; the rates are machine wall-clock, so movement is
+    // printed informationally, never gated. ----
+    for old in &baseline.shard {
+        let Some(new) = fresh.shard.iter().find(|r| r.case == old.case) else {
+            eprintln!(
+                "REGRESSION: shard case {} missing from fresh results",
+                old.case
+            );
+            failed = true;
+            continue;
+        };
+        println!(
+            "{:<10} {:<26} sharded {:.0} -> {:.0} cells/s  exchange_fraction {:.4} -> {:.4} \
+             (wall-clock, not gated)",
+            "ok",
+            old.case,
+            old.shard_cells_per_sec,
+            new.shard_cells_per_sec,
+            old.exchange_fraction,
+            new.exchange_fraction
+        );
+    }
+
     if failed {
         eprintln!(
-            "bench gate failed: a case went missing (incl. batch and serving rows), \
+            "bench gate failed: a case went missing (incl. batch, serving, and shard rows), \
              single-core speedup-vs-naive regressed by more than {:.0}%, or batched \
              stepping fell more than {:.0}% behind the serial loop",
             tolerance * 100.0,

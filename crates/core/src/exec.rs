@@ -795,6 +795,21 @@ impl LatencyHistogram {
 /// Sessions whose [`health::SKIP`] flag was published before dispatch
 /// are drained without executing — the degraded-mode path, still
 /// allocation-free.
+///
+/// Halo exchange: when `exchange` is present the batch is one sharded
+/// job, and each member's countdown-zero lane additionally *notifies*
+/// the destinations listed in the schedule by decrementing their
+/// `xpending` counters (armed to [`HaloExchange::deps`] before
+/// dispatch). The lane that retires a destination's last dependency
+/// copies that destination's incoming [`HaloSegment`]s — neighbor
+/// `next` → own `next` — still inside the parallel region and still
+/// allocation-free. The `AcqRel` chain `scatters → pending → mirror →
+/// xpending → segment copy` makes every source's writes visible to the
+/// copying lane. Poisoned members still notify (so counters retire and
+/// the region always drains), and the driver discards every `next`
+/// buffer un-swapped when any member poisons, so garbage propagated by
+/// a post-poison copy is never observable.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn step_all_into<R: Real>(
     plan: &CompiledStencil<R>,
     work: &BatchWork,
@@ -803,6 +818,8 @@ pub(crate) fn step_all_into<R: Real>(
     ptrs: &mut Vec<SessionPtrs<R>>,
     pending: &[AtomicU32],
     flags: &[AtomicU32],
+    exchange: Option<&crate::plan::HaloExchange>,
+    xpending: &[AtomicU32],
 ) {
     assert_eq!(
         work.sessions,
@@ -815,6 +832,15 @@ pub(crate) fn step_all_into<R: Real>(
         "batch countdown table mismatch"
     );
     assert_eq!(work.sessions, flags.len(), "batch health table mismatch");
+    if let Some(hx) = exchange {
+        assert_eq!(hx.sessions(), work.sessions, "halo schedule session count");
+        assert_eq!(work.sessions, xpending.len(), "halo countdown table");
+        for (d, xp) in xpending.iter().enumerate() {
+            // As with `pending` below: armed before the dispatch
+            // publishes the work, so Relaxed suffices.
+            xp.store(hx.deps(d), Ordering::Relaxed);
+        }
+    }
     let t = &plan.exec;
     debug_assert_eq!(work.runs_per_session * work.run_len, t.work.len());
 
@@ -848,51 +874,51 @@ pub(crate) fn step_all_into<R: Real>(
             // poisoned before this step) is drained, not executed — the
             // countdown still retires so the dispatch completes, and no
             // mirror runs (its buffers are not stepping).
-            if flags[session].load(Ordering::Relaxed) & (health::SKIP | health::POISONED) != 0 {
-                pending[session].fetch_sub(claimed, Ordering::AcqRel);
-                return;
-            }
-            let sp = &table[session];
-            // SAFETY: filled above from this step's live buffers;
-            // `data` is only read, `shared_out` writes are disjoint per
-            // the function docs.
-            let data = unsafe { std::slice::from_raw_parts(sp.data, sp.len) };
-            let shared_out = SharedOutput {
-                ptr: sp.out,
-                len: sp.len,
-            };
-            #[cfg(feature = "fault-inject")]
-            let inject_panic = fault::take_panic(session);
-            // A claim is contiguous session-local runs, so its work
-            // items are one contiguous range (`BatchWork::items` per
-            // run, concatenated). AssertUnwindSafe: after a caught
-            // panic the only state a later observer can see is this
-            // session's own `next` buffer (partial scatter output,
-            // discarded un-swapped once POISONED is read) and the
-            // lane's staged ring (restaged in full at every run start);
-            // the plan and every other session's buffers are untouched
-            // by construction of the claim unit.
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let drained =
+                flags[session].load(Ordering::Relaxed) & (health::SKIP | health::POISONED) != 0;
+            if !drained {
+                let sp = &table[session];
+                // SAFETY: filled above from this step's live buffers;
+                // `data` is only read, `shared_out` writes are disjoint
+                // per the function docs.
+                let data = unsafe { std::slice::from_raw_parts(sp.data, sp.len) };
+                let shared_out = SharedOutput {
+                    ptr: sp.out,
+                    len: sp.len,
+                };
                 #[cfg(feature = "fault-inject")]
-                if inject_panic {
-                    panic!("injected fault: panic in batch session {session}");
-                }
-                exec_items(
-                    plan,
-                    data,
-                    &shared_out,
-                    ws,
-                    runs.start * work.run_len..runs.end * work.run_len,
-                    false,
-                )
-            }));
-            match result {
-                Ok(true) => {
-                    flags[session].fetch_or(health::NONFINITE, Ordering::Relaxed);
-                }
-                Ok(false) => {}
-                Err(_) => {
-                    flags[session].fetch_or(health::POISONED, Ordering::Relaxed);
+                let inject_panic = fault::take_panic(session);
+                // A claim is contiguous session-local runs, so its work
+                // items are one contiguous range (`BatchWork::items` per
+                // run, concatenated). AssertUnwindSafe: after a caught
+                // panic the only state a later observer can see is this
+                // session's own `next` buffer (partial scatter output,
+                // discarded un-swapped once POISONED is read) and the
+                // lane's staged ring (restaged in full at every run
+                // start); the plan and every other session's buffers are
+                // untouched by construction of the claim unit.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    if inject_panic {
+                        panic!("injected fault: panic in batch session {session}");
+                    }
+                    exec_items(
+                        plan,
+                        data,
+                        &shared_out,
+                        ws,
+                        runs.start * work.run_len..runs.end * work.run_len,
+                        false,
+                    )
+                }));
+                match result {
+                    Ok(true) => {
+                        flags[session].fetch_or(health::NONFINITE, Ordering::Relaxed);
+                    }
+                    Ok(false) => {}
+                    Err(_) => {
+                        flags[session].fetch_or(health::POISONED, Ordering::Relaxed);
+                    }
                 }
             }
             // Session run countdown: the lane that retires the last run
@@ -900,25 +926,60 @@ pub(crate) fn step_all_into<R: Real>(
             // solo stepper's post-dispatch mirror). `AcqRel` pairs this
             // lane's scatter writes (released by the decrement) with
             // the zero-observer's reads of every other lane's writes.
-            // A poisoned session skips the mirror: its `next` buffer is
-            // already condemned, and mirroring garbage helps no one.
-            if pending[session].fetch_sub(claimed, Ordering::AcqRel) == claimed
-                && flags[session].load(Ordering::Relaxed) & health::POISONED == 0
-            {
-                for z in 0..plan.geom.planes {
-                    let p = z * plane_stride;
-                    for &(off, len) in &t.mirror_segments {
-                        // SAFETY: all of this session's scatters
-                        // happened-before the countdown reached zero,
-                        // only this lane observed zero, and the ranges
-                        // are in-bounds (mirror offsets address the
-                        // padded plane, validated at plan build).
-                        unsafe {
-                            std::ptr::copy_nonoverlapping(
-                                sp.data.add(p + off),
-                                sp.out.add(p + off),
-                                len,
-                            );
+            // A poisoned or drained session skips the mirror: its `next`
+            // buffer is already condemned, and mirroring garbage helps
+            // no one.
+            if pending[session].fetch_sub(claimed, Ordering::AcqRel) == claimed {
+                let sp = &table[session];
+                if flags[session].load(Ordering::Relaxed) & (health::SKIP | health::POISONED) == 0 {
+                    for z in 0..plan.geom.planes {
+                        let p = z * plane_stride;
+                        for &(off, len) in &t.mirror_segments {
+                            // SAFETY: all of this session's scatters
+                            // happened-before the countdown reached
+                            // zero, only this lane observed zero, and
+                            // the ranges are in-bounds (mirror offsets
+                            // address the padded plane, validated at
+                            // plan build).
+                            unsafe {
+                                std::ptr::copy_nonoverlapping(
+                                    sp.data.add(p + off),
+                                    sp.out.add(p + off),
+                                    len,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Halo exchange: this member's step is complete
+                // (scatter + mirror, or condemned) — notify every
+                // destination gated on it; whoever retires a
+                // destination's last dependency copies its segments.
+                if let Some(hx) = exchange {
+                    for &d in hx.notify(session) {
+                        let d = d as usize;
+                        if xpending[d].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let dp = &table[d];
+                            for seg in hx.segments_for(d) {
+                                let spn = &table[seg.src_shard];
+                                // SAFETY: every gating member's writes
+                                // happened-before its `xpending`
+                                // decrement (release), this lane
+                                // acquired the last one, exactly one
+                                // lane observes 1→0, the ranges were
+                                // validated in-bounds against the
+                                // buffer length at install, and source
+                                // and destination are distinct
+                                // allocations (`src_shard !=
+                                // dst_shard` by construction).
+                                unsafe {
+                                    std::ptr::copy_nonoverlapping(
+                                        spn.out.add(seg.src_range.start),
+                                        dp.out.add(seg.dst_range.start),
+                                        seg.src_range.len(),
+                                    );
+                                }
+                            }
                         }
                     }
                 }

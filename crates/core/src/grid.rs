@@ -246,6 +246,30 @@ impl<R: Real> Grid<R> {
         out
     }
 
+    /// Extract an arbitrary-origin `shape` block starting at `origin`
+    /// (`[z, y, x]`), the general form of [`Grid::window`]. Used by the
+    /// shard decomposition to slice each shard's local input (owned
+    /// cells plus halo overlap) out of the global grid.
+    ///
+    /// # Panics
+    /// Panics if `origin + shape` exceeds this grid on any axis.
+    pub fn subgrid(&self, origin: [usize; 3], shape: [usize; 3]) -> Grid<R> {
+        let s = self.shape;
+        assert!(
+            (0..3).all(|a| origin[a] + shape[a] <= s[a]),
+            "subgrid origin {origin:?} + shape {shape:?} exceeds grid {s:?}"
+        );
+        let mut out = Self::zeros(self.dims, shape);
+        for z in 0..shape[0] {
+            for y in 0..shape[1] {
+                let src = ((origin[0] + z) * s[1] + origin[1] + y) * s[2] + origin[2];
+                let dst = (z * shape[1] + y) * shape[2];
+                out.data[dst..dst + shape[2]].copy_from_slice(&self.data[src..src + shape[2]]);
+            }
+        }
+        out
+    }
+
     /// Round every value through `precision` (operand quantization applied
     /// once per buffer, as on real tensor-core kernels). Operates in place
     /// at native scalar width, so the per-step re-quantization in the

@@ -1004,6 +1004,495 @@ pub fn compile<R: Real>(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-grid decomposition + halo-exchange compilation
+// ---------------------------------------------------------------------------
+
+/// Errors from shard decomposition or halo-exchange compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// A decomposition needs at least one shard per axis.
+    ZeroShards,
+    /// The kernel is larger than the global grid on some axis.
+    KernelTooLarge {
+        /// Offending axis (0 = z).
+        axis: usize,
+    },
+    /// A split axis's valid extent is not evenly divisible by the
+    /// requested shard count, so equal-size owned blocks (one shared
+    /// plan for every shard) are impossible.
+    Indivisible {
+        /// The split axis (0 = z).
+        axis: usize,
+        /// The global valid extent `n − e + 1` on that axis.
+        valid: usize,
+        /// The requested shard count on that axis.
+        parts: usize,
+    },
+    /// A split axis's chunk is not a multiple of the tile period on
+    /// that axis (`r2` for y, `r1` for x), which would shift every
+    /// shard's program-row assignment relative to the unsharded grid
+    /// and break bit-exactness.
+    MisalignedChunk {
+        /// The split axis (1 = y, 2 = x).
+        axis: usize,
+        /// The owned cells per shard on that axis.
+        chunk: usize,
+        /// The tile period the chunk must divide by.
+        period: usize,
+    },
+    /// The plan handed to [`compile_halo_exchange`] was compiled for a
+    /// shape other than the decomposition's per-shard shape.
+    PlanShapeMismatch {
+        /// The decomposition's per-shard local shape.
+        expected: [usize; 3],
+        /// The plan's compiled shape.
+        got: [usize; 3],
+    },
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::ZeroShards => {
+                write!(f, "a decomposition needs at least one shard per axis")
+            }
+            DecomposeError::KernelTooLarge { axis } => {
+                write!(f, "kernel larger than the global grid on axis {axis}")
+            }
+            DecomposeError::Indivisible { axis, valid, parts } => write!(
+                f,
+                "axis {axis}: valid extent {valid} is not divisible into {parts} equal shards"
+            ),
+            DecomposeError::MisalignedChunk {
+                axis,
+                chunk,
+                period,
+            } => write!(
+                f,
+                "axis {axis}: shard chunk {chunk} is not a multiple of the tile period \
+                 {period}, which would break bit-exactness with the unsharded grid"
+            ),
+            DecomposeError::PlanShapeMismatch { expected, got } => write!(
+                f,
+                "shard plan shape {got:?} differs from the decomposition's \
+                 per-shard shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// A slab/pencil decomposition of one semantic grid into equal shards.
+///
+/// Each shard owns an equal block of `chunk` **valid** (computed) cells
+/// per axis and carries a local grid of `shard_shape` cells: the owned
+/// block plus, on every split axis, the `e − 1` input overlap the
+/// forward-window kernel reads past the block (which doubles as the
+/// halo the exchange refreshes each step). All shards share the same
+/// local shape, so one [`CompiledStencil`] drives the whole set as a
+/// [`crate::session::Batch`].
+///
+/// Shards are numbered x-fastest: shard `s` has per-axis coordinates
+/// `coords(s)` with `s = (pz·parts[1] + py)·parts[2] + px`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// The global semantic shape being decomposed.
+    pub global_shape: [usize; 3],
+    /// Shards per axis (product = total shard count).
+    pub parts: [usize; 3],
+    /// Owned valid cells per shard per axis. On unsplit axes this is
+    /// the full global valid extent.
+    pub chunk: [usize; 3],
+    /// Each shard's local semantic shape: `chunk + e − 1` on split
+    /// axes, the full global extent on unsplit axes.
+    pub shard_shape: [usize; 3],
+    /// The kernel extent the decomposition was built for.
+    pub kernel_extent: [usize; 3],
+}
+
+impl Decomposition {
+    /// Decompose `global_shape` for `kernel` into `parts` shards per
+    /// axis. `parts = [1, 1, 1]` is the degenerate single-shard case.
+    pub fn new(
+        kernel: &StencilKernel,
+        global_shape: [usize; 3],
+        parts: [usize; 3],
+    ) -> Result<Self, DecomposeError> {
+        if parts.contains(&0) {
+            return Err(DecomposeError::ZeroShards);
+        }
+        let e = kernel.extent();
+        let mut chunk = [0; 3];
+        let mut shard_shape = [0; 3];
+        for axis in 0..3 {
+            if global_shape[axis] < e[axis] {
+                return Err(DecomposeError::KernelTooLarge { axis });
+            }
+            let valid = global_shape[axis] - e[axis] + 1;
+            if parts[axis] == 1 {
+                chunk[axis] = valid;
+                shard_shape[axis] = global_shape[axis];
+            } else {
+                if !valid.is_multiple_of(parts[axis]) {
+                    return Err(DecomposeError::Indivisible {
+                        axis,
+                        valid,
+                        parts: parts[axis],
+                    });
+                }
+                chunk[axis] = valid / parts[axis];
+                shard_shape[axis] = chunk[axis] + e[axis] - 1;
+            }
+        }
+        Ok(Self {
+            global_shape,
+            parts,
+            chunk,
+            shard_shape,
+            kernel_extent: e,
+        })
+    }
+
+    /// Slab decomposition: split the outermost axis with more than one
+    /// shard's worth of valid cells (z for 3D, y for 2D, x for 1D) into
+    /// `n_shards` equal slabs.
+    pub fn slab(
+        kernel: &StencilKernel,
+        global_shape: [usize; 3],
+        n_shards: usize,
+    ) -> Result<Self, DecomposeError> {
+        if n_shards == 0 {
+            return Err(DecomposeError::ZeroShards);
+        }
+        let e = kernel.extent();
+        // Prefer the outermost axis whose valid extent divides evenly;
+        // z-slabs have no alignment constraint at all, y/x slabs are
+        // checked against the tile period later (`validate_layout`).
+        let mut split_axis = None;
+        for axis in 0..3 {
+            if global_shape[axis] < e[axis] {
+                return Err(DecomposeError::KernelTooLarge { axis });
+            }
+            let valid = global_shape[axis] - e[axis] + 1;
+            if n_shards == 1 || (valid >= n_shards && valid.is_multiple_of(n_shards)) {
+                split_axis = Some(axis);
+                break;
+            }
+        }
+        let Some(axis) = split_axis else {
+            // Report against the outermost axis that has any valid
+            // extent to split (the one a caller would expect).
+            let axis = (0..3)
+                .find(|&a| global_shape[a] - e[a] + 1 > 1)
+                .unwrap_or(0);
+            return Err(DecomposeError::Indivisible {
+                axis,
+                valid: global_shape[axis] - e[axis] + 1,
+                parts: n_shards,
+            });
+        };
+        let mut parts = [1, 1, 1];
+        parts[axis] = n_shards;
+        Self::new(kernel, global_shape, parts)
+    }
+
+    /// Total shard count.
+    pub fn n_shards(&self) -> usize {
+        self.parts[0] * self.parts[1] * self.parts[2]
+    }
+
+    /// Per-axis shard coordinates of linear shard `s` (x fastest).
+    pub fn coords(&self, s: usize) -> [usize; 3] {
+        [
+            s / (self.parts[1] * self.parts[2]),
+            s / self.parts[2] % self.parts[1],
+            s % self.parts[2],
+        ]
+    }
+
+    /// Linear shard index of per-axis coordinates `p`.
+    pub fn linear(&self, p: [usize; 3]) -> usize {
+        (p[0] * self.parts[1] + p[1]) * self.parts[2] + p[2]
+    }
+
+    /// Global origin of shard `s`'s local grid (also the origin of its
+    /// owned block: local cell `l` sits at global `origin + l`).
+    pub fn origin(&self, s: usize) -> [usize; 3] {
+        let p = self.coords(s);
+        [
+            p[0] * self.chunk[0],
+            p[1] * self.chunk[1],
+            p[2] * self.chunk[2],
+        ]
+    }
+
+    /// Global valid (computed) extent per axis: `chunk · parts`.
+    pub fn global_valid(&self) -> [usize; 3] {
+        [
+            self.chunk[0] * self.parts[0],
+            self.chunk[1] * self.parts[1],
+            self.chunk[2] * self.parts[2],
+        ]
+    }
+
+    /// The shard holding global cell `g`, and `g` in that shard's local
+    /// coordinates. Cells in the global boundary band map to the last
+    /// shard along each axis (whose local grid contains them); halo
+    /// overlaps mean several shards may hold a cell, and any holder has
+    /// the same value — this returns a canonical one.
+    pub fn owner_of(&self, g: [usize; 3]) -> (usize, [usize; 3]) {
+        let mut p = [0; 3];
+        let mut l = [0; 3];
+        for a in 0..3 {
+            p[a] = (g[a] / self.chunk[a]).min(self.parts[a] - 1);
+            l[a] = g[a] - p[a] * self.chunk[a];
+        }
+        (self.linear(p), l)
+    }
+
+    /// Check the split chunks against a resolved `(r1, r2)` tile
+    /// layout: a y-split chunk must be a multiple of `r2` and an
+    /// x-split chunk a multiple of `r1`, so every shard assigns the
+    /// same program row to each global cell as the unsharded grid does
+    /// (program rows are `(y mod r2)·r1 + (x mod r1)`). z-splits carry
+    /// no constraint — program rows are z-invariant.
+    pub fn validate_layout(&self, r1: usize, r2: usize) -> Result<(), DecomposeError> {
+        for (axis, period) in [(1usize, r2), (2usize, r1)] {
+            if self.parts[axis] > 1 && !self.chunk[axis].is_multiple_of(period) {
+                return Err(DecomposeError::MisalignedChunk {
+                    axis,
+                    chunk: self.chunk[axis],
+                    period,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One plan-time halo copy: `len` contiguous cells of shard
+/// `src_shard`'s freshly stepped buffer, at padded-buffer offsets
+/// `src_range`, land at `dst_range` in shard `dst_shard`'s buffer.
+/// The generalization of one `mirror_segments` entry to a cross-shard
+/// copy (a mirror entry is the degenerate `src_shard == dst_shard`,
+/// `src_range == dst_range` case, kept as the in-place mirror instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloSegment {
+    /// Batch member the data is read from.
+    pub src_shard: usize,
+    /// Contiguous source range in `src_shard`'s padded buffer.
+    pub src_range: std::ops::Range<usize>,
+    /// Batch member the data is written to.
+    pub dst_shard: usize,
+    /// Contiguous destination range in `dst_shard`'s padded buffer.
+    pub dst_range: std::ops::Range<usize>,
+}
+
+/// A compiled plan-time halo-exchange schedule: every [`HaloSegment`]
+/// needed to refresh each shard's halo from its neighbors' freshly
+/// stepped buffers, grouped by destination, plus the dependency
+/// counters that let the exchange run *inside* the parallel region
+/// (see the "Halo protocol" section of [`crate::session`]).
+///
+/// Built once by [`compile_halo_exchange`]; iterated allocation-free
+/// every step.
+#[derive(Debug, Clone)]
+pub struct HaloExchange {
+    sessions: usize,
+    buf_len: usize,
+    /// All segments, sorted by `dst_shard` (CSR below).
+    segments: Vec<HaloSegment>,
+    /// CSR row starts into `segments`, length `sessions + 1`.
+    dst_starts: Vec<usize>,
+    /// Per destination: number of members whose step completion gates
+    /// this destination's exchange (its sources plus itself), or 0 for
+    /// destinations with no incoming segments.
+    deps: Vec<u32>,
+    /// CSR: for each member, the destinations it must notify when its
+    /// own step (scatter + mirror) completes.
+    notify_starts: Vec<usize>,
+    notify_list: Vec<u32>,
+}
+
+impl HaloExchange {
+    /// Number of batch members the schedule was compiled for.
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// The padded-buffer length every segment range was validated
+    /// against.
+    pub fn buf_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// All halo segments, sorted by destination shard.
+    pub fn segments(&self) -> &[HaloSegment] {
+        &self.segments
+    }
+
+    /// The segments refreshing destination shard `d`'s halo.
+    pub fn segments_for(&self, d: usize) -> &[HaloSegment] {
+        &self.segments[self.dst_starts[d]..self.dst_starts[d + 1]]
+    }
+
+    /// How many members gate destination `d`'s exchange (0 when `d`
+    /// receives nothing).
+    pub fn deps(&self, d: usize) -> u32 {
+        self.deps[d]
+    }
+
+    /// The destinations member `j` must notify once its step completes.
+    pub fn notify(&self, j: usize) -> &[u32] {
+        &self.notify_list[self.notify_starts[j]..self.notify_starts[j + 1]]
+    }
+
+    /// Total cells copied per step across all segments (the exchange
+    /// traffic; benches report it as a fraction of the domain).
+    pub fn exchange_cells(&self) -> usize {
+        self.segments.iter().map(|s| s.src_range.len()).sum()
+    }
+
+    /// `true` when no shard receives anything (single shard, or halos
+    /// of zero width).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Compile the halo-exchange schedule for stepping `d`'s shards as one
+/// batch over `plan` (which must be compiled for `d.shard_shape`).
+///
+/// A shard's halo is every local cell that is *globally* computed (some
+/// shard scatters a fresh value into it each step) but not *locally*
+/// computed. Each such cell is owned by exactly one shard — the one
+/// whose owned block contains its global coordinates — and one segment
+/// per contiguous row run copies the owner's freshly stepped values
+/// across. Cells in the true global boundary band are deliberately
+/// *not* covered: they are step-invariant and every shard's own mirror
+/// (or untouched z-planes) already keeps them correct.
+pub fn compile_halo_exchange<R: Real>(
+    plan: &CompiledStencil<R>,
+    d: &Decomposition,
+) -> Result<HaloExchange, DecomposeError> {
+    if plan.grid_shape != d.shard_shape {
+        return Err(DecomposeError::PlanShapeMismatch {
+            expected: d.shard_shape,
+            got: plan.grid_shape,
+        });
+    }
+    d.validate_layout(plan.plan.r1, plan.plan.r2)?;
+
+    let n = d.n_shards();
+    let e = d.kernel_extent;
+    let sh = d.shard_shape;
+    let v_local = [sh[0] - e[0] + 1, sh[1] - e[1] + 1, sh[2] - e[2] + 1];
+    let v_global = d.global_valid();
+    let (pad_ny, pad_nx) = (plan.geom.pad_ny, plan.geom.pad_nx);
+    let buf_len = sh[0] * pad_ny * pad_nx;
+
+    let mut segments = Vec::new();
+    let mut dst_starts = Vec::with_capacity(n + 1);
+    dst_starts.push(0);
+    for dst in 0..n {
+        let o = d.origin(dst);
+        for lz in 0..sh[0] {
+            let gz = o[0] + lz;
+            if gz >= v_global[0] {
+                break; // global boundary band in z: step-invariant
+            }
+            for ly in 0..sh[1] {
+                let gy = o[1] + ly;
+                if gy >= v_global[1] {
+                    break; // global boundary band in y
+                }
+                // Along x the halo of this row is one contiguous run:
+                // everything globally computed minus the (prefix) block
+                // of locally computed cells.
+                let x_start = if lz < v_local[0] && ly < v_local[1] {
+                    v_local[2]
+                } else {
+                    0
+                };
+                let x_end = sh[2].min(v_global[2] - o[2]);
+                let mut lx = x_start;
+                while lx < x_end {
+                    let g = [gz, gy, o[2] + lx];
+                    let q = [g[0] / d.chunk[0], g[1] / d.chunk[1], g[2] / d.chunk[2]];
+                    let src = d.linear(q);
+                    debug_assert_ne!(src, dst, "owned cells are never halo");
+                    // Run until the x-owner changes (z/y owners are
+                    // fixed along the row) or the halo ends.
+                    let run_end = x_end.min((q[2] + 1) * d.chunk[2] - o[2]);
+                    let len = run_end - lx;
+                    let s = [
+                        g[0] - q[0] * d.chunk[0],
+                        g[1] - q[1] * d.chunk[1],
+                        g[2] - q[2] * d.chunk[2],
+                    ];
+                    let src_off = (s[0] * pad_ny + s[1]) * pad_nx + s[2];
+                    let dst_off = (lz * pad_ny + ly) * pad_nx + lx;
+                    segments.push(HaloSegment {
+                        src_shard: src,
+                        src_range: src_off..src_off + len,
+                        dst_shard: dst,
+                        dst_range: dst_off..dst_off + len,
+                    });
+                    lx = run_end;
+                }
+            }
+        }
+        dst_starts.push(segments.len());
+    }
+
+    // Dependency counters: a destination's exchange may run only after
+    // every source shard's step AND its own step (its mirror writes
+    // stale values into y/x halo rows that the exchange then refreshes)
+    // have completed. `deps[d]` counts the distinct gating members;
+    // `notify` inverts the relation.
+    let mut deps = vec![0u32; n];
+    let mut notifiers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for dst in 0..n {
+        let segs = &segments[dst_starts[dst]..dst_starts[dst + 1]];
+        if segs.is_empty() {
+            continue;
+        }
+        let mut gates = vec![false; n];
+        gates[dst] = true;
+        for seg in segs {
+            gates[seg.src_shard] = true;
+        }
+        for (j, &g) in gates.iter().enumerate() {
+            if g {
+                deps[dst] += 1;
+                notifiers[j].push(dst as u32);
+            }
+        }
+    }
+    let mut notify_starts = Vec::with_capacity(n + 1);
+    let mut notify_list = Vec::new();
+    notify_starts.push(0);
+    for j in notifiers {
+        notify_list.extend(j);
+        notify_starts.push(notify_list.len());
+    }
+
+    debug_assert!(segments
+        .iter()
+        .all(|s| s.src_range.end <= buf_len && s.dst_range.end <= buf_len));
+    Ok(HaloExchange {
+        sessions: n,
+        buf_len,
+        segments,
+        dst_starts,
+        deps,
+        notify_starts,
+        notify_list,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,58 @@
 //! whole fleet against a wall-clock deadline while folding per-step
 //! latency into a fixed-bucket [`exec::LatencyHistogram`].
 //!
+//! # Halo protocol
+//!
+//! Two kinds of boundary bookkeeping keep every member's semantic band
+//! current after a step, and both run **inside** the parallel region at
+//! countdown-zero (the moment a member's last work item retires), so
+//! neither costs a barrier or an allocation:
+//!
+//! - **Mirror segments** ([`crate::plan::ExecTables::mirror_segments`])
+//!   serve true *domain* boundaries: the forward-window engine computes
+//!   the valid region `[0, v)` per axis, and the mirror copies the edge
+//!   rows of that region into the step-invariant band so a solo grid is
+//!   seamless. Source and destination live in the **same** member's
+//!   buffer.
+//! - **Halo-exchange segments** ([`crate::plan::HaloSegment`]) serve
+//!   *interior* shard faces when one semantic grid is decomposed across
+//!   batch members ([`crate::plan::Decomposition`]): each shard's
+//!   uncomputed band is owned — and freshly computed — by a neighbor
+//!   shard, so the segment copies **across** members
+//!   (`src_shard → dst_shard`, `next` buffer to `next` buffer). True
+//!   domain faces of edge shards keep the mirror.
+//!
+//! ```text
+//!        shard 0 (owns z < c)          shard 1 (owns z ≥ c)
+//!   ┌──────────────────────────┐  ┌──────────────────────────┐
+//!   │ mirror (domain face)     │  │ halo rows  ◄─── exchange │
+//!   │ ▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒  │  │ ░░░░░░░░░░░░░░░░░░░│░░░  │
+//!   │ computed interior        │  │ computed interior  │     │
+//!   │                    │     │  │                    │     │
+//!   │ halo rows ◄────────┼──── │──│── copied from next─┘     │
+//!   │ ░░░░░░░░░░░░░░░░░░░┘░░░  │  │ ▒▒ mirror (domain face)  │
+//!   └──────────────────────────┘  └──────────────────────────┘
+//!      ▒ same-member copy            ░ cross-member copy
+//! ```
+//!
+//! A [`crate::plan::HaloExchange`] is compiled once at plan time
+//! ([`crate::plan::compile_halo_exchange`]) and installed with
+//! [`Batch::install_halo_exchange`], which validates every segment
+//! against the batch's real buffers — that validation is what makes the
+//! executor's unchecked in-region copies sound. At run time each
+//! destination shard carries an atomic countdown over its *gating*
+//! members (its sources plus itself); the lane that retires the last
+//! gate performs that destination's copies, release/acquire-ordered
+//! after the sources' scatters and mirrors. Exchange-coupled batches
+//! step **all-or-nothing** ([`Batch::step_all_coupled`]): if any member
+//! poisons mid-step, *no* member publishes its `next` buffer, so a
+//! fault never leaks a partially-exchanged field — the victim reports
+//! [`SessionError::Poisoned`] and [`Batch::clear_fault`] (or a
+//! checkpoint restore) resumes from the still-consistent `cur` state.
+//! The `sparstencil-shard` crate packages this protocol behind a
+//! single-simulation facade (`ShardedSimulation`) that stays
+//! bit-identical to an unsharded session.
+//!
 //! # Observation
 //!
 //! [`Simulation::field`] returns a zero-copy [`FieldView`] of the
@@ -286,6 +338,11 @@ pub enum SessionError {
         /// What was attempted.
         what: &'static str,
     },
+    /// A halo-exchange schedule did not fit the batch it was installed
+    /// into: wrong member count, wrong buffer length, or a segment
+    /// outside the padded buffers (see
+    /// [`Batch::install_halo_exchange`]).
+    HaloMismatch,
 }
 
 impl std::fmt::Display for SessionError {
@@ -316,6 +373,11 @@ impl std::fmt::Display for SessionError {
             SessionError::Unsupported { backend, what } => {
                 write!(f, "{what} is not supported by the {backend} backend")
             }
+            SessionError::HaloMismatch => write!(
+                f,
+                "halo-exchange schedule does not match the batch \
+                 (member count, buffer length, or segment bounds)"
+            ),
         }
     }
 }
@@ -1279,6 +1341,15 @@ pub struct Batch<'p, R: Real> {
     /// / non-finite bits, see `exec::health`), driven by the same lanes
     /// as `pending`. Reset every step.
     flags: Vec<AtomicU32>,
+    /// Plan-time halo-exchange schedule, when this batch is one sharded
+    /// job rather than independent tenants (see the "Halo protocol"
+    /// section of the [module docs](self)). Installed by
+    /// [`Batch::install_halo_exchange`].
+    exchange: Option<crate::plan::HaloExchange>,
+    /// Per-destination exchange dependency countdown, armed to
+    /// [`crate::plan::HaloExchange::deps`] every step. Empty until an
+    /// exchange is installed.
+    xpending: Vec<AtomicU32>,
     per_iter: Counters,
 }
 
@@ -1341,7 +1412,18 @@ impl<'p, R: Real> Batch<'p, R> {
         plan: CompiledStencil<R>,
         inputs: &[Grid<R>],
     ) -> Result<Batch<'static, R>, SessionError> {
-        Batch::try_from_cow(Cow::Owned(plan), inputs, rayon::current_num_threads())
+        Batch::try_owned_with_parallelism(plan, inputs, rayon::current_num_threads())
+    }
+
+    /// Fallible [`Batch::owned`] with an explicit worker-lane count
+    /// (errors as [`Batch::try_new`]); results and counters are
+    /// identical for every lane count.
+    pub fn try_owned_with_parallelism(
+        plan: CompiledStencil<R>,
+        inputs: &[Grid<R>],
+        lanes: usize,
+    ) -> Result<Batch<'static, R>, SessionError> {
+        Batch::try_from_cow(Cow::Owned(plan), inputs, lanes)
     }
 
     fn try_from_cow(
@@ -1396,8 +1478,67 @@ impl<'p, R: Real> Batch<'p, R> {
             ptrs,
             pending,
             flags,
+            exchange: None,
+            xpending: Vec::new(),
             per_iter,
         })
+    }
+
+    /// Install a plan-time halo-exchange schedule
+    /// ([`crate::plan::compile_halo_exchange`]), turning this batch's
+    /// members from independent tenants into the shards of **one**
+    /// cooperating job: every subsequent step runs through
+    /// [`Batch::step_all_coupled`] semantics, and after each member's
+    /// scatter + mirror completes, the schedule's
+    /// [`crate::plan::HaloSegment`]s copy freshly stepped neighbor data
+    /// into each shard's halo — inside the parallel region,
+    /// allocation-free (see the "Halo protocol" module docs).
+    ///
+    /// Membership churn is frozen while an exchange is installed:
+    /// [`Batch::admit`] returns [`SessionError::Unsupported`] and
+    /// [`Batch::retire`] panics (the schedule's shard indices would
+    /// dangle). Solo member views ([`Batch::session_mut`]) are refused
+    /// for the same reason — stepping one shard alone would desynchronize
+    /// the job.
+    ///
+    /// # Errors
+    /// [`SessionError::HaloMismatch`] if the schedule was compiled for
+    /// a different member count or buffer geometry, or any segment is
+    /// out of bounds / self-referential / length-mismatched. The
+    /// exchange executes segments unchecked, so this gate is what makes
+    /// that sound.
+    pub fn install_halo_exchange(
+        &mut self,
+        hx: crate::plan::HaloExchange,
+    ) -> Result<(), SessionError> {
+        let n = self.sessions();
+        let buf_len = self.bufs[0].cur.as_slice().len();
+        if hx.sessions() != n || hx.buf_len() != buf_len {
+            return Err(SessionError::HaloMismatch);
+        }
+        for seg in hx.segments() {
+            let ok = seg.src_shard < n
+                && seg.dst_shard < n
+                && seg.src_shard != seg.dst_shard
+                && seg.src_range.len() == seg.dst_range.len()
+                && seg.src_range.end <= buf_len
+                && seg.dst_range.end <= buf_len
+                && seg.src_range.start <= seg.src_range.end
+                && seg.dst_range.start <= seg.dst_range.end;
+            if !ok {
+                return Err(SessionError::HaloMismatch);
+            }
+        }
+        if self.xpending.len() != n {
+            self.xpending = (0..n).map(|_| AtomicU32::new(0)).collect();
+        }
+        self.exchange = Some(hx);
+        Ok(())
+    }
+
+    /// The installed halo-exchange schedule, if any.
+    pub fn halo_exchange(&self) -> Option<&crate::plan::HaloExchange> {
+        self.exchange.as_ref()
     }
 
     /// Admit one more member mid-flight: validate `input` (shape check
@@ -1415,10 +1556,18 @@ impl<'p, R: Real> Batch<'p, R> {
     /// needs aligned step counts.
     ///
     /// # Errors
-    /// [`SessionError::ShapeMismatch`] or
-    /// [`SessionError::NonFiniteInput`]; on error the batch is
+    /// [`SessionError::ShapeMismatch`],
+    /// [`SessionError::NonFiniteInput`], or
+    /// [`SessionError::Unsupported`] when a halo exchange is installed
+    /// (a sharded job has a fixed topology); on error the batch is
     /// untouched.
     pub fn admit(&mut self, input: &Grid<R>) -> Result<usize, SessionError> {
+        if self.exchange.is_some() {
+            return Err(SessionError::Unsupported {
+                backend: "sharded batch",
+                what: "membership churn",
+            });
+        }
         let session = self.bufs.len();
         if input.shape() != self.plan.grid_shape {
             return Err(SessionError::ShapeMismatch {
@@ -1468,8 +1617,14 @@ impl<'p, R: Real> Batch<'p, R> {
     /// inputs is rejected).
     ///
     /// # Panics
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range, or if a halo exchange is
+    /// installed (the schedule's shard indices would dangle — a sharded
+    /// job has a fixed topology).
     pub fn retire(&mut self, i: usize) {
+        assert!(
+            self.exchange.is_none(),
+            "cannot retire a shard from a halo-exchanging batch"
+        );
         assert!(i < self.bufs.len(), "no batch member {i} to retire");
         self.bufs.swap_remove(i);
         self.state.swap_remove(i);
@@ -1536,7 +1691,16 @@ impl<'p, R: Real> Batch<'p, R> {
     /// step produces non-finite values is recorded or quarantined per
     /// its [`HealthPolicy`] — its step *did* complete (the tainted
     /// field is swapped in), matching solo semantics.
+    ///
+    /// With a halo exchange installed the batch is one cooperating job,
+    /// and this delegates to [`Batch::step_all_coupled`] (all-or-nothing
+    /// semantics), discarding the typed error — query
+    /// [`Batch::error`] afterwards, or call the coupled form directly.
     pub fn step_all(&mut self) {
+        if self.exchange.is_some() {
+            let _ = self.step_all_coupled();
+            return;
+        }
         // A batch drained by retires has nothing to dispatch (and the
         // guided queue is not built for zero groups).
         if self.bufs.is_empty() {
@@ -1550,14 +1714,7 @@ impl<'p, R: Real> Batch<'p, R> {
                 flags.store(exec::health::SKIP, Ordering::Relaxed);
             }
         }
-        #[cfg(feature = "fault-inject")]
-        for (i, sb) in self.bufs.iter_mut().enumerate() {
-            if exec::fault::take_nan(i) {
-                let sh = sb.cur.shape();
-                let nan = R::from_f64(f64::NAN);
-                sb.cur.set(sh[0] / 2, sh[1] / 2, sh[2] / 2, nan);
-            }
-        }
+        self.inject_faults();
         exec::step_all_into(
             &self.plan,
             &self.work,
@@ -1566,6 +1723,8 @@ impl<'p, R: Real> Batch<'p, R> {
             &mut self.ptrs,
             &self.pending,
             &self.flags,
+            None,
+            &self.xpending,
         );
         for ((sb, st), flags) in self.bufs.iter_mut().zip(&mut self.state).zip(&self.flags) {
             let f = flags.swap(0, Ordering::Relaxed);
@@ -1583,6 +1742,110 @@ impl<'p, R: Real> Batch<'p, R> {
             st.steps += 1;
             st.note_step_health(f & exec::health::NONFINITE != 0);
         }
+    }
+
+    /// Apply any armed one-shot fault injections (no-op without the
+    /// `fault-inject` feature).
+    fn inject_faults(&mut self) {
+        #[cfg(feature = "fault-inject")]
+        for (i, sb) in self.bufs.iter_mut().enumerate() {
+            if exec::fault::take_nan(i) {
+                let sh = sb.cur.shape();
+                let nan = R::from_f64(f64::NAN);
+                sb.cur.set(sh[0] / 2, sh[1] / 2, sh[2] / 2, nan);
+            }
+        }
+    }
+
+    /// Advance every member by one time step as **one cooperating
+    /// job**, all-or-nothing: either every member completes the step
+    /// (buffers swap, steps advance) or — if any member's claim panics —
+    /// **no** member's field moves and the typed fault is returned.
+    /// This is the stepping discipline of a sharded batch (members
+    /// exchange halo data mid-step, so a partial step would leave
+    /// shards at different times), but works on any batch. Runs the
+    /// installed halo exchange, if any, inside the parallel region.
+    /// Allocation-free after construction.
+    ///
+    /// On [`SessionError::Poisoned`], every member's visible field —
+    /// including the victim's — is the consistent pre-step state (the
+    /// half-written and halo-polluted `next` buffers are all
+    /// discarded), so there is **no partial-step corruption** to clean
+    /// up: recover the victim with [`Batch::clear_fault`] (resume from
+    /// the pre-step state) or rewind the whole job via
+    /// [`Batch::restore`]/[`Batch::reset`].
+    ///
+    /// # Errors
+    /// [`SessionError::EmptyBatch`] for a drained batch;
+    /// [`SessionError::Poisoned`]/[`SessionError::Quarantined`] if a
+    /// member is already faulted (coupled stepping needs every member —
+    /// recover or reset first) or when this step's panic poisons one;
+    /// [`SessionError::Unsupported`] if a member is paused.
+    pub fn step_all_coupled(&mut self) -> Result<(), SessionError> {
+        if self.bufs.is_empty() {
+            return Err(SessionError::EmptyBatch);
+        }
+        for (i, st) in self.state.iter().enumerate() {
+            if let Some(e) = st.error(i) {
+                return Err(e);
+            }
+            if st.paused {
+                return Err(SessionError::Unsupported {
+                    backend: "coupled batch",
+                    what: "stepping with a paused member",
+                });
+            }
+        }
+        self.inject_faults();
+        exec::step_all_into(
+            &self.plan,
+            &self.work,
+            &mut self.bufs,
+            &mut self.scratch,
+            &mut self.ptrs,
+            &self.pending,
+            &self.flags,
+            self.exchange.as_ref(),
+            &self.xpending,
+        );
+        // All-or-nothing post-pass: find any poison before touching any
+        // member, so a fault freezes the whole job at pre-step state.
+        let poisoned = self
+            .flags
+            .iter()
+            .position(|f| f.load(Ordering::Relaxed) & exec::health::POISONED != 0);
+        for ((sb, st), flags) in self.bufs.iter_mut().zip(&mut self.state).zip(&self.flags) {
+            let f = flags.swap(0, Ordering::Relaxed);
+            if poisoned.is_some() {
+                // No member swaps: every `next` buffer (including
+                // halo-exchanged neighbor data sourced from the
+                // victim) is discarded, every `cur` is pre-step.
+                if f & exec::health::POISONED != 0 {
+                    st.poisoned = true;
+                }
+                continue;
+            }
+            st.engine.counters.merge(&self.per_iter);
+            std::mem::swap(&mut sb.cur, &mut sb.next);
+            st.steps += 1;
+            st.note_step_health(f & exec::health::NONFINITE != 0);
+        }
+        match poisoned {
+            Some(session) => Err(SessionError::Poisoned { session }),
+            None => Ok(()),
+        }
+    }
+
+    /// Clear member `i`'s poisoned/quarantined status **without**
+    /// rewinding its field. Sound because a faulted member's visible
+    /// buffers always hold the last consistent pre-fault state (a
+    /// poisoned step's partial output is never swapped in), so clearing
+    /// the flag simply resumes from there — the recovery path for a
+    /// coupled job aborted by [`Batch::step_all_coupled`], where every
+    /// member (victim included) froze at the same step. A paused member
+    /// stays paused.
+    pub fn clear_fault(&mut self, i: usize) {
+        self.state[i].clear_faults();
     }
 
     /// Advance every session by `n` time steps.
@@ -1688,8 +1951,16 @@ impl<'p, R: Real> Batch<'p, R> {
     }
 
     /// Fallible [`Batch::session_mut`]: [`SessionError::Poisoned`] or
-    /// [`SessionError::Quarantined`] when the member is faulted.
+    /// [`SessionError::Quarantined`] when the member is faulted,
+    /// [`SessionError::Unsupported`] when a halo exchange is installed
+    /// (solo-stepping one shard would desynchronize the coupled job).
     pub fn try_session_mut(&mut self, i: usize) -> Result<BatchSession<'_, R>, SessionError> {
+        if self.exchange.is_some() {
+            return Err(SessionError::Unsupported {
+                backend: "sharded batch",
+                what: "solo member stepping",
+            });
+        }
         if let Some(e) = self.state[i].error(i) {
             return Err(e);
         }

@@ -11,7 +11,7 @@ use sparstencil::crush::{build_a_prime, build_b_prime, CrushPlan};
 use sparstencil::grid::Grid;
 use sparstencil::layout::ExecMode;
 use sparstencil::pipeline::Executor;
-use sparstencil::plan::{compile, Options};
+use sparstencil::plan::{compile, compile_halo_exchange, Decomposition, Options};
 use sparstencil::reference;
 use sparstencil::stencil::StencilKernel;
 use sparstencil_mat::gemm;
@@ -321,5 +321,186 @@ proptest! {
             }
         }
         prop_assert!(covered.iter().all(|&v| v));
+    }
+}
+
+/// Strategy: a shardable (kernel, global shape, parts, layout) case.
+/// The global shape is derived from per-axis chunk sizes and shard
+/// counts so every split axis divides evenly, and the y/x chunks are
+/// multiples of the pinned tile period (`r2`, `r1`) so the layout
+/// validates for any split.
+fn shard_case() -> impl Strategy<Value = (StencilKernel, [usize; 3], [usize; 3], (usize, usize))> {
+    (
+        0usize..3,
+        1usize..=3, // pz
+        1usize..=3, // py
+        1usize..=2, // px
+        2usize..=4, // r1
+        2usize..=4, // r2
+        1usize..=2, // my: chunk_y = r2 * my
+        1usize..=2, // mx: chunk_x = r1 * mx
+        2usize..=5, // chunk_z
+    )
+        .prop_map(|(which, pz, py, px, r1, r2, my, mx, cz)| {
+            let kernel = match which {
+                0 => StencilKernel::box2d9p(),
+                1 => StencilKernel::heat3d(),
+                _ => StencilKernel::box3d27p(),
+            };
+            let e = kernel.extent();
+            let (pz, cz) = if e[0] == 1 { (1, 1) } else { (pz, cz) };
+            let parts = [pz, py, px];
+            let chunk = [cz, r2 * my, r1 * mx];
+            let mut shape = [0; 3];
+            for a in 0..3 {
+                shape[a] = chunk[a] * parts[a] + e[a] - 1;
+            }
+            (kernel, shape, parts, (r1, r2))
+        })
+}
+
+/// Decode a padded-buffer offset back to local (z, y, x).
+fn unpad(off: usize, pad_ny: usize, pad_nx: usize) -> [usize; 3] {
+    [off / (pad_ny * pad_nx), off / pad_nx % pad_ny, off % pad_nx]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    // The decomposition's owned blocks tile the global computed region
+    // exactly: every globally computed cell is owned by exactly one
+    // shard (no gap, no overlap), `owner_of` agrees with the block
+    // arithmetic, and no owned block leaks into the step-invariant
+    // boundary band.
+    #[test]
+    fn decomposition_tiles_domain(case in shard_case()) {
+        let (kernel, shape, parts, _) = case;
+        let d = Decomposition::new(&kernel, shape, parts).unwrap();
+        let gv = d.global_valid();
+        let e = kernel.extent();
+        for a in 0..3 {
+            prop_assert_eq!(gv[a], shape[a] - e[a] + 1, "axis {}", a);
+            prop_assert_eq!(d.chunk[a] * d.parts[a], gv[a], "axis {}", a);
+        }
+        let mut owned = vec![0u8; gv[0] * gv[1] * gv[2]];
+        for s in 0..d.n_shards() {
+            let o = d.origin(s);
+            prop_assert_eq!(d.linear(d.coords(s)), s);
+            for lz in 0..d.chunk[0] {
+                for ly in 0..d.chunk[1] {
+                    for lx in 0..d.chunk[2] {
+                        let g = [o[0] + lz, o[1] + ly, o[2] + lx];
+                        prop_assert!(g[0] < gv[0] && g[1] < gv[1] && g[2] < gv[2]);
+                        owned[(g[0] * gv[1] + g[1]) * gv[2] + g[2]] += 1;
+                        prop_assert_eq!(d.owner_of(g), (s, [lz, ly, lx]));
+                    }
+                }
+            }
+        }
+        prop_assert!(owned.iter().all(|&c| c == 1), "gap or overlap in tiling");
+    }
+
+    // The compiled halo-exchange schedule is exact and symmetric: the
+    // destination cells of the segments are precisely the halo set
+    // (globally computed, not locally computed), each received exactly
+    // once; every element's source decodes to the *same global cell* in
+    // the owner shard's locally computed block (every receive is matched
+    // by a send of fresh data, never of mirrored/ghost cells); and the
+    // dependency counters/notify lists are exact inverses.
+    #[test]
+    fn halo_exchange_is_exact_and_symmetric(case in shard_case()) {
+        let (kernel, shape, parts, (r1, r2)) = case;
+        let d = Decomposition::new(&kernel, shape, parts).unwrap();
+        let opts = Options { layout: Some((r1, r2)), ..Options::default() };
+        let plan = compile::<f32>(&kernel, d.shard_shape, &opts).unwrap();
+        let hx = compile_halo_exchange(&plan, &d).unwrap();
+        let (pad_ny, pad_nx) = (plan.geom.pad_ny, plan.geom.pad_nx);
+        prop_assert_eq!(hx.sessions(), d.n_shards());
+        prop_assert_eq!(hx.buf_len(), d.shard_shape[0] * pad_ny * pad_nx);
+
+        let gv = d.global_valid();
+        let sh = d.shard_shape;
+        let n = d.n_shards();
+
+        // Expected halo set per shard.
+        let mut expected = std::collections::BTreeSet::new();
+        for s in 0..n {
+            let o = d.origin(s);
+            for lz in 0..sh[0] {
+                for ly in 0..sh[1] {
+                    for lx in 0..sh[2] {
+                        let g = [o[0] + lz, o[1] + ly, o[2] + lx];
+                        let global = g[0] < gv[0] && g[1] < gv[1] && g[2] < gv[2];
+                        let local =
+                            lz < d.chunk[0] && ly < d.chunk[1] && lx < d.chunk[2];
+                        if global && !local {
+                            expected.insert((s, [lz, ly, lx]));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Decode every segment element: received exactly once, source
+        // matches the same global cell inside the owner's computed
+        // block.
+        let mut received = std::collections::BTreeSet::new();
+        let mut cells = 0usize;
+        for seg in hx.segments() {
+            prop_assert!(seg.src_shard < n && seg.dst_shard < n);
+            prop_assert_ne!(seg.src_shard, seg.dst_shard);
+            prop_assert_eq!(seg.src_range.len(), seg.dst_range.len());
+            prop_assert!(seg.src_range.end <= hx.buf_len());
+            prop_assert!(seg.dst_range.end <= hx.buf_len());
+            let so = d.origin(seg.src_shard);
+            let do_ = d.origin(seg.dst_shard);
+            for k in 0..seg.src_range.len() {
+                let sl = unpad(seg.src_range.start + k, pad_ny, pad_nx);
+                let dl = unpad(seg.dst_range.start + k, pad_ny, pad_nx);
+                // Runs never wrap a padded row.
+                prop_assert!(sl[2] < sh[2] && dl[2] < sh[2]);
+                // Same global cell on both sides (the "send matches
+                // receive" symmetry).
+                for a in 0..3 {
+                    prop_assert_eq!(so[a] + sl[a], do_[a] + dl[a], "axis {}", a);
+                }
+                // The source is locally computed in the owner — fresh
+                // data, never a mirrored or ghost cell.
+                prop_assert!(
+                    sl[0] < d.chunk[0] && sl[1] < d.chunk[1] && sl[2] < d.chunk[2],
+                    "segment sources a non-owned cell"
+                );
+                prop_assert!(
+                    received.insert((seg.dst_shard, dl)),
+                    "halo cell received twice"
+                );
+                cells += 1;
+            }
+        }
+        prop_assert_eq!(&received, &expected, "halo coverage mismatch");
+        prop_assert_eq!(hx.exchange_cells(), cells);
+
+        // deps/notify are exact inverses of the segment graph.
+        let mut want_notify = vec![std::collections::BTreeSet::new(); n];
+        for dd in 0..n {
+            let segs = hx.segments_for(dd);
+            let mut gates = std::collections::BTreeSet::new();
+            if !segs.is_empty() {
+                gates.insert(dd);
+                for seg in segs {
+                    gates.insert(seg.src_shard);
+                }
+            }
+            prop_assert_eq!(hx.deps(dd) as usize, gates.len());
+            for j in gates {
+                want_notify[j].insert(dd as u32);
+            }
+        }
+        for (j, want) in want_notify.iter().enumerate() {
+            let got: std::collections::BTreeSet<u32> =
+                hx.notify(j).iter().copied().collect();
+            prop_assert_eq!(hx.notify(j).len(), got.len(), "duplicate notify");
+            prop_assert_eq!(&got, want, "notify list mismatch for member {}", j);
+        }
     }
 }

@@ -1,0 +1,606 @@
+//! # Sharded-grid execution — one simulation over N cooperating shards
+//!
+//! The engine's ghost-zone padding and per-step boundary mirror are a
+//! halo protocol with one participant; this crate scales it out. A
+//! [`ShardedSimulation`] decomposes one semantic grid into N equal
+//! shards ([`Decomposition`] — 1D/2D slab or pencil over the padded-tile
+//! geometry), runs them as the members of one
+//! [`sparstencil::session::Batch`] over one shared plan, and replaces
+//! each interior shard face's mirror with a plan-time **halo-exchange
+//! schedule** ([`HaloExchange`], compiled by
+//! [`compile_halo_exchange`]): typed [`HaloSegment`] copies that move
+//! freshly stepped neighbor data into each shard's halo *inside* the
+//! batch's parallel region, allocation-free at steady state. True
+//! domain boundaries keep the mirror; only interior faces exchange.
+//!
+//! The result is **bit-identical** to stepping the unsharded grid in a
+//! solo session, at every step, for every kernel, radius, and shard
+//! count the decomposition admits (`crates/shard/tests` pins this
+//! across the equivalence-kernel zoo): shard layouts are pinned to the
+//! layout the unsharded grid would choose, split chunks are validated
+//! against the tile period, and the exchange delivers exactly the
+//! cells a solo step would have computed in place.
+//!
+//! Fault containment is **all-or-nothing**: shards exchange data
+//! mid-step, so a fault in one shard aborts the whole step — every
+//! shard's visible field (victim included) stays at the consistent
+//! pre-step state, [`ShardedSimulation::try_step`] returns the typed
+//! [`SessionError::Poisoned`], and [`ShardedSimulation::heal`] resumes
+//! from right there (or [`ShardedSimulation::restore`] rewinds to a
+//! [`ShardCheckpoint`]).
+//!
+//! ```
+//! use sparstencil::prelude::*;
+//! use sparstencil_shard::ShardedSimulation;
+//!
+//! let kernel = StencilKernel::box3d27p();
+//! let shape = [10, 20, 20];
+//! let input = Grid::<f32>::smooth_random(3, shape);
+//!
+//! let mut sharded = ShardedSimulation::new(&kernel, &input, &Options::default(), 4);
+//! sharded.step_n(3);
+//!
+//! // Bit-identical to the unsharded session.
+//! let exec = Executor::<f32>::new(&kernel, shape, &Options::default()).unwrap();
+//! let mut solo = exec.session(&input);
+//! solo.step_n(3);
+//! assert_eq!(sharded.to_grid(), solo.to_grid());
+//! ```
+
+#![warn(missing_docs)]
+
+use sparstencil::grid::{FieldView, Grid};
+use sparstencil::layout;
+use sparstencil::plan::{compile, CompileError, CompiledStencil, Options};
+use sparstencil::session::{Batch, Checkpoint, Health, SessionError};
+use sparstencil::stencil::StencilKernel;
+use sparstencil_mat::Real;
+
+pub use sparstencil::exec::RunStats;
+pub use sparstencil::plan::{
+    compile_halo_exchange, DecomposeError, Decomposition, HaloExchange, HaloSegment,
+};
+
+/// Errors from building or driving a sharded simulation: the union of
+/// the compile, decomposition, and session error domains it spans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// Compiling the per-shard plan failed.
+    Compile(CompileError),
+    /// The decomposition or halo-exchange schedule was rejected.
+    Decompose(DecomposeError),
+    /// The underlying batch reported a session fault.
+    Session(SessionError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Compile(e) => write!(f, "shard plan compilation: {e}"),
+            ShardError::Decompose(e) => write!(f, "shard decomposition: {e}"),
+            ShardError::Session(e) => write!(f, "shard session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<CompileError> for ShardError {
+    fn from(e: CompileError) -> Self {
+        ShardError::Compile(e)
+    }
+}
+
+impl From<DecomposeError> for ShardError {
+    fn from(e: DecomposeError) -> Self {
+        ShardError::Decompose(e)
+    }
+}
+
+impl From<SessionError> for ShardError {
+    fn from(e: SessionError) -> Self {
+        ShardError::Session(e)
+    }
+}
+
+type ProbeFn<R> = Box<dyn FnMut(usize, &ShardedFieldView<'_, R>) + Send>;
+
+/// A registered observer: fires every `every` steps with the step
+/// number and the seamless cross-shard field view.
+struct Probe<R: Real> {
+    every: usize,
+    f: ProbeFn<R>,
+}
+
+/// One semantic simulation decomposed into N shard-sessions stepped as
+/// a single cooperating batch with plan-time halo exchange. See the
+/// [crate docs](self) for the protocol and guarantees.
+pub struct ShardedSimulation<R: Real> {
+    batch: Batch<'static, R>,
+    decomp: Decomposition,
+    dims: usize,
+    steps: usize,
+    exchange_cells: usize,
+    probes: Vec<Probe<R>>,
+}
+
+impl<R: Real> std::fmt::Debug for ShardedSimulation<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulation")
+            .field("shape", &self.decomp.global_shape)
+            .field("parts", &self.decomp.parts)
+            .field("steps", &self.steps)
+            .field("exchange_cells", &self.exchange_cells)
+            .field("probes", &self.probes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Real> ShardedSimulation<R> {
+    /// Decompose `input` into `n_shards` slabs for `kernel` and build
+    /// the sharded session ([`ShardedSimulation::try_new`] is the
+    /// fallible form).
+    ///
+    /// # Panics
+    /// Panics on any [`ShardError`]: an indivisible domain, a chunk
+    /// misaligned with the tile period, a failed compile, or a
+    /// non-finite input.
+    pub fn new(
+        kernel: &StencilKernel,
+        input: &Grid<R>,
+        options: &Options,
+        n_shards: usize,
+    ) -> Self {
+        Self::try_new(kernel, input, options, n_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ShardedSimulation::new`]: slab decomposition over the
+    /// outermost splittable axis, pool-default lane count.
+    pub fn try_new(
+        kernel: &StencilKernel,
+        input: &Grid<R>,
+        options: &Options,
+        n_shards: usize,
+    ) -> Result<Self, ShardError> {
+        let decomp = Decomposition::slab(kernel, input.shape(), n_shards)?;
+        Self::try_with_decomposition(kernel, input, options, decomp, rayon::current_num_threads())
+    }
+
+    /// [`ShardedSimulation::try_new`] with an explicit worker-lane
+    /// count; results are identical for every lane count.
+    pub fn try_with_parallelism(
+        kernel: &StencilKernel,
+        input: &Grid<R>,
+        options: &Options,
+        n_shards: usize,
+        lanes: usize,
+    ) -> Result<Self, ShardError> {
+        let decomp = Decomposition::slab(kernel, input.shape(), n_shards)?;
+        Self::try_with_decomposition(kernel, input, options, decomp, lanes)
+    }
+
+    /// Build a sharded session over an explicit [`Decomposition`]
+    /// (slab or pencil — any `parts` the domain admits).
+    ///
+    /// Bit-exactness with the unsharded session is engineered here: the
+    /// `(r1, r2)` tile layout is resolved against the **global** shape
+    /// (`options.layout` if fixed, otherwise the same deterministic
+    /// exploration a solo compile would run), then pinned into the
+    /// per-shard plan — so every shard assigns each global cell the
+    /// same program row, in the same accumulation order, as the
+    /// unsharded grid.
+    pub fn try_with_decomposition(
+        kernel: &StencilKernel,
+        input: &Grid<R>,
+        options: &Options,
+        decomp: Decomposition,
+        lanes: usize,
+    ) -> Result<Self, ShardError> {
+        if input.shape() != decomp.global_shape {
+            return Err(ShardError::Session(SessionError::ShapeMismatch {
+                expected: decomp.global_shape,
+                got: input.shape(),
+            }));
+        }
+        let (r1, r2) = match options.layout {
+            Some(rs) => rs,
+            None => {
+                layout::explore(
+                    kernel,
+                    decomp.global_shape,
+                    options.effective_frag(),
+                    options.mode,
+                    options.precision,
+                    &options.gpu,
+                    options.max_r,
+                )
+                .best
+            }
+        };
+        decomp.validate_layout(r1, r2)?;
+        let shard_opts = Options {
+            layout: Some((r1, r2)),
+            ..options.clone()
+        };
+        let plan: CompiledStencil<R> = compile(kernel, decomp.shard_shape, &shard_opts)?;
+        let hx = compile_halo_exchange(&plan, &decomp)?;
+        let exchange_cells = hx.exchange_cells();
+        let inputs: Vec<Grid<R>> = (0..decomp.n_shards())
+            .map(|s| input.subgrid(decomp.origin(s), decomp.shard_shape))
+            .collect();
+        let mut batch = Batch::try_owned_with_parallelism(plan, &inputs, lanes)?;
+        batch.install_halo_exchange(hx)?;
+        Ok(Self {
+            batch,
+            decomp,
+            dims: input.dims(),
+            steps: 0,
+            exchange_cells,
+            probes: Vec::new(),
+        })
+    }
+
+    /// Advance the whole sharded simulation by one time step (compute +
+    /// halo exchange in one parallel region), firing due probes.
+    /// Allocation-free after construction.
+    ///
+    /// # Panics
+    /// Panics on a shard fault ([`ShardedSimulation::try_step`] is the
+    /// fallible form).
+    pub fn step(&mut self) {
+        self.try_step().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`ShardedSimulation::step`]: all-or-nothing. On
+    /// [`SessionError::Poisoned`] no shard's field moved — the whole
+    /// job sits at the consistent pre-step state, recoverable via
+    /// [`ShardedSimulation::heal`] (resume in place) or
+    /// [`ShardedSimulation::restore`] (rewind). Probes do not fire on a
+    /// failed step.
+    pub fn try_step(&mut self) -> Result<(), ShardError> {
+        self.batch.step_all_coupled()?;
+        self.steps += 1;
+        self.fire_probes();
+        Ok(())
+    }
+
+    /// Advance by `n` time steps, firing due probes after each.
+    ///
+    /// # Panics
+    /// As [`ShardedSimulation::step`].
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Fallible [`ShardedSimulation::step_n`]: stops at the first
+    /// faulted step (earlier completed steps stand).
+    pub fn try_step_n(&mut self, n: usize) -> Result<(), ShardError> {
+        for _ in 0..n {
+            self.try_step()?;
+        }
+        Ok(())
+    }
+
+    /// Steps completed since construction or the last
+    /// `load`/`reset`/`restore`.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Register an observer fired after every `every`-th step with the
+    /// seamless cross-shard view. Probes stack (registration order).
+    ///
+    /// # Errors
+    /// [`SessionError::ProbeMisuse`] for a zero cadence.
+    pub fn try_probe(
+        &mut self,
+        every: usize,
+        f: impl FnMut(usize, &ShardedFieldView<'_, R>) + Send + 'static,
+    ) -> Result<(), ShardError> {
+        if every == 0 {
+            return Err(ShardError::Session(SessionError::ProbeMisuse));
+        }
+        self.probes.push(Probe {
+            every,
+            f: Box::new(f),
+        });
+        Ok(())
+    }
+
+    /// Infallible [`ShardedSimulation::try_probe`].
+    ///
+    /// # Panics
+    /// Panics for a zero cadence.
+    pub fn probe(
+        &mut self,
+        every: usize,
+        f: impl FnMut(usize, &ShardedFieldView<'_, R>) + Send + 'static,
+    ) {
+        self.try_probe(every, f).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn fire_probes(&mut self) {
+        if self.probes.is_empty() {
+            return;
+        }
+        // Split borrows: the view reads `batch`/`decomp`, the closures
+        // live in `probes` — disjoint fields.
+        let Self {
+            batch,
+            decomp,
+            dims,
+            steps,
+            probes,
+            ..
+        } = self;
+        let view = ShardedFieldView {
+            batch,
+            decomp,
+            dims: *dims,
+        };
+        for p in probes.iter_mut() {
+            if *steps % p.every == 0 {
+                (p.f)(*steps, &view);
+            }
+        }
+    }
+
+    /// Seamless zero-copy view of the full semantic field across all
+    /// shards — reads route to the owning shard, no assembly pass.
+    pub fn field(&self) -> ShardedFieldView<'_, R> {
+        ShardedFieldView {
+            batch: &self.batch,
+            decomp: &self.decomp,
+            dims: self.dims,
+        }
+    }
+
+    /// Materialize the full semantic field as one owned [`Grid`].
+    pub fn to_grid(&self) -> Grid<R> {
+        self.field().to_grid()
+    }
+
+    /// The decomposition this simulation runs under.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// Number of shard-sessions.
+    pub fn n_shards(&self) -> usize {
+        self.decomp.n_shards()
+    }
+
+    /// Global semantic shape `[nz, ny, nx]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.decomp.global_shape
+    }
+
+    /// Each shard's local semantic shape.
+    pub fn shard_shape(&self) -> [usize; 3] {
+        self.decomp.shard_shape
+    }
+
+    /// Cells copied between shards per step by the halo exchange
+    /// (benches report `exchange_cells / domain cells` as the exchange
+    /// fraction).
+    pub fn exchange_cells(&self) -> usize {
+        self.exchange_cells
+    }
+
+    /// Shard `i`'s accumulated simulated-hardware statistics.
+    pub fn shard_stats(&self, i: usize) -> RunStats {
+        self.batch.stats(i)
+    }
+
+    /// Shard `i`'s numeric-health record.
+    pub fn shard_health(&self, i: usize) -> &Health {
+        self.batch.health(i)
+    }
+
+    /// The typed fault parked on shard `i`, if any (set when a coupled
+    /// step aborts).
+    pub fn shard_error(&self, i: usize) -> Option<SessionError> {
+        self.batch.error(i)
+    }
+
+    /// Clear every shard's fault status and resume from the current
+    /// (consistent pre-fault) field — sound because an aborted coupled
+    /// step never moves any shard's visible state.
+    pub fn heal(&mut self) {
+        for i in 0..self.n_shards() {
+            self.batch.clear_fault(i);
+        }
+    }
+
+    /// Replace the field with a new global input of the same shape,
+    /// clearing steps, counters, and fault status. Reuses every shard's
+    /// buffers (the per-shard slicing allocates transient staging
+    /// grids; steady-state *stepping* stays allocation-free).
+    ///
+    /// # Errors
+    /// [`SessionError::ShapeMismatch`] when `input` is not the global
+    /// shape.
+    pub fn load(&mut self, input: &Grid<R>) -> Result<(), ShardError> {
+        if input.shape() != self.decomp.global_shape {
+            return Err(ShardError::Session(SessionError::ShapeMismatch {
+                expected: self.decomp.global_shape,
+                got: input.shape(),
+            }));
+        }
+        for s in 0..self.n_shards() {
+            let sub = input.subgrid(self.decomp.origin(s), self.decomp.shard_shape);
+            self.batch.load(s, &sub);
+        }
+        self.steps = 0;
+        Ok(())
+    }
+
+    /// Rewind every shard to the initially loaded field, clearing
+    /// steps, counters, and fault status. No reallocation.
+    pub fn reset(&mut self) {
+        self.batch.reset();
+        self.steps = 0;
+    }
+
+    /// Snapshot the whole job into a fresh [`ShardCheckpoint`]. Prefer
+    /// [`ShardedSimulation::checkpoint_into`] in steady state (reuses
+    /// the caller's buffers, zero allocations once warm).
+    pub fn checkpoint(&self) -> ShardCheckpoint<R> {
+        let mut ck = ShardCheckpoint::new();
+        self.checkpoint_into(&mut ck);
+        ck
+    }
+
+    /// Snapshot every shard's field, counters, and the job's step count
+    /// into `ck`, reusing its buffers when already filled from this
+    /// decomposition.
+    pub fn checkpoint_into(&self, ck: &mut ShardCheckpoint<R>) {
+        let n = self.n_shards();
+        if ck.shards.len() != n {
+            ck.shards = (0..n).map(|_| Checkpoint::new()).collect();
+        }
+        for (i, slot) in ck.shards.iter_mut().enumerate() {
+            self.batch.checkpoint_into(i, slot);
+        }
+        ck.steps = self.steps;
+    }
+
+    /// Rewind the whole job to `ck`, clearing fault status — the
+    /// targeted recovery path when resuming in place
+    /// ([`ShardedSimulation::heal`]) is not wanted.
+    ///
+    /// # Errors
+    /// [`SessionError::EmptyCheckpoint`] for a never-filled checkpoint
+    /// or one taken from a different shard count;
+    /// [`SessionError::ShapeMismatch`]/[`SessionError::NonFiniteInput`]
+    /// per shard as [`Batch::restore`]. Shards already restored before
+    /// a per-shard error stand (take checkpoints from healthy states to
+    /// avoid partial restores).
+    pub fn restore(&mut self, ck: &ShardCheckpoint<R>) -> Result<(), ShardError> {
+        if ck.shards.len() != self.n_shards() || ck.shards.iter().any(|c| !c.is_filled()) {
+            return Err(ShardError::Session(SessionError::EmptyCheckpoint));
+        }
+        for (i, slot) in ck.shards.iter().enumerate() {
+            self.batch.restore(i, slot)?;
+        }
+        self.steps = ck.steps;
+        Ok(())
+    }
+
+    /// The underlying batch (read-only): plan, per-shard fields, the
+    /// installed [`HaloExchange`].
+    pub fn batch(&self) -> &Batch<'static, R> {
+        &self.batch
+    }
+}
+
+/// A caller-held snapshot of a whole sharded job: one [`Checkpoint`]
+/// per shard plus the job step count. Created empty with
+/// [`ShardCheckpoint::new`]; filled by
+/// [`ShardedSimulation::checkpoint_into`], which reuses the buffers on
+/// every refill.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCheckpoint<R: Real> {
+    shards: Vec<Checkpoint<R>>,
+    steps: usize,
+}
+
+impl<R: Real> ShardCheckpoint<R> {
+    /// An empty checkpoint; the first `checkpoint_into` allocates its
+    /// per-shard buffers, later refills reuse them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` once filled by a `checkpoint_into` call.
+    pub fn is_filled(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(Checkpoint::is_filled)
+    }
+
+    /// The job step count captured at the snapshot.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// A zero-copy, read-only view of the full semantic field assembled
+/// across all shards: reads route to the shard owning the cell (global
+/// boundary bands to the last shard along each axis), so observers see
+/// one seamless grid with no per-step assembly cost. The cross-shard
+/// analogue of [`FieldView`].
+pub struct ShardedFieldView<'a, R: Real> {
+    batch: &'a Batch<'static, R>,
+    decomp: &'a Decomposition,
+    dims: usize,
+}
+
+impl<R: Real> ShardedFieldView<'_, R> {
+    /// Global semantic shape `[nz, ny, nx]`.
+    pub fn shape(&self) -> [usize; 3] {
+        self.decomp.global_shape
+    }
+
+    /// Dimensionality of the simulated field (1, 2, or 3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        let s = self.decomp.global_shape;
+        s[0] * s[1] * s[2]
+    }
+
+    /// `true` for a degenerate zero-cell field.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read global cell `(z, y, x)` (routes to the owning shard).
+    pub fn get(&self, z: usize, y: usize, x: usize) -> R {
+        let (s, l) = self.decomp.owner_of([z, y, x]);
+        self.batch.field(s).get(l[0], l[1], l[2])
+    }
+
+    /// The shard-local view holding global cell `(z, y, x)`, with the
+    /// cell's shard index and local coordinates.
+    pub fn locate(&self, z: usize, y: usize, x: usize) -> (usize, [usize; 3], FieldView<'_, R>) {
+        let (s, l) = self.decomp.owner_of([z, y, x]);
+        (s, l, self.batch.field(s))
+    }
+
+    /// Materialize the full semantic field as one owned [`Grid`],
+    /// copying each row's owner runs (halo overlaps hold identical
+    /// values in every holder, so any owner works; the canonical one is
+    /// used). The input grid's recorded dimensionality is preserved
+    /// verbatim, exactly as the solo session's [`FieldView::to_grid`]
+    /// does — the two paths must agree even on metadata.
+    pub fn to_grid(&self) -> Grid<R> {
+        let shape = self.decomp.global_shape;
+        let mut out = Grid::<R>::from_fn_3d(self.dims, shape, |_, _, _| R::from_f64(0.0));
+        let chunk = self.decomp.chunk;
+        let parts = self.decomp.parts;
+        for z in 0..shape[0] {
+            for y in 0..shape[1] {
+                let mut x = 0;
+                while x < shape[2] {
+                    let (s, l) = self.decomp.owner_of([z, y, x]);
+                    let px = (x / chunk[2]).min(parts[2] - 1);
+                    let run_end = if px == parts[2] - 1 {
+                        shape[2]
+                    } else {
+                        (px + 1) * chunk[2]
+                    };
+                    let len = run_end - x;
+                    let row = self.batch.field(s).row(l[0], l[1]);
+                    let base = out.index(z, y, x);
+                    out.as_mut_slice()[base..base + len].copy_from_slice(&row[l[2]..l[2] + len]);
+                    x = run_end;
+                }
+            }
+        }
+        out
+    }
+}

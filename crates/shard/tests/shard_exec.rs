@@ -1,0 +1,394 @@
+//! Sharded-execution equivalence suite: a [`ShardedSimulation`] over N
+//! halo-exchanging shard-sessions must be **bit-identical** to the
+//! unsharded solo session at every step — across the equivalence kernel
+//! set (1D/2D/3D, star and box, wide radii, temporal fusion), shard
+//! counts, slab axes, and pencil decompositions — plus the typed-error
+//! surface of the decomposition and the checkpoint/rollback path.
+
+use std::sync::{Arc, Mutex};
+
+use sparstencil::grid::Grid;
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::session::SessionError;
+use sparstencil::stencil::StencilKernel;
+use sparstencil_shard::{
+    DecomposeError, Decomposition, ShardCheckpoint, ShardError, ShardedSimulation,
+};
+
+fn opts_3d() -> Options {
+    Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    }
+}
+
+/// Step a solo session and a sharded simulation over the same input in
+/// lockstep and assert the full semantic field is bit-identical after
+/// **every** step (not just the last).
+fn assert_sharded_matches_solo(
+    k: &StencilKernel,
+    shape: [usize; 3],
+    opts: &Options,
+    n_shards: usize,
+    steps: usize,
+) {
+    let input = Grid::<f32>::smooth_random(k.dims(), shape);
+    let exec = Executor::<f32>::new(k, shape, opts).unwrap();
+    let mut solo = exec.session(&input);
+    let mut sharded = ShardedSimulation::<f32>::new(k, &input, opts, n_shards);
+    assert_eq!(sharded.n_shards(), n_shards);
+    assert_eq!(sharded.shape(), shape);
+    // Loads quantize inputs identically on both paths, so the pre-step
+    // assembly must already match the solo session's view.
+    assert_eq!(
+        sharded.to_grid(),
+        solo.to_grid(),
+        "{}: pre-step assembly must match the solo session",
+        k.name()
+    );
+    for step in 1..=steps {
+        solo.step();
+        sharded.step();
+        assert_eq!(sharded.steps(), step);
+        assert_eq!(
+            sharded.to_grid(),
+            solo.to_grid(),
+            "{}: sharded ({n_shards} shards) differs from solo at step {step}",
+            k.name()
+        );
+    }
+    // Point reads route through owner lookup — spot-check against the
+    // assembled grid.
+    let grid = sharded.to_grid();
+    let view = sharded.field();
+    assert_eq!(view.shape(), shape);
+    assert_eq!(view.len(), shape[0] * shape[1] * shape[2]);
+    for (z, y, x) in [
+        (0, 0, 0),
+        (shape[0] - 1, shape[1] - 1, shape[2] - 1),
+        (shape[0] / 2, shape[1] / 2, shape[2] / 2),
+    ] {
+        assert_eq!(view.get(z, y, x), grid.get(z, y, x));
+        let (s, l, local) = view.locate(z, y, x);
+        assert!(s < n_shards);
+        assert_eq!(local.get(l[0], l[1], l[2]), grid.get(z, y, x));
+    }
+}
+
+#[test]
+fn sharded_matches_solo_1d() {
+    let opts = Options {
+        layout: Some((4, 2)),
+        ..Options::default()
+    };
+    // x-slab split: valid x extent 384 divides evenly and each chunk is
+    // a multiple of r1 = 4.
+    for k in [StencilKernel::heat1d(), StencilKernel::onedim5p()] {
+        let e = k.extent();
+        let shape = [1, 1, 384 + e[2] - 1];
+        for n in [1, 2, 4, 8] {
+            assert_sharded_matches_solo(&k, shape, &opts, n, 3);
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_solo_2d() {
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    // y-slab split: valid y extent 32 divides evenly at 1/2/4/8 shards
+    // and every chunk (32/16/8/4) is a multiple of r2 = 4.
+    for k in [
+        StencilKernel::heat2d(),
+        StencilKernel::box2d9p(),
+        StencilKernel::star2d13p(),
+        StencilKernel::box2d49p(),
+        StencilKernel::star2d(2),
+    ] {
+        let e = k.extent();
+        let shape = [1, 32 + e[1] - 1, 36 + e[2] - 1];
+        for n in [2, 4, 8] {
+            assert_sharded_matches_solo(&k, shape, &opts, n, 2);
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_solo_3d() {
+    // z-slab split (no tile-period alignment constraint at all).
+    for k in [StencilKernel::heat3d(), StencilKernel::box3d27p()] {
+        for n in [2, 4, 8] {
+            assert_sharded_matches_solo(&k, [10, 20, 20], &opts_3d(), n, 3);
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_solo_explored_layout() {
+    // No pinned layout: the sharded constructor must resolve the SAME
+    // deterministic layout exploration a solo compile runs on the
+    // global shape, so the grids still match bit-for-bit.
+    assert_sharded_matches_solo(
+        &StencilKernel::box3d27p(),
+        [10, 20, 20],
+        &Options::default(),
+        4,
+        3,
+    );
+}
+
+#[test]
+fn sharded_matches_solo_temporal_fusion() {
+    let fused = StencilKernel::heat2d().temporal_fusion(3);
+    let e = fused.extent();
+    let shape = [1, 32 + e[1] - 1, 36 + e[2] - 1];
+    assert_sharded_matches_solo(&fused, shape, &opts_3d(), 4, 2);
+}
+
+#[test]
+fn sharded_pencil_decompositions_match_solo() {
+    // 2D y×x pencil: 4 shards as a 2×2 grid of blocks (corner halos
+    // exercise the per-cell owner routing).
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 34, 34];
+    let input = Grid::<f32>::smooth_random(2, shape);
+    let opts = opts_3d();
+    let exec = Executor::<f32>::new(&k, shape, &opts).unwrap();
+    let mut solo = exec.session(&input);
+    let d = Decomposition::new(&k, shape, [1, 2, 2]).unwrap();
+    let mut sharded = ShardedSimulation::try_with_decomposition(&k, &input, &opts, d, 4).unwrap();
+    for step in 1..=3 {
+        solo.step();
+        sharded.step();
+        assert_eq!(sharded.to_grid(), solo.to_grid(), "2d pencil step {step}");
+    }
+
+    // 3D z×y pencil.
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 18, 20];
+    let input = Grid::<f32>::smooth_random(3, shape);
+    let exec = Executor::<f32>::new(&k, shape, &opts).unwrap();
+    let mut solo = exec.session(&input);
+    let d = Decomposition::new(&k, shape, [2, 2, 1]).unwrap();
+    let mut sharded = ShardedSimulation::try_with_decomposition(&k, &input, &opts, d, 4).unwrap();
+    for step in 1..=3 {
+        solo.step();
+        sharded.step();
+        assert_eq!(sharded.to_grid(), solo.to_grid(), "3d pencil step {step}");
+    }
+}
+
+/// The acceptance case: a 3D 27-point grid stepped as 4 and as 8 shards,
+/// probed at EVERY step, bit-identical to the unsharded session at each
+/// probed step.
+#[test]
+fn sharded_3d27pt_probed_every_step_matches_solo() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let steps = 5;
+    let input = Grid::<f32>::smooth_random(3, shape);
+
+    let exec = Executor::<f32>::new(&k, shape, &opts_3d()).unwrap();
+    let solo_frames: Arc<Mutex<Vec<Grid<f32>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut solo = exec.session(&input);
+    {
+        let frames = Arc::clone(&solo_frames);
+        solo.probe(1, move |_, field| {
+            frames.lock().unwrap().push(field.to_grid());
+        });
+    }
+    solo.step_n(steps);
+    let solo_frames = solo_frames.lock().unwrap();
+    assert_eq!(solo_frames.len(), steps);
+
+    type Frames = Arc<Mutex<Vec<(usize, Grid<f32>)>>>;
+    for n in [4, 8] {
+        let frames: Frames = Arc::new(Mutex::new(Vec::new()));
+        let mut sharded = ShardedSimulation::<f32>::new(&k, &input, &opts_3d(), n);
+        {
+            let frames = Arc::clone(&frames);
+            sharded.probe(1, move |step, view| {
+                frames.lock().unwrap().push((step, view.to_grid()));
+            });
+        }
+        sharded.step_n(steps);
+        let frames = frames.lock().unwrap();
+        assert_eq!(frames.len(), steps, "{n} shards: probe fired every step");
+        for (i, (step, grid)) in frames.iter().enumerate() {
+            assert_eq!(*step, i + 1);
+            assert_eq!(
+                grid, &solo_frames[i],
+                "{n} shards: probed field differs from solo at step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_results_identical_across_lane_counts() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let input = Grid::<f32>::smooth_random(3, shape);
+    let mut base =
+        ShardedSimulation::<f32>::try_with_parallelism(&k, &input, &opts_3d(), 4, 1).unwrap();
+    base.step_n(3);
+    let want = base.to_grid();
+    for lanes in [2, 3, 8] {
+        let mut s =
+            ShardedSimulation::<f32>::try_with_parallelism(&k, &input, &opts_3d(), 4, lanes)
+                .unwrap();
+        s.step_n(3);
+        assert_eq!(s.to_grid(), want, "lanes={lanes}");
+    }
+}
+
+#[test]
+fn sharded_load_reset_and_exchange_surface() {
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let a = Grid::<f32>::smooth_random(3, shape);
+    let b = Grid::<f32>::from_fn_3d(3, shape, |z, y, x| ((z * 7 + y * 3 + x) % 13) as f32 * 0.05);
+
+    let mut sharded = ShardedSimulation::<f32>::new(&k, &a, &opts_3d(), 4);
+    assert!(sharded.exchange_cells() > 0, "interior faces must exchange");
+    assert!(sharded.batch().halo_exchange().is_some());
+    sharded.step_n(2);
+
+    // load: fresh input, steps cleared, same buffers.
+    sharded.load(&b).unwrap();
+    assert_eq!(sharded.steps(), 0);
+    let exec = Executor::<f32>::new(&k, shape, &opts_3d()).unwrap();
+    let mut solo = exec.session(&b);
+    assert_eq!(sharded.to_grid(), solo.to_grid());
+    sharded.step();
+    solo.step();
+    assert_eq!(sharded.to_grid(), solo.to_grid());
+    let after_one = sharded.to_grid();
+
+    // reset: rewinds to the load-time field.
+    sharded.reset();
+    assert_eq!(sharded.steps(), 0);
+    assert_ne!(sharded.to_grid(), after_one);
+    sharded.step();
+    assert_eq!(sharded.to_grid(), after_one);
+
+    // Shape mismatch is typed.
+    let wrong = Grid::<f32>::smooth_random(3, [10, 20, 22]);
+    assert!(matches!(
+        sharded.load(&wrong),
+        Err(ShardError::Session(SessionError::ShapeMismatch { .. }))
+    ));
+
+    // Single shard: the degenerate schedule is empty but the facade
+    // still works.
+    let mut one = ShardedSimulation::<f32>::new(&k, &a, &opts_3d(), 1);
+    assert_eq!(one.exchange_cells(), 0);
+    one.step();
+    let mut solo = exec.session(&a);
+    solo.step();
+    assert_eq!(one.to_grid(), solo.to_grid());
+}
+
+#[test]
+fn sharded_checkpoint_restore_roundtrip() {
+    let k = StencilKernel::heat3d();
+    let shape = [10, 18, 22];
+    let input = Grid::<f32>::smooth_random(3, shape);
+    let mut sharded = ShardedSimulation::<f32>::new(&k, &input, &opts_3d(), 4);
+
+    sharded.step_n(2);
+    let mut ck = ShardCheckpoint::new();
+    assert!(!ck.is_filled());
+    sharded.checkpoint_into(&mut ck);
+    assert!(ck.is_filled());
+    assert_eq!(ck.steps(), 2);
+    let at_ck = sharded.to_grid();
+
+    sharded.step_n(3);
+    let at_5 = sharded.to_grid();
+    assert_ne!(at_5, at_ck, "field must evolve between checkpoints");
+
+    sharded.restore(&ck).unwrap();
+    assert_eq!(sharded.steps(), 2);
+    assert_eq!(sharded.to_grid(), at_ck);
+    sharded.step_n(3);
+    assert_eq!(
+        sharded.to_grid(),
+        at_5,
+        "replay after restore must be bit-identical"
+    );
+
+    // Restoring from an empty checkpoint is a typed error.
+    let empty = ShardCheckpoint::<f32>::new();
+    assert!(matches!(
+        sharded.restore(&empty),
+        Err(ShardError::Session(SessionError::EmptyCheckpoint))
+    ));
+}
+
+#[test]
+fn decomposition_errors_are_typed() {
+    let k = StencilKernel::box3d27p();
+    // No axis of valid extent [8, 18, 18] splits into 7 equal slabs.
+    let err = ShardedSimulation::<f32>::try_new(
+        &k,
+        &Grid::<f32>::smooth_random(3, [10, 20, 20]),
+        &opts_3d(),
+        7,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ShardError::Decompose(DecomposeError::Indivisible { .. })
+    ));
+
+    // Zero shards.
+    assert!(matches!(
+        Decomposition::slab(&k, [10, 20, 20], 0),
+        Err(DecomposeError::ZeroShards)
+    ));
+
+    // Grid smaller than the kernel extent.
+    assert!(matches!(
+        Decomposition::slab(&k, [2, 20, 20], 2),
+        Err(DecomposeError::KernelTooLarge { axis: 0 })
+    ));
+
+    // A y-split whose chunk is not a multiple of the tile period r2.
+    let k2 = StencilKernel::box2d9p();
+    let d = Decomposition::new(&k2, [1, 32 + 2, 36], [1, 2, 1]).unwrap(); // chunk_y = 16
+    let opts = Options {
+        layout: Some((4, 3)), // 16 % 3 != 0
+        ..Options::default()
+    };
+    let err = ShardedSimulation::try_with_decomposition(
+        &k2,
+        &Grid::<f32>::smooth_random(2, [1, 34, 36]),
+        &opts,
+        d,
+        2,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ShardError::Decompose(DecomposeError::MisalignedChunk { axis: 1, .. })
+    ));
+
+    // An input whose shape disagrees with the decomposition.
+    let d = Decomposition::slab(&k, [10, 20, 20], 2).unwrap();
+    let err = ShardedSimulation::try_with_decomposition(
+        &k,
+        &Grid::<f32>::smooth_random(3, [12, 20, 20]),
+        &opts_3d(),
+        d,
+        2,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        ShardError::Session(SessionError::ShapeMismatch { .. })
+    ));
+}

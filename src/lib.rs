@@ -10,6 +10,7 @@
 //! - [`sparstencil_tcu`] — the sparse Tensor Core simulator.
 //! - [`sparstencil_zoo`] — 79 real-world stencil kernels over 9 domains.
 //! - [`sparstencil_baselines`] — state-of-the-art baseline mappings.
+//! - [`sparstencil_shard`] — sharded-grid execution with halo exchange.
 //!
 //! # The session API in one screen
 //!
@@ -60,5 +61,6 @@ pub use sparstencil;
 pub use sparstencil_baselines;
 pub use sparstencil_graph;
 pub use sparstencil_mat;
+pub use sparstencil_shard;
 pub use sparstencil_tcu;
 pub use sparstencil_zoo;

@@ -349,3 +349,60 @@ fn zero_steady_state_allocations_temporal_fusion() {
     };
     assert_zero_steady_state_allocs(&fused, [1, 40, 40], &opts);
 }
+
+/// The sharded facade inherits the discipline: once a
+/// [`sparstencil_shard::ShardedSimulation`]'s arena and halo-exchange
+/// counters are warm, coupled steps — compute, mirror, AND cross-shard
+/// halo copies, all inside one parallel region — plus seamless field
+/// reads and checkpoint/rollback cycles perform zero heap allocations.
+#[test]
+fn zero_allocations_across_sharded_steps() {
+    use sparstencil_shard::{ShardCheckpoint, ShardedSimulation};
+
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let input =
+        Grid::<f32>::from_fn_3d(3, shape, |z, y, x| ((z * 5 + y * 3 + x) % 11) as f32 * 0.05);
+
+    // Warm up process-global state (thread pool, lazy runtime init).
+    let _ = run(&plan, &input, 2);
+
+    let mut sharded = ShardedSimulation::<f32>::new(&k, &input, &opts, 4);
+    sharded.step(); // arena warm-up step (counters, lane scratch)
+
+    // Warm the caller-held checkpoint: first fill allocates, refills
+    // below must reuse.
+    let mut ck = ShardCheckpoint::new();
+    sharded.checkpoint_into(&mut ck);
+    let mut checksum = 0.0f64;
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..4 {
+        sharded.step();
+        checksum += sharded.field().get(5, 10, 10) as f64;
+    }
+    sharded.step_n(3);
+    // Checkpoint/rollback in steady state: refill the warm checkpoint,
+    // diverge, restore, re-step — buffer reuse only.
+    sharded.checkpoint_into(&mut ck);
+    sharded.step_n(2);
+    sharded.restore(&ck).unwrap();
+    sharded.step_n(2);
+    sharded.reset();
+    sharded.step_n(2);
+    checksum += sharded.field().get(3, 7, 7) as f64;
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded steps (incl. halo exchange, field reads, \
+         checkpoint/rollback, reset) must not allocate"
+    );
+}

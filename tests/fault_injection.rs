@@ -239,3 +239,71 @@ fn poisoned_member_restore_misuse_is_typed_then_reset_recovers() {
     batch.step_all();
     assert_eq!(batch.steps(2), 1);
 }
+
+/// A panic planted in ONE shard of a halo-exchanging
+/// [`sparstencil_shard::ShardedSimulation`] must abort the step
+/// **all-or-nothing**: the typed error names the victim, every shard's
+/// visible field (victim included) stays bit-identical to the pre-step
+/// state — no partial-step corruption from a half-run exchange — and
+/// `heal()` resumes bit-exactly from right there.
+#[test]
+fn injected_panic_in_one_shard_aborts_the_whole_step_cleanly() {
+    use sparstencil_shard::{ShardError, ShardedSimulation};
+
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 20, 20];
+    let victim = 2;
+    let opts = opts_for(&k);
+    let input = Grid::<f32>::smooth_random(3, shape);
+
+    // Solo oracle for every step the sharded job completes.
+    let exec = Executor::<f32>::new(&k, shape, &opts).unwrap();
+    let mut solo = exec.session(&input);
+
+    let mut sharded = ShardedSimulation::<f32>::new(&k, &input, &opts, 4);
+    sharded.step(); // healthy step 1
+    solo.step();
+    let pre_fault = sharded.to_grid();
+    assert_eq!(pre_fault, solo.to_grid());
+
+    fault::arm_panic(victim);
+    let err = sharded.try_step().err().unwrap();
+    fault::disarm();
+    assert_eq!(
+        err,
+        ShardError::Session(SessionError::Poisoned { session: victim })
+    );
+    assert_eq!(sharded.steps(), 1, "aborted step must not count");
+    assert_eq!(
+        sharded.shard_error(victim),
+        Some(SessionError::Poisoned { session: victim })
+    );
+    // All-or-nothing: NO shard moved — the assembled field is the exact
+    // pre-fault state, not a half-exchanged mixture.
+    assert_eq!(
+        sharded.to_grid(),
+        pre_fault,
+        "aborted coupled step must leave every shard at the pre-step state"
+    );
+
+    // A poisoned job refuses further coupled steps with the same typed
+    // error until healed.
+    assert_eq!(
+        sharded.try_step().err().unwrap(),
+        ShardError::Session(SessionError::Poisoned { session: victim })
+    );
+    assert_eq!(sharded.steps(), 1);
+
+    // heal() resumes in place: the retried step and everything after
+    // match the solo oracle bit-for-bit.
+    sharded.heal();
+    assert_eq!(sharded.shard_error(victim), None);
+    sharded.step_n(2);
+    solo.step_n(2);
+    assert_eq!(
+        sharded.to_grid(),
+        solo.to_grid(),
+        "healed job must resume bit-identically to the solo oracle"
+    );
+}

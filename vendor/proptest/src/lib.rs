@@ -189,6 +189,9 @@ pub mod strategy {
         (A, B, C, D)
         (A, B, C, D, E)
         (A, B, C, D, E, G)
+        (A, B, C, D, E, G, H)
+        (A, B, C, D, E, G, H, I)
+        (A, B, C, D, E, G, H, I, J)
     }
 
     /// Types with a canonical "anything" strategy (see [`any`]).
