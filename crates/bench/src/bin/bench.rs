@@ -16,11 +16,16 @@
 //!   >1-lane rows measure scheduling overhead only),
 //! - the retained naive reference path (a [`NaiveBackend`] session),
 //! - `setup_seconds` — one-time session construction cost,
-//! - `stage_seconds` / `mma_seconds` — per-step wall time of the staged
-//!   executor's operand-staging and MMA phases (single-lane,
-//!   [`sparstencil::exec::profile_phases`]), so the gather share of a
-//!   step stays visible in the perf trajectory as the staging pipeline
-//!   evolves,
+//! - `stage_seconds` / `mma_seconds` / `scatter_seconds` /
+//!   `mirror_seconds` — the full per-step wall-time split of the staged
+//!   executor's phases (single-lane,
+//!   [`sparstencil::exec::profile_phases`]), so the gather and kernel
+//!   shares of a step stay visible in the perf trajectory as the
+//!   staging pipeline evolves,
+//! - `simd` — which MMA kernel path the engine dispatched on the
+//!   measuring machine (`"avx2"` or `"scalar"`,
+//!   [`sparstencil::exec::simd::kernel_path`]), so committed numbers
+//!   say which kernels produced them,
 //! - `edge_block_fraction` — the share of fragment-column blocks that
 //!   would fall off the branch-free gather path, `0.0` for every plan
 //!   since the executor plans over a halo-padded domain (regression
@@ -312,26 +317,35 @@ fn main() {
         let speedup = optimized / naive;
 
         // Per-phase split of the staged step (single-lane, per step):
-        // where the remaining time goes, stage vs MMA.
+        // where the remaining time goes across stage/MMA/scatter/mirror
+        // — plus which kernel path produced the numbers.
         let phases = sparstencil::exec::profile_phases(&plan, &input, iters);
         let stage_seconds = phases.stage_seconds / iters as f64;
         let mma_seconds = phases.mma_seconds / iters as f64;
+        let scatter_seconds = phases.scatter_seconds / iters as f64;
+        let mirror_seconds = phases.mirror_seconds / iters as f64;
+        let simd = sparstencil::exec::simd::kernel_path();
         let phase_pct = |s: f64| 100.0 * s / phases.wall_seconds;
         println!(
             "{:<22} optimized {:>12.0} cells/s   naive {:>12.0} cells/s   speedup {speedup:.2}x   \
-             setup {:.1} ms   edge_blocks {edge_block_fraction:.3}",
+             setup {:.1} ms   edge_blocks {edge_block_fraction:.3}   simd {simd}",
             case.name,
             optimized,
             naive,
             setup_seconds * 1e3
         );
         println!(
-            "{:<22}   phases  stage {:.2} ms/step ({:.0}%)   mma {:.2} ms/step ({:.0}%)",
+            "{:<22}   phases  stage {:.2} ms/step ({:.0}%)   mma {:.2} ms/step ({:.0}%)   \
+             scatter {:.2} ms/step ({:.0}%)   mirror {:.2} ms/step ({:.0}%)",
             "",
             stage_seconds * 1e3,
             phase_pct(phases.stage_seconds),
             mma_seconds * 1e3,
             phase_pct(phases.mma_seconds),
+            scatter_seconds * 1e3,
+            phase_pct(phases.scatter_seconds),
+            mirror_seconds * 1e3,
+            phase_pct(phases.mirror_seconds),
         );
         for &(lanes, rate) in &lane_rates[1..] {
             println!(
@@ -358,6 +372,9 @@ fn main() {
              \"setup_seconds\": {setup_seconds:.6}, \
              \"stage_seconds\": {stage_seconds:.6}, \
              \"mma_seconds\": {mma_seconds:.6}, \
+             \"scatter_seconds\": {scatter_seconds:.6}, \
+             \"mirror_seconds\": {mirror_seconds:.6}, \
+             \"simd\": \"{simd}\", \
              \"optimized_cells_per_sec\": {optimized:.1}, \
              \"naive_cells_per_sec\": {naive:.1}, \
              \"speedup\": {speedup:.3}, \

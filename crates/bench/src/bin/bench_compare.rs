@@ -7,9 +7,11 @@
 //! **Schema gate.** Both files must carry every field the perf
 //! trajectory depends on: per-case rows need `iters`,
 //! `detected_cores`, `edge_block_fraction`, `setup_seconds`,
-//! `stage_seconds`/`mma_seconds` (present and non-negative — the phase
-//! split is how gather-cost progress is tracked), the three throughput
-//! numbers, and a `thread_sweep`; batch rows need `sessions`,
+//! `stage_seconds`/`mma_seconds`/`scatter_seconds`/`mirror_seconds`
+//! (present and non-negative — the full phase split is how gather- and
+//! kernel-cost progress is tracked), a `simd` kernel-path tag
+//! (`"avx2"` or `"scalar"` — committed numbers must say which kernels
+//! produced them), the three throughput numbers, and a `thread_sweep`; batch rows need `sessions`,
 //! `batch_cells_per_sec`, `serial_cells_per_sec`, `batch_speedup`,
 //! `detected_cores`, and a `batch_thread_sweep`; serving rows need
 //! `tenants`, `rounds`, `detected_cores`, `p50_step_ms`,
@@ -17,7 +19,11 @@
 //! `recoveries`, and `evictions`; shard rows need `shards`, `iters`,
 //! `detected_cores`, `shard_cells_per_sec`, and an `exchange_fraction`
 //! in `[0, 1)`. A silently dropped field or case would otherwise erase
-//! part of the trajectory without failing anything.
+//! part of the trajectory without failing anything. Fields introduced
+//! by a schema revision (`scatter_seconds`, `mirror_seconds`, `simd`)
+//! are required of the fresh run only: a committed baseline written by
+//! an older bench may predate them, and must not fail the gate for a
+//! field that did not exist when it was committed.
 //!
 //! Serving latencies and sharded-grid rates are wall-clock on the
 //! measuring machine, so they get NO cross-machine ratio gate — only
@@ -36,6 +42,16 @@
 //! replaces. Absolute `cells_per_sec` drops are reported as warnings
 //! only, and multi-lane sweep numbers are explicitly discounted when
 //! `detected_cores` is 1.
+//!
+//! **Thread-sweep sanity rule.** The rule applies *only* when the row
+//! reports `detected_cores > 1`: every fresh multi-lane rate with
+//! `lanes ≤ detected_cores` must stay within the tolerance of the same
+//! row's 1-lane rate. Parallel stepping need not beat one lane on a
+//! loaded runner, but on hardware that can actually run the lanes it
+//! must never lose badly to the serial path. On a single-core runner
+//! the rule is skipped entirely — extra lanes there measure scheduling
+//! overhead only (the sweep is recorded for the trajectory, not
+//! gated), and applying the expectation would fail every run.
 //!
 //! The parser is deliberately a line scanner over the fixed format the
 //! `bench` bin emits (one result object per line) rather than a JSON
@@ -66,6 +82,29 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Parse a main row's `thread_sweep` array into `(lanes,
+/// cells_per_sec)` pairs. Absent or malformed arrays parse to empty —
+/// presence is the schema gate's job, not this parser's.
+fn thread_sweep(line: &str) -> Vec<(f64, f64)> {
+    let Some(start) = line.find("\"thread_sweep\": [") else {
+        return Vec::new();
+    };
+    let rest = &line[start..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split('{')
+        .skip(1)
+        .filter_map(|entry| {
+            Some((
+                number_field(entry, "lanes")?,
+                number_field(entry, "cells_per_sec")?,
+            ))
+        })
+        .collect()
 }
 
 /// One per-case row of the main `results` array (raw fields, validated
@@ -196,7 +235,13 @@ fn parse(path: &str) -> Result<BenchFile, String> {
 
 /// Schema validation: every required field present and sane on every
 /// row of both sections. Returns human-readable violations.
-fn validate(file: &BenchFile) -> Vec<String> {
+///
+/// `strict` is set for the fresh run only: fields introduced by a
+/// schema revision (`scatter_seconds`, `mirror_seconds`, `simd`) are
+/// required of the file the current bench just wrote, but a committed
+/// baseline from an older bench may predate them — it is only checked
+/// for the fields it has (which must still be sane when present).
+fn validate(file: &BenchFile, strict: bool) -> Vec<String> {
     let mut errs = Vec::new();
     let err = |errs: &mut Vec<String>, case: &str, msg: String| {
         errs.push(format!("{}: case {case}: {msg}", file.path));
@@ -215,7 +260,7 @@ fn validate(file: &BenchFile) -> Vec<String> {
         errs.push(format!("{}: no parsable shard_results rows", file.path));
     }
 
-    // (field, minimum allowed value): `stage_seconds`/`mma_seconds` may
+    // (field, minimum allowed value): the phase-split seconds may
     // legitimately be ~0 on degenerate cases but never negative;
     // throughputs and counts must be positive.
     let required_main: &[(&str, f64)] = &[
@@ -229,6 +274,9 @@ fn validate(file: &BenchFile) -> Vec<String> {
         ("naive_cells_per_sec", f64::MIN_POSITIVE),
         ("speedup", f64::MIN_POSITIVE),
     ];
+    // Fields newer than some committed baselines: required only of the
+    // fresh run, sanity-checked when an older file happens to have them.
+    let revision_main: &[(&str, f64)] = &[("scatter_seconds", 0.0), ("mirror_seconds", 0.0)];
     for row in &file.rows {
         for &(key, min) in required_main {
             match number_field(&row.line, key) {
@@ -238,6 +286,28 @@ fn validate(file: &BenchFile) -> Vec<String> {
                 }
                 Some(_) => {}
             }
+        }
+        for &(key, min) in revision_main {
+            match number_field(&row.line, key) {
+                None if strict => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                _ => {}
+            }
+        }
+        // Kernel-path tag: the number is meaningless without knowing
+        // which kernels produced it, so an absent or unknown tag is a
+        // schema error, not a warning.
+        match string_field(&row.line, "simd").as_deref() {
+            Some("avx2") | Some("scalar") => {}
+            Some(other) => err(
+                &mut errs,
+                &row.case,
+                format!("field simd = \"{other}\" (expected \"avx2\" or \"scalar\")"),
+            ),
+            None if strict => err(&mut errs, &row.case, "missing field simd".into()),
+            None => {}
         }
         if !row.line.contains("\"thread_sweep\"") {
             err(&mut errs, &row.case, "missing field thread_sweep".into());
@@ -369,8 +439,8 @@ fn main() -> ExitCode {
     };
 
     // ---- Schema gate: both files, every row, every required field. ----
-    let mut schema_errs = validate(&baseline);
-    schema_errs.extend(validate(&fresh));
+    let mut schema_errs = validate(&baseline, false);
+    schema_errs.extend(validate(&fresh, true));
     if !schema_errs.is_empty() {
         for e in &schema_errs {
             eprintln!("SCHEMA: {e}");
@@ -424,6 +494,33 @@ fn main() -> ExitCode {
                 old.case,
                 (1.0 - abs_ratio) * 100.0
             );
+        }
+    }
+
+    // ---- Thread-sweep sanity gate (multi-core runners only; see the
+    // module docs). Gated on the fresh file: the baseline's sweep was
+    // vetted when it was committed, and re-gating it would block fixing
+    // a bad baseline. ----
+    for row in &fresh.rows {
+        let cores = row.detected_cores.unwrap_or(1.0);
+        if cores <= 1.0 {
+            continue;
+        }
+        let sweep = thread_sweep(&row.line);
+        let Some(&(_, base_rate)) = sweep.iter().find(|&&(lanes, _)| lanes == 1.0) else {
+            continue;
+        };
+        for &(lanes, rate) in &sweep {
+            if lanes > 1.0 && lanes <= cores && rate < (1.0 - tolerance) * base_rate {
+                eprintln!(
+                    "REGRESSION: case {} thread_sweep: {lanes:.0} lanes at {rate:.0} cells/s \
+                     fell more than {:.0}% below the 1-lane rate {base_rate:.0} on a \
+                     {cores:.0}-core runner",
+                    row.case,
+                    tolerance * 100.0
+                );
+                failed = true;
+            }
         }
     }
 

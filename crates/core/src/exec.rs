@@ -65,6 +65,23 @@
 //!   For 2D/1D kernels the window is one plane and a "run" is one item:
 //!   staging degenerates to a locality-sorted gather into the scratch
 //!   buffer, with the same staged addressing.
+//! - **Shared staging across x-adjacent tiles.** Within a
+//!   fragment-column block the tiles' gather windows are shifted copies
+//!   of one another — tile `t+1`'s window base is tile `t`'s plus one
+//!   fragment row (`r1`) — so a plane's bytes are staged once per
+//!   (plane, tile-row), not once per tile. The plan compiles each
+//!   plane's gather into an ordered [`crate::plan::StageOp`] list: a
+//!   rank whose cell offset has no `+r1` partner in the window is
+//!   **fresh** (strided grid loads for every tile column, as before);
+//!   a rank with a partner is a **shift** — one fresh grid cell for
+//!   tile column 0, then an inline shift copy pulls the partner's
+//!   already-staged row over by one tile for columns `1..`. Shifts are
+//!   pure memory moves with no FP ops, so bit-exactness is untouched,
+//!   and the strided-gather volume per plane drops from
+//!   `ranks × tiles` cells to `fresh_ranks × tiles + shift_ranks`.
+//!   Blocks whose tiles are not uniformly x-adjacent
+//!   ([`crate::plan::StageSchedule::shift_blocks`] false — boundary
+//!   blocks that wrap a tile-row) keep the per-rank strided gather.
 //! - **Interior-only branch-free hot loop.** Because no tile is ever
 //!   "edge" in the padded domain ([`crate::plan::TileDesc::interior`] is
 //!   universally true, asserted at plan build), the per-tile
@@ -123,14 +140,25 @@
 
 use crate::grid::Grid;
 use crate::layout::{self, ExecMode};
-use crate::plan::{BatchWork, CompiledStencil, Operand, PrepStats};
+use crate::plan::{BatchWork, CompiledStencil, Operand, PrepStats, StageOp};
 use rayon::prelude::*;
 use sparstencil_mat::{DenseMatrix, Real};
 use sparstencil_tcu::{
-    fragment::dense_fragment_mma, model, sparse::sparse_fragment_mma, Counters, Engine,
-    TimingBreakdown, UtilizationReport,
+    fragment::dense_fragment_mma, fragment::BlockedRowProgram, fragment::RowProgram, model,
+    sparse::sparse_fragment_mma, Counters, Engine, TimingBreakdown, UtilizationReport,
 };
 use std::sync::atomic::{AtomicU32, Ordering};
+
+pub mod simd;
+
+/// Accumulator rows per register block of the multi-row MMA kernels —
+/// the `R` of the R×N register blocking, and the `block_rows` the plan
+/// compiles [`BlockedRowProgram`]s with. Four rows keeps the common
+/// `n = 8`/`n = 16` fragments entirely in architectural vector
+/// registers (f32 n=8: 4 accumulator vectors + broadcast + operand
+/// load) while giving the FP add chains 4-way independence; the widest
+/// f64 kernels trade some register pressure for the same blocking.
+pub const MMA_BLOCK_ROWS: usize = 4;
 
 /// Statistics of one simulated run.
 #[derive(Debug, Clone)]
@@ -432,6 +460,18 @@ fn exec_items<R: Real>(
         phase_ns,
     } = ws;
     let mut nonfinite = false;
+    // One kernel-dispatch decision per claimed range: the AVX2 paths
+    // are selected by CPU feature + scalar type + fragment width, none
+    // of which change mid-range, so the per-fragment dispatch below is
+    // a branch on a hoisted bool, not an atomic load.
+    let use_avx2 = simd::avx2_active::<R>(n);
+    // Store-rounding is hoisted the same way: with AVX2 up and a
+    // precision whose f32 rounding has a vector twin, each fragment row
+    // is rounded and health-scanned eight lanes at a time into this
+    // reused stack buffer (fragment widths with kernels are ≤ 32), and
+    // only the strided stores stay scalar.
+    let round_vec = use_avx2 && simd::round_dispatchable::<R>(precision);
+    let mut round_buf = [R::ZERO; 32];
 
     for wi in items {
         let (z, cb) = t.work[wi];
@@ -449,23 +489,98 @@ fn exec_items<R: Real>(
         // permutation left. Columns past `tiles_in_block` may hold
         // stale data, which the MMA computes garbage from and the
         // scatter never reads.
+        //
+        // Shared staging (SPIDER-style): when the block's tiles are
+        // x-adjacent in one tile row (`shift_blocks[cb]`), the plan's
+        // op list replaces the strided grid loads of every rank whose
+        // `+r1` neighbor is also staged with one fresh load (column 0)
+        // plus a contiguous in-scratch shift copy of the neighbor's
+        // row — same memory values, no FP ops, so bit-exactness is
+        // untouched. Op order guarantees every shift source is staged
+        // first (plan-validated).
         let t0 = timed.then(std::time::Instant::now);
         let staged_data = staged.as_mut_slice();
+        let shiftable = ss.shift_blocks[cb];
         for d in ss.overlap[wi] as usize..ss.window {
             let src = (z + d) * plane_stride;
             let band_base = ((z + d) % ss.window) * band_rows;
-            for (rank, &off) in ss.cell_offsets.iter().enumerate() {
-                let row_start = (band_base + rank) * n;
-                let row = &mut staged_data[row_start..row_start + tiles_in_block];
-                for (dst, td) in row.iter_mut().zip(block_tiles) {
-                    let idx = src + td.base + off;
-                    // SAFETY: `ExecTables::build` validated every
-                    // (plane, tile, cell) staging combination
-                    // against the padded grid length.
-                    debug_assert!(idx < data.len());
-                    *dst = unsafe { *data.get_unchecked(idx) };
+            if shiftable {
+                for op in &ss.stage_ops {
+                    match *op {
+                        StageOp::Fresh { rank } => {
+                            let rank = rank as usize;
+                            let off = ss.cell_offsets[rank];
+                            let row_start = (band_base + rank) * n;
+                            let row = &mut staged_data[row_start..row_start + tiles_in_block];
+                            for (dst, td) in row.iter_mut().zip(block_tiles) {
+                                let idx = src + td.base + off;
+                                // SAFETY: `ExecTables::build` validated
+                                // every (plane, tile, cell) staging
+                                // combination against the padded grid
+                                // length.
+                                debug_assert!(idx < data.len());
+                                *dst = unsafe { *data.get_unchecked(idx) };
+                            }
+                        }
+                        StageOp::Shift {
+                            rank,
+                            src: src_rank,
+                        } => {
+                            let rank = rank as usize;
+                            let off = ss.cell_offsets[rank];
+                            let dst_start = (band_base + rank) * n;
+                            let src_start = (band_base + src_rank as usize) * n;
+                            let idx = src + block_tiles[0].base + off;
+                            // SAFETY: as above (column 0 is the
+                            // smallest base of the block); rank ≠ src,
+                            // so the two band rows are disjoint and the
+                            // inline copy below never overlaps. A plain
+                            // indexed loop instead of `copy_within`: the
+                            // copies are a handful of elements, where
+                            // the memmove call overhead dominates the
+                            // move itself.
+                            debug_assert!(idx < data.len());
+                            debug_assert!(dst_start + tiles_in_block <= staged_data.len());
+                            debug_assert!(src_start + tiles_in_block <= staged_data.len());
+                            unsafe {
+                                *staged_data.get_unchecked_mut(dst_start) =
+                                    *data.get_unchecked(idx);
+                                for j in 0..tiles_in_block - 1 {
+                                    *staged_data.get_unchecked_mut(dst_start + 1 + j) =
+                                        *staged_data.get_unchecked(src_start + j);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                for (rank, &off) in ss.cell_offsets.iter().enumerate() {
+                    let row_start = (band_base + rank) * n;
+                    let row = &mut staged_data[row_start..row_start + tiles_in_block];
+                    for (dst, td) in row.iter_mut().zip(block_tiles) {
+                        let idx = src + td.base + off;
+                        // SAFETY: `ExecTables::build` validated every
+                        // (plane, tile, cell) staging combination
+                        // against the padded grid length.
+                        debug_assert!(idx < data.len());
+                        *dst = unsafe { *data.get_unchecked(idx) };
+                    }
                 }
             }
+        }
+
+        // Software prefetch for the *next* item's staging: a z-sliding
+        // run's next item stages plane `z + window`, a full plane
+        // stride ahead — past the page-bounded reach of the hardware
+        // prefetch streams, so without hints every staged line is a
+        // demand miss. The plan's deduplicated line list covers the
+        // block's footprint; the MMA + scatter below provide the
+        // latency cover. Addresses past the grid at run ends are
+        // harmless: prefetch never faults (`wrapping_add` keeps the
+        // pointer arithmetic defined).
+        let next_plane = (z + ss.window) * plane_stride + block_tiles[0].base;
+        for &po in &ss.prefetch_offs {
+            simd::prefetch_t0(data.as_ptr().wrapping_add(next_plane + po as usize));
         }
 
         // ---- Phase 2: MMA from the staged ring. ----
@@ -475,7 +590,7 @@ fn exec_items<R: Real>(
         let t1 = timed.then(std::time::Instant::now);
         let programs = &ss.programs[z % ss.window];
         for (mi, c_frag) in strips.iter_mut().enumerate() {
-            program_mma_overwrite(&programs[mi], staged, c_frag, frag);
+            program_mma_overwrite(&programs[mi], staged, c_frag, frag, use_avx2);
         }
 
         // ---- Phase 3: unconditional direct scatter. ----
@@ -490,17 +605,34 @@ fn exec_items<R: Real>(
             for fr in 0..rows {
                 let off = t.scatter_offs[row0 + fr];
                 let c_row = &c_frag.row(fr)[..tiles_in_block];
-                for (&v, td) in c_row.iter().zip(block_tiles) {
-                    // Health scan on the *stored* value: rounding to a
-                    // narrower store format can itself overflow to Inf,
-                    // which the scan must catch.
-                    let r = v.round_to(precision);
-                    nonfinite |= !r.is_finite();
-                    // SAFETY: disjointness per the SharedOutput
-                    // docs; the padded plane contains every tile's
-                    // full output footprint.
-                    unsafe {
-                        shared_out.write(out_plane + td.base + off, r);
+                if round_vec {
+                    // Vector store-rounding, bit-identical to the
+                    // per-element `round_to` below (see
+                    // `simd::round_finite_row`), with the health scan
+                    // folded into the same pass.
+                    let rounded = &mut round_buf[..tiles_in_block];
+                    nonfinite |= simd::round_finite_row(c_row, rounded, precision);
+                    for (&r, td) in rounded.iter().zip(block_tiles) {
+                        // SAFETY: disjointness per the SharedOutput
+                        // docs; the padded plane contains every tile's
+                        // full output footprint.
+                        unsafe {
+                            shared_out.write(out_plane + td.base + off, r);
+                        }
+                    }
+                } else {
+                    for (&v, td) in c_row.iter().zip(block_tiles) {
+                        // Health scan on the *stored* value: rounding
+                        // to a narrower store format can itself
+                        // overflow to Inf, which the scan must catch.
+                        let r = v.round_to(precision);
+                        nonfinite |= !r.is_finite();
+                        // SAFETY: disjointness per the SharedOutput
+                        // docs; the padded plane contains every tile's
+                        // full output footprint.
+                        unsafe {
+                            shared_out.write(out_plane + td.base + off, r);
+                        }
                     }
                 }
             }
@@ -989,53 +1121,155 @@ pub(crate) fn step_all_into<R: Real>(
     ptrs.clear();
 }
 
-/// The staged MMA inner loop: execute one rebased row program against
-/// the staged operand ring, overwrite-first — the first scheduled
-/// multiply of each row *stores* `v·b` into the accumulator row
-/// (replacing whatever the previous work item left there) and the rest
-/// accumulate, eliminating the per-work-item zeroing pass. Every row has
-/// at least one entry by plan construction
-/// ([`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`],
-/// rebased onto the ring's guaranteed-zero row). Numerically identical
-/// to zero-fill + accumulate: IEEE `0 + x = x` (the sign of an
-/// exact-zero result is unobservable through the comparisons and
-/// arithmetic downstream). `B` row slicing is unchecked — entry indices
-/// were validated against the staged depth when the program was rebased,
-/// and the ring is allocated at exactly `staged_depth × frag.n`.
+/// # MMA kernel: R×N register blocking, overwrite-first, no FMA
+///
+/// The staged MMA executes one rebased, **register-blocked** row
+/// program ([`BlockedRowProgram`], compiled at plan time) against the
+/// staged operand ring. The kernel processes [`MMA_BLOCK_ROWS`] output
+/// rows per pass, holding all `R × N` accumulator lanes in registers
+/// and walking the plan-compiled step-major lockstep stream: each step
+/// advances every row of the block by one `(kk, v)` entry, so the
+/// kernel runs `R` *independent* FP dependency chains instead of the
+/// one chain per row that made the row-serial kernel latency-bound
+/// (~one add-latency per entry), and each staged `b_row` load is
+/// amortized across the rows of the block that reference it in the
+/// same step. Blocks the plan could not make uniform (ragged entry
+/// counts, the partial tail block) fall back to the row-serial range
+/// kernel — same arithmetic, same order.
+///
+/// **Overwrite-first**: the first scheduled multiply of each row
+/// *stores* `v·b` (replacing whatever the previous work item left in
+/// the accumulator) and the rest accumulate, eliminating the
+/// per-work-item zeroing pass. Numerically identical to zero-fill +
+/// accumulate: IEEE `0 + x = x` (the sign of an exact-zero result is
+/// unobservable downstream). Every row having ≥ 1 entry is a **checked
+/// plan-time guarantee** — `ExecTables::build` asserts it on every
+/// rebased program row (synthetic zero-stores fill empty rows,
+/// [`sparstencil_tcu::fragment::RowProgram::with_zero_fill_rows`]) —
+/// so the hot loop carries no per-row unwrap, only a `debug_assert`.
+///
+/// **Bit-exactness (the no-FMA rule)**: every kernel — scalar
+/// row-serial, scalar blocked, and the AVX2 paths in [`simd`] —
+/// performs, per output row, the *same* IEEE operation sequence on the
+/// *same* operands: `acc = v₀·b₀`, then `acc = acc + (vᵢ·bᵢ)` in
+/// program-entry order, each lane `j` independent. Blocking interleaves
+/// *rows*, never the entries within a row, and rows accumulate
+/// independently, so the per-row sequence is untouched. The SIMD paths
+/// use separate multiply and add (`vmulps` + `vaddps`), **never FMA**:
+/// a fused multiply-add skips the intermediate rounding of `v·b` and
+/// would produce different low bits than the scalar oracle. rustc never
+/// contracts `a + b * c` on its own, so the scalar kernels compile to
+/// the same discipline. This is what keeps every path bit-identical to
+/// [`run_naive`] on grids *and* counters.
+///
+/// `B` row slicing is unchecked — entry indices were validated against
+/// the staged depth when the program was rebased, and the ring is
+/// allocated at exactly `staged_depth × frag.n`. `use_avx2` is hoisted
+/// by the caller (one dispatch decision per claimed run range, not per
+/// fragment).
 fn program_mma_overwrite<R: Real>(
-    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    prog: &BlockedRowProgram<R>,
     staged: &DenseMatrix<R>,
     c_frag: &mut DenseMatrix<R>,
     frag: sparstencil_tcu::FragmentShape,
+    use_avx2: bool,
 ) {
     debug_assert_eq!(staged.shape(), (prog.depth(), frag.n));
     debug_assert_eq!(c_frag.shape(), (frag.m, frag.n));
+    if use_avx2 && simd::try_mma_avx2(prog, staged.as_slice(), c_frag, frag.n) {
+        return;
+    }
     match frag.n {
-        8 => mma_rows::<R, 8>(prog, staged.as_slice(), c_frag),
-        16 => mma_rows::<R, 16>(prog, staged.as_slice(), c_frag),
-        32 => mma_rows::<R, 32>(prog, staged.as_slice(), c_frag),
-        n => mma_rows_generic::<R>(prog, staged.as_slice(), c_frag, n),
+        8 => mma_rows_blocked::<R, 8>(prog, staged.as_slice(), c_frag),
+        16 => mma_rows_blocked::<R, 16>(prog, staged.as_slice(), c_frag),
+        32 => mma_rows_blocked::<R, 32>(prog, staged.as_slice(), c_frag),
+        n => mma_rows_generic::<R>(prog.base(), staged.as_slice(), c_frag, n),
     }
 }
 
-/// Width-specialized program execution: the `N`-lane accumulator row
-/// lives in registers across every entry of the row program (one store
-/// per lane per *row*, not per *entry*), and the compile-time width lets
-/// LLVM unroll and vectorize the lane loop. The per-lane operation
-/// sequence is exactly the generic path's, so results stay
-/// bit-identical.
-fn mma_rows<R: Real, const N: usize>(
-    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+/// Scalar R×N register-blocked kernel (see the dispatch docs above):
+/// `MMA_BLOCK_ROWS` accumulator rows advance in lockstep through the
+/// plan-compiled step-major entry stream; non-uniform blocks fall back
+/// to [`mma_rows_range`]. The compile-time width lets LLVM keep the
+/// `R × N` accumulator block in registers and vectorize the lane
+/// loops; the per-row, per-lane operation sequence is exactly the
+/// row-serial path's, so results stay bit-identical. Portable fallback
+/// and oracle for the AVX2 paths in [`simd`].
+fn mma_rows_blocked<R: Real, const N: usize>(
+    prog: &BlockedRowProgram<R>,
     b_data: &[R],
     c_frag: &mut DenseMatrix<R>,
 ) {
-    for i in 0..prog.rows() {
+    debug_assert_eq!(prog.block_rows(), MMA_BLOCK_ROWS);
+    let ls = prog.lockstep();
+    for (bi, blk) in prog.blocks().iter().enumerate() {
+        let r0 = bi * MMA_BLOCK_ROWS;
+        let Some((start, steps)) = *blk else {
+            mma_rows_range::<R, N>(
+                prog.base(),
+                r0..(r0 + MMA_BLOCK_ROWS).min(prog.rows()),
+                b_data,
+                c_frag,
+            );
+            continue;
+        };
+        let mut acc = [[R::ZERO; N]; MMA_BLOCK_ROWS];
+        let mut p = start as usize;
+        debug_assert!(p + steps as usize * MMA_BLOCK_ROWS <= ls.len());
+        // Step 0 stores (overwrite-first), steps 1.. accumulate.
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            // SAFETY: (start, steps) point at steps·MMA_BLOCK_ROWS
+            // in-bounds lockstep entries by plan compilation.
+            let (kk, v) = unsafe { *ls.get_unchecked(p + r) };
+            let start_b = kk as usize * N;
+            // SAFETY: kk < prog.depth() by construction, so the row
+            // [start_b, start_b + N) lies inside the depth×N buffer.
+            debug_assert!(start_b + N <= b_data.len());
+            let b_row = unsafe { b_data.get_unchecked(start_b..start_b + N) };
+            for j in 0..N {
+                acc_row[j] = v * b_row[j];
+            }
+        }
+        p += MMA_BLOCK_ROWS;
+        for _ in 1..steps {
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                // SAFETY: as above.
+                let (kk, v) = unsafe { *ls.get_unchecked(p + r) };
+                let start_b = kk as usize * N;
+                debug_assert!(start_b + N <= b_data.len());
+                let b_row = unsafe { b_data.get_unchecked(start_b..start_b + N) };
+                for j in 0..N {
+                    acc_row[j] += v * b_row[j];
+                }
+            }
+            p += MMA_BLOCK_ROWS;
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            c_frag.row_mut(r0 + r)[..N].copy_from_slice(acc_row);
+        }
+    }
+}
+
+/// Row-serial width-specialized execution of rows `rows` of a program:
+/// the fallback for blocks the plan could not compile to the lockstep
+/// layout. One `N`-lane accumulator row in registers per output row,
+/// per-row entry order identical to every other path.
+fn mma_rows_range<R: Real, const N: usize>(
+    prog: &RowProgram<R>,
+    rows: std::ops::Range<usize>,
+    b_data: &[R],
+    c_frag: &mut DenseMatrix<R>,
+) {
+    for i in rows {
         let row = prog.row(i);
         let c_row = &mut c_frag.row_mut(i)[..N];
         let mut acc = [R::ZERO; N];
-        let mut entries = row.iter();
+        // Non-emptiness is the checked plan-time guarantee asserted by
+        // `ExecTables::build` on every rebased row; no runtime unwrap.
         debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
-        let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+        let Some((&(kk0, v0), rest)) = row.split_first() else {
+            continue;
+        };
         let start = kk0 as usize * N;
         // SAFETY: kk < prog.depth() by construction, so the row
         // [start, start + N) lies inside the depth×N buffer.
@@ -1044,7 +1278,7 @@ fn mma_rows<R: Real, const N: usize>(
         for j in 0..N {
             acc[j] = v0 * b_row[j];
         }
-        for &(kk, v) in entries {
+        for &(kk, v) in rest {
             let start = kk as usize * N;
             // SAFETY: as above.
             debug_assert!(start + N <= b_data.len());
@@ -1057,9 +1291,10 @@ fn mma_rows<R: Real, const N: usize>(
     }
 }
 
-/// Fallback for fragment widths without a specialized kernel.
+/// Fallback for fragment widths without a specialized kernel
+/// (row-serial, runtime width).
 fn mma_rows_generic<R: Real>(
-    prog: &sparstencil_tcu::fragment::RowProgram<R>,
+    prog: &RowProgram<R>,
     b_data: &[R],
     c_frag: &mut DenseMatrix<R>,
     n: usize,
@@ -1067,9 +1302,12 @@ fn mma_rows_generic<R: Real>(
     for i in 0..prog.rows() {
         let c_row = &mut c_frag.row_mut(i)[..n];
         let row = prog.row(i);
-        let mut entries = row.iter();
+        // Non-emptiness is the checked plan-time guarantee asserted by
+        // `ExecTables::build` on every rebased row; no runtime unwrap.
         debug_assert!(!row.is_empty(), "overwrite-first requires zero-filled rows");
-        let &(kk0, v0) = entries.next().expect("plan guarantees non-empty rows");
+        let Some((&(kk0, v0), rest)) = row.split_first() else {
+            continue;
+        };
         let start = kk0 as usize * n;
         // SAFETY: kk < prog.depth() by construction.
         debug_assert!(start + n <= b_data.len());
@@ -1077,7 +1315,7 @@ fn mma_rows_generic<R: Real>(
         for (cj, &bj) in c_row.iter_mut().zip(b_row) {
             *cj = v0 * bj;
         }
-        for &(kk, v) in entries {
+        for &(kk, v) in rest {
             let start = kk as usize * n;
             // SAFETY: as above.
             debug_assert!(start + n <= b_data.len());
@@ -1086,6 +1324,57 @@ fn mma_rows_generic<R: Real>(
                 *cj += v * bj;
             }
         }
+    }
+}
+
+/// Direct kernel entry points for the equivalence property tests
+/// (`crates/core/tests/proptests.rs`): each function pins one dispatch
+/// path regardless of the process-global kernel selection, so the
+/// kernel-level proptest can compare paths without racing other tests
+/// over [`simd::force_scalar`]. Not part of the public API.
+#[doc(hidden)]
+pub mod kernel_testing {
+    use super::*;
+
+    /// Execute the scalar register-blocked path (what the engine runs
+    /// when AVX2 is unavailable or forced off).
+    pub fn blocked_overwrite<R: Real>(
+        prog: &BlockedRowProgram<R>,
+        staged: &DenseMatrix<R>,
+        c_frag: &mut DenseMatrix<R>,
+        n: usize,
+    ) {
+        match n {
+            8 => mma_rows_blocked::<R, 8>(prog, staged.as_slice(), c_frag),
+            16 => mma_rows_blocked::<R, 16>(prog, staged.as_slice(), c_frag),
+            32 => mma_rows_blocked::<R, 32>(prog, staged.as_slice(), c_frag),
+            n => mma_rows_generic::<R>(prog.base(), staged.as_slice(), c_frag, n),
+        }
+    }
+
+    /// Execute the row-serial generic path — the scalar oracle every
+    /// other kernel is pinned bit-identical to.
+    pub fn generic_overwrite<R: Real>(
+        prog: &BlockedRowProgram<R>,
+        staged: &DenseMatrix<R>,
+        c_frag: &mut DenseMatrix<R>,
+        n: usize,
+    ) {
+        mma_rows_generic(prog.base(), staged.as_slice(), c_frag, n);
+    }
+
+    /// Try the AVX2 path; `false` when it cannot run here (non-x86_64
+    /// build, `simd` feature off, CPU without AVX2, or a width/type
+    /// combination without a vector kernel).
+    pub fn avx2_overwrite<R: Real>(
+        prog: &BlockedRowProgram<R>,
+        staged: &DenseMatrix<R>,
+        c_frag: &mut DenseMatrix<R>,
+        n: usize,
+    ) -> bool {
+        simd::avx2_supported()
+            && simd::dispatchable::<R>(n)
+            && simd::try_mma_avx2(prog, staged.as_slice(), c_frag, n)
     }
 }
 

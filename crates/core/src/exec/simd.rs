@@ -1,0 +1,581 @@
+//! Runtime-dispatched AVX2 MMA kernels for the staged executor.
+//!
+//! Explicit `std::arch` implementations of the R×N register-blocked
+//! overwrite-first kernel (see the dispatch docs in [`super`]) for
+//! `f32`/`f64` at the specialized fragment widths {8, 16, 32}. Each
+//! kernel holds the full `MMA_BLOCK_ROWS × N` accumulator block in YMM
+//! registers and walks the plan-compiled lockstep stream; per step it
+//! broadcasts the entry value, multiplies against the staged `b_row`
+//! vectors, and adds into the row's accumulators with **separate
+//! multiply and add — never FMA**. A fused multiply-add would skip the
+//! intermediate rounding of `v·b` and diverge from the scalar kernels
+//! in the low bits; with the separate ops, every lane performs exactly
+//! the scalar path's IEEE operation sequence, so the vector kernels are
+//! bit-identical to the scalar fallback (and therefore to `run_naive`).
+//!
+//! Dispatch is decided at run time — `is_x86_feature_detected!("avx2")`
+//! cached in a `OnceLock`, the scalar type via `TypeId` (the `Real`
+//! bound carries `'static`; the comparison const-folds away under
+//! monomorphization), the width by the same `match` the scalar path
+//! uses — and hoisted to one decision per claimed run range. Compiling
+//! without the `simd` feature (or for a non-x86_64 target) removes the
+//! vector paths entirely and every call lands on the scalar blocked
+//! kernels, which stay the portable fallback and the oracle.
+
+use sparstencil_mat::half::Precision;
+use sparstencil_mat::{DenseMatrix, Real};
+use sparstencil_tcu::fragment::BlockedRowProgram;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Test hook: when set, [`avx2_active`] (the hot-path dispatch) and
+/// [`kernel_path`] report the scalar path even on AVX2 hardware, so the
+/// portable kernels can be exercised end-to-end without rebuilding.
+/// Does not affect [`try_mma_avx2`] itself — the kernel-level tests
+/// pin paths explicitly and must not race this flag.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Force (or release) scalar-kernel dispatch at run time. Test support
+/// for exercising the portable fallback on AVX2 hardware; not intended
+/// for production use.
+#[doc(hidden)]
+pub fn force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether the AVX2 kernels exist in this build and the CPU supports
+/// them (cached detection; ignores [`force_scalar`]).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) fn avx2_supported() -> bool {
+    static DETECTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// Scalar-only build (no `simd` feature or non-x86_64 target): the
+/// vector paths do not exist.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub(crate) fn avx2_supported() -> bool {
+    false
+}
+
+/// Which kernel path the engine's hot loop dispatches to on this
+/// machine right now: `"avx2"` or `"scalar"`. Recorded in the bench
+/// JSON (`simd` field) so committed numbers say which kernels produced
+/// them.
+pub fn kernel_path() -> &'static str {
+    if avx2_supported() && !FORCE_SCALAR.load(Ordering::Relaxed) {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+/// Whether scalar type `R` at fragment width `n` has a vector kernel
+/// (type/width gate only — no CPU or feature check).
+pub(crate) fn dispatchable<R: Real>(n: usize) -> bool {
+    use std::any::TypeId;
+    matches!(n, 8 | 16 | 32)
+        && (TypeId::of::<R>() == TypeId::of::<f32>() || TypeId::of::<R>() == TypeId::of::<f64>())
+}
+
+/// The hot-path dispatch decision, hoisted to one call per claimed run
+/// range by `exec_items`: vector kernels exist, the CPU has AVX2, the
+/// (type, width) pair has a kernel, and the scalar override is off.
+#[inline]
+pub(crate) fn avx2_active<R: Real>(n: usize) -> bool {
+    dispatchable::<R>(n) && avx2_supported() && !FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Execute one blocked program through the AVX2 kernel for `(R, n)`,
+/// returning `false` (without touching `c_frag`) when no vector kernel
+/// applies — unsupported CPU/build, or a (type, width) pair without
+/// one. Bit-identical to the scalar blocked kernel by the no-FMA
+/// argument in the module docs.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) fn try_mma_avx2<R: Real>(
+    prog: &BlockedRowProgram<R>,
+    b_data: &[R],
+    c_frag: &mut DenseMatrix<R>,
+    n: usize,
+) -> bool {
+    use std::any::TypeId;
+    if !avx2_supported() {
+        return false;
+    }
+    if TypeId::of::<R>() == TypeId::of::<f32>() {
+        // SAFETY: `R` *is* `f32` (TypeId equality on `'static` types),
+        // so these reference casts are identity casts.
+        let prog =
+            unsafe { &*(prog as *const BlockedRowProgram<R>).cast::<BlockedRowProgram<f32>>() };
+        let b = unsafe { std::slice::from_raw_parts(b_data.as_ptr().cast::<f32>(), b_data.len()) };
+        let c = unsafe { &mut *(c_frag as *mut DenseMatrix<R>).cast::<DenseMatrix<f32>>() };
+        // SAFETY: AVX2 availability checked above.
+        match n {
+            8 => unsafe { x86::f32_w8(prog, b, c) },
+            16 => unsafe { x86::f32_w16(prog, b, c) },
+            32 => unsafe { x86::f32_w32(prog, b, c) },
+            _ => return false,
+        }
+        true
+    } else if TypeId::of::<R>() == TypeId::of::<f64>() {
+        // SAFETY: as above, with `R` = `f64`.
+        let prog =
+            unsafe { &*(prog as *const BlockedRowProgram<R>).cast::<BlockedRowProgram<f64>>() };
+        let b = unsafe { std::slice::from_raw_parts(b_data.as_ptr().cast::<f64>(), b_data.len()) };
+        let c = unsafe { &mut *(c_frag as *mut DenseMatrix<R>).cast::<DenseMatrix<f64>>() };
+        // SAFETY: AVX2 availability checked above.
+        match n {
+            8 => unsafe { x86::f64_w8(prog, b, c) },
+            16 => unsafe { x86::f64_w16(prog, b, c) },
+            32 => unsafe { x86::f64_w32(prog, b, c) },
+            _ => return false,
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Scalar-only build: no vector kernel ever applies.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub(crate) fn try_mma_avx2<R: Real>(
+    _prog: &BlockedRowProgram<R>,
+    _b_data: &[R],
+    _c_frag: &mut DenseMatrix<R>,
+    _n: usize,
+) -> bool {
+    false
+}
+
+/// Prefetch the cache line at `p` into all cache levels (T0 hint).
+/// Prefetch is a hint, not an access — it never faults, so `p` may
+/// point anywhere (the staging prefetcher runs off the end of the grid
+/// at z-run boundaries). No-op on scalar builds.
+#[inline(always)]
+pub(crate) fn prefetch_t0<T>(p: *const T) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    // SAFETY: prefetch has no memory effects and never faults; SSE is
+    // baseline on x86_64.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p.cast::<i8>())
+    };
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = p;
+}
+
+/// Whether the scatter's store-rounding for scalar type `R` at
+/// `precision` has a vector implementation (type/precision gate only —
+/// no CPU or feature check). Only `f32` rows are covered: `Fp16` is the
+/// integer round-to-nearest-even fast path vectorized, `Fp32`/`Fp64`
+/// are the identity plus a vector health scan. `Bf16`/`Tf32` (and all
+/// `f64` grids) keep the scalar per-element loop.
+pub(crate) fn round_dispatchable<R: Real>(precision: Precision) -> bool {
+    use std::any::TypeId;
+    TypeId::of::<R>() == TypeId::of::<f32>()
+        && matches!(
+            precision,
+            Precision::Fp16 | Precision::Fp32 | Precision::Fp64
+        )
+}
+
+/// Round one fragment row through `precision`'s storage format —
+/// bit-identical to per-element [`Real::round_to`] — writing the
+/// rounded values to `dst` and returning `true` iff any rounded value
+/// is non-finite (the scatter's health scan, folded into the same
+/// pass).
+///
+/// Bit-exactness holds by construction: the vector fast path computes
+/// the *same* integer round-to-nearest-even formula as
+/// [`fp16_round`]'s fast path over the same exponent range
+/// (`113..=141`), and any 8-lane group containing a lane outside that
+/// range — zeros, f16 subnormals, overflow, NaNs — is deferred
+/// wholesale to the scalar `fp16_round`. Non-finiteness is detected as
+/// "rounded exponent field all-ones", which is exactly
+/// `!f32::is_finite`.
+///
+/// Callers must have checked [`avx2_active`] (CPU + build gate) and
+/// [`round_dispatchable`] (type + precision gate) first.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) fn round_finite_row<R: Real>(src: &[R], dst: &mut [R], precision: Precision) -> bool {
+    debug_assert_eq!(src.len(), dst.len());
+    // SAFETY: `R` *is* `f32` per the `round_dispatchable` contract
+    // (TypeId equality on `'static` types), so these are identity
+    // casts.
+    let s = unsafe { std::slice::from_raw_parts(src.as_ptr().cast::<f32>(), src.len()) };
+    let d = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<f32>(), dst.len()) };
+    // SAFETY: AVX2 availability is the `avx2_active` caller contract.
+    match precision {
+        Precision::Fp16 => unsafe { x86::round_fp16_finite_row(s, d) },
+        _ => unsafe { x86::copy_finite_row(s, d) },
+    }
+}
+
+/// Scalar-only build: plain per-element rounding (never reached by the
+/// executor — `avx2_active` is `false` — but kept correct).
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub(crate) fn round_finite_row<R: Real>(src: &[R], dst: &mut [R], precision: Precision) -> bool {
+    let mut nonfinite = false;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        let r = v.round_to(precision);
+        nonfinite |= !r.is_finite();
+        *d = r;
+    }
+    nonfinite
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use super::BlockedRowProgram;
+    use sparstencil_mat::DenseMatrix;
+    use std::arch::x86_64::*;
+
+    /// Generate one AVX2 R×N kernel: `$elem` scalar type, `$n` fragment
+    /// width, `$lanes` vector lanes, and the matching load/store/
+    /// broadcast/mul/add intrinsics. The kernel mirrors the scalar
+    /// `mma_rows_blocked` exactly — step 0 stores, later steps
+    /// accumulate with separate mul/add, ragged blocks fall back to the
+    /// row-serial range kernel — only the lane loop is a vector op.
+    macro_rules! avx2_kernel {
+        ($name:ident, $elem:ty, $n:expr, $lanes:expr,
+         $loadu:ident, $storeu:ident, $set1:ident, $mul:ident, $add:ident) => {
+            /// # Safety
+            /// The caller must ensure the CPU supports AVX2.
+            #[target_feature(enable = "avx2")]
+            pub(super) unsafe fn $name(
+                prog: &BlockedRowProgram<$elem>,
+                b_data: &[$elem],
+                c_frag: &mut DenseMatrix<$elem>,
+            ) {
+                const V: usize = $n / $lanes;
+                const RB: usize = crate::exec::MMA_BLOCK_ROWS;
+                debug_assert_eq!(prog.block_rows(), RB);
+                let ls = prog.lockstep();
+                let bp = b_data.as_ptr();
+                for (bi, blk) in prog.blocks().iter().enumerate() {
+                    let r0 = bi * RB;
+                    let Some((start, steps)) = *blk else {
+                        crate::exec::mma_rows_range::<$elem, $n>(
+                            prog.base(),
+                            r0..(r0 + RB).min(prog.rows()),
+                            b_data,
+                            c_frag,
+                        );
+                        continue;
+                    };
+                    let mut p = start as usize;
+                    debug_assert!(p + steps as usize * RB <= ls.len());
+                    debug_assert!(prog.depth() * $n <= b_data.len());
+                    let mut acc = [[$set1(0.0); V]; RB];
+                    // Step 0 stores (overwrite-first), steps 1..
+                    // accumulate — mul then add, never fused, so each
+                    // lane's IEEE sequence matches the scalar kernel.
+                    for r in 0..RB {
+                        // SAFETY: (start, steps) point at in-bounds
+                        // lockstep entries by plan compilation; kk <
+                        // prog.depth() bounds the operand row.
+                        let (kk, v) = *ls.get_unchecked(p + r);
+                        let row = bp.add(kk as usize * $n);
+                        let vv = $set1(v);
+                        for u in 0..V {
+                            acc[r][u] = $mul(vv, $loadu(row.add(u * $lanes)));
+                        }
+                    }
+                    p += RB;
+                    for _ in 1..steps {
+                        for r in 0..RB {
+                            // SAFETY: as above.
+                            let (kk, v) = *ls.get_unchecked(p + r);
+                            let row = bp.add(kk as usize * $n);
+                            let vv = $set1(v);
+                            for u in 0..V {
+                                acc[r][u] = $add(acc[r][u], $mul(vv, $loadu(row.add(u * $lanes))));
+                            }
+                        }
+                        p += RB;
+                    }
+                    for r in 0..RB {
+                        let out = c_frag.row_mut(r0 + r).as_mut_ptr();
+                        for u in 0..V {
+                            $storeu(out.add(u * $lanes), acc[r][u]);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    avx2_kernel!(
+        f32_w8,
+        f32,
+        8,
+        8,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps
+    );
+    avx2_kernel!(
+        f32_w16,
+        f32,
+        16,
+        8,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps
+    );
+    avx2_kernel!(
+        f32_w32,
+        f32,
+        32,
+        8,
+        _mm256_loadu_ps,
+        _mm256_storeu_ps,
+        _mm256_set1_ps,
+        _mm256_mul_ps,
+        _mm256_add_ps
+    );
+    avx2_kernel!(
+        f64_w8,
+        f64,
+        8,
+        4,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        _mm256_set1_pd,
+        _mm256_mul_pd,
+        _mm256_add_pd
+    );
+    avx2_kernel!(
+        f64_w16,
+        f64,
+        16,
+        4,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        _mm256_set1_pd,
+        _mm256_mul_pd,
+        _mm256_add_pd
+    );
+    avx2_kernel!(
+        f64_w32,
+        f64,
+        32,
+        4,
+        _mm256_loadu_pd,
+        _mm256_storeu_pd,
+        _mm256_set1_pd,
+        _mm256_mul_pd,
+        _mm256_add_pd
+    );
+
+    /// Non-finite scan mask for one group of 8 rounded `f32` lanes:
+    /// exponent field all-ones ⇔ Inf or NaN ⇔ `!is_finite`.
+    #[inline]
+    unsafe fn nonfinite_mask(r: __m256i) -> __m256i {
+        let rexp = _mm256_and_si256(_mm256_srli_epi32::<23>(r), _mm256_set1_epi32(0xff));
+        _mm256_cmpeq_epi32(rexp, _mm256_set1_epi32(0xff))
+    }
+
+    /// Vectorized `fp16_round` over a fragment row, plus the health
+    /// scan, bit-identical to the scalar routine: the 8-lane fast path
+    /// is the same integer RNE formula over the same exponent window
+    /// (`113..=141`), and a group with any lane outside the window is
+    /// deferred wholesale to scalar [`fp16_round`].
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2, and that
+    /// `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn round_fp16_finite_row(src: &[f32], dst: &mut [f32]) -> bool {
+        use sparstencil_mat::half::fp16_round;
+        let len = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut any_nonfinite = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 8 <= len {
+            // SAFETY: `i + 8 <= len` bounds every lane; f32 loads have
+            // no alignment requirement through `loadu`.
+            let v = _mm256_loadu_si256(sp.add(i).cast());
+            let exp = _mm256_and_si256(_mm256_srli_epi32::<23>(v), _mm256_set1_epi32(0xff));
+            // exp ∈ 113..=141 per lane (values in [0, 255], so signed
+            // 32-bit compares are exact).
+            let fast = _mm256_and_si256(
+                _mm256_cmpgt_epi32(exp, _mm256_set1_epi32(112)),
+                _mm256_cmpgt_epi32(_mm256_set1_epi32(142), exp),
+            );
+            let r = if _mm256_movemask_epi8(fast) == -1 {
+                // All lanes normal-range: round-to-nearest-even on the
+                // low 13 mantissa bits, directly on the f32 bits —
+                // `(bits + 0x0FFF + ((bits >> 13) & 1)) & !0x1FFF`,
+                // the exact `fp16_round` fast-path formula.
+                let lsb = _mm256_and_si256(_mm256_srli_epi32::<13>(v), _mm256_set1_epi32(1));
+                let sum = _mm256_add_epi32(_mm256_add_epi32(v, _mm256_set1_epi32(0x0FFF)), lsb);
+                _mm256_and_si256(sum, _mm256_set1_epi32(!0x1FFFu32 as i32))
+            } else {
+                // Some lane is a zero, f16 subnormal, overflow, or NaN:
+                // defer the whole group to the scalar routine and
+                // reload the results for the shared health scan.
+                for j in i..i + 8 {
+                    *dst.get_unchecked_mut(j) = fp16_round(*src.get_unchecked(j));
+                }
+                _mm256_loadu_si256(dp.add(i).cast())
+            };
+            _mm256_storeu_si256(dp.add(i).cast(), r);
+            any_nonfinite = _mm256_or_si256(any_nonfinite, nonfinite_mask(r));
+            i += 8;
+        }
+        let mut nonfinite = _mm256_movemask_epi8(any_nonfinite) != 0;
+        while i < len {
+            let r = fp16_round(*src.get_unchecked(i));
+            *dst.get_unchecked_mut(i) = r;
+            nonfinite |= !r.is_finite();
+            i += 1;
+        }
+        nonfinite
+    }
+
+    /// Identity "rounding" (`Fp32`/`Fp64` store formats at `f32` grid
+    /// width) with the vector health scan.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2, and that
+    /// `src.len() == dst.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn copy_finite_row(src: &[f32], dst: &mut [f32]) -> bool {
+        let len = src.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut any_nonfinite = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 8 <= len {
+            // SAFETY: `i + 8 <= len` bounds every lane.
+            let v = _mm256_loadu_si256(sp.add(i).cast());
+            _mm256_storeu_si256(dp.add(i).cast(), v);
+            any_nonfinite = _mm256_or_si256(any_nonfinite, nonfinite_mask(v));
+            i += 8;
+        }
+        let mut nonfinite = _mm256_movemask_epi8(any_nonfinite) != 0;
+        while i < len {
+            let v = *src.get_unchecked(i);
+            *dst.get_unchecked_mut(i) = v;
+            nonfinite |= !v.is_finite();
+            i += 1;
+        }
+        nonfinite
+    }
+}
+
+#[cfg(all(test, feature = "simd", target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use sparstencil_mat::half::fp16_round;
+
+    /// Every interesting f32 neighborhood for the fp16 round: normals,
+    /// halfway RNE cases at both tie directions, the fast-path exponent
+    /// boundaries (112/113 and 141/142), f16 subnormal range, zeros,
+    /// overflow-to-Inf, infinities, NaN, and negatives of all of them.
+    fn edge_values() -> Vec<f32> {
+        let mut vals = vec![
+            0.0_f32,
+            1.0,
+            1.5,
+            0.1,
+            2.5,
+            f32::from_bits(0x3F80_2000), // 1 + 2⁻¹⁰: halfway, ties to even
+            f32::from_bits(0x3F80_6000), // 1 + 3·2⁻¹⁰: halfway, ties up
+            65504.0,                     // f16 max normal
+            65519.9,                     // rounds to f16 max
+            65520.0,                     // rounds up past f16 max → Inf
+            100000.0,                    // overflow → Inf
+            f32::from_bits(0x387F_FFFF), // just below f16 min normal (slow path)
+            5.9604645e-8,                // f16 min subnormal
+            2.9802322e-8,                // below half the min subnormal → 0
+            1.0e-30,                     // deep underflow → 0
+            f32::from_bits(0x3880_0000), // exp 113 exactly (fast-path low edge)
+            f32::from_bits(0x3800_0000), // exp 112 (slow path)
+            f32::from_bits(0x46FF_FFFF), // exp 141 mantissa all-ones (carry)
+            f32::from_bits(0x4700_0000), // exp 142 (slow path)
+            f32::INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE, // f32 min normal, way below f16 range
+            f32::MAX,
+        ];
+        let negs: Vec<f32> = vals.iter().map(|v| -v).collect();
+        vals.extend(negs);
+        vals
+    }
+
+    /// The vector fp16 row round is bit-identical to scalar
+    /// `fp16_round` — and its folded health scan to `!is_finite` — for
+    /// every edge value in every lane position, at lengths that
+    /// exercise full groups, the scalar tail, and tail-only rows.
+    #[test]
+    fn vector_fp16_round_matches_scalar() {
+        if !avx2_supported() {
+            return;
+        }
+        let vals = edge_values();
+        for len in [1, 5, 8, 11, 16, 24, 27, 32] {
+            for (i, &seed) in vals.iter().enumerate() {
+                // Rotate the edge values through every lane position.
+                let src: Vec<f32> = (0..len).map(|j| vals[(i + j) % vals.len()]).collect();
+                let mut dst = vec![0.0_f32; len];
+                let nonfinite = round_finite_row::<f32>(&src, &mut dst, Precision::Fp16);
+                let mut want_nonfinite = false;
+                for (j, (&s, &d)) in src.iter().zip(&dst).enumerate() {
+                    let want = fp16_round(s);
+                    assert_eq!(
+                        d.to_bits(),
+                        want.to_bits(),
+                        "lane {j} of {len}: {s} (bits {:#010x}) rounded to {:#010x}, want {:#010x} (seed {seed})",
+                        s.to_bits(),
+                        d.to_bits(),
+                        want.to_bits()
+                    );
+                    want_nonfinite |= !want.is_finite();
+                }
+                assert_eq!(
+                    nonfinite, want_nonfinite,
+                    "health scan at len {len}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    /// The identity path (`Fp32` at f32 grids) copies bits verbatim and
+    /// still reports non-finite lanes.
+    #[test]
+    fn vector_identity_round_scans_health() {
+        if !avx2_supported() {
+            return;
+        }
+        let vals = edge_values();
+        for len in [3, 8, 13, 32] {
+            for start in 0..vals.len() {
+                let src: Vec<f32> = (0..len).map(|j| vals[(start + j) % vals.len()]).collect();
+                let mut dst = vec![0.0_f32; len];
+                let nonfinite = round_finite_row::<f32>(&src, &mut dst, Precision::Fp32);
+                for (&s, &d) in src.iter().zip(&dst) {
+                    assert_eq!(s.to_bits(), d.to_bits());
+                }
+                assert_eq!(nonfinite, src.iter().any(|v| !v.is_finite()));
+            }
+        }
+    }
+
+    /// The (type, precision) gate: f32 vectors exist for Fp16 and the
+    /// identity formats; Bf16/Tf32 and all f64 grids stay scalar.
+    #[test]
+    fn round_dispatch_gate() {
+        assert!(round_dispatchable::<f32>(Precision::Fp16));
+        assert!(round_dispatchable::<f32>(Precision::Fp32));
+        assert!(round_dispatchable::<f32>(Precision::Fp64));
+        assert!(!round_dispatchable::<f32>(Precision::Bf16));
+        assert!(!round_dispatchable::<f32>(Precision::Tf32));
+        assert!(!round_dispatchable::<f64>(Precision::Fp16));
+        assert!(!round_dispatchable::<f64>(Precision::Fp64));
+    }
+}

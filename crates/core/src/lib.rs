@@ -34,6 +34,30 @@
 //! docs for the ring diagram); steps are allocation-free after warm-up
 //! and bit-identical to the retained naive oracle.
 //!
+//! Staging itself is shared across x-adjacent tiles: within a
+//! fragment-column block, tile `t+1`'s gather window is tile `t`'s
+//! shifted by one fragment row, so each plane is staged once per
+//! (plane, tile-row) rather than once per tile — ranks with an
+//! in-window partner take one fresh grid cell plus a pure in-scratch
+//! shift copy of the partner's already-staged row (a memory move, no FP
+//! ops, so bit-exactness holds), and only partnerless ranks pay the
+//! full strided gather:
+//!
+//! ```text
+//!  one staged plane, fragment-column block of tiles t0..t3
+//!  (tile t+1's window base = tile t's + one fragment row r1):
+//!
+//!    Fresh rank:  grid ──strided loads──▶ [t0 t1 t2 t3]
+//!    Shift rank:  grid ──▶ [t0] ; [t1 t2 t3] ◀──memcpy── partner's
+//!                                              staged [t0 t1 t2]
+//! ```
+//!
+//! The MMA phase dispatches at run time to register-blocked AVX2
+//! kernels on supporting x86-64 CPUs ([`exec::simd`]); the scalar
+//! blocked kernels remain the portable fallback and the oracle, and the
+//! vector path is bit-identical to them (separate multiply and add —
+//! never FMA — so every lane performs the scalar IEEE op sequence).
+//!
 //! The friendly entry point is [`pipeline::Executor`]; long-running
 //! drivers open a persistent [`session::Simulation`] (which is `Send`,
 //! so servers can hold one per client and step it on any thread) so

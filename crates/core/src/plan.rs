@@ -16,7 +16,7 @@ use crate::layout::{self, ExecMode, LayoutGeometry};
 use crate::stencil::StencilKernel;
 use sparstencil_mat::half::Precision;
 use sparstencil_mat::{DenseMatrix, Permutation, Real, TwoFourMatrix};
-use sparstencil_tcu::fragment::RowProgram;
+use sparstencil_tcu::fragment::{BlockedRowProgram, RowProgram};
 use sparstencil_tcu::{FragmentShape, GpuConfig, LaunchConfig};
 use std::time::Instant;
 
@@ -169,8 +169,61 @@ pub struct StageSchedule<R: Real> {
     /// Phase-rebased operand programs `[phase][m_strip]`: the slice-0
     /// overwrite-first programs of [`ExecTables::programs`] with every
     /// entry's `B` index rewritten through `stage_map[phase]` — same
-    /// entries, same order, same arithmetic, staged addressing.
-    pub programs: Vec<Vec<RowProgram<R>>>,
+    /// entries, same order, same arithmetic, staged addressing — then
+    /// compiled to the register-blocked lockstep layout
+    /// ([`BlockedRowProgram`], [`crate::exec::MMA_BLOCK_ROWS`] rows per
+    /// block) the multi-row MMA kernels execute. Every rebased row is
+    /// asserted non-empty at build, which is what lets the
+    /// overwrite-first kernels drop their per-row runtime check.
+    pub programs: Vec<Vec<BlockedRowProgram<R>>>,
+    /// Per-band staging ops in execution order, shared by every `(plane,
+    /// column block)` staging pass: all [`StageOp::Fresh`] ranks first,
+    /// then [`StageOp::Shift`] ranks ordered so every shift's source row
+    /// is already staged (descending source offset — shift chains run
+    /// toward smaller offsets). Covers each band rank exactly once;
+    /// validated at plan build.
+    pub stage_ops: Vec<StageOp>,
+    /// Per fragment-column block: `true` iff the block's tiles sit in
+    /// one tile row with bases stepping by exactly `r1` — the geometry
+    /// under which [`StageOp::Shift`] is valid and the executor takes
+    /// the shared-staging path. Blocks that wrap a tile-row boundary
+    /// stage every rank fresh.
+    pub shift_blocks: Vec<bool>,
+    /// Cache-line-deduplicated element offsets (relative to a plane
+    /// base plus the block's first tile base) covering one
+    /// (plane, column block) staging footprint — the executor's
+    /// software-prefetch list. A z-sliding run's next item stages a
+    /// plane one full plane stride ahead, beyond the page-bounded reach
+    /// of hardware prefetch streams, so without the hints every staged
+    /// line is a demand miss. Offsets are aligned down to cache-line
+    /// granularity for `R`, padded one line for base misalignment.
+    pub prefetch_offs: Vec<u32>,
+}
+
+/// One per-rank staging operation of the shared-staging schedule (see
+/// [`StageSchedule::stage_ops`]). For x-adjacent tiles (`base` stepping
+/// by `r1`), the cell rank `r` reads for tile `t ≥ 1` is the very cell
+/// rank `src` (with `cell_offsets[src] = cell_offsets[r] + r1`) read for
+/// tile `t − 1` — so all but the first column of a shifted rank's band
+/// row is a contiguous in-scratch copy of the source rank's row instead
+/// of `tiles_in_block` strided grid loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOp {
+    /// Stage every column of band rank `rank` from the source grid (one
+    /// strided load per tile).
+    Fresh {
+        /// Band rank to stage.
+        rank: u32,
+    },
+    /// Stage column 0 of `rank` from the grid, then copy columns
+    /// `1..tiles_in_block` from columns `0..tiles_in_block − 1` of rank
+    /// `src`'s already-staged row (same band).
+    Shift {
+        /// Band rank to stage.
+        rank: u32,
+        /// Source band rank (`cell_offsets[src] = cell_offsets[rank] + r1`).
+        src: u32,
+    },
 }
 
 impl<R: Real> StageSchedule<R> {
@@ -515,15 +568,101 @@ impl<R: Real> ExecTables<R> {
             .collect();
 
         // Phase-rebased programs: slice 0's overwrite-first programs
-        // with the `B` addressing rewritten onto the staged ring. Entry
-        // order is preserved, so the staged MMA stays bit-identical.
-        let staged_programs: Vec<Vec<RowProgram<R>>> = stage_map
+        // with the `B` addressing rewritten onto the staged ring, then
+        // compiled to the register-blocked lockstep layout the multi-row
+        // kernels execute. Entry order is preserved per row (the blocked
+        // layout only regroups addressing), so the staged MMA stays
+        // bit-identical. Non-emptiness of every rebased row is *the*
+        // plan-time guarantee the overwrite-first kernels rely on — the
+        // single checked home of the invariant the hot loop used to
+        // re-check per row.
+        let staged_programs: Vec<Vec<BlockedRowProgram<R>>> = stage_map
             .iter()
             .map(|map| {
                 programs[0]
                     .iter()
-                    .map(|p| p.remap_rows(map, staged_depth))
+                    .map(|p| {
+                        let rebased = p.remap_rows(map, staged_depth);
+                        for i in 0..rebased.rows() {
+                            assert!(
+                                !rebased.row(i).is_empty(),
+                                "overwrite-first programs guarantee non-empty rows (row {i})"
+                            );
+                        }
+                        BlockedRowProgram::compile(&rebased, crate::exec::MMA_BLOCK_ROWS)
+                    })
                     .collect()
+            })
+            .collect();
+
+        // Shared-staging schedule (SPIDER-style): for x-adjacent tiles
+        // (bases stepping by r1), rank r's staged cell for tile t equals
+        // rank src's cell for tile t−1 whenever cell_offsets[src] =
+        // cell_offsets[r] + r1 — the overlapping halo columns of the
+        // union window. Such ranks become in-scratch shift copies;
+        // ranks with no +r1 partner stay fresh grid loads.
+        let mut stage_ops: Vec<StageOp> = Vec::with_capacity(band_rows);
+        {
+            let mut shifted: Vec<(usize, u32, u32)> = Vec::new();
+            for (rank, &off) in cell_offsets.iter().enumerate() {
+                match rank_of.get(&(off + plan.r1)) {
+                    Some(&src) => shifted.push((off, rank as u32, src as u32)),
+                    None => stage_ops.push(StageOp::Fresh { rank: rank as u32 }),
+                }
+            }
+            // A shift's source offset is larger by r1, so descending
+            // offset order stages every source (fresh or earlier shift
+            // in the chain) before its dependents.
+            shifted.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
+            stage_ops.extend(
+                shifted
+                    .into_iter()
+                    .map(|(_, rank, src)| StageOp::Shift { rank, src }),
+            );
+        }
+        // Validate the op list once so the executor can run it without
+        // checks: exact cover of the band ranks, offset relation on
+        // every shift, and sources staged before dependents.
+        {
+            let mut staged_rank = vec![false; band_rows];
+            for op in &stage_ops {
+                match *op {
+                    StageOp::Fresh { rank } => {
+                        assert!(!staged_rank[rank as usize], "rank staged twice");
+                        staged_rank[rank as usize] = true;
+                    }
+                    StageOp::Shift { rank, src } => {
+                        assert!(!staged_rank[rank as usize], "rank staged twice");
+                        assert!(
+                            staged_rank[src as usize],
+                            "shift source staged after its dependent"
+                        );
+                        assert_eq!(
+                            cell_offsets[src as usize],
+                            cell_offsets[rank as usize] + plan.r1,
+                            "shift source is not the +r1 neighbor"
+                        );
+                        staged_rank[rank as usize] = true;
+                    }
+                }
+            }
+            assert!(
+                staged_rank.iter().all(|&s| s),
+                "stage ops must cover every band rank"
+            );
+        }
+
+        // Shift validity is per column block: the copy identity needs
+        // every consecutive tile pair x-adjacent in one tile row. Blocks
+        // wrapping a tile-row boundary (and the final partial block when
+        // it wraps) stage fresh.
+        let shift_blocks: Vec<bool> = (0..col_blocks)
+            .map(|cb| {
+                let first = cb * frag.n;
+                let count = frag.n.min(geom.tiles_per_plane - first);
+                tiles[first..first + count]
+                    .windows(2)
+                    .all(|w| w[1].oy == w[0].oy && w[1].base == w[0].base + plan.r1)
             })
             .collect();
 
@@ -539,6 +678,25 @@ impl<R: Real> ExecTables<R> {
             })
             .collect();
 
+        // Prefetch line list: the union of cache lines one
+        // (plane, column block) staging pass touches, relative to
+        // `plane base + first tile base`, assuming x-adjacent tiles
+        // (bases stepping by `r1` — exact for shift blocks, a harmless
+        // superset for wrapping blocks since prefetch is only a hint).
+        let prefetch_offs: Vec<u32> = {
+            let epl = (64 / std::mem::size_of::<R>()).max(1);
+            let span = (frag.n - 1) * plan.r1;
+            let mut lines = std::collections::BTreeSet::new();
+            for &off in &cell_offsets {
+                // `+1` line covers footprints straddling a boundary
+                // when the runtime base is not line-aligned.
+                for l in (off / epl)..=((off + span) / epl + 1) {
+                    lines.insert(l);
+                }
+            }
+            lines.into_iter().map(|l| (l * epl) as u32).collect()
+        };
+
         let stage = StageSchedule {
             window,
             band_rows,
@@ -548,6 +706,9 @@ impl<R: Real> ExecTables<R> {
             zero_row: staged_zero_row,
             stage_map,
             programs: staged_programs,
+            stage_ops,
+            shift_blocks,
+            prefetch_offs,
         };
         assert_eq!(
             work.len(),

@@ -318,3 +318,47 @@ fn optimized_counters_still_match_model() {
     assert_eq!(functional.counters.n_mma(), modelled.counters.n_mma());
     assert_eq!(functional.counters.n_mma(), plan.geom.n_mma);
 }
+
+#[test]
+fn equivalent_forced_scalar_dispatch() {
+    // The run-time kernel override: forcing the scalar blocked kernels
+    // on AVX2 hardware must leave grids, counters, and stats
+    // bit-identical to the default dispatch and to the naive oracle —
+    // the dispatch decision is unobservable in every output bit. The
+    // guard restores the process-global flag even if an assert fires
+    // (the flag only selects between bit-identical kernels, so a
+    // concurrent test observing it mid-flip stays correct).
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            sparstencil::exec::simd::force_scalar(false);
+        }
+    }
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    let k = StencilKernel::box3d27p();
+    let shape = [10, 22, 18];
+    let plan = compile::<f32>(&k, shape, &opts).unwrap();
+    let input = Grid::<f32>::smooth_random(3, shape);
+
+    let (default_out, default_stats) = run(&plan, &input, 3);
+
+    let _restore = Restore;
+    sparstencil::exec::simd::force_scalar(true);
+    assert_eq!(sparstencil::exec::simd::kernel_path(), "scalar");
+    let (scalar_out, scalar_stats) = run(&plan, &input, 3);
+    let (naive_out, naive_stats) = run_naive(&plan, &input, 3);
+
+    assert_eq!(
+        scalar_out, default_out,
+        "forced-scalar grid must be bit-identical to the default dispatch"
+    );
+    assert_eq!(
+        scalar_out, naive_out,
+        "forced-scalar grid must be bit-identical to the naive oracle"
+    );
+    assert_eq!(scalar_stats.counters, default_stats.counters);
+    assert_eq!(scalar_stats.counters, naive_stats.counters);
+}

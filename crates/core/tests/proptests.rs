@@ -8,9 +8,12 @@
 use proptest::prelude::*;
 use sparstencil::convert::{convert, violations_after, Strategy as ConvStrategy};
 use sparstencil::crush::{build_a_prime, build_b_prime, CrushPlan};
+use sparstencil::exec::kernel_testing::{avx2_overwrite, blocked_overwrite, generic_overwrite};
+use sparstencil::exec::MMA_BLOCK_ROWS;
 use sparstencil::grid::Grid;
 use sparstencil::layout::ExecMode;
 use sparstencil::pipeline::Executor;
+use sparstencil::plan::StageOp;
 use sparstencil::plan::{compile, compile_halo_exchange, Decomposition, Options};
 use sparstencil::reference;
 use sparstencil::stencil::StencilKernel;
@@ -253,12 +256,86 @@ proptest! {
                 for r in 0..base.rows() {
                     let (be, se) = (base.row(r), staged.row(r));
                     prop_assert_eq!(be.len(), se.len());
+                    prop_assert!(!se.is_empty(), "rebased rows must be non-empty");
                     for (&(kk, v), &(sk, sv)) in be.iter().zip(se) {
                         prop_assert_eq!(v, sv);
                         prop_assert_eq!(sk, ss.stage_map[phase][kk as usize]);
                     }
                 }
+                // Blocked layout: uniform blocks hold full row groups of
+                // equal length with the lockstep stream step-major
+                // (step s of block row r at `start + s·RB + r`); every
+                // other block is ragged and served through the base
+                // program.
+                prop_assert_eq!(staged.block_rows(), MMA_BLOCK_ROWS);
+                let n_blocks = staged.rows().div_ceil(MMA_BLOCK_ROWS);
+                prop_assert_eq!(staged.blocks().len(), n_blocks);
+                for (bi, blk) in staged.blocks().iter().enumerate() {
+                    let r0 = bi * MMA_BLOCK_ROWS;
+                    let rows_here = MMA_BLOCK_ROWS.min(staged.rows() - r0);
+                    match *blk {
+                        Some((start, steps)) => {
+                            prop_assert_eq!(rows_here, MMA_BLOCK_ROWS);
+                            prop_assert!(steps > 0);
+                            for r in 0..MMA_BLOCK_ROWS {
+                                let row = staged.row(r0 + r);
+                                prop_assert_eq!(row.len(), steps as usize);
+                                for (s, &(kk, v)) in row.iter().enumerate() {
+                                    let li = start as usize + s * MMA_BLOCK_ROWS + r;
+                                    prop_assert_eq!(staged.lockstep()[li], (kk, v));
+                                }
+                            }
+                        }
+                        None => {
+                            let lens: Vec<usize> =
+                                (0..rows_here).map(|r| staged.row(r0 + r).len()).collect();
+                            prop_assert!(
+                                rows_here < MMA_BLOCK_ROWS
+                                    || lens.iter().any(|&l| l != lens[0]),
+                                "a full equal-length block must compile uniform"
+                            );
+                        }
+                    }
+                }
             }
+        }
+
+        // Stage ops: exact cover of the band ranks, every shift pulls
+        // from its +r1 partner, and every shift's source is staged
+        // earlier in the list (fresh loads or upstream shifts).
+        prop_assert_eq!(ss.stage_ops.len(), ss.band_rows);
+        let mut op_staged = vec![false; ss.band_rows];
+        for op in &ss.stage_ops {
+            match *op {
+                StageOp::Fresh { rank } => {
+                    prop_assert!(!op_staged[rank as usize], "rank staged twice");
+                    op_staged[rank as usize] = true;
+                }
+                StageOp::Shift { rank, src } => {
+                    prop_assert!(!op_staged[rank as usize], "rank staged twice");
+                    prop_assert!(op_staged[src as usize], "source staged after dependent");
+                    prop_assert_eq!(
+                        ss.cell_offsets[src as usize],
+                        ss.cell_offsets[rank as usize] + r1
+                    );
+                    op_staged[rank as usize] = true;
+                }
+            }
+        }
+        prop_assert!(op_staged.iter().all(|&s| s), "ops must cover every rank");
+
+        // Shift eligibility per column block: exactly the blocks whose
+        // tiles sit in one tile row with bases stepping by r1 — the
+        // geometry under which the shift-copy identity holds.
+        let col_blocks = t.work.len() / ss.run_len;
+        prop_assert_eq!(ss.shift_blocks.len(), col_blocks);
+        for (cb, &shiftable) in ss.shift_blocks.iter().enumerate() {
+            let first = cb * plan.frag.n;
+            let count = plan.frag.n.min(plan.geom.tiles_per_plane - first);
+            let adjacent = t.tiles[first..first + count]
+                .windows(2)
+                .all(|w| w[1].oy == w[0].oy && w[1].base == w[0].base + r1);
+            prop_assert_eq!(shiftable, adjacent, "column block {}", cb);
         }
     }
 
@@ -502,5 +579,101 @@ proptest! {
             prop_assert_eq!(hx.notify(j).len(), got.len(), "duplicate notify");
             prop_assert_eq!(&got, want, "notify list mismatch for member {}", j);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MMA kernel paths: scalar blocked and AVX2 vs the row-serial oracle
+// ---------------------------------------------------------------------------
+
+/// Compare every MMA kernel path on one random row program: the scalar
+/// register-blocked kernel always, and the AVX2 kernel whenever this
+/// build/CPU has one for `(R, n)`. Both must be bit-identical to the
+/// row-serial generic oracle — the engine's correctness rests on the
+/// dispatch being unobservable in the output bits.
+///
+/// The program is built from a dense matrix with zeros sprinkled at
+/// random positions (so block row-lengths differ and the ragged
+/// fallback path runs) but at least one non-zero per row (the
+/// executor's checked plan invariant: overwrite-first kernels never see
+/// an empty row).
+fn check_kernel_paths<R: sparstencil_mat::Real>(m: usize, k: usize, n: usize, seed: u64) {
+    use sparstencil_mat::DenseMatrix;
+    use sparstencil_tcu::fragment::{BlockedRowProgram, RowProgram};
+
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let a = DenseMatrix::from_fn(m, k, |r, c| {
+        let v = next();
+        if c != r % k && v % 3 == 0 {
+            R::ZERO
+        } else {
+            let mag = ((v % 1000) + 1) as f64 / 256.0;
+            R::from_f64(if v & 1024 != 0 { -mag } else { mag })
+        }
+    });
+    let b = DenseMatrix::from_fn(k, n, |_, _| {
+        let v = next();
+        R::from_f64(((v % 2048) as f64 - 1024.0) / 128.0)
+    });
+    let base = RowProgram::from_dense(&a);
+    let prog = BlockedRowProgram::compile(&base, MMA_BLOCK_ROWS);
+    prop_assert_eq!(prog.block_rows(), MMA_BLOCK_ROWS);
+
+    let mut c_oracle = DenseMatrix::<R>::zeros(m, n);
+    generic_overwrite(&prog, &b, &mut c_oracle, n);
+
+    let mut c_blocked = DenseMatrix::<R>::zeros(m, n);
+    blocked_overwrite(&prog, &b, &mut c_blocked, n);
+    prop_assert_eq!(
+        c_blocked.as_slice(),
+        c_oracle.as_slice(),
+        "scalar blocked kernel diverged from the row-serial oracle \
+         (m={}, k={}, n={}, seed={})",
+        m,
+        k,
+        n,
+        seed
+    );
+
+    let mut c_avx2 = DenseMatrix::<R>::zeros(m, n);
+    if avx2_overwrite(&prog, &b, &mut c_avx2, n) {
+        prop_assert_eq!(
+            c_avx2.as_slice(),
+            c_oracle.as_slice(),
+            "AVX2 kernel diverged from the row-serial oracle \
+             (m={}, k={}, n={}, seed={})",
+            m,
+            k,
+            n,
+            seed
+        );
+    } else {
+        // The vector path must only decline for a principled reason:
+        // no kernel for this width, or no AVX2 in this build/CPU.
+        prop_assert!(!matches!(n, 8 | 16 | 32) || !cfg!(target_arch = "x86_64"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // All kernel dispatch paths are bit-identical on random row
+    // programs, across the specialized fragment widths, the generic
+    // width fallback, and both scalar types.
+    #[test]
+    fn kernel_paths_bit_identical(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in (0usize..4).prop_map(|i| [8usize, 16, 32, 12][i]),
+        seed in any::<u64>(),
+    ) {
+        check_kernel_paths::<f32>(m, k, n, seed);
+        check_kernel_paths::<f64>(m, k, n, seed);
     }
 }

@@ -225,6 +225,170 @@ impl<R: Real> RowProgram<R> {
     }
 }
 
+/// A [`RowProgram`] re-laid-out for **register-blocked** execution:
+/// output rows are grouped into fixed-size blocks of `block_rows`
+/// consecutive rows, and every block whose rows all carry the *same*
+/// entry count is additionally compiled into a step-major **lockstep**
+/// entry stream — step `s` holds the `s`-th entry of each row in the
+/// block, rows in order — so a kernel can hold `block_rows` accumulator
+/// rows in registers and advance all of them one entry per step with a
+/// single linear walk over the stream.
+///
+/// The blocked layout changes *addressing only*: each row's entries
+/// appear in the lockstep stream in their original per-row order, so a
+/// blocked executor performs exactly the multiplies of the row-serial
+/// path, per row in the same order, into independent accumulators —
+/// results are bit-identical to [`program_mma`]. Blocks that are ragged
+/// (unequal entry counts), partial (fewer than `block_rows` rows at the
+/// tail), or contain an empty row are left as `None` and executed
+/// row-serially from the retained [`BlockedRowProgram::base`] program.
+#[derive(Debug, Clone)]
+pub struct BlockedRowProgram<R: Real> {
+    base: RowProgram<R>,
+    block_rows: usize,
+    /// Per block: `Some((lockstep_start, steps))` for uniform blocks,
+    /// `None` for blocks that fall back to row-serial execution.
+    blocks: Vec<Option<(u32, u32)>>,
+    /// Step-major entry stream of all uniform blocks: `steps ×
+    /// block_rows` entries per block, rows in order within each step.
+    lockstep: Vec<(u32, R)>,
+}
+
+impl<R: Real> BlockedRowProgram<R> {
+    /// Compile the blocked layout for `base` with `block_rows` rows per
+    /// block. Pure re-layout — the base program is retained verbatim
+    /// (and drives the row-serial fallback for non-uniform blocks).
+    ///
+    /// # Panics
+    /// Panics if `block_rows` is zero.
+    pub fn compile(base: &RowProgram<R>, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block_rows must be positive");
+        let m = base.rows();
+        let n_blocks = m.div_ceil(block_rows);
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut lockstep = Vec::new();
+        for bi in 0..n_blocks {
+            let r0 = bi * block_rows;
+            let rows_here = block_rows.min(m - r0);
+            let steps = base.row(r0).len();
+            let uniform = rows_here == block_rows
+                && steps > 0
+                && (1..rows_here).all(|r| base.row(r0 + r).len() == steps);
+            if !uniform {
+                blocks.push(None);
+                continue;
+            }
+            let start = lockstep.len() as u32;
+            for s in 0..steps {
+                for r in 0..block_rows {
+                    lockstep.push(base.row(r0 + r)[s]);
+                }
+            }
+            blocks.push(Some((start, steps as u32)));
+        }
+        Self {
+            base: base.clone(),
+            block_rows,
+            blocks,
+            lockstep,
+        }
+    }
+
+    /// The underlying row-serial program (same entries, same per-row
+    /// order).
+    pub fn base(&self) -> &RowProgram<R> {
+        &self.base
+    }
+
+    /// Rows per register block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Per-block lockstep descriptors (`None` ⇒ row-serial fallback).
+    pub fn blocks(&self) -> &[Option<(u32, u32)>] {
+        &self.blocks
+    }
+
+    /// The step-major lockstep entry stream.
+    pub fn lockstep(&self) -> &[(u32, R)] {
+        &self.lockstep
+    }
+
+    /// Output rows `m` (delegates to the base program).
+    pub fn rows(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Logical operand depth `k` (delegates to the base program).
+    pub fn depth(&self) -> usize {
+        self.base.depth()
+    }
+
+    /// Total scheduled multiplies (delegates to the base program).
+    pub fn nnz(&self) -> usize {
+        self.base.nnz()
+    }
+
+    /// Entries of output row `i` (delegates to the base program).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[(u32, R)] {
+        self.base.row(i)
+    }
+}
+
+/// Execute one fragment op from a blocked program: `c += program × b`,
+/// driving uniform blocks through the lockstep stream and ragged blocks
+/// through the base program. Reference executor for the blocked layout:
+/// bit-identical to [`program_mma`] on the base program (same per-row
+/// multiply order into independent accumulator rows).
+///
+/// # Panics
+/// Panics if `b`/`c` shapes do not match the program geometry.
+pub fn blocked_program_mma<R: Real>(
+    prog: &BlockedRowProgram<R>,
+    b: &DenseMatrix<R>,
+    c: &mut DenseMatrix<R>,
+) {
+    assert_eq!(b.rows(), prog.depth(), "B operand depth mismatch");
+    assert_eq!(
+        c.shape(),
+        (prog.rows(), b.cols()),
+        "C operand shape mismatch"
+    );
+    let n = b.cols();
+    let rb = prog.block_rows();
+    let ls = prog.lockstep();
+    for (bi, blk) in prog.blocks().iter().enumerate() {
+        let r0 = bi * rb;
+        let Some((start, steps)) = *blk else {
+            // Ragged/partial block: row-serial from the base program.
+            for i in r0..(r0 + rb).min(prog.rows()) {
+                let c_row = c.row_mut(i);
+                for &(kk, v) in prog.base().row(i) {
+                    let b_row = &b.row(kk as usize)[..n];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += v * bj;
+                    }
+                }
+            }
+            continue;
+        };
+        let mut p = start as usize;
+        for _ in 0..steps {
+            for r in 0..rb {
+                let (kk, v) = ls[p + r];
+                let b_row = &b.row(kk as usize)[..n];
+                let c_row = c.row_mut(r0 + r);
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += v * bj;
+                }
+            }
+            p += rb;
+        }
+    }
+}
+
 /// Execute one fragment op from a compiled operand: `c += program × b`.
 /// Bit-identical to the corresponding uncompiled MMA routine (same
 /// multiply order, same skipped lanes).
@@ -475,6 +639,78 @@ mod tests {
         let b = DenseMatrix::<f32>::zeros(5, 3);
         let mut c = DenseMatrix::<f32>::zeros(4, 3);
         program_mma(&prog, &b, &mut c);
+    }
+
+    #[test]
+    fn blocked_program_layout_separates_uniform_and_ragged_blocks() {
+        // 8 rows, block_rows = 4: rows 0–3 all have 2 entries (uniform),
+        // rows 4–7 have unequal counts (ragged).
+        let a = DenseMatrix::from_fn(8, 6, |r, c| {
+            let keep = if r < 4 { c < 2 } else { c < 1 + r % 3 };
+            if keep {
+                (r * 6 + c + 1) as f64
+            } else {
+                0.0
+            }
+        });
+        let base = RowProgram::from_dense(&a);
+        let blocked = BlockedRowProgram::compile(&base, 4);
+        assert_eq!(blocked.rows(), 8);
+        assert_eq!(blocked.depth(), 6);
+        assert_eq!(blocked.nnz(), base.nnz());
+        assert_eq!(blocked.blocks().len(), 2);
+        let (start, steps) = blocked.blocks()[0].expect("block 0 is uniform");
+        assert_eq!((start, steps), (0, 2));
+        assert_eq!(blocked.blocks()[1], None, "ragged block falls back");
+        // Step-major stream: step s holds row r's s-th entry at s·4 + r.
+        for s in 0..2 {
+            for r in 0..4 {
+                assert_eq!(blocked.lockstep()[s * 4 + r], base.row(r)[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_program_rejects_partial_and_empty_blocks() {
+        // 6 rows at block_rows = 4: the tail block has only 2 rows.
+        let uniform =
+            RowProgram::from_dense(&DenseMatrix::from_fn(6, 4, |r, c| (r * 4 + c + 1) as f32));
+        let blocked = BlockedRowProgram::compile(&uniform, 4);
+        assert!(blocked.blocks()[0].is_some());
+        assert_eq!(blocked.blocks()[1], None, "partial tail block falls back");
+        // A block containing an empty row is never lockstep (steps = 0
+        // would make the overwrite-first kernel skip the row's store).
+        let holey = RowProgram::from_dense(&DenseMatrix::from_fn(4, 4, |r, _| {
+            if r == 2 {
+                0.0f32
+            } else {
+                1.0
+            }
+        }));
+        assert_eq!(BlockedRowProgram::compile(&holey, 4).blocks(), &[None]);
+    }
+
+    #[test]
+    fn blocked_program_mma_matches_row_program_mma() {
+        // Mix of uniform, ragged, and partial blocks across both Real
+        // types; values chosen so accumulation order matters in the low
+        // bits if an executor got it wrong.
+        let a = DenseMatrix::from_fn(10, 7, |r, c| {
+            let keep = if r < 4 { c % 2 == 0 } else { (r + c) % 3 != 0 };
+            if keep {
+                ((r * 7 + c * 13) % 23) as f64 / 7.0 - 1.5
+            } else {
+                0.0
+            }
+        });
+        let base = RowProgram::from_dense(&a);
+        let blocked = BlockedRowProgram::compile(&base, 4);
+        let b = DenseMatrix::from_fn(7, 5, |r, c| ((r * 5 + c * 3) % 17) as f64 / 11.0 - 0.7);
+        let mut c1 = DenseMatrix::from_fn(10, 5, |r, c| (r + c) as f64 * 0.25);
+        let mut c2 = c1.clone();
+        program_mma(&base, &b, &mut c1);
+        blocked_program_mma(&blocked, &b, &mut c2);
+        assert_eq!(c1, c2, "blocked layout must be bit-identical");
     }
 
     #[test]

@@ -406,3 +406,24 @@ fn zero_allocations_across_sharded_steps() {
          checkpoint/rollback, reset) must not allocate"
     );
 }
+
+#[test]
+fn zero_steady_state_allocations_forced_scalar() {
+    // Kernel dispatch must not change allocation behavior: the scalar
+    // blocked path (what non-AVX2 hardware runs) shares the steady-state
+    // buffers with the vector path. The guard restores the
+    // process-global flag even if the assert fires.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            sparstencil::exec::simd::force_scalar(false);
+        }
+    }
+    let _restore = Restore;
+    sparstencil::exec::simd::force_scalar(true);
+    let opts = Options {
+        layout: Some((4, 4)),
+        ..Options::default()
+    };
+    assert_zero_steady_state_allocs(&StencilKernel::box3d27p(), [10, 20, 20], &opts);
+}
