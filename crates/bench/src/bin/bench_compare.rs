@@ -53,6 +53,25 @@
 //! overhead only (the sweep is recorded for the trajectory, not
 //! gated), and applying the expectation would fail every run.
 //!
+//! **Zoo mode (`--zoo`).** With the `--zoo` flag the two files are
+//! `BENCH_zoo.json` files (written by the `bench_zoo` bin: one row per
+//! zoo kernel). The schema gate requires of *every* row the tuner
+//! decision (`default_layout`/`tuned_layout` as `RxC`,
+//! `shared_stage`/`prefetch`/`retuned` booleans, both model costs),
+//! the three rates, `speedup`, `tuned_vs_default`, the phase split,
+//! and the `simd` tag — and the fresh row count may not shrink (a
+//! kernel disappearing from the zoo sweep is a regression). Two ratio
+//! gates run on top: `tuned_vs_default` is same-process and
+//! machine-invariant, so **every** fresh row must keep it above
+//! `1 − tolerance` — this is the tuner's never-slower contract,
+//! checked in CI on real hardware; and the pinned representative
+//! subset ([`ZOO_REPRESENTATIVES`], the same kernels the
+//! zoo-equivalence CI leg verifies) additionally gates
+//! `speedup`-vs-naive against the baseline, like the main bench's
+//! per-case gate. The remaining 70+ rows' speedups are trajectory
+//! data, not gates — at zoo problem sizes their run-to-run noise
+//! exceeds any tolerance worth alarming on.
+//!
 //! The parser is deliberately a line scanner over the fixed format the
 //! `bench` bin emits (one result object per line) rather than a JSON
 //! library — the workspace vendors only API-subset shims, and the
@@ -60,7 +79,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p sparstencil-bench --bin bench_compare -- \
-//!      <baseline.json> <fresh.json> [--tolerance 0.10]`
+//!      <baseline.json> <fresh.json> [--tolerance 0.10] [--zoo]`
 
 use std::process::ExitCode;
 
@@ -82,6 +101,21 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extract the boolean value of `"key": true|false` from a line, if
+/// present.
+fn bool_field(line: &str, key: &str) -> Option<bool> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
 }
 
 /// Parse a main row's `thread_sweep` array into `(lanes,
@@ -415,20 +449,292 @@ fn validate(file: &BenchFile, strict: bool) -> Vec<String> {
     errs
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() < 3 {
-        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--tolerance 0.10]");
+/// The pinned zoo subset whose speedup-vs-naive is ratio-gated against
+/// the baseline — the same kernels the zoo-equivalence CI leg verifies
+/// bit-identical to `run_naive`: a radius-4 star, a dense diagonal
+/// box, an anisotropic pattern, a 3D flow kernel, a long-range 1D
+/// line, and an LBM stream. Pinned by name so a zoo rename cannot
+/// silently drop a kernel out of the gate.
+const ZOO_REPRESENTATIVES: &[&str] = &[
+    "acoustic-2d-fd8",
+    "motion-blur-5x5",
+    "phase-aniso-2d-9p",
+    "boundary-layer-3d-7p",
+    "wave-1d-fd8",
+    "lbm-d2q9",
+];
+
+/// One per-kernel row of a `BENCH_zoo.json` `results` array.
+struct ZooRow {
+    case: String,
+    line: String,
+    speedup: f64,
+    tuned_vs_default: f64,
+    tuned_cells_per_sec: f64,
+}
+
+/// Parse a `BENCH_zoo.json` file (same read/truncation diagnostics as
+/// [`parse`]); a zoo row is a line with `tuned_cells_per_sec`.
+fn parse_zoo(path: &str) -> Result<Vec<ZooRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read zoo bench file {path}: {e}\n  regenerate it with: \
+             cargo run --release -p sparstencil-bench --bin bench_zoo"
+        )
+    })?;
+    if text.trim().is_empty() || !text.trim_end().ends_with('}') {
+        return Err(format!(
+            "zoo bench file {path} is empty or truncated — likely an interrupted \
+             run or partial copy; regenerate it with: \
+             cargo run --release -p sparstencil-bench --bin bench_zoo"
+        ));
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(case) = string_field(line, "case") else {
+            continue;
+        };
+        if line.contains("\"tuned_cells_per_sec\"") {
+            rows.push(ZooRow {
+                case,
+                line: line.to_string(),
+                speedup: number_field(line, "speedup").unwrap_or(f64::NAN),
+                tuned_vs_default: number_field(line, "tuned_vs_default").unwrap_or(f64::NAN),
+                tuned_cells_per_sec: number_field(line, "tuned_cells_per_sec").unwrap_or(f64::NAN),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Schema validation for zoo rows: every field `bench_zoo` writes must
+/// be present and sane on every row — the zoo file exists to make the
+/// tuner's decisions auditable over time, and a silently dropped
+/// column erases that audit trail.
+fn validate_zoo(path: &str, rows: &[ZooRow]) -> Vec<String> {
+    let mut errs = Vec::new();
+    let err = |errs: &mut Vec<String>, case: &str, msg: String| {
+        errs.push(format!("{path}: case {case}: {msg}"));
+    };
+    if rows.is_empty() {
+        errs.push(format!("{path}: no parsable zoo rows"));
+    }
+    let required: &[(&str, f64)] = &[
+        ("cells", 1.0),
+        ("iters", 1.0),
+        ("detected_cores", 1.0),
+        ("model_cost", f64::MIN_POSITIVE),
+        ("model_default_cost", f64::MIN_POSITIVE),
+        ("tuned_cells_per_sec", f64::MIN_POSITIVE),
+        ("default_cells_per_sec", f64::MIN_POSITIVE),
+        ("naive_cells_per_sec", f64::MIN_POSITIVE),
+        ("speedup", f64::MIN_POSITIVE),
+        ("tuned_vs_default", f64::MIN_POSITIVE),
+        ("stage_seconds", 0.0),
+        ("mma_seconds", 0.0),
+        ("scatter_seconds", 0.0),
+        ("mirror_seconds", 0.0),
+    ];
+    let layout_ok = |s: &str| {
+        let mut it = s.split('x');
+        matches!(
+            (
+                it.next().and_then(|v| v.parse::<usize>().ok()),
+                it.next().and_then(|v| v.parse::<usize>().ok()),
+                it.next(),
+            ),
+            (Some(r1), Some(r2), None) if r1 >= 1 && r2 >= 1
+        )
+    };
+    for row in rows {
+        for &(key, min) in required {
+            match number_field(&row.line, key) {
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+                Some(v) if !v.is_finite() || v < min => {
+                    err(&mut errs, &row.case, format!("field {key} = {v} (< {min})"));
+                }
+                Some(_) => {}
+            }
+        }
+        for key in ["domain"] {
+            if string_field(&row.line, key).is_none_or(|v| v.is_empty()) {
+                err(&mut errs, &row.case, format!("missing field {key}"));
+            }
+        }
+        for key in ["default_layout", "tuned_layout"] {
+            match string_field(&row.line, key) {
+                Some(v) if layout_ok(&v) => {}
+                Some(v) => err(
+                    &mut errs,
+                    &row.case,
+                    format!("field {key} = \"{v}\" (expected \"RxC\")"),
+                ),
+                None => err(&mut errs, &row.case, format!("missing field {key}")),
+            }
+        }
+        for key in ["shared_stage", "prefetch", "retuned"] {
+            if bool_field(&row.line, key).is_none() {
+                err(&mut errs, &row.case, format!("missing field {key}"));
+            }
+        }
+        match string_field(&row.line, "simd").as_deref() {
+            Some("avx2") | Some("scalar") => {}
+            Some(other) => err(
+                &mut errs,
+                &row.case,
+                format!("field simd = \"{other}\" (expected \"avx2\" or \"scalar\")"),
+            ),
+            None => err(&mut errs, &row.case, "missing field simd".into()),
+        }
+    }
+    errs
+}
+
+/// The `--zoo` gate: schema on both files, no shrinking row set, the
+/// tuner's never-slower contract on every fresh row, and a
+/// speedup-vs-naive ratio gate on the pinned representative subset.
+fn zoo_gate(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, fresh) = match (parse_zoo(baseline_path), parse_zoo(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for e in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut schema_errs = validate_zoo(baseline_path, &baseline);
+    schema_errs.extend(validate_zoo(fresh_path, &fresh));
+    for name in ZOO_REPRESENTATIVES {
+        for (path, rows) in [(baseline_path, &baseline), (fresh_path, &fresh)] {
+            if !rows.iter().any(|r| r.case == *name) {
+                schema_errs.push(format!(
+                    "{path}: pinned representative kernel {name} has no zoo row"
+                ));
+            }
+        }
+    }
+    if !schema_errs.is_empty() {
+        for e in &schema_errs {
+            eprintln!("SCHEMA: {e}");
+        }
+        eprintln!(
+            "zoo bench schema validation failed ({} errors)",
+            schema_errs.len()
+        );
         return ExitCode::FAILURE;
     }
+
+    let mut failed = false;
+
+    // No kernel may vanish from the sweep.
+    for old in &baseline {
+        if !fresh.iter().any(|r| r.case == old.case) {
+            eprintln!(
+                "REGRESSION: zoo case {} missing from fresh results",
+                old.case
+            );
+            failed = true;
+        }
+    }
+
+    // Never-slower contract: tuned vs default is a same-process ratio,
+    // gated on every fresh row.
+    let mut worst: Option<&ZooRow> = None;
+    for row in &fresh {
+        if row.tuned_vs_default < 1.0 - tolerance {
+            eprintln!(
+                "REGRESSION: zoo case {} tuned_vs_default {:.3} — the tuner's choice \
+                 is more than {:.0}% slower than the fixed default",
+                row.case,
+                row.tuned_vs_default,
+                tolerance * 100.0
+            );
+            failed = true;
+        }
+        if worst.is_none_or(|w| row.tuned_vs_default < w.tuned_vs_default) {
+            worst = Some(row);
+        }
+    }
+    if let Some(w) = worst {
+        println!(
+            "note       worst tuned_vs_default {:.3} ({}) across {} fresh zoo rows",
+            w.tuned_vs_default,
+            w.case,
+            fresh.len()
+        );
+    }
+
+    // Representative subset: speedup-vs-naive ratio gate, like the main
+    // bench's per-case gate.
+    for name in ZOO_REPRESENTATIVES {
+        let (old, new) = (
+            baseline
+                .iter()
+                .find(|r| r.case == *name)
+                .expect("pinned above"),
+            fresh
+                .iter()
+                .find(|r| r.case == *name)
+                .expect("pinned above"),
+        );
+        let ratio = new.speedup / old.speedup;
+        let verdict = if ratio < 1.0 - tolerance {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<10} {:<26} zoo speedup-vs-naive {:.2}x -> {:.2}x (ratio {ratio:.3})  \
+             abs {:.0} -> {:.0} cells/s",
+            name, old.speedup, new.speedup, old.tuned_cells_per_sec, new.tuned_cells_per_sec
+        );
+    }
+
+    if failed {
+        eprintln!(
+            "zoo bench gate failed: a kernel went missing, a tuner choice fell more \
+             than {:.0}% behind the fixed default, or a representative kernel's \
+             speedup-vs-naive regressed by more than {:.0}%",
+            tolerance * 100.0,
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let zoo_mode = args.iter().any(|a| a == "--zoo");
     let tolerance = args
         .iter()
         .position(|a| a == "--tolerance")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.10f64);
+    let mut positional = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--zoo" => {}
+            "--tolerance" => i += 1,
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--tolerance 0.10] [--zoo]");
+        return ExitCode::FAILURE;
+    }
+    if zoo_mode {
+        return zoo_gate(&positional[0], &positional[1], tolerance);
+    }
 
-    let (baseline, fresh) = match (parse(&args[1]), parse(&args[2])) {
+    let (baseline, fresh) = match (parse(&positional[0]), parse(&positional[1])) {
         (Ok(b), Ok(f)) => (b, f),
         (b, f) => {
             for e in [b.err(), f.err()].into_iter().flatten() {

@@ -1,0 +1,195 @@
+//! Zoo-at-scale benchmark: drives **all 79 zoo kernels** through the
+//! session engine at their per-entry problem sizes
+//! ([`sparstencil_zoo::ZooEntry::shape`]) and writes `BENCH_zoo.json` —
+//! one row per kernel — so the perf trajectory sees exotic stencils
+//! (radius-4 stars, dense diagonal boxes, anisotropic patterns,
+//! long-range 1D lines, LBM streams), not just the two tracking
+//! workloads of the main bench.
+//!
+//! Per kernel the row reports:
+//! - the **auto-tuned** plan ([`sparstencil::plan::tune`]): steady-state
+//!   cells/s of a persistent session on the tuner's choice, plus the
+//!   decision itself — `default_layout` vs `tuned_layout`,
+//!   `shared_stage`/`prefetch` policy bits, `retuned`, and the modeled
+//!   costs (`model_cost` vs `model_default_cost`);
+//! - `default_cells_per_sec` — the same session protocol on the
+//!   fixed-default plan (the oracle), and `tuned_vs_default` — the
+//!   **median of per-pair interleaved ratios** (each repetition times
+//!   tuned then default back-to-back, so machine-speed drift hits both
+//!   sides of a pair equally; the ratio is same-process and
+//!   machine-invariant, which is what `bench_compare --zoo` gates);
+//! - `naive_cells_per_sec` and `speedup` — tuned engine vs the retained
+//!   naive reference session on the default plan, the zoo counterpart
+//!   of the main bench's speedup-vs-naive trajectory;
+//! - the per-step phase split of the tuned plan (`stage_seconds`,
+//!   `mma_seconds`, `scatter_seconds`, `mirror_seconds`, via
+//!   [`sparstencil::exec::profile_phases`]) and the `simd` kernel-path
+//!   tag, so a tuner decision that shifts time between gather and MMA
+//!   stays auditable.
+//!
+//! **Protocol** (same as the main bench): setup — compile, tune, session
+//! construction — happens outside the timed region; every rate is the
+//! median of [`MEASURE_REPS`] = 5 timed repetitions after one untimed
+//! warm-up, single-lane.
+//!
+//! Usage: `cargo run --release -p sparstencil-bench --bin bench_zoo`
+//! (`--iters N` pins the measured step count; by default each kernel
+//! gets enough iterations to push ~[`TARGET_CELLS_PER_CHUNK`] cells
+//! per timed chunk, so tiny grids don't measure timer resolution).
+
+use sparstencil::plan::{compile, model_step_cost, tune, Options, StagePolicy};
+use sparstencil::session::{EngineBackend, NaiveBackend, Simulation};
+use std::time::Instant;
+
+/// Repetitions per measured configuration — median-of-5, matching the
+/// main bench protocol.
+const MEASURE_REPS: usize = 5;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Work volume a timed chunk targets when `--iters` is not given:
+/// enough cells that a chunk lasts milliseconds, not timer-resolution
+/// territory, even on the smallest zoo shapes.
+const TARGET_CELLS_PER_CHUNK: usize = 1_000_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let forced_iters: Option<usize> = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let simd = sparstencil::exec::simd::kernel_path();
+
+    let entries = sparstencil_zoo::all();
+    let mut rows = Vec::with_capacity(entries.len());
+    let mut retuned_count = 0usize;
+    for entry in &entries {
+        let kernel = entry.kernel();
+        let shape = entry.shape;
+        let cells = entry.cells() as f64;
+        let iters = forced_iters
+            .unwrap_or_else(|| TARGET_CELLS_PER_CHUNK / entry.cells().max(1))
+            .max(8);
+        let opts = Options::default();
+
+        let default_plan = compile::<f32>(&kernel, shape, &opts)
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", entry.name));
+        let (tuned_plan, choice) = tune::<f32>(&kernel, shape, &opts)
+            .unwrap_or_else(|e| panic!("{}: tune failed: {e}", entry.name));
+        let input = sparstencil::grid::Grid::<f32>::smooth_random(kernel.dims(), shape);
+
+        // Reused sessions: construction (buffers, quantization, scratch)
+        // once, outside every timed region.
+        let mut tuned_sim =
+            Simulation::new(EngineBackend::with_parallelism(&tuned_plan, &input, 1));
+        let mut default_sim =
+            Simulation::new(EngineBackend::with_parallelism(&default_plan, &input, 1));
+        let mut naive_sim = Simulation::new(NaiveBackend::new(&default_plan, &input));
+        tuned_sim.step_n(1);
+        default_sim.step_n(1);
+        naive_sim.step_n(1);
+
+        // Interleaved tuned/default pairs: the gated ratio is the median
+        // of per-pair ratios, immune to drift between the two medians.
+        let mut tuned_rates = Vec::with_capacity(MEASURE_REPS);
+        let mut default_rates = Vec::with_capacity(MEASURE_REPS);
+        let mut pair_ratios = Vec::with_capacity(MEASURE_REPS);
+        for _ in 0..MEASURE_REPS {
+            let t0 = Instant::now();
+            tuned_sim.step_n(iters);
+            let t = cells * iters as f64 / t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            default_sim.step_n(iters);
+            let d = cells * iters as f64 / t0.elapsed().as_secs_f64();
+            tuned_rates.push(t);
+            default_rates.push(d);
+            pair_ratios.push(t / d);
+        }
+        let tuned_rate = median(tuned_rates);
+        let default_rate = median(default_rates);
+        let tuned_vs_default = median(pair_ratios);
+        let naive_rate = median(
+            (0..MEASURE_REPS)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    naive_sim.step_n(iters);
+                    cells * iters as f64 / t0.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let speedup = tuned_rate / naive_rate;
+
+        let phases = sparstencil::exec::profile_phases(&tuned_plan, &input, iters);
+        let stage_seconds = phases.stage_seconds / iters as f64;
+        let mma_seconds = phases.mma_seconds / iters as f64;
+        let scatter_seconds = phases.scatter_seconds / iters as f64;
+        let mirror_seconds = phases.mirror_seconds / iters as f64;
+
+        let model_default_cost = model_step_cost(&default_plan, StagePolicy::default());
+        if choice.retuned {
+            retuned_count += 1;
+        }
+        println!(
+            "{:<26} {:<7} {:>11.0} cells/s  speedup {speedup:>6.2}x  \
+             vs-default {tuned_vs_default:>5.3}  layout {}x{} -> {}x{}{}  policy {}{}",
+            entry.name,
+            entry.domain.name(),
+            tuned_rate,
+            choice.default_layout.0,
+            choice.default_layout.1,
+            choice.layout.0,
+            choice.layout.1,
+            if choice.retuned { " (retuned)" } else { "" },
+            if choice.policy.shared_stage { "S" } else { "-" },
+            if choice.policy.prefetch { "P" } else { "-" },
+        );
+        rows.push(format!(
+            "    {{\"case\": \"{}\", \"domain\": \"{}\", \"cells\": {}, \"iters\": {iters}, \
+             \"detected_cores\": {detected_cores}, \
+             \"default_layout\": \"{}x{}\", \"tuned_layout\": \"{}x{}\", \
+             \"shared_stage\": {}, \"prefetch\": {}, \"retuned\": {}, \
+             \"model_cost\": {:.1}, \"model_default_cost\": {model_default_cost:.1}, \
+             \"tuned_cells_per_sec\": {tuned_rate:.1}, \
+             \"default_cells_per_sec\": {default_rate:.1}, \
+             \"naive_cells_per_sec\": {naive_rate:.1}, \
+             \"speedup\": {speedup:.3}, \
+             \"tuned_vs_default\": {tuned_vs_default:.3}, \
+             \"stage_seconds\": {stage_seconds:.9}, \
+             \"mma_seconds\": {mma_seconds:.9}, \
+             \"scatter_seconds\": {scatter_seconds:.9}, \
+             \"mirror_seconds\": {mirror_seconds:.9}, \
+             \"simd\": \"{simd}\"}}",
+            entry.name,
+            entry.domain.name(),
+            entry.cells(),
+            choice.default_layout.0,
+            choice.default_layout.1,
+            choice.layout.0,
+            choice.layout.1,
+            choice.policy.shared_stage,
+            choice.policy.prefetch,
+            choice.retuned,
+            choice.cost,
+        ));
+    }
+
+    println!(
+        "\n{} kernels, {} retuned layouts, simd {simd}, {} cores",
+        entries.len(),
+        retuned_count,
+        detected_cores
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"zoo\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_zoo.json", &json).expect("write BENCH_zoo.json");
+    println!("wrote BENCH_zoo.json");
+}

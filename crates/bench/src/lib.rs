@@ -7,6 +7,12 @@
 //! Table-2 problem sizes). This library holds the shared pieces: the
 //! Table-2 benchmark list, scale selection, SparStencil invocation
 //! wrappers, and fixed-width table printing.
+//!
+//! Three additional bins track the *functional engine* over time:
+//! `bench` writes the two-workload `BENCH_step_throughput.json`,
+//! `bench_zoo` sweeps all 79 zoo kernels through auto-tuned sessions
+//! into `BENCH_zoo.json`, and `bench_compare` schema- and ratio-gates
+//! fresh runs of either file against the committed baselines in CI.
 
 #![warn(missing_docs)]
 

@@ -500,7 +500,11 @@ fn exec_items<R: Real>(
         // first (plan-validated).
         let t0 = timed.then(std::time::Instant::now);
         let staged_data = staged.as_mut_slice();
-        let shiftable = ss.shift_blocks[cb];
+        // Window-policy hook: the tuner can switch the whole plan to
+        // fresh staging when the schedule has no shift ops worth the
+        // op-list walk (`StagePolicy::shared_stage`); per-block
+        // geometric validity still gates the shared path.
+        let shiftable = ss.policy.shared_stage && ss.shift_blocks[cb];
         for d in ss.overlap[wi] as usize..ss.window {
             let src = (z + d) * plane_stride;
             let band_base = ((z + d) % ss.window) * band_rows;
@@ -577,10 +581,14 @@ fn exec_items<R: Real>(
         // block's footprint; the MMA + scatter below provide the
         // latency cover. Addresses past the grid at run ends are
         // harmless: prefetch never faults (`wrapping_add` keeps the
-        // pointer arithmetic defined).
-        let next_plane = (z + ss.window) * plane_stride + block_tiles[0].base;
-        for &po in &ss.prefetch_offs {
-            simd::prefetch_t0(data.as_ptr().wrapping_add(next_plane + po as usize));
+        // pointer arithmetic defined). Window-policy hook: the tuner
+        // disables the hints for plans whose runs never have a next
+        // plane (`StagePolicy::prefetch`).
+        if ss.policy.prefetch {
+            let next_plane = (z + ss.window) * plane_stride + block_tiles[0].base;
+            for &po in &ss.prefetch_offs {
+                simd::prefetch_t0(data.as_ptr().wrapping_add(next_plane + po as usize));
+            }
         }
 
         // ---- Phase 2: MMA from the staged ring. ----

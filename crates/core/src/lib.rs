@@ -82,6 +82,17 @@
 //! let (output, _) = exec.run(&input, 2);
 //! assert_eq!(output, sim.to_grid());
 //! ```
+//!
+//! Planning is **adaptive**: [`pipeline::Executor::auto`] (over
+//! [`plan::tune`]) picks tile shape and staging-window policy per
+//! kernel from a plan-time cost model of the staged executor,
+//! bit-verifies and measured-validates the choice against the
+//! fixed-default plan, and reports the decision as a
+//! [`plan::PlanChoice`] — tuning may change speed, never results. The
+//! tuner's behavior across the full 79-kernel zoo
+//! (`sparstencil-zoo`) is tracked in the committed `BENCH_zoo.json`
+//! (written by the `bench_zoo` bin, gated in CI by
+//! `bench_compare --zoo`).
 
 #![warn(missing_docs)]
 

@@ -46,6 +46,22 @@ impl<R: Real> Executor<R> {
         })
     }
 
+    /// Compile `kernel` with the plan-time auto-tuner
+    /// ([`plan::tune`]): tile shape and staging-window policy are
+    /// chosen per kernel from the compiled tables, and the decision is
+    /// returned alongside the executor. The tuned plan's output is
+    /// bit-identical to [`Executor::new`]'s for every input and step
+    /// count — the fixed-default path stays available as the oracle
+    /// (tuning may change speed, never results).
+    pub fn auto(
+        kernel: &StencilKernel,
+        grid_shape: [usize; 3],
+        options: &Options,
+    ) -> Result<(Self, plan::PlanChoice), CompileError> {
+        let (plan, choice) = plan::tune(kernel, grid_shape, options)?;
+        Ok((Self { plan }, choice))
+    }
+
     /// The underlying compiled plan.
     pub fn plan(&self) -> &CompiledStencil<R> {
         &self.plan

@@ -14,7 +14,9 @@ use sparstencil::grid::Grid;
 use sparstencil::layout::ExecMode;
 use sparstencil::pipeline::Executor;
 use sparstencil::plan::StageOp;
-use sparstencil::plan::{compile, compile_halo_exchange, Decomposition, Options};
+use sparstencil::plan::{
+    compile, compile_halo_exchange, tune_with, Decomposition, Options, TuneOpts,
+};
 use sparstencil::reference;
 use sparstencil::stencil::StencilKernel;
 use sparstencil_mat::gemm;
@@ -579,6 +581,61 @@ proptest! {
             prop_assert_eq!(hx.notify(j).len(), got.len(), "duplicate notify");
             prop_assert_eq!(&got, want, "notify list mismatch for member {}", j);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The tuner's contract: tuning may change speed, never results. For
+    // random kernels (2D random-weight plus fixed 3D) and random
+    // adoption margins, the plan `tune_with` picks must produce output
+    // bit-identical to the fixed-default plan's — on an input that is
+    // *not* the tuner's internal probe grid (accumulation order is
+    // data-independent, so the probe's certificate must transfer), at
+    // several step counts, and through both the staged engine and the
+    // retained naive path.
+    #[test]
+    fn tuned_plan_is_bit_identical_to_default(
+        case in staged_case(),
+        margin in 0.0f64..0.08,
+        steps in 1usize..=4,
+        seed in any::<u32>(),
+    ) {
+        let (kernel, shape) = case;
+        let opts = Options::default();
+        let default_plan = compile::<f32>(&kernel, shape, &opts).unwrap();
+        let tune_opts = TuneOpts { margin, ..TuneOpts::default() };
+        let (tuned, choice) = tune_with::<f32>(&kernel, shape, &opts, &tune_opts).unwrap();
+        prop_assert_eq!(choice.fusion, 1, "default tune must never fuse");
+        prop_assert_eq!(
+            choice.retuned,
+            choice.layout != choice.default_layout,
+            "retuned flag must track the layout decision"
+        );
+        prop_assert!(choice.cost <= choice.default_cost, "tuner may never model-regress");
+
+        // Deterministic input distinct from the tuner's probe grid.
+        let g = Grid::<f32>::from_fn_3d(kernel.dims(), shape, |z, y, x| {
+            let h = (seed as u64)
+                .wrapping_add(z as u64 * 7919)
+                .wrapping_add(y as u64 * 104729)
+                .wrapping_add(x as u64 * 1299709)
+                .wrapping_mul(0x2545_f491_4f6c_dd1d);
+            ((h >> 16) % 10_000) as f32 / 10_000.0
+        });
+        let (a, _) = sparstencil::exec::run(&default_plan, &g, steps);
+        let (b, _) = sparstencil::exec::run(&tuned, &g, steps);
+        prop_assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "tuned layout {:?} -> {:?} (policy {:?}) changed results",
+            choice.default_layout,
+            choice.layout,
+            choice.policy
+        );
+        let (c, _) = sparstencil::exec::run_naive(&tuned, &g, steps);
+        prop_assert_eq!(b.as_slice(), c.as_slice(), "tuned engine != tuned naive");
     }
 }
 

@@ -80,12 +80,35 @@ pub struct ZooEntry {
     pub domain: Domain,
     /// Kernel constructor.
     pub build: fn() -> StencilKernel,
+    /// Per-entry problem size `[nz, ny, nx]` — the grid the zoo bench
+    /// and equivalence sweeps run this kernel at. Scaled to the
+    /// kernel's extent (see [`default_shape`]) so every entry keeps a
+    /// comparable interior fraction and a valid staging window.
+    pub shape: [usize; 3],
 }
 
 impl ZooEntry {
     /// Build the kernel, renamed to the zoo entry name.
     pub fn kernel(&self) -> StencilKernel {
         (self.build)().with_name(self.name)
+    }
+
+    /// Cells of the entry's problem size.
+    pub fn cells(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// The per-entry problem size for a kernel: dimensionality picks the
+/// base grid, the kernel extent is added per axis so radius-4 kernels
+/// keep the same interior fraction as radius-1 ones (and the 3D staging
+/// ring always fits the plane count).
+pub fn default_shape(kernel: &StencilKernel) -> [usize; 3] {
+    let e = kernel.extent();
+    match kernel.dims() {
+        1 => [1, 1, 2048 + e[2]],
+        2 => [1, 64 + e[1], 64 + e[2]],
+        _ => [12 + e[0], 24 + e[1], 24 + e[2]],
     }
 }
 
@@ -211,6 +234,7 @@ pub fn all() -> Vec<ZooEntry> {
             name,
             domain,
             build,
+            shape: default_shape(&build()),
         })
     };
 
@@ -517,14 +541,27 @@ pub fn all() -> Vec<ZooEntry> {
     v
 }
 
-/// Entries of one domain.
+/// Entries of one domain. Never empty: every domain of [`Domain::all`]
+/// holds at least eight kernels (pinned by the registry tests), so an
+/// empty result can only mean the registry itself regressed.
 pub fn by_domain(domain: Domain) -> Vec<ZooEntry> {
-    all().into_iter().filter(|e| e.domain == domain).collect()
+    let v: Vec<ZooEntry> = all().into_iter().filter(|e| e.domain == domain).collect();
+    debug_assert!(
+        !v.is_empty(),
+        "domain {} has no registry entries",
+        domain.name()
+    );
+    v
 }
 
-/// Find a kernel by name.
+/// Find a kernel by name. Lookup is forgiving: surrounding whitespace
+/// is trimmed and ASCII case is ignored, so `" LBM-D2Q9 "` finds
+/// `lbm-d2q9` — registry names are the canonical lower-case forms.
 pub fn find(name: &str) -> Option<ZooEntry> {
-    all().into_iter().find(|e| e.name == name)
+    let want = name.trim();
+    all()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(want))
 }
 
 #[cfg(test)]
@@ -588,6 +625,55 @@ mod tests {
             find("gaussian-3x3").unwrap().domain,
             Domain::ImageProcessing
         );
+    }
+
+    #[test]
+    fn find_trims_and_case_folds() {
+        // CLI/CI callers hand in user-typed names; lookup must not be
+        // whitespace- or case-sensitive.
+        assert_eq!(find("  lbm-d2q9\t").unwrap().name, "lbm-d2q9");
+        assert_eq!(find("LBM-D2Q9").unwrap().name, "lbm-d2q9");
+        assert_eq!(find(" Acoustic-2D-FD8 ").unwrap().name, "acoustic-2d-fd8");
+        // Folding never invents matches.
+        assert!(find("lbm d2q9").is_none());
+        assert!(find("").is_none());
+    }
+
+    #[test]
+    fn every_domain_nonempty() {
+        for d in Domain::all() {
+            assert!(!by_domain(d).is_empty(), "{} is empty", d.name());
+        }
+    }
+
+    #[test]
+    fn per_entry_shapes_fit_their_kernels() {
+        // The 79-kernel invariant against the per-entry problem sizes:
+        // every shape admits the kernel (extent fits per axis), keeps a
+        // majority-interior valid region, and matches the documented
+        // sizing rule.
+        let zoo = all();
+        assert_eq!(zoo.len(), 79);
+        for e in &zoo {
+            let k = e.kernel();
+            let ext = k.extent();
+            assert_eq!(e.shape, default_shape(&k), "{}: shape drifted", e.name);
+            for (ax, &e_ax) in ext.iter().enumerate() {
+                assert!(
+                    e.shape[ax] >= e_ax,
+                    "{}: axis {ax} smaller than kernel",
+                    e.name
+                );
+            }
+            let valid: usize = (0..3).map(|ax| e.shape[ax] - ext[ax] + 1).product();
+            assert!(
+                valid * 5 > e.cells() * 2,
+                "{}: valid region {valid} under 40% of {} cells",
+                e.name,
+                e.cells()
+            );
+            assert_eq!(e.cells(), e.shape.iter().product::<usize>());
+        }
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Zoo-at-scale equivalence: every zoo kernel driven through the
+//! session engine at its per-entry benchmark shape must match the
+//! retained naive path bit-for-bit (both execute the same compiled
+//! plan's fragment MMAs, so this pins the staged executor — staging
+//! ring, shared-stage shifts, prefetch, scatter — against the direct
+//! per-work-item reference). A representative subset of exotic shapes
+//! additionally goes through [`Executor::verify_at`] (tolerance vs the
+//! scalar `f64` reference) and the auto-tuner.
+
+use sparstencil::pipeline::Executor;
+use sparstencil::plan::Options;
+use sparstencil::prelude::{Grid, StencilKernel};
+use sparstencil_mat::half::{verify_tolerance, Precision};
+use sparstencil_zoo::{all, find};
+
+/// The exotic-stencil subset the CI zoo-equivalence leg pins by name:
+/// a radius-4 star, a dense diagonal box, anisotropic 2D/3D patterns,
+/// a long-range 1D line, and the compact LBM 9-point.
+const REPRESENTATIVES: [&str; 6] = [
+    "acoustic-2d-fd8",      // radius-4 star (FD8)
+    "motion-blur-5x5",      // diagonal/box
+    "phase-aniso-2d-9p",    // anisotropic 2D
+    "boundary-layer-3d-7p", // anisotropic 3D
+    "wave-1d-fd8",          // long-range 1D
+    "lbm-d2q9",             // compact 9-point
+];
+
+/// Tolerance scaled by the kernel's ℓ1 mass (zoo weights are not all
+/// normalized; FP16 error is relative to operand magnitude).
+fn tolerance(kernel: &StencilKernel) -> f64 {
+    let mass: f64 = kernel.weights().iter().map(|w| w.abs()).sum();
+    verify_tolerance(Precision::Fp16) * mass.max(1.0)
+}
+
+#[test]
+fn all_79_kernels_engine_matches_naive_bitwise() {
+    let entries = all();
+    assert_eq!(entries.len(), 79);
+    let mut failures = Vec::new();
+    for entry in entries {
+        let kernel = entry.kernel();
+        let shape = entry.shape;
+        let exec = match Executor::<f32>::new(&kernel, shape, &Options::default()) {
+            Ok(e) => e,
+            Err(e) => {
+                failures.push(format!("{}: compile error {e}", entry.name));
+                continue;
+            }
+        };
+        let input = Grid::<f32>::smooth_random(kernel.dims(), shape);
+        let (engine, _) = exec.run(&input, 2);
+        let (naive, _) = exec.run_naive(&input, 2);
+        if engine.as_slice() != naive.as_slice() {
+            failures.push(format!("{}: engine != naive bitwise", entry.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "zoo equivalence failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn representative_subset_verifies_against_scalar_reference() {
+    for name in REPRESENTATIVES {
+        let entry = find(name).unwrap_or_else(|| panic!("zoo entry {name}"));
+        let kernel = entry.kernel();
+        let exec = Executor::<f32>::new(&kernel, entry.shape, &Options::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let input = Grid::<f32>::smooth_random(kernel.dims(), entry.shape);
+        for (iters, err) in exec.verify_at(&input, &[1, 2, 4]) {
+            assert!(
+                err <= tolerance(&kernel) * iters as f64,
+                "{name}: rel err {err:.3e} after {iters} iters exceeds {:.1e}",
+                tolerance(&kernel) * iters as f64
+            );
+        }
+    }
+}
+
+#[test]
+fn representative_subset_tuned_plan_is_bit_identical() {
+    for name in REPRESENTATIVES {
+        let entry = find(name).unwrap_or_else(|| panic!("zoo entry {name}"));
+        let kernel = entry.kernel();
+        let opts = Options::default();
+        let fixed = Executor::<f32>::new(&kernel, entry.shape, &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (tuned, choice) = Executor::<f32>::auto(&kernel, entry.shape, &opts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(choice.fusion, 1, "{name}: default tune must not fuse");
+        let input = Grid::<f32>::smooth_random(kernel.dims(), entry.shape);
+        let (a, _) = fixed.run(&input, 3);
+        let (b, _) = tuned.run(&input, 3);
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "{name}: tuned plan (layout {:?} -> {:?}, policy {:?}) diverged",
+            choice.default_layout,
+            choice.layout,
+            choice.policy
+        );
+        // The tuned engine must also stay bit-identical to ITS naive
+        // path (naive shares the tuned plan's operands).
+        let (c, _) = tuned.run_naive(&input, 3);
+        assert_eq!(b.as_slice(), c.as_slice(), "{name}: tuned engine != naive");
+    }
+}

@@ -1,0 +1,58 @@
+//! Adaptive planning: compile a handful of zoo kernels through
+//! [`Executor::auto`] and compare the tuner's choice against the fixed
+//! default — same results bit-for-bit, different plan shapes.
+//!
+//! ```sh
+//! cargo run --release --example auto_tune
+//! ```
+
+use sparstencil::prelude::*;
+
+fn main() {
+    println!("== SparStencil auto-tuned planning ==\n");
+    println!(
+        "{:<22} {:>8} {:>8} {:>7} {:>9} {:>9} {:>7}",
+        "kernel", "default", "tuned", "policy", "mod.cost", "mod.def", "biteq"
+    );
+
+    for name in [
+        "jacobi-2d-5p",
+        "acoustic-2d-fd8",
+        "phase-aniso-2d-9p",
+        "motion-blur-5x5",
+        "wave-1d-fd8",
+        "lbm-d3q19",
+    ] {
+        let entry = sparstencil_zoo::find(name).expect("zoo kernel");
+        let kernel = entry.kernel();
+        let shape = entry.shape;
+        let opts = Options::default();
+
+        let fixed = Executor::<f32>::new(&kernel, shape, &opts).expect("compile");
+        let (tuned, choice) = Executor::<f32>::auto(&kernel, shape, &opts).expect("tune");
+
+        // The tuner's contract: choices change speed, never results.
+        let input = Grid::<f32>::smooth_random(kernel.dims(), shape);
+        let (a, _) = fixed.run(&input, 3);
+        let (b, _) = tuned.run(&input, 3);
+        let bit_identical = a.as_slice() == b.as_slice();
+        assert!(bit_identical, "{name}: tuned plan diverged from default");
+
+        println!(
+            "{:<22} {:>8} {:>8} {:>7} {:>9.0} {:>9.0} {:>7}",
+            name,
+            format!("{}x{}", choice.default_layout.0, choice.default_layout.1),
+            format!("{}x{}", choice.layout.0, choice.layout.1),
+            format!(
+                "{}{}",
+                if choice.policy.shared_stage { "S" } else { "-" },
+                if choice.policy.prefetch { "P" } else { "-" }
+            ),
+            choice.cost,
+            choice.default_cost,
+            bit_identical
+        );
+    }
+
+    println!("\nEvery tuned plan is bit-identical to its fixed-default oracle.");
+}

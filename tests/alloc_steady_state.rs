@@ -407,6 +407,41 @@ fn zero_allocations_across_sharded_steps() {
     );
 }
 
+/// A tuner-chosen plan inherits the discipline: whatever layout and
+/// staging-window policy [`tune_with`] adopts (including shared-stage
+/// or prefetch disabled — the executor consults the policy per work
+/// item, not per allocation), steady-state steps stay allocation-free.
+#[test]
+fn zero_steady_state_allocations_tuned_plan() {
+    use sparstencil::plan::{tune_with, TuneOpts};
+
+    let k = StencilKernel::box2d9p();
+    let shape = [1, 50, 50];
+    let opts = Options::default();
+    // margin 0 adopts the model argmin aggressively — the most likely
+    // configuration to differ from the default plan.
+    let tune_opts = TuneOpts {
+        margin: 0.0,
+        ..TuneOpts::default()
+    };
+    let (plan, choice) = tune_with::<f32>(&k, shape, &opts, &tune_opts).unwrap();
+    assert_eq!(choice.fusion, 1);
+    let input = Grid::<f32>::smooth_random(k.dims(), shape);
+
+    // Warm up process-global state (thread pool, lazy runtime init).
+    let _ = run(&plan, &input, 2);
+
+    let one = allocations_for_run(&plan, &input, 1);
+    let many = allocations_for_run(&plan, &input, 6);
+    assert!(one > 0, "run setup must allocate the arena");
+    assert_eq!(
+        many, one,
+        "tuned plan (layout {:?} -> {:?}, policy {:?}): steady-state steps \
+         must not allocate",
+        choice.default_layout, choice.layout, choice.policy,
+    );
+}
+
 #[test]
 fn zero_steady_state_allocations_forced_scalar() {
     // Kernel dispatch must not change allocation behavior: the scalar
